@@ -1,0 +1,68 @@
+// Ablation: the equal-relative-noise privacy-budget allocation (PrivCount's
+// published strategy, used by every measurement here) vs a naive uniform
+// epsilon split. Uses the Fig 1 + Table 4 counter sets: expected magnitudes
+// span 5 orders of magnitude, which is exactly where uniform allocation
+// falls over (small counters drown in noise budgeted for big ones).
+#include "common.h"
+
+#include "src/dp/allocation.h"
+
+namespace {
+
+using namespace tormet;
+
+int run() {
+  std::printf("Ablation — privacy-budget allocation strategies\n\n");
+
+  // Expected values are the operator's magnitude estimates; for near-zero
+  // counters (ipv6 streams) the value is the smallest magnitude of
+  // *interest*, which keeps the minimax objective meaningful.
+  const dp::privacy_params params{0.3, 1e-11};
+  const std::vector<dp::counter_request> counters{
+      {"streams/total", 400, 4.0e7},
+      {"streams/initial", 20, 2.0e6},
+      {"streams/initial/ipv6", 20, 5.0e4},
+      {"entry/connections", 12, 2.1e6},
+      {"entry/circuits", 651, 1.9e7},
+      {"entry/bytes", 4.07e8, 8.2e12},
+      {"rend/expired", 180, 2.7e6},
+  };
+
+  const auto smart = dp::allocate_budget(params, counters);
+  const auto uniform = dp::allocate_budget_uniform(params, counters);
+
+  repro_table table{"relative noise sigma/E per counter"};
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    const double rel_smart = smart[i].sigma / counters[i].expected_value;
+    const double rel_uniform = uniform[i].sigma / counters[i].expected_value;
+    table.add(counters[i].name,
+              "uniform: " + format_sig(rel_uniform, 3),
+              "equal-rel: " + format_sig(rel_smart, 3));
+  }
+  table.print();
+  std::printf("Equal-relative allocation is a minimax strategy: it trades\n"
+              "slack on counters that were far more accurate than needed for\n"
+              "the counter that was about to drown in noise.\n\n");
+
+  double eps_smart = 0.0;
+  double worst_smart = 0.0;
+  double worst_uniform = 0.0;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    eps_smart += smart[i].epsilon;
+    worst_smart = std::max(worst_smart, smart[i].sigma / counters[i].expected_value);
+    worst_uniform =
+        std::max(worst_uniform, uniform[i].sigma / counters[i].expected_value);
+  }
+  repro_table summary{"summary"};
+  summary.add("total epsilon spent", format_sig(params.epsilon, 3),
+              format_sig(eps_smart, 3), "", "identical budget");
+  summary.add("worst-case relative noise", format_sig(worst_uniform, 3),
+              format_sig(worst_smart, 3), "",
+              format_sig(worst_uniform / worst_smart, 3) + "x improvement");
+  summary.print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,69 @@
+// Ablation: PSC oblivious-table size vs estimator quality. Fewer bins mean
+// more hash collisions, which the occupancy inversion must correct at the
+// cost of variance; the exact-DP confidence interval widens accordingly.
+// Sweeps table sizes at a fixed true cardinality with a Monte-Carlo
+// occupancy simulation (the estimator pipeline is identical to a protocol
+// run; the crypto layer is exercised separately in ablation_group_backend).
+#include "common.h"
+
+#include <cmath>
+
+#include "src/psc/estimator.h"
+#include "src/stats/psc_ci.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace tormet;
+
+int run() {
+  std::printf("Ablation — PSC hash-table size vs accuracy (true n = 10,000, "
+              "noise bits = 200)\n\n");
+
+  constexpr std::uint64_t true_n = 10'000;
+  constexpr std::uint64_t noise_bits = 200;
+  constexpr int trials = 30;
+  rng r{2024};
+
+  repro_table table{"bins sweep"};
+  for (const std::uint64_t bins :
+       {4096ULL, 8192ULL, 16384ULL, 65536ULL, 262144ULL}) {
+    double bias_sum = 0.0;
+    double ci_width_sum = 0.0;
+    int covered = 0;
+    for (int t = 0; t < trials; ++t) {
+      std::set<std::uint64_t> occupied;
+      for (std::uint64_t i = 0; i < true_n; ++i) occupied.insert(r.below(bins));
+      std::uint64_t raw = occupied.size();
+      for (std::uint64_t i = 0; i < noise_bits; ++i) raw += r.bernoulli(0.5);
+
+      const psc::cardinality_estimate est =
+          psc::estimate_cardinality(raw, bins, noise_bits);
+      bias_sum += est.cardinality - static_cast<double>(true_n);
+
+      stats::psc_ci_params ci;
+      ci.bins = bins;
+      ci.total_noise_bits = noise_bits;
+      const stats::estimate e = stats::psc_confidence_interval(raw, ci);
+      ci_width_sum += e.ci.width();
+      if (e.ci.contains(static_cast<double>(true_n))) ++covered;
+    }
+    const double load = static_cast<double>(true_n) / static_cast<double>(bins);
+    table.add("bins=" + std::to_string(bins),
+              "load " + format_sig(load, 2),
+              "bias " + format_sig(bias_sum / trials, 3),
+              "CI width " + format_sig(ci_width_sum / trials, 4),
+              "coverage " + std::to_string(covered) + "/" + std::to_string(trials));
+  }
+  table.print();
+
+  std::printf("Reading: estimates stay unbiased across loads (the occupancy\n"
+              "inversion works), but CI width grows sharply once load factor\n"
+              "approaches 1 — motivating the 2^16-bin tables the Table 2/5/6\n"
+              "benches use.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,153 @@
+// Figure 2 reproduction: membership of primary domains in Alexa rank sets
+// (top) and in top-10 sibling sets (bottom). Key paper shapes:
+//   * torproject.org ~40 % of primary domains (the Onionoo anomaly)
+//   * rank-decade buckets roughly flat (~4-8 % each), "other" ~22 %
+//   * amazon siblings ~9.7 %, google siblings ~2.4 %, rest <1 %
+#include "common.h"
+
+#include "src/privcount/deployment.h"
+#include "src/workload/browsing.h"
+
+namespace {
+
+using namespace tormet;
+
+constexpr double k_scale = 1e-3;
+
+/// Rank sets: set 0 = ranks (0,10], set i = (10^i, 10^(i+1)]. torproject.org
+/// is measured separately (as in the paper).
+[[nodiscard]] std::vector<core::domain_set> make_rank_sets(
+    const workload::alexa_list& alexa) {
+  std::vector<core::domain_set> sets;
+  sets.push_back({"torproject.org", {"torproject.org"}});
+  std::uint32_t lo = 0;
+  for (std::uint32_t hi = 10; hi <= alexa.size(); hi *= 10) {
+    core::domain_set set;
+    set.name = "(" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+    set.domains.reserve(hi - lo);
+    for (std::uint32_t rank = lo + 1; rank <= hi; ++rank) {
+      const std::string& d = alexa.domain_at_rank(rank);
+      if (d != "torproject.org") set.domains.push_back(d);
+    }
+    sets.push_back(std::move(set));
+    lo = hi;
+  }
+  return sets;
+}
+
+[[nodiscard]] std::vector<core::domain_set> make_sibling_sets(
+    const workload::alexa_list& alexa) {
+  std::vector<core::domain_set> sets;
+  sets.push_back({"torproject", alexa.sibling_set("torproject")});
+  for (const char* base : {"google", "youtube", "facebook", "baidu",
+                           "wikipedia", "yahoo", "reddit", "qq", "amazon",
+                           "duckduckgo"}) {
+    sets.push_back({base, alexa.sibling_set(base)});
+  }
+  return sets;
+}
+
+struct measurement {
+  std::map<std::string, double> share;    // set name -> fraction of primary domains
+  std::map<std::string, stats::estimate> ratio_ci;
+};
+
+const workload::alexa_list& get_alexa() {
+  static const workload::alexa_list list =
+      workload::alexa_list::make_synthetic({.size = 1'000'000, .seed = 3});
+  return list;
+}
+
+measurement run_measurement(const std::string& base,
+                            std::vector<core::domain_set> sets,
+                            std::uint64_t seed) {
+  core::measurement_study study{bench::default_study_config(seed)};
+  tor::network& net = study.network();
+
+  workload::browsing_params bp;
+  bp.seed = seed;
+  bp.circuits_per_web_client = 14.5;  // paper-calibrated visit volume
+  workload::browsing_driver browser{net, get_alexa(), bp};
+
+  std::vector<tor::client_id> clients;
+  const auto n_clients = static_cast<std::size_t>(6.9e6 * k_scale);
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    tor::client_profile p;
+    p.ip = static_cast<std::uint32_t>(i + 1);
+    clients.push_back(net.add_client(p));
+  }
+
+  net::inproc_net bus;
+  privcount::deployment_config cfg = study.privcount_config();
+  cfg.measured_relays = study.measured_exits();
+  privcount::deployment dep{bus, cfg};
+  dep.add_instrument(core::instrument_domain_sets(base, sets));
+  dep.attach(net);
+
+  std::vector<privcount::counter_spec> specs;
+  const double d20 = 20.0 * k_scale;
+  for (const auto& s : sets) specs.push_back({base + "/" + s.name, d20, 500.0});
+  specs.push_back({base + "/other", d20, 500.0});
+
+  const auto results = dep.run_round(specs, [&] {
+    browser.run_day(clients, sim_time{0});
+  });
+
+  double total = 0.0;
+  for (const auto& c : results) total += static_cast<double>(c.value);
+  measurement m;
+  const stats::estimate total_est = stats::normal_estimate(total, 0.0);
+  for (const auto& c : results) {
+    const std::string name = c.name.substr(base.size() + 1);
+    m.share[name] = static_cast<double>(c.value) / total;
+    m.ratio_ci[name] = stats::ratio_estimate(
+        stats::normal_estimate(static_cast<double>(c.value), c.sigma), total_est);
+  }
+  return m;
+}
+
+int run() {
+  bench::print_header("Fig 2 — Alexa rank-set and sibling-set membership",
+                      k_scale, "full 1M-entry synthetic Alexa list");
+
+  const workload::alexa_list& alexa = get_alexa();
+
+  // -- top panel: rank sets -------------------------------------------------
+  const measurement rank = run_measurement("rank", make_rank_sets(alexa), 71);
+  repro_table top{"Fig 2 (top) — primary domains by Alexa rank set (%)"};
+  const std::pair<const char*, double> paper_rank[] = {
+      {"torproject.org", 0.401}, {"(0,10]", 0.084},      {"(10,100]", 0.051},
+      {"(100,1000]", 0.062},     {"(1000,10000]", 0.043}, {"(10000,100000]", 0.077},
+      {"(100000,1000000]", 0.070}, {"other", 0.217},
+  };
+  for (const auto& [name, paper] : paper_rank) {
+    const auto it = rank.share.find(name);
+    if (it == rank.share.end()) continue;
+    top.add(name, format_percent(paper), format_percent(it->second),
+            bench::fmt_ci_percent(rank.ratio_ci.at(name)));
+  }
+  top.print();
+
+  // -- bottom panel: sibling sets ------------------------------------------
+  const measurement sib =
+      run_measurement("sibling", make_sibling_sets(alexa), 72);
+  repro_table bottom{"Fig 2 (bottom) — primary domains by sibling set (%)"};
+  const std::pair<const char*, double> paper_sib[] = {
+      {"torproject", 0.390}, {"google", 0.024},  {"youtube", 0.001},
+      {"facebook", 0.003},   {"baidu", 0.000},   {"wikipedia", 0.000},
+      {"yahoo", 0.002},      {"reddit", 0.000},  {"qq", 0.001},
+      {"amazon", 0.097},     {"duckduckgo", 0.004}, {"other", 0.481},
+  };
+  for (const auto& [name, paper] : paper_sib) {
+    const auto it = sib.share.find(name);
+    if (it == sib.share.end()) continue;
+    bottom.add(name, format_percent(paper), format_percent(it->second),
+               bench::fmt_ci_percent(sib.ratio_ci.at(name)));
+  }
+  bottom.print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

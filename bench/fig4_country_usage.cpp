@@ -1,0 +1,167 @@
+// Figure 4 reproduction: per-country client connections, bytes, and
+// circuits (PrivCount histograms keyed by GeoIP lookups at the guards).
+// Paper shapes: US, RU, DE lead connections and bytes; the UAE (AE) is
+// absent from the connection/byte leaders but ranks ~6th in circuits — the
+// "partially blocked clients loop directory fetches" anomaly, which the
+// uae_blocked client class reproduces.
+//
+// As in the paper, each metric is measured in its own 24-hour round (one
+// privacy budget per round); small countries remain noise-dominated, which
+// is itself a paper-reproduced behaviour (its Fig 4 leader boards contain
+// noise artifacts like BV and SS).
+#include "common.h"
+
+#include <algorithm>
+
+#include "src/privcount/deployment.h"
+#include "src/stats/metrics_portal.h"
+#include "src/workload/alexa.h"
+#include "src/workload/browsing.h"
+#include "src/workload/population.h"
+
+namespace {
+
+using namespace tormet;
+
+constexpr double k_scale = 1e-3;
+
+int run() {
+  bench::print_header("Fig 4 — per-country client usage (PrivCount at guards)",
+                      k_scale, "one measurement round per metric, as deployed");
+
+  core::measurement_study study{bench::default_study_config(91)};
+  tor::network& net = study.network();
+  auto geo = std::make_shared<workload::geoip_db>(workload::geoip_db::make_synthetic());
+
+  workload::population_params pp;
+  pp.network_scale = k_scale;
+  pp.seed = 91;
+  workload::population pop{net, *geo, pp};
+
+  const auto alexa = std::make_shared<const workload::alexa_list>(
+      workload::alexa_list::make_synthetic({.size = 100'000, .seed = 3}));
+  workload::browsing_params bp;
+  bp.seed = 91;
+  bp.circuits_per_web_client = 14.5;
+  workload::browsing_driver browser{net, *alexa, bp};
+
+  // Measure the larger per-country populations plus AE (the anomaly).
+  const std::vector<std::string> countries{"US", "RU", "DE", "UA", "FR", "GB",
+                                           "CA", "NL", "PL", "ES", "AE", "MX",
+                                           "BR", "SE", "AR"};
+
+  net::inproc_net bus;
+  privcount::deployment_config cfg = study.privcount_config();
+  cfg.measured_relays = study.measured_guards();
+  privcount::deployment dep{bus, cfg};
+  dep.add_instrument(core::instrument_country_usage(geo, countries));
+  dep.attach(net);
+
+  const double frac = study.fraction(tor::position::guard, study.measured_guards());
+
+  // Expected values per country from the operator's prior (the GeoIP client
+  // shares) — magnitude estimates for the noise allocation.
+  struct metric_spec {
+    const char* name;
+    double sensitivity;          // Table-1 bound, scaled
+    double network_total;        // prior for the whole network per day
+    double floor;
+  };
+  const metric_spec metrics[] = {
+      {"connections", 12.0 * k_scale, 148e6 * k_scale, 10.0},
+      {"bytes", 407e6 * k_scale, 5.2e14 * k_scale, 1e6},
+      {"circuits", 651.0 * k_scale, 1.29e9 * k_scale, 100.0},
+      {"dir-requests", 651.0 * k_scale, 3.6e8 * k_scale, 50.0},
+  };
+
+  std::map<std::string, double> value;
+  int day = 0;
+  // Rounds: connections / bytes / circuits+dir-requests (the directory
+  // split shares the circuits round, as it derives from the same events).
+  const std::vector<std::vector<int>> rounds{{0}, {1}, {2, 3}};
+  for (const auto& round_metrics : rounds) {
+    std::vector<privcount::counter_spec> specs;
+    for (const int m : round_metrics) {
+      for (const auto& cc : countries) {
+        const double share = geo->countries()[geo->index_of(cc)].client_share;
+        const double expected =
+            std::max(metrics[m].floor, share * metrics[m].network_total * frac);
+        specs.push_back({"country/" + cc + "/" + metrics[m].name,
+                         metrics[m].sensitivity, expected});
+      }
+    }
+    const auto results = dep.run_round(specs, [&] {
+      pop.advance_to_day(day);
+      pop.run_entry_day(sim_time{day * k_seconds_per_day});
+      browser.run_day(pop.active_of(workload::client_class::web),
+                      sim_time{day * k_seconds_per_day});
+      ++day;
+    });
+    for (const auto& c : results) value[c.name] = static_cast<double>(c.value);
+  }
+
+  const auto ranked = [&](const std::string& metric) {
+    std::vector<std::pair<std::string, double>> rows;
+    for (const auto& cc : countries) {
+      rows.emplace_back(cc, value["country/" + cc + "/" + metric] / frac / k_scale);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    return rows;
+  };
+
+  const char* metric_names[] = {"connections", "bytes", "circuits"};
+  const char* paper_top[] = {"US RU DE UA FR ... (AE absent)",
+                             "US RU DE UA GB FR ... (AE absent)",
+                             "US FR RU DE PL AE ... (AE ~6th)"};
+  for (int m = 0; m < 3; ++m) {
+    repro_table t{std::string{"Fig 4 — top countries by "} + metric_names[m]};
+    t.add("paper ordering", paper_top[m], "");
+    const auto rows = ranked(metric_names[m]);
+    int shown = 0;
+    int ae_rank = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].first == "AE") ae_rank = static_cast<int>(i) + 1;
+      if (shown < 8) {
+        t.add("#" + std::to_string(i + 1) + " " + rows[i].first, "",
+              std::string{"bytes"} == metric_names[m]
+                  ? format_bytes(rows[i].second)
+                  : format_count(rows[i].second));
+        ++shown;
+      }
+    }
+    t.add("AE rank", m == 2 ? "~6th (anomaly)" : "not a leader",
+          "#" + std::to_string(ae_rank));
+    t.print();
+  }
+
+  // §5.2 aside: the Tor-Metrics-style estimator ranks countries by
+  // directory requests — the paper's discrepancy ("Tor Metrics ranks the
+  // UAE second; our direct measurements do not") reproduced mechanistically
+  // by the directory-looping AE clients.
+  repro_table metrics_table{"§5.2 aside — Tor-Metrics-style per-country user estimates"};
+  metrics_table.add("paper observation",
+                    "Tor Metrics ranks UAE ~2nd; direct measurement does not",
+                    "");
+  std::vector<std::pair<std::string, double>> rows;
+  for (const auto& cc : countries) {
+    // Noise can push small counters negative; the Metrics methodology
+    // clamps to zero (a negative request count is meaningless).
+    const double requests =
+        std::max(0.0, value["country/" + cc + "/dir-requests"]) / frac;
+    rows.emplace_back(
+        cc, stats::metrics_portal_user_estimate(requests, 1.0) / k_scale);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (std::size_t i = 0; i < 5 && i < rows.size(); ++i) {
+    metrics_table.add("#" + std::to_string(i + 1) + " " + rows[i].first, "",
+                      format_count(rows[i].second) + " 'users'");
+  }
+  metrics_table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks for measurement-path hot spots: event
+// ingestion through PrivCount instruments (plain counters, domain-set
+// matching against a 1M-entry index) and PSC oblivious inserts.
+#include <benchmark/benchmark.h>
+
+#include "src/core/instruments.h"
+#include "src/crypto/secure_rng.h"
+#include "src/psc/oblivious_set.h"
+#include "src/tor/events.h"
+#include "src/workload/alexa.h"
+
+namespace {
+
+using namespace tormet;
+
+tor::event make_stream_event(const std::string& host) {
+  tor::event ev;
+  ev.observer = 0;
+  ev.body = tor::exit_stream_event{tor::address_kind::hostname, true, 443, host};
+  return ev;
+}
+
+void bm_stream_taxonomy_instrument(benchmark::State& state) {
+  const auto instrument = core::instrument_stream_taxonomy();
+  const tor::event ev = make_stream_event("www.example.com");
+  std::uint64_t total = 0;
+  const auto incr = [&](const std::string&, std::uint64_t n) { total += n; };
+  for (auto _ : state) {
+    instrument(ev, incr);
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(bm_stream_taxonomy_instrument);
+
+void bm_domain_set_matching(benchmark::State& state) {
+  // Rank-set matching against a list of state.range(0) domains.
+  const auto alexa = workload::alexa_list::make_synthetic(
+      {.size = static_cast<std::size_t>(state.range(0)), .seed = 3});
+  std::vector<core::domain_set> sets;
+  core::domain_set set;
+  set.name = "all";
+  set.domains.reserve(alexa.size());
+  for (std::uint32_t rank = 1; rank <= alexa.size(); ++rank) {
+    set.domains.push_back(alexa.domain_at_rank(rank));
+  }
+  sets.push_back(std::move(set));
+  const auto instrument = core::instrument_domain_sets("rank", std::move(sets));
+
+  const tor::event hit = make_stream_event("www.amazon.com");
+  const tor::event miss = make_stream_event("tail1234567.com");
+  std::uint64_t total = 0;
+  const auto incr = [&](const std::string&, std::uint64_t n) { total += n; };
+  for (auto _ : state) {
+    instrument(hit, incr);
+    instrument(miss, incr);
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(bm_domain_set_matching)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kNanosecond);
+
+void bm_psc_insert_toy(benchmark::State& state) {
+  const auto group = crypto::make_toy_group();
+  const crypto::elgamal scheme{group};
+  crypto::deterministic_rng rng{9};
+  const auto kp = scheme.generate_keypair(rng);
+  psc::oblivious_set set{scheme, kp.pub, 1 << 14, rng};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    set.insert(as_bytes("ip:" + std::to_string(i++)), rng);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_psc_insert_toy);
+
+void bm_country_instrument(benchmark::State& state) {
+  const auto geo = std::make_shared<const workload::geoip_db>(
+      workload::geoip_db::make_synthetic());
+  const auto instrument = core::instrument_country_usage(
+      geo, {"US", "RU", "DE", "UA", "FR", "AE"});
+  tor::event ev;
+  ev.body = tor::entry_connection_event{42};  // country 0 = US block
+  std::uint64_t total = 0;
+  const auto incr = [&](const std::string&, std::uint64_t n) { total += n; };
+  for (auto _ : state) {
+    instrument(ev, incr);
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(bm_country_instrument);
+
+}  // namespace
+
+BENCHMARK_MAIN();

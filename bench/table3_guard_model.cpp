@@ -1,0 +1,157 @@
+// Table 3 reproduction: the promiscuous/selective guard-connection model
+// fit. Two PSC unique-IP measurements from *disjoint* relay sets with
+// different guard-weight fractions (paper: 0.42 % and 0.88 %) jointly
+// identify, for each candidate guards-per-client g in {3,4,5}:
+//   * the feasible promiscuous-client range (paper: ~14-22 thousand), and
+//   * the network-wide client-IP range (paper, g=3: ~10.9-11.2 million).
+// The paper's conclusions to preserve: a single-g model without promiscuous
+// clients is inconsistent; with promiscuous clients g=3 implies ~5x the
+// Tor Metrics user estimate; higher g implies fewer clients.
+#include "common.h"
+
+#include "src/psc/deployment.h"
+#include "src/stats/guard_model.h"
+#include "src/stats/psc_ci.h"
+#include "src/workload/population.h"
+
+namespace {
+
+using namespace tormet;
+
+constexpr double k_scale = 1.0 / 25.0;
+
+stats::guard_measurement measure(core::measurement_study& study,
+                                 tor::network& net, workload::population& pop,
+                                 const std::vector<tor::relay_id>& relays,
+                                 int day, std::uint64_t seed) {
+  net::inproc_net bus;
+  psc::deployment_config cfg;
+  cfg.measured_relays = relays;
+  cfg.round.bins = 1 << 16;
+  cfg.round.group = crypto::group_backend::toy;
+  cfg.round.sensitivity = 4.0 * k_scale;
+  cfg.rng_seed = seed;
+  psc::deployment dep{bus, cfg};
+  dep.set_extractor(core::extract_client_ip());
+  dep.attach(net);
+
+  const psc::round_outcome out = dep.run_round([&] {
+    pop.advance_to_day(day);
+    pop.run_entry_day(sim_time{day * k_seconds_per_day});
+  });
+
+  stats::psc_ci_params ci;
+  ci.bins = out.bins;
+  ci.total_noise_bits = out.total_noise_bits;
+  const stats::estimate e = stats::psc_confidence_interval(out.raw_count, ci);
+
+  stats::guard_measurement m;
+  // Widen the protocol CI slightly for day-to-day population variation (the
+  // two measurements run on different days, as in the paper).
+  m.uniques_ci = {e.ci.lo * 0.97, e.ci.hi * 1.03};
+  m.guard_fraction = study.fraction(tor::position::guard, relays);
+  return m;
+}
+
+int run() {
+  bench::print_header("Table 3 — promiscuous/selective guard-model fit",
+                      k_scale, "two disjoint DC sets, toy group backend");
+
+  core::measurement_study study{bench::default_study_config(93)};
+  tor::network& net = study.network();
+  auto geo = std::make_shared<workload::geoip_db>(workload::geoip_db::make_synthetic());
+
+  workload::population_params pp;
+  pp.network_scale = k_scale;
+  pp.seed = 93;
+  pp.web_rates = {4.0, 0, 0, 0, 0};
+  pp.chat_rates = {4.0, 0, 0, 0, 0};
+  pp.bot_rates = {20.0, 0, 0, 0, 0};
+  pp.idle_rates = {2.0, 0, 0, 0, 0};
+  pp.uae_rates = {12.0, 0, 0, 0, 0};
+  pp.promiscuous_rates = {0, 0, 0, 0, 0};
+  workload::population pop{net, *geo, pp};
+
+  // Two disjoint relay sets with ~paper-like weight ratio (~1 : 2.1).
+  const auto guards = net.net().eligible(tor::position::guard);
+  std::vector<tor::relay_id> set1;
+  std::vector<tor::relay_id> set2;
+  double f1 = 0.0;
+  double f2 = 0.0;
+  for (const auto id : guards) {
+    const double p = net.net().selection_probability(tor::position::guard, id);
+    if (f1 < 0.0042 && p < 0.001) {
+      set1.push_back(id);
+      f1 += p;
+    } else if (f2 < 0.0088 && p < 0.001) {
+      set2.push_back(id);
+      f2 += p;
+    }
+    if (f1 >= 0.0042 && f2 >= 0.0088) break;
+  }
+
+  const stats::guard_measurement m1 = measure(study, net, pop, set1, 0, 601);
+  const stats::guard_measurement m2 = measure(study, net, pop, set2, 1, 602);
+
+  std::printf("  measurement 1: %.2f %% guard weight, uniques in [%.0f; %.0f]\n",
+              m1.guard_fraction * 100, m1.uniques_ci.lo, m1.uniques_ci.hi);
+  std::printf("  measurement 2: %.2f %% guard weight, uniques in [%.0f; %.0f]\n\n",
+              m2.guard_fraction * 100, m2.uniques_ci.lo, m2.uniques_ci.hi);
+
+  stats::guard_model_params fit;
+  fit.candidate_g = {3, 4, 5};
+  fit.max_promiscuous = 40'000 * k_scale;
+  const auto rows = stats::fit_guard_model(m1, m2, fit);
+
+  // Paper rows (network-wide; ours scale back up by 1/k_scale).
+  const std::pair<const char*, const char*> paper[] = {
+      {"[15,856; 21,522]", "[10,851,783; 11,240,709]"},
+      {"[15,129; 21,056]", "[8,195,072; 8,493,863]"},
+      {"[14,428; 20,451]", "[6,605,713; 6,849,612]"},
+  };
+
+  repro_table table{"Table 3 — fit per guards-per-client g"};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (!row.consistent) {
+      table.add("g=" + std::to_string(row.guards_per_client) + " consistent",
+                "yes", "NO");
+      continue;
+    }
+    table.add("g=" + std::to_string(row.guards_per_client) + " promiscuous",
+              paper[i].first,
+              bench::fmt_interval_counts({row.promiscuous.lo / k_scale,
+                                          row.promiscuous.hi / k_scale}),
+              "", "sim truth 18,000");
+    table.add("g=" + std::to_string(row.guards_per_client) + " network IPs",
+              paper[i].second,
+              bench::fmt_interval_counts({row.network_ips.lo / k_scale,
+                                          row.network_ips.hi / k_scale}),
+              "", "sim truth ~8.8 M + churn");
+  }
+  table.print();
+
+  // The paper's companion conclusion: without promiscuous clients the two
+  // measurements force g into [27, 34] — an implausible model.
+  repro_table aside{"§5.1 aside — g required when promiscuous clients are excluded"};
+  stats::guard_model_params no_promiscuous;
+  no_promiscuous.candidate_g = {1,  2,  3,  5,  8,  12, 16, 20, 24,
+                                27, 30, 34, 38, 45, 60};
+  no_promiscuous.max_promiscuous = 1.0;  // effectively zero
+  int g_lo = 0;
+  int g_hi = 0;
+  for (const auto& row : stats::fit_guard_model(m1, m2, no_promiscuous)) {
+    if (!row.consistent) continue;
+    if (g_lo == 0) g_lo = row.guards_per_client;
+    g_hi = row.guards_per_client;
+  }
+  aside.add("feasible g range (P=0)", "[27; 34] — implausible",
+            g_lo == 0 ? "none consistent"
+                      : "[" + std::to_string(g_lo) + "; " + std::to_string(g_hi) + "]");
+  aside.print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,179 @@
+// Table 5 reproduction: unique client statistics via PSC at the measured
+// guards — unique IPs (313,213), countries (203), ASes (11,882), 4-day IPs
+// (672,303) and the derived churn rate (~119,697 IPs/day; IPs turn over
+// almost twice in 4 days).
+//
+// Scale notes (EXPERIMENTS.md): unique-IP counts scale with the client
+// population, so this bench runs at 1/25 scale with population-scaled
+// sensitivity; country/AS counts are scale-invariant quantities, so their
+// rounds use the unscaled sensitivity — preserving the paper's
+// noise-overwhelms-small-counts behaviour (the country CI hits the 250
+// ceiling exactly as in the paper).
+#include "common.h"
+
+#include <algorithm>
+
+#include "src/psc/deployment.h"
+#include "src/stats/guard_model.h"
+#include "src/stats/metrics_portal.h"
+#include "src/stats/psc_ci.h"
+#include "src/workload/population.h"
+
+namespace {
+
+using namespace tormet;
+
+constexpr double k_scale = 1.0 / 25.0;
+
+struct psc_run {
+  stats::estimate local;  // exact-DP CI on the locally observed unique count
+};
+
+psc_run run_psc(core::measurement_study& study, tor::network& net,
+                workload::population& pop, psc::data_collector::extractor extract,
+                double sensitivity, int first_day, int days,
+                std::uint64_t seed) {
+  net::inproc_net bus;
+  psc::deployment_config cfg = study.psc_config();
+  cfg.measured_relays = study.measured_guards();
+  cfg.round.bins = 1 << 16;
+  cfg.round.group = crypto::group_backend::toy;
+  cfg.round.sensitivity = sensitivity;
+  cfg.rng_seed = seed;
+  psc::deployment dep{bus, cfg};
+  dep.set_extractor(std::move(extract));
+  dep.attach(net);
+
+  const psc::round_outcome out = dep.run_round([&] {
+    for (int d = first_day; d < first_day + days; ++d) {
+      pop.advance_to_day(d);
+      pop.run_entry_day(sim_time{d * k_seconds_per_day});
+    }
+  });
+
+  stats::psc_ci_params ci;
+  ci.bins = out.bins;
+  ci.total_noise_bits = out.total_noise_bits;
+  psc_run r;
+  r.local = stats::psc_confidence_interval(out.raw_count, ci);
+  return r;
+}
+
+int run() {
+  bench::print_header("Table 5 — unique client statistics (PSC at guards)",
+                      k_scale,
+                      "toy group backend; 2^16-bin oblivious tables");
+
+  core::measurement_study study{bench::default_study_config(95)};
+  tor::network& net = study.network();
+  auto geo = std::make_shared<workload::geoip_db>(workload::geoip_db::make_synthetic());
+
+  workload::population_params pp;
+  pp.network_scale = k_scale;
+  pp.seed = 95;
+  // Lean entry days: unique counting needs connection events; directory
+  // circuits are kept (at their defaults) because the Tor-Metrics baseline
+  // row estimates users from them. Other circuit/byte traffic is elided
+  // to keep the 4-day window fast.
+  pp.web_rates = {4.0, 2.5, 0, 0, 0};
+  pp.chat_rates = {4.0, 2.5, 0, 0, 0};
+  pp.bot_rates = {20.0, 3.0, 0, 0, 0};
+  pp.idle_rates = {1.0, 1.0, 0, 0, 0};
+  // AE directory loops damped here (they are fig4's subject; at 4-day
+  // volume they would dominate this bench's runtime).
+  pp.uae_rates = {12.0, 50.0, 0, 0, 0};
+  pp.promiscuous_rates = {0, 0, 0, 0, 0};
+  workload::population pop{net, *geo, pp};
+
+  const double guard_frac =
+      study.fraction(tor::position::guard, study.measured_guards());
+  const int g = pp.guards_per_selective;
+
+  // -- unique IPs, 1 day ----------------------------------------------------
+  const psc_run ips = run_psc(study, net, pop, core::extract_client_ip(),
+                              4.0 * k_scale, 0, 1, 501);
+  // -- unique ASes, 1 day (scale-invariant sensitivity) ----------------------
+  const psc_run ases = run_psc(study, net, pop, core::extract_client_asn(geo),
+                               4.0, 1, 1, 502);
+  // -- unique countries, averaged over two consecutive days ------------------
+  const psc_run cc1 = run_psc(study, net, pop, core::extract_client_country(geo),
+                              4.0, 2, 1, 503);
+  const psc_run cc2 = run_psc(study, net, pop, core::extract_client_country(geo),
+                              4.0, 3, 1, 504);
+  const stats::estimate countries{
+      (cc1.local.value + cc2.local.value) / 2.0,
+      {(cc1.local.ci.lo + cc2.local.ci.lo) / 2.0,
+       std::min(250.0, (cc1.local.ci.hi + cc2.local.ci.hi) / 2.0)}};
+  // -- unique IPs over a 4-day window ----------------------------------------
+  const psc_run ips4 = run_psc(study, net, pop, core::extract_client_ip(),
+                               13.0 * k_scale, 4, 4, 505);
+
+  // -- derived: churn and network-wide inference -----------------------------
+  const double churn_per_day = (ips4.local.value - ips.local.value) / 3.0;
+  const stats::interval churn_ci{(ips4.local.ci.lo - ips.local.ci.hi) / 3.0,
+                                 (ips4.local.ci.hi - ips.local.ci.lo) / 3.0};
+  const double turnover = ips4.local.value / ips.local.value;
+
+  const double daily_users =
+      stats::quick_user_estimate(ips.local.value, guard_frac, g) / k_scale;
+  const stats::interval network_ips =
+      stats::unique_count_range(ips.local.value / k_scale, guard_frac);
+
+  const auto scaled = [&](const stats::estimate& e) {
+    return stats::estimate{e.value / k_scale,
+                           {e.ci.lo / k_scale, e.ci.hi / k_scale}};
+  };
+
+  repro_table table{"Table 5 — locally observed unique client statistics"};
+  const stats::estimate ips_p = scaled(ips.local);
+  table.add("IPs (1 day)", "313,213 [313,039; 376,343]",
+            bench::fmt_count_est(ips_p), bench::fmt_ci_counts(ips_p),
+            "sim truth " + format_count(
+                static_cast<double>(pop.unique_ips_to_date()) / k_scale) +
+                " total population");
+  table.add("countries", "203 [141; 250]", format_sig(countries.value, 3),
+            "[" + format_sig(std::max(0.0, countries.ci.lo), 3) + "; " +
+                format_sig(countries.ci.hi, 3) + "]",
+            "unscaled (scale-invariant)");
+  const stats::estimate as_p = ases.local;  // scale-invariant-ish; report raw
+  table.add("ASes", "11,882 [11,708; 12,053]", format_count(as_p.value),
+            bench::fmt_ci_counts(as_p), "unscaled noise");
+  const stats::estimate ips4_p = scaled(ips4.local);
+  table.add("IPs (4 days)", "672,303 [671,781; 1,118,147]",
+            bench::fmt_count_est(ips4_p), bench::fmt_ci_counts(ips4_p));
+  table.add("churn per day", "119,697 [119,581; 247,268]",
+            format_count(churn_per_day / k_scale),
+            bench::fmt_interval_counts(
+                {churn_ci.lo / k_scale, churn_ci.hi / k_scale}));
+  table.print();
+
+  repro_table derived{"Table 5 — derived inferences"};
+  derived.add("4-day / 1-day turnover", "~2.15x (IPs turn over ~2x in 4 days)",
+              format_sig(turnover, 3) + "x", "",
+              "sim churn param 0.382/day");
+  derived.add("daily users (obs/p/g)", "~8.77 million", format_count(daily_users),
+              "", "Tor Metrics said 2.15 M");
+  derived.add("network-wide IPs [x, x/p]", "see Table 3",
+              bench::fmt_interval_counts(network_ips));
+
+  // The baseline the paper argues against: the Tor-Metrics-Portal estimate
+  // from directory requests (assumed 10/client/day). Our clients bundle
+  // directory pulls through guards at a lower true rate, so the heuristic
+  // undercounts — the paper's "factor of four more than previously
+  // believed" headline.
+  const int days_simulated = 8;
+  const double metrics_users = stats::metrics_portal_user_estimate(
+      static_cast<double>(net.truth().entry_dir_circuits) / days_simulated,
+      1.0) / k_scale;
+  derived.add("Tor-Metrics-style estimate", "2.15 million",
+              format_count(metrics_users), "", "from directory requests");
+  derived.add("direct / Metrics factor", "~4x underestimate",
+              format_sig(stats::underestimate_factor(daily_users, metrics_users),
+                         2) + "x");
+  derived.print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,110 @@
+// Table 8 reproduction: rendezvous-point statistics (PrivCount at the
+// measured relays in the RP position). Paper findings: 366 M rendezvous
+// circuits/day of which only 8.08 % succeed (4.37 % lose their connection,
+// 84.9 % expire before the service completes), carrying 20.1 TiB of cell
+// payload (~2 Gbit/s, ~730 KiB per active circuit).
+#include "common.h"
+
+#include "src/privcount/deployment.h"
+#include "src/tor/cell.h"
+#include "src/workload/onion_activity.h"
+
+namespace {
+
+using namespace tormet;
+
+constexpr double k_scale = 1.0 / 100.0;
+
+int run() {
+  bench::print_header("Table 8 — rendezvous statistics (PrivCount at RPs)",
+                      k_scale);
+
+  core::measurement_study study{bench::default_study_config(98)};
+  tor::network& net = study.network();
+
+  workload::onion_params op;
+  op.network_scale = k_scale;
+  op.fetch_attempts = 0.0;  // this bench isolates rendezvous traffic
+  op.seed = 98;
+  workload::onion_driver driver{net, op};
+
+  tor::client_profile cp;
+  cp.ip = 1;
+  const tor::client_id client = net.add_client(cp);
+  const std::vector<tor::client_id> clients{client};
+
+  net::inproc_net bus;
+  privcount::deployment_config cfg = study.privcount_config();
+  privcount::deployment dep{bus, cfg};
+  dep.add_instrument(core::instrument_rendezvous());
+  dep.attach(net);
+
+  const double d180 = 180.0 * k_scale;  // Table 1: 180 rendezvous connections
+  const double dcells = 400e6 / tor::k_cell_payload_bytes * k_scale;
+  const std::vector<privcount::counter_spec> specs{
+      {"rend/circuits", d180 * 2, 30000},
+      {"rend/succeeded", d180 * 2, 2500},
+      {"rend/conn-closed", d180, 1300},
+      {"rend/expired", d180, 26000},
+      {"rend/cells", dcells, 4e6},
+  };
+  const auto results = dep.run_round(specs, [&] {
+    driver.run_day(clients, clients, sim_time{0});
+  });
+
+  std::map<std::string, privcount::counter_result> r;
+  for (const auto& c : results) r[c.name] = c;
+  const double rp_frac = study.fraction(tor::position::rendezvous,
+                                        study.measured_relays());
+  const auto infer = [&](const std::string& name) {
+    const auto& c = r.at(name);
+    return bench::to_paper_scale(
+        stats::normal_estimate(static_cast<double>(c.value), c.sigma), rp_frac,
+        k_scale);
+  };
+
+  const stats::estimate circuits = infer("rend/circuits");
+  const stats::estimate succeeded = infer("rend/succeeded");
+  const stats::estimate conn_closed = infer("rend/conn-closed");
+  const stats::estimate expired = infer("rend/expired");
+  const stats::estimate cells = infer("rend/cells");
+
+  const stats::estimate payload{
+      cells.value * tor::k_cell_payload_bytes,
+      {cells.ci.lo * tor::k_cell_payload_bytes,
+       cells.ci.hi * tor::k_cell_payload_bytes}};
+  const stats::estimate success_share = stats::ratio_estimate(succeeded, circuits);
+  const stats::estimate closed_share = stats::ratio_estimate(conn_closed, circuits);
+  const stats::estimate expired_share = stats::ratio_estimate(expired, circuits);
+
+  const tor::ground_truth& t = net.truth();
+  repro_table table{"Table 8 — network-wide rendezvous statistics per day"};
+  table.add("total circuits", "366 million [351; 380]",
+            bench::fmt_count_est(circuits), bench::fmt_ci_counts(circuits),
+            "sim truth " +
+                format_count(static_cast<double>(t.rend_circuits) / k_scale));
+  table.add("succeeded", "8.08 % [3.47; 13.1]",
+            format_percent(success_share.value),
+            bench::fmt_ci_percent(success_share));
+  table.add("failed: conn. closed", "4.37 % [0.0; 9.23]",
+            format_percent(closed_share.value),
+            bench::fmt_ci_percent(closed_share));
+  table.add("failed: circuit expired", "84.9 % [77.0; 93.5]",
+            format_percent(expired_share.value),
+            bench::fmt_ci_percent(expired_share));
+  table.add("cell payload", "20.1 TiB [15.2; 24.9]", format_bytes(payload.value),
+            "[" + format_bytes(payload.ci.lo) + "; " +
+                format_bytes(payload.ci.hi) + "]",
+            "sim truth " + format_bytes(
+                static_cast<double>(t.rend_payload_bytes) / k_scale));
+  table.add("payload / second", "2.04 Gbit/s [1.55; 2.53]",
+            format_sig(payload.value * 8 / 86400 / 1e9, 3) + " Gbit/s");
+  table.add("payload / active circuit", "730 KiB [341; 2,070]",
+            format_bytes(payload.value / succeeded.value));
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

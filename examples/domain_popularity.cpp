@@ -1,0 +1,71 @@
+// Example: which sites do Tor users visit? (the §4 methodology)
+//
+// Measures primary-domain membership in a handful of Alexa-style sets with
+// PrivCount histogram counters, reproducing the paper's headline mixture in
+// miniature: ~40 % torproject.org, ~10 % amazon, ~80 % of destinations in
+// the top-sites list.
+#include <cstdio>
+
+#include "src/core/instruments.h"
+#include "src/core/measurement_study.h"
+#include "src/net/inproc.h"
+#include "src/workload/browsing.h"
+
+using namespace tormet;
+
+int main() {
+  core::study_config config;
+  config.consensus.num_relays = 2000;
+  config.target_exit_fraction = 0.03;
+  core::measurement_study study{config};
+  tor::network& net = study.network();
+
+  const auto alexa =
+      workload::alexa_list::make_synthetic({.size = 100'000, .seed = 1});
+
+  // Membership sets: torproject, the amazon sibling family, and the top
+  // 1000 ranks; everything else falls into "<base>/other".
+  std::vector<core::domain_set> sets;
+  sets.push_back({"torproject", {"torproject.org"}});
+  sets.push_back({"amazon", alexa.sibling_set("amazon")});
+  core::domain_set top1000{"top1000", {}};
+  for (std::uint32_t rank = 1; rank <= 1000; ++rank) {
+    top1000.domains.push_back(alexa.domain_at_rank(rank));
+  }
+  sets.push_back(std::move(top1000));
+
+  net::inproc_net bus;
+  privcount::deployment_config cfg = study.privcount_config();
+  cfg.measured_relays = study.measured_exits();
+  privcount::deployment dep{bus, cfg};
+  dep.add_instrument(core::instrument_domain_sets("sites", sets));
+  dep.attach(net);
+
+  workload::browsing_driver browser{net, alexa, workload::browsing_params{}};
+  std::vector<tor::client_id> clients;
+  for (int i = 0; i < 20'000; ++i) {
+    clients.push_back(net.add_client({.ip = static_cast<std::uint32_t>(i)}));
+  }
+
+  const double d20 = 20.0 * 0.02;  // Table 1 domain bound, simulation-scaled
+  const auto results = dep.run_round(
+      {
+          {"sites/torproject", d20, 2000.0},
+          {"sites/amazon", d20, 500.0},
+          {"sites/top1000", d20, 700.0},
+          {"sites/other", d20, 1100.0},
+      },
+      [&] { browser.run_day(clients, sim_time{0}); });
+
+  double total = 0.0;
+  for (const auto& c : results) total += static_cast<double>(c.value);
+  std::printf("primary domains observed at our exits: %.0f\n\n", total);
+  for (const auto& c : results) {
+    std::printf("  %-18s %7lld  (%.1f %%)\n", c.name.c_str(),
+                static_cast<long long>(c.value),
+                100.0 * static_cast<double>(c.value) / total);
+  }
+  std::printf("\npaper shape: torproject ~40 %%, amazon ~10 %%, ~80 %% "
+              "of visits inside the Alexa list\n");
+  return 0;
+}

@@ -1,0 +1,331 @@
+#include "src/core/instruments.h"
+
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace tormet::core {
+
+namespace {
+
+/// True for the streams whose hostnames the paper calls primary domains:
+/// a circuit's initial stream naming a hostname on a web port (§4.1).
+[[nodiscard]] const tor::exit_stream_event* primary_domain_of(const tor::event& ev) {
+  const auto* s = std::get_if<tor::exit_stream_event>(&ev.body);
+  if (s == nullptr || !s->is_initial) return nullptr;
+  if (s->kind != tor::address_kind::hostname) return nullptr;
+  if (s->port != 80 && s->port != 443) return nullptr;
+  return s;
+}
+
+/// Walks `hostname` and its parent domains through `index`, returning the
+/// first match ("www.amazon.com" matches an entry for "amazon.com").
+template <typename Map>
+[[nodiscard]] auto find_by_suffix(const Map& index, std::string_view hostname)
+    -> decltype(index.end()) {
+  std::string_view rest = hostname;
+  for (;;) {
+    const auto it = index.find(std::string{rest});
+    if (it != index.end()) return it;
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string_view::npos) return index.end();
+    rest.remove_prefix(dot + 1);
+  }
+}
+
+}  // namespace
+
+privcount::data_collector::instrument instrument_stream_taxonomy() {
+  return [](const tor::event& ev, const auto& incr) {
+    const auto* s = std::get_if<tor::exit_stream_event>(&ev.body);
+    if (s == nullptr) return;
+    incr("streams/total", 1);
+    if (!s->is_initial) return;
+    incr("streams/initial", 1);
+    switch (s->kind) {
+      case tor::address_kind::hostname: {
+        incr("streams/initial/hostname", 1);
+        const bool web = s->port == 80 || s->port == 443;
+        incr(web ? "streams/initial/hostname/web"
+                 : "streams/initial/hostname/other",
+             1);
+        break;
+      }
+      case tor::address_kind::ipv4:
+        incr("streams/initial/ipv4", 1);
+        break;
+      case tor::address_kind::ipv6:
+        incr("streams/initial/ipv6", 1);
+        break;
+    }
+  };
+}
+
+privcount::data_collector::instrument instrument_domain_sets(
+    std::string base, std::vector<domain_set> sets) {
+  // domain -> (set index) with first-set-wins semantics.
+  auto index = std::make_shared<std::unordered_map<std::string, std::size_t>>();
+  auto names = std::make_shared<std::vector<std::string>>();
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    names->push_back(base + "/" + sets[i].name);
+    for (const auto& d : sets[i].domains) {
+      index->emplace(d, i);  // emplace keeps the first set that claimed d
+    }
+  }
+  const std::string other = base + "/other";
+  return [index, names, other](const tor::event& ev, const auto& incr) {
+    const auto* s = primary_domain_of(ev);
+    if (s == nullptr) return;
+    const auto it = find_by_suffix(*index, s->target);
+    if (it == index->end()) {
+      incr(other, 1);
+    } else {
+      incr((*names)[it->second], 1);
+    }
+  };
+}
+
+privcount::data_collector::instrument instrument_tld_histogram(
+    std::string base, std::vector<std::string> tlds,
+    std::shared_ptr<const workload::alexa_list> alexa, bool separate_torproject,
+    std::shared_ptr<const workload::suffix_list> suffixes) {
+  expects(suffixes != nullptr, "tld histogram needs a suffix list");
+  auto tld_set = std::make_shared<std::unordered_map<std::string, std::string>>();
+  for (const auto& tld : tlds) {
+    (*tld_set)[tld] = base + "/" + tld;
+  }
+  const std::string other = base + "/other";
+  const std::string torproject = base + "/torproject.org";
+  return [tld_set, alexa, separate_torproject, suffixes, other, torproject](
+             const tor::event& ev, const auto& incr) {
+    const auto* s = primary_domain_of(ev);
+    if (s == nullptr) return;
+    if (separate_torproject &&
+        workload::hostname_matches_domain(s->target, "torproject.org")) {
+      incr(torproject, 1);
+      return;
+    }
+    if (alexa != nullptr) {
+      // Restrict to Alexa-listed domains: the hostname or a parent must be
+      // a list entry.
+      std::string_view rest = s->target;
+      bool listed = false;
+      for (;;) {
+        if (alexa->contains(rest)) {
+          listed = true;
+          break;
+        }
+        const std::size_t dot = rest.find('.');
+        if (dot == std::string_view::npos) break;
+        rest.remove_prefix(dot + 1);
+      }
+      if (!listed) return;
+    }
+    const auto tld = workload::suffix_list::tld_of(s->target);
+    if (!tld.has_value()) return;
+    const auto it = tld_set->find(*tld);
+    incr(it == tld_set->end() ? other : it->second, 1);
+  };
+}
+
+privcount::data_collector::instrument instrument_entry_totals() {
+  return [](const tor::event& ev, const auto& incr) {
+    if (std::holds_alternative<tor::entry_connection_event>(ev.body)) {
+      incr("entry/connections", 1);
+    } else if (std::holds_alternative<tor::entry_circuit_event>(ev.body)) {
+      incr("entry/circuits", 1);
+    } else if (const auto* d = std::get_if<tor::entry_data_event>(&ev.body)) {
+      incr("entry/bytes", d->bytes);
+    }
+  };
+}
+
+privcount::data_collector::instrument instrument_country_usage(
+    std::shared_ptr<const workload::geoip_db> geo,
+    std::vector<std::string> country_codes) {
+  expects(geo != nullptr, "country usage needs a geoip db");
+  auto wanted = std::make_shared<std::unordered_map<std::uint16_t, std::string>>();
+  for (const auto& code : country_codes) {
+    (*wanted)[geo->index_of(code)] = code;
+  }
+  return [geo, wanted](const tor::event& ev, const auto& incr) {
+    std::uint32_t ip = 0;
+    const char* suffix = nullptr;
+    std::uint64_t amount = 1;
+    bool is_dir_circuit = false;
+    if (const auto* c = std::get_if<tor::entry_connection_event>(&ev.body)) {
+      ip = c->client_ip;
+      suffix = "connections";
+    } else if (const auto* ci = std::get_if<tor::entry_circuit_event>(&ev.body)) {
+      ip = ci->client_ip;
+      suffix = "circuits";
+      is_dir_circuit = ci->kind == tor::circuit_kind::directory;
+    } else if (const auto* d = std::get_if<tor::entry_data_event>(&ev.body)) {
+      ip = d->client_ip;
+      suffix = "bytes";
+      amount = d->bytes;
+    } else {
+      return;
+    }
+    const auto it = wanted->find(geo->country_of(ip));
+    if (it == wanted->end()) return;
+    incr("country/" + it->second + "/" + suffix, amount);
+    // Directory requests feed the Tor-Metrics-style baseline estimator
+    // (stats/metrics_portal.h) — the §5.2 UAE-discrepancy comparison.
+    if (is_dir_circuit) incr("country/" + it->second + "/dir-requests", amount);
+  };
+}
+
+privcount::data_collector::instrument instrument_as_split(
+    std::shared_ptr<const workload::geoip_db> geo,
+    std::vector<std::uint32_t> top_asns) {
+  expects(geo != nullptr, "as split needs a geoip db");
+  auto top = std::make_shared<std::set<std::uint32_t>>(top_asns.begin(),
+                                                       top_asns.end());
+  return [geo, top](const tor::event& ev, const auto& incr) {
+    std::uint32_t ip = 0;
+    const char* suffix = nullptr;
+    std::uint64_t amount = 1;
+    if (const auto* c = std::get_if<tor::entry_connection_event>(&ev.body)) {
+      ip = c->client_ip;
+      suffix = "connections";
+    } else if (const auto* ci = std::get_if<tor::entry_circuit_event>(&ev.body)) {
+      ip = ci->client_ip;
+      suffix = "circuits";
+    } else if (const auto* d = std::get_if<tor::entry_data_event>(&ev.body)) {
+      ip = d->client_ip;
+      suffix = "bytes";
+      amount = d->bytes;
+    } else {
+      return;
+    }
+    const bool is_top = top->contains(geo->asn_of(ip));
+    incr(std::string{"as/"} + (is_top ? "top1000/" : "other/") + suffix, amount);
+  };
+}
+
+privcount::data_collector::instrument instrument_hsdir_descriptors(
+    std::shared_ptr<const workload::ahmia_index> index) {
+  expects(index != nullptr, "hsdir instrument needs an ahmia index");
+  return [index](const tor::event& ev, const auto& incr) {
+    if (std::holds_alternative<tor::hsdir_publish_event>(ev.body)) {
+      incr("hsdir/publishes", 1);
+      return;
+    }
+    const auto* f = std::get_if<tor::hsdir_fetch_event>(&ev.body);
+    if (f == nullptr) return;
+    incr("hsdir/fetch/total", 1);
+    if (f->outcome == tor::fetch_outcome::success) {
+      incr("hsdir/fetch/success", 1);
+      incr(index->contains(f->address) ? "hsdir/fetch/success/public"
+                                       : "hsdir/fetch/success/unknown",
+           1);
+    } else {
+      incr("hsdir/fetch/failed", 1);
+    }
+  };
+}
+
+privcount::data_collector::instrument instrument_rendezvous() {
+  return [](const tor::event& ev, const auto& incr) {
+    const auto* r = std::get_if<tor::rend_circuit_event>(&ev.body);
+    if (r == nullptr) return;
+    incr("rend/circuits", 1);
+    switch (r->outcome) {
+      case tor::rend_outcome::succeeded:
+        incr("rend/succeeded", 1);
+        incr("rend/cells", r->payload_cells);
+        break;
+      case tor::rend_outcome::failed_conn_closed:
+        incr("rend/conn-closed", 1);
+        break;
+      case tor::rend_outcome::failed_expired:
+        incr("rend/expired", 1);
+        break;
+    }
+  };
+}
+
+// ---------------------------------------------------------------------------
+// PSC extractors
+// ---------------------------------------------------------------------------
+
+psc::data_collector::extractor extract_client_ip() {
+  return [](const tor::event& ev) -> std::optional<std::string> {
+    if (const auto* c = std::get_if<tor::entry_connection_event>(&ev.body)) {
+      return "ip:" + std::to_string(c->client_ip);
+    }
+    return std::nullopt;
+  };
+}
+
+psc::data_collector::extractor extract_client_country(
+    std::shared_ptr<const workload::geoip_db> geo) {
+  expects(geo != nullptr, "country extractor needs a geoip db");
+  return [geo](const tor::event& ev) -> std::optional<std::string> {
+    if (const auto* c = std::get_if<tor::entry_connection_event>(&ev.body)) {
+      return "cc:" + geo->countries()[geo->country_of(c->client_ip)].code;
+    }
+    return std::nullopt;
+  };
+}
+
+psc::data_collector::extractor extract_client_asn(
+    std::shared_ptr<const workload::geoip_db> geo) {
+  expects(geo != nullptr, "asn extractor needs a geoip db");
+  return [geo](const tor::event& ev) -> std::optional<std::string> {
+    if (const auto* c = std::get_if<tor::entry_connection_event>(&ev.body)) {
+      return "as:" + std::to_string(geo->asn_of(c->client_ip));
+    }
+    return std::nullopt;
+  };
+}
+
+psc::data_collector::extractor extract_primary_sld(
+    std::shared_ptr<const workload::suffix_list> suffixes,
+    std::shared_ptr<const workload::alexa_list> alexa) {
+  expects(suffixes != nullptr, "sld extractor needs a suffix list");
+  return [suffixes, alexa](const tor::event& ev) -> std::optional<std::string> {
+    const auto* s = primary_domain_of(ev);
+    if (s == nullptr) return std::nullopt;
+    const auto sld = suffixes->sld_of(s->target);
+    if (!sld.has_value()) return std::nullopt;
+    if (alexa != nullptr) {
+      // Restrict to SLDs of Alexa-listed domains.
+      std::string_view rest = s->target;
+      bool listed = false;
+      for (;;) {
+        if (alexa->contains(rest)) {
+          listed = true;
+          break;
+        }
+        const std::size_t dot = rest.find('.');
+        if (dot == std::string_view::npos) break;
+        rest.remove_prefix(dot + 1);
+      }
+      if (!listed) return std::nullopt;
+    }
+    return "sld:" + *sld;
+  };
+}
+
+psc::data_collector::extractor extract_published_address() {
+  return [](const tor::event& ev) -> std::optional<std::string> {
+    if (const auto* p = std::get_if<tor::hsdir_publish_event>(&ev.body)) {
+      return "pub:" + p->address.value;
+    }
+    return std::nullopt;
+  };
+}
+
+psc::data_collector::extractor extract_fetched_address() {
+  return [](const tor::event& ev) -> std::optional<std::string> {
+    const auto* f = std::get_if<tor::hsdir_fetch_event>(&ev.body);
+    if (f == nullptr || f->outcome != tor::fetch_outcome::success) {
+      return std::nullopt;
+    }
+    return "fetch:" + f->address.value;
+  };
+}
+
+}  // namespace tormet::core

@@ -1,0 +1,112 @@
+// The measurement catalogue: canonical PrivCount instruments (event ->
+// counter increments) and PSC extractors (event -> distinct item) for every
+// statistic in the paper's evaluation. Benches, examples, and tests compose
+// these with deployments instead of hand-writing event matching.
+//
+// Counter naming convention: "<area>/<statistic>[/<bin>]"; the functions
+// below document the names they emit so callers can build matching
+// counter_spec lists (see specs_* helpers).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/privcount/data_collector.h"
+#include "src/psc/data_collector.h"
+#include "src/workload/ahmia.h"
+#include "src/workload/alexa.h"
+#include "src/workload/geoip.h"
+#include "src/workload/suffix_list.h"
+
+namespace tormet::core {
+
+// ---------------------------------------------------------------------------
+// PrivCount instruments
+// ---------------------------------------------------------------------------
+
+/// Fig 1 stream taxonomy. Counters: streams/total, streams/initial,
+/// streams/initial/hostname, streams/initial/ipv4, streams/initial/ipv6,
+/// streams/initial/hostname/web, streams/initial/hostname/other.
+[[nodiscard]] privcount::data_collector::instrument instrument_stream_taxonomy();
+
+/// A named set of domains for membership counting (Fig 2's rank and
+/// sibling sets).
+struct domain_set {
+  std::string name;
+  std::vector<std::string> domains;
+};
+
+/// Counts primary domains (initial stream + hostname + web port, §4.1) by
+/// set membership. A hostname matches a set when it equals or is a
+/// subdomain of any member; the *first* matching set (in the given order)
+/// wins. Counters: <base>/<set-name> for each set and <base>/other.
+[[nodiscard]] privcount::data_collector::instrument instrument_domain_sets(
+    std::string base, std::vector<domain_set> sets);
+
+/// Fig 3 TLD histogram over primary domains. Counters: <base>/<tld> for
+/// each given TLD, <base>/other, and (when `separate_torproject`)
+/// <base>/torproject.org counted apart. When `alexa` is non-null only
+/// list-member domains are counted (the figure's second series).
+[[nodiscard]] privcount::data_collector::instrument instrument_tld_histogram(
+    std::string base, std::vector<std::string> tlds,
+    std::shared_ptr<const workload::alexa_list> alexa, bool separate_torproject,
+    std::shared_ptr<const workload::suffix_list> suffixes);
+
+/// Table 4 entry-side totals. Counters: entry/connections, entry/circuits,
+/// entry/bytes.
+[[nodiscard]] privcount::data_collector::instrument instrument_entry_totals();
+
+/// Fig 4 per-country usage. Counters: country/<CC>/connections,
+/// country/<CC>/bytes, country/<CC>/circuits, country/<CC>/dir-requests
+/// (directory circuits only — the Tor-Metrics baseline input) for each
+/// listed code.
+[[nodiscard]] privcount::data_collector::instrument instrument_country_usage(
+    std::shared_ptr<const workload::geoip_db> geo,
+    std::vector<std::string> country_codes);
+
+/// §5.2 AS hotspot counters: as/top1000/{connections,bytes,circuits} vs
+/// as/other/{...} split by whether the client ASN is in `top_asns`.
+[[nodiscard]] privcount::data_collector::instrument instrument_as_split(
+    std::shared_ptr<const workload::geoip_db> geo,
+    std::vector<std::uint32_t> top_asns);
+
+/// Table 7 HSDir descriptor counters: hsdir/publishes, hsdir/fetch/total,
+/// hsdir/fetch/success, hsdir/fetch/failed, hsdir/fetch/success/public,
+/// hsdir/fetch/success/unknown (public = present in the ahmia index).
+[[nodiscard]] privcount::data_collector::instrument instrument_hsdir_descriptors(
+    std::shared_ptr<const workload::ahmia_index> index);
+
+/// Table 8 rendezvous counters: rend/circuits, rend/succeeded,
+/// rend/conn-closed, rend/expired, rend/cells (payload cells on successful
+/// circuits).
+[[nodiscard]] privcount::data_collector::instrument instrument_rendezvous();
+
+// ---------------------------------------------------------------------------
+// PSC extractors (distinct-item measurements)
+// ---------------------------------------------------------------------------
+
+/// Unique client IPs at guards (Table 5).
+[[nodiscard]] psc::data_collector::extractor extract_client_ip();
+
+/// Unique client countries (Table 5) via the GeoIP substitute.
+[[nodiscard]] psc::data_collector::extractor extract_client_country(
+    std::shared_ptr<const workload::geoip_db> geo);
+
+/// Unique client ASes (Table 5).
+[[nodiscard]] psc::data_collector::extractor extract_client_asn(
+    std::shared_ptr<const workload::geoip_db> geo);
+
+/// Unique SLDs of primary domains (Table 2). When `alexa` is non-null,
+/// restricted to SLDs of Alexa-listed domains.
+[[nodiscard]] psc::data_collector::extractor extract_primary_sld(
+    std::shared_ptr<const workload::suffix_list> suffixes,
+    std::shared_ptr<const workload::alexa_list> alexa);
+
+/// Unique onion addresses published to our HSDirs (Table 6).
+[[nodiscard]] psc::data_collector::extractor extract_published_address();
+
+/// Unique onion addresses successfully fetched from our HSDirs (Table 6).
+[[nodiscard]] psc::data_collector::extractor extract_fetched_address();
+
+}  // namespace tormet::core

@@ -1,0 +1,123 @@
+#include "src/core/measurement_study.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace tormet::core {
+
+measurement_study::measurement_study(const study_config& config)
+    : network_{tor::make_synthetic_consensus(config.consensus), config.seed} {
+  select_measured_relays(config);
+
+  // Grant the measured relays the HSDir flag (like the paper's long-running
+  // measurement relays) and rebuild the network over the amended consensus,
+  // so HSDir measurements have a usable responsibility fraction.
+  std::vector<tor::relay> relays = network_.net().relays();
+  for (const auto id : measured_) relays[id].flags.hsdir = true;
+  network_ = tor::network{tor::consensus{std::move(relays)}, config.seed};
+}
+
+void measurement_study::select_measured_relays(const study_config& config) {
+  const tor::consensus& net = network_.net();
+
+  // Pick `count` relays whose individual selection probability is close to
+  // target/count: the combined fraction then lands near the target, and no
+  // single relay dominates the observations (matching the paper's
+  // deployment of moderately sized relays).
+  const auto pick = [&](tor::position pos, std::size_t count, double target,
+                        const std::set<tor::relay_id>& exclude,
+                        bool forbid_exit_flag) {
+    std::vector<tor::relay_id> eligible = net.eligible(pos);
+    std::erase_if(eligible, [&](tor::relay_id id) {
+      if (exclude.contains(id)) return true;
+      return forbid_exit_flag && net.relay_at(id).flags.exit;
+    });
+    std::sort(eligible.begin(), eligible.end(),
+              [&](tor::relay_id a, tor::relay_id b) {
+                return net.relay_at(a).weight > net.relay_at(b).weight;
+              });
+    const double desired_p = target / static_cast<double>(count);
+    // First relay at or below the desired per-relay probability.
+    std::size_t start = 0;
+    while (start + count < eligible.size() &&
+           net.selection_probability(pos, eligible[start]) > desired_p) {
+      ++start;
+    }
+    std::vector<tor::relay_id> picked;
+    for (std::size_t i = start; i < eligible.size() && picked.size() < count;
+         ++i) {
+      picked.push_back(eligible[i]);
+    }
+    return picked;
+  };
+
+  const std::vector<tor::relay_id> exits =
+      pick(tor::position::exit, config.num_exit_relays,
+           config.target_exit_fraction, {}, /*forbid_exit_flag=*/false);
+  std::set<tor::relay_id> exclude{exits.begin(), exits.end()};
+  // The paper's remaining 10 relays are non-exit: exclude exit-flagged
+  // relays so measured_exits()/measured_guards() partition cleanly.
+  const std::vector<tor::relay_id> guards =
+      pick(tor::position::guard, config.num_nonexit_relays,
+           config.target_guard_fraction, exclude, /*forbid_exit_flag=*/true);
+
+  measured_ = exits;
+  measured_.insert(measured_.end(), guards.begin(), guards.end());
+  ensures(!measured_.empty(), "no measured relays selected");
+}
+
+std::vector<tor::relay_id> measurement_study::measured_exits() const {
+  std::vector<tor::relay_id> out;
+  for (const auto id : measured_) {
+    if (network_.net().relay_at(id).flags.exit) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<tor::relay_id> measurement_study::measured_guards() const {
+  std::vector<tor::relay_id> out;
+  for (const auto id : measured_) {
+    const tor::relay& r = network_.net().relay_at(id);
+    if (r.flags.guard && !r.flags.exit) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<tor::relay_id> measurement_study::measured_hsdirs() const {
+  std::vector<tor::relay_id> out;
+  for (const auto id : measured_) {
+    if (network_.net().relay_at(id).flags.hsdir) out.push_back(id);
+  }
+  return out;
+}
+
+double measurement_study::fraction(tor::position pos) const {
+  return fraction(pos, measured_);
+}
+
+double measurement_study::fraction(
+    tor::position pos, const std::vector<tor::relay_id>& relays) const {
+  std::set<tor::relay_id> ids{relays.begin(), relays.end()};
+  return network_.net().combined_probability(pos, ids);
+}
+
+double measurement_study::hsdir_fraction() const {
+  const std::vector<tor::relay_id> dirs = measured_hsdirs();
+  return network_.ring().responsibility_fraction(
+      {dirs.begin(), dirs.end()}, /*period=*/0);
+}
+
+privcount::deployment_config measurement_study::privcount_config() const {
+  privcount::deployment_config cfg;
+  cfg.measured_relays = measured_;
+  return cfg;
+}
+
+psc::deployment_config measurement_study::psc_config() const {
+  psc::deployment_config cfg;
+  cfg.measured_relays = measured_;
+  return cfg;
+}
+
+}  // namespace tormet::core

@@ -1,0 +1,79 @@
+// The top-level public API: a measurement study owns a simulated Tor
+// network and the set of instrumented ("measured") relays, mirroring the
+// paper's deployment of 16 relays (6 exit + 10 non-exit) contributing a few
+// percent of network weight. Benches and examples compose a study with a
+// PrivCount or PSC deployment and the workload drivers.
+//
+// Quickstart:
+//   core::measurement_study study{core::study_config{}};
+//   net::inproc_net bus;
+//   privcount::deployment pc{bus, study.privcount_config()};
+//   pc.add_instrument(core::instrument_entry_totals());
+//   pc.attach(study.network());
+//   auto results = pc.run_round(specs, [&] { /* generate traffic */ });
+//   auto total = stats::extrapolate_by_fraction(
+//       stats::normal_estimate(value, sigma),
+//       study.fraction(tor::position::guard));
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/privcount/deployment.h"
+#include "src/psc/deployment.h"
+#include "src/tor/network.h"
+
+namespace tormet::core {
+
+struct study_config {
+  tor::consensus_params consensus{};
+  /// Measurement relay counts (paper §3.1: 16 relays, 6 of them exits).
+  std::size_t num_exit_relays = 6;
+  std::size_t num_nonexit_relays = 10;
+  /// Weight-fraction targets for the measured sets (paper: exit weight
+  /// 1.5-2.4 %, entry probability ~1.2-1.4 %).
+  double target_exit_fraction = 0.02;
+  double target_guard_fraction = 0.013;
+  std::uint64_t seed = 20180101;
+};
+
+class measurement_study {
+ public:
+  explicit measurement_study(const study_config& config);
+
+  [[nodiscard]] tor::network& network() noexcept { return network_; }
+  [[nodiscard]] const tor::consensus& net() const noexcept {
+    return network_.net();
+  }
+
+  /// All 16 measured relays / the exit subset / the guard-flagged subset /
+  /// the HSDir-flagged subset.
+  [[nodiscard]] const std::vector<tor::relay_id>& measured_relays() const noexcept {
+    return measured_;
+  }
+  [[nodiscard]] std::vector<tor::relay_id> measured_exits() const;
+  [[nodiscard]] std::vector<tor::relay_id> measured_guards() const;
+  [[nodiscard]] std::vector<tor::relay_id> measured_hsdirs() const;
+
+  /// Combined selection probability of the measured set for a position —
+  /// the inference divisor of §3.3.
+  [[nodiscard]] double fraction(tor::position pos) const;
+  [[nodiscard]] double fraction(tor::position pos,
+                                const std::vector<tor::relay_id>& relays) const;
+  /// HSDir-ring responsibility fraction of the measured HSDirs (Table 6's
+  /// publish/fetch weight).
+  [[nodiscard]] double hsdir_fraction() const;
+
+  /// Deployment configs pre-filled with the measured relays.
+  [[nodiscard]] privcount::deployment_config privcount_config() const;
+  [[nodiscard]] psc::deployment_config psc_config() const;
+
+ private:
+  void select_measured_relays(const study_config& config);
+
+  tor::network network_;
+  std::vector<tor::relay_id> measured_;
+};
+
+}  // namespace tormet::core

@@ -1,0 +1,86 @@
+#include "src/core/schedule.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace tormet::core {
+
+std::vector<schedule_violation> measurement_schedule::violations_for(
+    const planned_round& candidate) const {
+  std::vector<schedule_violation> out;
+  expects(candidate.duration_seconds > 0, "round duration must be positive");
+  for (std::size_t i = 0; i < rounds_.size(); ++i) {
+    const planned_round& existing = rounds_[i];
+    // No overlap, ever (measurements never run in parallel).
+    const bool overlaps = candidate.start < existing.end() &&
+                          existing.start < candidate.end();
+    if (overlaps) {
+      out.push_back({i, rounds_.size(), "rounds overlap"});
+      continue;
+    }
+    // Distinct statistics need the 24 h gap between windows.
+    if (existing.statistic == candidate.statistic) continue;
+    const std::int64_t gap = candidate.start >= existing.end()
+                                 ? candidate.start - existing.end()
+                                 : existing.start - candidate.end();
+    if (gap < k_min_gap_seconds) {
+      out.push_back({i, rounds_.size(),
+                     "less than 24 h between distinct statistics"});
+    }
+  }
+  return out;
+}
+
+void measurement_schedule::add(planned_round round) {
+  const std::vector<schedule_violation> violations = violations_for(round);
+  expects(violations.empty(),
+          violations.empty() ? "ok" : violations.front().reason.c_str());
+  rounds_.push_back(std::move(round));
+  std::sort(rounds_.begin(), rounds_.end(),
+            [](const planned_round& a, const planned_round& b) {
+              return a.start < b.start;
+            });
+}
+
+bool measurement_schedule::in_window(std::size_t index, sim_time t) const {
+  expects(index < rounds_.size(), "round index out of range");
+  const planned_round& r = rounds_[index];
+  return t >= r.start && t < r.end();
+}
+
+sim_time measurement_schedule::earliest_start(const std::string& statistic,
+                                              sim_time not_before) const {
+  planned_round candidate;
+  candidate.statistic = statistic;
+  candidate.start = not_before;
+  // Advance past each conflict; rounds_ is sorted, so a single pass with
+  // restart converges quickly for realistic plans.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const planned_round& existing : rounds_) {
+      const bool overlaps = candidate.start < existing.end() &&
+                            existing.start < candidate.end();
+      const bool too_close =
+          existing.statistic != statistic &&
+          ((candidate.start >= existing.end() &&
+            candidate.start - existing.end() < k_min_gap_seconds) ||
+           (existing.start >= candidate.end() &&
+            existing.start - candidate.end() < k_min_gap_seconds));
+      if (overlaps || too_close) {
+        const sim_time pushed =
+            existing.end() + (existing.statistic == statistic
+                                  ? 0
+                                  : k_min_gap_seconds);
+        if (pushed > candidate.start) {
+          candidate.start = pushed;
+          moved = true;
+        }
+      }
+    }
+  }
+  return candidate.start;
+}
+
+}  // namespace tormet::core

@@ -1,0 +1,70 @@
+// The paper's §3.1 measurement-scheduling discipline, as an enforceable
+// object: "PrivCount and PSC measurements are never conducted in parallel,
+// and we always enforce at least 24 hours of delay between any sequential
+// measurement of distinct statistics." Running rounds back-to-back or
+// concurrently would let an adversary correlate the published noisy values
+// and erode the per-day privacy budget.
+//
+// A measurement_schedule validates a measurement plan against these rules
+// and hands out the rounds in order; deployments/benches consult it before
+// starting a round.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace tormet::core {
+
+/// One planned measurement round.
+struct planned_round {
+  std::string statistic;   // identifies the statistic family measured
+  sim_time start;
+  std::int64_t duration_seconds = k_measurement_round_seconds;
+
+  [[nodiscard]] sim_time end() const noexcept {
+    return start + duration_seconds;
+  }
+};
+
+/// Validation outcome for a plan.
+struct schedule_violation {
+  std::size_t first_round = 0;   // indices into the plan
+  std::size_t second_round = 0;
+  std::string reason;
+};
+
+class measurement_schedule {
+ public:
+  /// Minimum gap between sequential measurements of *distinct* statistics
+  /// (the paper: at least 24 hours).
+  static constexpr std::int64_t k_min_gap_seconds = k_seconds_per_day;
+
+  /// Appends a round. Throws precondition_error if it would overlap any
+  /// scheduled round, or start less than the required gap after a round of
+  /// a different statistic (repeats of the same statistic may be adjacent,
+  /// as in the paper's repeated fetch-failure measurements).
+  void add(planned_round round);
+
+  /// Checks a candidate without adding it; empty vector = admissible.
+  [[nodiscard]] std::vector<schedule_violation> violations_for(
+      const planned_round& candidate) const;
+
+  [[nodiscard]] const std::vector<planned_round>& rounds() const noexcept {
+    return rounds_;
+  }
+
+  /// True when `t` falls inside round `index`'s collection window.
+  [[nodiscard]] bool in_window(std::size_t index, sim_time t) const;
+
+  /// The earliest admissible start for `statistic` at or after `not_before`.
+  [[nodiscard]] sim_time earliest_start(const std::string& statistic,
+                                        sim_time not_before) const;
+
+ private:
+  std::vector<planned_round> rounds_;  // kept sorted by start
+};
+
+}  // namespace tormet::core

@@ -1,0 +1,90 @@
+#include "src/crypto/elgamal.h"
+
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+elgamal::elgamal(std::shared_ptr<const group> g) : group_{std::move(g)} {
+  expects(group_ != nullptr, "elgamal requires a group");
+}
+
+elgamal_keypair elgamal::generate_keypair(secure_rng& rng) const {
+  elgamal_keypair kp;
+  kp.secret = group_->random_scalar(rng);
+  kp.pub = group_->mul_generator(kp.secret);
+  return kp;
+}
+
+group_element elgamal::combine_public_keys(
+    std::span<const group_element> shares) const {
+  expects(!shares.empty(), "need at least one public-key share");
+  group_element joint = shares[0];
+  for (std::size_t i = 1; i < shares.size(); ++i) {
+    joint = group_->add(joint, shares[i]);
+  }
+  return joint;
+}
+
+elgamal_ciphertext elgamal::encrypt(const group_element& pub,
+                                    const group_element& m,
+                                    secure_rng& rng) const {
+  const scalar r = group_->random_scalar(rng);
+  return {group_->mul_generator(r), group_->add(m, group_->mul(pub, r))};
+}
+
+elgamal_ciphertext elgamal::encrypt_zero(const group_element& pub,
+                                         secure_rng& rng) const {
+  return encrypt(pub, group_->identity(), rng);
+}
+
+elgamal_ciphertext elgamal::encrypt_one(const group_element& pub,
+                                        secure_rng& rng) const {
+  return encrypt(pub, group_->random_element(rng), rng);
+}
+
+elgamal_ciphertext elgamal::add(const elgamal_ciphertext& c1,
+                                const elgamal_ciphertext& c2) const {
+  return {group_->add(c1.a, c2.a), group_->add(c1.b, c2.b)};
+}
+
+elgamal_ciphertext elgamal::rerandomize(const group_element& pub,
+                                        const elgamal_ciphertext& c,
+                                        secure_rng& rng) const {
+  return add(c, encrypt_zero(pub, rng));
+}
+
+elgamal_ciphertext elgamal::strip_share(const elgamal_ciphertext& c,
+                                        const scalar& secret_share) const {
+  return {c.a, group_->sub(c.b, group_->mul(c.a, secret_share))};
+}
+
+group_element elgamal::decrypt(const scalar& secret,
+                               const elgamal_ciphertext& c) const {
+  return group_->sub(c.b, group_->mul(c.a, secret));
+}
+
+byte_buffer elgamal::encode(const elgamal_ciphertext& c) const {
+  const byte_buffer ea = group_->encode(c.a);
+  const byte_buffer eb = group_->encode(c.b);
+  expects(ea.size() <= 0xff && eb.size() <= 0xff, "element encoding too large");
+  byte_buffer out;
+  out.reserve(2 + ea.size() + eb.size());
+  out.push_back(static_cast<std::uint8_t>(ea.size()));
+  out.insert(out.end(), ea.begin(), ea.end());
+  out.push_back(static_cast<std::uint8_t>(eb.size()));
+  out.insert(out.end(), eb.begin(), eb.end());
+  return out;
+}
+
+elgamal_ciphertext elgamal::decode(byte_view data) const {
+  expects(!data.empty(), "ciphertext encoding must be non-empty");
+  const std::size_t len_a = data[0];
+  expects(data.size() >= 1 + len_a + 1, "ciphertext encoding truncated");
+  const byte_view ea = data.subspan(1, len_a);
+  const std::size_t len_b = data[1 + len_a];
+  expects(data.size() == 2 + len_a + len_b, "ciphertext encoding length mismatch");
+  const byte_view eb = data.subspan(2 + len_a, len_b);
+  return {group_->decode(ea), group_->decode(eb)};
+}
+
+}  // namespace tormet::crypto

@@ -1,0 +1,90 @@
+// ElGamal over an abstract group, written additively:
+//   Enc(Y, M; r) = (r·G, M + r·Y)
+// with public key Y, generator G, message element M. Supports the
+// operations PSC needs:
+//   * homomorphic combination: Enc(M1) ⊕ Enc(M2) = Enc(M1 + M2)
+//   * rerandomization:        Enc(M; r) → Enc(M; r + r') (same plaintext)
+//   * distributed decryption: parties holding shares x_i of x = Σ x_i
+//     (Y = Σ x_i·G) each strip their share; the final B component is M.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/crypto/group.h"
+#include "src/crypto/secure_rng.h"
+
+namespace tormet::crypto {
+
+/// An ElGamal ciphertext (pair of group elements).
+struct elgamal_ciphertext {
+  group_element a;  // r·G
+  group_element b;  // M + r·Y
+};
+
+/// A private/public keypair (or one party's share of a distributed key).
+struct elgamal_keypair {
+  scalar secret;
+  group_element pub;
+};
+
+/// Stateless ElGamal operations bound to one group instance.
+class elgamal {
+ public:
+  explicit elgamal(std::shared_ptr<const group> g);
+
+  [[nodiscard]] const group& grp() const noexcept { return *group_; }
+  [[nodiscard]] std::shared_ptr<const group> group_ptr() const noexcept {
+    return group_;
+  }
+
+  /// Generates a fresh keypair.
+  [[nodiscard]] elgamal_keypair generate_keypair(secure_rng& rng) const;
+
+  /// Combines public-key shares into the joint key Y = Σ Y_i.
+  [[nodiscard]] group_element combine_public_keys(
+      std::span<const group_element> shares) const;
+
+  /// Encrypts message element `m` under public key `pub`.
+  [[nodiscard]] elgamal_ciphertext encrypt(const group_element& pub,
+                                           const group_element& m,
+                                           secure_rng& rng) const;
+
+  /// Encrypts the identity (PSC's "bit = 0").
+  [[nodiscard]] elgamal_ciphertext encrypt_zero(const group_element& pub,
+                                                secure_rng& rng) const;
+
+  /// Encrypts a uniformly random non-identity element (PSC's "bit = 1";
+  /// sums of such messages are non-identity except with negligible
+  /// probability).
+  [[nodiscard]] elgamal_ciphertext encrypt_one(const group_element& pub,
+                                               secure_rng& rng) const;
+
+  /// Homomorphic combination: decrypts to the sum of the two plaintexts.
+  [[nodiscard]] elgamal_ciphertext add(const elgamal_ciphertext& c1,
+                                       const elgamal_ciphertext& c2) const;
+
+  /// Fresh randomness, same plaintext. Unlinkable to the input without the
+  /// secret key.
+  [[nodiscard]] elgamal_ciphertext rerandomize(const group_element& pub,
+                                               const elgamal_ciphertext& c,
+                                               secure_rng& rng) const;
+
+  /// One party's distributed-decryption step: removes x_i·A from B.
+  /// After every shareholder has applied theirs, `b` equals the plaintext.
+  [[nodiscard]] elgamal_ciphertext strip_share(const elgamal_ciphertext& c,
+                                               const scalar& secret_share) const;
+
+  /// Single-key decryption (for tests and non-distributed use).
+  [[nodiscard]] group_element decrypt(const scalar& secret,
+                                      const elgamal_ciphertext& c) const;
+
+  /// Serialized ciphertext (length-prefixed a || b), and its inverse.
+  [[nodiscard]] byte_buffer encode(const elgamal_ciphertext& c) const;
+  [[nodiscard]] elgamal_ciphertext decode(byte_view data) const;
+
+ private:
+  std::shared_ptr<const group> group_;
+};
+
+}  // namespace tormet::crypto

@@ -1,0 +1,28 @@
+#include "src/crypto/group.h"
+
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+byte_buffer group::encode_scalar(const scalar& k) const {
+  expects(k.valid(), "scalar must be valid");
+  return k.bytes();
+}
+
+group_element group::random_element(secure_rng& rng) const {
+  return mul_generator(random_scalar(rng));
+}
+
+group_element group::sub(const group_element& a, const group_element& b) const {
+  return add(a, negate(b));
+}
+
+std::shared_ptr<const group> make_group(group_backend backend) {
+  switch (backend) {
+    case group_backend::p256: return make_p256_group();
+    case group_backend::toy: return make_toy_group();
+  }
+  throw precondition_error{"unknown group backend"};
+}
+
+}  // namespace tormet::crypto

@@ -1,0 +1,117 @@
+// Cyclic-group abstraction for the PSC cryptography (EC-ElGamal, shuffles,
+// distributed decryption). Two backends share this interface:
+//
+//  * p256_group — NIST P-256 via OpenSSL EC. The production backend; all
+//    security claims refer to this one.
+//  * toy_group  — a 62-bit Schnorr group (quadratic residues modulo a safe
+//    prime). Cryptographically weak by construction, but ~100x faster and
+//    algebraically identical, so unit tests and large simulated deployments
+//    can exercise the exact protocol code paths.
+//
+// Elements and scalars are opaque handles; only a group instance can create
+// or combine them, and handles from different backends must not be mixed
+// (checked where cheap).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/crypto/secure_rng.h"
+#include "src/util/bytes.h"
+
+namespace tormet::crypto {
+
+class group;
+
+/// Opaque group element handle (immutable, cheaply copyable).
+class group_element {
+ public:
+  group_element() = default;
+
+  /// True when this handle refers to an element (default-constructed handles
+  /// do not and may only be assigned to).
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+
+ private:
+  friend class p256_group;
+  friend class toy_group;
+  explicit group_element(std::shared_ptr<const void> impl) noexcept
+      : impl_{std::move(impl)} {}
+  std::shared_ptr<const void> impl_;
+};
+
+/// Opaque scalar (exponent modulo the group order). Stored as canonical
+/// big-endian bytes of backend-defined width.
+class scalar {
+ public:
+  scalar() = default;
+  [[nodiscard]] bool valid() const noexcept { return !bytes_.empty(); }
+  [[nodiscard]] const byte_buffer& bytes() const noexcept { return bytes_; }
+
+ private:
+  friend class p256_group;
+  friend class toy_group;
+  explicit scalar(byte_buffer bytes) noexcept : bytes_{std::move(bytes)} {}
+  byte_buffer bytes_;
+};
+
+/// Abstract prime-order cyclic group.
+class group {
+ public:
+  virtual ~group() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // -- scalars ------------------------------------------------------------
+  /// Uniform scalar in [1, order) — never zero, so "random element" messages
+  /// are never the identity.
+  [[nodiscard]] virtual scalar random_scalar(secure_rng& rng) const = 0;
+  [[nodiscard]] virtual scalar scalar_from_u64(std::uint64_t value) const = 0;
+  /// Scalar addition modulo the group order (used by distributed keygen
+  /// sanity checks and tests).
+  [[nodiscard]] virtual scalar scalar_add(const scalar& a, const scalar& b) const = 0;
+
+  // -- elements -----------------------------------------------------------
+  [[nodiscard]] virtual group_element identity() const = 0;
+  [[nodiscard]] virtual group_element generator() const = 0;
+  /// generator * k (fast path: backends precompute generator tables).
+  [[nodiscard]] virtual group_element mul_generator(const scalar& k) const = 0;
+  /// point * k.
+  [[nodiscard]] virtual group_element mul(const group_element& p,
+                                          const scalar& k) const = 0;
+  /// Group operation (written additively).
+  [[nodiscard]] virtual group_element add(const group_element& a,
+                                          const group_element& b) const = 0;
+  [[nodiscard]] virtual group_element negate(const group_element& a) const = 0;
+  [[nodiscard]] virtual bool is_identity(const group_element& a) const = 0;
+  [[nodiscard]] virtual bool equal(const group_element& a,
+                                   const group_element& b) const = 0;
+
+  // -- serialization ------------------------------------------------------
+  [[nodiscard]] virtual byte_buffer encode(const group_element& a) const = 0;
+  [[nodiscard]] virtual group_element decode(byte_view data) const = 0;
+  [[nodiscard]] virtual byte_buffer encode_scalar(const scalar& k) const;
+  [[nodiscard]] virtual scalar decode_scalar(byte_view data) const = 0;
+
+  // -- derived helpers ----------------------------------------------------
+  /// Uniform non-identity element (generator * random nonzero scalar).
+  [[nodiscard]] group_element random_element(secure_rng& rng) const;
+  /// a + (-b).
+  [[nodiscard]] group_element sub(const group_element& a,
+                                  const group_element& b) const;
+};
+
+/// NIST P-256 backend (OpenSSL). Thread-compatible: distinct instances may
+/// be used concurrently; a single instance is safe for concurrent reads.
+[[nodiscard]] std::shared_ptr<const group> make_p256_group();
+
+/// 62-bit Schnorr-group backend. NOT cryptographically secure; for tests and
+/// large-scale simulation only.
+[[nodiscard]] std::shared_ptr<const group> make_toy_group();
+
+/// Backend selector used by configuration code.
+enum class group_backend { p256, toy };
+[[nodiscard]] std::shared_ptr<const group> make_group(group_backend backend);
+
+}  // namespace tormet::crypto

@@ -1,0 +1,22 @@
+#include "src/crypto/hmac.h"
+
+#include <openssl/hmac.h>
+
+#include <stdexcept>
+
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+sha256_digest hmac_sha256(byte_view key, byte_view data) {
+  sha256_digest out{};
+  unsigned int len = 0;
+  const unsigned char* result =
+      HMAC(EVP_sha256(), key.data(), static_cast<int>(key.size()), data.data(),
+           data.size(), out.data(), &len);
+  if (result == nullptr) throw std::runtime_error{"openssl failure in HMAC"};
+  ensures(len == k_sha256_size, "hmac output length");
+  return out;
+}
+
+}  // namespace tormet::crypto

@@ -1,0 +1,13 @@
+// HMAC-SHA256, used by the deterministic DRBG and by keyed hashing in the
+// HSDir ring (descriptor-ID derivation uses keyed hashes in our model).
+#pragma once
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace tormet::crypto {
+
+/// HMAC-SHA256(key, data).
+[[nodiscard]] sha256_digest hmac_sha256(byte_view key, byte_view data);
+
+}  // namespace tormet::crypto

@@ -1,0 +1,227 @@
+// NIST P-256 group backend over OpenSSL's EC_POINT API.
+//
+// Elements are heap EC_POINTs held by shared_ptr; scalars are 32-byte
+// big-endian integers reduced modulo the curve order. A thread_local BN_CTX
+// avoids per-operation allocation.
+#include <openssl/bn.h>
+#include <openssl/ec.h>
+#include <openssl/obj_mac.h>
+
+#include <mutex>
+#include <stdexcept>
+
+#include "src/crypto/group.h"
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+namespace {
+
+constexpr std::size_t k_scalar_bytes = 32;
+// Compressed point is 33 bytes; the point at infinity serializes to the
+// single byte 0x00.
+constexpr std::size_t k_point_bytes = 33;
+
+void ossl_check(int rc, const char* what) {
+  if (rc != 1) throw std::runtime_error{std::string{"openssl failure in "} + what};
+}
+
+template <typename T>
+T* ossl_require(T* p, const char* what) {
+  if (p == nullptr) throw std::runtime_error{std::string{"openssl alloc failure in "} + what};
+  return p;
+}
+
+struct bn_ctx_holder {
+  BN_CTX* ctx = nullptr;
+  bn_ctx_holder() : ctx{ossl_require(BN_CTX_new(), "BN_CTX_new")} {}
+  ~bn_ctx_holder() { BN_CTX_free(ctx); }
+};
+
+BN_CTX* tls_bn_ctx() {
+  thread_local bn_ctx_holder holder;
+  return holder.ctx;
+}
+
+struct bignum {
+  BIGNUM* bn = nullptr;
+  bignum() : bn{ossl_require(BN_new(), "BN_new")} {}
+  explicit bignum(BIGNUM* owned) : bn{owned} {}
+  ~bignum() { BN_free(bn); }
+  bignum(const bignum&) = delete;
+  bignum& operator=(const bignum&) = delete;
+};
+
+struct point_deleter {
+  void operator()(EC_POINT* p) const noexcept { EC_POINT_free(p); }
+};
+using point_ptr = std::shared_ptr<EC_POINT>;
+
+}  // namespace
+
+class p256_group final : public group {
+ public:
+  p256_group()
+      : curve_{ossl_require(EC_GROUP_new_by_curve_name(NID_X9_62_prime256v1),
+                            "EC_GROUP_new_by_curve_name")} {
+    order_ = EC_GROUP_get0_order(curve_);
+    if (order_ == nullptr) throw std::runtime_error{"EC_GROUP_get0_order failed"};
+    // Note: no EC_GROUP_precompute_mult — OpenSSL 3 named curves already use
+    // constant-time fixed-point generator multiplication internally.
+  }
+
+  ~p256_group() override { EC_GROUP_free(curve_); }
+  p256_group(const p256_group&) = delete;
+  p256_group& operator=(const p256_group&) = delete;
+
+  [[nodiscard]] std::string name() const override { return "p256"; }
+
+  [[nodiscard]] scalar random_scalar(secure_rng& rng) const override {
+    // Rejection-sample 32-byte strings below the order; skip zero.
+    byte_buffer buf(k_scalar_bytes);
+    bignum candidate;
+    for (;;) {
+      rng.fill(buf);
+      ossl_require(BN_bin2bn(buf.data(), static_cast<int>(buf.size()), candidate.bn),
+                   "BN_bin2bn");
+      if (BN_cmp(candidate.bn, order_) < 0 && !BN_is_zero(candidate.bn)) {
+        return make_scalar_from_bn(candidate.bn);
+      }
+    }
+  }
+
+  [[nodiscard]] scalar scalar_from_u64(std::uint64_t value) const override {
+    bignum bn;
+    ossl_check(BN_set_word(bn.bn, value), "BN_set_word");
+    return make_scalar_from_bn(bn.bn);
+  }
+
+  [[nodiscard]] scalar scalar_add(const scalar& a, const scalar& b) const override {
+    bignum bn_a, bn_b, bn_r;
+    to_bn(a, bn_a.bn);
+    to_bn(b, bn_b.bn);
+    ossl_check(BN_mod_add(bn_r.bn, bn_a.bn, bn_b.bn, order_, tls_bn_ctx()),
+               "BN_mod_add");
+    return make_scalar_from_bn(bn_r.bn);
+  }
+
+  [[nodiscard]] group_element identity() const override {
+    point_ptr p = new_point();
+    ossl_check(EC_POINT_set_to_infinity(curve_, p.get()), "EC_POINT_set_to_infinity");
+    return wrap(std::move(p));
+  }
+
+  [[nodiscard]] group_element generator() const override {
+    point_ptr p = new_point();
+    ossl_check(EC_POINT_copy(p.get(), EC_GROUP_get0_generator(curve_)),
+               "EC_POINT_copy");
+    return wrap(std::move(p));
+  }
+
+  [[nodiscard]] group_element mul_generator(const scalar& k) const override {
+    bignum bn;
+    to_bn(k, bn.bn);
+    point_ptr p = new_point();
+    ossl_check(EC_POINT_mul(curve_, p.get(), bn.bn, nullptr, nullptr, tls_bn_ctx()),
+               "EC_POINT_mul(gen)");
+    return wrap(std::move(p));
+  }
+
+  [[nodiscard]] group_element mul(const group_element& p, const scalar& k) const override {
+    bignum bn;
+    to_bn(k, bn.bn);
+    point_ptr r = new_point();
+    ossl_check(EC_POINT_mul(curve_, r.get(), nullptr, unwrap(p), bn.bn, tls_bn_ctx()),
+               "EC_POINT_mul");
+    return wrap(std::move(r));
+  }
+
+  [[nodiscard]] group_element add(const group_element& a, const group_element& b) const override {
+    point_ptr r = new_point();
+    ossl_check(EC_POINT_add(curve_, r.get(), unwrap(a), unwrap(b), tls_bn_ctx()),
+               "EC_POINT_add");
+    return wrap(std::move(r));
+  }
+
+  [[nodiscard]] group_element negate(const group_element& a) const override {
+    point_ptr r = new_point();
+    ossl_check(EC_POINT_copy(r.get(), unwrap(a)), "EC_POINT_copy");
+    ossl_check(EC_POINT_invert(curve_, r.get(), tls_bn_ctx()), "EC_POINT_invert");
+    return wrap(std::move(r));
+  }
+
+  [[nodiscard]] bool is_identity(const group_element& a) const override {
+    return EC_POINT_is_at_infinity(curve_, unwrap(a)) == 1;
+  }
+
+  [[nodiscard]] bool equal(const group_element& a, const group_element& b) const override {
+    const int rc = EC_POINT_cmp(curve_, unwrap(a), unwrap(b), tls_bn_ctx());
+    if (rc < 0) throw std::runtime_error{"EC_POINT_cmp failed"};
+    return rc == 0;
+  }
+
+  [[nodiscard]] byte_buffer encode(const group_element& a) const override {
+    byte_buffer out(k_point_bytes);
+    const std::size_t written =
+        EC_POINT_point2oct(curve_, unwrap(a), POINT_CONVERSION_COMPRESSED,
+                           out.data(), out.size(), tls_bn_ctx());
+    if (written == 0) throw std::runtime_error{"EC_POINT_point2oct failed"};
+    out.resize(written);  // infinity serializes to 1 byte
+    return out;
+  }
+
+  [[nodiscard]] group_element decode(byte_view data) const override {
+    expects(!data.empty(), "encoded point must be non-empty");
+    point_ptr p = new_point();
+    ossl_check(EC_POINT_oct2point(curve_, p.get(), data.data(), data.size(),
+                                  tls_bn_ctx()),
+               "EC_POINT_oct2point");
+    return wrap(std::move(p));
+  }
+
+  [[nodiscard]] scalar decode_scalar(byte_view data) const override {
+    expects(data.size() == k_scalar_bytes, "p256 scalar must be 32 bytes");
+    bignum bn;
+    ossl_require(BN_bin2bn(data.data(), static_cast<int>(data.size()), bn.bn),
+                 "BN_bin2bn");
+    expects(BN_cmp(bn.bn, order_) < 0, "scalar must be below group order");
+    return make_scalar_from_bn(bn.bn);
+  }
+
+ private:
+  [[nodiscard]] point_ptr new_point() const {
+    return {ossl_require(EC_POINT_new(curve_), "EC_POINT_new"), point_deleter{}};
+  }
+
+  [[nodiscard]] static group_element wrap(point_ptr p) {
+    return group_element{std::shared_ptr<const void>{std::move(p)}};
+  }
+
+  [[nodiscard]] const EC_POINT* unwrap(const group_element& e) const {
+    expects(e.valid(), "group element must be valid");
+    return static_cast<const EC_POINT*>(e.impl_.get());
+  }
+
+  [[nodiscard]] scalar make_scalar_from_bn(const BIGNUM* bn) const {
+    byte_buffer bytes(k_scalar_bytes);
+    const int rc = BN_bn2binpad(bn, bytes.data(), static_cast<int>(bytes.size()));
+    if (rc < 0) throw std::runtime_error{"BN_bn2binpad failed"};
+    return scalar{std::move(bytes)};
+  }
+
+  void to_bn(const scalar& k, BIGNUM* out) const {
+    expects(k.valid(), "scalar must be valid");
+    ossl_require(
+        BN_bin2bn(k.bytes().data(), static_cast<int>(k.bytes().size()), out),
+        "BN_bin2bn");
+  }
+
+  EC_GROUP* curve_;
+  const BIGNUM* order_ = nullptr;
+};
+
+std::shared_ptr<const group> make_p256_group() {
+  return std::make_shared<p256_group>();
+}
+
+}  // namespace tormet::crypto

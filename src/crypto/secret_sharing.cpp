@@ -1,0 +1,31 @@
+#include "src/crypto/secret_sharing.h"
+
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+std::vector<std::uint64_t> additive_shares(std::uint64_t value, std::size_t n,
+                                           secure_rng& rng) {
+  expects(n >= 1, "need at least one share");
+  std::vector<std::uint64_t> shares(n);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    shares[i] = rng.next_u64();
+    sum += shares[i];
+  }
+  shares[n - 1] = value - sum;  // mod 2^64 by unsigned wraparound
+  return shares;
+}
+
+std::uint64_t combine_shares(std::span<const std::uint64_t> shares) noexcept {
+  std::uint64_t sum = 0;
+  for (const auto s : shares) sum += s;
+  return sum;
+}
+
+std::int64_t to_signed_count(std::uint64_t ring_value) noexcept {
+  // Two's-complement reinterpretation: values >= 2^63 are negative.
+  return static_cast<std::int64_t>(ring_value);
+}
+
+}  // namespace tormet::crypto

@@ -1,0 +1,28 @@
+// Additive secret sharing over Z_{2^64} — the blinding scheme PrivCount uses
+// to split a data collector's counter among share keepers. The natural
+// wraparound of unsigned 64-bit arithmetic *is* the modular reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/secure_rng.h"
+
+namespace tormet::crypto {
+
+/// Splits `value` into `n` additive shares: shares sum to `value` mod 2^64.
+/// Every proper subset of shares is uniformly random (information-
+/// theoretically hiding). n must be >= 1.
+[[nodiscard]] std::vector<std::uint64_t> additive_shares(std::uint64_t value,
+                                                         std::size_t n,
+                                                         secure_rng& rng);
+
+/// Recombines shares: sum mod 2^64.
+[[nodiscard]] std::uint64_t combine_shares(std::span<const std::uint64_t> shares) noexcept;
+
+/// Maps a mod-2^64 aggregate back to a signed count. PrivCount counters hold
+/// count + noise, both small relative to 2^63, so values in the top half of
+/// the ring are negative results (noise can push small counts below zero).
+[[nodiscard]] std::int64_t to_signed_count(std::uint64_t ring_value) noexcept;
+
+}  // namespace tormet::crypto

@@ -1,0 +1,69 @@
+#include "src/crypto/secure_rng.h"
+
+#include <openssl/rand.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/crypto/hmac.h"
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+std::uint64_t secure_rng::next_u64() {
+  std::uint8_t buf[8];
+  fill(buf);
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | buf[i];
+  return out;
+}
+
+std::uint64_t secure_rng::below(std::uint64_t bound) {
+  expects(bound > 0, "below() requires bound > 0");
+  if (bound == 1) return 0;
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+void system_rng::fill(std::span<std::uint8_t> out) {
+  if (out.empty()) return;
+  if (RAND_bytes(out.data(), static_cast<int>(out.size())) != 1) {
+    throw std::runtime_error{"RAND_bytes failed"};
+  }
+}
+
+deterministic_rng::deterministic_rng(byte_view seed) {
+  key_ = sha256(seed);
+}
+
+deterministic_rng::deterministic_rng(std::uint64_t seed) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  key_ = sha256(byte_view{buf, 8});
+}
+
+void deterministic_rng::fill(std::span<std::uint8_t> out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    if (block_used_ == k_sha256_size) {
+      std::uint8_t ctr[8];
+      for (int i = 0; i < 8; ++i) {
+        ctr[i] = static_cast<std::uint8_t>(counter_ >> (8 * i));
+      }
+      ++counter_;
+      block_ = hmac_sha256(byte_view{key_.data(), key_.size()}, byte_view{ctr, 8});
+      block_used_ = 0;
+    }
+    const std::size_t take =
+        std::min(out.size() - produced, k_sha256_size - block_used_);
+    std::memcpy(out.data() + produced, block_.data() + block_used_, take);
+    produced += take;
+    block_used_ += take;
+  }
+}
+
+}  // namespace tormet::crypto

@@ -1,0 +1,53 @@
+// Cryptographic randomness. Protocol code (key generation, blinding values,
+// ElGamal nonces, shuffle permutations) draws from a secure_rng so that
+// production uses the OS entropy pool while tests use a deterministic
+// HMAC-DRBG with identical behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace tormet::crypto {
+
+/// Interface for cryptographic random byte generation.
+class secure_rng {
+ public:
+  virtual ~secure_rng() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Uniform random 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound), bound > 0. Rejection-sampled (no bias).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+};
+
+/// Production generator backed by OpenSSL RAND_bytes.
+class system_rng final : public secure_rng {
+ public:
+  void fill(std::span<std::uint8_t> out) override;
+};
+
+/// Deterministic generator: HMAC-SHA256 in counter mode keyed by a seed.
+/// NIST-DRBG-shaped (not certified); used for reproducible protocol runs in
+/// tests, simulations, and benches.
+class deterministic_rng final : public secure_rng {
+ public:
+  explicit deterministic_rng(byte_view seed);
+  explicit deterministic_rng(std::uint64_t seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  sha256_digest key_{};
+  std::uint64_t counter_ = 0;
+  sha256_digest block_{};
+  std::size_t block_used_ = k_sha256_size;  // forces generation on first use
+};
+
+}  // namespace tormet::crypto

@@ -1,0 +1,96 @@
+#include "src/crypto/sha256.h"
+
+#include <openssl/evp.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+namespace {
+void evp_check(int rc, const char* what) {
+  if (rc != 1) throw std::runtime_error{std::string{"openssl failure in "} + what};
+}
+}  // namespace
+
+sha256_digest sha256(byte_view data) {
+  sha256_digest out{};
+  unsigned int len = 0;
+  evp_check(EVP_Digest(data.data(), data.size(), out.data(), &len, EVP_sha256(),
+                       nullptr),
+            "EVP_Digest");
+  ensures(len == k_sha256_size, "sha256 digest length");
+  return out;
+}
+
+sha256_digest sha256(std::string_view data) { return sha256(as_bytes(data)); }
+
+sha256_hasher::sha256_hasher() {
+  EVP_MD_CTX* ctx = EVP_MD_CTX_new();
+  if (ctx == nullptr) throw std::bad_alloc{};
+  evp_check(EVP_DigestInit_ex(ctx, EVP_sha256(), nullptr), "EVP_DigestInit_ex");
+  ctx_ = ctx;
+}
+
+sha256_hasher::~sha256_hasher() {
+  if (ctx_ != nullptr) EVP_MD_CTX_free(static_cast<EVP_MD_CTX*>(ctx_));
+}
+
+sha256_hasher::sha256_hasher(sha256_hasher&& other) noexcept
+    : ctx_{std::exchange(other.ctx_, nullptr)} {}
+
+sha256_hasher& sha256_hasher::operator=(sha256_hasher&& other) noexcept {
+  if (this != &other) {
+    if (ctx_ != nullptr) EVP_MD_CTX_free(static_cast<EVP_MD_CTX*>(ctx_));
+    ctx_ = std::exchange(other.ctx_, nullptr);
+  }
+  return *this;
+}
+
+sha256_hasher& sha256_hasher::update(byte_view data) {
+  expects(ctx_ != nullptr, "hasher has been moved from");
+  evp_check(EVP_DigestUpdate(static_cast<EVP_MD_CTX*>(ctx_), data.data(),
+                             data.size()),
+            "EVP_DigestUpdate");
+  return *this;
+}
+
+sha256_hasher& sha256_hasher::update(std::string_view data) {
+  return update(as_bytes(data));
+}
+
+sha256_hasher& sha256_hasher::update_framed(byte_view data) {
+  std::uint8_t len_bytes[8];
+  std::uint64_t n = data.size();
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  }
+  update(byte_view{len_bytes, 8});
+  return update(data);
+}
+
+sha256_digest sha256_hasher::finish() {
+  expects(ctx_ != nullptr, "hasher has been moved from");
+  sha256_digest out{};
+  unsigned int len = 0;
+  auto* ctx = static_cast<EVP_MD_CTX*>(ctx_);
+  evp_check(EVP_DigestFinal_ex(ctx, out.data(), &len), "EVP_DigestFinal_ex");
+  ensures(len == k_sha256_size, "sha256 digest length");
+  evp_check(EVP_DigestInit_ex(ctx, EVP_sha256(), nullptr), "EVP_DigestInit_ex");
+  return out;
+}
+
+std::uint64_t sha256_trunc64(byte_view data) {
+  const sha256_digest d = sha256(data);
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | d[static_cast<std::size_t>(i)];
+  return out;
+}
+
+std::uint64_t sha256_trunc64(std::string_view data) {
+  return sha256_trunc64(as_bytes(data));
+}
+
+}  // namespace tormet::crypto

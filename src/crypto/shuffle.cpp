@@ -1,0 +1,115 @@
+#include "src/crypto/shuffle.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, secure_rng& rng) {
+  expects(n <= 0xffffffffULL, "permutation too large for 32-bit indices");
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  // Fisher–Yates with unbiased index draws.
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+sha256_digest digest_ciphertexts(const elgamal& scheme,
+                                 std::span<const elgamal_ciphertext> cts) {
+  sha256_hasher h;
+  h.update("tormet.shuffle.ciphertexts.v1");
+  for (const auto& ct : cts) {
+    const byte_buffer enc = scheme.encode(ct);
+    h.update_framed(enc);
+  }
+  return h.finish();
+}
+
+std::vector<elgamal_ciphertext> shuffle_and_rerandomize(
+    const elgamal& scheme, const group_element& joint_pub,
+    std::span<const elgamal_ciphertext> input, secure_rng& rng,
+    shuffle_transcript& transcript, shuffle_opening* opening) {
+  const std::vector<std::uint32_t> perm = random_permutation(input.size(), rng);
+
+  byte_buffer seed(32);
+  rng.fill(seed);
+
+  std::vector<elgamal_ciphertext> output;
+  output.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output.push_back(scheme.rerandomize(joint_pub, input[perm[i]], rng));
+  }
+
+  transcript.input_digest = digest_ciphertexts(scheme, input);
+  transcript.output_digest = digest_ciphertexts(scheme, output);
+  sha256_hasher commit;
+  commit.update("tormet.shuffle.commitment.v1");
+  commit.update_framed(seed);
+  for (const auto idx : perm) {
+    const std::uint8_t le[4] = {
+        static_cast<std::uint8_t>(idx), static_cast<std::uint8_t>(idx >> 8),
+        static_cast<std::uint8_t>(idx >> 16), static_cast<std::uint8_t>(idx >> 24)};
+    commit.update(byte_view{le, 4});
+  }
+  transcript.commitment = commit.finish();
+
+  if (opening != nullptr) {
+    opening->permutation = perm;
+    opening->seed = std::move(seed);
+  }
+  return output;
+}
+
+bool verify_shuffle_structure(const elgamal& scheme,
+                              std::span<const elgamal_ciphertext> input,
+                              std::span<const elgamal_ciphertext> output,
+                              const shuffle_transcript& transcript) {
+  if (input.size() != output.size()) return false;
+  if (digest_ciphertexts(scheme, input) != transcript.input_digest) return false;
+  if (digest_ciphertexts(scheme, output) != transcript.output_digest) return false;
+  return true;
+}
+
+bool verify_shuffle_opening(const elgamal& scheme, const scalar& joint_secret,
+                            std::span<const elgamal_ciphertext> input,
+                            std::span<const elgamal_ciphertext> output,
+                            const shuffle_transcript& transcript,
+                            const shuffle_opening& opening) {
+  if (!verify_shuffle_structure(scheme, input, output, transcript)) return false;
+  if (opening.permutation.size() != input.size()) return false;
+
+  // Commitment check.
+  sha256_hasher commit;
+  commit.update("tormet.shuffle.commitment.v1");
+  commit.update_framed(opening.seed);
+  for (const auto idx : opening.permutation) {
+    const std::uint8_t le[4] = {
+        static_cast<std::uint8_t>(idx), static_cast<std::uint8_t>(idx >> 8),
+        static_cast<std::uint8_t>(idx >> 16), static_cast<std::uint8_t>(idx >> 24)};
+    commit.update(byte_view{le, 4});
+  }
+  if (commit.finish() != transcript.commitment) return false;
+
+  // Bijection check.
+  std::vector<bool> seen(input.size(), false);
+  for (const auto idx : opening.permutation) {
+    if (idx >= input.size() || seen[idx]) return false;
+    seen[idx] = true;
+  }
+
+  // Plaintext-equality check (auditor role: needs the joint secret).
+  const auto& grp = scheme.grp();
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const group_element expected =
+        scheme.decrypt(joint_secret, input[opening.permutation[i]]);
+    const group_element actual = scheme.decrypt(joint_secret, output[i]);
+    if (!grp.equal(expected, actual)) return false;
+  }
+  return true;
+}
+
+}  // namespace tormet::crypto

@@ -1,0 +1,71 @@
+// Rerandomizing shuffle of ElGamal ciphertext vectors — the mixing step each
+// PSC computation party applies before decryption so that no party can link
+// decrypted bins back to data collectors or hash positions.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §1): the deployed PSC uses a
+// zero-knowledge *verifiable* shuffle. We implement the shuffle +
+// rerandomization exactly, and replace the ZK proof with a hash-chain
+// transcript (input digest, output digest, permutation commitment) that a
+// verifier with the permutation opening can check. This preserves every
+// data-flow and failure path of the protocol while keeping the proof system
+// out of scope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/secure_rng.h"
+
+namespace tormet::crypto {
+
+/// Transcript emitted alongside a shuffle.
+struct shuffle_transcript {
+  sha256_digest input_digest{};
+  sha256_digest output_digest{};
+  /// Commitment H(perm_seed) to the permutation/rerandomization opening.
+  sha256_digest commitment{};
+};
+
+/// Opening a mixer can reveal to an auditor (breaks unlinkability for that
+/// hop, so only used in dispute resolution / tests).
+struct shuffle_opening {
+  std::vector<std::uint32_t> permutation;  // output[i] = rerand(input[perm[i]])
+  byte_buffer seed;                        // commitment preimage
+};
+
+/// Uniform random permutation of [0, n) (Fisher–Yates over secure bits).
+[[nodiscard]] std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                                            secure_rng& rng);
+
+/// Digest of a ciphertext vector (framed, order-sensitive).
+[[nodiscard]] sha256_digest digest_ciphertexts(
+    const elgamal& scheme, std::span<const elgamal_ciphertext> cts);
+
+/// Applies a uniform permutation and rerandomizes every ciphertext under
+/// `joint_pub`. Returns the mixed vector; fills `transcript` and, if
+/// `opening` is non-null, the audit opening.
+[[nodiscard]] std::vector<elgamal_ciphertext> shuffle_and_rerandomize(
+    const elgamal& scheme, const group_element& joint_pub,
+    std::span<const elgamal_ciphertext> input, secure_rng& rng,
+    shuffle_transcript& transcript, shuffle_opening* opening = nullptr);
+
+/// Structural verification available to every party: transcript digests
+/// match the actual vectors and sizes are preserved.
+[[nodiscard]] bool verify_shuffle_structure(
+    const elgamal& scheme, std::span<const elgamal_ciphertext> input,
+    std::span<const elgamal_ciphertext> output,
+    const shuffle_transcript& transcript);
+
+/// Full audit with the opening: checks the commitment, the permutation
+/// being a bijection, and that each output decrypts-equal to its claimed
+/// input under rerandomization (requires the joint secret in tests).
+[[nodiscard]] bool verify_shuffle_opening(const elgamal& scheme,
+                                          const scalar& joint_secret,
+                                          std::span<const elgamal_ciphertext> input,
+                                          std::span<const elgamal_ciphertext> output,
+                                          const shuffle_transcript& transcript,
+                                          const shuffle_opening& opening);
+
+}  // namespace tormet::crypto

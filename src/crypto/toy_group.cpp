@@ -1,0 +1,148 @@
+// Toy 62-bit Schnorr group: the subgroup of quadratic residues modulo the
+// safe prime p = 0x3fffffffffffd6bb (order q = (p-1)/2, also prime).
+// Generator 4 = 2^2 is a quadratic residue, hence generates the q-order
+// subgroup. All arithmetic uses unsigned __int128.
+//
+// SECURITY: a 62-bit discrete log is trivially breakable. This backend
+// exists so tests and large simulations can run the identical protocol code
+// fast; production uses p256_group.
+#include <stdexcept>
+
+#include "src/crypto/group.h"
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+namespace {
+
+constexpr std::uint64_t k_p = 0x3fffffffffffd6bbULL;  // safe prime
+constexpr std::uint64_t k_q = 0x1fffffffffffeb5dULL;  // (p-1)/2, prime
+constexpr std::uint64_t k_g = 4;                      // generator of QR subgroup
+
+[[nodiscard]] std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % k_p);
+}
+
+[[nodiscard]] std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp) noexcept {
+  std::uint64_t result = 1;
+  std::uint64_t acc = base % k_p;
+  while (exp != 0) {
+    if (exp & 1) result = mod_mul(result, acc);
+    acc = mod_mul(acc, acc);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// Inverse via Fermat: a^(p-2) mod p.
+[[nodiscard]] std::uint64_t mod_inv(std::uint64_t a) noexcept {
+  return mod_pow(a, k_p - 2);
+}
+
+struct element_box {
+  std::uint64_t value;
+};
+
+}  // namespace
+
+class toy_group final : public group {
+ public:
+  [[nodiscard]] std::string name() const override { return "toy62"; }
+
+  [[nodiscard]] scalar random_scalar(secure_rng& rng) const override {
+    // Uniform in [1, q).
+    return make_scalar(1 + rng.below(k_q - 1));
+  }
+
+  [[nodiscard]] scalar scalar_from_u64(std::uint64_t value) const override {
+    return make_scalar(value % k_q);
+  }
+
+  [[nodiscard]] scalar scalar_add(const scalar& a, const scalar& b) const override {
+    return make_scalar((scalar_value(a) + scalar_value(b)) % k_q);
+  }
+
+  [[nodiscard]] group_element identity() const override { return wrap(1); }
+
+  [[nodiscard]] group_element generator() const override { return wrap(k_g); }
+
+  [[nodiscard]] group_element mul_generator(const scalar& k) const override {
+    return wrap(mod_pow(k_g, scalar_value(k)));
+  }
+
+  [[nodiscard]] group_element mul(const group_element& p, const scalar& k) const override {
+    return wrap(mod_pow(unwrap(p), scalar_value(k)));
+  }
+
+  [[nodiscard]] group_element add(const group_element& a, const group_element& b) const override {
+    return wrap(mod_mul(unwrap(a), unwrap(b)));
+  }
+
+  [[nodiscard]] group_element negate(const group_element& a) const override {
+    return wrap(mod_inv(unwrap(a)));
+  }
+
+  [[nodiscard]] bool is_identity(const group_element& a) const override {
+    return unwrap(a) == 1;
+  }
+
+  [[nodiscard]] bool equal(const group_element& a, const group_element& b) const override {
+    return unwrap(a) == unwrap(b);
+  }
+
+  [[nodiscard]] byte_buffer encode(const group_element& a) const override {
+    const std::uint64_t v = unwrap(a);
+    byte_buffer out(8);
+    for (int i = 0; i < 8; ++i) out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+    return out;
+  }
+
+  [[nodiscard]] group_element decode(byte_view data) const override {
+    expects(data.size() == 8, "toy element must be 8 bytes");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data[static_cast<std::size_t>(i)];
+    expects(v != 0 && v < k_p, "toy element out of range");
+    return wrap(v);
+  }
+
+  [[nodiscard]] scalar decode_scalar(byte_view data) const override {
+    expects(data.size() == 8, "toy scalar must be 8 bytes");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data[static_cast<std::size_t>(i)];
+    expects(v < k_q, "toy scalar out of range");
+    return make_scalar(v);
+  }
+
+ private:
+  [[nodiscard]] static group_element wrap(std::uint64_t value) {
+    return group_element{
+        std::shared_ptr<const void>{std::make_shared<element_box>(element_box{value})}};
+  }
+
+  [[nodiscard]] static std::uint64_t unwrap(const group_element& e) {
+    expects(e.valid(), "group element must be valid");
+    return static_cast<const element_box*>(e.impl_.get())->value;
+  }
+
+  [[nodiscard]] static scalar make_scalar(std::uint64_t value) {
+    byte_buffer bytes(8);
+    for (int i = 0; i < 8; ++i) bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+    return scalar{std::move(bytes)};
+  }
+
+  [[nodiscard]] static std::uint64_t scalar_value(const scalar& k) {
+    expects(k.valid() && k.bytes().size() == 8, "toy scalar must be 8 bytes");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | k.bytes()[static_cast<std::size_t>(i)];
+    return v;
+  }
+};
+
+std::shared_ptr<const group> make_toy_group() {
+  return std::make_shared<toy_group>();
+}
+
+}  // namespace tormet::crypto

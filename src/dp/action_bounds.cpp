@@ -1,0 +1,72 @@
+#include "src/dp/action_bounds.h"
+
+#include "src/util/check.h"
+
+namespace tormet::dp {
+
+namespace {
+constexpr double k_mb = 1e6;  // the paper states bounds in MB
+}
+
+action_bounds action_bounds::paper_defaults() {
+  action_bounds b;
+  b.rows_ = {
+      {action::connect_to_domain, 20, "Web"},
+      {action::exit_data_bytes, 400 * k_mb, "Web"},
+      {action::connect_from_new_ip, 4, "N/A"},
+      {action::connect_from_new_ip_multiday, 3, "N/A"},
+      {action::create_tcp_connection, 12, "N/A"},
+      {action::create_entry_circuit, 651, "Chat"},
+      {action::entry_data_bytes, 407 * k_mb, "Web"},
+      {action::upload_descriptor, 450, "Onionsite"},
+      {action::upload_new_onion_address, 3, "Onionsite"},
+      {action::fetch_descriptor, 30, "Onionsite"},
+      {action::create_rendezvous_connection, 180, "Chat"},
+      {action::rendezvous_data_bytes, 400 * k_mb, "Web or onionsite"},
+  };
+  return b;
+}
+
+action_bounds action_bounds::scaled(double factor) const {
+  expects(factor > 0.0, "scale factor must be positive");
+  action_bounds out = *this;
+  for (auto& row : out.rows_) row.daily_bound *= factor;
+  return out;
+}
+
+double action_bounds::bound(action kind) const {
+  for (const auto& row : rows_) {
+    if (row.kind == kind) return row.daily_bound;
+  }
+  throw precondition_error{"action not present in bounds table"};
+}
+
+double action_bounds::bound_over_days(action kind, int days) const {
+  expects(days >= 1, "measurement must span at least one day");
+  if (kind == action::connect_from_new_ip && days > 1) {
+    // Paper: 4 IPs the first day, 3 per additional day.
+    return bound(action::connect_from_new_ip) +
+           (days - 1) * bound(action::connect_from_new_ip_multiday);
+  }
+  return days * bound(kind);
+}
+
+std::string to_string(action kind) {
+  switch (kind) {
+    case action::connect_to_domain: return "connect-to-domain";
+    case action::exit_data_bytes: return "exit-data-bytes";
+    case action::connect_from_new_ip: return "connect-from-new-ip";
+    case action::connect_from_new_ip_multiday: return "connect-from-new-ip-multiday";
+    case action::create_tcp_connection: return "create-tcp-connection";
+    case action::create_entry_circuit: return "create-entry-circuit";
+    case action::entry_data_bytes: return "entry-data-bytes";
+    case action::upload_descriptor: return "upload-descriptor";
+    case action::upload_new_onion_address: return "upload-new-onion-address";
+    case action::fetch_descriptor: return "fetch-descriptor";
+    case action::create_rendezvous_connection: return "create-rendezvous-connection";
+    case action::rendezvous_data_bytes: return "rendezvous-data-bytes";
+  }
+  return "unknown-action";
+}
+
+}  // namespace tormet::dp

@@ -1,0 +1,69 @@
+#include "src/dp/allocation.h"
+
+#include <cmath>
+
+#include "src/dp/noise.h"
+#include "src/util/check.h"
+
+namespace tormet::dp {
+
+namespace {
+void validate(const privacy_params& params,
+              const std::vector<counter_request>& requests) {
+  expects(!requests.empty(), "allocation requires at least one counter");
+  expects(params.epsilon > 0.0, "epsilon must be positive");
+  expects(params.delta > 0.0 && params.delta < 1.0, "delta must be in (0,1)");
+  for (const auto& r : requests) {
+    expects(r.sensitivity > 0.0, "sensitivity must be positive");
+    expects(r.expected_value > 0.0, "expected value must be positive");
+  }
+}
+}  // namespace
+
+std::vector<counter_allocation> allocate_budget(
+    const privacy_params& params, const std::vector<counter_request>& requests) {
+  validate(params, requests);
+  const auto k = static_cast<double>(requests.size());
+  const double delta_i = params.delta / k;
+  const double c = std::sqrt(2.0 * std::log(1.25 / delta_i));
+
+  // r = common relative noise level sigma_i / E_i.
+  double sum = 0.0;
+  for (const auto& req : requests) {
+    sum += req.sensitivity * c / req.expected_value;
+  }
+  const double r = sum / params.epsilon;
+
+  std::vector<counter_allocation> out;
+  out.reserve(requests.size());
+  for (const auto& req : requests) {
+    counter_allocation a;
+    a.name = req.name;
+    a.sensitivity = req.sensitivity;
+    a.delta = delta_i;
+    a.sigma = r * req.expected_value;
+    a.epsilon = req.sensitivity * c / a.sigma;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::vector<counter_allocation> allocate_budget_uniform(
+    const privacy_params& params, const std::vector<counter_request>& requests) {
+  validate(params, requests);
+  const auto k = static_cast<double>(requests.size());
+  std::vector<counter_allocation> out;
+  out.reserve(requests.size());
+  for (const auto& req : requests) {
+    counter_allocation a;
+    a.name = req.name;
+    a.sensitivity = req.sensitivity;
+    a.epsilon = params.epsilon / k;
+    a.delta = params.delta / k;
+    a.sigma = gaussian_sigma(req.sensitivity, a.epsilon, a.delta);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace tormet::dp

@@ -1,0 +1,51 @@
+// Privacy-budget allocation across the counters of one measurement round
+// (PrivCount §3.2 methodology). Given a global (ε, δ) and, for each
+// statistic, its sensitivity Δ_i (from the action bounds) and an expected
+// magnitude E_i, the allocator splits the budget so every counter gets the
+// same *relative* noise:
+//
+//   σ_i = r·E_i  with  ε_i = Δ_i·√(2 ln(1.25/δ_i))/σ_i,  Σ ε_i = ε,
+//   δ_i = δ/k,
+//
+// which solves to r = Σ_j (Δ_j·c_j/E_j) / ε with c_j = √(2 ln(1.25/δ_j)).
+// Equalizing relative noise is PrivCount's published strategy: a counter
+// expected to be large can absorb more absolute noise, freeing budget for
+// small counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dp/action_bounds.h"
+
+namespace tormet::dp {
+
+/// One statistic's allocation request.
+struct counter_request {
+  std::string name;
+  double sensitivity = 1.0;     // Δ_i, from action bounds
+  double expected_value = 1.0;  // E_i, operator's estimate of the true count
+};
+
+/// One statistic's allocation result.
+struct counter_allocation {
+  std::string name;
+  double sensitivity = 0.0;
+  double epsilon = 0.0;  // ε_i slice
+  double delta = 0.0;    // δ_i slice
+  double sigma = 0.0;    // Gaussian noise std-dev for the aggregate
+};
+
+/// Splits (params.epsilon, params.delta) across `requests` with the
+/// equal-relative-noise rule. Throws on empty input or non-positive
+/// sensitivities/expected values. The returned allocations always compose
+/// back to exactly the global budget (Σ ε_i = ε, Σ δ_i = δ).
+[[nodiscard]] std::vector<counter_allocation> allocate_budget(
+    const privacy_params& params, const std::vector<counter_request>& requests);
+
+/// Uniform split (ε/k to every counter) — the naive baseline the
+/// `ablation_noise_allocation` bench compares against.
+[[nodiscard]] std::vector<counter_allocation> allocate_budget_uniform(
+    const privacy_params& params, const std::vector<counter_request>& requests);
+
+}  // namespace tormet::dp

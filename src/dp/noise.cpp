@@ -1,0 +1,68 @@
+#include "src/dp/noise.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+
+namespace tormet::dp {
+
+double gaussian_sigma(double sensitivity, double epsilon, double delta) {
+  expects(sensitivity >= 0.0, "sensitivity must be non-negative");
+  expects(epsilon > 0.0, "epsilon must be positive");
+  expects(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  return sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+double sample_standard_normal(crypto::secure_rng& rng) {
+  // 53-bit uniforms; reject u1 == 0 for the log.
+  double u1 = 0.0;
+  do {
+    u1 = static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+  } while (u1 <= 0.0);
+  const double u2 = static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double sample_gaussian(double sigma, crypto::secure_rng& rng) {
+  expects(sigma >= 0.0, "sigma must be non-negative");
+  if (sigma == 0.0) return 0.0;
+  return sigma * sample_standard_normal(rng);
+}
+
+std::int64_t sample_gaussian_integer(double sigma, crypto::secure_rng& rng) {
+  return static_cast<std::int64_t>(std::llround(sample_gaussian(sigma, rng)));
+}
+
+std::uint64_t binomial_noise_bits(double sensitivity, double epsilon,
+                                  double delta, double constant) {
+  expects(sensitivity >= 0.0, "sensitivity must be non-negative");
+  expects(epsilon > 0.0, "epsilon must be positive");
+  expects(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  expects(constant > 0.0, "mechanism constant must be positive");
+  if (sensitivity == 0.0) return 0;
+  const double ratio = sensitivity / epsilon;
+  const double n = constant * std::log(2.0 / delta) * ratio * ratio;
+  auto bits = static_cast<std::uint64_t>(std::ceil(n));
+  if (bits % 2 == 1) ++bits;  // even, so the expected offset is integral
+  return bits;
+}
+
+std::uint64_t sample_binomial_half(std::uint64_t n, crypto::secure_rng& rng) {
+  std::uint64_t ones = 0;
+  std::uint64_t remaining = n;
+  while (remaining >= 64) {
+    ones += static_cast<std::uint64_t>(std::popcount(rng.next_u64()));
+    remaining -= 64;
+  }
+  if (remaining > 0) {
+    const std::uint64_t mask =
+        remaining == 64 ? ~0ULL : ((1ULL << remaining) - 1);
+    ones += static_cast<std::uint64_t>(std::popcount(rng.next_u64() & mask));
+  }
+  return ones;
+}
+
+}  // namespace tormet::dp

@@ -1,0 +1,45 @@
+// Differential-privacy noise mechanisms.
+//
+//  * Gaussian mechanism (PrivCount): sigma = Δ·sqrt(2·ln(1.25/δ))/ε gives
+//    (ε, δ)-DP for an L2/L1 sensitivity-Δ counter (Dwork & Roth, Thm A.1).
+//  * Binomial mechanism (PSC): adding n Bernoulli(1/2) bits gives (ε, δ)-DP
+//    for a sensitivity-Δ unique count when n ≥ c·ln(2/δ)·(Δ/ε)²; the
+//    expected offset n/2 is subtracted by the estimator.
+//
+// Noise values are secret (they blind real user activity), so samplers draw
+// from crypto::secure_rng, not the simulation rng.
+#pragma once
+
+#include <cstdint>
+
+#include "src/crypto/secure_rng.h"
+
+namespace tormet::dp {
+
+/// Gaussian-mechanism standard deviation for one (ε_i, δ_i) slice.
+[[nodiscard]] double gaussian_sigma(double sensitivity, double epsilon,
+                                    double delta);
+
+/// Standard normal via Box–Muller over secure uniforms.
+[[nodiscard]] double sample_standard_normal(crypto::secure_rng& rng);
+
+/// Gaussian(0, sigma²) sample.
+[[nodiscard]] double sample_gaussian(double sigma, crypto::secure_rng& rng);
+
+/// Gaussian noise rounded to the nearest integer (counters live in Z).
+[[nodiscard]] std::int64_t sample_gaussian_integer(double sigma,
+                                                   crypto::secure_rng& rng);
+
+/// Number of Bernoulli(1/2) noise bits one noise contributor must add for
+/// the binomial mechanism to give (ε, δ)-DP at sensitivity Δ.
+/// `constant` is the mechanism's analysis constant (default 8; see header
+/// comment). Result is always even so the expected offset n/2 is integral.
+[[nodiscard]] std::uint64_t binomial_noise_bits(double sensitivity,
+                                                double epsilon, double delta,
+                                                double constant = 8.0);
+
+/// Draws Binomial(n, 1/2) via secure bits (exact, O(n/64) words).
+[[nodiscard]] std::uint64_t sample_binomial_half(std::uint64_t n,
+                                                 crypto::secure_rng& rng);
+
+}  // namespace tormet::dp

@@ -1,0 +1,258 @@
+#include "src/net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/net/wire.h"
+#include "src/util/check.h"
+
+namespace tormet::net {
+
+namespace {
+
+void throw_errno(const char* what) {
+  throw std::runtime_error{std::string{what} + ": " + std::strerror(errno)};
+}
+
+/// Writes exactly `data.size()` bytes (retrying on short writes / EINTR).
+void write_all(int fd, byte_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `out.size()` bytes; returns false on orderly EOF at a
+/// frame boundary (and throws mid-frame).
+bool read_all(int fd, std::span<std::uint8_t> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::recv(fd, out.data() + got, out.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // connection reset — treat as EOF
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw wire_error{"connection closed mid-frame"};
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+constexpr std::size_t k_max_frame = 64u << 20;  // 64 MiB sanity bound
+
+}  // namespace
+
+struct tcp_net::listener {
+  int fd = -1;
+  std::uint16_t port = 0;
+  std::thread accept_thread;
+};
+
+tcp_net::tcp_net() = default;
+
+// Outbound connection with its own write lock, so a blocking send never
+// holds the fabric-wide mutex (reader threads need that mutex to drain the
+// socket on the other side — holding it while writing could deadlock once
+// the loopback buffer fills).
+struct tcp_net::out_connection {
+  int fd = -1;
+  std::mutex write_mutex;
+};
+
+void tcp_net::register_node(node_id id, message_handler handler) {
+  expects(handler != nullptr, "handler must be callable");
+  std::lock_guard lock{mutex_};
+  handlers_[id] = std::move(handler);
+  if (listeners_.contains(id)) return;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw_errno("bind");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+
+  auto lst = std::make_unique<listener>();
+  lst->fd = fd;
+  lst->port = ntohs(addr.sin_port);
+  lst->accept_thread = std::thread{[this, fd] {
+    for (;;) {
+      const int conn = ::accept(fd, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener closed — shut down
+      }
+      std::lock_guard guard{mutex_};
+      if (stopping_) {
+        ::close(conn);
+        return;
+      }
+      reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+    }
+  }};
+  listeners_[id] = std::move(lst);
+}
+
+void tcp_net::reader_loop(int fd) {
+  for (;;) {
+    std::uint8_t header[4];
+    if (!read_all(fd, header)) break;
+    std::uint32_t frame_len = 0;
+    for (int i = 3; i >= 0; --i) frame_len = (frame_len << 8) | header[i];
+    if (frame_len > k_max_frame) break;
+    byte_buffer frame(frame_len);
+    if (!read_all(fd, frame)) break;
+    try {
+      wire_reader r{frame};
+      message msg;
+      msg.from = r.read_u32();
+      msg.to = r.read_u32();
+      msg.type = r.read_u16();
+      msg.payload = r.read_bytes();
+      r.expect_end();
+      enqueue(std::move(msg));
+    } catch (const wire_error&) {
+      break;  // malformed peer — drop the connection
+    }
+  }
+  ::close(fd);
+}
+
+void tcp_net::enqueue(message msg) {
+  {
+    std::lock_guard lock{mutex_};
+    inbox_.push_back(std::move(msg));
+  }
+  queue_cv_.notify_all();
+}
+
+std::shared_ptr<tcp_net::out_connection> tcp_net::connection_to(node_id id) {
+  std::lock_guard lock{mutex_};
+  const auto cached = out_connections_.find(id);
+  if (cached != out_connections_.end()) return cached->second;
+
+  const auto lst = listeners_.find(id);
+  expects(lst != listeners_.end(), "destination node is not registered");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(lst->second->port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw_errno("connect");
+  }
+  auto conn = std::make_shared<out_connection>();
+  conn->fd = fd;
+  out_connections_[id] = conn;
+  return conn;
+}
+
+void tcp_net::send(message msg) {
+  wire_writer w;
+  w.write_u32(msg.from);
+  w.write_u32(msg.to);
+  w.write_u16(msg.type);
+  w.write_bytes(msg.payload);
+  const byte_buffer body = w.take();
+
+  byte_buffer frame;
+  frame.reserve(4 + body.size());
+  const auto len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  frame.insert(frame.end(), body.begin(), body.end());
+
+  const std::shared_ptr<out_connection> conn = connection_to(msg.to);
+  std::lock_guard write_lock{conn->write_mutex};
+  write_all(conn->fd, frame);
+}
+
+std::size_t tcp_net::run_until_quiescent() {
+  std::size_t delivered = 0;
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    if (inbox_.empty()) {
+      const bool got = queue_cv_.wait_for(
+          lock, std::chrono::milliseconds{idle_timeout_ms_},
+          [this] { return !inbox_.empty(); });
+      if (!got) return delivered;  // idle window elapsed — quiescent
+    }
+    message msg = std::move(inbox_.front());
+    inbox_.pop_front();
+    const auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) continue;
+    message_handler handler = it->second;
+    lock.unlock();  // handlers may send(), which needs the mutex
+    handler(msg);
+    ++delivered;
+    lock.lock();
+  }
+}
+
+std::uint16_t tcp_net::port_of(node_id id) const {
+  std::lock_guard lock{mutex_};
+  const auto it = listeners_.find(id);
+  expects(it != listeners_.end(), "node is not registered");
+  return it->second->port;
+}
+
+tcp_net::~tcp_net() {
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard lock{mutex_};
+    stopping_ = true;
+    for (auto& [id, lst] : listeners_) {
+      ::shutdown(lst->fd, SHUT_RDWR);
+      ::close(lst->fd);
+    }
+    for (auto& [id, conn] : out_connections_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      ::close(conn->fd);
+    }
+    readers.swap(reader_threads_);
+  }
+  for (auto& [id, lst] : listeners_) {
+    if (lst->accept_thread.joinable()) lst->accept_thread.join();
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace tormet::net

@@ -1,0 +1,67 @@
+// TCP loopback transport: the same transport contract as inproc_net but over
+// real POSIX sockets with length-prefixed frames. Demonstrates that the
+// protocol layer runs over an actual network stack; a deployment across
+// machines would reuse the framing with remote addresses.
+//
+// Threading model: one accept thread plus one reader thread per inbound
+// connection; received messages land in a mutex-protected queue and are
+// delivered on the thread that calls run_until_quiescent(). Handlers
+// therefore never run concurrently with each other.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace tormet::net {
+
+class tcp_net final : public transport {
+ public:
+  tcp_net();
+  ~tcp_net() override;
+  tcp_net(const tcp_net&) = delete;
+  tcp_net& operator=(const tcp_net&) = delete;
+
+  /// Binds a loopback listener for `id` and starts its accept thread.
+  void register_node(node_id id, message_handler handler) override;
+
+  /// Sends over a cached loopback connection (established on first use).
+  void send(message msg) override;
+
+  /// Delivers received messages until the fabric has been idle for
+  /// `idle_timeout_ms` (quiescence over real sockets is approximate).
+  std::size_t run_until_quiescent() override;
+
+  /// Loopback port a node is listening on (for diagnostics/tests).
+  [[nodiscard]] std::uint16_t port_of(node_id id) const;
+
+  /// Idle window used by run_until_quiescent (default 50 ms).
+  void set_idle_timeout_ms(int ms) noexcept { idle_timeout_ms_ = ms; }
+
+ private:
+  struct listener;
+  struct out_connection;
+
+  void reader_loop(int fd);
+  void enqueue(message msg);
+  [[nodiscard]] std::shared_ptr<out_connection> connection_to(node_id id);
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<message> inbox_;
+  std::unordered_map<node_id, message_handler> handlers_;
+  std::unordered_map<node_id, std::unique_ptr<listener>> listeners_;
+  std::unordered_map<node_id, std::shared_ptr<out_connection>> out_connections_;
+  std::vector<std::thread> reader_threads_;
+  int idle_timeout_ms_ = 50;
+  bool stopping_ = false;
+};
+
+}  // namespace tormet::net

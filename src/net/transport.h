@@ -1,0 +1,47 @@
+// Transport abstraction for the measurement protocols. PrivCount and PSC
+// nodes (tally server, data collectors, share keepers, computation parties)
+// exchange typed messages through a transport; the protocol logic never
+// depends on whether the transport is the deterministic in-process bus or
+// real sockets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/util/bytes.h"
+
+namespace tormet::net {
+
+/// Endpoint identifier within one deployment (assigned by configuration).
+using node_id = std::uint32_t;
+
+/// A routed protocol message.
+struct message {
+  node_id from = 0;
+  node_id to = 0;
+  std::uint16_t type = 0;
+  byte_buffer payload;
+};
+
+/// Receives messages addressed to one node.
+using message_handler = std::function<void(const message&)>;
+
+/// Message-passing fabric connecting a deployment's nodes.
+class transport {
+ public:
+  virtual ~transport() = default;
+
+  /// Registers the handler for a node. A node must be registered before it
+  /// can receive; registering twice replaces the handler.
+  virtual void register_node(node_id id, message_handler handler) = 0;
+
+  /// Queues `msg` for delivery to `msg.to`. Ordering is FIFO per sender-
+  /// receiver pair on every implementation.
+  virtual void send(message msg) = 0;
+
+  /// Delivers queued messages until quiescent (no messages in flight).
+  /// Returns the number of messages delivered.
+  virtual std::size_t run_until_quiescent() = 0;
+};
+
+}  // namespace tormet::net

@@ -1,0 +1,44 @@
+// PrivCount counter specifications. A measurement round publishes a set of
+// named counters; each has a sensitivity (from the action bounds) and an
+// operator-estimated expected value (for the equal-relative-noise budget
+// split). Histograms — the paper's §3.1 set-membership enhancement used for
+// the Alexa/TLD/country measurements — are families of independent counters
+// sharing one sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tormet::privcount {
+
+/// One published statistic.
+struct counter_spec {
+  std::string name;
+  double sensitivity = 1.0;     // Δ: max change from one protected user-day
+  double expected_value = 1.0;  // E: operator's magnitude estimate
+};
+
+/// Helper: expands a histogram into per-bin counter specs named
+/// "<base>/<bin>". One user's bounded activity can touch up to
+/// `sensitivity` increments across all bins, so each bin inherits the full
+/// sensitivity (a user could concentrate activity in one bin).
+[[nodiscard]] inline std::vector<counter_spec> histogram_specs(
+    const std::string& base, const std::vector<std::string>& bins,
+    double sensitivity, double expected_per_bin) {
+  std::vector<counter_spec> out;
+  out.reserve(bins.size());
+  for (const auto& bin : bins) {
+    out.push_back({base + "/" + bin, sensitivity, expected_per_bin});
+  }
+  return out;
+}
+
+/// A counter's aggregated (noisy) result.
+struct counter_result {
+  std::string name;
+  std::int64_t value = 0;  // true count + Gaussian noise
+  double sigma = 0.0;      // total noise std-dev (for confidence intervals)
+};
+
+}  // namespace tormet::privcount

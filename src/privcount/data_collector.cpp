@@ -1,0 +1,100 @@
+#include "src/privcount/data_collector.h"
+
+#include <cmath>
+
+#include "src/crypto/secret_sharing.h"
+#include "src/dp/noise.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace tormet::privcount {
+
+data_collector::data_collector(net::node_id self, net::node_id tally_server,
+                               net::transport& transport,
+                               crypto::secure_rng& rng)
+    : self_{self}, tally_server_{tally_server}, transport_{transport}, rng_{rng} {}
+
+void data_collector::add_instrument(instrument fn) {
+  expects(fn != nullptr, "instrument must be callable");
+  instruments_.push_back(std::move(fn));
+}
+
+void data_collector::on_configure(const configure_msg& m) {
+  round_id_ = m.round_id;
+  counter_names_ = m.counter_names;
+  counter_index_.clear();
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    counter_index_[counter_names_[i]] = i;
+  }
+  counters_.assign(counter_names_.size(), 0);
+  collecting_ = false;
+
+  // Per-counter: noise share + blinding. This DC adds Gaussian noise with
+  // variance noise_weight * sigma^2 so the DC noises sum to sigma^2 total.
+  std::vector<std::vector<std::uint64_t>> per_sk_shares(
+      m.share_keepers.size(),
+      std::vector<std::uint64_t>(counter_names_.size(), 0));
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    const double sigma_share = m.sigmas[i] * std::sqrt(m.noise_weight);
+    const std::int64_t noise = dp::sample_gaussian_integer(sigma_share, rng_);
+    const std::vector<std::uint64_t> blinds =
+        crypto::additive_shares(0, m.share_keepers.size() + 1, rng_);
+    // blinds sum to 0; give one to each SK and keep the last, so
+    // counter + Σ sk_blinds == noise (mod 2^64).
+    counters_[i] = static_cast<std::uint64_t>(noise) + blinds.back();
+    for (std::size_t s = 0; s < m.share_keepers.size(); ++s) {
+      per_sk_shares[s][i] = blinds[s];
+    }
+  }
+  for (std::size_t s = 0; s < m.share_keepers.size(); ++s) {
+    blinding_share_msg share;
+    share.round_id = round_id_;
+    share.shares = std::move(per_sk_shares[s]);
+    transport_.send(
+        encode_blinding_share(self_, m.share_keepers[s], share));
+  }
+  transport_.send(encode_simple(self_, tally_server_, msg_type::dc_ready, round_id_));
+}
+
+void data_collector::handle_message(const net::message& msg) {
+  switch (static_cast<msg_type>(msg.type)) {
+    case msg_type::configure:
+      on_configure(decode_configure(msg));
+      return;
+    case msg_type::start_collection:
+      expects(decode_round_id(msg) == round_id_, "round id mismatch");
+      collecting_ = true;
+      return;
+    case msg_type::stop_collection: {
+      expects(decode_round_id(msg) == round_id_, "round id mismatch");
+      collecting_ = false;
+      dc_report_msg report;
+      report.round_id = round_id_;
+      report.values = counters_;
+      transport_.send(encode_dc_report(self_, tally_server_, report));
+      // Forget the round's state: the report is blinded; keeping counters
+      // would weaken the "nothing to seize" property.
+      counters_.assign(counters_.size(), 0);
+      return;
+    }
+    default:
+      log_line{log_level::warn} << "DC " << self_ << ": unexpected message type "
+                                << msg.type;
+  }
+}
+
+void data_collector::increment(const std::string& counter, std::uint64_t amount) {
+  const auto it = counter_index_.find(counter);
+  if (it == counter_index_.end()) return;  // not measured this round
+  counters_[it->second] += amount;         // mod 2^64 wraparound is the ring
+}
+
+void data_collector::observe(const tor::event& ev) {
+  if (!collecting_) return;
+  const auto incr = [this](const std::string& counter, std::uint64_t amount) {
+    increment(counter, amount);
+  };
+  for (const auto& fn : instruments_) fn(ev, incr);
+}
+
+}  // namespace tormet::privcount

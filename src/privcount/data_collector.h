@@ -1,0 +1,63 @@
+// PrivCount data collector (DC): runs beside one instrumented Tor relay.
+// On configure it samples its Gaussian noise share and one blinding value
+// per (counter, share keeper); its in-memory counters start at
+// noise − Σ blinds (mod 2^64), so a seized DC reveals nothing (every proper
+// subset of {DC value, blinds} is uniformly random). Events increment
+// counters during collection; the final report is still blinded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/crypto/secure_rng.h"
+#include "src/net/transport.h"
+#include "src/privcount/messages.h"
+#include "src/tor/events.h"
+
+namespace tormet::privcount {
+
+class data_collector {
+ public:
+  /// An instrument maps an observed Tor event to counter increments by name
+  /// (the `increment` callback may be invoked any number of times).
+  using instrument =
+      std::function<void(const tor::event&,
+                         const std::function<void(const std::string& counter,
+                                                  std::uint64_t amount)>&)>;
+
+  data_collector(net::node_id self, net::node_id tally_server,
+                 net::transport& transport, crypto::secure_rng& rng);
+
+  /// Registers an instrument (before or between rounds).
+  void add_instrument(instrument fn);
+
+  /// Transport handler (register with the transport for `self`).
+  void handle_message(const net::message& msg);
+
+  /// Feeds one observed event (only counted while a round is collecting).
+  void observe(const tor::event& ev);
+
+  [[nodiscard]] net::node_id id() const noexcept { return self_; }
+  [[nodiscard]] bool collecting() const noexcept { return collecting_; }
+
+ private:
+  void on_configure(const configure_msg& m);
+  void increment(const std::string& counter, std::uint64_t amount);
+
+  net::node_id self_;
+  net::node_id tally_server_;
+  net::transport& transport_;
+  crypto::secure_rng& rng_;
+  std::vector<instrument> instruments_;
+
+  std::uint32_t round_id_ = 0;
+  std::vector<std::string> counter_names_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::vector<std::uint64_t> counters_;  // ring values
+  bool collecting_ = false;
+};
+
+}  // namespace tormet::privcount

@@ -1,0 +1,87 @@
+// PrivCount protocol messages (TS <-> DC <-> SK), serialized with the wire
+// codec. The round structure follows PrivCount: configure -> blind ->
+// collect -> report, with the TS naming the reporting DC set before SKs
+// reveal blinding sums (that is what makes DC dropout recoverable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/privcount/counter.h"
+
+namespace tormet::privcount {
+
+enum class msg_type : std::uint16_t {
+  configure = 1,      // TS -> DC, TS -> SK: round config
+  blinding_share = 2, // DC -> SK: one blinding value per counter
+  dc_ready = 3,       // DC -> TS: blinded and ready to collect
+  start_collection = 4,  // TS -> DC
+  stop_collection = 5,   // TS -> DC: send your report
+  dc_report = 6,      // DC -> TS: final ring values
+  sk_reveal = 7,      // TS -> SK: reveal blinding sums for this DC set
+  sk_report = 8,      // SK -> TS: per-counter blinding sums
+};
+
+/// Round configuration sent to DCs and SKs.
+struct configure_msg {
+  std::uint32_t round_id = 0;
+  std::vector<std::string> counter_names;
+  std::vector<double> sigmas;        // per-counter aggregate noise std-dev
+  double noise_weight = 0.0;         // this DC's share of noise variance
+  std::vector<net::node_id> share_keepers;
+};
+
+/// Blinding values from one DC to one SK (one value per counter, in
+/// counter_names order).
+struct blinding_share_msg {
+  std::uint32_t round_id = 0;
+  std::vector<std::uint64_t> shares;
+};
+
+/// DC's final counter report (ring values, counter_names order).
+struct dc_report_msg {
+  std::uint32_t round_id = 0;
+  std::vector<std::uint64_t> values;
+};
+
+/// TS -> SK: reveal sums over exactly this DC set (the DCs that reported).
+struct sk_reveal_msg {
+  std::uint32_t round_id = 0;
+  std::vector<net::node_id> reporting_dcs;
+};
+
+/// SK's blinding sums (counter_names order, over the requested DC set).
+struct sk_report_msg {
+  std::uint32_t round_id = 0;
+  std::vector<std::uint64_t> sums;
+};
+
+// Encode/decode. Decoders validate framing and throw net::wire_error on
+// malformed input.
+[[nodiscard]] net::message encode_configure(net::node_id from, net::node_id to,
+                                            const configure_msg& m);
+[[nodiscard]] configure_msg decode_configure(const net::message& msg);
+
+[[nodiscard]] net::message encode_blinding_share(net::node_id from, net::node_id to,
+                                                 const blinding_share_msg& m);
+[[nodiscard]] blinding_share_msg decode_blinding_share(const net::message& msg);
+
+[[nodiscard]] net::message encode_simple(net::node_id from, net::node_id to,
+                                         msg_type type, std::uint32_t round_id);
+[[nodiscard]] std::uint32_t decode_round_id(const net::message& msg);
+
+[[nodiscard]] net::message encode_dc_report(net::node_id from, net::node_id to,
+                                            const dc_report_msg& m);
+[[nodiscard]] dc_report_msg decode_dc_report(const net::message& msg);
+
+[[nodiscard]] net::message encode_sk_reveal(net::node_id from, net::node_id to,
+                                            const sk_reveal_msg& m);
+[[nodiscard]] sk_reveal_msg decode_sk_reveal(const net::message& msg);
+
+[[nodiscard]] net::message encode_sk_report(net::node_id from, net::node_id to,
+                                            const sk_report_msg& m);
+[[nodiscard]] sk_report_msg decode_sk_report(const net::message& msg);
+
+}  // namespace tormet::privcount

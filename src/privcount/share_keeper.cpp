@@ -1,0 +1,56 @@
+#include "src/privcount/share_keeper.h"
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace tormet::privcount {
+
+share_keeper::share_keeper(net::node_id self, net::node_id tally_server,
+                           net::transport& transport)
+    : self_{self}, tally_server_{tally_server}, transport_{transport} {}
+
+void share_keeper::handle_message(const net::message& msg) {
+  switch (static_cast<msg_type>(msg.type)) {
+    case msg_type::configure: {
+      const configure_msg m = decode_configure(msg);
+      round_id_ = m.round_id;
+      n_counters_ = m.counter_names.size();
+      shares_by_dc_.clear();
+      return;
+    }
+    case msg_type::blinding_share: {
+      const blinding_share_msg m = decode_blinding_share(msg);
+      if (m.round_id != round_id_) return;  // stale round
+      if (m.shares.size() != n_counters_) {
+        log_line{log_level::warn}
+            << "SK " << self_ << ": DC " << msg.from
+            << " sent malformed share vector; ignoring";
+        return;
+      }
+      shares_by_dc_[msg.from] = m.shares;
+      return;
+    }
+    case msg_type::sk_reveal: {
+      const sk_reveal_msg m = decode_sk_reveal(msg);
+      if (m.round_id != round_id_) return;
+      sk_report_msg report;
+      report.round_id = round_id_;
+      report.sums.assign(n_counters_, 0);
+      for (const auto dc : m.reporting_dcs) {
+        const auto it = shares_by_dc_.find(dc);
+        if (it == shares_by_dc_.end()) continue;  // DC never blinded with us
+        for (std::size_t i = 0; i < n_counters_; ++i) {
+          report.sums[i] += it->second[i];  // mod 2^64
+        }
+      }
+      transport_.send(encode_sk_report(self_, tally_server_, report));
+      shares_by_dc_.clear();  // forget blinds after the round
+      return;
+    }
+    default:
+      log_line{log_level::warn} << "SK " << self_ << ": unexpected message type "
+                                << msg.type;
+  }
+}
+
+}  // namespace tormet::privcount

@@ -1,0 +1,37 @@
+// PrivCount share keeper (SK): holds the blinding values the DCs split off.
+// Privacy holds as long as one SK is honest (its shares keep every other
+// party's view uniformly random). The SK reveals only *sums over the DC set
+// the tally server names* — which is how rounds survive DC dropout: blinds
+// of non-reporting DCs are simply left out of the sum on both sides.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/privcount/messages.h"
+
+namespace tormet::privcount {
+
+class share_keeper {
+ public:
+  share_keeper(net::node_id self, net::node_id tally_server,
+               net::transport& transport);
+
+  void handle_message(const net::message& msg);
+
+  [[nodiscard]] net::node_id id() const noexcept { return self_; }
+
+ private:
+  net::node_id self_;
+  net::node_id tally_server_;
+  net::transport& transport_;
+
+  std::uint32_t round_id_ = 0;
+  std::size_t n_counters_ = 0;
+  /// Per-DC blinding vectors for the current round.
+  std::map<net::node_id, std::vector<std::uint64_t>> shares_by_dc_;
+};
+
+}  // namespace tormet::privcount

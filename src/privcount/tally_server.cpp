@@ -1,0 +1,145 @@
+#include "src/privcount/tally_server.h"
+
+#include <cmath>
+
+#include "src/crypto/secret_sharing.h"
+#include "src/dp/allocation.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace tormet::privcount {
+
+tally_server::tally_server(net::node_id self, net::transport& transport,
+                           std::vector<net::node_id> data_collectors,
+                           std::vector<net::node_id> share_keepers)
+    : self_{self}, transport_{transport}, dcs_{std::move(data_collectors)},
+      sks_{std::move(share_keepers)} {
+  expects(!dcs_.empty(), "need at least one data collector");
+  expects(!sks_.empty(), "need at least one share keeper");
+}
+
+void tally_server::begin_round(const std::vector<counter_spec>& specs,
+                               const dp::privacy_params& params) {
+  expects(!specs.empty(), "round needs at least one counter");
+  ++round_id_;
+  counter_names_.clear();
+  sigmas_.clear();
+  dcs_ready_.clear();
+  dc_reports_seen_.clear();
+  sk_reports_seen_.clear();
+  aggregate_.assign(specs.size(), 0);
+
+  std::vector<dp::counter_request> requests;
+  requests.reserve(specs.size());
+  for (const auto& s : specs) {
+    requests.push_back({s.name, s.sensitivity, s.expected_value});
+  }
+  const std::vector<dp::counter_allocation> alloc =
+      dp::allocate_budget(params, requests);
+  for (const auto& a : alloc) {
+    counter_names_.push_back(a.name);
+    sigmas_.push_back(noise_enabled_ ? a.sigma : 0.0);
+  }
+
+  configure_msg cfg;
+  cfg.round_id = round_id_;
+  cfg.counter_names = counter_names_;
+  cfg.sigmas = sigmas_;
+  cfg.noise_weight = 1.0 / static_cast<double>(dcs_.size());
+  cfg.share_keepers = sks_;
+  for (const auto dc : dcs_) {
+    transport_.send(encode_configure(self_, dc, cfg));
+  }
+  configure_msg sk_cfg = cfg;
+  sk_cfg.noise_weight = 0.0;  // SKs hold no noise
+  for (const auto sk : sks_) {
+    transport_.send(encode_configure(self_, sk, sk_cfg));
+  }
+}
+
+bool tally_server::all_dcs_ready() const {
+  return dcs_ready_.size() == dcs_.size();
+}
+
+void tally_server::start_collection() {
+  for (const auto dc : dcs_) {
+    transport_.send(encode_simple(self_, dc, msg_type::start_collection, round_id_));
+  }
+}
+
+void tally_server::stop_collection() {
+  for (const auto dc : dcs_) {
+    transport_.send(encode_simple(self_, dc, msg_type::stop_collection, round_id_));
+  }
+}
+
+void tally_server::request_reveal() {
+  sk_reveal_msg m;
+  m.round_id = round_id_;
+  m.reporting_dcs.assign(dc_reports_seen_.begin(), dc_reports_seen_.end());
+  for (const auto sk : sks_) {
+    transport_.send(encode_sk_reveal(self_, sk, m));
+  }
+}
+
+void tally_server::handle_message(const net::message& msg) {
+  switch (static_cast<msg_type>(msg.type)) {
+    case msg_type::dc_ready:
+      if (decode_round_id(msg) == round_id_) dcs_ready_.insert(msg.from);
+      return;
+    case msg_type::dc_report: {
+      const dc_report_msg m = decode_dc_report(msg);
+      if (m.round_id != round_id_) return;
+      if (m.values.size() != counter_names_.size()) {
+        log_line{log_level::warn}
+            << "TS: DC " << msg.from << " report has wrong arity; dropping";
+        return;
+      }
+      if (!dc_reports_seen_.insert(msg.from).second) return;  // duplicate
+      for (std::size_t i = 0; i < m.values.size(); ++i) {
+        aggregate_[i] += m.values[i];
+      }
+      return;
+    }
+    case msg_type::sk_report: {
+      const sk_report_msg m = decode_sk_report(msg);
+      if (m.round_id != round_id_) return;
+      if (m.sums.size() != counter_names_.size()) {
+        log_line{log_level::warn}
+            << "TS: SK " << msg.from << " report has wrong arity; dropping";
+        return;
+      }
+      if (!sk_reports_seen_.insert(msg.from).second) return;  // duplicate
+      for (std::size_t i = 0; i < m.sums.size(); ++i) {
+        aggregate_[i] += m.sums[i];
+      }
+      return;
+    }
+    default:
+      log_line{log_level::warn} << "TS: unexpected message type " << msg.type;
+  }
+}
+
+bool tally_server::results_ready() const {
+  return !counter_names_.empty() && sk_reports_seen_.size() == sks_.size();
+}
+
+std::vector<counter_result> tally_server::results() const {
+  expects(results_ready(), "results requested before all SK reports arrived");
+  std::vector<counter_result> out;
+  out.reserve(counter_names_.size());
+  // With d of n DCs reporting, realized noise variance is (d/n)·sigma²; the
+  // published sigma reflects that so CIs stay honest under dropout.
+  const double noise_fraction = static_cast<double>(dc_reports_seen_.size()) /
+                                static_cast<double>(dcs_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    counter_result r;
+    r.name = counter_names_[i];
+    r.value = crypto::to_signed_count(aggregate_[i]);
+    r.sigma = sigmas_[i] * std::sqrt(noise_fraction);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace tormet::privcount

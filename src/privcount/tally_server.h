@@ -1,0 +1,78 @@
+// PrivCount tally server (TS): configures rounds, splits the privacy budget
+// into per-counter noise levels, and aggregates DC reports with SK blinding
+// sums. The TS learns only the blinded aggregates — the final value it
+// publishes is `true count + Gaussian noise`, never anything per-relay.
+//
+// Round life cycle (driven by the deployment or a test):
+//   begin_round() -> [transport] -> all_dcs_ready()
+//   start_collection() ... events flow into DCs ... stop_collection()
+//   -> [transport] -> request_reveal()   (names the DCs that reported,
+//                                         making DC dropout recoverable)
+//   -> [transport] -> results_ready() -> results()
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/dp/action_bounds.h"
+#include "src/net/transport.h"
+#include "src/privcount/messages.h"
+
+namespace tormet::privcount {
+
+class tally_server {
+ public:
+  tally_server(net::node_id self, net::transport& transport,
+               std::vector<net::node_id> data_collectors,
+               std::vector<net::node_id> share_keepers);
+
+  void handle_message(const net::message& msg);
+
+  /// Disables noise (sigma = 0) — for tests that verify exact blinded
+  /// aggregation. Production rounds always add noise.
+  void set_noise_enabled(bool enabled) noexcept { noise_enabled_ = enabled; }
+
+  /// Configures a new round: allocates (ε, δ) across `specs` with the
+  /// equal-relative-noise rule and sends configure messages.
+  void begin_round(const std::vector<counter_spec>& specs,
+                   const dp::privacy_params& params);
+
+  [[nodiscard]] bool all_dcs_ready() const;
+  void start_collection();
+  void stop_collection();
+
+  /// After DC reports have arrived: asks SKs to reveal blinding sums over
+  /// exactly the DCs that reported.
+  void request_reveal();
+
+  [[nodiscard]] bool results_ready() const;
+  /// Aggregated (noisy) results. Throws unless results_ready().
+  [[nodiscard]] std::vector<counter_result> results() const;
+
+  /// DCs that reported this round (diagnostics; equals all DCs absent
+  /// failures).
+  [[nodiscard]] const std::set<net::node_id>& reporting_dcs() const noexcept {
+    return dc_reports_seen_;
+  }
+  [[nodiscard]] std::uint32_t round_id() const noexcept { return round_id_; }
+
+ private:
+  net::node_id self_;
+  net::transport& transport_;
+  std::vector<net::node_id> dcs_;
+  std::vector<net::node_id> sks_;
+  bool noise_enabled_ = true;
+
+  std::uint32_t round_id_ = 0;
+  std::vector<std::string> counter_names_;
+  std::vector<double> sigmas_;
+  std::set<net::node_id> dcs_ready_;
+  std::set<net::node_id> dc_reports_seen_;
+  std::set<net::node_id> sk_reports_seen_;
+  std::vector<std::uint64_t> aggregate_;  // ring sum of DC values + SK sums
+};
+
+}  // namespace tormet::privcount

@@ -1,0 +1,107 @@
+#include "src/psc/computation_party.h"
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace tormet::psc {
+
+computation_party::computation_party(net::node_id self, net::node_id tally_server,
+                                     net::transport& transport,
+                                     crypto::secure_rng& rng)
+    : self_{self}, tally_server_{tally_server}, transport_{transport}, rng_{rng} {}
+
+void computation_party::on_configure(const cp_configure_msg& m) {
+  round_id_ = m.round_id;
+  noise_bits_ = m.noise_bits;
+  cp_chain_ = m.cp_chain;
+  group_ = crypto::make_group(static_cast<crypto::group_backend>(m.group));
+  scheme_ = std::make_unique<crypto::elgamal>(group_);
+  keypair_ = scheme_->generate_keypair(rng_);
+  transcript_.reset();
+
+  pk_share_msg share;
+  share.round_id = round_id_;
+  share.pk = group_->encode(keypair_.pub);
+  transport_.send(encode_pk_share(self_, tally_server_, share));
+}
+
+net::node_id computation_party::next_in_chain() const {
+  for (std::size_t i = 0; i < cp_chain_.size(); ++i) {
+    if (cp_chain_[i] == self_) {
+      return i + 1 < cp_chain_.size() ? cp_chain_[i + 1] : tally_server_;
+    }
+  }
+  throw invariant_error{"this CP is not in the configured chain"};
+}
+
+void computation_party::on_mix(const net::message& msg) {
+  const vector_msg m = decode_vector(msg);
+  if (m.round_id != round_id_) return;
+  expects(joint_pk_.valid(), "mix pass before joint key distribution");
+  std::vector<crypto::elgamal_ciphertext> cts =
+      decode_ciphertexts(*scheme_, m.ciphertexts);
+
+  // Binomial noise: append noise_bits ciphertexts, each an encryption of a
+  // fair coin (identity or random element). Expected added count is
+  // noise_bits/2, which the estimator subtracts.
+  cts.reserve(cts.size() + noise_bits_);
+  for (std::uint64_t i = 0; i < noise_bits_; ++i) {
+    const bool one = (rng_.next_u64() & 1) != 0;
+    cts.push_back(one ? scheme_->encrypt_one(joint_pk_, rng_)
+                      : scheme_->encrypt_zero(joint_pk_, rng_));
+  }
+
+  crypto::shuffle_transcript transcript;
+  std::vector<crypto::elgamal_ciphertext> mixed = crypto::shuffle_and_rerandomize(
+      *scheme_, joint_pk_, cts, rng_, transcript);
+  transcript_ = transcript;
+
+  vector_msg out;
+  out.round_id = round_id_;
+  out.ciphertexts = encode_ciphertexts(*scheme_, mixed);
+  transport_.send(encode_vector(self_, next_in_chain(), msg_type::mix_pass, out));
+}
+
+void computation_party::on_decrypt(const net::message& msg) {
+  const vector_msg m = decode_vector(msg);
+  if (m.round_id != round_id_) return;
+  std::vector<crypto::elgamal_ciphertext> cts =
+      decode_ciphertexts(*scheme_, m.ciphertexts);
+  for (auto& ct : cts) {
+    ct = scheme_->strip_share(ct, keypair_.secret);
+  }
+  vector_msg out;
+  out.round_id = round_id_;
+  out.ciphertexts = encode_ciphertexts(*scheme_, cts);
+  const net::node_id next = next_in_chain();
+  const msg_type type =
+      next == tally_server_ ? msg_type::final_vector : msg_type::decrypt_pass;
+  transport_.send(encode_vector(self_, next, type, out));
+}
+
+void computation_party::handle_message(const net::message& msg) {
+  switch (static_cast<msg_type>(msg.type)) {
+    case msg_type::cp_configure:
+      on_configure(decode_cp_configure(msg));
+      return;
+    case msg_type::dc_configure: {
+      // The TS echoes the combined joint key to CPs with the same message
+      // DCs receive.
+      const dc_configure_msg m = decode_dc_configure(msg);
+      if (m.round_id != round_id_) return;
+      joint_pk_ = group_->decode(m.joint_pk);
+      return;
+    }
+    case msg_type::mix_pass:
+      on_mix(msg);
+      return;
+    case msg_type::decrypt_pass:
+      on_decrypt(msg);
+      return;
+    default:
+      log_line{log_level::warn} << "CP " << self_ << ": unexpected message type "
+                                << msg.type;
+  }
+}
+
+}  // namespace tormet::psc

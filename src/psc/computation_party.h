@@ -1,0 +1,54 @@
+// PSC computation party (CP): holds one share of the joint ElGamal key,
+// contributes binomial noise bits, mixes (shuffle + rerandomize), and strips
+// its decryption share. The union cardinality stays private as long as one
+// CP is honest: its shuffle breaks bin/DC linkability and its noise bits
+// keep the count differentially private.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/secure_rng.h"
+#include "src/crypto/shuffle.h"
+#include "src/net/transport.h"
+#include "src/psc/messages.h"
+
+namespace tormet::psc {
+
+class computation_party {
+ public:
+  computation_party(net::node_id self, net::node_id tally_server,
+                    net::transport& transport, crypto::secure_rng& rng);
+
+  void handle_message(const net::message& msg);
+
+  [[nodiscard]] net::node_id id() const noexcept { return self_; }
+  /// Transcript of this CP's last mix (verifiable-shuffle substitute).
+  [[nodiscard]] const std::optional<crypto::shuffle_transcript>& last_transcript()
+      const noexcept {
+    return transcript_;
+  }
+
+ private:
+  void on_configure(const cp_configure_msg& m);
+  void on_mix(const net::message& msg);
+  void on_decrypt(const net::message& msg);
+  [[nodiscard]] net::node_id next_in_chain() const;
+
+  net::node_id self_;
+  net::node_id tally_server_;
+  net::transport& transport_;
+  crypto::secure_rng& rng_;
+
+  std::uint32_t round_id_ = 0;
+  std::uint64_t noise_bits_ = 0;
+  std::vector<net::node_id> cp_chain_;
+  std::shared_ptr<const crypto::group> group_;
+  std::unique_ptr<crypto::elgamal> scheme_;
+  crypto::elgamal_keypair keypair_;
+  crypto::group_element joint_pk_;  // set when the TS echoes it via dc_configure
+  std::optional<crypto::shuffle_transcript> transcript_;
+};
+
+}  // namespace tormet::psc

@@ -1,0 +1,54 @@
+#include "src/psc/data_collector.h"
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace tormet::psc {
+
+data_collector::data_collector(net::node_id self, net::node_id tally_server,
+                               net::transport& transport,
+                               crypto::secure_rng& rng)
+    : self_{self}, tally_server_{tally_server}, transport_{transport}, rng_{rng} {}
+
+void data_collector::set_extractor(extractor fn) { extractor_ = std::move(fn); }
+
+void data_collector::handle_message(const net::message& msg) {
+  switch (static_cast<msg_type>(msg.type)) {
+    case msg_type::dc_configure: {
+      const dc_configure_msg m = decode_dc_configure(msg);
+      round_id_ = m.round_id;
+      group_ = crypto::make_group(static_cast<crypto::group_backend>(m.group));
+      scheme_ = std::make_unique<crypto::elgamal>(group_);
+      const crypto::group_element joint_pk = group_->decode(m.joint_pk);
+      set_ = std::make_unique<oblivious_set>(*scheme_, joint_pk,
+                                             static_cast<std::size_t>(m.bins), rng_);
+      return;
+    }
+    case msg_type::report_request: {
+      expects(set_ != nullptr, "report requested before configuration");
+      vector_msg report;
+      report.round_id = round_id_;
+      report.ciphertexts = encode_ciphertexts(*scheme_, set_->take_slots());
+      transport_.send(encode_vector(self_, tally_server_, msg_type::dc_vector,
+                                    report));
+      set_.reset();  // the table has been shipped; nothing remains to seize
+      return;
+    }
+    default:
+      log_line{log_level::warn} << "PSC DC " << self_
+                                << ": unexpected message type " << msg.type;
+  }
+}
+
+void data_collector::insert_item(std::string_view item) {
+  if (set_ == nullptr) return;  // not configured / already reported
+  set_->insert(as_bytes(item), rng_);
+}
+
+void data_collector::observe(const tor::event& ev) {
+  if (extractor_ == nullptr || set_ == nullptr) return;
+  const std::optional<std::string> item = extractor_(ev);
+  if (item.has_value()) insert_item(*item);
+}
+
+}  // namespace tormet::psc

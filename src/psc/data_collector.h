@@ -1,0 +1,53 @@
+// PSC data collector: owns the oblivious encrypted bit table for one
+// measurement relay, feeds items into it during collection, and ships the
+// encrypted table to the tally server on request.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/secure_rng.h"
+#include "src/net/transport.h"
+#include "src/psc/messages.h"
+#include "src/psc/oblivious_set.h"
+#include "src/tor/events.h"
+
+namespace tormet::psc {
+
+class data_collector {
+ public:
+  /// An extractor maps an observed event to the item whose distinctness is
+  /// being counted (client IP string, SLD, onion address, ...); nullopt
+  /// means the event does not contribute.
+  using extractor = std::function<std::optional<std::string>(const tor::event&)>;
+
+  data_collector(net::node_id self, net::node_id tally_server,
+                 net::transport& transport, crypto::secure_rng& rng);
+
+  void set_extractor(extractor fn);
+  void handle_message(const net::message& msg);
+  void observe(const tor::event& ev);
+
+  /// Direct item insertion (for callers not going through tor events).
+  void insert_item(std::string_view item);
+
+  [[nodiscard]] net::node_id id() const noexcept { return self_; }
+  [[nodiscard]] bool configured() const noexcept { return set_ != nullptr; }
+
+ private:
+  net::node_id self_;
+  net::node_id tally_server_;
+  net::transport& transport_;
+  crypto::secure_rng& rng_;
+  extractor extractor_;
+
+  std::uint32_t round_id_ = 0;
+  std::shared_ptr<const crypto::group> group_;
+  std::unique_ptr<crypto::elgamal> scheme_;
+  std::unique_ptr<oblivious_set> set_;
+};
+
+}  // namespace tormet::psc

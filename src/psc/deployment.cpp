@@ -1,0 +1,77 @@
+#include "src/psc/deployment.h"
+
+#include "src/util/check.h"
+
+namespace tormet::psc {
+
+deployment::deployment(net::transport& transport, const deployment_config& config)
+    : transport_{transport}, config_{config}, rng_{config.rng_seed} {
+  expects(!config_.measured_relays.empty(), "deployment needs measured relays");
+  expects(config_.num_computation_parties >= 1, "deployment needs a CP");
+
+  const net::node_id ts_id = 0;
+  std::vector<net::node_id> cp_ids;
+  for (std::size_t i = 0; i < config_.num_computation_parties; ++i) {
+    cp_ids.push_back(static_cast<net::node_id>(1 + i));
+  }
+  std::vector<net::node_id> dc_ids;
+  for (std::size_t i = 0; i < config_.measured_relays.size(); ++i) {
+    dc_ids.push_back(
+        static_cast<net::node_id>(1 + config_.num_computation_parties + i));
+  }
+
+  ts_ = std::make_unique<tally_server>(ts_id, transport_, dc_ids, cp_ids);
+  transport_.register_node(ts_id,
+                           [this](const net::message& m) { ts_->handle_message(m); });
+
+  for (const auto cp_id : cp_ids) {
+    auto cp = std::make_unique<computation_party>(cp_id, ts_id, transport_, rng_);
+    computation_party* raw = cp.get();
+    transport_.register_node(cp_id,
+                             [raw](const net::message& m) { raw->handle_message(m); });
+    cps_.push_back(std::move(cp));
+  }
+
+  for (std::size_t i = 0; i < config_.measured_relays.size(); ++i) {
+    auto dc = std::make_unique<data_collector>(dc_ids[i], ts_id, transport_, rng_);
+    data_collector* raw = dc.get();
+    transport_.register_node(dc_ids[i],
+                             [raw](const net::message& m) { raw->handle_message(m); });
+    dc_by_relay_[config_.measured_relays[i]] = raw;
+    measured_set_.insert(config_.measured_relays[i]);
+    dcs_.push_back(std::move(dc));
+  }
+}
+
+void deployment::set_extractor(data_collector::extractor fn) {
+  for (const auto& dc : dcs_) dc->set_extractor(fn);
+}
+
+void deployment::attach(tor::network& net) {
+  net.set_observed_relays(measured_set_);
+  net.set_event_sink([this](const tor::event& ev) {
+    const auto it = dc_by_relay_.find(ev.observer);
+    if (it != dc_by_relay_.end()) it->second->observe(ev);
+  });
+}
+
+round_outcome deployment::run_round(const std::function<void()>& workload) {
+  ts_->begin_round(config_.round);
+  transport_.run_until_quiescent();
+  expects(ts_->setup_complete(), "PSC key setup did not complete");
+
+  workload();
+
+  ts_->request_reports();
+  transport_.run_until_quiescent();
+  ensures(ts_->result_ready(), "PSC round did not produce a result");
+
+  round_outcome out;
+  out.raw_count = ts_->raw_count();
+  out.bins = config_.round.bins;
+  out.total_noise_bits = ts_->total_noise_bits();
+  out.estimate = estimate_cardinality(out.raw_count, out.bins, out.total_noise_bits);
+  return out;
+}
+
+}  // namespace tormet::psc

@@ -1,0 +1,34 @@
+#include "src/psc/oblivious_set.h"
+
+#include "src/crypto/sha256.h"
+#include "src/util/check.h"
+
+namespace tormet::psc {
+
+oblivious_set::oblivious_set(const crypto::elgamal& scheme,
+                             crypto::group_element joint_pub, std::size_t bins,
+                             crypto::secure_rng& rng)
+    : scheme_{scheme}, joint_pub_{std::move(joint_pub)} {
+  expects(bins >= 2, "oblivious set needs at least two bins");
+  slots_.reserve(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    slots_.push_back(scheme_.encrypt_zero(joint_pub_, rng));
+  }
+}
+
+std::size_t oblivious_set::bin_of(byte_view item) const {
+  crypto::sha256_hasher h;
+  h.update("tormet.psc.item.v1");
+  h.update_framed(item);
+  const crypto::sha256_digest d = h.finish();
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x = (x << 8) | d[static_cast<std::size_t>(i)];
+  return static_cast<std::size_t>(x % slots_.size());
+}
+
+void oblivious_set::insert(byte_view item, crypto::secure_rng& rng) {
+  expects(!slots_.empty(), "set has been taken");
+  slots_[bin_of(item)] = scheme_.encrypt_one(joint_pub_, rng);
+}
+
+}  // namespace tormet::psc

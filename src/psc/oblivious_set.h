@@ -1,0 +1,45 @@
+// PSC's oblivious counter: a hash table of ElGamal-encrypted bits. Inserting
+// an item *overwrites* its bin with a fresh encryption of a random non-
+// identity element — no read, no plaintext bit stored — so a data collector
+// holds nothing that reveals which items (client IPs, onion addresses,
+// SLDs) it has seen (§5.1: "we do not store (even temporarily) IP
+// addresses since PSC uses oblivious counters").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/elgamal.h"
+#include "src/util/bytes.h"
+
+namespace tormet::psc {
+
+class oblivious_set {
+ public:
+  /// All bins initialized to encryptions of zero under `joint_pub`.
+  oblivious_set(const crypto::elgamal& scheme, crypto::group_element joint_pub,
+                std::size_t bins, crypto::secure_rng& rng);
+
+  /// Bin index an item hashes to.
+  [[nodiscard]] std::size_t bin_of(byte_view item) const;
+
+  /// Marks the item present (idempotent by construction).
+  void insert(byte_view item, crypto::secure_rng& rng);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return slots_.size(); }
+  [[nodiscard]] const std::vector<crypto::elgamal_ciphertext>& slots()
+      const noexcept {
+    return slots_;
+  }
+  /// Moves the encrypted table out (for the report); the set is empty after.
+  [[nodiscard]] std::vector<crypto::elgamal_ciphertext> take_slots() noexcept {
+    return std::move(slots_);
+  }
+
+ private:
+  const crypto::elgamal& scheme_;
+  crypto::group_element joint_pub_;
+  std::vector<crypto::elgamal_ciphertext> slots_;
+};
+
+}  // namespace tormet::psc

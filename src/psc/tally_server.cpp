@@ -1,0 +1,158 @@
+#include "src/psc/tally_server.h"
+
+#include "src/dp/noise.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace tormet::psc {
+
+tally_server::tally_server(net::node_id self, net::transport& transport,
+                           std::vector<net::node_id> data_collectors,
+                           std::vector<net::node_id> computation_parties)
+    : self_{self}, transport_{transport}, dcs_{std::move(data_collectors)},
+      cps_{std::move(computation_parties)} {
+  expects(!dcs_.empty(), "need at least one data collector");
+  expects(!cps_.empty(), "need at least one computation party");
+}
+
+void tally_server::begin_round(const round_params& params) {
+  ++round_id_;
+  params_ = params;
+  group_ = crypto::make_group(params_.group);
+  scheme_ = std::make_unique<crypto::elgamal>(group_);
+  pk_shares_.clear();
+  joint_pk_ = {};
+  dcs_configured_ = false;
+  reports_requested_ = false;
+  mixing_started_ = false;
+  dc_reports_seen_.clear();
+  combined_.clear();
+  raw_count_.reset();
+
+  noise_bits_per_cp_ =
+      params_.noise_enabled
+          ? dp::binomial_noise_bits(params_.sensitivity, params_.privacy.epsilon,
+                                    params_.privacy.delta, params_.noise_constant)
+          : 0;
+
+  cp_configure_msg cfg;
+  cfg.round_id = round_id_;
+  cfg.bins = params_.bins;
+  cfg.noise_bits = noise_bits_per_cp_;
+  cfg.group = static_cast<std::uint8_t>(params_.group);
+  cfg.cp_chain = cps_;
+  for (const auto cp : cps_) {
+    transport_.send(encode_cp_configure(self_, cp, cfg));
+  }
+}
+
+void tally_server::maybe_distribute_joint_key() {
+  if (pk_shares_.size() != cps_.size() || dcs_configured_) return;
+  std::vector<crypto::group_element> shares;
+  shares.reserve(pk_shares_.size());
+  for (const auto& [cp, pk] : pk_shares_) shares.push_back(pk);
+  joint_pk_ = scheme_->combine_public_keys(shares);
+
+  dc_configure_msg cfg;
+  cfg.round_id = round_id_;
+  cfg.bins = params_.bins;
+  cfg.group = static_cast<std::uint8_t>(params_.group);
+  cfg.joint_pk = group_->encode(joint_pk_);
+  for (const auto dc : dcs_) {
+    transport_.send(encode_dc_configure(self_, dc, cfg));
+  }
+  // CPs need the joint key too (noise encryption + rerandomization).
+  for (const auto cp : cps_) {
+    transport_.send(encode_dc_configure(self_, cp, cfg));
+  }
+  dcs_configured_ = true;
+}
+
+bool tally_server::setup_complete() const { return dcs_configured_; }
+
+void tally_server::request_reports() {
+  expects(dcs_configured_, "round not configured");
+  reports_requested_ = true;
+  for (const auto dc : dcs_) {
+    transport_.send(encode_report_request(self_, dc, round_id_));
+  }
+}
+
+void tally_server::maybe_start_mixing() {
+  if (mixing_started_ || !reports_requested_) return;
+  if (dc_reports_seen_.size() != dcs_.size()) return;
+  force_mixing();
+}
+
+void tally_server::force_mixing() {
+  if (mixing_started_) return;
+  expects(!combined_.empty(), "no DC tables received");
+  mixing_started_ = true;
+  vector_msg m;
+  m.round_id = round_id_;
+  m.ciphertexts = encode_ciphertexts(*scheme_, combined_);
+  transport_.send(encode_vector(self_, cps_.front(), msg_type::mix_pass, m));
+}
+
+void tally_server::handle_message(const net::message& msg) {
+  switch (static_cast<msg_type>(msg.type)) {
+    case msg_type::pk_share: {
+      const pk_share_msg m = decode_pk_share(msg);
+      if (m.round_id != round_id_) return;
+      pk_shares_[msg.from] = group_->decode(m.pk);
+      maybe_distribute_joint_key();
+      return;
+    }
+    case msg_type::dc_vector: {
+      const vector_msg m = decode_vector(msg);
+      if (m.round_id != round_id_) return;
+      if (m.ciphertexts.size() != params_.bins) {
+        log_line{log_level::warn}
+            << "PSC TS: DC " << msg.from << " table has wrong size; dropping";
+        return;
+      }
+      if (!dc_reports_seen_.insert(msg.from).second) return;
+      const std::vector<crypto::elgamal_ciphertext> cts =
+          decode_ciphertexts(*scheme_, m.ciphertexts);
+      if (combined_.empty()) {
+        combined_ = cts;
+      } else {
+        for (std::size_t i = 0; i < combined_.size(); ++i) {
+          combined_[i] = scheme_->add(combined_[i], cts[i]);
+        }
+      }
+      maybe_start_mixing();
+      return;
+    }
+    case msg_type::mix_pass: {
+      // The mixed vector returned from the last CP: start the decrypt chain.
+      const vector_msg m = decode_vector(msg);
+      if (m.round_id != round_id_) return;
+      transport_.send(encode_vector(self_, cps_.front(), msg_type::decrypt_pass,
+                                    vector_msg{m.round_id, m.ciphertexts}));
+      return;
+    }
+    case msg_type::final_vector: {
+      const vector_msg m = decode_vector(msg);
+      if (m.round_id != round_id_) return;
+      const std::vector<crypto::elgamal_ciphertext> cts =
+          decode_ciphertexts(*scheme_, m.ciphertexts);
+      std::uint64_t count = 0;
+      for (const auto& ct : cts) {
+        // After every CP stripped its share, b holds the plaintext.
+        if (!group_->is_identity(ct.b)) ++count;
+      }
+      raw_count_ = count;
+      return;
+    }
+    default:
+      log_line{log_level::warn} << "PSC TS: unexpected message type " << msg.type;
+  }
+}
+
+std::uint64_t tally_server::raw_count() const {
+  expects(raw_count_.has_value(), "result not ready");
+  return *raw_count_;
+}
+
+}  // namespace tormet::psc

@@ -1,0 +1,96 @@
+// PSC tally server (the paper's §3.1 extension): coordinates key setup,
+// collects the DCs' encrypted tables, combines them homomorphically
+// (per-bin ciphertext products — an encryption of identity iff no DC set
+// the bin), drives the CP mix and decrypt chains, and counts non-identity
+// plaintexts. The TS never handles any plaintext item.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/crypto/elgamal.h"
+#include "src/dp/action_bounds.h"
+#include "src/net/transport.h"
+#include "src/psc/messages.h"
+
+namespace tormet::psc {
+
+struct round_params {
+  std::uint64_t bins = 4096;
+  /// Unique-count sensitivity Δ (from the action bounds: e.g. 4 new IPs,
+  /// 3 new onion addresses, 20 domains per protected day).
+  double sensitivity = 1.0;
+  dp::privacy_params privacy{};
+  crypto::group_backend group = crypto::group_backend::p256;
+  /// Binomial-mechanism analysis constant (see dp::binomial_noise_bits).
+  double noise_constant = 8.0;
+  bool noise_enabled = true;
+};
+
+class tally_server {
+ public:
+  tally_server(net::node_id self, net::transport& transport,
+               std::vector<net::node_id> data_collectors,
+               std::vector<net::node_id> computation_parties);
+
+  void handle_message(const net::message& msg);
+
+  /// Phase 1: configure CPs (they reply with key shares); once all shares
+  /// arrive the TS combines them and configures the DCs with the joint key.
+  void begin_round(const round_params& params);
+  [[nodiscard]] bool setup_complete() const;  // DCs configured
+
+  /// Phase 2 (after collection): gather DC tables, combine, and launch the
+  /// mix chain. Runs to completion as messages flow.
+  void request_reports();
+
+  /// Dropout recovery: starts mixing with the DC tables received so far
+  /// (the union simply excludes the dead DCs' observations).
+  void force_mixing();
+
+  [[nodiscard]] bool result_ready() const noexcept { return raw_count_.has_value(); }
+  /// Decrypted non-identity count (occupied bins + noise ones). Use
+  /// psc::estimate_cardinality / stats::psc_confidence_interval to invert.
+  [[nodiscard]] std::uint64_t raw_count() const;
+  [[nodiscard]] std::uint64_t total_noise_bits() const noexcept {
+    return noise_bits_per_cp_ * cps_.size();
+  }
+  [[nodiscard]] std::uint64_t noise_bits_per_cp() const noexcept {
+    return noise_bits_per_cp_;
+  }
+  [[nodiscard]] const round_params& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint32_t round_id() const noexcept { return round_id_; }
+  /// DCs whose tables made it into the combination (dropout diagnostics).
+  [[nodiscard]] const std::set<net::node_id>& reporting_dcs() const noexcept {
+    return dc_reports_seen_;
+  }
+
+ private:
+  void maybe_distribute_joint_key();
+  void maybe_start_mixing();
+
+  net::node_id self_;
+  net::transport& transport_;
+  std::vector<net::node_id> dcs_;
+  std::vector<net::node_id> cps_;
+
+  std::uint32_t round_id_ = 0;
+  round_params params_;
+  std::uint64_t noise_bits_per_cp_ = 0;
+  std::shared_ptr<const crypto::group> group_;
+  std::unique_ptr<crypto::elgamal> scheme_;
+  std::map<net::node_id, crypto::group_element> pk_shares_;
+  crypto::group_element joint_pk_;
+  bool dcs_configured_ = false;
+  bool reports_requested_ = false;
+  bool mixing_started_ = false;
+  std::set<net::node_id> dc_reports_seen_;
+  std::vector<crypto::elgamal_ciphertext> combined_;
+  std::optional<std::uint64_t> raw_count_;
+};
+
+}  // namespace tormet::psc

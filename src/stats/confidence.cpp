@@ -1,0 +1,45 @@
+#include "src/stats/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tormet::stats {
+
+estimate normal_estimate(double value, double sigma) {
+  expects(sigma >= 0.0, "sigma must be non-negative");
+  return {value, {value - k_z95 * sigma, value + k_z95 * sigma}};
+}
+
+estimate extrapolate_by_fraction(const estimate& local, double fraction) {
+  expects(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+  return {local.value / fraction,
+          {local.ci.lo / fraction, local.ci.hi / fraction}};
+}
+
+interval unique_count_range(double local_count, double fraction) {
+  expects(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+  expects(local_count >= 0.0, "count must be non-negative");
+  return {local_count, local_count / fraction};
+}
+
+estimate ratio_estimate(const estimate& numerator, const estimate& denominator) {
+  expects(denominator.value != 0.0, "denominator must be nonzero");
+  estimate out;
+  out.value = numerator.value / denominator.value;
+  // Conservative endpoints over the CI corner combinations; guard against
+  // denominators whose CI crosses zero.
+  const double den_lo = denominator.ci.lo <= 0.0 && denominator.value > 0.0
+                            ? denominator.value * 1e-9
+                            : denominator.ci.lo;
+  const double a = numerator.ci.lo / denominator.ci.hi;
+  const double b = numerator.ci.lo / den_lo;
+  const double c = numerator.ci.hi / denominator.ci.hi;
+  const double d = numerator.ci.hi / den_lo;
+  out.ci.lo = std::min(std::min(a, b), std::min(c, d));
+  out.ci.hi = std::max(std::max(a, b), std::max(c, d));
+  return out;
+}
+
+}  // namespace tormet::stats

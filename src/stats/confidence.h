@@ -1,0 +1,49 @@
+// Confidence intervals and network-wide inference (§3.3). PrivCount values
+// carry Gaussian noise of known sigma, so 95 % CIs are value ± 1.96·sigma;
+// network totals are inferred by dividing by the fraction of observations
+// the measuring relays make.
+#pragma once
+
+namespace tormet::stats {
+
+inline constexpr double k_z95 = 1.959963984540054;  // two-sided 95 % quantile
+
+/// A closed interval.
+struct interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lo && x <= hi;
+  }
+  [[nodiscard]] bool intersects(const interval& other) const noexcept {
+    return lo <= other.hi && other.lo <= hi;
+  }
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// A point estimate with its 95 % CI.
+struct estimate {
+  double value = 0.0;
+  interval ci{};
+};
+
+/// Gaussian 95 % CI around a noisy value.
+[[nodiscard]] estimate normal_estimate(double value, double sigma);
+
+/// Infers the network-wide total from a local observation made by relays
+/// holding `fraction` of the position weight: divides value and CI by the
+/// fraction (§3.3's running example: (3.2e7 ± 6.2e6)/0.015).
+[[nodiscard]] estimate extrapolate_by_fraction(const estimate& local,
+                                               double fraction);
+
+/// The paper's fallback when no frequency distribution is known for a
+/// unique count: the network-wide value lies in [x, x/p].
+[[nodiscard]] interval unique_count_range(double local_count, double fraction);
+
+/// Ratio of two estimates (a/b) with a conservative interval (extremes of
+/// the endpoint combinations). Used for percentage rows like Table 7/8.
+[[nodiscard]] estimate ratio_estimate(const estimate& numerator,
+                                      const estimate& denominator);
+
+}  // namespace tormet::stats

@@ -1,0 +1,71 @@
+#include "src/stats/extrapolate.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/workload/zipf.h"
+
+namespace tormet::stats {
+
+powerlaw_extrapolation_result extrapolate_uniques_powerlaw(
+    const powerlaw_extrapolation_params& params) {
+  expects(params.network_accesses > 0, "need a positive access volume");
+  expects(params.observe_fraction > 0.0 && params.observe_fraction <= 1.0,
+          "observe fraction must be in (0,1]");
+  expects(params.trials >= 1, "need at least one trial");
+  expects(params.exponent_hi >= params.exponent_lo, "exponent range inverted");
+
+  rng r{params.seed};
+  std::vector<double> accepted_networks;
+  double exp_lo = 0.0;
+  double exp_hi = 0.0;
+
+  for (std::size_t trial = 0; trial < params.trials; ++trial) {
+    const double exponent =
+        params.exponent_lo +
+        r.uniform() * (params.exponent_hi - params.exponent_lo);
+    const workload::zipf_sampler sampler{params.universe, exponent};
+
+    std::unordered_set<std::uint64_t> network_seen;
+    std::unordered_set<std::uint64_t> local_seen;
+    for (std::uint64_t i = 0; i < params.network_accesses; ++i) {
+      const std::uint64_t item = sampler.sample(r);
+      network_seen.insert(item);
+      // Each access lands at our relays with the observation probability.
+      if (r.bernoulli(params.observe_fraction)) local_seen.insert(item);
+    }
+
+    const auto local = static_cast<double>(local_seen.size());
+    if (!params.local_uniques_ci.contains(local)) continue;
+
+    if (accepted_networks.empty()) {
+      exp_lo = exp_hi = exponent;
+    } else {
+      exp_lo = std::min(exp_lo, exponent);
+      exp_hi = std::max(exp_hi, exponent);
+    }
+    accepted_networks.push_back(static_cast<double>(network_seen.size()));
+  }
+
+  powerlaw_extrapolation_result out;
+  out.trials = params.trials;
+  out.accepted = accepted_networks.size();
+  out.exponent_range = {exp_lo, exp_hi};
+  if (!accepted_networks.empty()) {
+    std::sort(accepted_networks.begin(), accepted_networks.end());
+    const auto quantile = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(accepted_networks.size() - 1));
+      return accepted_networks[idx];
+    };
+    double sum = 0.0;
+    for (const auto v : accepted_networks) sum += v;
+    out.network_uniques.value = sum / static_cast<double>(accepted_networks.size());
+    out.network_uniques.ci = {quantile(0.025), quantile(0.975)};
+  }
+  return out;
+}
+
+}  // namespace tormet::stats

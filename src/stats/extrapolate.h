@@ -1,0 +1,38 @@
+// Monte-Carlo power-law extrapolation of unique counts (§3.3, §4.3): when a
+// frequency distribution is known for the observed items (SLD visits follow
+// a power law), simulate clients visiting random destinations under
+// candidate exponents, keep the trials whose *local* unique count matches
+// the measurement, and read the network-wide unique count off the kept
+// trials. This is exactly the paper's procedure for the 513,342
+// network-wide Alexa-SLD estimate.
+#pragma once
+
+#include <cstdint>
+
+#include "src/stats/confidence.h"
+#include "src/util/rng.h"
+
+namespace tormet::stats {
+
+struct powerlaw_extrapolation_params {
+  std::uint64_t universe = 1'000'000;   // candidate item universe size
+  double exponent_lo = 0.8;             // exponent prior (uniform range)
+  double exponent_hi = 1.4;
+  std::uint64_t network_accesses = 0;   // total network-wide accesses
+  double observe_fraction = 0.0;        // our relays' share of accesses
+  interval local_uniques_ci{};          // measured local unique count CI
+  std::size_t trials = 100;             // the paper ran 100 simulations
+  std::uint64_t seed = 31337;
+};
+
+struct powerlaw_extrapolation_result {
+  estimate network_uniques{};   // over accepted trials
+  std::size_t accepted = 0;     // trials whose local count matched
+  std::size_t trials = 0;
+  interval exponent_range{};    // exponents of accepted trials
+};
+
+[[nodiscard]] powerlaw_extrapolation_result extrapolate_uniques_powerlaw(
+    const powerlaw_extrapolation_params& params);
+
+}  // namespace tormet::stats

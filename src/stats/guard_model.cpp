@@ -1,0 +1,77 @@
+#include "src/stats/guard_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tormet::stats {
+
+namespace {
+/// Probability a selective client with g weighted guard choices touches the
+/// measuring set (fraction p of guard weight).
+[[nodiscard]] double hit_probability(double p, int g) {
+  return 1.0 - std::pow(1.0 - p, g);
+}
+
+/// Inverts one measurement for S given P: S = (obs − P) / hit_probability.
+[[nodiscard]] interval selective_interval(const guard_measurement& m, double promiscuous,
+                                          int g) {
+  const double hit = hit_probability(m.guard_fraction, g);
+  const double lo = std::max(0.0, (m.uniques_ci.lo - promiscuous) / hit);
+  const double hi = std::max(0.0, (m.uniques_ci.hi - promiscuous) / hit);
+  return {lo, hi};
+}
+}  // namespace
+
+std::vector<guard_model_row> fit_guard_model(const guard_measurement& m1,
+                                             const guard_measurement& m2,
+                                             const guard_model_params& params) {
+  expects(m1.guard_fraction > 0.0 && m1.guard_fraction < 1.0,
+          "guard fraction must be in (0,1)");
+  expects(m2.guard_fraction > 0.0 && m2.guard_fraction < 1.0,
+          "guard fraction must be in (0,1)");
+  expects(m1.guard_fraction != m2.guard_fraction,
+          "measurements must differ in guard fraction");
+  expects(params.grid_steps >= 2, "grid needs at least two steps");
+
+  std::vector<guard_model_row> rows;
+  for (const int g : params.candidate_g) {
+    guard_model_row row;
+    row.guards_per_client = g;
+    bool first = true;
+    for (std::size_t step = 0; step <= params.grid_steps; ++step) {
+      const double promiscuous = params.max_promiscuous *
+                                 static_cast<double>(step) /
+                                 static_cast<double>(params.grid_steps);
+      const interval s1 = selective_interval(m1, promiscuous, g);
+      const interval s2 = selective_interval(m2, promiscuous, g);
+      if (!s1.intersects(s2)) continue;
+      const interval s{std::max(s1.lo, s2.lo), std::min(s1.hi, s2.hi)};
+
+      row.consistent = true;
+      const interval ips{s.lo + promiscuous, s.hi + promiscuous};
+      if (first) {
+        row.promiscuous = {promiscuous, promiscuous};
+        row.network_ips = ips;
+        first = false;
+      } else {
+        row.promiscuous.lo = std::min(row.promiscuous.lo, promiscuous);
+        row.promiscuous.hi = std::max(row.promiscuous.hi, promiscuous);
+        row.network_ips.lo = std::min(row.network_ips.lo, ips.lo);
+        row.network_ips.hi = std::max(row.network_ips.hi, ips.hi);
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double quick_user_estimate(double observed_uniques, double guard_fraction, int g) {
+  expects(guard_fraction > 0.0 && guard_fraction <= 1.0,
+          "guard fraction must be in (0,1]");
+  expects(g >= 1, "g must be positive");
+  return observed_uniques / guard_fraction / static_cast<double>(g);
+}
+
+}  // namespace tormet::stats

@@ -1,0 +1,49 @@
+// The paper's §5.1 guard-connection model fit (Table 3). Two unique-client-
+// IP measurements from *disjoint* relay sets with guard-weight fractions
+// p1 != p2 identify the client/guard model
+//
+//     observed(p) = S·(1 − (1 − p)^g) + P
+//
+// where S = selective clients (connect to g guards each), P = promiscuous
+// clients (connect to all guards: bridges, tor2web, NATed crowds). For each
+// candidate g, the fit finds every P for which the two measurements' CIs
+// admit a common S, and reports the resulting promiscuous-count range and
+// network-wide client-IP range (S + P).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/confidence.h"
+
+namespace tormet::stats {
+
+/// One PSC unique-IP measurement.
+struct guard_measurement {
+  interval uniques_ci{};     // 95 % CI on unique client IPs observed
+  double guard_fraction = 0; // measuring relays' share of guard weight
+};
+
+struct guard_model_row {
+  int guards_per_client = 0;
+  bool consistent = false;       // some P reconciles both measurements
+  interval promiscuous{};        // feasible promiscuous-client range
+  interval network_ips{};        // S + P over all feasible (S, P)
+};
+
+struct guard_model_params {
+  std::vector<int> candidate_g{3, 4, 5};  // paper: directory guards imply >= 3
+  double max_promiscuous = 1e6;           // search bound for P
+  std::size_t grid_steps = 4096;          // P-grid resolution
+};
+
+[[nodiscard]] std::vector<guard_model_row> fit_guard_model(
+    const guard_measurement& m1, const guard_measurement& m2,
+    const guard_model_params& params = {});
+
+/// Convenience for the paper's single-g inference: observed / (g·p) — the
+/// quick approximation used for the "~8 million daily users" headline.
+[[nodiscard]] double quick_user_estimate(double observed_uniques,
+                                         double guard_fraction, int g);
+
+}  // namespace tormet::stats

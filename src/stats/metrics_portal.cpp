@@ -1,0 +1,22 @@
+#include "src/stats/metrics_portal.h"
+
+#include "src/util/check.h"
+
+namespace tormet::stats {
+
+double metrics_portal_user_estimate(double observed_dir_requests,
+                                    double fraction,
+                                    double assumed_requests_per_day) {
+  expects(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+  expects(assumed_requests_per_day > 0.0,
+          "assumed request rate must be positive");
+  expects(observed_dir_requests >= 0.0, "request count must be non-negative");
+  return observed_dir_requests / fraction / assumed_requests_per_day;
+}
+
+double underestimate_factor(double direct_users, double metrics_users) {
+  expects(metrics_users > 0.0, "metrics estimate must be positive");
+  return direct_users / metrics_users;
+}
+
+}  // namespace tormet::stats

@@ -1,0 +1,37 @@
+// The Tor Metrics Portal user-estimation heuristic (Loesing et al., FC'10)
+// — the baseline the paper's §5 compares against. Tor Metrics counts
+// directory requests at reporting directory mirrors, extrapolates by the
+// reporting fraction, and divides by an assumed ~10 requests per client per
+// day:
+//
+//     users ≈ (observed dir requests / reporting fraction) / 10.
+//
+// The paper's finding — Tor Metrics reported 2.15 M daily users while
+// direct unique-IP measurement implies ~8-11 M — falls out of this
+// heuristic whenever clients issue fewer directory requests than assumed
+// (modern clients bundle directory traffic over guards), and the UAE
+// anomaly (§5.2) inverts it: directory-looping clients inflate their
+// country's Metrics estimate without using Tor at all.
+#pragma once
+
+#include "src/stats/confidence.h"
+
+namespace tormet::stats {
+
+/// Tor Metrics' published assumption: a client issues about 10 directory
+/// requests per day.
+inline constexpr double k_metrics_assumed_requests_per_day = 10.0;
+
+/// The Metrics-Portal-style user estimate from directory-request counts.
+/// `observed_dir_requests` at relays holding `fraction` of the directory
+/// position weight.
+[[nodiscard]] double metrics_portal_user_estimate(
+    double observed_dir_requests, double fraction,
+    double assumed_requests_per_day = k_metrics_assumed_requests_per_day);
+
+/// Ratio between a directly measured user count and the Metrics-style
+/// estimate (the paper's "factor of four more than previously believed").
+[[nodiscard]] double underestimate_factor(double direct_users,
+                                          double metrics_users);
+
+}  // namespace tormet::stats

@@ -1,0 +1,45 @@
+#include "src/stats/occupancy.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tormet::stats {
+
+double occupancy_mean(std::uint64_t n, std::uint64_t bins) {
+  expects(bins >= 1, "need at least one bin");
+  const double b = static_cast<double>(bins);
+  return b * (1.0 - std::pow(1.0 - 1.0 / b, static_cast<double>(n)));
+}
+
+double occupancy_variance(std::uint64_t n, std::uint64_t bins) {
+  expects(bins >= 1, "need at least one bin");
+  const double b = static_cast<double>(bins);
+  const double nn = static_cast<double>(n);
+  const double p1 = std::pow(1.0 - 1.0 / b, nn);        // P(bin empty)
+  const double p2 = bins >= 2 ? std::pow(1.0 - 2.0 / b, nn) : 0.0;
+  // Var = b(b-1)p2 + b p1 - b^2 p1^2  (empty-bin indicator covariance).
+  const double var = b * (b - 1.0) * p2 + b * p1 - b * b * p1 * p1;
+  return var < 0.0 ? 0.0 : var;
+}
+
+std::vector<double> occupancy_pmf(std::uint64_t n, std::uint64_t bins) {
+  expects(bins >= 1, "need at least one bin");
+  const std::size_t max_occ =
+      static_cast<std::size_t>(std::min<std::uint64_t>(n, bins));
+  std::vector<double> pmf(max_occ + 1, 0.0);
+  pmf[0] = 1.0;  // zero balls -> zero occupied
+  const double b = static_cast<double>(bins);
+  for (std::uint64_t ball = 0; ball < n; ++ball) {
+    // Throw one more ball: occupied j stays j (hit an occupied bin, prob
+    // j/b) or becomes j+1 (hit an empty bin, prob (b-j)/b).
+    for (std::size_t j = std::min<std::size_t>(max_occ, ball + 1); j > 0; --j) {
+      pmf[j] = pmf[j] * (static_cast<double>(j) / b) +
+               pmf[j - 1] * ((b - static_cast<double>(j - 1)) / b);
+    }
+    pmf[0] = 0.0;  // after >=1 ball, zero occupancy is impossible
+  }
+  return pmf;
+}
+
+}  // namespace tormet::stats

@@ -1,0 +1,24 @@
+// Balls-in-bins occupancy statistics: the distribution of occupied bins
+// after n uniform throws into b bins. PSC's hash table makes the measured
+// count a function of occupancy, so CIs need both its moments and (for the
+// exact DP algorithm) its full distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tormet::stats {
+
+/// E[occupied] = b·(1 − (1 − 1/b)^n).
+[[nodiscard]] double occupancy_mean(std::uint64_t n, std::uint64_t bins);
+
+/// Var[occupied] = b·(b−1)·(1−2/b)^n + b·(1−1/b)^n − b²·(1−1/b)^{2n}.
+[[nodiscard]] double occupancy_variance(std::uint64_t n, std::uint64_t bins);
+
+/// Exact occupancy pmf by dynamic programming: result[j] = P(occupied = j)
+/// for j in [0, min(n, bins)]. O(n·bins) time — intended for the moderate
+/// sizes where exactness matters; large cases use the normal approximation.
+[[nodiscard]] std::vector<double> occupancy_pmf(std::uint64_t n,
+                                                std::uint64_t bins);
+
+}  // namespace tormet::stats

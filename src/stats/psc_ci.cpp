@@ -1,0 +1,147 @@
+#include "src/stats/psc_ci.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/psc/estimator.h"
+#include "src/stats/occupancy.h"
+#include "src/util/check.h"
+
+namespace tormet::stats {
+
+namespace {
+
+/// Standard normal CDF.
+[[nodiscard]] double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Binomial(T, 1/2) pmf over [0, T], computed in log space for stability.
+[[nodiscard]] std::vector<double> binomial_half_pmf(std::uint64_t t) {
+  std::vector<double> pmf(t + 1, 0.0);
+  // log C(t, k) accumulated incrementally.
+  double log_c = 0.0;
+  const double log_half = std::log(0.5) * static_cast<double>(t);
+  for (std::uint64_t k = 0; k <= t; ++k) {
+    pmf[k] = std::exp(log_c + log_half);
+    if (k < t) {
+      log_c += std::log(static_cast<double>(t - k)) -
+               std::log(static_cast<double>(k + 1));
+    }
+  }
+  return pmf;
+}
+
+}  // namespace
+
+double psc_cdf(std::uint64_t r_obs, std::uint64_t n, const psc_ci_params& params) {
+  expects(params.bins >= 2, "need at least two bins");
+  const std::uint64_t b = params.bins;
+  const std::uint64_t t = params.total_noise_bits;
+
+  const bool exact = n * b <= params.exact_dp_limit && t <= 20'000;
+  if (exact) {
+    const std::vector<double> occ = occupancy_pmf(n, b);
+    const std::vector<double> noise = binomial_half_pmf(t);
+    // P(R <= r_obs) = sum_{j} occ[j] * P(noise <= r_obs - j).
+    // Precompute the noise CDF.
+    std::vector<double> noise_cdf(noise.size());
+    double acc = 0.0;
+    for (std::size_t k = 0; k < noise.size(); ++k) {
+      acc += noise[k];
+      noise_cdf[k] = acc;
+    }
+    double total = 0.0;
+    for (std::size_t j = 0; j < occ.size(); ++j) {
+      if (occ[j] == 0.0) continue;
+      if (j > r_obs) continue;  // noise cannot be negative
+      const std::uint64_t budget = r_obs - j;
+      const double nc =
+          budget >= t ? 1.0 : noise_cdf[static_cast<std::size_t>(budget)];
+      total += occ[j] * nc;
+    }
+    return std::min(total, 1.0);
+  }
+
+  // Moment-matched normal approximation with continuity correction.
+  const double mu =
+      occupancy_mean(n, b) + static_cast<double>(t) / 2.0;
+  const double var =
+      occupancy_variance(n, b) + static_cast<double>(t) / 4.0;
+  if (var <= 0.0) return static_cast<double>(r_obs) >= mu ? 1.0 : 0.0;
+  return phi((static_cast<double>(r_obs) + 0.5 - mu) / std::sqrt(var));
+}
+
+estimate psc_confidence_interval(std::uint64_t raw_count,
+                                 const psc_ci_params& params) {
+  expects(params.bins >= 2, "need at least two bins");
+  constexpr double k_alpha = 0.025;
+
+  const psc::cardinality_estimate point = psc::estimate_cardinality(
+      raw_count, params.bins, params.total_noise_bits);
+
+  // Lower endpoint: smallest n with P(R(n) >= r_obs) > alpha, i.e.
+  // 1 - P(R <= r_obs - 1) > alpha. The tail is nondecreasing in n.
+  const auto upper_tail_ok = [&](std::uint64_t n) {
+    const double cdf_below =
+        raw_count == 0 ? 0.0 : psc_cdf(raw_count - 1, n, params);
+    return 1.0 - cdf_below > k_alpha;
+  };
+  // Upper endpoint: largest n with P(R(n) <= r_obs) > alpha; this
+  // probability is nonincreasing in n.
+  const auto lower_tail_ok = [&](std::uint64_t n) {
+    return psc_cdf(raw_count, n, params) > k_alpha;
+  };
+
+  // Bisection for the smallest n satisfying upper_tail_ok.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = params.max_cardinality;
+  if (upper_tail_ok(0)) {
+    lo = 0;
+  } else {
+    std::uint64_t a = 0;
+    std::uint64_t b = 1;
+    while (b < hi && !upper_tail_ok(b)) {
+      a = b;
+      b *= 2;
+    }
+    b = std::min(b, hi);
+    while (a + 1 < b) {
+      const std::uint64_t mid = a + (b - a) / 2;
+      if (upper_tail_ok(mid)) {
+        b = mid;
+      } else {
+        a = mid;
+      }
+    }
+    lo = b;
+  }
+
+  // Bisection for the largest n satisfying lower_tail_ok.
+  if (!lower_tail_ok(lo)) {
+    hi = lo;  // degenerate: observation pinned
+  } else {
+    std::uint64_t a = lo;
+    std::uint64_t b = std::max<std::uint64_t>(lo * 2, 16);
+    while (b < params.max_cardinality && lower_tail_ok(b)) {
+      a = b;
+      b *= 2;
+    }
+    b = std::min(b, params.max_cardinality);
+    while (a + 1 < b) {
+      const std::uint64_t mid = a + (b - a) / 2;
+      if (lower_tail_ok(mid)) {
+        a = mid;
+      } else {
+        b = mid;
+      }
+    }
+    hi = a;
+  }
+
+  estimate out;
+  out.value = point.cardinality;
+  out.ci = {static_cast<double>(lo), static_cast<double>(hi)};
+  return out;
+}
+
+}  // namespace tormet::stats

@@ -1,0 +1,42 @@
+// Exact confidence intervals for PSC unique counts — the paper's §3.3:
+// "we adjust for these errors by computing 95 % confidence intervals using
+// an exact algorithm based on dynamic programming."
+//
+// The decrypted count R is distributed as
+//     R(n) = Occupancy(n, b) + Binomial(T, 1/2)
+// for true cardinality n, b bins, and T total noise bits. The 95 % CI is
+// the set of n whose R-distribution does not place the observation in
+// either 2.5 % tail:
+//     CI = { n : P(R(n) <= R_obs) > 0.025  and  P(R(n) >= R_obs) > 0.025 }.
+// Tail probabilities come from the exact DP convolution when n·b is small
+// enough and a moment-matched normal approximation otherwise; interval
+// endpoints are located by monotone bisection (both tails are monotone in
+// n).
+#pragma once
+
+#include <cstdint>
+
+#include "src/stats/confidence.h"
+
+namespace tormet::stats {
+
+struct psc_ci_params {
+  std::uint64_t bins = 0;
+  std::uint64_t total_noise_bits = 0;
+  /// Above this n·bins product the exact DP hands over to the normal
+  /// approximation (the DP is O(n·b) per candidate n).
+  std::uint64_t exact_dp_limit = 4'000'000;
+  /// Upper bound for the bisection search over n.
+  std::uint64_t max_cardinality = 1'000'000'000;
+};
+
+/// P(R(n) <= r_obs) under the model above.
+[[nodiscard]] double psc_cdf(std::uint64_t r_obs, std::uint64_t n,
+                             const psc_ci_params& params);
+
+/// Point estimate plus exact 95 % CI for the union cardinality given the
+/// decrypted raw count.
+[[nodiscard]] estimate psc_confidence_interval(std::uint64_t raw_count,
+                                               const psc_ci_params& params);
+
+}  // namespace tormet::stats

@@ -1,0 +1,122 @@
+#include "src/tor/consensus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tormet::tor {
+
+bool consensus::eligible_for(const relay& r, position pos) {
+  switch (pos) {
+    case position::guard: return r.flags.guard;
+    case position::exit: return r.flags.exit;
+    case position::hsdir: return r.flags.hsdir;
+    case position::middle:
+    case position::rendezvous:
+      // Any relay can serve as a middle or rendezvous point.
+      return true;
+  }
+  return false;
+}
+
+consensus::consensus(std::vector<relay> relays) : relays_{std::move(relays)} {
+  expects(!relays_.empty(), "consensus requires at least one relay");
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    expects(relays_[i].id == static_cast<relay_id>(i),
+            "relay ids must be dense and in order");
+    expects(relays_[i].weight >= 0.0, "relay weight must be non-negative");
+  }
+
+  const auto build = [this](position pos) {
+    position_index idx;
+    for (const auto& r : relays_) {
+      if (!eligible_for(r, pos) || r.weight <= 0.0) continue;
+      idx.ids.push_back(r.id);
+      idx.total += r.weight;
+      idx.cumulative.push_back(idx.total);
+    }
+    expects(idx.total > 0.0, "every position needs eligible weight");
+    return idx;
+  };
+  guard_ = build(position::guard);
+  middle_ = build(position::middle);
+  exit_ = build(position::exit);
+  hsdir_ = build(position::hsdir);
+  rendezvous_ = build(position::rendezvous);
+}
+
+const relay& consensus::relay_at(relay_id id) const {
+  expects(id < relays_.size(), "relay id out of range");
+  return relays_[id];
+}
+
+const consensus::position_index& consensus::index_for(position pos) const {
+  switch (pos) {
+    case position::guard: return guard_;
+    case position::middle: return middle_;
+    case position::exit: return exit_;
+    case position::hsdir: return hsdir_;
+    case position::rendezvous: return rendezvous_;
+  }
+  throw precondition_error{"unknown position"};
+}
+
+relay_id consensus::sample(position pos, rng& r) const {
+  const position_index& idx = index_for(pos);
+  const double target = r.uniform() * idx.total;
+  const auto it =
+      std::upper_bound(idx.cumulative.begin(), idx.cumulative.end(), target);
+  const std::size_t i = it == idx.cumulative.end()
+                            ? idx.cumulative.size() - 1
+                            : static_cast<std::size_t>(it - idx.cumulative.begin());
+  return idx.ids[i];
+}
+
+double consensus::selection_probability(position pos, relay_id id) const {
+  const relay& r = relay_at(id);
+  if (!eligible_for(r, pos) || r.weight <= 0.0) return 0.0;
+  return r.weight / index_for(pos).total;
+}
+
+double consensus::combined_probability(position pos,
+                                       const std::set<relay_id>& ids) const {
+  double p = 0.0;
+  for (const auto id : ids) p += selection_probability(pos, id);
+  return p;
+}
+
+double consensus::total_weight(position pos) const {
+  return index_for(pos).total;
+}
+
+std::vector<relay_id> consensus::eligible(position pos) const {
+  return index_for(pos).ids;
+}
+
+consensus make_synthetic_consensus(const consensus_params& params) {
+  expects(params.num_relays >= 4, "need at least a handful of relays");
+  rng r{params.seed};
+  std::vector<relay> relays;
+  relays.reserve(params.num_relays);
+  for (std::size_t i = 0; i < params.num_relays; ++i) {
+    relay rel;
+    rel.id = static_cast<relay_id>(i);
+    rel.nickname = "relay" + std::to_string(i);
+    // Pareto(alpha) weights, truncated: matches Tor's heavy-tailed capacity
+    // distribution (few fast relays carry much of the traffic).
+    const double u = std::max(r.uniform(), 1e-12);
+    rel.weight = std::min(std::pow(u, -1.0 / params.weight_alpha), 1e4);
+    rel.flags.guard = r.bernoulli(params.guard_fraction);
+    rel.flags.exit = r.bernoulli(params.exit_fraction);
+    rel.flags.hsdir = r.bernoulli(params.hsdir_fraction);
+    relays.push_back(std::move(rel));
+  }
+  // Guarantee position coverage even for tiny consensuses.
+  relays[0].flags.guard = true;
+  relays[1].flags.exit = true;
+  relays[2].flags.hsdir = true;
+  return consensus{std::move(relays)};
+}
+
+}  // namespace tormet::tor

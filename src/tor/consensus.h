@@ -1,0 +1,77 @@
+// The consensus: the network view Tor clients use for relay selection.
+// Provides bandwidth-weighted sampling per position (guard / middle / exit /
+// HSDir / rendezvous point) and the position-probability queries the
+// paper's inference divides by ("our relays held 1.5 % of the exit weight").
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "src/tor/relay.h"
+#include "src/util/rng.h"
+
+namespace tormet::tor {
+
+/// Relay positions a selection can target.
+enum class position { guard, middle, exit, hsdir, rendezvous };
+
+class consensus {
+ public:
+  /// Builds a consensus over `relays`. Relay ids must be dense [0, n) and
+  /// unique; at least one relay must be eligible for every position.
+  explicit consensus(std::vector<relay> relays);
+
+  [[nodiscard]] const std::vector<relay>& relays() const noexcept {
+    return relays_;
+  }
+  [[nodiscard]] const relay& relay_at(relay_id id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return relays_.size(); }
+
+  /// Bandwidth-weighted sample of a relay eligible for `pos`.
+  [[nodiscard]] relay_id sample(position pos, rng& r) const;
+
+  /// Probability that a single weighted selection for `pos` picks `id`
+  /// (zero when the relay is not eligible).
+  [[nodiscard]] double selection_probability(position pos, relay_id id) const;
+
+  /// Combined selection probability of a set of relays for `pos` — the
+  /// "fraction of observations" p used to infer network totals (§3.3).
+  [[nodiscard]] double combined_probability(position pos,
+                                            const std::set<relay_id>& ids) const;
+
+  /// Total weight eligible for a position.
+  [[nodiscard]] double total_weight(position pos) const;
+
+  /// All relays eligible for `pos`, in id order.
+  [[nodiscard]] std::vector<relay_id> eligible(position pos) const;
+
+ private:
+  struct position_index {
+    std::vector<relay_id> ids;       // eligible relays
+    std::vector<double> cumulative;  // prefix sums of weights over `ids`
+    double total = 0.0;
+  };
+
+  [[nodiscard]] const position_index& index_for(position pos) const;
+  [[nodiscard]] static bool eligible_for(const relay& r, position pos);
+
+  std::vector<relay> relays_;
+  position_index guard_, middle_, exit_, hsdir_, rendezvous_;
+};
+
+/// Construction parameters for a synthetic consensus shaped like Tor's
+/// (power-law-ish weight distribution, realistic flag fractions).
+struct consensus_params {
+  std::size_t num_relays = 6500;
+  double guard_fraction = 0.35;   // relays with the Guard flag
+  double exit_fraction = 0.15;    // relays with the Exit flag
+  double hsdir_fraction = 0.45;   // relays with the HSDir flag
+  /// Pareto shape for relay weights (heavier tail = fewer big relays).
+  double weight_alpha = 1.3;
+  std::uint64_t seed = 42;
+};
+
+/// Builds a synthetic consensus. Deterministic given params.seed.
+[[nodiscard]] consensus make_synthetic_consensus(const consensus_params& params);
+
+}  // namespace tormet::tor

@@ -1,0 +1,75 @@
+#include "src/tor/consensus_doc.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace tormet::tor {
+
+namespace {
+constexpr std::string_view k_header = "tormet-consensus 1";
+
+[[nodiscard]] std::string flags_to_string(const relay_flags& flags) {
+  std::string out;
+  if (flags.guard) out.push_back('G');
+  if (flags.exit) out.push_back('E');
+  if (flags.hsdir) out.push_back('H');
+  return out.empty() ? "-" : out;
+}
+
+[[nodiscard]] relay_flags flags_from_string(std::string_view s) {
+  relay_flags flags;
+  if (s == "-") return flags;
+  for (const char c : s) {
+    switch (c) {
+      case 'G': flags.guard = true; break;
+      case 'E': flags.exit = true; break;
+      case 'H': flags.hsdir = true; break;
+      default:
+        throw precondition_error{"unknown relay flag in consensus document"};
+    }
+  }
+  return flags;
+}
+}  // namespace
+
+std::string serialize_consensus(const consensus& net) {
+  std::ostringstream out;
+  out << k_header << '\n';
+  for (const relay& r : net.relays()) {
+    char weight[32];
+    std::snprintf(weight, sizeof weight, "%.6f", r.weight);
+    out << "relay " << r.id << ' ' << r.nickname << ' ' << weight << ' '
+        << flags_to_string(r.flags) << '\n';
+  }
+  return out.str();
+}
+
+consensus parse_consensus(const std::string& text) {
+  std::istringstream in{text};
+  std::string line;
+  expects(std::getline(in, line) && line == k_header,
+          "missing or unsupported consensus header");
+
+  std::vector<relay> relays;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields{line};
+    std::string keyword;
+    fields >> keyword;
+    expects(keyword == "relay", "unknown keyword in consensus document");
+    relay r;
+    std::string flags;
+    fields >> r.id >> r.nickname >> r.weight >> flags;
+    expects(!fields.fail(), "malformed relay line");
+    expects(r.id == relays.size(), "relay ids must be dense and in order");
+    expects(r.weight >= 0.0, "negative relay weight");
+    r.flags = flags_from_string(flags);
+    relays.push_back(std::move(r));
+  }
+  return consensus{std::move(relays)};
+}
+
+}  // namespace tormet::tor

@@ -1,0 +1,25 @@
+// Text serialization of the consensus — a minimal cousin of Tor's
+// cached-consensus format, so deployments can persist and share the network
+// view (and tests can fixture specific topologies). Line-oriented:
+//
+//   tormet-consensus 1
+//   relay <id> <nickname> <weight> <flags>
+//   ...
+//
+// where <flags> is a subset string of "GEH" (Guard/Exit/HSDir), "-" if none.
+#pragma once
+
+#include <string>
+
+#include "src/tor/consensus.h"
+
+namespace tormet::tor {
+
+/// Renders the consensus to the text format above.
+[[nodiscard]] std::string serialize_consensus(const consensus& net);
+
+/// Parses the text format. Throws precondition_error on malformed input
+/// (unknown header, bad relay lines, non-dense ids).
+[[nodiscard]] consensus parse_consensus(const std::string& text);
+
+}  // namespace tormet::tor

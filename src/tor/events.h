@@ -1,0 +1,96 @@
+// PrivCount-style measurement events. The enhanced Tor of the paper emits
+// typed events to its data collector whenever an observable action happens
+// at an instrumented relay; this header is that event vocabulary. Every
+// measurement in §4-§6 is a function over these events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/tor/onion.h"
+#include "src/tor/relay.h"
+#include "src/util/sim_time.h"
+
+namespace tormet::tor {
+
+/// How a client named its stream target (Fig 1b).
+enum class address_kind : std::uint8_t { hostname, ipv4, ipv6 };
+
+/// Outcome of an HSDir descriptor fetch (Table 7): the descriptor was
+/// served, was absent from the directory's cache, or the request itself was
+/// malformed.
+enum class fetch_outcome : std::uint8_t { success, not_found, malformed };
+
+/// Outcome of a rendezvous circuit at the RP (Table 8).
+enum class rend_outcome : std::uint8_t {
+  succeeded,           // carried >= 1 application payload cell
+  failed_conn_closed,  // connection closed before the service completed
+  failed_expired,      // circuit timed out before the service completed
+};
+
+/// Circuit purpose as visible at the entry guard.
+enum class circuit_kind : std::uint8_t { general, directory, hsdir, intro, rendezvous };
+
+// -- event bodies -----------------------------------------------------------
+
+/// A TCP connection from a client IP arrived at a guard.
+struct entry_connection_event {
+  std::uint32_t client_ip = 0;
+};
+
+/// A circuit was created through a guard.
+struct entry_circuit_event {
+  std::uint32_t client_ip = 0;
+  circuit_kind kind = circuit_kind::general;
+};
+
+/// Bytes relayed for a client at the entry position (cell overhead included).
+struct entry_data_event {
+  std::uint32_t client_ip = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// A stream was attached at an exit relay.
+struct exit_stream_event {
+  address_kind kind = address_kind::hostname;
+  bool is_initial = false;   // first stream of its circuit (§4.1)
+  std::uint16_t port = 443;
+  std::string target;        // hostname (or textual IP for ipv4/ipv6 kinds)
+};
+
+/// Bytes relayed on exit streams.
+struct exit_data_event {
+  std::uint64_t bytes = 0;
+};
+
+/// A v2 descriptor was published to this HSDir.
+struct hsdir_publish_event {
+  onion_address address;
+};
+
+/// A v2 descriptor fetch was attempted at this HSDir.
+struct hsdir_fetch_event {
+  onion_address address;  // empty for malformed requests
+  fetch_outcome outcome = fetch_outcome::success;
+};
+
+/// A rendezvous circuit terminated at this RP.
+struct rend_circuit_event {
+  rend_outcome outcome = rend_outcome::succeeded;
+  std::uint64_t payload_cells = 0;
+};
+
+using event_body =
+    std::variant<entry_connection_event, entry_circuit_event, entry_data_event,
+                 exit_stream_event, exit_data_event, hsdir_publish_event,
+                 hsdir_fetch_event, rend_circuit_event>;
+
+/// One observed action: which relay saw it, when, and what it was.
+struct event {
+  relay_id observer = 0;
+  sim_time at;
+  event_body body;
+};
+
+}  // namespace tormet::tor

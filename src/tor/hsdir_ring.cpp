@@ -1,0 +1,94 @@
+#include "src/tor/hsdir_ring.h"
+
+#include <algorithm>
+
+#include "src/crypto/sha256.h"
+#include "src/util/check.h"
+
+namespace tormet::tor {
+
+namespace {
+[[nodiscard]] std::uint64_t relay_ring_position(const relay& r) {
+  crypto::sha256_hasher h;
+  h.update("tormet.hsdir-ring.relay.v1");
+  h.update_framed(as_bytes(r.nickname));
+  const crypto::sha256_digest d = h.finish();
+  std::uint64_t pos = 0;
+  for (int i = 0; i < 8; ++i) pos = (pos << 8) | d[static_cast<std::size_t>(i)];
+  return pos;
+}
+}  // namespace
+
+hsdir_ring::hsdir_ring(const consensus& net) {
+  for (const auto& r : net.relays()) {
+    if (!r.flags.hsdir) continue;
+    positions_.push_back({relay_ring_position(r), r.id});
+  }
+  expects(positions_.size() >= k_responsible_hsdirs,
+          "ring needs at least 6 HSDirs");
+  std::sort(positions_.begin(), positions_.end(),
+            [](const entry& a, const entry& b) { return a.position < b.position; });
+}
+
+std::size_t hsdir_ring::first_at_or_after(std::uint64_t position) const {
+  const auto it = std::lower_bound(
+      positions_.begin(), positions_.end(), position,
+      [](const entry& e, std::uint64_t p) { return e.position < p; });
+  if (it == positions_.end()) return 0;  // wrap around the ring
+  return static_cast<std::size_t>(it - positions_.begin());
+}
+
+std::vector<relay_id> hsdir_ring::responsible_hsdirs(const onion_address& addr,
+                                                     std::int64_t period) const {
+  std::vector<relay_id> out;
+  out.reserve(k_responsible_hsdirs);
+  for (int replica = 0; replica < k_descriptor_replicas; ++replica) {
+    const std::uint64_t target = descriptor_ring_position(addr, replica, period);
+    std::size_t idx = first_at_or_after(target);
+    for (int s = 0; s < k_descriptor_spread; ++s) {
+      const relay_id id = positions_[idx].id;
+      // Collapse duplicates across replicas (ring wrap / close replicas),
+      // as Tor does: a relay stores one copy.
+      if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+      idx = (idx + 1) % positions_.size();
+    }
+  }
+  return out;
+}
+
+double hsdir_ring::publish_observation_probability(const std::set<relay_id>& ids,
+                                                   std::int64_t period,
+                                                   std::size_t samples) const {
+  expects(samples > 0, "need at least one sample");
+  std::size_t observed = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const onion_address addr{"pubsample" + std::to_string(i) + ".onion"};
+    for (const relay_id id : responsible_hsdirs(addr, period)) {
+      if (ids.contains(id)) {
+        ++observed;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(observed) / static_cast<double>(samples);
+}
+
+double hsdir_ring::responsibility_fraction(const std::set<relay_id>& ids,
+                                           std::int64_t period,
+                                           std::size_t samples) const {
+  expects(samples > 0, "need at least one sample");
+  // Sample synthetic addresses; measure the share of (address, replica)
+  // slots owned by `ids`. Each address has k_responsible_hsdirs slots.
+  std::size_t owned = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const onion_address addr{"sample" + std::to_string(i) + ".onion"};
+    for (const relay_id id : responsible_hsdirs(addr, period)) {
+      ++total;
+      if (ids.contains(id)) ++owned;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(owned) / static_cast<double>(total);
+}
+
+}  // namespace tormet::tor

@@ -1,0 +1,56 @@
+// The onion-service directory hash ring (the DHT of §2.1). HSDir-flagged
+// relays occupy ring positions derived from their identity; a descriptor is
+// stored on the `k_descriptor_spread` relays clockwise of each replica's
+// descriptor-ID position. Responsibility fractions drive the Table 6
+// publish/fetch extrapolation.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/tor/consensus.h"
+#include "src/tor/onion.h"
+
+namespace tormet::tor {
+
+class hsdir_ring {
+ public:
+  /// Indexes the HSDir-flagged relays of `net` by ring position.
+  explicit hsdir_ring(const consensus& net);
+
+  /// The 6 relays responsible for `addr` in `period` (2 replicas x spread 3;
+  /// duplicates collapse when replicas land close together, matching Tor).
+  [[nodiscard]] std::vector<relay_id> responsible_hsdirs(
+      const onion_address& addr, std::int64_t period) const;
+
+  /// Fraction of (address, replica) slots a relay set is responsible for —
+  /// estimated by uniform sampling of the ring (ring positions are hashes,
+  /// so this converges fast). Since clients fetch from ONE of an address's
+  /// responsible directories, this is also the probability a fetch lands on
+  /// the set — the paper's "HSDir fetch weight" (Table 6).
+  [[nodiscard]] double responsibility_fraction(const std::set<relay_id>& ids,
+                                               std::int64_t period,
+                                               std::size_t samples = 20000) const;
+
+  /// Probability that a *published* address is observed by the set: the
+  /// descriptor goes to all ~6 responsible directories, so this is the
+  /// fraction of addresses with at least one responsible directory in the
+  /// set — the paper's "HSDir publish weight".
+  [[nodiscard]] double publish_observation_probability(
+      const std::set<relay_id>& ids, std::int64_t period,
+      std::size_t samples = 20000) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+
+ private:
+  struct entry {
+    std::uint64_t position;
+    relay_id id;
+  };
+  [[nodiscard]] std::size_t first_at_or_after(std::uint64_t position) const;
+
+  std::vector<entry> positions_;  // sorted by position
+};
+
+}  // namespace tormet::tor

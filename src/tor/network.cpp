@@ -1,0 +1,219 @@
+#include "src/tor/network.h"
+
+#include <algorithm>
+
+#include "src/crypto/sha256.h"
+#include "src/util/check.h"
+
+namespace tormet::tor {
+
+network::network(consensus net, std::uint64_t seed)
+    : consensus_{std::move(net)}, ring_{consensus_}, rng_{seed} {}
+
+void network::set_observed_relays(std::set<relay_id> observed) {
+  for (const auto id : observed) {
+    expects(id < consensus_.size(), "observed relay id out of range");
+  }
+  observed_ = std::move(observed);
+}
+
+void network::set_event_sink(event_sink sink) { sink_ = std::move(sink); }
+
+void network::emit(relay_id observer, sim_time t, event_body body) {
+  if (sink_ == nullptr || !observed(observer)) return;
+  sink_(event{observer, t, std::move(body)});
+}
+
+const network::client_state& network::client_at(client_id c) const {
+  expects(c < clients_.size(), "client id out of range");
+  return clients_[c];
+}
+
+client_id network::add_client(const client_profile& profile) {
+  expects(profile.num_guards >= 1, "clients need at least one guard");
+  client_state state;
+  state.profile = profile;
+  if (profile.promiscuous) {
+    state.guards = consensus_.eligible(position::guard);
+  } else {
+    // Weighted sampling without replacement (rejection; guard counts are
+    // tiny relative to the consensus, so retries are rare).
+    while (state.guards.size() < static_cast<std::size_t>(profile.num_guards)) {
+      const relay_id g = consensus_.sample(position::guard, rng_);
+      if (std::find(state.guards.begin(), state.guards.end(), g) ==
+          state.guards.end()) {
+        state.guards.push_back(g);
+      }
+    }
+  }
+  clients_.push_back(std::move(state));
+  return static_cast<client_id>(clients_.size() - 1);
+}
+
+const client_profile& network::profile_of(client_id c) const {
+  return client_at(c).profile;
+}
+
+std::span<const relay_id> network::guards_of(client_id c) const {
+  return client_at(c).guards;
+}
+
+void network::connect_to_guards(client_id c, sim_time t) {
+  const client_state& state = client_at(c);
+  for (const relay_id g : state.guards) {
+    ++truth_.entry_connections;
+    emit(g, t, entry_connection_event{state.profile.ip});
+  }
+}
+
+void network::connect_once(client_id c, sim_time t) {
+  const client_state& state = client_at(c);
+  const std::size_t i = static_cast<std::size_t>(rng_.below(state.guards.size()));
+  ++truth_.entry_connections;
+  emit(state.guards[i], t, entry_connection_event{state.profile.ip});
+}
+
+void network::directory_circuit(client_id c, std::uint64_t bytes, sim_time t) {
+  non_exit_circuit(c, circuit_kind::directory, bytes, t);
+}
+
+void network::non_exit_circuit(client_id c, circuit_kind kind,
+                               std::uint64_t bytes, sim_time t) {
+  const client_state& state = client_at(c);
+  // Non-exit circuits go through any of the client's guards (directory
+  // circuits use up to 3 dir guards; promiscuous clients spread over all).
+  const std::size_t i = static_cast<std::size_t>(rng_.below(state.guards.size()));
+  const relay_id g = state.guards[i];
+  ++truth_.entry_circuits;
+  if (kind == circuit_kind::directory) ++truth_.entry_dir_circuits;
+  emit(g, t, entry_circuit_event{state.profile.ip, kind});
+  if (bytes > 0) {
+    const std::uint64_t wire = wire_bytes_for_payload(bytes);
+    truth_.entry_bytes += wire;
+    emit(g, t, entry_data_event{state.profile.ip, wire});
+  }
+}
+
+relay_id network::exit_circuit(client_id c, std::span<const stream_spec> streams,
+                               sim_time t) {
+  const client_state& state = client_at(c);
+  const relay_id guard = state.guards[0];  // all user data uses the data guard
+  const relay_id exit = consensus_.sample(position::exit, rng_);
+
+  ++truth_.entry_circuits;
+  emit(guard, t, entry_circuit_event{state.profile.ip, circuit_kind::general});
+
+  std::uint64_t circuit_payload = 0;
+  bool first = true;
+  for (const auto& s : streams) {
+    ++truth_.exit_streams_total;
+    if (first) {
+      ++truth_.exit_streams_initial;
+      switch (s.kind) {
+        case address_kind::hostname:
+          ++truth_.initial_hostname;
+          if (s.port == 80 || s.port == 443) {
+            ++truth_.initial_hostname_web;
+          } else {
+            ++truth_.initial_hostname_other;
+          }
+          break;
+        case address_kind::ipv4: ++truth_.initial_ipv4; break;
+        case address_kind::ipv6: ++truth_.initial_ipv6; break;
+      }
+    }
+    emit(exit, t, exit_stream_event{s.kind, first, s.port, s.target});
+    truth_.exit_bytes += s.bytes;
+    emit(exit, t, exit_data_event{s.bytes});
+    circuit_payload += s.bytes;
+    first = false;
+  }
+
+  const std::uint64_t wire = wire_bytes_for_payload(circuit_payload);
+  truth_.entry_bytes += wire;
+  emit(guard, t, entry_data_event{state.profile.ip, wire});
+  return exit;
+}
+
+service_id network::add_onion_service() {
+  // Synthesize a distinct "public key" per service; the address derives
+  // from it exactly as v2 addresses derive from real keys.
+  const std::string key_material =
+      "tormet.service.key." + std::to_string(services_.size());
+  service_state state;
+  state.address = derive_onion_address(as_bytes(key_material));
+  services_.push_back(std::move(state));
+  return static_cast<service_id>(services_.size() - 1);
+}
+
+const onion_address& network::address_of(service_id s) const {
+  expects(s < services_.size(), "service id out of range");
+  return services_[s].address;
+}
+
+void network::publish_descriptor(service_id s, std::int64_t period, sim_time t) {
+  const onion_address& addr = address_of(s);
+  published_.insert({addr.value, period});
+  for (const relay_id dir : ring_.responsible_hsdirs(addr, period)) {
+    ++truth_.descriptor_publishes;
+    emit(dir, t, hsdir_publish_event{addr});
+  }
+}
+
+fetch_result network::fetch_descriptor(client_id c, const onion_address& addr,
+                                       std::int64_t period, bool malformed,
+                                       sim_time t) {
+  // The fetch rides an hsdir circuit through the client's guard; only the
+  // guard learns the client IP, only the HSDir sees the request.
+  non_exit_circuit(c, circuit_kind::hsdir, 2048, t);
+  const std::vector<relay_id> dirs = ring_.responsible_hsdirs(addr, period);
+  const relay_id dir = dirs[static_cast<std::size_t>(rng_.below(dirs.size()))];
+
+  fetch_result result;
+  ++truth_.descriptor_fetches;
+  if (malformed) {
+    result.outcome = fetch_outcome::malformed;
+    ++truth_.descriptor_fetch_malformed;
+    // Malformed requests carry no (valid) address.
+    emit(dir, t, hsdir_fetch_event{onion_address{}, fetch_outcome::malformed});
+    return result;
+  }
+  if (published_.contains({addr.value, period})) {
+    result.outcome = fetch_outcome::success;
+    ++truth_.descriptor_fetch_success;
+  } else {
+    result.outcome = fetch_outcome::not_found;
+    ++truth_.descriptor_fetch_not_found;
+  }
+  emit(dir, t, hsdir_fetch_event{addr, result.outcome});
+  return result;
+}
+
+void network::rendezvous_attempt(client_id c, rend_outcome outcome,
+                                 std::uint64_t payload_bytes, sim_time t) {
+  // Client-side rendezvous circuit passes through the client's guard. (The
+  // service side's guard events are omitted — entry totals are dominated by
+  // client traffic and the RP measurements are position-local.)
+  non_exit_circuit(c, circuit_kind::rendezvous, payload_bytes, t);
+  const relay_id rp = consensus_.sample(position::rendezvous, rng_);
+  if (outcome == rend_outcome::succeeded) {
+    // A successful rendezvous is two circuits at the RP (§6.3); payload
+    // cells traverse both (the same cells are relayed in and out).
+    const std::uint64_t cells = cells_for_payload(payload_bytes);
+    truth_.rend_circuits += 2;
+    truth_.rend_succeeded += 2;
+    truth_.rend_payload_bytes += 2 * payload_bytes;
+    emit(rp, t, rend_circuit_event{outcome, cells});
+    emit(rp, t, rend_circuit_event{outcome, cells});
+    return;
+  }
+  ++truth_.rend_circuits;
+  if (outcome == rend_outcome::failed_conn_closed) {
+    ++truth_.rend_conn_closed;
+  } else {
+    ++truth_.rend_expired;
+  }
+  emit(rp, t, rend_circuit_event{outcome, 0});
+}
+
+}  // namespace tormet::tor

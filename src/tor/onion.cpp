@@ -1,0 +1,99 @@
+#include "src/tor/onion.h"
+
+#include "src/crypto/sha256.h"
+#include "src/util/check.h"
+
+namespace tormet::tor {
+
+namespace {
+constexpr char k_base32_alphabet[] = "abcdefghijklmnopqrstuvwxyz234567";
+constexpr std::size_t k_address_chars = 16;  // 80 bits / 5 bits per char
+
+[[nodiscard]] std::string base32_80bits(byte_view ten_bytes) {
+  // 10 bytes = 80 bits = exactly 16 base32 characters.
+  std::string out;
+  out.reserve(k_address_chars);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (const auto b : ten_bytes) {
+    acc = (acc << 8) | b;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(k_base32_alphabet[(acc >> bits) & 0x1f]);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+onion_address derive_onion_address(byte_view public_key) {
+  const crypto::sha256_digest digest = crypto::sha256(public_key);
+  return {base32_80bits(byte_view{digest.data(), 10}) + ".onion"};
+}
+
+bool is_valid_onion_address(const std::string& value) {
+  constexpr std::string_view suffix = ".onion";
+  if (value.size() != k_address_chars + suffix.size()) return false;
+  if (value.substr(k_address_chars) != suffix) return false;
+  for (std::size_t i = 0; i < k_address_chars; ++i) {
+    const char c = value[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '2' && c <= '7');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string v3_blinded_descriptor_id(const onion_address& addr,
+                                     std::int64_t period) {
+  // H(domain-sep || period || address): one-way in the address and
+  // unlinkable across periods — structurally what Ed25519 key blinding
+  // gives real v3 services.
+  crypto::sha256_hasher h;
+  h.update("tormet.v3.blinded-id.v1");
+  const std::uint8_t p[8] = {
+      static_cast<std::uint8_t>(period),       static_cast<std::uint8_t>(period >> 8),
+      static_cast<std::uint8_t>(period >> 16), static_cast<std::uint8_t>(period >> 24),
+      static_cast<std::uint8_t>(period >> 32), static_cast<std::uint8_t>(period >> 40),
+      static_cast<std::uint8_t>(period >> 48), static_cast<std::uint8_t>(period >> 56)};
+  h.update(byte_view{p, sizeof p});
+  h.update_framed(as_bytes(addr.value));
+  const crypto::sha256_digest d = h.finish();
+  return to_hex(byte_view{d.data(), d.size()});
+}
+
+std::uint64_t v3_blinded_ring_position(const onion_address& addr, int replica,
+                                       std::int64_t period) {
+  expects(replica >= 0 && replica < k_descriptor_replicas,
+          "replica index out of range");
+  crypto::sha256_hasher h;
+  h.update("tormet.v3.ring-position.v1");
+  h.update_framed(as_bytes(v3_blinded_descriptor_id(addr, period)));
+  h.update(byte_view{reinterpret_cast<const std::uint8_t*>(&replica), 1});
+  const crypto::sha256_digest d = h.finish();
+  std::uint64_t pos = 0;
+  for (int i = 0; i < 8; ++i) pos = (pos << 8) | d[static_cast<std::size_t>(i)];
+  return pos;
+}
+
+std::uint64_t descriptor_ring_position(const onion_address& addr, int replica,
+                                       std::int64_t period) {
+  expects(replica >= 0 && replica < k_descriptor_replicas,
+          "replica index out of range");
+  crypto::sha256_hasher h;
+  h.update("tormet.descriptor-id.v1");
+  h.update_framed(as_bytes(addr.value));
+  const std::uint8_t meta[9] = {
+      static_cast<std::uint8_t>(replica),
+      static_cast<std::uint8_t>(period), static_cast<std::uint8_t>(period >> 8),
+      static_cast<std::uint8_t>(period >> 16), static_cast<std::uint8_t>(period >> 24),
+      static_cast<std::uint8_t>(period >> 32), static_cast<std::uint8_t>(period >> 40),
+      static_cast<std::uint8_t>(period >> 48), static_cast<std::uint8_t>(period >> 56)};
+  h.update(byte_view{meta, sizeof meta});
+  const crypto::sha256_digest d = h.finish();
+  std::uint64_t pos = 0;
+  for (int i = 0; i < 8; ++i) pos = (pos << 8) | d[static_cast<std::size_t>(i)];
+  return pos;
+}
+
+}  // namespace tormet::tor

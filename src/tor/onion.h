@@ -1,0 +1,72 @@
+// Onion-service addressing and v2 descriptors (§2.1, §6 of the paper).
+//
+// A v2 onion address is derived from the service's public key: the first 10
+// bytes of SHA-1(pubkey) in base32 (we substitute SHA-256, which only
+// changes the hash function, not the structure). Descriptor IDs place the
+// descriptor on the HSDir hash ring per replica and time period — the
+// property the measurements rely on (replication factor determines the
+// publish/fetch extrapolation in Table 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace tormet::tor {
+
+/// A v2 onion address ("<16 base32 chars>.onion").
+struct onion_address {
+  std::string value;
+
+  friend bool operator==(const onion_address&, const onion_address&) = default;
+  friend auto operator<=>(const onion_address&, const onion_address&) = default;
+};
+
+/// Derives the v2-style address from a service public key.
+[[nodiscard]] onion_address derive_onion_address(byte_view public_key);
+
+/// True when `value` parses as a well-formed v2 onion address.
+[[nodiscard]] bool is_valid_onion_address(const std::string& value);
+
+/// Number of descriptor replicas (v2 uses 2 replicas...).
+inline constexpr int k_descriptor_replicas = 2;
+/// ...each stored on a spread of 3 consecutive ring positions = 6 HSDirs
+/// (the paper: "six or eight relays depending on Tor version"; we model 6).
+inline constexpr int k_descriptor_spread = 3;
+inline constexpr int k_responsible_hsdirs =
+    k_descriptor_replicas * k_descriptor_spread;
+
+/// Ring position of a descriptor: H(address || replica || period).
+[[nodiscard]] std::uint64_t descriptor_ring_position(const onion_address& addr,
+                                                     int replica,
+                                                     std::int64_t period);
+
+/// A published v2 descriptor (the fields our measurements observe).
+struct onion_descriptor {
+  onion_address address;
+  std::int64_t time_period = 0;  // descriptor validity period index
+};
+
+// -- v3 extension -------------------------------------------------------------
+// Version 3 onion services (rend-spec-v3) publish descriptors under a
+// *blinded* key derived from the identity key and the time period. An HSDir
+// observes only the blinded ID: it cannot recover the onion address, and
+// the same service yields unlinkable IDs in different periods. This is why
+// the paper's Table 6 measures v2 only ("we don't measure v3 ... because
+// the onion address is obscured using key blinding") — counting unique
+// blinded IDs across periods counts each service once *per period*.
+// We model the blinding as a one-way keyed derivation with the same
+// unlinkability structure.
+
+/// The blinded descriptor identifier a v3 HSDir stores for `addr` in
+/// `period` (hex string; one-way, period-dependent).
+[[nodiscard]] std::string v3_blinded_descriptor_id(const onion_address& addr,
+                                                   std::int64_t period);
+
+/// v3 ring position for a replica of a blinded descriptor.
+[[nodiscard]] std::uint64_t v3_blinded_ring_position(const onion_address& addr,
+                                                     int replica,
+                                                     std::int64_t period);
+
+}  // namespace tormet::tor

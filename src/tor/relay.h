@@ -1,0 +1,30 @@
+// Relay descriptors: the per-relay data a Tor consensus carries that our
+// model needs (weights, position flags, measurement membership).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tormet::tor {
+
+using relay_id = std::uint32_t;
+
+/// Position eligibility flags (a simplification of consensus flags: Guard,
+/// Exit, HSDir).
+struct relay_flags {
+  bool guard = false;
+  bool exit = false;
+  bool hsdir = false;
+};
+
+/// One relay as listed in the consensus.
+struct relay {
+  relay_id id = 0;
+  std::string nickname;
+  /// Consensus bandwidth weight (arbitrary units; selection probability is
+  /// weight divided by the position's total weight).
+  double weight = 0.0;
+  relay_flags flags;
+};
+
+}  // namespace tormet::tor

@@ -1,0 +1,41 @@
+#include "src/util/bytes.h"
+
+#include "src/util/check.h"
+
+namespace tormet {
+
+namespace {
+constexpr char k_hex_digits[] = "0123456789abcdef";
+
+[[nodiscard]] int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(byte_view data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const auto b : data) {
+    out.push_back(k_hex_digits[b >> 4]);
+    out.push_back(k_hex_digits[b & 0x0f]);
+  }
+  return out;
+}
+
+byte_buffer from_hex(std::string_view hex) {
+  expects(hex.size() % 2 == 0, "hex string must have even length");
+  byte_buffer out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    expects(hi >= 0 && lo >= 0, "hex string must contain only hex digits");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace tormet

@@ -1,0 +1,58 @@
+// Contract-check helpers in the spirit of the Core Guidelines' Expects/Ensures
+// (I.6, I.8). Violations throw, so callers can test failure paths, and a
+// release build keeps its invariants instead of silently corrupting state.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace tormet {
+
+/// Thrown when a precondition (argument contract) is violated.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a postcondition or internal invariant is violated.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[nodiscard]] inline std::string locate(const char* what,
+                                        const char* expr,
+                                        const std::source_location& loc) {
+  std::string msg{what};
+  msg += ": ";
+  msg += expr;
+  msg += " at ";
+  msg += loc.file_name();
+  msg += ':';
+  msg += std::to_string(loc.line());
+  return msg;
+}
+}  // namespace detail
+
+/// Precondition: throws precondition_error when `cond` is false.
+inline void expects(bool cond,
+                    const char* expr,
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) throw precondition_error{detail::locate("precondition failed", expr, loc)};
+}
+
+/// Postcondition/invariant: throws invariant_error when `cond` is false.
+inline void ensures(bool cond,
+                    const char* expr,
+                    const std::source_location loc = std::source_location::current()) {
+  if (!cond) throw invariant_error{detail::locate("invariant failed", expr, loc)};
+}
+
+}  // namespace tormet
+
+// Convenience macros that capture the failing expression text. Kept minimal
+// per ES.30 (only used where a function cannot capture the expression text).
+#define TORMET_EXPECTS(cond) ::tormet::expects((cond), #cond)
+#define TORMET_ENSURES(cond) ::tormet::ensures((cond), #cond)

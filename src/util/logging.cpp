@@ -1,0 +1,37 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tormet {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(log_level::warn)};
+
+[[nodiscard]] const char* level_name(log_level level) noexcept {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+log_level get_log_level() noexcept {
+  return static_cast<log_level>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+void emit(log_level level, const std::string& message) {
+  std::fprintf(stderr, "[tormet %-5s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace tormet

@@ -1,0 +1,43 @@
+// Minimal leveled logger. tormet is a library, so logging defaults to quiet
+// (warnings and errors only); examples and benches can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tormet {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Process-wide minimum level that will be emitted. Not thread-synchronised
+/// beyond the atomicity of the underlying int; set it before spawning work.
+void set_log_level(log_level level) noexcept;
+[[nodiscard]] log_level get_log_level() noexcept;
+
+namespace detail {
+void emit(log_level level, const std::string& message);
+}
+
+/// Stream-style log statement: log_line{log_level::info} << "x=" << x;
+/// The message is emitted when the temporary is destroyed.
+class log_line {
+ public:
+  explicit log_line(log_level level) noexcept : level_{level} {}
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+  ~log_line() {
+    if (level_ >= get_log_level()) detail::emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  log_line& operator<<(const T& value) {
+    if (level_ >= get_log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tormet

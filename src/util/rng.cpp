@@ -1,0 +1,120 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace tormet {
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over a label, for stream forking.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+rng rng::fork(std::string_view label) noexcept {
+  // Mix a label hash with fresh output so forked streams are decorrelated
+  // from the parent and from each other.
+  return rng{next() ^ fnv1a(label)};
+}
+
+std::uint64_t rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t rng::below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+bool rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double rng::exponential(double lambda) noexcept {
+  if (lambda <= 0.0) return 0.0;
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction.
+    const double draw = mean + std::sqrt(mean) * normal() + 0.5;
+    return draw < 0.0 ? 0 : static_cast<std::uint64_t>(draw);
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace tormet

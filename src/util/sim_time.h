@@ -1,0 +1,35 @@
+// Simulation time. The Tor model advances in whole seconds over measurement
+// windows (the paper measures in 24 h rounds); a strong type prevents mixing
+// tick counts with other integers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace tormet {
+
+/// A point in simulated time, in seconds since the start of the experiment.
+struct sim_time {
+  std::int64_t seconds = 0;
+
+  constexpr auto operator<=>(const sim_time&) const = default;
+
+  constexpr sim_time operator+(std::int64_t delta) const noexcept {
+    return sim_time{seconds + delta};
+  }
+  constexpr sim_time& operator+=(std::int64_t delta) noexcept {
+    seconds += delta;
+    return *this;
+  }
+  constexpr std::int64_t operator-(const sim_time& other) const noexcept {
+    return seconds - other.seconds;
+  }
+};
+
+inline constexpr std::int64_t k_seconds_per_hour = 3600;
+inline constexpr std::int64_t k_seconds_per_day = 24 * k_seconds_per_hour;
+
+/// The paper's standard measurement round length (§3.1): 24 hours.
+inline constexpr std::int64_t k_measurement_round_seconds = k_seconds_per_day;
+
+}  // namespace tormet

@@ -1,0 +1,60 @@
+// Result-table formatting used by the benchmark harnesses to print the
+// paper's rows ("paper value vs measured value") in a uniform layout.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tormet {
+
+/// One reproduced quantity: what the paper reports vs what we measured, with
+/// an optional 95 % confidence interval on the measured side.
+struct repro_row {
+  std::string statistic;
+  std::string paper_value;     // verbatim-ish from the paper, e.g. "148 million"
+  std::string measured_value;  // our inferred value, same units
+  std::string ci;              // e.g. "[143; 153] million", may be empty
+  std::string note;            // e.g. "scaled x1000", may be empty
+};
+
+/// A titled block of repro rows (one per table/figure panel).
+class repro_table {
+ public:
+  explicit repro_table(std::string title) : title_{std::move(title)} {}
+
+  void add(repro_row row) { rows_.push_back(std::move(row)); }
+  void add(std::string statistic, std::string paper_value,
+           std::string measured_value, std::string ci = "",
+           std::string note = "") {
+    rows_.push_back({std::move(statistic), std::move(paper_value),
+                     std::move(measured_value), std::move(ci), std::move(note)});
+  }
+
+  [[nodiscard]] const std::vector<repro_row>& rows() const noexcept { return rows_; }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Renders the table with aligned columns and a rule under the title.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<repro_row> rows_;
+};
+
+/// Formats a double with `digits` significant digits (benchmark output).
+[[nodiscard]] std::string format_sig(double value, int digits = 3);
+
+/// Formats "value [lo; hi]" with units scaling, e.g. 1.48e8 -> "148 million".
+[[nodiscard]] std::string format_count(double value);
+
+/// Formats a ratio as a percentage with one decimal, e.g. 0.401 -> "40.1 %".
+[[nodiscard]] std::string format_percent(double fraction);
+
+/// Formats bytes as KiB/MiB/GiB/TiB with 3 significant digits.
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace tormet

@@ -1,0 +1,18 @@
+#include "src/workload/ahmia.h"
+
+#include "src/util/check.h"
+
+namespace tormet::workload {
+
+ahmia_index ahmia_index::make(std::span<const tor::onion_address> addresses,
+                              double public_fraction, rng& r) {
+  expects(public_fraction >= 0.0 && public_fraction <= 1.0,
+          "fraction must be in [0,1]");
+  ahmia_index index;
+  for (const auto& addr : addresses) {
+    if (r.bernoulli(public_fraction)) index.indexed_.insert(addr.value);
+  }
+  return index;
+}
+
+}  // namespace tormet::workload

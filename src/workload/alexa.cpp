@@ -1,0 +1,188 @@
+#include "src/workload/alexa.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace tormet::workload {
+
+namespace {
+
+/// TLD mix for generated tail entries, weighted roughly like the 2018 list
+/// (the Fig 3 ccTLDs all present).
+struct tld_weight {
+  const char* tld;
+  double weight;
+};
+constexpr tld_weight k_tlds[] = {
+    {"com", 0.50}, {"org", 0.05},  {"net", 0.05},  {"ru", 0.040}, {"de", 0.035},
+    {"uk", 0.030}, {"br", 0.025},  {"cn", 0.025},  {"jp", 0.020}, {"fr", 0.020},
+    {"in", 0.020}, {"it", 0.015},  {"pl", 0.015},  {"ir", 0.010}, {"ua", 0.010},
+    {"nl", 0.010}, {"es", 0.010},  {"ca", 0.010},  {"au", 0.010}, {"io", 0.015},
+    {"info", 0.015}, {"biz", 0.010}, {"us", 0.010}, {"se", 0.005}, {"cz", 0.005},
+    {"kr", 0.005}, {"tr", 0.005},  {"mx", 0.005},  {"xyz", 0.010}, {"top", 0.005},
+};
+
+[[nodiscard]] std::string pick_tld(rng& r) {
+  double total = 0.0;
+  for (const auto& t : k_tlds) total += t.weight;
+  double target = r.uniform() * total;
+  for (const auto& t : k_tlds) {
+    target -= t.weight;
+    if (target <= 0.0) return t.tld;
+  }
+  return "com";
+}
+
+/// Sibling family sizes from the paper's §4.3 (google largest at 212
+/// entries; reddit and qq smallest at 3; duckduckgo/torproject at 1).
+struct sibling_family {
+  const char* basename;
+  const char* home_tld;
+  int count;
+};
+constexpr sibling_family k_families[] = {
+    {"google", "com", 212}, {"youtube", "com", 24}, {"facebook", "com", 30},
+    {"baidu", "com", 3},    {"wikipedia", "org", 12}, {"yahoo", "com", 22},
+    {"reddit", "com", 3},   {"qq", "com", 3},       {"amazon", "com", 52},
+};
+
+constexpr const char* k_sibling_tlds[] = {
+    "de", "fr", "it", "es", "ru", "pl", "nl", "se", "cz", "br", "cn", "jp",
+    "in", "ca", "au", "mx", "ar", "tr", "kr", "ua", "ch", "at", "be", "dk",
+    "fi", "gr", "hu", "id", "il", "pt", "ro", "sk", "vn", "za", "nz", "ae",
+    "sg", "hk", "th", "my", "cl", "co", "ve", "co.uk", "co.jp", "co.in",
+    "com.br", "com.cn", "com.au", "com.mx", "com.ar", "com.tr", "co.kr",
+    "co.za", "com.sg", "com.hk", "co.nz", "com.tw", "com.ua", "com.ve",
+};
+
+}  // namespace
+
+alexa_list alexa_list::make_synthetic(const params& p) {
+  expects(p.size >= 11'000, "list must be large enough for the fixed head");
+  rng r{p.seed};
+  alexa_list list;
+  list.domains_.assign(p.size, {});
+
+  // Fixed head: the 2018 top 10 plus the two special ranks the paper names.
+  const std::pair<std::uint32_t, const char*> fixed[] = {
+      {1, "google.com"},    {2, "youtube.com"}, {3, "facebook.com"},
+      {4, "baidu.com"},     {5, "wikipedia.org"}, {6, "yahoo.com"},
+      {7, "google.co.in"},  {8, "reddit.com"},  {9, "qq.com"},
+      {10, "amazon.com"},   {342, "duckduckgo.com"}, {10244, "torproject.org"},
+  };
+  for (const auto& [rank, domain] : fixed) {
+    list.domains_[rank - 1] = domain;
+  }
+
+  // Sibling families: scatter basename.tld entries over the list. Counts
+  // include the fixed-head home entries, so generate (count - already),
+  // skipping any candidate that duplicates an existing entry (e.g.
+  // google.co.in already sits at rank 7).
+  std::set<std::string> used;
+  for (const auto& [rank, domain] : fixed) used.insert(domain);
+  for (const auto& fam : k_families) {
+    int have = 0;
+    for (const auto& [rank, domain] : fixed) {
+      if (std::string_view{domain}.starts_with(std::string{fam.basename} + ".")) {
+        ++have;
+      }
+    }
+    int tld_i = 0;
+    int produced = have;
+    while (produced < fam.count) {
+      std::string domain = std::string{fam.basename} + ".";
+      if (tld_i < static_cast<int>(std::size(k_sibling_tlds))) {
+        domain += k_sibling_tlds[tld_i++];
+      } else {
+        // More entries than distinct TLDs: use subdomain-style list entries
+        // (Alexa lists popular subdomains as separate sites).
+        domain = "m" + std::to_string(tld_i - std::size(k_sibling_tlds)) + "." +
+                 fam.basename + ".com";
+        ++tld_i;
+      }
+      if (!used.insert(domain).second) continue;  // duplicate candidate
+      // Place at a random free rank in [11, size/10) — sibling sites are
+      // popular but not all top-10.
+      for (;;) {
+        const auto rank = static_cast<std::size_t>(
+            11 + r.below(static_cast<std::uint64_t>(p.size / 10 - 11)));
+        if (list.domains_[rank].empty()) {
+          list.domains_[rank] = std::move(domain);
+          break;
+        }
+      }
+      ++produced;
+    }
+  }
+
+  // Generated tail: unique basenames with the weighted TLD mix.
+  for (std::size_t i = 0; i < p.size; ++i) {
+    if (!list.domains_[i].empty()) continue;
+    list.domains_[i] = "site" + std::to_string(i + 1) + "." + pick_tld(r);
+  }
+
+  list.rank_index_.reserve(p.size);
+  for (std::size_t i = 0; i < p.size; ++i) {
+    list.rank_index_.emplace(list.domains_[i], static_cast<std::uint32_t>(i + 1));
+  }
+
+  // Category lists: 50 sites each, sampled from the top 20k. amazon.com
+  // anchors "shopping"; torproject.org is deliberately in no category.
+  const char* category_names[] = {"search",  "video",   "social", "shopping",
+                                  "news",    "science", "sports", "reference",
+                                  "games",   "music",   "travel", "health",
+                                  "finance", "education", "technology", "recreation"};
+  for (const auto* name : category_names) {
+    std::vector<std::string> members;
+    members.reserve(50);
+    if (std::string_view{name} == "shopping") members.emplace_back("amazon.com");
+    while (members.size() < 50) {
+      const auto rank = static_cast<std::size_t>(r.below(20'000));
+      const std::string& d = list.domains_[rank];
+      if (d == "torproject.org") continue;
+      if (std::find(members.begin(), members.end(), d) == members.end()) {
+        members.push_back(d);
+      }
+    }
+    list.categories_.emplace_back(name, std::move(members));
+  }
+  return list;
+}
+
+const std::string& alexa_list::domain_at_rank(std::uint32_t rank) const {
+  expects(rank >= 1 && rank <= domains_.size(), "rank out of range");
+  return domains_[rank - 1];
+}
+
+std::optional<std::uint32_t> alexa_list::rank_of(std::string_view domain) const {
+  const auto it = rank_index_.find(std::string{domain});
+  if (it == rank_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> alexa_list::sibling_set(std::string_view basename) const {
+  std::vector<std::string> out;
+  for (const auto& d : domains_) {
+    // First label must contain the basename (paper: "entries ... that
+    // contained the basename"), matching e.g. google.de and m0.google.com.
+    const std::size_t dot = d.find('.');
+    const std::string_view head = std::string_view{d}.substr(0, dot);
+    if (head.find(basename) != std::string_view::npos ||
+        d.find("." + std::string{basename} + ".") != std::string::npos) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+bool hostname_matches_domain(std::string_view hostname, std::string_view domain) {
+  if (hostname == domain) return true;
+  if (hostname.size() <= domain.size() + 1) return false;
+  if (!hostname.ends_with(domain)) return false;
+  return hostname[hostname.size() - domain.size() - 1] == '.';
+}
+
+}  // namespace tormet::workload

@@ -1,0 +1,128 @@
+#include "src/workload/geoip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tormet::workload {
+
+namespace {
+/// Head of the client-share distribution (Fig 4 shape). The remainder of
+/// the 250 countries share the leftover weight geometrically.
+struct share_row {
+  const char* code;
+  double share;
+};
+constexpr share_row k_major_countries[] = {
+    {"US", 0.170}, {"RU", 0.130}, {"DE", 0.110}, {"UA", 0.050}, {"FR", 0.048},
+    {"GB", 0.040}, {"CA", 0.032}, {"NL", 0.025}, {"PL", 0.022}, {"ES", 0.020},
+    {"IT", 0.020}, {"SE", 0.018}, {"BR", 0.018}, {"AE", 0.016}, {"MX", 0.014},
+    {"AR", 0.012}, {"SK", 0.012}, {"VE", 0.012}, {"NZ", 0.010}, {"CZ", 0.010},
+    {"AT", 0.010}, {"CH", 0.010}, {"JP", 0.010}, {"IN", 0.010}, {"AU", 0.008},
+    {"BE", 0.008}, {"DK", 0.008}, {"FI", 0.008}, {"NO", 0.008}, {"PT", 0.007},
+    {"RO", 0.007}, {"GR", 0.007}, {"HU", 0.007}, {"TR", 0.007}, {"IR", 0.007},
+    {"CN", 0.006}, {"KR", 0.006}, {"TW", 0.005}, {"HK", 0.005}, {"SG", 0.005},
+    {"ID", 0.005}, {"TH", 0.005}, {"MY", 0.004}, {"VN", 0.004}, {"IL", 0.004},
+    {"ZA", 0.004}, {"CL", 0.004}, {"CO", 0.004}, {"EG", 0.003}, {"NG", 0.003},
+};
+}  // namespace
+
+geoip_db geoip_db::make_synthetic() {
+  geoip_db db;
+  constexpr std::size_t k_num_countries = 250;
+  db.countries_.reserve(k_num_countries);
+
+  double used = 0.0;
+  for (const auto& row : k_major_countries) {
+    db.countries_.push_back({row.code, row.share, 0});
+    used += row.share;
+  }
+  // Long tail: geometric decay over the remaining countries.
+  const std::size_t tail = k_num_countries - std::size(k_major_countries);
+  const double remaining = 1.0 - used;
+  double tail_total = 0.0;
+  std::vector<double> tail_weights(tail);
+  for (std::size_t i = 0; i < tail; ++i) {
+    tail_weights[i] = std::pow(0.97, static_cast<double>(i));
+    tail_total += tail_weights[i];
+  }
+  for (std::size_t i = 0; i < tail; ++i) {
+    // Synthetic ISO-like codes T0A..T9Z for the tail.
+    std::string code = "T";
+    code += static_cast<char>('0' + (i / 26) % 10);
+    code += static_cast<char>('A' + i % 26);
+    db.countries_.push_back({code, remaining * tail_weights[i] / tail_total, 0});
+  }
+
+  // AS allocation: ~59,597 total (CAIDA's count at measurement time),
+  // proportional to client share with a minimum of 3 per country.
+  constexpr std::uint32_t k_total_as_target = 59'597;
+  db.as_base_.resize(db.countries_.size());
+  std::uint32_t next_as = 1;
+  for (std::size_t i = 0; i < db.countries_.size(); ++i) {
+    auto count = static_cast<std::uint32_t>(db.countries_[i].client_share *
+                                            k_total_as_target);
+    count = std::max<std::uint32_t>(count, 3);
+    db.countries_[i].as_count = count;
+    db.as_base_[i] = next_as;
+    next_as += count;
+  }
+  db.total_ases_ = next_as - 1;
+
+  db.cumulative_share_.reserve(db.countries_.size());
+  double acc = 0.0;
+  for (const auto& c : db.countries_) {
+    acc += c.client_share;
+    db.cumulative_share_.push_back(acc);
+  }
+  db.next_ip_.assign(db.countries_.size(), 0);
+  return db;
+}
+
+country_index geoip_db::country_of(std::uint32_t ip) const {
+  const std::uint32_t block = ip >> k_block_bits;
+  expects(block < countries_.size(), "ip outside the synthetic address plan");
+  return static_cast<country_index>(block);
+}
+
+std::uint32_t geoip_db::asn_of(std::uint32_t ip) const {
+  const country_index c = country_of(ip);
+  const std::uint32_t offset = ip & ((1u << k_block_bits) - 1);
+  const std::uint32_t block_size = 1u << k_block_bits;
+  const std::uint32_t as_count = countries_[c].as_count;
+  // Contiguous AS ranges inside the country block.
+  const auto local_as = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(offset) * as_count) / block_size);
+  return as_base_[c] + local_as;
+}
+
+country_index geoip_db::sample_country(rng& r) const {
+  const double target = r.uniform() * cumulative_share_.back();
+  const auto it = std::upper_bound(cumulative_share_.begin(),
+                                   cumulative_share_.end(), target);
+  const auto idx = it == cumulative_share_.end()
+                       ? cumulative_share_.size() - 1
+                       : static_cast<std::size_t>(it - cumulative_share_.begin());
+  return static_cast<country_index>(idx);
+}
+
+country_index geoip_db::index_of(const std::string& code) const {
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    if (countries_[i].code == code) return static_cast<country_index>(i);
+  }
+  throw precondition_error{"unknown country code: " + code};
+}
+
+std::uint32_t geoip_db::allocate_ip(country_index country) {
+  expects(country < countries_.size(), "country index out of range");
+  const std::uint32_t block_size = 1u << k_block_bits;
+  const std::uint32_t counter = next_ip_[country]++;
+  expects(counter < block_size, "country address block exhausted");
+  // Multiplicative spread (odd constant => bijection mod 2^22) so
+  // consecutive clients land in different AS ranges.
+  const std::uint32_t offset = (counter * 2654435761u) & (block_size - 1);
+  return (static_cast<std::uint32_t>(country) << k_block_bits) | offset;
+}
+
+}  // namespace tormet::workload

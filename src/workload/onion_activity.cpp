@@ -1,0 +1,111 @@
+#include "src/workload/onion_activity.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace tormet::workload {
+
+namespace {
+[[nodiscard]] std::size_t scaled_count(double network_wide, double scale,
+                                       std::size_t minimum = 1) {
+  return std::max<std::size_t>(static_cast<std::size_t>(network_wide * scale),
+                               minimum);
+}
+}  // namespace
+
+onion_driver::onion_driver(tor::network& net, onion_params params)
+    : net_{net}, params_{std::move(params)}, rng_{params_.seed},
+      fetched_pool_{0},
+      popularity_{1, 1.0},  // placeholder; re-built below once sizes are known
+      index_{} {
+  expects(params_.network_scale > 0.0 && params_.network_scale <= 1.0,
+          "network scale must be in (0,1]");
+  const std::size_t n_services =
+      scaled_count(params_.services, params_.network_scale, 8);
+  services_.reserve(n_services);
+  addresses_.reserve(n_services);
+  for (std::size_t i = 0; i < n_services; ++i) {
+    const tor::service_id s = net_.add_onion_service();
+    services_.push_back(s);
+    addresses_.push_back(net_.address_of(s));
+  }
+  fetched_pool_ = std::max<std::size_t>(
+      static_cast<std::size_t>(static_cast<double>(n_services) *
+                               params_.fetched_service_fraction),
+      1);
+  popularity_ = zipf_sampler{fetched_pool_, params_.service_popularity_exponent};
+  index_ = ahmia_index::make(addresses_, params_.public_index_fraction, rng_);
+}
+
+void onion_driver::run_day(std::span<const tor::client_id> fetch_clients,
+                           std::span<const tor::client_id> rend_clients,
+                           sim_time day_start) {
+  expects(!fetch_clients.empty(), "need at least one fetching client");
+  expects(!rend_clients.empty(), "need at least one rendezvous client");
+  const std::int64_t period = day_start.seconds / k_seconds_per_day;
+  const auto random_t = [&] {
+    return day_start + static_cast<std::int64_t>(rng_.below(k_seconds_per_day));
+  };
+
+  // -- publishes ------------------------------------------------------------
+  for (const auto s : services_) {
+    const std::uint64_t publishes = rng_.poisson(params_.publishes_per_service);
+    for (std::uint64_t i = 0; i < publishes; ++i) {
+      net_.publish_descriptor(s, period, random_t());
+    }
+  }
+
+  // -- descriptor fetches -----------------------------------------------------
+  const std::size_t fetches =
+      scaled_count(params_.fetch_attempts, params_.network_scale);
+  for (std::size_t i = 0; i < fetches; ++i) {
+    const tor::client_id c =
+        fetch_clients[static_cast<std::size_t>(rng_.below(fetch_clients.size()))];
+    if (rng_.bernoulli(params_.fetch_fail_fraction)) {
+      if (rng_.bernoulli(params_.malformed_share_of_failures)) {
+        // Malformed request: the address in it is unparseable.
+        net_.fetch_descriptor(c, addresses_[0], period, /*malformed=*/true,
+                              random_t());
+      } else {
+        // Stale address from an outdated crawler/botnet list: a well-formed
+        // v2 address that no service publishes.
+        const std::uint64_t k = rng_.below(params_.stale_address_pool);
+        const tor::onion_address stale = tor::derive_onion_address(
+            as_bytes("tormet.stale.address." + std::to_string(k)));
+        net_.fetch_descriptor(c, stale, period, /*malformed=*/false, random_t());
+      }
+      continue;
+    }
+    // Genuine fetch of a published service, Zipf popularity.
+    const std::size_t idx =
+        static_cast<std::size_t>(popularity_.sample(rng_) - 1);
+    const tor::fetch_result result = net_.fetch_descriptor(
+        c, addresses_[idx], period, /*malformed=*/false, random_t());
+    if (result.outcome == tor::fetch_outcome::success) {
+      fetched_addresses_.insert(addresses_[idx].value);
+    }
+  }
+
+  // -- rendezvous -------------------------------------------------------------
+  const std::size_t attempts =
+      scaled_count(params_.rend_attempts, params_.network_scale);
+  for (std::size_t i = 0; i < attempts; ++i) {
+    const tor::client_id c =
+        rend_clients[static_cast<std::size_t>(rng_.below(rend_clients.size()))];
+    tor::rend_outcome outcome = tor::rend_outcome::succeeded;
+    std::uint64_t payload = 0;
+    if (rng_.bernoulli(params_.rend_attempt_success)) {
+      payload = static_cast<std::uint64_t>(
+          rng_.exponential(1.0 / params_.rend_payload_mean));
+      payload = std::max<std::uint64_t>(payload, tor::k_cell_payload_bytes);
+    } else {
+      outcome = rng_.bernoulli(params_.conn_closed_share_of_failures)
+                    ? tor::rend_outcome::failed_conn_closed
+                    : tor::rend_outcome::failed_expired;
+    }
+    net_.rendezvous_attempt(c, outcome, payload, random_t());
+  }
+}
+
+}  // namespace tormet::workload

@@ -1,0 +1,94 @@
+// Onion-service workload: the service population, descriptor publish/fetch
+// traffic, and rendezvous activity of §6. Calibrated to the paper's
+// network-wide inferences:
+//
+//   Table 6 — ~70.8k unique v2 addresses published; a subset fetched.
+//   Table 7 — 134 M descriptor fetches/day, 90.9 % failing (outdated botnet
+//             address lists and malformed requests); 56.8 % of successful
+//             fetches hit ahmia-indexed (public) addresses.
+//   Table 8 — 366 M rendezvous circuits/day, only 8.08 % succeeding (84.9 %
+//             expire, 4.37 % lose their connection); successful circuits
+//             average ~730 KiB of cell payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tor/network.h"
+#include "src/workload/ahmia.h"
+#include "src/workload/zipf.h"
+
+namespace tormet::workload {
+
+struct onion_params {
+  double network_scale = 1e-3;
+
+  // -- service population (network-wide) -----------------------------------
+  double services = 70'826;
+  double publishes_per_service = 24.0;     // hourly republish
+  /// Fraction of services that clients actually fetch (paper: "between 45 %
+  /// and 100 % of active onion services are used"; we model ~75 %).
+  double fetched_service_fraction = 0.75;
+  double service_popularity_exponent = 1.0;  // Zipf over fetched services
+  /// Fraction of the service population in the public (ahmia) index.
+  double public_index_fraction = 0.57;
+
+  // -- descriptor fetch traffic (network-wide, per day) --------------------
+  double fetch_attempts = 134e6;
+  double fetch_fail_fraction = 0.909;
+  /// Of failing fetches: share that are malformed requests (rest target
+  /// missing descriptors — outdated botnet lists).
+  double malformed_share_of_failures = 0.12;
+  /// Distinct stale addresses the failing fetchers cycle through.
+  std::uint64_t stale_address_pool = 500'000;
+
+  // -- rendezvous traffic (network-wide, per day) ---------------------------
+  /// Rendezvous attempts. A successful attempt is 2 RP circuits, failures
+  /// are 1, so circuits = attempts*(2*s + (1-s)) with s below; 351 M
+  /// attempts at s = 0.042 reproduces the paper's 366 M circuits.
+  double rend_attempts = 351e6;
+  /// Fraction of attempts that succeed (chosen so succeeded *circuits* are
+  /// ~8.08 % of all RP circuits, Table 8).
+  double rend_attempt_success = 0.0421;
+  /// Of failing attempts: share failing with a closed connection (rest
+  /// expire). 0.0476 yields the paper's 4.37 % / 84.9 % circuit split.
+  double conn_closed_share_of_failures = 0.0476;
+  double rend_payload_mean = 730.0 * 1024;  // bytes per successful attempt
+
+  std::uint64_t seed = 4242;
+};
+
+class onion_driver {
+ public:
+  /// Creates the (scaled) service population in `net` and the ahmia index.
+  onion_driver(tor::network& net, onion_params params);
+
+  /// One day of onion-service activity: publishes, fetch traffic from
+  /// `fetch_clients` (bots and users), rendezvous attempts from
+  /// `rend_clients` (chat and web-to-onion users).
+  void run_day(std::span<const tor::client_id> fetch_clients,
+               std::span<const tor::client_id> rend_clients, sim_time day_start);
+
+  [[nodiscard]] const ahmia_index& index() const noexcept { return index_; }
+  [[nodiscard]] const std::vector<tor::service_id>& services() const noexcept {
+    return services_;
+  }
+  /// Ground truth: distinct addresses in successful fetches so far.
+  [[nodiscard]] std::size_t unique_fetched() const noexcept {
+    return fetched_addresses_.size();
+  }
+
+ private:
+  tor::network& net_;
+  onion_params params_;
+  rng rng_;
+  std::vector<tor::service_id> services_;
+  std::vector<tor::onion_address> addresses_;
+  std::size_t fetched_pool_;  // services [0, fetched_pool_) receive fetches
+  zipf_sampler popularity_;
+  ahmia_index index_;
+  std::set<std::string> fetched_addresses_;
+};
+
+}  // namespace tormet::workload

@@ -1,0 +1,156 @@
+#include "src/workload/population.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace tormet::workload {
+
+population::population(tor::network& net, geoip_db& geo,
+                       population_params params)
+    : net_{net}, geo_{geo}, params_{std::move(params)}, rng_{params_.seed},
+      uae_index_{geo.index_of("AE")} {
+  expects(params_.network_scale > 0.0 && params_.network_scale <= 1.0,
+          "network scale must be in (0,1]");
+  const auto selective = static_cast<std::size_t>(params_.selective_clients *
+                                                  params_.network_scale);
+  const auto promiscuous = static_cast<std::size_t>(
+      std::max(1.0, params_.promiscuous_clients * params_.network_scale));
+  expects(selective >= 10, "population too small at this scale");
+
+  active_.reserve(selective + promiscuous);
+  for (std::size_t i = 0; i < selective; ++i) {
+    active_.push_back(spawn_client(/*promiscuous=*/false));
+  }
+  for (std::size_t i = 0; i < promiscuous; ++i) {
+    active_.push_back(spawn_client(/*promiscuous=*/true));
+  }
+}
+
+tor::client_id population::spawn_client(bool promiscuous) {
+  const country_index country = geo_.sample_country(rng_);
+  tor::client_profile profile;
+  profile.country = country;
+  profile.ip = geo_.allocate_ip(country);
+  profile.asn = geo_.asn_of(profile.ip);
+  profile.promiscuous = promiscuous;
+  profile.num_guards = params_.guards_per_selective;
+  const tor::client_id id = net_.add_client(profile);
+
+  client_class k = client_class::promiscuous;
+  if (!promiscuous) {
+    if (country == uae_index_) {
+      k = client_class::uae_blocked;
+    } else {
+      const double u = rng_.uniform();
+      if (u < params_.web_share) {
+        k = client_class::web;
+      } else if (u < params_.web_share + params_.chat_share) {
+        k = client_class::chat;
+      } else if (u < params_.web_share + params_.chat_share + params_.bot_share) {
+        k = client_class::bot;
+      } else {
+        k = client_class::idle;
+      }
+    }
+  }
+  expects(static_cast<std::size_t>(id) == classes_.size(),
+          "client ids must be allocated densely");
+  classes_.push_back(k);
+  return id;
+}
+
+client_class population::class_of(tor::client_id c) const {
+  expects(c < classes_.size(), "client id out of range");
+  return classes_[c];
+}
+
+std::vector<tor::client_id> population::active_of(client_class k) const {
+  std::vector<tor::client_id> out;
+  for (const auto c : active_) {
+    if (classes_[c] == k) out.push_back(c);
+  }
+  return out;
+}
+
+void population::advance_to_day(int day) {
+  expects(day >= current_day_, "days must advance monotonically");
+  while (current_day_ < day) {
+    ++current_day_;
+    // Churn: each selective client is replaced with a fresh-IP client with
+    // probability daily_churn. Promiscuous clients are stable (bridges and
+    // tor2web instances persist).
+    for (auto& c : active_) {
+      if (classes_[c] == client_class::promiscuous) continue;
+      if (rng_.bernoulli(params_.daily_churn)) {
+        c = spawn_client(/*promiscuous=*/false);
+      }
+    }
+  }
+}
+
+void population::run_client_day(tor::client_id c, const class_rates& rates,
+                                sim_time t) {
+  // A live client contacts all of its guards daily (data traffic to the
+  // data guard, directory updates to the dir guards — the g-guards-per-
+  // client model of §5.1); rates.connections above that baseline are
+  // additional reconnects to random guards.
+  const std::size_t baseline = net_.guards_of(c).size();
+  net_.connect_to_guards(c, t);
+  const double extra_rate =
+      std::max(0.0, rates.connections - static_cast<double>(baseline));
+  const std::uint64_t connections = rng_.poisson(extra_rate);
+  for (std::uint64_t i = 0; i < connections; ++i) {
+    net_.connect_once(c, t + static_cast<std::int64_t>(rng_.below(k_seconds_per_day)));
+  }
+  const std::uint64_t dir = rng_.poisson(rates.dir_circuits);
+  for (std::uint64_t i = 0; i < dir; ++i) {
+    net_.directory_circuit(c, static_cast<std::uint64_t>(rates.dir_bytes),
+                           t + static_cast<std::int64_t>(rng_.below(k_seconds_per_day)));
+  }
+  const std::uint64_t other = rng_.poisson(rates.other_circuits);
+  for (std::uint64_t i = 0; i < other; ++i) {
+    net_.non_exit_circuit(c, tor::circuit_kind::general, 0,
+                          t + static_cast<std::int64_t>(rng_.below(k_seconds_per_day)));
+  }
+  if (rates.extra_bytes > 0.0) {
+    // Spread non-web payload over a handful of circuits.
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(rng_.exponential(1.0 / rates.extra_bytes));
+    if (bytes > 0) {
+      net_.non_exit_circuit(c, tor::circuit_kind::general, bytes,
+                            t + static_cast<std::int64_t>(rng_.below(k_seconds_per_day)));
+    }
+  }
+}
+
+void population::run_entry_day(sim_time day_start) {
+  for (const auto c : active_) {
+    const client_class k = classes_[c];
+    switch (k) {
+      case client_class::web:
+        run_client_day(c, params_.web_rates, day_start);
+        break;
+      case client_class::chat:
+        run_client_day(c, params_.chat_rates, day_start);
+        break;
+      case client_class::bot:
+        run_client_day(c, params_.bot_rates, day_start);
+        break;
+      case client_class::idle:
+        run_client_day(c, params_.idle_rates, day_start);
+        break;
+      case client_class::uae_blocked:
+        run_client_day(c, params_.uae_rates, day_start);
+        break;
+      case client_class::promiscuous:
+        // run_client_day's baseline connect covers every guard (that is
+        // what promiscuity means), then the heavy circuit schedule spreads
+        // across all of them.
+        run_client_day(c, params_.promiscuous_rates, day_start);
+        break;
+    }
+  }
+}
+
+}  // namespace tormet::workload

@@ -1,0 +1,126 @@
+// The client population model: who connects to Tor, from where, through how
+// many guards, and with what daily entry-side behaviour. Parameters are
+// expressed as *network-wide* (unscaled) targets calibrated to the paper's
+// §5 measurements, then multiplied by `network_scale`; benches scale
+// measured values back up when printing comparisons.
+//
+// Client classes:
+//   * web       — Tor Browser users: few connections, browsing circuits
+//                 (driven by browsing_driver), moderate directory traffic.
+//   * chat      — Ricochet-style P2P onion chat: many non-exit circuits
+//                 (the paper's 651-circuit action bound is chat-defined).
+//   * bot       — crawlers/botnet nodes: many connections and circuits,
+//                 heavy HSDir fetch traffic (drives Table 7's failures).
+//   * idle      — dormant clients that connect and do little.
+//   * uae_blocked — the paper's UAE anomaly (§5.2): clients that can build
+//                 directory circuits but not regular circuits, so they loop
+//                 directory fetches. Applied to clients in AE.
+//   * promiscuous — bridges / tor2web / NAT aggregation points: contact all
+//                 guards (the Table 3 "promiscuous" population).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tor/network.h"
+#include "src/util/sim_time.h"
+#include "src/workload/geoip.h"
+
+namespace tormet::workload {
+
+enum class client_class : std::uint8_t { web, chat, bot, idle, uae_blocked, promiscuous };
+
+/// Per-class daily entry-side behaviour rates (means of Poisson draws).
+struct class_rates {
+  double connections = 4.0;       // TCP connections to guards
+  double dir_circuits = 8.0;      // directory circuits
+  double other_circuits = 12.0;   // preemptive/measurement/pre-built circuits
+  double dir_bytes = 600e3;       // consensus+descriptor bytes per dir circuit
+  double extra_bytes = 0.0;       // non-web entry payload per day
+};
+
+struct population_params {
+  double network_scale = 1e-3;
+
+  // -- §5.1 calibration (network-wide, per day) ---------------------------
+  double selective_clients = 8.8e6;  // distinct selective client IPs per day
+  double promiscuous_clients = 18'000;
+  int guards_per_selective = 3;      // 1 data guard + 2 directory guards
+  /// Fraction of the selective population replaced with fresh IPs each
+  /// day. 0.382 reproduces the paper's 4-day/1-day unique ratio of ~2.15
+  /// (unique(4d) = N·(1 + 3·churn)).
+  double daily_churn = 0.382;
+
+  // -- class mix over selective clients ------------------------------------
+  double web_share = 0.78;
+  double chat_share = 0.05;
+  double bot_share = 0.10;
+  double idle_share = 0.07;
+
+  // Directory rates are deliberately *below* Tor Metrics' assumed 10
+  // requests/client/day (modern clients bundle directory pulls through
+  // their guards) — this is what makes the Metrics-Portal baseline
+  // (stats/metrics_portal.h) underestimate the userbase by the paper's
+  // factor of ~4.
+  class_rates web_rates{4.0, 2.5, 25.0, 600e3, 2e6};
+  class_rates chat_rates{4.0, 2.5, 605.0, 600e3, 5e6};
+  class_rates bot_rates{100.0, 3.0, 605.0, 600e3, 2e6};
+  class_rates idle_rates{1.0, 1.0, 6.0, 600e3, 1e5};
+  /// UAE anomaly: directory loops instead of regular circuits. The repeated
+  /// fetches are small (failed consensus pulls), so AE leads in circuits
+  /// but not in bytes or connections — the Fig 4 signature.
+  class_rates uae_rates{12.0, 500.0, 0.0, 25e3, 0.0};
+  /// Promiscuous: one connection per guard (connect_to_guards) plus heavy
+  /// circuit building spread across all guards.
+  class_rates promiscuous_rates{0.0, 50.0, 2000.0, 600e3, 50e6};
+
+  std::uint64_t seed = 1234;
+};
+
+class population {
+ public:
+  /// Registers the day-1 population into `net` (guard sampling happens per
+  /// client inside the network model).
+  population(tor::network& net, geoip_db& geo, population_params params);
+
+  /// Applies churn to produce day `day`'s active set (day 0 = first day).
+  /// Days must be advanced in order.
+  void advance_to_day(int day);
+
+  /// Runs the entry-side behaviour (connections, directory circuits,
+  /// non-exit circuits, entry-only payload) for every active client.
+  void run_entry_day(sim_time day_start);
+
+  /// Clients active on the current day (web clients first is NOT
+  /// guaranteed; filter by class_of).
+  [[nodiscard]] const std::vector<tor::client_id>& active() const noexcept {
+    return active_;
+  }
+  [[nodiscard]] client_class class_of(tor::client_id c) const;
+
+  /// Active clients of one class (for the browsing / onion drivers).
+  [[nodiscard]] std::vector<tor::client_id> active_of(client_class k) const;
+
+  /// Distinct client IPs ever activated (ground truth for unique-IP
+  /// measurements).
+  [[nodiscard]] std::size_t unique_ips_to_date() const noexcept {
+    return classes_.size();
+  }
+
+  [[nodiscard]] const population_params& cfg() const noexcept { return params_; }
+
+ private:
+  [[nodiscard]] tor::client_id spawn_client(bool promiscuous);
+  void run_client_day(tor::client_id c, const class_rates& rates, sim_time t);
+
+  tor::network& net_;
+  geoip_db& geo_;
+  population_params params_;
+  rng rng_;
+  std::vector<client_class> classes_;  // indexed by client_id
+  std::vector<tor::client_id> active_;
+  int current_day_ = 0;
+  country_index uae_index_;
+};
+
+}  // namespace tormet::workload

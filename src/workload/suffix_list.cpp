@@ -1,0 +1,66 @@
+#include "src/workload/suffix_list.h"
+
+namespace tormet::workload {
+
+suffix_list suffix_list::embedded() {
+  suffix_list list;
+  list.suffixes_ = {
+      // generic
+      "com", "org", "net", "edu", "gov", "mil", "int", "info", "biz", "io",
+      "me", "tv", "cc", "xyz", "top", "site", "online", "club", "shop",
+      // the ccTLDs Fig 3 measures plus common others
+      "br", "cn", "de", "fr", "in", "ir", "it", "jp", "pl", "ru", "uk", "ua",
+      "us", "ca", "au", "nl", "se", "no", "es", "ch", "cz", "kr", "tw", "mx",
+      "ar", "at", "be", "dk", "fi", "gr", "hu", "id", "il", "pt", "ro", "sk",
+      "tr", "vn", "za", "nz", "ae", "sg", "hk", "th", "my", "cl", "co", "ve",
+      // common two-label suffixes
+      "co.uk", "org.uk", "ac.uk", "gov.uk", "com.br", "com.cn", "com.au",
+      "co.jp", "co.in", "co.kr", "com.mx", "com.ar", "com.tr", "co.za",
+      "com.sg", "com.hk", "co.nz", "com.tw", "com.ua", "com.ve",
+  };
+  return list;
+}
+
+bool suffix_list::is_public_suffix(std::string_view suffix) const {
+  return suffixes_.contains(suffix);
+}
+
+std::optional<std::string> suffix_list::public_suffix_of(
+    std::string_view hostname) const {
+  // Try progressively shorter suffixes: for "a.b.c.co.uk" test "b.c.co.uk",
+  // "c.co.uk", "co.uk", "uk"; the *longest* match wins, so scan from the
+  // leftmost dot rightwards and return the first hit.
+  std::string_view rest = hostname;
+  while (true) {
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string_view::npos) break;
+    rest.remove_prefix(dot + 1);
+    if (is_public_suffix(rest)) return std::string{rest};
+  }
+  // A bare label ("localhost") or sole TLD is not a usable suffix match.
+  if (is_public_suffix(hostname)) return std::string{hostname};
+  return std::nullopt;
+}
+
+std::optional<std::string> suffix_list::sld_of(std::string_view hostname) const {
+  const auto suffix = public_suffix_of(hostname);
+  if (!suffix.has_value()) return std::nullopt;
+  if (suffix->size() >= hostname.size()) return std::nullopt;  // no label above
+  // hostname = <labels> '.' <suffix>; find the label just above the suffix.
+  const std::string_view above =
+      hostname.substr(0, hostname.size() - suffix->size() - 1);
+  const std::size_t dot = above.rfind('.');
+  const std::string_view label =
+      dot == std::string_view::npos ? above : above.substr(dot + 1);
+  if (label.empty()) return std::nullopt;
+  return std::string{label} + "." + *suffix;
+}
+
+std::optional<std::string> suffix_list::tld_of(std::string_view hostname) {
+  if (hostname.empty() || hostname.back() == '.') return std::nullopt;
+  const std::size_t dot = hostname.rfind('.');
+  if (dot == std::string_view::npos) return std::string{hostname};
+  return std::string{hostname.substr(dot + 1)};
+}
+
+}  // namespace tormet::workload

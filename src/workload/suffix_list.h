@@ -1,0 +1,41 @@
+// Public-suffix handling (the paper's SLD measurements use the Mozilla
+// public suffix list to find registered domains). We embed a representative
+// suffix set: the generic TLDs, the country TLDs the paper's Fig 3 measures,
+// and common two-label suffixes (co.uk, com.br, ...), which is sufficient
+// for the synthetic domain universe.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace tormet::workload {
+
+class suffix_list {
+ public:
+  /// The embedded suffix set described above.
+  [[nodiscard]] static suffix_list embedded();
+
+  /// True when `suffix` (without leading dot) is a public suffix.
+  [[nodiscard]] bool is_public_suffix(std::string_view suffix) const;
+
+  /// Longest public suffix of `hostname`, or nullopt when none matches
+  /// (e.g., .onion addresses and bare IPs are not in the list).
+  [[nodiscard]] std::optional<std::string> public_suffix_of(
+      std::string_view hostname) const;
+
+  /// Second-level domain = registered domain: one label plus the public
+  /// suffix ("foo.bar.example.co.uk" -> "example.co.uk"). nullopt when the
+  /// hostname has no public suffix or no label above it.
+  [[nodiscard]] std::optional<std::string> sld_of(std::string_view hostname) const;
+
+  /// Top-level domain (final label), e.g. "com" — used by the Fig 3
+  /// wildcard TLD counters. nullopt for empty/trailing-dot input.
+  [[nodiscard]] static std::optional<std::string> tld_of(std::string_view hostname);
+
+ private:
+  std::set<std::string, std::less<>> suffixes_;
+};
+
+}  // namespace tormet::workload

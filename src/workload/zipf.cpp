@@ -1,0 +1,32 @@
+#include "src/workload/zipf.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tormet::workload {
+
+zipf_sampler::zipf_sampler(std::uint64_t n, double exponent)
+    : n_{n}, s_{exponent} {
+  expects(n >= 1, "zipf needs at least one rank");
+  expects(exponent > 0.0, "zipf exponent must be positive");
+  pow_term_ = std::abs(s_ - 1.0) < 1e-9
+                  ? 0.0
+                  : std::pow(static_cast<double>(n_), 1.0 - s_) - 1.0;
+}
+
+std::uint64_t zipf_sampler::sample(rng& r) const {
+  const double u = r.uniform();
+  double x = 0.0;
+  if (std::abs(s_ - 1.0) < 1e-9) {
+    x = std::pow(static_cast<double>(n_), u);
+  } else {
+    x = std::pow(1.0 + u * pow_term_, 1.0 / (1.0 - s_));
+  }
+  auto rank = static_cast<std::uint64_t>(x);
+  if (rank < 1) rank = 1;
+  if (rank > n_) rank = n_;
+  return rank;
+}
+
+}  // namespace tormet::workload

@@ -1,0 +1,35 @@
+// Power-law (Zipf) rank sampling. The paper relies on the observation that
+// web-site popularity follows a power law [Adamic & Huberman; Krashakov et
+// al.] both to model domain visits and to extrapolate unique-SLD counts via
+// Monte-Carlo simulation (§3.3, §4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace tormet::workload {
+
+/// Samples ranks in [1, n] with P(rank = k) ∝ k^(-s).
+///
+/// Uses the continuous inverse-CDF approximation, which is accurate for the
+/// large n used here and O(1) per sample with no per-n precomputation:
+///   s = 1:  rank = n^u           (equal mass per decade — this is why the
+///                                 paper's Fig 2 rank buckets are flat)
+///   s ≠ 1:  rank = [1 + u·(n^(1-s) - 1)]^(1/(1-s))
+class zipf_sampler {
+ public:
+  zipf_sampler(std::uint64_t n, double exponent);
+
+  [[nodiscard]] std::uint64_t sample(rng& r) const;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  double pow_term_;  // n^(1-s) - 1, cached for the s != 1 branch
+};
+
+}  // namespace tormet::workload

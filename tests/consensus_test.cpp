@@ -1,0 +1,121 @@
+// Consensus tests: weighted selection correctness, position eligibility,
+// probability queries, synthetic consensus structure.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/tor/consensus.h"
+#include "src/util/check.h"
+
+namespace tormet::tor {
+namespace {
+
+[[nodiscard]] std::vector<relay> small_relay_set() {
+  std::vector<relay> relays;
+  const auto add = [&](double weight, bool guard, bool exit, bool hsdir) {
+    relay r;
+    r.id = static_cast<relay_id>(relays.size());
+    r.nickname = "r" + std::to_string(relays.size());
+    r.weight = weight;
+    r.flags = {guard, exit, hsdir};
+    relays.push_back(std::move(r));
+  };
+  add(10.0, true, false, true);    // 0: guard+hsdir
+  add(30.0, true, true, false);    // 1: guard+exit
+  add(60.0, false, true, true);    // 2: exit+hsdir
+  add(100.0, false, false, false); // 3: middle only
+  return relays;
+}
+
+TEST(ConsensusTest, SelectionProbabilities) {
+  const consensus net{small_relay_set()};
+  // Guard weight = 10 + 30.
+  EXPECT_DOUBLE_EQ(net.selection_probability(position::guard, 0), 10.0 / 40.0);
+  EXPECT_DOUBLE_EQ(net.selection_probability(position::guard, 1), 30.0 / 40.0);
+  EXPECT_DOUBLE_EQ(net.selection_probability(position::guard, 2), 0.0);
+  // Exit weight = 30 + 60.
+  EXPECT_DOUBLE_EQ(net.selection_probability(position::exit, 2), 60.0 / 90.0);
+  // Middle: everyone.
+  EXPECT_DOUBLE_EQ(net.selection_probability(position::middle, 3), 100.0 / 200.0);
+  EXPECT_DOUBLE_EQ(net.total_weight(position::middle), 200.0);
+}
+
+TEST(ConsensusTest, CombinedProbability) {
+  const consensus net{small_relay_set()};
+  EXPECT_DOUBLE_EQ(net.combined_probability(position::guard, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(net.combined_probability(position::exit, {1}), 30.0 / 90.0);
+  EXPECT_DOUBLE_EQ(net.combined_probability(position::exit, {0, 3}), 0.0);
+}
+
+TEST(ConsensusTest, SamplingMatchesWeights) {
+  const consensus net{small_relay_set()};
+  rng r{77};
+  std::map<relay_id, int> counts;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[net.sample(position::exit, r)];
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 30.0 / 90.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 60.0 / 90.0, 0.01);
+}
+
+TEST(ConsensusTest, EligibleLists) {
+  const consensus net{small_relay_set()};
+  EXPECT_EQ(net.eligible(position::guard), (std::vector<relay_id>{0, 1}));
+  EXPECT_EQ(net.eligible(position::hsdir), (std::vector<relay_id>{0, 2}));
+  EXPECT_EQ(net.eligible(position::middle).size(), 4u);
+  EXPECT_EQ(net.eligible(position::rendezvous).size(), 4u);
+}
+
+TEST(ConsensusTest, RejectsBadInput) {
+  EXPECT_THROW(consensus{std::vector<relay>{}}, tormet::precondition_error);
+  std::vector<relay> sparse = small_relay_set();
+  sparse[2].id = 7;  // non-dense ids
+  EXPECT_THROW(consensus{std::move(sparse)}, tormet::precondition_error);
+}
+
+TEST(ConsensusTest, RelayAtBoundsChecked) {
+  const consensus net{small_relay_set()};
+  EXPECT_EQ(net.relay_at(0).nickname, "r0");
+  EXPECT_THROW((void)net.relay_at(99), tormet::precondition_error);
+}
+
+TEST(SyntheticConsensusTest, StructureAndDeterminism) {
+  consensus_params params;
+  params.num_relays = 2000;
+  params.seed = 5;
+  const consensus a = make_synthetic_consensus(params);
+  const consensus b = make_synthetic_consensus(params);
+  ASSERT_EQ(a.size(), 2000u);
+  // Deterministic given the seed.
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_DOUBLE_EQ(a.relays()[i].weight, b.relays()[i].weight);
+    EXPECT_EQ(a.relays()[i].flags.guard, b.relays()[i].flags.guard);
+  }
+  // Flag fractions roughly as configured.
+  std::size_t guards = 0;
+  std::size_t exits = 0;
+  for (const auto& r : a.relays()) {
+    guards += r.flags.guard ? 1 : 0;
+    exits += r.flags.exit ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(guards) / 2000.0, params.guard_fraction, 0.05);
+  EXPECT_NEAR(static_cast<double>(exits) / 2000.0, params.exit_fraction, 0.05);
+}
+
+TEST(SyntheticConsensusTest, WeightsAreHeavyTailed) {
+  consensus_params params;
+  params.num_relays = 5000;
+  const consensus net = make_synthetic_consensus(params);
+  // The top 10% of relays should carry well over 10% of the weight.
+  std::vector<double> weights;
+  for (const auto& r : net.relays()) weights.push_back(r.weight);
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  double total = 0.0;
+  for (const auto w : weights) total += w;
+  double top = 0.0;
+  for (std::size_t i = 0; i < weights.size() / 10; ++i) top += weights[i];
+  EXPECT_GT(top / total, 0.3);
+}
+
+}  // namespace
+}  // namespace tormet::tor

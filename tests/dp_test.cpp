@@ -1,0 +1,160 @@
+// Differential-privacy machinery tests: action bounds (Table 1), Gaussian
+// and binomial mechanisms, and privacy-budget allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/crypto/secure_rng.h"
+#include "src/dp/action_bounds.h"
+#include "src/dp/allocation.h"
+#include "src/dp/noise.h"
+#include "src/util/check.h"
+
+namespace tormet::dp {
+namespace {
+
+TEST(ActionBoundsTest, PaperDefaults) {
+  const action_bounds b = action_bounds::paper_defaults();
+  EXPECT_DOUBLE_EQ(b.bound(action::connect_to_domain), 20.0);
+  EXPECT_DOUBLE_EQ(b.bound(action::exit_data_bytes), 400e6);
+  EXPECT_DOUBLE_EQ(b.bound(action::connect_from_new_ip), 4.0);
+  EXPECT_DOUBLE_EQ(b.bound(action::create_tcp_connection), 12.0);
+  EXPECT_DOUBLE_EQ(b.bound(action::create_entry_circuit), 651.0);
+  EXPECT_DOUBLE_EQ(b.bound(action::entry_data_bytes), 407e6);
+  EXPECT_DOUBLE_EQ(b.bound(action::upload_descriptor), 450.0);
+  EXPECT_DOUBLE_EQ(b.bound(action::upload_new_onion_address), 3.0);
+  EXPECT_DOUBLE_EQ(b.bound(action::fetch_descriptor), 30.0);
+  EXPECT_DOUBLE_EQ(b.bound(action::create_rendezvous_connection), 180.0);
+  EXPECT_DOUBLE_EQ(b.bound(action::rendezvous_data_bytes), 400e6);
+  EXPECT_EQ(b.rows().size(), 12u);
+}
+
+TEST(ActionBoundsTest, MultiDayNewIpSpecialCase) {
+  const action_bounds b = action_bounds::paper_defaults();
+  // Paper: 4 IPs the first day, 3 per additional day. A 4-day measurement
+  // protects 4 + 3*3 = 13 new IPs.
+  EXPECT_DOUBLE_EQ(b.bound_over_days(action::connect_from_new_ip, 1), 4.0);
+  EXPECT_DOUBLE_EQ(b.bound_over_days(action::connect_from_new_ip, 4), 13.0);
+  // Ordinary actions scale linearly.
+  EXPECT_DOUBLE_EQ(b.bound_over_days(action::fetch_descriptor, 2), 60.0);
+}
+
+TEST(ActionBoundsTest, Scaling) {
+  const action_bounds b = action_bounds::paper_defaults().scaled(1e-3);
+  EXPECT_DOUBLE_EQ(b.bound(action::connect_to_domain), 0.02);
+  EXPECT_THROW(action_bounds::paper_defaults().scaled(0.0),
+               tormet::precondition_error);
+}
+
+TEST(ActionBoundsTest, DefiningActivities) {
+  const action_bounds b = action_bounds::paper_defaults();
+  for (const auto& row : b.rows()) {
+    EXPECT_FALSE(row.defining_activity.empty());
+  }
+  EXPECT_EQ(to_string(action::create_entry_circuit), "create-entry-circuit");
+}
+
+TEST(NoiseTest, GaussianSigmaFormula) {
+  // sigma = D * sqrt(2 ln(1.25/delta)) / eps
+  const double sigma = gaussian_sigma(20.0, 0.3, 1e-11);
+  EXPECT_NEAR(sigma, 20.0 * std::sqrt(2.0 * std::log(1.25e11)) / 0.3, 1e-9);
+  EXPECT_THROW((void)gaussian_sigma(1.0, 0.0, 0.5), tormet::precondition_error);
+  EXPECT_THROW((void)gaussian_sigma(1.0, 0.3, 1.5), tormet::precondition_error);
+}
+
+TEST(NoiseTest, GaussianSampleMoments) {
+  crypto::deterministic_rng rng{1};
+  const double sigma = 10.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_gaussian(sigma, rng);
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.25);
+  EXPECT_NEAR(std::sqrt(sq / n), sigma, 0.25);
+  EXPECT_EQ(sample_gaussian(0.0, rng), 0.0);
+}
+
+TEST(NoiseTest, BinomialBitsShape) {
+  const std::uint64_t bits = binomial_noise_bits(4.0, 0.3, 1e-11);
+  EXPECT_EQ(bits % 2, 0u);
+  EXPECT_GT(bits, 0u);
+  // More sensitivity -> more bits; more epsilon -> fewer bits.
+  EXPECT_GT(binomial_noise_bits(8.0, 0.3, 1e-11), bits);
+  EXPECT_LT(binomial_noise_bits(4.0, 0.6, 1e-11), bits);
+  EXPECT_EQ(binomial_noise_bits(0.0, 0.3, 1e-11), 0u);
+}
+
+TEST(NoiseTest, BinomialSampleMoments) {
+  crypto::deterministic_rng rng{2};
+  constexpr std::uint64_t bits = 1000;
+  double sum = 0.0;
+  constexpr int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(sample_binomial_half(bits, rng));
+  }
+  EXPECT_NEAR(sum / n, 500.0, 2.0);
+  EXPECT_EQ(sample_binomial_half(0, rng), 0u);
+  EXPECT_LE(sample_binomial_half(7, rng), 7u);
+}
+
+TEST(AllocationTest, BudgetComposesExactly) {
+  const privacy_params params{0.3, 1e-11};
+  const std::vector<counter_request> reqs{
+      {"streams", 20.0, 2e9}, {"circuits", 651.0, 1.3e9}, {"bytes", 407e6, 5e14}};
+  const auto alloc = allocate_budget(params, reqs);
+  ASSERT_EQ(alloc.size(), 3u);
+  double eps = 0.0;
+  double delta = 0.0;
+  for (const auto& a : alloc) {
+    eps += a.epsilon;
+    delta += a.delta;
+    EXPECT_GT(a.sigma, 0.0);
+  }
+  EXPECT_NEAR(eps, params.epsilon, 1e-9);
+  EXPECT_NEAR(delta, params.delta, 1e-22);
+}
+
+TEST(AllocationTest, EqualRelativeNoise) {
+  const privacy_params params{0.3, 1e-11};
+  const std::vector<counter_request> reqs{
+      {"a", 5.0, 1e6}, {"b", 100.0, 1e9}, {"c", 1.0, 500.0}};
+  const auto alloc = allocate_budget(params, reqs);
+  const double r0 = alloc[0].sigma / 1e6;
+  EXPECT_NEAR(alloc[1].sigma / 1e9, r0, r0 * 1e-9);
+  EXPECT_NEAR(alloc[2].sigma / 500.0, r0, r0 * 1e-9);
+}
+
+TEST(AllocationTest, UniformBaselineWastesBudgetOnBigCounters) {
+  const privacy_params params{0.3, 1e-11};
+  const std::vector<counter_request> reqs{{"small", 1.0, 100.0},
+                                          {"large", 1.0, 1e9}};
+  const auto smart = allocate_budget(params, reqs);
+  const auto uniform = allocate_budget_uniform(params, reqs);
+  // Relative noise of the small counter should be better under the
+  // equal-relative-noise rule than under the uniform split.
+  EXPECT_LT(smart[0].sigma / 100.0, uniform[0].sigma / 100.0);
+}
+
+TEST(AllocationTest, RejectsInvalidInput) {
+  const privacy_params params{0.3, 1e-11};
+  EXPECT_THROW((void)allocate_budget(params, {}), tormet::precondition_error);
+  EXPECT_THROW((void)allocate_budget(params, {{"x", -1.0, 10.0}}),
+               tormet::precondition_error);
+  EXPECT_THROW((void)allocate_budget(params, {{"x", 1.0, 0.0}}),
+               tormet::precondition_error);
+}
+
+TEST(AllocationTest, SingleCounterGetsFullBudget) {
+  const privacy_params params{0.3, 1e-11};
+  const auto alloc = allocate_budget(params, {{"only", 4.0, 1e5}});
+  ASSERT_EQ(alloc.size(), 1u);
+  EXPECT_NEAR(alloc[0].epsilon, 0.3, 1e-12);
+  EXPECT_NEAR(alloc[0].sigma, gaussian_sigma(4.0, 0.3, 1e-11), 1e-9);
+}
+
+}  // namespace
+}  // namespace tormet::dp

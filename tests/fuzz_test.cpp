@@ -1,0 +1,149 @@
+// Robustness ("fuzz-ish") property tests: every decoder must reject
+// malformed input by throwing a typed error — never crash, hang, or read
+// out of bounds. Exercised over systematic truncations and random
+// corruptions of valid messages.
+#include <gtest/gtest.h>
+
+#include "src/crypto/elgamal.h"
+#include "src/net/wire.h"
+#include "src/privcount/messages.h"
+#include "src/psc/messages.h"
+#include "src/tor/consensus_doc.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace tormet {
+namespace {
+
+/// Decodes must either succeed or throw wire_error/precondition_error —
+/// anything else (crash, other exception) fails the test.
+template <typename Fn>
+void expect_graceful(Fn&& decode) {
+  try {
+    decode();
+  } catch (const net::wire_error&) {
+  } catch (const precondition_error&) {
+  } catch (const std::runtime_error&) {
+    // Crypto decoders surface OpenSSL failures as runtime_error.
+  }
+}
+
+TEST(FuzzTest, PrivcountConfigureTruncations) {
+  privcount::configure_msg m;
+  m.round_id = 3;
+  m.counter_names = {"a/b", "c/d", "e"};
+  m.sigmas = {1.0, 2.0, 3.0};
+  m.noise_weight = 0.5;
+  m.share_keepers = {1, 2, 3};
+  const net::message full = privcount::encode_configure(0, 1, m);
+
+  for (std::size_t len = 0; len < full.payload.size(); ++len) {
+    net::message cut = full;
+    cut.payload.resize(len);
+    EXPECT_THROW((void)privcount::decode_configure(cut), net::wire_error)
+        << "prefix length " << len;
+  }
+  // The full message decodes.
+  EXPECT_NO_THROW((void)privcount::decode_configure(full));
+}
+
+TEST(FuzzTest, PrivcountReportCorruption) {
+  privcount::dc_report_msg m;
+  m.round_id = 9;
+  m.values = {1, 2, 3, ~0ULL};
+  const net::message full = privcount::encode_dc_report(4, 0, m);
+
+  rng r{101};
+  for (int trial = 0; trial < 500; ++trial) {
+    net::message corrupt = full;
+    const std::size_t pos = static_cast<std::size_t>(
+        r.below(corrupt.payload.size()));
+    corrupt.payload[pos] ^= static_cast<std::uint8_t>(1 + r.below(255));
+    expect_graceful([&] { (void)privcount::decode_dc_report(corrupt); });
+  }
+}
+
+TEST(FuzzTest, PscVectorTruncationsAndCorruption) {
+  const auto group = crypto::make_toy_group();
+  const crypto::elgamal scheme{group};
+  crypto::deterministic_rng rng_c{7};
+  const auto kp = scheme.generate_keypair(rng_c);
+
+  psc::vector_msg m;
+  m.round_id = 2;
+  std::vector<crypto::elgamal_ciphertext> cts;
+  for (int i = 0; i < 8; ++i) cts.push_back(scheme.encrypt_one(kp.pub, rng_c));
+  m.ciphertexts = psc::encode_ciphertexts(scheme, cts);
+  const net::message full = psc::encode_vector(1, 2, psc::msg_type::mix_pass, m);
+
+  for (std::size_t len = 0; len < full.payload.size(); len += 3) {
+    net::message cut = full;
+    cut.payload.resize(len);
+    expect_graceful([&] {
+      const psc::vector_msg decoded = psc::decode_vector(cut);
+      (void)psc::decode_ciphertexts(scheme, decoded.ciphertexts);
+    });
+  }
+
+  rng r{55};
+  for (int trial = 0; trial < 300; ++trial) {
+    net::message corrupt = full;
+    const std::size_t pos =
+        static_cast<std::size_t>(r.below(corrupt.payload.size()));
+    corrupt.payload[pos] ^= static_cast<std::uint8_t>(1 + r.below(255));
+    expect_graceful([&] {
+      const psc::vector_msg decoded = psc::decode_vector(corrupt);
+      (void)psc::decode_ciphertexts(scheme, decoded.ciphertexts);
+    });
+  }
+}
+
+TEST(FuzzTest, GroupElementDecodeRejectsGarbage) {
+  rng r{77};
+  for (const auto backend :
+       {crypto::group_backend::toy, crypto::group_backend::p256}) {
+    const auto group = crypto::make_group(backend);
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t len = 1 + r.below(40);
+      byte_buffer junk(len);
+      for (auto& b : junk) b = static_cast<std::uint8_t>(r.below(256));
+      expect_graceful([&] { (void)group->decode(junk); });
+      expect_graceful([&] { (void)group->decode_scalar(junk); });
+    }
+  }
+}
+
+TEST(FuzzTest, ConsensusDocCorruption) {
+  tor::consensus_params params;
+  params.num_relays = 30;
+  const std::string good =
+      tor::serialize_consensus(tor::make_synthetic_consensus(params));
+  EXPECT_NO_THROW((void)tor::parse_consensus(good));
+
+  rng r{88};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupt = good;
+    const std::size_t pos = static_cast<std::size_t>(r.below(corrupt.size()));
+    corrupt[pos] = static_cast<char>('!' + r.below(90));
+    expect_graceful([&] { (void)tor::parse_consensus(corrupt); });
+  }
+  // Truncations at line granularity.
+  for (std::size_t cut = 0; cut < good.size(); cut += 37) {
+    expect_graceful([&] { (void)tor::parse_consensus(good.substr(0, cut)); });
+  }
+}
+
+TEST(FuzzTest, ElgamalCiphertextDecodeBounds) {
+  const auto group = crypto::make_toy_group();
+  const crypto::elgamal scheme{group};
+  rng r{99};
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t len = 1 + r.below(24);
+    byte_buffer junk(len);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(r.below(256));
+    expect_graceful([&] { (void)scheme.decode(junk); });
+  }
+}
+
+}  // namespace
+}  // namespace tormet

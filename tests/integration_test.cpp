@@ -1,0 +1,265 @@
+// End-to-end integration tests: measurement_study + deployments + workload
+// drivers + inference, mirroring miniature versions of the paper's
+// experiments, plus a PrivCount round over real TCP loopback sockets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/instruments.h"
+#include "src/core/measurement_study.h"
+#include "src/net/inproc.h"
+#include "src/net/tcp.h"
+#include "src/stats/confidence.h"
+#include "src/stats/guard_model.h"
+#include "src/stats/psc_ci.h"
+#include "src/workload/browsing.h"
+#include "src/workload/population.h"
+
+namespace tormet {
+namespace {
+
+[[nodiscard]] core::study_config small_study() {
+  core::study_config cfg;
+  cfg.consensus.num_relays = 1500;
+  cfg.consensus.seed = 101;
+  cfg.target_exit_fraction = 0.05;   // larger fractions shrink test noise
+  cfg.target_guard_fraction = 0.04;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(StudyTest, MeasuredRelaySelection) {
+  core::measurement_study study{small_study()};
+  EXPECT_FALSE(study.measured_relays().empty());
+  EXPECT_FALSE(study.measured_exits().empty());
+  EXPECT_FALSE(study.measured_guards().empty());
+  // Fractions should be near the configured targets.
+  EXPECT_NEAR(study.fraction(tor::position::exit, study.measured_exits()), 0.05,
+              0.03);
+  EXPECT_GT(study.fraction(tor::position::guard), 0.0);
+  EXPECT_GT(study.hsdir_fraction(), 0.0);
+}
+
+TEST(IntegrationTest, StreamTaxonomyInferenceMatchesGroundTruth) {
+  core::measurement_study study{small_study()};
+  tor::network& net = study.network();
+
+  net::inproc_net bus;
+  privcount::deployment_config cfg = study.privcount_config();
+  cfg.noise_enabled = false;  // isolate sampling error from DP noise
+  privcount::deployment dep{bus, cfg};
+  dep.add_instrument(core::instrument_stream_taxonomy());
+  dep.attach(net);
+
+  const auto alexa = std::make_shared<const workload::alexa_list>(
+      workload::alexa_list::make_synthetic({.size = 20'000, .seed = 3}));
+  workload::browsing_params bp;
+  bp.seed = 17;
+  workload::browsing_driver browser{net, *alexa, bp};
+
+  std::vector<tor::client_id> clients;
+  for (int i = 0; i < 400; ++i) {
+    tor::client_profile p;
+    p.ip = static_cast<std::uint32_t>(i);
+    clients.push_back(net.add_client(p));
+  }
+
+  const std::vector<privcount::counter_spec> specs{
+      {"streams/total", 20, 1000},
+      {"streams/initial", 20, 100},
+      {"streams/initial/hostname", 20, 100},
+      {"streams/initial/ipv4", 20, 10},
+      {"streams/initial/ipv6", 20, 10},
+      {"streams/initial/hostname/web", 20, 100},
+      {"streams/initial/hostname/other", 20, 10},
+  };
+  const auto results = dep.run_round(specs, [&] {
+    browser.run_day(clients, sim_time{0});
+  });
+
+  std::map<std::string, double> r;
+  for (const auto& c : results) r[c.name] = static_cast<double>(c.value);
+
+  // Infer network totals by dividing by the measured exit fraction and
+  // compare with the simulator's ground truth.
+  const double p = study.fraction(tor::position::exit, study.measured_exits());
+  const tor::ground_truth& t = net.truth();
+  EXPECT_GT(r["streams/total"], 0.0);
+  EXPECT_NEAR(r["streams/total"] / p, static_cast<double>(t.exit_streams_total),
+              static_cast<double>(t.exit_streams_total) * 0.25);
+  EXPECT_NEAR(r["streams/initial"] / p,
+              static_cast<double>(t.exit_streams_initial),
+              static_cast<double>(t.exit_streams_initial) * 0.3);
+  // The Fig 1 shape: ~5 % of streams are initial; hostname+web dominates.
+  EXPECT_NEAR(r["streams/initial"] / r["streams/total"], 0.05, 0.015);
+  EXPECT_GT(r["streams/initial/hostname"], 0.9 * r["streams/initial"]);
+  EXPECT_GT(r["streams/initial/hostname/web"],
+            0.9 * r["streams/initial/hostname"]);
+}
+
+TEST(IntegrationTest, PscUniqueClientIpsTrackTruth) {
+  core::measurement_study study{small_study()};
+  tor::network& net = study.network();
+  auto geo = std::make_shared<workload::geoip_db>(workload::geoip_db::make_synthetic());
+
+  net::inproc_net bus;
+  psc::deployment_config cfg = study.psc_config();
+  cfg.measured_relays = study.measured_guards();
+  cfg.round.bins = 8192;
+  cfg.round.group = crypto::group_backend::toy;
+  cfg.round.noise_enabled = false;
+  psc::deployment dep{bus, cfg};
+  dep.set_extractor(core::extract_client_ip());
+  dep.attach(net);
+
+  workload::population_params pp;
+  pp.network_scale = 1.0;
+  pp.selective_clients = 3000;
+  pp.promiscuous_clients = 10;
+  pp.seed = 23;
+  // Keep entry days connection-only for speed.
+  pp.web_rates = {3.0, 0.0, 0.0, 0.0, 0.0};
+  pp.chat_rates = {3.0, 0.0, 0.0, 0.0, 0.0};
+  pp.bot_rates = {10.0, 0.0, 0.0, 0.0, 0.0};
+  pp.idle_rates = {1.0, 0.0, 0.0, 0.0, 0.0};
+  pp.uae_rates = {3.0, 0.0, 0.0, 0.0, 0.0};
+  pp.promiscuous_rates = {0.0, 0.0, 0.0, 0.0, 0.0};
+  workload::population pop{net, *geo, pp};
+
+  const psc::round_outcome out = dep.run_round([&] {
+    pop.run_entry_day(sim_time{0});
+  });
+
+  // Expected uniques: clients with at least one measured guard (their daily
+  // connections make observation near-certain for rates >= 1; the band
+  // below is tolerant of the Poisson zero-connection cases).
+  std::size_t with_measured_guard = 0;
+  for (std::uint32_t c = 0; c < net.client_count(); ++c) {
+    for (const auto g : net.guards_of(c)) {
+      if (dep.measured_relays().contains(g)) {
+        ++with_measured_guard;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(with_measured_guard, 50u);
+  EXPECT_GT(out.estimate.cardinality, 0.3 * static_cast<double>(with_measured_guard));
+  EXPECT_LT(out.estimate.cardinality, 1.2 * static_cast<double>(with_measured_guard));
+
+  // The exact CI machinery brackets the point estimate.
+  stats::psc_ci_params ci_params;
+  ci_params.bins = out.bins;
+  ci_params.total_noise_bits = out.total_noise_bits;
+  const stats::estimate e = stats::psc_confidence_interval(out.raw_count, ci_params);
+  EXPECT_LE(e.ci.lo, out.estimate.cardinality * 1.05 + 5);
+  EXPECT_GE(e.ci.hi, out.estimate.cardinality * 0.95 - 5);
+}
+
+TEST(IntegrationTest, PrivcountRoundOverRealTcpSockets) {
+  core::measurement_study study{small_study()};
+  tor::network& net = study.network();
+
+  net::tcp_net bus;
+  privcount::deployment_config cfg = study.privcount_config();
+  cfg.noise_enabled = false;
+  // Keep the node count modest for socket churn.
+  cfg.measured_relays.resize(4);
+  privcount::deployment dep{bus, cfg};
+  dep.add_instrument(core::instrument_entry_totals());
+  dep.attach(net);
+
+  const std::vector<privcount::counter_spec> specs{
+      {"entry/connections", 12, 100},
+      {"entry/circuits", 651, 100},
+      {"entry/bytes", 407e6, 1e6},
+  };
+  const auto results = dep.run_round(specs, [&] {
+    for (int i = 0; i < 100; ++i) {
+      tor::client_profile p;
+      p.ip = static_cast<std::uint32_t>(i);
+      p.promiscuous = true;  // ensures measured guards see connections
+      const tor::client_id c = net.add_client(p);
+      net.connect_to_guards(c, sim_time{0});
+    }
+  });
+
+  std::map<std::string, std::int64_t> r;
+  for (const auto& c : results) r[c.name] = c.value;
+  // Each of the 100 promiscuous clients connects to every guard, so each of
+  // the 4 measured relays (all guard-flagged or not) sees <=100 connections;
+  // exact expectation: 100 per measured *guard* relay.
+  std::int64_t expected = 0;
+  for (const auto id : cfg.measured_relays) {
+    if (net.net().relay_at(id).flags.guard) expected += 100;
+  }
+  EXPECT_EQ(r["entry/connections"], expected);
+}
+
+TEST(IntegrationTest, GuardModelEndToEnd) {
+  // Run two disjoint-DC-set PSC measurements at different guard fractions
+  // over the same population and feed them to the Table 3 fit.
+  core::study_config scfg = small_study();
+  scfg.consensus.num_relays = 2000;
+  core::measurement_study study{scfg};
+  tor::network& net = study.network();
+  auto geo = std::make_shared<workload::geoip_db>(workload::geoip_db::make_synthetic());
+
+  workload::population_params pp;
+  pp.network_scale = 1.0;
+  pp.selective_clients = 4000;
+  pp.promiscuous_clients = 20;
+  pp.seed = 31;
+  pp.web_rates = {3.0, 0.0, 0.0, 0.0, 0.0};
+  pp.chat_rates = {3.0, 0.0, 0.0, 0.0, 0.0};
+  pp.bot_rates = {6.0, 0.0, 0.0, 0.0, 0.0};
+  pp.idle_rates = {2.0, 0.0, 0.0, 0.0, 0.0};
+  pp.uae_rates = {3.0, 0.0, 0.0, 0.0, 0.0};
+  pp.promiscuous_rates = {0.0, 0.0, 0.0, 0.0, 0.0};
+  workload::population pop{net, *geo, pp};
+
+  // Two disjoint guard sets from the eligible pool.
+  const auto guards = net.net().eligible(tor::position::guard);
+  std::vector<tor::relay_id> set1(guards.begin() + 50, guards.begin() + 65);
+  std::vector<tor::relay_id> set2(guards.begin() + 100, guards.begin() + 140);
+
+  const auto run_measurement = [&](const std::vector<tor::relay_id>& relays) {
+    net::inproc_net bus;
+    psc::deployment_config cfg;
+    cfg.measured_relays = relays;
+    cfg.round.bins = 8192;
+    cfg.round.group = crypto::group_backend::toy;
+    cfg.round.noise_enabled = false;
+    psc::deployment dep{bus, cfg};
+    dep.set_extractor(core::extract_client_ip());
+    dep.attach(net);
+    return dep.run_round([&] { pop.run_entry_day(sim_time{0}); });
+  };
+
+  const psc::round_outcome o1 = run_measurement(set1);
+  const psc::round_outcome o2 = run_measurement(set2);
+  const double f1 = study.fraction(tor::position::guard, set1);
+  const double f2 = study.fraction(tor::position::guard, set2);
+  ASSERT_NE(f1, f2);
+
+  const auto ci = [&](const psc::round_outcome& o) {
+    stats::psc_ci_params p;
+    p.bins = o.bins;
+    p.total_noise_bits = o.total_noise_bits;
+    const stats::estimate e = stats::psc_confidence_interval(o.raw_count, p);
+    // Widen by 10 % for workload stochasticity.
+    return stats::interval{e.ci.lo * 0.9, e.ci.hi * 1.1};
+  };
+  const auto rows = stats::fit_guard_model({ci(o1), f1}, {ci(o2), f2},
+                                           {.candidate_g = {3},
+                                            .max_promiscuous = 500,
+                                            .grid_steps = 256});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].consistent);
+  // The fitted network-IP range must include the true active population.
+  const double truth = static_cast<double>(pop.active().size());
+  EXPECT_LE(rows[0].network_ips.lo, truth * 1.3);
+  EXPECT_GE(rows[0].network_ips.hi, truth * 0.7);
+}
+
+}  // namespace
+}  // namespace tormet

@@ -1,0 +1,182 @@
+// Tor network-model tests: ground-truth accounting, event emission rules,
+// guard assignment, descriptor store semantics, rendezvous accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/tor/network.h"
+
+namespace tormet::tor {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() {
+    consensus_params params;
+    params.num_relays = 300;
+    params.seed = 21;
+    net_ = std::make_unique<network>(make_synthetic_consensus(params), 99);
+  }
+
+  client_id add_simple_client(bool promiscuous = false) {
+    client_profile p;
+    p.ip = next_ip_++;
+    p.num_guards = 3;
+    p.promiscuous = promiscuous;
+    return net_->add_client(p);
+  }
+
+  std::unique_ptr<network> net_;
+  std::uint32_t next_ip_ = 1000;
+};
+
+TEST_F(NetworkTest, GuardAssignment) {
+  const client_id c = add_simple_client();
+  const auto guards = net_->guards_of(c);
+  EXPECT_EQ(guards.size(), 3u);
+  std::set<relay_id> unique{guards.begin(), guards.end()};
+  EXPECT_EQ(unique.size(), 3u);
+  for (const auto g : guards) {
+    EXPECT_TRUE(net_->net().relay_at(g).flags.guard);
+  }
+}
+
+TEST_F(NetworkTest, PromiscuousClientsUseAllGuards) {
+  const client_id c = add_simple_client(/*promiscuous=*/true);
+  EXPECT_EQ(net_->guards_of(c).size(),
+            net_->net().eligible(position::guard).size());
+}
+
+TEST_F(NetworkTest, ConnectionsCountedAndObservedOnlyAtObservedRelays) {
+  const client_id c = add_simple_client();
+  const auto guards = net_->guards_of(c);
+
+  std::vector<event> seen;
+  net_->set_observed_relays({guards[0]});
+  net_->set_event_sink([&](const event& ev) { seen.push_back(ev); });
+
+  net_->connect_to_guards(c, sim_time{0});
+  EXPECT_EQ(net_->truth().entry_connections, 3u);
+  // Only the observed guard's event materializes.
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].observer, guards[0]);
+  EXPECT_TRUE(std::holds_alternative<entry_connection_event>(seen[0].body));
+}
+
+TEST_F(NetworkTest, ExitCircuitStreamTaxonomy) {
+  const client_id c = add_simple_client();
+  const std::vector<stream_spec> streams{
+      {address_kind::hostname, "www.example.com", 443, 1000},
+      {address_kind::hostname, "cdn.example.com", 443, 2000},
+      {address_kind::hostname, "cdn2.example.com", 80, 500},
+  };
+  net_->exit_circuit(c, streams, sim_time{5});
+
+  const ground_truth& t = net_->truth();
+  EXPECT_EQ(t.exit_streams_total, 3u);
+  EXPECT_EQ(t.exit_streams_initial, 1u);
+  EXPECT_EQ(t.initial_hostname, 1u);
+  EXPECT_EQ(t.initial_hostname_web, 1u);
+  EXPECT_EQ(t.initial_ipv4, 0u);
+  EXPECT_EQ(t.exit_bytes, 3500u);
+  EXPECT_EQ(t.entry_circuits, 1u);
+  // Entry bytes include cell overhead: ceil(3500/498)*512.
+  EXPECT_EQ(t.entry_bytes, cells_for_payload(3500) * k_cell_total_bytes);
+}
+
+TEST_F(NetworkTest, InitialStreamKinds) {
+  const client_id c = add_simple_client();
+  net_->exit_circuit(c, std::vector<stream_spec>{{address_kind::ipv4, "1.2.3.4", 443, 10}},
+                     sim_time{0});
+  net_->exit_circuit(
+      c, std::vector<stream_spec>{{address_kind::hostname, "x.net", 8080, 10}},
+      sim_time{0});
+  EXPECT_EQ(net_->truth().initial_ipv4, 1u);
+  EXPECT_EQ(net_->truth().initial_hostname_other, 1u);
+}
+
+TEST_F(NetworkTest, DescriptorPublishAndFetch) {
+  const client_id c = add_simple_client();
+  const service_id s = net_->add_onion_service();
+  const onion_address& addr = net_->address_of(s);
+
+  // Fetch before publish: not found.
+  EXPECT_EQ(net_->fetch_descriptor(c, addr, 0, false, sim_time{0}).outcome,
+            fetch_outcome::not_found);
+
+  net_->publish_descriptor(s, 0, sim_time{1});
+  EXPECT_GE(net_->truth().descriptor_publishes, 3u);  // one per responsible dir
+
+  EXPECT_EQ(net_->fetch_descriptor(c, addr, 0, false, sim_time{2}).outcome,
+            fetch_outcome::success);
+  // Different period: not found again.
+  EXPECT_EQ(net_->fetch_descriptor(c, addr, 1, false, sim_time{3}).outcome,
+            fetch_outcome::not_found);
+  // Malformed always fails.
+  EXPECT_EQ(net_->fetch_descriptor(c, addr, 0, true, sim_time{4}).outcome,
+            fetch_outcome::malformed);
+
+  const ground_truth& t = net_->truth();
+  EXPECT_EQ(t.descriptor_fetches, 4u);
+  EXPECT_EQ(t.descriptor_fetch_success, 1u);
+  EXPECT_EQ(t.descriptor_fetch_not_found, 2u);
+  EXPECT_EQ(t.descriptor_fetch_malformed, 1u);
+}
+
+TEST_F(NetworkTest, ServiceAddressesAreDistinctAndValid) {
+  const service_id s1 = net_->add_onion_service();
+  const service_id s2 = net_->add_onion_service();
+  EXPECT_NE(net_->address_of(s1), net_->address_of(s2));
+  EXPECT_TRUE(is_valid_onion_address(net_->address_of(s1).value));
+}
+
+TEST_F(NetworkTest, RendezvousAccounting) {
+  const client_id c = add_simple_client();
+  net_->rendezvous_attempt(c, rend_outcome::succeeded, 10000, sim_time{0});
+  net_->rendezvous_attempt(c, rend_outcome::failed_expired, 0, sim_time{1});
+  net_->rendezvous_attempt(c, rend_outcome::failed_conn_closed, 0, sim_time{2});
+
+  const ground_truth& t = net_->truth();
+  EXPECT_EQ(t.rend_circuits, 4u);  // success counts as 2 circuits at the RP
+  EXPECT_EQ(t.rend_succeeded, 2u);
+  EXPECT_EQ(t.rend_expired, 1u);
+  EXPECT_EQ(t.rend_conn_closed, 1u);
+  EXPECT_EQ(t.rend_payload_bytes, 20000u);
+  // Rendezvous client circuits also appear at the guard.
+  EXPECT_EQ(t.entry_circuits, 3u);
+}
+
+TEST_F(NetworkTest, DirectoryCircuitBytes) {
+  const client_id c = add_simple_client();
+  net_->directory_circuit(c, 1000, sim_time{0});
+  EXPECT_EQ(net_->truth().entry_circuits, 1u);
+  EXPECT_EQ(net_->truth().entry_bytes, cells_for_payload(1000) * k_cell_total_bytes);
+}
+
+TEST_F(NetworkTest, EventSinkReceivesExitEventsAtObservedExit) {
+  // Observe every exit so the sampled exit is guaranteed covered.
+  const auto exits = net_->net().eligible(position::exit);
+  net_->set_observed_relays({exits.begin(), exits.end()});
+  std::map<int, int> kinds;
+  net_->set_event_sink([&](const event& ev) {
+    kinds[static_cast<int>(ev.body.index())]++;
+  });
+  const client_id c = add_simple_client();
+  net_->exit_circuit(
+      c, std::vector<stream_spec>{{address_kind::hostname, "a.com", 443, 100}},
+      sim_time{0});
+  // exit_stream_event is variant index 3; exit_data_event index 4.
+  EXPECT_EQ(kinds[3], 1);
+  EXPECT_EQ(kinds[4], 1);
+}
+
+TEST(CellTest, PayloadMath) {
+  EXPECT_EQ(cells_for_payload(0), 0u);
+  EXPECT_EQ(cells_for_payload(1), 1u);
+  EXPECT_EQ(cells_for_payload(498), 1u);
+  EXPECT_EQ(cells_for_payload(499), 2u);
+  EXPECT_EQ(wire_bytes_for_payload(498), 512u);
+}
+
+}  // namespace
+}  // namespace tormet::tor

@@ -1,0 +1,152 @@
+// Onion addressing + HSDir ring tests: v2-style address derivation,
+// descriptor ring placement, replication, and responsibility fractions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/tor/hsdir_ring.h"
+#include "src/tor/onion.h"
+#include "src/util/bytes.h"
+#include "src/util/check.h"
+
+namespace tormet::tor {
+namespace {
+
+TEST(OnionAddressTest, DerivationIsDeterministicAndValid) {
+  const onion_address a = derive_onion_address(as_bytes("key-material-1"));
+  const onion_address b = derive_onion_address(as_bytes("key-material-1"));
+  const onion_address c = derive_onion_address(as_bytes("key-material-2"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(is_valid_onion_address(a.value));
+  EXPECT_TRUE(a.value.ends_with(".onion"));
+  EXPECT_EQ(a.value.size(), 16u + 6u);
+}
+
+TEST(OnionAddressTest, ValidationRejectsMalformed) {
+  EXPECT_FALSE(is_valid_onion_address(""));
+  EXPECT_FALSE(is_valid_onion_address("tooshort.onion"));
+  EXPECT_FALSE(is_valid_onion_address("UPPERCASEADDRXYZ.onion"));  // not base32 lower
+  EXPECT_FALSE(is_valid_onion_address("abcdefghijklmnop.com"));
+  EXPECT_FALSE(is_valid_onion_address("abcdefghijklmn0p.onion"));  // '0' invalid
+  EXPECT_TRUE(is_valid_onion_address("abcdefghijklmn2p.onion"));
+}
+
+TEST(OnionAddressTest, RingPositionVariesByReplicaAndPeriod) {
+  const onion_address addr = derive_onion_address(as_bytes("svc"));
+  const std::uint64_t p0 = descriptor_ring_position(addr, 0, 1);
+  const std::uint64_t p1 = descriptor_ring_position(addr, 1, 1);
+  const std::uint64_t p0_next = descriptor_ring_position(addr, 0, 2);
+  EXPECT_NE(p0, p1);
+  EXPECT_NE(p0, p0_next);
+  EXPECT_EQ(p0, descriptor_ring_position(addr, 0, 1));
+  EXPECT_THROW((void)descriptor_ring_position(addr, 5, 1),
+               tormet::precondition_error);
+}
+
+TEST(V3BlindingTest, IdsAreDeterministicOneWayAndUnlinkable) {
+  const onion_address a = derive_onion_address(as_bytes("svc-a"));
+  const onion_address b = derive_onion_address(as_bytes("svc-b"));
+  // Deterministic within a period.
+  EXPECT_EQ(v3_blinded_descriptor_id(a, 5), v3_blinded_descriptor_id(a, 5));
+  // Distinct services -> distinct ids.
+  EXPECT_NE(v3_blinded_descriptor_id(a, 5), v3_blinded_descriptor_id(b, 5));
+  // The same service is unlinkable across periods.
+  EXPECT_NE(v3_blinded_descriptor_id(a, 5), v3_blinded_descriptor_id(a, 6));
+  // The id does not contain the address (one-way derivation).
+  EXPECT_EQ(v3_blinded_descriptor_id(a, 5).find(a.value), std::string::npos);
+}
+
+TEST(V3BlindingTest, CrossPeriodUniqueCountingOvercounts) {
+  // The reason Table 6 is v2-only: counting unique *blinded* ids across p
+  // periods counts every service p times, so a PSC-style census cannot
+  // estimate the service population.
+  std::set<std::string> v2_uniques;
+  std::set<std::string> v3_uniques;
+  constexpr int services = 50;
+  constexpr int periods = 3;
+  for (int s = 0; s < services; ++s) {
+    const onion_address addr =
+        derive_onion_address(as_bytes("svc" + std::to_string(s)));
+    for (int p = 0; p < periods; ++p) {
+      v2_uniques.insert(addr.value);  // v2: the address itself is visible
+      v3_uniques.insert(v3_blinded_descriptor_id(addr, p));
+    }
+  }
+  EXPECT_EQ(v2_uniques.size(), services);
+  EXPECT_EQ(v3_uniques.size(), services * periods);
+}
+
+TEST(V3BlindingTest, RingPositionsVaryByReplicaAndPeriod) {
+  const onion_address a = derive_onion_address(as_bytes("svc-a"));
+  EXPECT_NE(v3_blinded_ring_position(a, 0, 1), v3_blinded_ring_position(a, 1, 1));
+  EXPECT_NE(v3_blinded_ring_position(a, 0, 1), v3_blinded_ring_position(a, 0, 2));
+  EXPECT_THROW((void)v3_blinded_ring_position(a, 9, 1),
+               tormet::precondition_error);
+}
+
+class HsdirRingTest : public ::testing::Test {
+ protected:
+  HsdirRingTest() {
+    consensus_params params;
+    params.num_relays = 500;
+    params.hsdir_fraction = 0.5;
+    params.seed = 11;
+    net_ = std::make_unique<consensus>(make_synthetic_consensus(params));
+    ring_ = std::make_unique<hsdir_ring>(*net_);
+  }
+  std::unique_ptr<consensus> net_;
+  std::unique_ptr<hsdir_ring> ring_;
+};
+
+TEST_F(HsdirRingTest, ResponsibleSetSizeAndFlags) {
+  const onion_address addr = derive_onion_address(as_bytes("svc-a"));
+  const std::vector<relay_id> dirs = ring_->responsible_hsdirs(addr, 0);
+  EXPECT_LE(dirs.size(), static_cast<std::size_t>(k_responsible_hsdirs));
+  EXPECT_GE(dirs.size(), static_cast<std::size_t>(k_descriptor_spread));
+  std::set<relay_id> unique{dirs.begin(), dirs.end()};
+  EXPECT_EQ(unique.size(), dirs.size()) << "responsible set has duplicates";
+  for (const auto id : dirs) {
+    EXPECT_TRUE(net_->relay_at(id).flags.hsdir);
+  }
+}
+
+TEST_F(HsdirRingTest, PlacementIsDeterministic) {
+  const onion_address addr = derive_onion_address(as_bytes("svc-b"));
+  EXPECT_EQ(ring_->responsible_hsdirs(addr, 3), ring_->responsible_hsdirs(addr, 3));
+  EXPECT_NE(ring_->responsible_hsdirs(addr, 3), ring_->responsible_hsdirs(addr, 4));
+}
+
+TEST_F(HsdirRingTest, DifferentAddressesSpreadOverTheRing) {
+  std::set<relay_id> seen;
+  for (int i = 0; i < 200; ++i) {
+    const onion_address addr =
+        derive_onion_address(as_bytes("svc" + std::to_string(i)));
+    for (const auto id : ring_->responsible_hsdirs(addr, 0)) seen.insert(id);
+  }
+  // 200 addresses x ~6 slots over ~250 HSDirs: most of the ring is touched.
+  EXPECT_GT(seen.size(), ring_->size() / 2);
+}
+
+TEST_F(HsdirRingTest, ResponsibilityFractionScalesWithSetSize) {
+  const std::vector<relay_id> hsdirs = net_->eligible(position::hsdir);
+  ASSERT_GE(hsdirs.size(), 20u);
+  std::set<relay_id> small{hsdirs.begin(), hsdirs.begin() + 5};
+  std::set<relay_id> large{hsdirs.begin(), hsdirs.begin() + 20};
+  const double f_small = ring_->responsibility_fraction(small, 0, 4000);
+  const double f_large = ring_->responsibility_fraction(large, 0, 4000);
+  EXPECT_GT(f_small, 0.0);
+  EXPECT_GT(f_large, f_small);
+  // Ring positions are uniform hashes: fraction ~ |set| / ring size.
+  EXPECT_NEAR(f_small, 5.0 / static_cast<double>(ring_->size()), 0.02);
+  EXPECT_NEAR(f_large, 20.0 / static_cast<double>(ring_->size()), 0.03);
+}
+
+TEST_F(HsdirRingTest, FullSetOwnsEverything) {
+  const std::vector<relay_id> hsdirs = net_->eligible(position::hsdir);
+  const std::set<relay_id> all{hsdirs.begin(), hsdirs.end()};
+  EXPECT_DOUBLE_EQ(ring_->responsibility_fraction(all, 0, 500), 1.0);
+}
+
+}  // namespace
+}  // namespace tormet::tor

@@ -1,0 +1,150 @@
+// Tests for the §3.1 measurement-scheduling discipline and the consensus
+// document codec.
+#include <gtest/gtest.h>
+
+#include "src/core/schedule.h"
+#include "src/tor/consensus_doc.h"
+#include "src/util/check.h"
+
+namespace tormet {
+namespace {
+
+using core::measurement_schedule;
+using core::planned_round;
+
+TEST(ScheduleTest, AcceptsWellSpacedPlan) {
+  measurement_schedule s;
+  s.add({"streams", sim_time{0}});
+  // Distinct statistic: >= 24 h after the first round *ends*.
+  s.add({"domains", sim_time{2 * k_seconds_per_day}});
+  s.add({"clients", sim_time{4 * k_seconds_per_day}});
+  EXPECT_EQ(s.rounds().size(), 3u);
+}
+
+TEST(ScheduleTest, RejectsParallelRounds) {
+  measurement_schedule s;
+  s.add({"streams", sim_time{0}});
+  EXPECT_THROW(s.add({"domains", sim_time{k_seconds_per_day / 2}}),
+               precondition_error);
+  // Even identical statistics may not overlap.
+  EXPECT_THROW(s.add({"streams", sim_time{k_seconds_per_day - 1}}),
+               precondition_error);
+}
+
+TEST(ScheduleTest, RejectsInsufficientGapBetweenDistinctStatistics) {
+  measurement_schedule s;
+  s.add({"streams", sim_time{0}});  // ends at 24 h
+  // Starting 12 h after the previous round ends: too close.
+  EXPECT_THROW(
+      s.add({"domains", sim_time{k_seconds_per_day + k_seconds_per_day / 2}}),
+      precondition_error);
+  // Exactly 24 h after it ends: admissible.
+  EXPECT_NO_THROW(s.add({"domains", sim_time{2 * k_seconds_per_day}}));
+}
+
+TEST(ScheduleTest, RepeatedStatisticMayBeAdjacent) {
+  // The paper repeated the descriptor-failure measurement on consecutive
+  // days to confirm the anomaly.
+  measurement_schedule s;
+  s.add({"hsdir-failures", sim_time{0}});
+  EXPECT_NO_THROW(s.add({"hsdir-failures", sim_time{k_seconds_per_day}}));
+}
+
+TEST(ScheduleTest, ViolationsForReportsAllConflicts) {
+  measurement_schedule s;
+  s.add({"streams", sim_time{0}});
+  s.add({"domains", sim_time{2 * k_seconds_per_day}});
+  const auto violations =
+      s.violations_for({"clients", sim_time{k_seconds_per_day}});
+  EXPECT_EQ(violations.size(), 2u);  // too close to both existing rounds
+  EXPECT_TRUE(s.violations_for({"clients", sim_time{4 * k_seconds_per_day}})
+                  .empty());
+}
+
+TEST(ScheduleTest, InWindow) {
+  measurement_schedule s;
+  s.add({"streams", sim_time{100}});
+  EXPECT_TRUE(s.in_window(0, sim_time{100}));
+  EXPECT_TRUE(s.in_window(0, sim_time{100 + k_seconds_per_day - 1}));
+  EXPECT_FALSE(s.in_window(0, sim_time{100 + k_seconds_per_day}));
+  EXPECT_THROW((void)s.in_window(5, sim_time{0}), precondition_error);
+}
+
+TEST(ScheduleTest, EarliestStartSkipsConflicts) {
+  measurement_schedule s;
+  s.add({"streams", sim_time{0}});
+  // Same statistic can start right when the round ends.
+  EXPECT_EQ(s.earliest_start("streams", sim_time{0}).seconds,
+            k_seconds_per_day);
+  // A distinct statistic needs the additional 24 h gap.
+  EXPECT_EQ(s.earliest_start("domains", sim_time{0}).seconds,
+            2 * k_seconds_per_day);
+  // A request after all conflicts is returned unchanged.
+  EXPECT_EQ(s.earliest_start("domains", sim_time{10 * k_seconds_per_day}).seconds,
+            10 * k_seconds_per_day);
+}
+
+TEST(ScheduleTest, EarliestStartIsAdmissible) {
+  measurement_schedule s;
+  s.add({"a", sim_time{0}});
+  s.add({"b", sim_time{2 * k_seconds_per_day}});
+  s.add({"a", sim_time{4 * k_seconds_per_day}});
+  for (const char* stat : {"a", "b", "c"}) {
+    const sim_time start = s.earliest_start(stat, sim_time{0});
+    EXPECT_TRUE(s.violations_for({stat, start}).empty()) << stat;
+  }
+}
+
+TEST(ConsensusDocTest, RoundTrip) {
+  tor::consensus_params params;
+  params.num_relays = 200;
+  params.seed = 77;
+  const tor::consensus original = tor::make_synthetic_consensus(params);
+  const std::string text = tor::serialize_consensus(original);
+  const tor::consensus parsed = tor::parse_consensus(text);
+
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const tor::relay& a = original.relays()[i];
+    const tor::relay& b = parsed.relays()[i];
+    EXPECT_EQ(a.nickname, b.nickname);
+    EXPECT_NEAR(a.weight, b.weight, 1e-5);
+    EXPECT_EQ(a.flags.guard, b.flags.guard);
+    EXPECT_EQ(a.flags.exit, b.flags.exit);
+    EXPECT_EQ(a.flags.hsdir, b.flags.hsdir);
+  }
+  // Selection probabilities survive the round trip.
+  EXPECT_NEAR(parsed.total_weight(tor::position::guard),
+              original.total_weight(tor::position::guard), 1e-2);
+}
+
+TEST(ConsensusDocTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)tor::parse_consensus(""), precondition_error);
+  EXPECT_THROW((void)tor::parse_consensus("not-a-consensus\n"),
+               precondition_error);
+  const std::string bad_keyword = "tormet-consensus 1\nnode 0 r0 1.0 G\n";
+  EXPECT_THROW((void)tor::parse_consensus(bad_keyword), precondition_error);
+  const std::string bad_flags = "tormet-consensus 1\nrelay 0 r0 1.0 GXZ\n";
+  EXPECT_THROW((void)tor::parse_consensus(bad_flags), precondition_error);
+  const std::string sparse_ids =
+      "tormet-consensus 1\nrelay 0 r0 1.0 G\nrelay 5 r5 1.0 E\n";
+  EXPECT_THROW((void)tor::parse_consensus(sparse_ids), precondition_error);
+}
+
+TEST(ConsensusDocTest, FlagSubsets) {
+  const std::string text =
+      "tormet-consensus 1\n"
+      "relay 0 alpha 2.500000 GEH\n"
+      "relay 1 beta 1.000000 -\n"
+      "relay 2 gamma 3.000000 E\n";
+  const tor::consensus net = tor::parse_consensus(text);
+  EXPECT_TRUE(net.relays()[0].flags.guard);
+  EXPECT_TRUE(net.relays()[0].flags.exit);
+  EXPECT_TRUE(net.relays()[0].flags.hsdir);
+  EXPECT_FALSE(net.relays()[1].flags.guard);
+  EXPECT_TRUE(net.relays()[2].flags.exit);
+  EXPECT_FALSE(net.relays()[2].flags.hsdir);
+}
+
+}  // namespace
+}  // namespace tormet

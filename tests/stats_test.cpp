@@ -1,0 +1,310 @@
+// Statistical-inference tests: CIs and extrapolation, occupancy moments and
+// exact pmf, the PSC dynamic-programming CI (with a coverage sweep), the
+// Monte-Carlo power-law extrapolation, and the Table 3 guard-model fit.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+
+#include "src/stats/confidence.h"
+#include "src/stats/extrapolate.h"
+#include "src/stats/guard_model.h"
+#include "src/stats/metrics_portal.h"
+#include "src/stats/occupancy.h"
+#include "src/stats/psc_ci.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+namespace tormet::stats {
+namespace {
+
+TEST(ConfidenceTest, NormalEstimate) {
+  const estimate e = normal_estimate(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(e.value, 100.0);
+  EXPECT_NEAR(e.ci.lo, 100.0 - 19.6, 0.01);
+  EXPECT_NEAR(e.ci.hi, 100.0 + 19.6, 0.01);
+  EXPECT_TRUE(e.ci.contains(100.0));
+  EXPECT_FALSE(e.ci.contains(200.0));
+}
+
+TEST(ConfidenceTest, PaperExampleExtrapolation) {
+  // §3.3: (3.2e7 ± 6.2e6)/0.015 = 2.1e9 ± 4.1e8.
+  const estimate local{3.2e7, {3.2e7 - 6.2e6, 3.2e7 + 6.2e6}};
+  const estimate network = extrapolate_by_fraction(local, 0.015);
+  EXPECT_NEAR(network.value, 2.13e9, 0.01e9);
+  EXPECT_NEAR(network.ci.lo, (3.2e7 - 6.2e6) / 0.015, 1.0);
+  EXPECT_NEAR(network.ci.hi - network.value, 4.13e8, 0.01e8);
+}
+
+TEST(ConfidenceTest, UniqueCountRange) {
+  const interval r = unique_count_range(471228, 0.0124);
+  EXPECT_DOUBLE_EQ(r.lo, 471228);
+  EXPECT_NEAR(r.hi, 471228 / 0.0124, 1.0);
+  EXPECT_THROW((void)unique_count_range(10, 0.0), tormet::precondition_error);
+}
+
+TEST(ConfidenceTest, IntervalOps) {
+  const interval a{1.0, 3.0};
+  const interval b{2.5, 4.0};
+  const interval c{3.5, 4.0};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_DOUBLE_EQ(a.width(), 2.0);
+}
+
+TEST(ConfidenceTest, RatioEstimate) {
+  const estimate num{50.0, {40.0, 60.0}};
+  const estimate den{100.0, {90.0, 110.0}};
+  const estimate r = ratio_estimate(num, den);
+  EXPECT_DOUBLE_EQ(r.value, 0.5);
+  EXPECT_NEAR(r.ci.lo, 40.0 / 110.0, 1e-12);
+  EXPECT_NEAR(r.ci.hi, 60.0 / 90.0, 1e-12);
+}
+
+TEST(OccupancyTest, MeanAndVarianceFormulas) {
+  EXPECT_DOUBLE_EQ(occupancy_mean(0, 10), 0.0);
+  EXPECT_NEAR(occupancy_mean(10, 10), 10.0 * (1 - std::pow(0.9, 10)), 1e-12);
+  EXPECT_DOUBLE_EQ(occupancy_variance(0, 10), 0.0);
+  EXPECT_GT(occupancy_variance(10, 10), 0.0);
+}
+
+TEST(OccupancyTest, PmfMatchesMoments) {
+  const std::vector<double> pmf = occupancy_pmf(20, 8);
+  double total = 0.0;
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::size_t j = 0; j < pmf.size(); ++j) {
+    total += pmf[j];
+    mean += static_cast<double>(j) * pmf[j];
+    second += static_cast<double>(j) * static_cast<double>(j) * pmf[j];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(mean, occupancy_mean(20, 8), 1e-9);
+  EXPECT_NEAR(second - mean * mean, occupancy_variance(20, 8), 1e-9);
+}
+
+TEST(OccupancyTest, PmfMatchesMonteCarlo) {
+  constexpr std::uint64_t n = 12;
+  constexpr std::uint64_t b = 6;
+  const std::vector<double> pmf = occupancy_pmf(n, b);
+  rng r{55};
+  std::vector<double> empirical(pmf.size(), 0.0);
+  constexpr int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t mask = 0;
+    for (std::uint64_t i = 0; i < n; ++i) mask |= 1ULL << r.below(b);
+    ++empirical[static_cast<std::size_t>(std::popcount(mask))];
+  }
+  for (std::size_t j = 0; j < pmf.size(); ++j) {
+    EXPECT_NEAR(empirical[j] / trials, pmf[j], 0.006) << "occ=" << j;
+  }
+}
+
+TEST(OccupancyTest, EdgeCases) {
+  const std::vector<double> pmf0 = occupancy_pmf(0, 5);
+  ASSERT_EQ(pmf0.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf0[0], 1.0);
+  const std::vector<double> pmf1 = occupancy_pmf(1, 5);
+  ASSERT_EQ(pmf1.size(), 2u);
+  EXPECT_DOUBLE_EQ(pmf1[1], 1.0);
+}
+
+TEST(PscCiTest, CdfIsMonotoneInObservationAndCardinality) {
+  psc_ci_params params;
+  params.bins = 128;
+  params.total_noise_bits = 40;
+  // CDF rises with the observed value...
+  EXPECT_LE(psc_cdf(30, 50, params), psc_cdf(60, 50, params));
+  // ...and falls with the true cardinality (more items -> bigger counts).
+  EXPECT_GE(psc_cdf(60, 20, params), psc_cdf(60, 80, params));
+}
+
+TEST(PscCiTest, ExactAndNormalBranchesAgree) {
+  psc_ci_params exact;
+  exact.bins = 64;
+  exact.total_noise_bits = 30;
+  exact.exact_dp_limit = 1'000'000;  // force exact
+  psc_ci_params approx = exact;
+  approx.exact_dp_limit = 0;  // force normal approximation
+  for (const std::uint64_t n : {10ULL, 40ULL, 100ULL}) {
+    for (const std::uint64_t r : {20ULL, 40ULL, 60ULL}) {
+      EXPECT_NEAR(psc_cdf(r, n, exact), psc_cdf(r, n, approx), 0.05)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(PscCiTest, IntervalContainsPointEstimate) {
+  psc_ci_params params;
+  params.bins = 1024;
+  params.total_noise_bits = 100;
+  const estimate e = psc_confidence_interval(380, params);
+  EXPECT_GE(e.value, e.ci.lo);
+  EXPECT_LE(e.value, e.ci.hi);
+  EXPECT_GT(e.ci.hi, e.ci.lo);
+}
+
+// Coverage sweep: simulate the full PSC observation pipeline many times and
+// check the 95 % CI covers the true n at least ~90 % of the time (binomial
+// slack on 60 trials).
+class PscCiCoverage : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PscCiCoverage, CoversTruth) {
+  const std::uint64_t true_n = GetParam();
+  psc_ci_params params;
+  params.bins = 2048;
+  params.total_noise_bits = 200;
+  rng r{true_n * 7 + 1};
+  int covered = 0;
+  constexpr int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    // Simulate: throw n balls, add Binomial(T, 1/2) noise ones.
+    std::set<std::uint64_t> bins_hit;
+    for (std::uint64_t i = 0; i < true_n; ++i) bins_hit.insert(r.below(2048));
+    std::uint64_t raw = bins_hit.size();
+    for (std::uint64_t i = 0; i < params.total_noise_bits; ++i) {
+      raw += r.bernoulli(0.5) ? 1 : 0;
+    }
+    const estimate e = psc_confidence_interval(raw, params);
+    if (e.ci.contains(static_cast<double>(true_n))) ++covered;
+  }
+  EXPECT_GE(covered, 54) << "true_n=" << true_n;  // >= 90 % of 60
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, PscCiCoverage,
+                         ::testing::Values(50, 300, 1000, 3000),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(ExtrapolateTest, RecoversNetworkUniquesFromLocalSample) {
+  // Ground truth: zipf(1.05) over 50k items, 200k network accesses, 10 %
+  // observed. First compute the true local/network uniques, then check the
+  // extrapolation (which only sees the local CI) brackets the network value.
+  rng r{77};
+  const workload::zipf_sampler truth{50'000, 1.05};
+  std::set<std::uint64_t> network;
+  std::set<std::uint64_t> local;
+  for (int i = 0; i < 200'000; ++i) {
+    const std::uint64_t item = truth.sample(r);
+    network.insert(item);
+    if (r.bernoulli(0.1)) local.insert(item);
+  }
+
+  powerlaw_extrapolation_params params;
+  params.universe = 50'000;
+  params.exponent_lo = 0.95;
+  params.exponent_hi = 1.15;
+  params.network_accesses = 200'000;
+  params.observe_fraction = 0.1;
+  const double l = static_cast<double>(local.size());
+  params.local_uniques_ci = {l * 0.92, l * 1.08};
+  params.trials = 80;
+  params.seed = 5;
+
+  const powerlaw_extrapolation_result result =
+      extrapolate_uniques_powerlaw(params);
+  ASSERT_GT(result.accepted, 5u);
+  const double n = static_cast<double>(network.size());
+  EXPECT_GT(result.network_uniques.ci.hi, n * 0.9);
+  EXPECT_LT(result.network_uniques.ci.lo, n * 1.1);
+  EXPECT_NEAR(result.network_uniques.value, n, n * 0.15);
+}
+
+TEST(ExtrapolateTest, RejectsAllTrialsWhenCiImpossible) {
+  powerlaw_extrapolation_params params;
+  params.universe = 1000;
+  params.network_accesses = 10'000;
+  params.observe_fraction = 0.5;
+  params.local_uniques_ci = {1e9, 2e9};  // unsatisfiable
+  params.trials = 10;
+  const powerlaw_extrapolation_result result =
+      extrapolate_uniques_powerlaw(params);
+  EXPECT_EQ(result.accepted, 0u);
+}
+
+TEST(GuardModelTest, RecoversSyntheticPopulation) {
+  // Synthetic truth: S = 8.8e6 selective (g = 3), P = 18,000 promiscuous.
+  constexpr double s_true = 8.8e6;
+  constexpr double p_true = 18'000;
+  constexpr int g_true = 3;
+  const auto observed = [&](double frac) {
+    return s_true * (1.0 - std::pow(1.0 - frac, g_true)) + p_true;
+  };
+  // The paper's two disjoint measurements: 0.42 % and 0.88 % guard weight,
+  // with +-1.5 % measurement CIs.
+  const double o1 = observed(0.0042);
+  const double o2 = observed(0.0088);
+  const guard_measurement m1{{o1 * 0.985, o1 * 1.015}, 0.0042};
+  const guard_measurement m2{{o2 * 0.985, o2 * 1.015}, 0.0088};
+
+  guard_model_params params;
+  params.max_promiscuous = 1e5;
+  const auto rows = fit_guard_model(m1, m2, params);
+  ASSERT_EQ(rows.size(), 3u);
+
+  const auto& g3 = rows[0];
+  EXPECT_EQ(g3.guards_per_client, 3);
+  ASSERT_TRUE(g3.consistent);
+  // The true promiscuous count and network IPs lie inside the fitted ranges.
+  EXPECT_LE(g3.promiscuous.lo, p_true);
+  EXPECT_GE(g3.promiscuous.hi, p_true);
+  EXPECT_LE(g3.network_ips.lo, s_true + p_true);
+  EXPECT_GE(g3.network_ips.hi, s_true + p_true);
+
+  // Higher g fits imply lower client counts (same observations spread over
+  // more guard hits) — the Table 3 trend.
+  ASSERT_TRUE(rows[2].consistent);
+  EXPECT_LT(rows[2].network_ips.hi, g3.network_ips.hi);
+}
+
+TEST(GuardModelTest, InconsistentMeasurementsDetected) {
+  // Slopes that no (S, P >= 0) can explain: second observation smaller
+  // than first despite double the fraction.
+  const guard_measurement m1{{100'000, 101'000}, 0.0042};
+  const guard_measurement m2{{50'000, 51'000}, 0.0088};
+  guard_model_params params;
+  params.max_promiscuous = 1e4;
+  const auto rows = fit_guard_model(m1, m2, params);
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.consistent) << "g=" << row.guards_per_client;
+  }
+}
+
+TEST(GuardModelTest, QuickEstimateMatchesPaperHeadline) {
+  // 313,213 observed IPs at 1.19 % guard weight with 3 guards per client
+  // => ~8.77 M daily users (the paper's abstract headline).
+  const double users = quick_user_estimate(313'213, 0.0119, 3);
+  EXPECT_NEAR(users, 8.773e6, 0.01e6);
+}
+
+TEST(GuardModelTest, RejectsDegenerateInput) {
+  const guard_measurement m{{1, 2}, 0.01};
+  EXPECT_THROW((void)fit_guard_model(m, m), tormet::precondition_error);
+}
+
+TEST(MetricsPortalTest, EstimateAndFactor) {
+  // 2.15 M daily users from ~21.5 M directory requests at full coverage.
+  EXPECT_NEAR(metrics_portal_user_estimate(21.5e6, 1.0), 2.15e6, 1.0);
+  // Observed at 10 % of directory weight.
+  EXPECT_NEAR(metrics_portal_user_estimate(2.15e6, 0.1), 2.15e6, 1.0);
+  // The paper's headline: direct measurement ~4x the Metrics estimate.
+  EXPECT_NEAR(underestimate_factor(8.77e6, 2.15e6), 4.08, 0.01);
+  EXPECT_THROW((void)metrics_portal_user_estimate(1.0, 0.0),
+               tormet::precondition_error);
+  EXPECT_THROW((void)metrics_portal_user_estimate(1.0, 1.0, 0.0),
+               tormet::precondition_error);
+}
+
+TEST(MetricsPortalTest, UnderestimatesWhenTrueRateBelowAssumption) {
+  // 1 M clients each issuing 2.5 directory requests/day, fully observed:
+  // the 10-requests/day assumption yields a 4x undercount.
+  const double requests = 1e6 * 2.5;
+  const double estimate = metrics_portal_user_estimate(requests, 1.0);
+  EXPECT_NEAR(underestimate_factor(1e6, estimate), 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tormet::stats

@@ -1,0 +1,146 @@
+// Transport tests: deterministic inproc delivery + failure injection, and
+// real TCP loopback framing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/net/inproc.h"
+#include "src/net/tcp.h"
+
+namespace tormet::net {
+namespace {
+
+TEST(InprocTest, DeliversInFifoOrder) {
+  inproc_net bus;
+  std::vector<int> received;
+  bus.register_node(1, [&](const message& m) {
+    received.push_back(static_cast<int>(m.payload[0]));
+  });
+  for (int i = 0; i < 5; ++i) {
+    bus.send(message{0, 1, 7, byte_buffer{static_cast<std::uint8_t>(i)}});
+  }
+  EXPECT_EQ(bus.run_until_quiescent(), 5u);
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(InprocTest, HandlersMaySendDuringDelivery) {
+  inproc_net bus;
+  int hops = 0;
+  bus.register_node(1, [&](const message& m) {
+    ++hops;
+    if (m.payload[0] < 3) {
+      bus.send(message{1, 2, 0, byte_buffer{m.payload[0]}});
+    }
+  });
+  bus.register_node(2, [&](const message& m) {
+    ++hops;
+    bus.send(message{2, 1, 0,
+                     byte_buffer{static_cast<std::uint8_t>(m.payload[0] + 1)}});
+  });
+  bus.send(message{0, 1, 0, byte_buffer{0}});
+  bus.run_until_quiescent();
+  EXPECT_EQ(hops, 7);  // 1,2,1,2,1,2,1 until payload reaches 3
+}
+
+TEST(InprocTest, PartitionDropsBothDirections) {
+  inproc_net bus;
+  int received = 0;
+  bus.register_node(1, [&](const message&) { ++received; });
+  bus.register_node(2, [&](const message&) { ++received; });
+  bus.partition_node(2);
+  bus.send(message{1, 2, 0, {}});
+  bus.send(message{2, 1, 0, {}});
+  bus.send(message{0, 1, 0, {}});
+  bus.run_until_quiescent();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus.dropped_count(), 2u);
+
+  bus.heal_node(2);
+  bus.send(message{1, 2, 0, {}});
+  bus.run_until_quiescent();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(InprocTest, UnknownDestinationCountsAsDropped) {
+  inproc_net bus;
+  bus.send(message{0, 99, 0, {}});
+  bus.run_until_quiescent();
+  EXPECT_EQ(bus.dropped_count(), 1u);
+}
+
+TEST(InprocTest, RandomDropIsDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    inproc_net bus;
+    int received = 0;
+    bus.register_node(1, [&](const message&) { ++received; });
+    bus.set_drop_probability(0.5, seed);
+    for (int i = 0; i < 100; ++i) bus.send(message{0, 1, 0, {}});
+    bus.run_until_quiescent();
+    return received;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_GT(run(9), 20);
+  EXPECT_LT(run(9), 80);
+}
+
+TEST(TcpTest, RoundTripBetweenNodes) {
+  tcp_net bus;
+  std::vector<std::string> got;
+  bus.register_node(1, [&](const message& m) {
+    got.push_back(std::string{m.payload.begin(), m.payload.end()});
+    if (got.back() == "ping") {
+      bus.send(message{1, 2, 5, byte_buffer{'p', 'o', 'n', 'g'}});
+    }
+  });
+  std::string pong;
+  bus.register_node(2, [&](const message& m) {
+    pong.assign(m.payload.begin(), m.payload.end());
+  });
+
+  bus.send(message{2, 1, 5, byte_buffer{'p', 'i', 'n', 'g'}});
+  bus.run_until_quiescent();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "ping");
+  EXPECT_EQ(pong, "pong");
+}
+
+TEST(TcpTest, LargeMessageSurvivesFraming) {
+  tcp_net bus;
+  byte_buffer received;
+  bus.register_node(1, [&](const message& m) { received = m.payload; });
+  byte_buffer big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  }
+  bus.register_node(2, [](const message&) {});
+  bus.send(message{2, 1, 9, big});
+  bus.run_until_quiescent();
+  EXPECT_EQ(received, big);
+}
+
+TEST(TcpTest, ManySmallMessagesKeepOrderPerSender) {
+  tcp_net bus;
+  std::vector<int> seq;
+  bus.register_node(1, [&](const message& m) {
+    seq.push_back(static_cast<int>(m.payload[0]));
+  });
+  bus.register_node(2, [](const message&) {});
+  for (int i = 0; i < 50; ++i) {
+    bus.send(message{2, 1, 0, byte_buffer{static_cast<std::uint8_t>(i)}});
+  }
+  bus.run_until_quiescent();
+  ASSERT_EQ(seq.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(seq[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TcpTest, PortsAreDistinct) {
+  tcp_net bus;
+  bus.register_node(1, [](const message&) {});
+  bus.register_node(2, [](const message&) {});
+  EXPECT_NE(bus.port_of(1), bus.port_of(2));
+  EXPECT_GT(bus.port_of(1), 0);
+}
+
+}  // namespace
+}  // namespace tormet::net

@@ -1,0 +1,112 @@
+// Unit tests for the wire codec: roundtrips, bounds checking, malformed
+// input rejection.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/net/wire.h"
+
+namespace tormet::net {
+namespace {
+
+TEST(WireTest, ScalarRoundTrip) {
+  wire_writer w;
+  w.write_u8(0xab);
+  w.write_u16(0xbeef);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0123456789abcdefULL);
+  w.write_i64(-42);
+  w.write_f64(3.14159);
+  const byte_buffer buf = w.take();
+
+  wire_reader r{buf};
+  EXPECT_EQ(r.read_u8(), 0xab);
+  EXPECT_EQ(r.read_u16(), 0xbeef);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireTest, VarintRoundTrip) {
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 16383, 16384,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : values) {
+    wire_writer w;
+    w.write_varint(v);
+    wire_reader r{w.data()};
+    EXPECT_EQ(r.read_varint(), v) << v;
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(WireTest, VarintCompactness) {
+  wire_writer w;
+  w.write_varint(5);
+  EXPECT_EQ(w.data().size(), 1u);
+  wire_writer w2;
+  w2.write_varint(300);
+  EXPECT_EQ(w2.data().size(), 2u);
+}
+
+TEST(WireTest, BytesAndStringRoundTrip) {
+  wire_writer w;
+  const byte_buffer blob{1, 2, 3, 4, 5};
+  w.write_bytes(blob);
+  w.write_string("hello world");
+  w.write_string("");
+  const byte_buffer buf = w.take();
+
+  wire_reader r{buf};
+  EXPECT_EQ(r.read_bytes(), blob);
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(WireTest, TruncatedInputThrows) {
+  wire_writer w;
+  w.write_u64(7);
+  byte_buffer buf = w.take();
+  buf.pop_back();
+  wire_reader r{buf};
+  EXPECT_THROW((void)r.read_u64(), wire_error);
+}
+
+TEST(WireTest, ByteFieldLongerThanInputThrows) {
+  wire_writer w;
+  w.write_varint(1000);  // claims 1000 bytes follow
+  w.write_u8(1);
+  wire_reader r{w.data()};
+  EXPECT_THROW((void)r.read_bytes(), wire_error);
+}
+
+TEST(WireTest, TrailingBytesDetected) {
+  wire_writer w;
+  w.write_u8(1);
+  w.write_u8(2);
+  wire_reader r{w.data()};
+  (void)r.read_u8();
+  EXPECT_THROW(r.expect_end(), wire_error);
+  (void)r.read_u8();
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(WireTest, OverlongVarintThrows) {
+  // 11 continuation bytes cannot encode a u64.
+  byte_buffer buf(11, 0xff);
+  buf.push_back(0x01);
+  wire_reader r{buf};
+  EXPECT_THROW((void)r.read_varint(), wire_error);
+}
+
+TEST(WireTest, EmptyReader) {
+  wire_reader r{byte_view{}};
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW((void)r.read_u8(), wire_error);
+}
+
+}  // namespace
+}  // namespace tormet::net
