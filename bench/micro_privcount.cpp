@@ -1,12 +1,22 @@
 // google-benchmark microbenchmarks for measurement-path hot spots: event
 // ingestion through PrivCount instruments (plain counters, domain-set
 // matching against a 1M-entry index) and PSC oblivious inserts.
+//
+// `micro_privcount --speedup-json [bins] [workers]` skips google-benchmark
+// and times the serial per-bin oblivious-table initialization against the
+// batch-engine path, emitting one JSON object for the bench trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
+#include "bench/speedup_common.h"
 #include "src/core/instruments.h"
+#include "src/crypto/batch_engine.h"
 #include "src/crypto/secure_rng.h"
 #include "src/psc/oblivious_set.h"
 #include "src/tor/events.h"
+#include "src/util/thread_pool.h"
 #include "src/workload/alexa.h"
 
 namespace {
@@ -60,6 +70,20 @@ void bm_domain_set_matching(benchmark::State& state) {
 BENCHMARK(bm_domain_set_matching)->Arg(100000)->Arg(1000000)
     ->Unit(benchmark::kNanosecond);
 
+void bm_psc_table_init_toy(benchmark::State& state) {
+  const auto group = crypto::make_toy_group();
+  const crypto::elgamal scheme{group};
+  crypto::deterministic_rng rng{9};
+  const auto kp = scheme.generate_keypair(rng);
+  const std::size_t bins = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    psc::oblivious_set set{scheme, kp.pub, bins, rng};
+    benchmark::DoNotOptimize(set.slots().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_psc_table_init_toy)->Arg(1 << 12)->Arg(1 << 16);
+
 void bm_psc_insert_toy(benchmark::State& state) {
   const auto group = crypto::make_toy_group();
   const crypto::elgamal scheme{group};
@@ -90,6 +114,59 @@ void bm_country_instrument(benchmark::State& state) {
 }
 BENCHMARK(bm_country_instrument);
 
+// ---------------------------------------------------------------------------
+// --speedup-json: serial vs batched+threaded PSC table initialization (the
+// DC-side bulk path: every bin is an encryption of zero), as one JSON line.
+// ---------------------------------------------------------------------------
+
+int run_speedup_json(std::size_t bins, std::size_t workers) {
+  const auto group = crypto::make_toy_group();
+  const crypto::elgamal scheme{group};
+  const auto pool = std::make_shared<util::thread_pool>(workers);
+  const crypto::batch_engine engine{group, pool};
+  crypto::deterministic_rng rng{2025};
+  const auto kp = scheme.generate_keypair(rng);
+
+  const auto measure = [&](const auto& fn) {
+    return bench::measure_items_per_sec(bins, fn);
+  };
+
+  // Serial reference: the pre-batch per-bin loop.
+  const double serial_init = measure([&] {
+    std::vector<crypto::elgamal_ciphertext> slots;
+    slots.reserve(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+      slots.push_back(scheme.encrypt_zero(kp.pub, rng));
+    }
+    benchmark::DoNotOptimize(slots);
+  });
+  const double batched_init = measure([&] {
+    psc::oblivious_set set{engine, kp.pub, bins, rng};
+    benchmark::DoNotOptimize(set.slots().data());
+  });
+
+  std::printf(
+      "{\"bench\":\"micro_privcount.table_init_speedup\",\"backend\":\"%s\","
+      "\"bins\":%zu,\"workers\":%zu,"
+      "\"serial_bins_per_sec\":%.0f,\"batched_bins_per_sec\":%.0f,"
+      "\"speedup\":%.2f}\n",
+      group->name().c_str(), bins, workers, serial_init, batched_init,
+      batched_init / serial_init);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--speedup-json") == 0) {
+      return run_speedup_json(bench::positive_arg_or(argc, argv, i + 1, 16384),
+                              bench::positive_arg_or(argc, argv, i + 2, 4));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

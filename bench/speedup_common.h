@@ -1,0 +1,39 @@
+// Shared scaffolding for the --speedup-json bench modes: positive-integer
+// argument parsing (garbage or non-positive input falls back to the
+// default) and the repeat-until-stable throughput measurement loop.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdlib>
+
+namespace tormet::bench {
+
+/// Parses argv[index] as a positive integer; returns `fallback` when the
+/// argument is missing, non-numeric, or not positive.
+[[nodiscard]] inline std::size_t positive_arg_or(int argc, char** argv,
+                                                 int index,
+                                                 std::size_t fallback) {
+  if (index >= argc) return fallback;
+  const long long value = std::atoll(argv[index]);
+  return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+/// Runs `fn` once as warm-up, then repeats it until ~0.5 s has elapsed and
+/// returns the throughput in items per second (`items` processed per call).
+template <typename Fn>
+[[nodiscard]] double measure_items_per_sec(std::size_t items, const Fn& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up (builds precompute tables, faults in pages)
+  std::size_t reps = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < 0.5);
+  return static_cast<double>(reps * items) / elapsed;
+}
+
+}  // namespace tormet::bench

@@ -1,0 +1,117 @@
+#include "src/crypto/batch_engine.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace tormet::crypto {
+
+batch_engine::batch_engine(std::shared_ptr<const group> g,
+                           std::shared_ptr<util::thread_pool> pool,
+                           std::size_t shard_size)
+    : scheme_{std::move(g)}, pool_{std::move(pool)}, shard_size_{shard_size} {
+  expects(shard_size_ > 0, "batch_engine shard size must be positive");
+}
+
+sha256_digest batch_engine::derive_seed(secure_rng& rng) {
+  sha256_digest seed{};
+  rng.fill(seed);
+  return seed;
+}
+
+sha256_digest batch_engine::shard_stream_key(const sha256_digest& seed,
+                                             std::size_t shard_index) {
+  sha256_hasher h;
+  h.update("tormet.batch.shard.v1");
+  h.update_framed(byte_view{seed.data(), seed.size()});
+  std::uint8_t idx[8];
+  for (int i = 0; i < 8; ++i) {
+    idx[i] = static_cast<std::uint8_t>(std::uint64_t{shard_index} >> (8 * i));
+  }
+  h.update(byte_view{idx, 8});
+  return h.finish();
+}
+
+template <typename Fn>
+void batch_engine::run_sharded(std::size_t n, Fn&& fn) const {
+  if (n == 0) return;
+  const auto shard_fn = [&](std::size_t begin, std::size_t end) {
+    // parallel_for's grain equals shard_size_, so every chunk is exactly one
+    // shard (the last may be short).
+    fn(begin / shard_size_, begin, end);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, shard_size_, shard_fn);
+    return;
+  }
+  for (std::size_t begin = 0; begin < n; begin += shard_size_) {
+    shard_fn(begin, std::min(begin + shard_size_, n));
+  }
+}
+
+std::vector<elgamal_ciphertext> batch_engine::encrypt_zero_batch(
+    const group_element& pub, std::size_t count,
+    const sha256_digest& seed) const {
+  std::vector<elgamal_ciphertext> out(count);
+  run_sharded(count, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+    stream_rng rng{shard_stream_key(seed, shard)};
+    std::vector<elgamal_ciphertext> slice =
+        scheme_.encrypt_zero_batch(pub, end - begin, rng);
+    std::move(slice.begin(), slice.end(), out.begin() + begin);
+  });
+  return out;
+}
+
+std::vector<elgamal_ciphertext> batch_engine::encrypt_bits_batch(
+    const group_element& pub, std::span<const std::uint8_t> bits,
+    const sha256_digest& seed) const {
+  std::vector<elgamal_ciphertext> out(bits.size());
+  run_sharded(bits.size(),
+              [&](std::size_t shard, std::size_t begin, std::size_t end) {
+    stream_rng rng{shard_stream_key(seed, shard)};
+    std::vector<elgamal_ciphertext> slice =
+        scheme_.encrypt_bits_batch(pub, bits.subspan(begin, end - begin), rng);
+    std::move(slice.begin(), slice.end(), out.begin() + begin);
+  });
+  return out;
+}
+
+std::vector<elgamal_ciphertext> batch_engine::rerandomize_batch(
+    const group_element& pub, std::span<const elgamal_ciphertext> cts,
+    const sha256_digest& seed) const {
+  std::vector<elgamal_ciphertext> out(cts.size());
+  run_sharded(cts.size(),
+              [&](std::size_t shard, std::size_t begin, std::size_t end) {
+    stream_rng rng{shard_stream_key(seed, shard)};
+    std::vector<elgamal_ciphertext> slice = scheme_.rerandomize_batch(
+        pub, cts.subspan(begin, end - begin), rng);
+    std::move(slice.begin(), slice.end(), out.begin() + begin);
+  });
+  return out;
+}
+
+std::vector<elgamal_ciphertext> batch_engine::strip_share_batch(
+    std::span<const elgamal_ciphertext> cts, const scalar& share) const {
+  std::vector<elgamal_ciphertext> out(cts.size());
+  run_sharded(cts.size(),
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+    std::vector<elgamal_ciphertext> slice =
+        scheme_.strip_share_batch(cts.subspan(begin, end - begin), share);
+    std::move(slice.begin(), slice.end(), out.begin() + begin);
+  });
+  return out;
+}
+
+std::vector<group_element> batch_engine::decrypt_batch(
+    const scalar& secret, std::span<const elgamal_ciphertext> cts) const {
+  std::vector<group_element> out(cts.size());
+  run_sharded(cts.size(),
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+    std::vector<group_element> slice =
+        scheme_.decrypt_batch(secret, cts.subspan(begin, end - begin));
+    std::move(slice.begin(), slice.end(), out.begin() + begin);
+  });
+  return out;
+}
+
+}  // namespace tormet::crypto

@@ -1,0 +1,86 @@
+// Multi-threaded front end for the bulk ElGamal work in a PSC round. The
+// engine shards a batch into fixed-size slices, runs each slice through the
+// elgamal/group batch APIs on a shared thread pool, and derives every
+// slice's randomness from a caller-supplied 32-byte seed:
+//
+//     shard s's DRBG = HMAC-DRBG( SHA256("tormet.batch.shard.v1" ‖ seed ‖ s) )
+//
+// Shard boundaries depend only on the configured shard size — never on the
+// worker count or scheduling — so a given (inputs, seed) pair yields
+// bit-identical ciphertexts whether the engine runs inline, on one worker,
+// or on sixteen. Operations that need no randomness (strip/decrypt) shard
+// the same way for parallelism alone.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/sha256.h"
+#include "src/util/thread_pool.h"
+
+namespace tormet::crypto {
+
+class batch_engine {
+ public:
+  /// `pool == nullptr` runs every shard inline (still batched, still
+  /// seeded-deterministic). `shard_size` fixes both the parallel grain and
+  /// the RNG stream boundaries; changing it changes outputs, so it is part
+  /// of a deployment's protocol configuration.
+  explicit batch_engine(std::shared_ptr<const group> g,
+                        std::shared_ptr<util::thread_pool> pool = nullptr,
+                        std::size_t shard_size = 512);
+
+  [[nodiscard]] const elgamal& scheme() const noexcept { return scheme_; }
+  [[nodiscard]] const group& grp() const noexcept { return scheme_.grp(); }
+  [[nodiscard]] std::size_t shard_size() const noexcept { return shard_size_; }
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return pool_ == nullptr ? 1 : pool_->size();
+  }
+
+  /// Draws a fresh 32-byte batch seed from a session RNG (one fill, so the
+  /// caller's stream advances identically no matter the batch size).
+  [[nodiscard]] static sha256_digest derive_seed(secure_rng& rng);
+
+  /// `count` encryptions of zero under `pub`.
+  [[nodiscard]] std::vector<elgamal_ciphertext> encrypt_zero_batch(
+      const group_element& pub, std::size_t count,
+      const sha256_digest& seed) const;
+
+  /// Per index: encrypt_one when bits[i] != 0, else encrypt_zero.
+  [[nodiscard]] std::vector<elgamal_ciphertext> encrypt_bits_batch(
+      const group_element& pub, std::span<const std::uint8_t> bits,
+      const sha256_digest& seed) const;
+
+  /// Rerandomizes every ciphertext under `pub`.
+  [[nodiscard]] std::vector<elgamal_ciphertext> rerandomize_batch(
+      const group_element& pub, std::span<const elgamal_ciphertext> cts,
+      const sha256_digest& seed) const;
+
+  /// Strips one decryption share from every ciphertext.
+  [[nodiscard]] std::vector<elgamal_ciphertext> strip_share_batch(
+      std::span<const elgamal_ciphertext> cts, const scalar& share) const;
+
+  /// Single-key decryption of every ciphertext.
+  [[nodiscard]] std::vector<group_element> decrypt_batch(
+      const scalar& secret, std::span<const elgamal_ciphertext> cts) const;
+
+ private:
+  /// Runs fn(shard_index, begin, end) over [0, n) in shard_size_ slices,
+  /// parallel when a pool is attached.
+  template <typename Fn>
+  void run_sharded(std::size_t n, Fn&& fn) const;
+
+  /// ChaCha20 stream key for shard `shard_index` of a batch seeded by
+  /// `seed` — the per-index RNG streams that make sharded output
+  /// reproducible.
+  [[nodiscard]] static sha256_digest shard_stream_key(const sha256_digest& seed,
+                                                      std::size_t shard_index);
+
+  elgamal scheme_;
+  std::shared_ptr<util::thread_pool> pool_;
+  std::size_t shard_size_;
+};
+
+}  // namespace tormet::crypto

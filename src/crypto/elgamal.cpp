@@ -63,6 +63,108 @@ group_element elgamal::decrypt(const scalar& secret,
   return group_->sub(c.b, group_->mul(c.a, secret));
 }
 
+namespace {
+
+// Splits a ciphertext span into its component vectors (handle copies are a
+// refcount bump each) so the group batch ops can run over flat spans.
+void split_components(std::span<const elgamal_ciphertext> cts,
+                      std::vector<group_element>& as,
+                      std::vector<group_element>& bs) {
+  as.reserve(cts.size());
+  bs.reserve(cts.size());
+  for (const auto& ct : cts) {
+    as.push_back(ct.a);
+    bs.push_back(ct.b);
+  }
+}
+
+[[nodiscard]] std::vector<elgamal_ciphertext> zip_components(
+    std::vector<group_element> as, std::vector<group_element> bs) {
+  std::vector<elgamal_ciphertext> out;
+  out.reserve(as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    out.push_back({std::move(as[i]), std::move(bs[i])});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<elgamal_ciphertext> elgamal::encrypt_zero_batch(
+    const group_element& pub, std::size_t count, secure_rng& rng) const {
+  std::vector<scalar> rs;
+  rs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    rs.push_back(group_->random_scalar(rng));
+  }
+  // b = identity + r·Y = r·Y, so the identity add is skipped outright.
+  return zip_components(group_->mul_generator_batch(rs),
+                        group_->mul_batch(pub, rs));
+}
+
+std::vector<elgamal_ciphertext> elgamal::encrypt_bits_batch(
+    const group_element& pub, std::span<const std::uint8_t> bits,
+    secure_rng& rng) const {
+  // Draw (message scalar, nonce) per index in the order the serial loop
+  // would: encrypt_one draws its random message element before its nonce.
+  std::vector<scalar> rs, ms;
+  rs.reserve(bits.size());
+  for (const auto bit : bits) {
+    if (bit != 0) ms.push_back(group_->random_scalar(rng));
+    rs.push_back(group_->random_scalar(rng));
+  }
+  std::vector<group_element> as = group_->mul_generator_batch(rs);
+  std::vector<group_element> bs = group_->mul_batch(pub, rs);
+  if (!ms.empty()) {
+    const std::vector<group_element> msgs = group_->mul_generator_batch(ms);
+    // Gather the one-bit positions, add their messages, scatter back.
+    std::vector<group_element> gathered;
+    gathered.reserve(msgs.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i] != 0) gathered.push_back(bs[i]);
+    }
+    std::vector<group_element> summed = group_->add_batch(msgs, gathered);
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i] != 0) bs[i] = std::move(summed[j++]);
+    }
+  }
+  return zip_components(std::move(as), std::move(bs));
+}
+
+std::vector<elgamal_ciphertext> elgamal::add_batch(
+    std::span<const elgamal_ciphertext> c1,
+    std::span<const elgamal_ciphertext> c2) const {
+  expects(c1.size() == c2.size(), "add_batch spans must have equal length");
+  std::vector<group_element> a1, b1, a2, b2;
+  split_components(c1, a1, b1);
+  split_components(c2, a2, b2);
+  return zip_components(group_->add_batch(a1, a2), group_->add_batch(b1, b2));
+}
+
+std::vector<elgamal_ciphertext> elgamal::rerandomize_batch(
+    const group_element& pub, std::span<const elgamal_ciphertext> cts,
+    secure_rng& rng) const {
+  const std::vector<elgamal_ciphertext> zeros =
+      encrypt_zero_batch(pub, cts.size(), rng);
+  return add_batch(cts, zeros);
+}
+
+std::vector<elgamal_ciphertext> elgamal::strip_share_batch(
+    std::span<const elgamal_ciphertext> cts, const scalar& secret_share) const {
+  std::vector<group_element> as, bs;
+  split_components(cts, as, bs);
+  const std::vector<group_element> shares = group_->mul_batch(as, secret_share);
+  return zip_components(std::move(as), group_->sub_batch(bs, shares));
+}
+
+std::vector<group_element> elgamal::decrypt_batch(
+    const scalar& secret, std::span<const elgamal_ciphertext> cts) const {
+  std::vector<group_element> as, bs;
+  split_components(cts, as, bs);
+  return group_->sub_batch(bs, group_->mul_batch(as, secret));
+}
+
 byte_buffer elgamal::encode(const elgamal_ciphertext& c) const {
   const byte_buffer ea = group_->encode(c.a);
   const byte_buffer eb = group_->encode(c.b);
@@ -85,6 +187,22 @@ elgamal_ciphertext elgamal::decode(byte_view data) const {
   expects(data.size() == 2 + len_a + len_b, "ciphertext encoding length mismatch");
   const byte_view eb = data.subspan(2 + len_a, len_b);
   return {group_->decode(ea), group_->decode(eb)};
+}
+
+std::vector<byte_buffer> elgamal::encode_batch(
+    std::span<const elgamal_ciphertext> cts) const {
+  std::vector<byte_buffer> out;
+  out.reserve(cts.size());
+  for (const auto& ct : cts) out.push_back(encode(ct));
+  return out;
+}
+
+std::vector<elgamal_ciphertext> elgamal::decode_batch(
+    std::span<const byte_buffer> data) const {
+  std::vector<elgamal_ciphertext> out;
+  out.reserve(data.size());
+  for (const auto& d : data) out.push_back(decode(d));
+  return out;
 }
 
 }  // namespace tormet::crypto

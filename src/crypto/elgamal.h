@@ -79,9 +79,51 @@ class elgamal {
   [[nodiscard]] group_element decrypt(const scalar& secret,
                                       const elgamal_ciphertext& c) const;
 
+  // -- batch operations ----------------------------------------------------
+  // Vector forms built on the group's batch API. Randomness is drawn from
+  // `rng` in index order before any group math, so each batch call consumes
+  // the RNG stream exactly like the equivalent serial loop and produces
+  // bit-identical ciphertexts — serial and batched protocol paths are
+  // interchangeable. Empty batches are no-ops.
+
+  /// `count` independent encryptions of zero (PSC bulk bin initialization).
+  [[nodiscard]] std::vector<elgamal_ciphertext> encrypt_zero_batch(
+      const group_element& pub, std::size_t count, secure_rng& rng) const;
+
+  /// Per index: encrypt_one when bits[i] != 0, else encrypt_zero (the CP
+  /// binomial-noise vector).
+  [[nodiscard]] std::vector<elgamal_ciphertext> encrypt_bits_batch(
+      const group_element& pub, std::span<const std::uint8_t> bits,
+      secure_rng& rng) const;
+
+  /// Elementwise homomorphic combination (tally-server table merge).
+  [[nodiscard]] std::vector<elgamal_ciphertext> add_batch(
+      std::span<const elgamal_ciphertext> c1,
+      std::span<const elgamal_ciphertext> c2) const;
+
+  /// Rerandomizes every ciphertext (the mix pass hot loop).
+  [[nodiscard]] std::vector<elgamal_ciphertext> rerandomize_batch(
+      const group_element& pub, std::span<const elgamal_ciphertext> cts,
+      secure_rng& rng) const;
+
+  /// Strips one decryption share from every ciphertext (the decrypt pass).
+  [[nodiscard]] std::vector<elgamal_ciphertext> strip_share_batch(
+      std::span<const elgamal_ciphertext> cts,
+      const scalar& secret_share) const;
+
+  /// Single-key decryption of every ciphertext.
+  [[nodiscard]] std::vector<group_element> decrypt_batch(
+      const scalar& secret, std::span<const elgamal_ciphertext> cts) const;
+
   /// Serialized ciphertext (length-prefixed a || b), and its inverse.
   [[nodiscard]] byte_buffer encode(const elgamal_ciphertext& c) const;
   [[nodiscard]] elgamal_ciphertext decode(byte_view data) const;
+
+  /// Batch forms of encode/decode (one call site, one pass).
+  [[nodiscard]] std::vector<byte_buffer> encode_batch(
+      std::span<const elgamal_ciphertext> cts) const;
+  [[nodiscard]] std::vector<elgamal_ciphertext> decode_batch(
+      std::span<const byte_buffer> data) const;
 
  private:
   std::shared_ptr<const group> group_;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/crypto/secure_rng.h"
 #include "src/util/bytes.h"
@@ -87,6 +88,44 @@ class group {
   [[nodiscard]] virtual bool is_identity(const group_element& a) const = 0;
   [[nodiscard]] virtual bool equal(const group_element& a,
                                    const group_element& b) const = 0;
+
+  // -- batch operations ----------------------------------------------------
+  // Vector forms of the element operations, for the bulk homogeneous work
+  // that dominates PSC rounds (bin init, rerandomize-and-mix, decrypt
+  // passes). Contract, binding on every override:
+  //
+  //  * out[i] is the same group element the scalar operation would return
+  //    for index i — batch and serial paths are interchangeable and their
+  //    encodings are bit-identical;
+  //  * out[i] depends only on inputs at index i (no cross-element mixing),
+  //    so callers may split a batch into sub-batches at any boundary without
+  //    changing results — this is what makes multi-threaded sharding safe;
+  //  * paired spans must have equal length (checked);
+  //  * empty batches return empty vectors;
+  //  * calls are safe concurrently on one (const) instance from multiple
+  //    threads.
+  //
+  // Implementations may amortize allocation and precomputation across the
+  // batch: the defaults loop over the scalar ops; p256 reuses one BN_CTX and
+  // scratch BIGNUM arena per batch instead of allocating per call; the toy
+  // backend uses fixed-base comb tables, a single-allocation element arena,
+  // and Montgomery batch inversion for sub_batch.
+
+  /// generator * ks[i] for every i (fixed-base precomputation amortized).
+  [[nodiscard]] virtual std::vector<group_element> mul_generator_batch(
+      std::span<const scalar> ks) const;
+  /// base * ks[i] for every i (one base, many scalars — e.g. pk * nonce).
+  [[nodiscard]] virtual std::vector<group_element> mul_batch(
+      const group_element& base, std::span<const scalar> ks) const;
+  /// pts[i] * k for every i (many points, one scalar — e.g. decrypt shares).
+  [[nodiscard]] virtual std::vector<group_element> mul_batch(
+      std::span<const group_element> pts, const scalar& k) const;
+  /// a[i] + b[i] for every i.
+  [[nodiscard]] virtual std::vector<group_element> add_batch(
+      std::span<const group_element> a, std::span<const group_element> b) const;
+  /// a[i] - b[i] for every i (toy backend: Montgomery batch inversion).
+  [[nodiscard]] virtual std::vector<group_element> sub_batch(
+      std::span<const group_element> a, std::span<const group_element> b) const;
 
   // -- serialization ------------------------------------------------------
   [[nodiscard]] virtual byte_buffer encode(const group_element& a) const = 0;

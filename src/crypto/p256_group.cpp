@@ -179,6 +179,94 @@ class p256_group final : public group {
     return wrap(std::move(p));
   }
 
+  // Batch fast paths: one BN_CTX plus one scratch BIGNUM / EC_POINT reused
+  // across the whole batch instead of fresh allocations per call. Output
+  // points are still individually owned (group_element handles them), but
+  // every intermediate allocation is hoisted out of the loop.
+  [[nodiscard]] std::vector<group_element> mul_generator_batch(
+      std::span<const scalar> ks) const override {
+    BN_CTX* ctx = tls_bn_ctx();
+    bignum bn;
+    std::vector<group_element> out;
+    out.reserve(ks.size());
+    for (const auto& k : ks) {
+      to_bn(k, bn.bn);
+      point_ptr p = new_point();
+      ossl_check(EC_POINT_mul(curve_, p.get(), bn.bn, nullptr, nullptr, ctx),
+                 "EC_POINT_mul(gen)");
+      out.push_back(wrap(std::move(p)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<group_element> mul_batch(
+      const group_element& base, std::span<const scalar> ks) const override {
+    BN_CTX* ctx = tls_bn_ctx();
+    bignum bn;
+    const EC_POINT* b = unwrap(base);
+    std::vector<group_element> out;
+    out.reserve(ks.size());
+    for (const auto& k : ks) {
+      to_bn(k, bn.bn);
+      point_ptr p = new_point();
+      ossl_check(EC_POINT_mul(curve_, p.get(), nullptr, b, bn.bn, ctx),
+                 "EC_POINT_mul");
+      out.push_back(wrap(std::move(p)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<group_element> mul_batch(
+      std::span<const group_element> pts, const scalar& k) const override {
+    BN_CTX* ctx = tls_bn_ctx();
+    bignum bn;
+    to_bn(k, bn.bn);  // converted once for the whole batch
+    std::vector<group_element> out;
+    out.reserve(pts.size());
+    for (const auto& p : pts) {
+      point_ptr r = new_point();
+      ossl_check(EC_POINT_mul(curve_, r.get(), nullptr, unwrap(p), bn.bn, ctx),
+                 "EC_POINT_mul");
+      out.push_back(wrap(std::move(r)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<group_element> add_batch(
+      std::span<const group_element> a,
+      std::span<const group_element> b) const override {
+    expects(a.size() == b.size(), "add_batch spans must have equal length");
+    BN_CTX* ctx = tls_bn_ctx();
+    std::vector<group_element> out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      point_ptr r = new_point();
+      ossl_check(EC_POINT_add(curve_, r.get(), unwrap(a[i]), unwrap(b[i]), ctx),
+                 "EC_POINT_add");
+      out.push_back(wrap(std::move(r)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<group_element> sub_batch(
+      std::span<const group_element> a,
+      std::span<const group_element> b) const override {
+    expects(a.size() == b.size(), "sub_batch spans must have equal length");
+    BN_CTX* ctx = tls_bn_ctx();
+    point_ptr neg = new_point();  // scratch for -b[i], reused per element
+    std::vector<group_element> out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ossl_check(EC_POINT_copy(neg.get(), unwrap(b[i])), "EC_POINT_copy");
+      ossl_check(EC_POINT_invert(curve_, neg.get(), ctx), "EC_POINT_invert");
+      point_ptr r = new_point();
+      ossl_check(EC_POINT_add(curve_, r.get(), unwrap(a[i]), neg.get(), ctx),
+                 "EC_POINT_add");
+      out.push_back(wrap(std::move(r)));
+    }
+    return out;
+  }
+
   [[nodiscard]] scalar decode_scalar(byte_view data) const override {
     expects(data.size() == k_scalar_bytes, "p256 scalar must be 32 bytes");
     bignum bn;

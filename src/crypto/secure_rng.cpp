@@ -1,5 +1,6 @@
 #include "src/crypto/secure_rng.h"
 
+#include <openssl/evp.h>
 #include <openssl/rand.h>
 
 #include <algorithm>
@@ -63,6 +64,45 @@ void deterministic_rng::fill(std::span<std::uint8_t> out) {
     std::memcpy(out.data() + produced, block_.data() + block_used_, take);
     produced += take;
     block_used_ += take;
+  }
+}
+
+stream_rng::stream_rng(const sha256_digest& seed) {
+  EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
+  if (ctx == nullptr) throw std::runtime_error{"EVP_CIPHER_CTX_new failed"};
+  // Zero IV: every stream gets a unique key (derived per shard), so the
+  // nonce carries no distinguishing duty.
+  const std::uint8_t iv[16] = {};
+  if (EVP_EncryptInit_ex(ctx, EVP_chacha20(), nullptr, seed.data(), iv) != 1) {
+    EVP_CIPHER_CTX_free(ctx);
+    throw std::runtime_error{"EVP_EncryptInit_ex(chacha20) failed"};
+  }
+  ctx_ = ctx;
+}
+
+stream_rng::~stream_rng() {
+  EVP_CIPHER_CTX_free(static_cast<EVP_CIPHER_CTX*>(ctx_));
+}
+
+void stream_rng::refill() {
+  static constexpr std::uint8_t k_zeros[sizeof(buf_)] = {};
+  int out_len = 0;
+  if (EVP_EncryptUpdate(static_cast<EVP_CIPHER_CTX*>(ctx_), buf_.data(),
+                        &out_len, k_zeros, static_cast<int>(sizeof(buf_))) != 1 ||
+      out_len != static_cast<int>(sizeof(buf_))) {
+    throw std::runtime_error{"EVP_EncryptUpdate(chacha20) failed"};
+  }
+  used_ = 0;
+}
+
+void stream_rng::fill(std::span<std::uint8_t> out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    if (used_ == buf_.size()) refill();
+    const std::size_t take = std::min(out.size() - produced, buf_.size() - used_);
+    std::memcpy(out.data() + produced, buf_.data() + used_, take);
+    produced += take;
+    used_ += take;
   }
 }
 

@@ -18,6 +18,15 @@ std::vector<std::uint32_t> random_permutation(std::size_t n, secure_rng& rng) {
   return perm;
 }
 
+sha256_digest digest_encoded_ciphertexts(std::span<const byte_buffer> encoded) {
+  sha256_hasher h;
+  h.update("tormet.shuffle.ciphertexts.v1");
+  for (const auto& enc : encoded) {
+    h.update_framed(enc);
+  }
+  return h.finish();
+}
+
 sha256_digest digest_ciphertexts(const elgamal& scheme,
                                  std::span<const elgamal_ciphertext> cts) {
   sha256_hasher h;
@@ -29,23 +38,8 @@ sha256_digest digest_ciphertexts(const elgamal& scheme,
   return h.finish();
 }
 
-std::vector<elgamal_ciphertext> shuffle_and_rerandomize(
-    const elgamal& scheme, const group_element& joint_pub,
-    std::span<const elgamal_ciphertext> input, secure_rng& rng,
-    shuffle_transcript& transcript, shuffle_opening* opening) {
-  const std::vector<std::uint32_t> perm = random_permutation(input.size(), rng);
-
-  byte_buffer seed(32);
-  rng.fill(seed);
-
-  std::vector<elgamal_ciphertext> output;
-  output.reserve(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    output.push_back(scheme.rerandomize(joint_pub, input[perm[i]], rng));
-  }
-
-  transcript.input_digest = digest_ciphertexts(scheme, input);
-  transcript.output_digest = digest_ciphertexts(scheme, output);
+sha256_digest permutation_commitment(byte_view seed,
+                                     std::span<const std::uint32_t> perm) {
   sha256_hasher commit;
   commit.update("tormet.shuffle.commitment.v1");
   commit.update_framed(seed);
@@ -55,13 +49,75 @@ std::vector<elgamal_ciphertext> shuffle_and_rerandomize(
         static_cast<std::uint8_t>(idx >> 16), static_cast<std::uint8_t>(idx >> 24)};
     commit.update(byte_view{le, 4});
   }
-  transcript.commitment = commit.finish();
+  return commit.finish();
+}
+
+namespace {
+
+[[nodiscard]] std::vector<elgamal_ciphertext> apply_permutation(
+    std::span<const elgamal_ciphertext> input,
+    std::span<const std::uint32_t> perm) {
+  std::vector<elgamal_ciphertext> out;
+  out.reserve(input.size());
+  for (const auto idx : perm) out.push_back(input[idx]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<elgamal_ciphertext> shuffle_and_rerandomize(
+    const elgamal& scheme, const group_element& joint_pub,
+    std::span<const elgamal_ciphertext> input, secure_rng& rng,
+    shuffle_transcript& transcript, shuffle_opening* opening) {
+  const std::vector<std::uint32_t> perm = random_permutation(input.size(), rng);
+
+  byte_buffer seed(32);
+  rng.fill(seed);
+
+  // rerandomize_batch draws its nonces in index order, so this consumes the
+  // RNG stream exactly like the historical per-element loop did.
+  const std::vector<elgamal_ciphertext> permuted = apply_permutation(input, perm);
+  std::vector<elgamal_ciphertext> output =
+      scheme.rerandomize_batch(joint_pub, permuted, rng);
+
+  transcript.input_digest = digest_ciphertexts(scheme, input);
+  transcript.output_digest = digest_ciphertexts(scheme, output);
+  transcript.commitment = permutation_commitment(seed, perm);
 
   if (opening != nullptr) {
     opening->permutation = perm;
     opening->seed = std::move(seed);
   }
   return output;
+}
+
+shuffle_result shuffle_and_rerandomize_encoded(
+    const batch_engine& engine, const group_element& joint_pub,
+    std::span<const elgamal_ciphertext> input,
+    std::span<const byte_buffer> input_encoded, secure_rng& rng,
+    shuffle_transcript& transcript, shuffle_opening* opening) {
+  expects(input.size() == input_encoded.size(),
+          "input and encoded input must have equal length");
+  const std::vector<std::uint32_t> perm = random_permutation(input.size(), rng);
+
+  byte_buffer seed(32);
+  rng.fill(seed);
+
+  const std::vector<elgamal_ciphertext> permuted = apply_permutation(input, perm);
+  shuffle_result result;
+  result.output = engine.rerandomize_batch(joint_pub, permuted,
+                                           batch_engine::derive_seed(rng));
+  result.output_encoded = engine.scheme().encode_batch(result.output);
+
+  transcript.input_digest = digest_encoded_ciphertexts(input_encoded);
+  transcript.output_digest = digest_encoded_ciphertexts(result.output_encoded);
+  transcript.commitment = permutation_commitment(seed, perm);
+
+  if (opening != nullptr) {
+    opening->permutation = perm;
+    opening->seed = std::move(seed);
+  }
+  return result;
 }
 
 bool verify_shuffle_structure(const elgamal& scheme,
@@ -83,16 +139,10 @@ bool verify_shuffle_opening(const elgamal& scheme, const scalar& joint_secret,
   if (opening.permutation.size() != input.size()) return false;
 
   // Commitment check.
-  sha256_hasher commit;
-  commit.update("tormet.shuffle.commitment.v1");
-  commit.update_framed(opening.seed);
-  for (const auto idx : opening.permutation) {
-    const std::uint8_t le[4] = {
-        static_cast<std::uint8_t>(idx), static_cast<std::uint8_t>(idx >> 8),
-        static_cast<std::uint8_t>(idx >> 16), static_cast<std::uint8_t>(idx >> 24)};
-    commit.update(byte_view{le, 4});
+  if (permutation_commitment(opening.seed, opening.permutation) !=
+      transcript.commitment) {
+    return false;
   }
-  if (commit.finish() != transcript.commitment) return false;
 
   // Bijection check.
   std::vector<bool> seen(input.size(), false);
@@ -101,13 +151,18 @@ bool verify_shuffle_opening(const elgamal& scheme, const scalar& joint_secret,
     seen[idx] = true;
   }
 
-  // Plaintext-equality check (auditor role: needs the joint secret).
+  // Plaintext-equality check (auditor role: needs the joint secret). Both
+  // vectors decrypt through the batch path — one pass each instead of
+  // 2n serial strip-and-subtract calls.
   const auto& grp = scheme.grp();
+  const std::vector<elgamal_ciphertext> permuted =
+      apply_permutation(input, opening.permutation);
+  const std::vector<group_element> expected =
+      scheme.decrypt_batch(joint_secret, permuted);
+  const std::vector<group_element> actual =
+      scheme.decrypt_batch(joint_secret, output);
   for (std::size_t i = 0; i < output.size(); ++i) {
-    const group_element expected =
-        scheme.decrypt(joint_secret, input[opening.permutation[i]]);
-    const group_element actual = scheme.decrypt(joint_secret, output[i]);
-    if (!grp.equal(expected, actual)) return false;
+    if (!grp.equal(expected[i], actual[i])) return false;
   }
   return true;
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/crypto/batch_engine.h"
 #include "src/crypto/elgamal.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/secure_rng.h"
@@ -39,9 +40,20 @@ struct shuffle_opening {
 [[nodiscard]] std::vector<std::uint32_t> random_permutation(std::size_t n,
                                                             secure_rng& rng);
 
-/// Digest of a ciphertext vector (framed, order-sensitive).
+/// Digest of a ciphertext vector (framed, order-sensitive). Encodes each
+/// ciphertext; when the encodings already exist (wire messages carry them),
+/// use digest_encoded_ciphertexts instead of re-serializing.
 [[nodiscard]] sha256_digest digest_ciphertexts(
     const elgamal& scheme, std::span<const elgamal_ciphertext> cts);
+
+/// Same digest, computed from pre-encoded ciphertexts.
+[[nodiscard]] sha256_digest digest_encoded_ciphertexts(
+    std::span<const byte_buffer> encoded);
+
+/// Commitment H(seed ‖ permutation) binding a shuffle opening (shared by
+/// the commit and verify sides).
+[[nodiscard]] sha256_digest permutation_commitment(
+    byte_view seed, std::span<const std::uint32_t> perm);
 
 /// Applies a uniform permutation and rerandomizes every ciphertext under
 /// `joint_pub`. Returns the mixed vector; fills `transcript` and, if
@@ -49,6 +61,26 @@ struct shuffle_opening {
 [[nodiscard]] std::vector<elgamal_ciphertext> shuffle_and_rerandomize(
     const elgamal& scheme, const group_element& joint_pub,
     std::span<const elgamal_ciphertext> input, secure_rng& rng,
+    shuffle_transcript& transcript, shuffle_opening* opening = nullptr);
+
+/// Mix output with its serialized form: mixers sit between two wire
+/// messages, so producing the encodings once here lets the caller reuse
+/// them for both the transcript digest and the outgoing message.
+struct shuffle_result {
+  std::vector<elgamal_ciphertext> output;
+  std::vector<byte_buffer> output_encoded;  // output_encoded[i] = encode(output[i])
+};
+
+/// Batched + threaded mix pass: permutes, rerandomizes via `engine` (the
+/// permutation, batch seed, and commitment seed come from `rng`; group math
+/// runs on the engine's pool), and fills `transcript` from `input_encoded`
+/// and the freshly encoded output without re-serializing either vector.
+/// `input_encoded[i]` must equal scheme.encode(input[i]) (digest-checked
+/// protocols would reject a mismatch downstream, not here).
+[[nodiscard]] shuffle_result shuffle_and_rerandomize_encoded(
+    const batch_engine& engine, const group_element& joint_pub,
+    std::span<const elgamal_ciphertext> input,
+    std::span<const byte_buffer> input_encoded, secure_rng& rng,
     shuffle_transcript& transcript, shuffle_opening* opening = nullptr);
 
 /// Structural verification available to every party: transcript digests

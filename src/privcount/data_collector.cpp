@@ -20,6 +20,8 @@ void data_collector::add_instrument(instrument fn) {
 }
 
 void data_collector::on_configure(const configure_msg& m) {
+  expects(m.sigmas.size() == m.counter_names.size(),
+          "configure message must carry one sigma per counter");
   round_id_ = m.round_id;
   counter_names_ = m.counter_names;
   counter_index_.clear();
@@ -31,20 +33,24 @@ void data_collector::on_configure(const configure_msg& m) {
 
   // Per-counter: noise share + blinding. This DC adds Gaussian noise with
   // variance noise_weight * sigma^2 so the DC noises sum to sigma^2 total.
+  // Blinds are drawn straight into the per-SK vectors — the whole counter
+  // batch needs no per-counter share allocation. Each SK's blind is uniform
+  // and the DC keeps their negated sum, so counter + Σ sk_blinds == noise
+  // (mod 2^64), exactly additive_shares(0, n_sk + 1) without the temp
+  // vector.
   std::vector<std::vector<std::uint64_t>> per_sk_shares(
       m.share_keepers.size(),
       std::vector<std::uint64_t>(counter_names_.size(), 0));
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
     const double sigma_share = m.sigmas[i] * std::sqrt(m.noise_weight);
     const std::int64_t noise = dp::sample_gaussian_integer(sigma_share, rng_);
-    const std::vector<std::uint64_t> blinds =
-        crypto::additive_shares(0, m.share_keepers.size() + 1, rng_);
-    // blinds sum to 0; give one to each SK and keep the last, so
-    // counter + Σ sk_blinds == noise (mod 2^64).
-    counters_[i] = static_cast<std::uint64_t>(noise) + blinds.back();
+    std::uint64_t blind_sum = 0;
     for (std::size_t s = 0; s < m.share_keepers.size(); ++s) {
-      per_sk_shares[s][i] = blinds[s];
+      const std::uint64_t blind = rng_.next_u64();
+      per_sk_shares[s][i] = blind;
+      blind_sum += blind;
     }
+    counters_[i] = static_cast<std::uint64_t>(noise) - blind_sum;
   }
   for (std::size_t s = 0; s < m.share_keepers.size(); ++s) {
     blinding_share_msg share;

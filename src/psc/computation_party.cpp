@@ -10,13 +10,17 @@ computation_party::computation_party(net::node_id self, net::node_id tally_serve
                                      crypto::secure_rng& rng)
     : self_{self}, tally_server_{tally_server}, transport_{transport}, rng_{rng} {}
 
+void computation_party::set_thread_pool(std::shared_ptr<util::thread_pool> pool) {
+  pool_ = std::move(pool);
+}
+
 void computation_party::on_configure(const cp_configure_msg& m) {
   round_id_ = m.round_id;
   noise_bits_ = m.noise_bits;
   cp_chain_ = m.cp_chain;
   group_ = crypto::make_group(static_cast<crypto::group_backend>(m.group));
-  scheme_ = std::make_unique<crypto::elgamal>(group_);
-  keypair_ = scheme_->generate_keypair(rng_);
+  engine_ = std::make_unique<crypto::batch_engine>(group_, pool_);
+  keypair_ = engine_->scheme().generate_keypair(rng_);
   transcript_.reset();
 
   pk_share_msg share;
@@ -35,44 +39,52 @@ net::node_id computation_party::next_in_chain() const {
 }
 
 void computation_party::on_mix(const net::message& msg) {
-  const vector_msg m = decode_vector(msg);
+  vector_msg m = decode_vector(msg);
   if (m.round_id != round_id_) return;
   expects(joint_pk_.valid(), "mix pass before joint key distribution");
-  std::vector<crypto::elgamal_ciphertext> cts =
-      decode_ciphertexts(*scheme_, m.ciphertexts);
+  const crypto::elgamal& scheme = engine_->scheme();
+  std::vector<crypto::elgamal_ciphertext> cts = scheme.decode_batch(m.ciphertexts);
 
   // Binomial noise: append noise_bits ciphertexts, each an encryption of a
   // fair coin (identity or random element). Expected added count is
-  // noise_bits/2, which the estimator subtracts.
-  cts.reserve(cts.size() + noise_bits_);
-  for (std::uint64_t i = 0; i < noise_bits_; ++i) {
-    const bool one = (rng_.next_u64() & 1) != 0;
-    cts.push_back(one ? scheme_->encrypt_one(joint_pk_, rng_)
-                      : scheme_->encrypt_zero(joint_pk_, rng_));
+  // noise_bits/2, which the estimator subtracts. Coins come from the session
+  // RNG; the encryptions run batched on the engine.
+  std::vector<std::uint8_t> coins(noise_bits_);
+  for (auto& coin : coins) {
+    coin = static_cast<std::uint8_t>(rng_.next_u64() & 1);
   }
+  std::vector<crypto::elgamal_ciphertext> noise = engine_->encrypt_bits_batch(
+      joint_pk_, coins, crypto::batch_engine::derive_seed(rng_));
+  // The wire message already carries every input encoding; only the fresh
+  // noise ciphertexts need serializing before the digest.
+  std::vector<byte_buffer> encoded = std::move(m.ciphertexts);
+  encoded.reserve(encoded.size() + noise.size());
+  for (const auto& ct : noise) encoded.push_back(scheme.encode(ct));
+  cts.reserve(cts.size() + noise.size());
+  std::move(noise.begin(), noise.end(), std::back_inserter(cts));
 
   crypto::shuffle_transcript transcript;
-  std::vector<crypto::elgamal_ciphertext> mixed = crypto::shuffle_and_rerandomize(
-      *scheme_, joint_pk_, cts, rng_, transcript);
+  crypto::shuffle_result mixed = crypto::shuffle_and_rerandomize_encoded(
+      *engine_, joint_pk_, cts, encoded, rng_, transcript);
   transcript_ = transcript;
 
   vector_msg out;
   out.round_id = round_id_;
-  out.ciphertexts = encode_ciphertexts(*scheme_, mixed);
+  out.ciphertexts = std::move(mixed.output_encoded);
   transport_.send(encode_vector(self_, next_in_chain(), msg_type::mix_pass, out));
 }
 
 void computation_party::on_decrypt(const net::message& msg) {
   const vector_msg m = decode_vector(msg);
   if (m.round_id != round_id_) return;
-  std::vector<crypto::elgamal_ciphertext> cts =
-      decode_ciphertexts(*scheme_, m.ciphertexts);
-  for (auto& ct : cts) {
-    ct = scheme_->strip_share(ct, keypair_.secret);
-  }
+  const crypto::elgamal& scheme = engine_->scheme();
+  const std::vector<crypto::elgamal_ciphertext> cts =
+      scheme.decode_batch(m.ciphertexts);
+  const std::vector<crypto::elgamal_ciphertext> stripped =
+      engine_->strip_share_batch(cts, keypair_.secret);
   vector_msg out;
   out.round_id = round_id_;
-  out.ciphertexts = encode_ciphertexts(*scheme_, cts);
+  out.ciphertexts = scheme.encode_batch(stripped);
   const net::node_id next = next_in_chain();
   const msg_type type =
       next == tally_server_ ? msg_type::final_vector : msg_type::decrypt_pass;

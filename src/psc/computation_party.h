@@ -3,16 +3,23 @@
 // its decryption share. The union cardinality stays private as long as one
 // CP is honest: its shuffle breaks bin/DC linkability and its noise bits
 // keep the count differentially private.
+//
+// The bulk ciphertext work (noise encryption, mix pass, decrypt pass) runs
+// through a crypto::batch_engine; attach a shared thread pool with
+// set_thread_pool to spread it across workers. Results are deterministic in
+// the session RNG regardless of the worker count.
 #pragma once
 
 #include <memory>
 #include <optional>
 
+#include "src/crypto/batch_engine.h"
 #include "src/crypto/elgamal.h"
 #include "src/crypto/secure_rng.h"
 #include "src/crypto/shuffle.h"
 #include "src/net/transport.h"
 #include "src/psc/messages.h"
+#include "src/util/thread_pool.h"
 
 namespace tormet::psc {
 
@@ -20,6 +27,10 @@ class computation_party {
  public:
   computation_party(net::node_id self, net::node_id tally_server,
                     net::transport& transport, crypto::secure_rng& rng);
+
+  /// Shares `pool` for batch crypto (takes effect at the next configure).
+  /// Null reverts to inline execution.
+  void set_thread_pool(std::shared_ptr<util::thread_pool> pool);
 
   void handle_message(const net::message& msg);
 
@@ -40,12 +51,13 @@ class computation_party {
   net::node_id tally_server_;
   net::transport& transport_;
   crypto::secure_rng& rng_;
+  std::shared_ptr<util::thread_pool> pool_;
 
   std::uint32_t round_id_ = 0;
   std::uint64_t noise_bits_ = 0;
   std::vector<net::node_id> cp_chain_;
   std::shared_ptr<const crypto::group> group_;
-  std::unique_ptr<crypto::elgamal> scheme_;
+  std::unique_ptr<crypto::batch_engine> engine_;  // owns the round's elgamal
   crypto::elgamal_keypair keypair_;
   crypto::group_element joint_pk_;  // set when the TS echoes it via dc_configure
   std::optional<crypto::shuffle_transcript> transcript_;

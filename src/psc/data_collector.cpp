@@ -12,15 +12,20 @@ data_collector::data_collector(net::node_id self, net::node_id tally_server,
 
 void data_collector::set_extractor(extractor fn) { extractor_ = std::move(fn); }
 
+void data_collector::set_thread_pool(std::shared_ptr<util::thread_pool> pool) {
+  pool_ = std::move(pool);
+}
+
 void data_collector::handle_message(const net::message& msg) {
   switch (static_cast<msg_type>(msg.type)) {
     case msg_type::dc_configure: {
       const dc_configure_msg m = decode_dc_configure(msg);
       round_id_ = m.round_id;
       group_ = crypto::make_group(static_cast<crypto::group_backend>(m.group));
-      scheme_ = std::make_unique<crypto::elgamal>(group_);
+      set_.reset();  // drop any stale table before its engine
+      engine_ = std::make_unique<crypto::batch_engine>(group_, pool_);
       const crypto::group_element joint_pk = group_->decode(m.joint_pk);
-      set_ = std::make_unique<oblivious_set>(*scheme_, joint_pk,
+      set_ = std::make_unique<oblivious_set>(*engine_, joint_pk,
                                              static_cast<std::size_t>(m.bins), rng_);
       return;
     }
@@ -28,7 +33,7 @@ void data_collector::handle_message(const net::message& msg) {
       expects(set_ != nullptr, "report requested before configuration");
       vector_msg report;
       report.round_id = round_id_;
-      report.ciphertexts = encode_ciphertexts(*scheme_, set_->take_slots());
+      report.ciphertexts = engine_->scheme().encode_batch(set_->take_slots());
       transport_.send(encode_vector(self_, tally_server_, msg_type::dc_vector,
                                     report));
       set_.reset();  // the table has been shipped; nothing remains to seize

@@ -8,12 +8,14 @@
 #include <optional>
 #include <string>
 
+#include "src/crypto/batch_engine.h"
 #include "src/crypto/elgamal.h"
 #include "src/crypto/secure_rng.h"
 #include "src/net/transport.h"
 #include "src/psc/messages.h"
 #include "src/psc/oblivious_set.h"
 #include "src/tor/events.h"
+#include "src/util/thread_pool.h"
 
 namespace tormet::psc {
 
@@ -28,6 +30,8 @@ class data_collector {
                  net::transport& transport, crypto::secure_rng& rng);
 
   void set_extractor(extractor fn);
+  /// Shares `pool` for the bulk table initialization at configure time.
+  void set_thread_pool(std::shared_ptr<util::thread_pool> pool);
   void handle_message(const net::message& msg);
   void observe(const tor::event& ev);
 
@@ -45,8 +49,10 @@ class data_collector {
   extractor extractor_;
 
   std::uint32_t round_id_ = 0;
+  std::shared_ptr<util::thread_pool> pool_;
   std::shared_ptr<const crypto::group> group_;
-  std::unique_ptr<crypto::elgamal> scheme_;
+  std::unique_ptr<crypto::batch_engine> engine_;  // outlives set_ (set_ holds
+                                                  // a reference to its scheme)
   std::unique_ptr<oblivious_set> set_;
 };
 

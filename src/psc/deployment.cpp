@@ -9,6 +9,10 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
   expects(!config_.measured_relays.empty(), "deployment needs measured relays");
   expects(config_.num_computation_parties >= 1, "deployment needs a CP");
 
+  if (config_.worker_threads > 0) {
+    pool_ = std::make_shared<util::thread_pool>(config_.worker_threads);
+  }
+
   const net::node_id ts_id = 0;
   std::vector<net::node_id> cp_ids;
   for (std::size_t i = 0; i < config_.num_computation_parties; ++i) {
@@ -26,6 +30,7 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
 
   for (const auto cp_id : cp_ids) {
     auto cp = std::make_unique<computation_party>(cp_id, ts_id, transport_, rng_);
+    cp->set_thread_pool(pool_);
     computation_party* raw = cp.get();
     transport_.register_node(cp_id,
                              [raw](const net::message& m) { raw->handle_message(m); });
@@ -34,6 +39,7 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
 
   for (std::size_t i = 0; i < config_.measured_relays.size(); ++i) {
     auto dc = std::make_unique<data_collector>(dc_ids[i], ts_id, transport_, rng_);
+    dc->set_thread_pool(pool_);
     data_collector* raw = dc.get();
     transport_.register_node(dc_ids[i],
                              [raw](const net::message& m) { raw->handle_message(m); });

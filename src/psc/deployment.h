@@ -16,6 +16,7 @@
 #include "src/psc/estimator.h"
 #include "src/psc/tally_server.h"
 #include "src/tor/network.h"
+#include "src/util/thread_pool.h"
 
 namespace tormet::psc {
 
@@ -24,6 +25,10 @@ struct deployment_config {
   std::vector<tor::relay_id> measured_relays;
   round_params round{};
   std::uint64_t rng_seed = 3141;
+  /// Workers in the shared crypto thread pool (0 = inline, no pool).
+  /// Protocol outputs are identical for any value — batch RNG streams are
+  /// seeded per shard, never per worker.
+  std::size_t worker_threads = 0;
 };
 
 /// Raw protocol outcome of one PSC round plus its point estimate.
@@ -58,6 +63,7 @@ class deployment {
   net::transport& transport_;
   deployment_config config_;
   crypto::deterministic_rng rng_;
+  std::shared_ptr<util::thread_pool> pool_;
   std::unique_ptr<tally_server> ts_;
   std::vector<std::unique_ptr<computation_party>> cps_;
   std::vector<std::unique_ptr<data_collector>> dcs_;

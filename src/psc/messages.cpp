@@ -110,18 +110,12 @@ vector_msg decode_vector(const net::message& msg) {
 std::vector<byte_buffer> encode_ciphertexts(
     const crypto::elgamal& scheme,
     const std::vector<crypto::elgamal_ciphertext>& cts) {
-  std::vector<byte_buffer> out;
-  out.reserve(cts.size());
-  for (const auto& ct : cts) out.push_back(scheme.encode(ct));
-  return out;
+  return scheme.encode_batch(cts);
 }
 
 std::vector<crypto::elgamal_ciphertext> decode_ciphertexts(
     const crypto::elgamal& scheme, const std::vector<byte_buffer>& enc) {
-  std::vector<crypto::elgamal_ciphertext> out;
-  out.reserve(enc.size());
-  for (const auto& e : enc) out.push_back(scheme.decode(e));
-  return out;
+  return scheme.decode_batch(enc);
 }
 
 }  // namespace tormet::psc

@@ -10,10 +10,16 @@ oblivious_set::oblivious_set(const crypto::elgamal& scheme,
                              crypto::secure_rng& rng)
     : scheme_{scheme}, joint_pub_{std::move(joint_pub)} {
   expects(bins >= 2, "oblivious set needs at least two bins");
-  slots_.reserve(bins);
-  for (std::size_t i = 0; i < bins; ++i) {
-    slots_.push_back(scheme_.encrypt_zero(joint_pub_, rng));
-  }
+  slots_ = scheme_.encrypt_zero_batch(joint_pub_, bins, rng);
+}
+
+oblivious_set::oblivious_set(const crypto::batch_engine& engine,
+                             crypto::group_element joint_pub, std::size_t bins,
+                             crypto::secure_rng& rng)
+    : scheme_{engine.scheme()}, joint_pub_{std::move(joint_pub)} {
+  expects(bins >= 2, "oblivious set needs at least two bins");
+  slots_ = engine.encrypt_zero_batch(joint_pub_, bins,
+                                     crypto::batch_engine::derive_seed(rng));
 }
 
 std::size_t oblivious_set::bin_of(byte_view item) const {

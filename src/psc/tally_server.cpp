@@ -90,7 +90,7 @@ void tally_server::force_mixing() {
   mixing_started_ = true;
   vector_msg m;
   m.round_id = round_id_;
-  m.ciphertexts = encode_ciphertexts(*scheme_, combined_);
+  m.ciphertexts = scheme_->encode_batch(combined_);
   transport_.send(encode_vector(self_, cps_.front(), msg_type::mix_pass, m));
 }
 
@@ -112,14 +112,12 @@ void tally_server::handle_message(const net::message& msg) {
         return;
       }
       if (!dc_reports_seen_.insert(msg.from).second) return;
-      const std::vector<crypto::elgamal_ciphertext> cts =
-          decode_ciphertexts(*scheme_, m.ciphertexts);
+      std::vector<crypto::elgamal_ciphertext> cts =
+          scheme_->decode_batch(m.ciphertexts);
       if (combined_.empty()) {
-        combined_ = cts;
+        combined_ = std::move(cts);
       } else {
-        for (std::size_t i = 0; i < combined_.size(); ++i) {
-          combined_[i] = scheme_->add(combined_[i], cts[i]);
-        }
+        combined_ = scheme_->add_batch(combined_, cts);
       }
       maybe_start_mixing();
       return;
@@ -136,7 +134,7 @@ void tally_server::handle_message(const net::message& msg) {
       const vector_msg m = decode_vector(msg);
       if (m.round_id != round_id_) return;
       const std::vector<crypto::elgamal_ciphertext> cts =
-          decode_ciphertexts(*scheme_, m.ciphertexts);
+          scheme_->decode_batch(m.ciphertexts);
       std::uint64_t count = 0;
       for (const auto& ct : cts) {
         // After every CP stripped its share, b holds the plaintext.

@@ -1,0 +1,427 @@
+// Batch-engine layer tests: batch-vs-scalar equivalence for the group and
+// ElGamal batch APIs on both backends, thread-pool semantics, worker-count
+// determinism of the seeded engine paths, and the encoded shuffle variant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "src/crypto/batch_engine.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/group.h"
+#include "src/crypto/secure_rng.h"
+#include "src/crypto/shuffle.h"
+#include "src/psc/oblivious_set.h"
+#include "src/util/check.h"
+#include "src/util/thread_pool.h"
+
+namespace tormet::crypto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// thread_pool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  util::thread_pool pool{4};
+  constexpr std::size_t n = 10007;  // prime: many ragged chunk edges
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  util::thread_pool pool{2};
+  bool called = false;
+  pool.parallel_for(0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  util::thread_pool pool{3};
+  EXPECT_THROW(
+      pool.parallel_for(1000, 10,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin >= 500) throw std::runtime_error{"boom"};
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(100, 7, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// group batch ops vs scalar ops (both backends)
+// ---------------------------------------------------------------------------
+
+class GroupBatchTest : public ::testing::TestWithParam<group_backend> {
+ protected:
+  [[nodiscard]] std::shared_ptr<const group> make() const {
+    return make_group(GetParam());
+  }
+  // Batch sizes that cross the toy comb-table thresholds (8 and 256) while
+  // staying affordable on p256.
+  [[nodiscard]] std::vector<std::size_t> sizes() const {
+    if (GetParam() == group_backend::toy) return {0, 1, 7, 9, 300};
+    return {0, 1, 7, 9};
+  }
+};
+
+void expect_same_elements(const group& g,
+                          const std::vector<group_element>& got,
+                          const std::vector<group_element>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(g.encode(got[i]), g.encode(want[i])) << "index " << i;
+  }
+}
+
+TEST_P(GroupBatchTest, MulGeneratorBatchMatchesScalarPath) {
+  const auto g = make();
+  deterministic_rng rng{1};
+  for (const std::size_t n : sizes()) {
+    std::vector<scalar> ks;
+    for (std::size_t i = 0; i < n; ++i) ks.push_back(g->random_scalar(rng));
+    std::vector<group_element> want;
+    for (const auto& k : ks) want.push_back(g->mul_generator(k));
+    expect_same_elements(*g, g->mul_generator_batch(ks), want);
+  }
+}
+
+TEST_P(GroupBatchTest, FixedBaseMulBatchMatchesScalarPath) {
+  const auto g = make();
+  deterministic_rng rng{2};
+  const group_element base = g->random_element(rng);
+  for (const std::size_t n : sizes()) {
+    std::vector<scalar> ks;
+    for (std::size_t i = 0; i < n; ++i) ks.push_back(g->random_scalar(rng));
+    std::vector<group_element> want;
+    for (const auto& k : ks) want.push_back(g->mul(base, k));
+    expect_same_elements(*g, g->mul_batch(base, ks), want);
+  }
+}
+
+TEST_P(GroupBatchTest, FixedScalarMulBatchMatchesScalarPath) {
+  const auto g = make();
+  deterministic_rng rng{3};
+  const scalar k = g->random_scalar(rng);
+  for (const std::size_t n : sizes()) {
+    std::vector<group_element> pts;
+    for (std::size_t i = 0; i < n; ++i) pts.push_back(g->random_element(rng));
+    std::vector<group_element> want;
+    for (const auto& p : pts) want.push_back(g->mul(p, k));
+    expect_same_elements(*g, g->mul_batch(pts, k), want);
+  }
+}
+
+TEST_P(GroupBatchTest, AddAndSubBatchMatchScalarPath) {
+  const auto g = make();
+  deterministic_rng rng{4};
+  for (const std::size_t n : sizes()) {
+    std::vector<group_element> a, b;
+    for (std::size_t i = 0; i < n; ++i) {
+      a.push_back(g->random_element(rng));
+      b.push_back(g->random_element(rng));
+    }
+    std::vector<group_element> want_add, want_sub;
+    for (std::size_t i = 0; i < n; ++i) {
+      want_add.push_back(g->add(a[i], b[i]));
+      want_sub.push_back(g->sub(a[i], b[i]));
+    }
+    expect_same_elements(*g, g->add_batch(a, b), want_add);
+    expect_same_elements(*g, g->sub_batch(a, b), want_sub);
+  }
+}
+
+TEST_P(GroupBatchTest, MismatchedSpansRejected) {
+  const auto g = make();
+  deterministic_rng rng{5};
+  const std::vector<group_element> one{g->random_element(rng)};
+  const std::vector<group_element> two{g->random_element(rng),
+                                       g->random_element(rng)};
+  EXPECT_THROW((void)g->add_batch(one, two), precondition_error);
+  EXPECT_THROW((void)g->sub_batch(one, two), precondition_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GroupBatchTest,
+                         ::testing::Values(group_backend::toy,
+                                           group_backend::p256),
+                         [](const auto& info) {
+                           return info.param == group_backend::toy ? "Toy"
+                                                                   : "P256";
+                         });
+
+// ---------------------------------------------------------------------------
+// elgamal batch APIs: bit-identical to the serial loops on the same RNG
+// stream
+// ---------------------------------------------------------------------------
+
+class ElgamalBatchTest : public GroupBatchTest {};
+
+void expect_same_cts(const elgamal& scheme,
+                     const std::vector<elgamal_ciphertext>& got,
+                     const std::vector<elgamal_ciphertext>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(scheme.encode(got[i]), scheme.encode(want[i])) << "index " << i;
+  }
+}
+
+TEST_P(ElgamalBatchTest, EncryptZeroBatchBitIdenticalToSerial) {
+  const elgamal scheme{make()};
+  deterministic_rng rng_a{7}, rng_b{7};
+  const auto kp = scheme.generate_keypair(rng_a);
+  (void)scheme.generate_keypair(rng_b);  // keep the streams aligned
+  for (const std::size_t n : sizes()) {
+    std::vector<elgamal_ciphertext> want;
+    for (std::size_t i = 0; i < n; ++i) {
+      want.push_back(scheme.encrypt_zero(kp.pub, rng_a));
+    }
+    expect_same_cts(scheme, scheme.encrypt_zero_batch(kp.pub, n, rng_b), want);
+  }
+}
+
+TEST_P(ElgamalBatchTest, EncryptBitsBatchBitIdenticalToSerial) {
+  const elgamal scheme{make()};
+  deterministic_rng rng_a{8}, rng_b{8};
+  const auto kp = scheme.generate_keypair(rng_a);
+  (void)scheme.generate_keypair(rng_b);
+  const std::vector<std::uint8_t> bits{1, 0, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1};
+  std::vector<elgamal_ciphertext> want;
+  for (const auto bit : bits) {
+    want.push_back(bit != 0 ? scheme.encrypt_one(kp.pub, rng_a)
+                            : scheme.encrypt_zero(kp.pub, rng_a));
+  }
+  expect_same_cts(scheme, scheme.encrypt_bits_batch(kp.pub, bits, rng_b), want);
+}
+
+TEST_P(ElgamalBatchTest, RerandomizeBatchBitIdenticalToSerial) {
+  const elgamal scheme{make()};
+  deterministic_rng rng_a{9}, rng_b{9};
+  const auto kp = scheme.generate_keypair(rng_a);
+  (void)scheme.generate_keypair(rng_b);
+  for (const std::size_t n : sizes()) {
+    // Shared input built from an independent stream so both paths see the
+    // same ciphertexts and stay aligned.
+    deterministic_rng input_rng{100 + n};
+    const auto cts = scheme.encrypt_zero_batch(kp.pub, n, input_rng);
+    std::vector<elgamal_ciphertext> want;
+    for (const auto& ct : cts) {
+      want.push_back(scheme.rerandomize(kp.pub, ct, rng_a));
+    }
+    expect_same_cts(scheme, scheme.rerandomize_batch(kp.pub, cts, rng_b), want);
+  }
+}
+
+TEST_P(ElgamalBatchTest, StripShareAndDecryptBatchMatchSerial) {
+  const elgamal scheme{make()};
+  deterministic_rng rng{10};
+  const auto kp = scheme.generate_keypair(rng);
+  for (const std::size_t n : sizes()) {
+    std::vector<elgamal_ciphertext> cts;
+    for (std::size_t i = 0; i < n; ++i) {
+      cts.push_back(i % 2 == 0 ? scheme.encrypt_one(kp.pub, rng)
+                               : scheme.encrypt_zero(kp.pub, rng));
+    }
+    std::vector<elgamal_ciphertext> want;
+    for (const auto& ct : cts) want.push_back(scheme.strip_share(ct, kp.secret));
+    expect_same_cts(scheme, scheme.strip_share_batch(cts, kp.secret), want);
+
+    const std::vector<group_element> plains =
+        scheme.decrypt_batch(kp.secret, cts);
+    ASSERT_EQ(plains.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(scheme.grp().encode(plains[i]),
+                scheme.grp().encode(scheme.decrypt(kp.secret, cts[i])));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ElgamalBatchTest,
+                         ::testing::Values(group_backend::toy,
+                                           group_backend::p256),
+                         [](const auto& info) {
+                           return info.param == group_backend::toy ? "Toy"
+                                                                   : "P256";
+                         });
+
+// ---------------------------------------------------------------------------
+// batch_engine: worker-count independence and algebraic correctness
+// ---------------------------------------------------------------------------
+
+TEST(BatchEngineTest, SameSeedSameOutputRegardlessOfWorkerCount) {
+  const auto group = make_toy_group();
+  const elgamal scheme{group};
+  deterministic_rng rng{11};
+  const auto kp = scheme.generate_keypair(rng);
+  const sha256_digest seed = batch_engine::derive_seed(rng);
+  const auto input = scheme.encrypt_zero_batch(kp.pub, 1500, rng);
+  std::vector<std::uint8_t> bits(1500);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = static_cast<std::uint8_t>(i % 3 == 0);
+  }
+
+  // Small shard size so every worker count actually splits the batch.
+  const batch_engine reference{group, nullptr, 128};
+  const auto want_zero = reference.encrypt_zero_batch(kp.pub, 1500, seed);
+  const auto want_bits = reference.encrypt_bits_batch(kp.pub, bits, seed);
+  const auto want_rerand = reference.rerandomize_batch(kp.pub, input, seed);
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const auto pool = std::make_shared<util::thread_pool>(workers);
+    const batch_engine engine{group, pool, 128};
+    expect_same_cts(scheme, engine.encrypt_zero_batch(kp.pub, 1500, seed),
+                    want_zero);
+    expect_same_cts(scheme, engine.encrypt_bits_batch(kp.pub, bits, seed),
+                    want_bits);
+    expect_same_cts(scheme, engine.rerandomize_batch(kp.pub, input, seed),
+                    want_rerand);
+  }
+}
+
+TEST(BatchEngineTest, DifferentSeedsDiverge) {
+  const auto group = make_toy_group();
+  deterministic_rng rng{12};
+  const batch_engine engine{group, nullptr, 64};
+  const auto kp = engine.scheme().generate_keypair(rng);
+  const auto a = engine.encrypt_zero_batch(kp.pub, 10,
+                                           batch_engine::derive_seed(rng));
+  const auto b = engine.encrypt_zero_batch(kp.pub, 10,
+                                           batch_engine::derive_seed(rng));
+  EXPECT_NE(engine.scheme().encode(a[0]), engine.scheme().encode(b[0]));
+}
+
+TEST(BatchEngineTest, SeededPathsDecryptCorrectly) {
+  const auto group = make_toy_group();
+  const auto pool = std::make_shared<util::thread_pool>(4);
+  const batch_engine engine{group, pool, 64};
+  const elgamal& scheme = engine.scheme();
+  deterministic_rng rng{13};
+  const auto kp = scheme.generate_keypair(rng);
+  std::vector<std::uint8_t> bits(700);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = static_cast<std::uint8_t>(i % 5 == 0);
+    ones += bits[i];
+  }
+  const auto cts =
+      engine.encrypt_bits_batch(kp.pub, bits, batch_engine::derive_seed(rng));
+  const auto rerand =
+      engine.rerandomize_batch(kp.pub, cts, batch_engine::derive_seed(rng));
+  const auto stripped = engine.strip_share_batch(rerand, kp.secret);
+  std::size_t decrypted_ones = 0;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const bool is_one = !group->is_identity(stripped[i].b);
+    EXPECT_EQ(is_one, bits[i] != 0) << "index " << i;
+    decrypted_ones += is_one;
+  }
+  EXPECT_EQ(decrypted_ones, ones);
+}
+
+TEST(BatchEngineTest, EmptyAndSingletonBatches) {
+  const auto group = make_toy_group();
+  const auto pool = std::make_shared<util::thread_pool>(2);
+  const batch_engine engine{group, pool};
+  const elgamal& scheme = engine.scheme();
+  deterministic_rng rng{14};
+  const auto kp = scheme.generate_keypair(rng);
+  const sha256_digest seed = batch_engine::derive_seed(rng);
+
+  EXPECT_TRUE(engine.encrypt_zero_batch(kp.pub, 0, seed).empty());
+  EXPECT_TRUE(engine.rerandomize_batch(kp.pub, {}, seed).empty());
+  EXPECT_TRUE(engine.strip_share_batch({}, kp.secret).empty());
+  EXPECT_TRUE(scheme.encrypt_zero_batch(kp.pub, 0, rng).empty());
+  EXPECT_TRUE(scheme.strip_share_batch({}, kp.secret).empty());
+
+  const auto one = engine.encrypt_zero_batch(kp.pub, 1, seed);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(group->is_identity(scheme.decrypt(kp.secret, one[0])));
+  const auto rerand = engine.rerandomize_batch(kp.pub, one, seed);
+  ASSERT_EQ(rerand.size(), 1u);
+  EXPECT_TRUE(group->is_identity(scheme.decrypt(kp.secret, rerand[0])));
+}
+
+// ---------------------------------------------------------------------------
+// encoded shuffle variant + oblivious set engine init
+// ---------------------------------------------------------------------------
+
+TEST(ShuffleEncodedTest, MatchesDigestsAndVerifies) {
+  const auto group = make_toy_group();
+  const auto pool = std::make_shared<util::thread_pool>(4);
+  const batch_engine engine{group, pool, 64};
+  const elgamal& scheme = engine.scheme();
+  deterministic_rng rng{15};
+  const auto kp = scheme.generate_keypair(rng);
+
+  std::vector<elgamal_ciphertext> input;
+  for (std::size_t i = 0; i < 200; ++i) {
+    input.push_back(i % 4 == 0 ? scheme.encrypt_one(kp.pub, rng)
+                               : scheme.encrypt_zero(kp.pub, rng));
+  }
+  const std::vector<byte_buffer> input_encoded = scheme.encode_batch(input);
+
+  shuffle_transcript transcript;
+  shuffle_opening opening;
+  const shuffle_result result = shuffle_and_rerandomize_encoded(
+      engine, kp.pub, input, input_encoded, rng, transcript, &opening);
+
+  ASSERT_EQ(result.output.size(), input.size());
+  ASSERT_EQ(result.output_encoded.size(), input.size());
+  for (std::size_t i = 0; i < result.output.size(); ++i) {
+    EXPECT_EQ(result.output_encoded[i], scheme.encode(result.output[i]));
+  }
+  EXPECT_EQ(transcript.input_digest, digest_ciphertexts(scheme, input));
+  EXPECT_EQ(transcript.output_digest,
+            digest_ciphertexts(scheme, result.output));
+  EXPECT_EQ(transcript.input_digest,
+            digest_encoded_ciphertexts(input_encoded));
+
+  EXPECT_TRUE(verify_shuffle_structure(scheme, input, result.output, transcript));
+  EXPECT_TRUE(verify_shuffle_opening(scheme, kp.secret, input, result.output,
+                                     transcript, opening));
+}
+
+TEST(ShuffleEncodedTest, PermutationCommitmentBindsPermutation) {
+  const byte_buffer seed(32, 0xab);
+  const std::vector<std::uint32_t> perm{0, 1, 2, 3};
+  const std::vector<std::uint32_t> swapped{0, 1, 3, 2};
+  EXPECT_EQ(permutation_commitment(seed, perm),
+            permutation_commitment(seed, perm));
+  EXPECT_NE(permutation_commitment(seed, perm),
+            permutation_commitment(seed, swapped));
+  const byte_buffer other_seed(32, 0xac);
+  EXPECT_NE(permutation_commitment(seed, perm),
+            permutation_commitment(other_seed, perm));
+}
+
+TEST(ObliviousSetBatchTest, EngineInitMatchesSerialSemantics) {
+  const auto group = make_toy_group();
+  const auto pool = std::make_shared<util::thread_pool>(4);
+  const batch_engine engine{group, pool, 64};
+  const elgamal& scheme = engine.scheme();
+  deterministic_rng rng{16};
+  const auto kp = scheme.generate_keypair(rng);
+
+  psc::oblivious_set set{engine, kp.pub, 512, rng};
+  ASSERT_EQ(set.bins(), 512u);
+  // Every bin decrypts to zero before any insert.
+  for (const auto& slot : set.slots()) {
+    EXPECT_TRUE(group->is_identity(scheme.decrypt(kp.secret, slot)));
+  }
+  set.insert(as_bytes("client-ip-1"), rng);
+  std::size_t ones = 0;
+  for (const auto& slot : set.slots()) {
+    ones += !group->is_identity(scheme.decrypt(kp.secret, slot));
+  }
+  EXPECT_EQ(ones, 1u);
+}
+
+}  // namespace
+}  // namespace tormet::crypto
