@@ -1,5 +1,6 @@
 #include "src/crypto/batch_engine.h"
 
+#include <atomic>
 #include <utility>
 
 #include "src/util/check.h"
@@ -49,69 +50,101 @@ void batch_engine::run_sharded(std::size_t n, Fn&& fn) const {
   }
 }
 
-std::vector<elgamal_ciphertext> batch_engine::encrypt_zero_batch(
-    const group_element& pub, std::size_t count,
-    const sha256_digest& seed) const {
-  std::vector<elgamal_ciphertext> out(count);
-  run_sharded(count, [&](std::size_t shard, std::size_t begin, std::size_t end) {
-    stream_rng rng{shard_stream_key(seed, shard)};
-    std::vector<elgamal_ciphertext> slice =
-        scheme_.encrypt_zero_batch(pub, end - begin, rng);
+template <typename T, typename Fn>
+std::vector<T> batch_engine::map_sharded(std::size_t n, Fn&& per_shard) const {
+  std::vector<T> out(n);
+  run_sharded(n, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+    std::vector<T> slice = per_shard(shard, begin, end);
     std::move(slice.begin(), slice.end(), out.begin() + begin);
   });
   return out;
+}
+
+std::vector<elgamal_ciphertext> batch_engine::encrypt_zero_batch(
+    const group_element& pub, std::size_t count,
+    const sha256_digest& seed) const {
+  return map_sharded<elgamal_ciphertext>(
+      count, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        stream_rng rng{shard_stream_key(seed, shard)};
+        return scheme_.encrypt_zero_batch(pub, end - begin, rng);
+      });
 }
 
 std::vector<elgamal_ciphertext> batch_engine::encrypt_bits_batch(
     const group_element& pub, std::span<const std::uint8_t> bits,
     const sha256_digest& seed) const {
-  std::vector<elgamal_ciphertext> out(bits.size());
-  run_sharded(bits.size(),
-              [&](std::size_t shard, std::size_t begin, std::size_t end) {
-    stream_rng rng{shard_stream_key(seed, shard)};
-    std::vector<elgamal_ciphertext> slice =
-        scheme_.encrypt_bits_batch(pub, bits.subspan(begin, end - begin), rng);
-    std::move(slice.begin(), slice.end(), out.begin() + begin);
-  });
-  return out;
+  return map_sharded<elgamal_ciphertext>(
+      bits.size(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        stream_rng rng{shard_stream_key(seed, shard)};
+        return scheme_.encrypt_bits_batch(pub, bits.subspan(begin, end - begin),
+                                          rng);
+      });
 }
 
 std::vector<elgamal_ciphertext> batch_engine::rerandomize_batch(
     const group_element& pub, std::span<const elgamal_ciphertext> cts,
     const sha256_digest& seed) const {
-  std::vector<elgamal_ciphertext> out(cts.size());
-  run_sharded(cts.size(),
-              [&](std::size_t shard, std::size_t begin, std::size_t end) {
-    stream_rng rng{shard_stream_key(seed, shard)};
-    std::vector<elgamal_ciphertext> slice = scheme_.rerandomize_batch(
-        pub, cts.subspan(begin, end - begin), rng);
-    std::move(slice.begin(), slice.end(), out.begin() + begin);
-  });
-  return out;
+  return map_sharded<elgamal_ciphertext>(
+      cts.size(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        stream_rng rng{shard_stream_key(seed, shard)};
+        return scheme_.rerandomize_batch(pub, cts.subspan(begin, end - begin),
+                                         rng);
+      });
 }
 
 std::vector<elgamal_ciphertext> batch_engine::strip_share_batch(
     std::span<const elgamal_ciphertext> cts, const scalar& share) const {
-  std::vector<elgamal_ciphertext> out(cts.size());
-  run_sharded(cts.size(),
-              [&](std::size_t, std::size_t begin, std::size_t end) {
-    std::vector<elgamal_ciphertext> slice =
-        scheme_.strip_share_batch(cts.subspan(begin, end - begin), share);
-    std::move(slice.begin(), slice.end(), out.begin() + begin);
-  });
-  return out;
+  return map_sharded<elgamal_ciphertext>(
+      cts.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        return scheme_.strip_share_batch(cts.subspan(begin, end - begin), share);
+      });
 }
 
 std::vector<group_element> batch_engine::decrypt_batch(
     const scalar& secret, std::span<const elgamal_ciphertext> cts) const {
-  std::vector<group_element> out(cts.size());
-  run_sharded(cts.size(),
+  return map_sharded<group_element>(
+      cts.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        return scheme_.decrypt_batch(secret, cts.subspan(begin, end - begin));
+      });
+}
+
+std::vector<elgamal_ciphertext> batch_engine::add_batch(
+    std::span<const elgamal_ciphertext> c1,
+    std::span<const elgamal_ciphertext> c2) const {
+  expects(c1.size() == c2.size(), "add_batch spans must have equal length");
+  return map_sharded<elgamal_ciphertext>(
+      c1.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        return scheme_.add_batch(c1.subspan(begin, end - begin),
+                                 c2.subspan(begin, end - begin));
+      });
+}
+
+std::vector<elgamal_ciphertext> batch_engine::decode_batch(
+    std::span<const byte_buffer> data) const {
+  return map_sharded<elgamal_ciphertext>(
+      data.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        return scheme_.decode_batch(data.subspan(begin, end - begin));
+      });
+}
+
+std::vector<byte_buffer> batch_engine::encode_batch(
+    std::span<const elgamal_ciphertext> cts) const {
+  return map_sharded<byte_buffer>(
+      cts.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        return scheme_.encode_batch(cts.subspan(begin, end - begin));
+      });
+}
+
+std::uint64_t batch_engine::tally_decode_count(
+    std::span<const byte_buffer> data) const {
+  std::atomic<std::uint64_t> count{0};
+  run_sharded(data.size(),
               [&](std::size_t, std::size_t begin, std::size_t end) {
-    std::vector<group_element> slice =
-        scheme_.decrypt_batch(secret, cts.subspan(begin, end - begin));
-    std::move(slice.begin(), slice.end(), out.begin() + begin);
+    count.fetch_add(scheme_.count_non_identity_plaintexts(
+                        data.subspan(begin, end - begin)),
+                    std::memory_order_relaxed);
   });
-  return out;
+  return count.load();
 }
 
 }  // namespace tormet::crypto

@@ -66,11 +66,35 @@ class batch_engine {
   [[nodiscard]] std::vector<group_element> decrypt_batch(
       const scalar& secret, std::span<const elgamal_ciphertext> cts) const;
 
+  /// Elementwise homomorphic combination (the tally server's table merge).
+  [[nodiscard]] std::vector<elgamal_ciphertext> add_batch(
+      std::span<const elgamal_ciphertext> c1,
+      std::span<const elgamal_ciphertext> c2) const;
+
+  /// Wire-format decode/encode of a ciphertext vector, sharded across the
+  /// pool (deterministic: pure per-index functions of the inputs).
+  [[nodiscard]] std::vector<elgamal_ciphertext> decode_batch(
+      std::span<const byte_buffer> data) const;
+  [[nodiscard]] std::vector<byte_buffer> encode_batch(
+      std::span<const elgamal_ciphertext> cts) const;
+
+  /// The tally server's final decode: decodes every wire ciphertext's
+  /// plaintext (b) component and counts non-identity bins, sharded across
+  /// the pool with zero per-element allocations inside each shard.
+  [[nodiscard]] std::uint64_t tally_decode_count(
+      std::span<const byte_buffer> data) const;
+
  private:
   /// Runs fn(shard_index, begin, end) over [0, n) in shard_size_ slices,
   /// parallel when a pool is attached.
   template <typename Fn>
   void run_sharded(std::size_t n, Fn&& fn) const;
+
+  /// Stitches per-shard slices into one output vector of length n:
+  /// per_shard(shard_index, begin, end) returns the std::vector<T> for
+  /// [begin, end), moved into place. Every batch op above is one of these.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map_sharded(std::size_t n, Fn&& per_shard) const;
 
   /// ChaCha20 stream key for shard `shard_index` of a batch seeded by
   /// `seed` — the per-index RNG streams that make sharded output

@@ -178,7 +178,7 @@ byte_buffer elgamal::encode(const elgamal_ciphertext& c) const {
   return out;
 }
 
-elgamal_ciphertext elgamal::decode(byte_view data) const {
+elgamal::ciphertext_views elgamal::split_encoding(byte_view data) {
   expects(!data.empty(), "ciphertext encoding must be non-empty");
   const std::size_t len_a = data[0];
   expects(data.size() >= 1 + len_a + 1, "ciphertext encoding truncated");
@@ -186,7 +186,12 @@ elgamal_ciphertext elgamal::decode(byte_view data) const {
   const std::size_t len_b = data[1 + len_a];
   expects(data.size() == 2 + len_a + len_b, "ciphertext encoding length mismatch");
   const byte_view eb = data.subspan(2 + len_a, len_b);
-  return {group_->decode(ea), group_->decode(eb)};
+  return {ea, eb};
+}
+
+elgamal_ciphertext elgamal::decode(byte_view data) const {
+  const ciphertext_views views = split_encoding(data);
+  return {group_->decode(views.a), group_->decode(views.b)};
 }
 
 std::vector<byte_buffer> elgamal::encode_batch(
@@ -199,10 +204,23 @@ std::vector<byte_buffer> elgamal::encode_batch(
 
 std::vector<elgamal_ciphertext> elgamal::decode_batch(
     std::span<const byte_buffer> data) const {
-  std::vector<elgamal_ciphertext> out;
-  out.reserve(data.size());
-  for (const auto& d : data) out.push_back(decode(d));
-  return out;
+  std::vector<byte_view> as, bs;
+  as.reserve(data.size());
+  bs.reserve(data.size());
+  for (const auto& d : data) {
+    const ciphertext_views views = split_encoding(d);
+    as.push_back(views.a);
+    bs.push_back(views.b);
+  }
+  return zip_components(group_->decode_batch(as), group_->decode_batch(bs));
+}
+
+std::size_t elgamal::count_non_identity_plaintexts(
+    std::span<const byte_buffer> data) const {
+  std::vector<byte_view> bs;
+  bs.reserve(data.size());
+  for (const auto& d : data) bs.push_back(split_encoding(d).b);
+  return group_->count_non_identity(bs);
 }
 
 }  // namespace tormet::crypto

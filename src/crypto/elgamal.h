@@ -119,10 +119,31 @@ class elgamal {
   [[nodiscard]] byte_buffer encode(const elgamal_ciphertext& c) const;
   [[nodiscard]] elgamal_ciphertext decode(byte_view data) const;
 
-  /// Batch forms of encode/decode (one call site, one pass).
+  /// The two component encodings inside one wire ciphertext (views into the
+  /// caller's buffer — no copy). Validates the framing exactly like
+  /// decode(); component validity is checked only when the views are
+  /// actually decoded.
+  struct ciphertext_views {
+    byte_view a;
+    byte_view b;
+  };
+  [[nodiscard]] static ciphertext_views split_encoding(byte_view data);
+
+  /// Batch forms of encode/decode (one call site, one pass). decode_batch
+  /// runs through the group's arena decoder: one element arena per
+  /// component vector instead of a heap node per element.
   [[nodiscard]] std::vector<byte_buffer> encode_batch(
       std::span<const elgamal_ciphertext> cts) const;
   [[nodiscard]] std::vector<elgamal_ciphertext> decode_batch(
+      std::span<const byte_buffer> data) const;
+
+  /// The tally decode: decodes only each ciphertext's b component (after
+  /// every shareholder stripped, b IS the plaintext) and counts non-identity
+  /// results, with zero per-element allocations. Framing and the b encoding
+  /// are validated exactly like decode(); the a component — dead weight once
+  /// stripping finished — is only length-checked, so a wire vector whose a
+  /// bytes are corrupt still tallies (full decode() would throw on it).
+  [[nodiscard]] std::size_t count_non_identity_plaintexts(
       std::span<const byte_buffer> data) const;
 
  private:

@@ -6,7 +6,8 @@ namespace tormet::crypto {
 
 byte_buffer group::encode_scalar(const scalar& k) const {
   expects(k.valid(), "scalar must be valid");
-  return k.bytes();
+  const byte_view bytes = k.bytes();
+  return {bytes.begin(), bytes.end()};
 }
 
 std::vector<group_element> group::mul_generator_batch(
@@ -51,6 +52,23 @@ std::vector<group_element> group::sub_batch(
   return out;
 }
 
+std::vector<group_element> group::decode_batch(
+    std::span<const byte_view> data) const {
+  std::vector<group_element> out;
+  out.reserve(data.size());
+  for (const auto& d : data) out.push_back(decode(d));
+  return out;
+}
+
+std::size_t group::count_non_identity(
+    std::span<const byte_view> encodings) const {
+  std::size_t count = 0;
+  for (const auto& e : encodings) {
+    if (!is_identity(decode(e))) ++count;
+  }
+  return count;
+}
+
 group_element group::random_element(secure_rng& rng) const {
   return mul_generator(random_scalar(rng));
 }
@@ -60,9 +78,18 @@ group_element group::sub(const group_element& a, const group_element& b) const {
 }
 
 std::shared_ptr<const group> make_group(group_backend backend) {
+  // Groups are immutable and safe for concurrent use, so one instance per
+  // backend serves the whole process: every round and every test case share
+  // the same comb-table/scratch caches instead of rebuilding them.
   switch (backend) {
-    case group_backend::p256: return make_p256_group();
-    case group_backend::toy: return make_toy_group();
+    case group_backend::p256: {
+      static const std::shared_ptr<const group> instance = make_p256_group();
+      return instance;
+    }
+    case group_backend::toy: {
+      static const std::shared_ptr<const group> instance = make_toy_group();
+      return instance;
+    }
   }
   throw precondition_error{"unknown group backend"};
 }

@@ -13,6 +13,8 @@
 // (checked where cheap).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,6 +22,7 @@
 
 #include "src/crypto/secure_rng.h"
 #include "src/util/bytes.h"
+#include "src/util/check.h"
 
 namespace tormet::crypto {
 
@@ -43,18 +46,65 @@ class group_element {
 };
 
 /// Opaque scalar (exponent modulo the group order). Stored as canonical
-/// big-endian bytes of backend-defined width.
+/// big-endian bytes of backend-defined width. Encodings up to 32 bytes —
+/// every supported backend — live inline with no heap allocation, which
+/// keeps the bulk encrypt paths (one nonce scalar per ciphertext)
+/// allocation-free per element; wider encodings fall back to a shared heap
+/// buffer.
 class scalar {
  public:
   scalar() = default;
-  [[nodiscard]] bool valid() const noexcept { return !bytes_.empty(); }
-  [[nodiscard]] const byte_buffer& bytes() const noexcept { return bytes_; }
+  scalar(const scalar&) = default;
+  scalar& operator=(const scalar&) = default;
+  // User-defined moves so a moved-from scalar reports invalid instead of
+  // keeping a stale size over a nulled heap buffer.
+  scalar(scalar&& other) noexcept
+      : inline_{other.inline_}, heap_{std::move(other.heap_)},
+        size_{other.size_} {
+    other.size_ = 0;
+  }
+  scalar& operator=(scalar&& other) noexcept {
+    if (this != &other) {
+      inline_ = other.inline_;
+      heap_ = std::move(other.heap_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return size_ != 0; }
+  [[nodiscard]] byte_view bytes() const noexcept { return {data(), size_}; }
+  /// True when the encoding fits the inline buffer (diagnostics/tests).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return size_ <= k_inline_bytes;
+  }
 
  private:
   friend class p256_group;
   friend class toy_group;
-  explicit scalar(byte_buffer bytes) noexcept : bytes_{std::move(bytes)} {}
-  byte_buffer bytes_;
+  friend struct scalar_test_access;
+  static constexpr std::size_t k_inline_bytes = 32;
+
+  explicit scalar(byte_view bytes)
+      : size_{static_cast<std::uint16_t>(bytes.size())} {
+    expects(bytes.size() <= 0xffff, "scalar encoding too wide");
+    if (bytes.size() <= k_inline_bytes) {
+      std::copy(bytes.begin(), bytes.end(), inline_.begin());
+    } else {
+      auto heap = std::shared_ptr<std::uint8_t[]>{new std::uint8_t[bytes.size()]};
+      std::copy(bytes.begin(), bytes.end(), heap.get());
+      heap_ = std::move(heap);
+    }
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return size_ <= k_inline_bytes ? inline_.data() : heap_.get();
+  }
+
+  std::array<std::uint8_t, k_inline_bytes> inline_{};
+  std::shared_ptr<std::uint8_t[]> heap_;  // only when size_ > k_inline_bytes
+  std::uint16_t size_ = 0;
 };
 
 /// Abstract prime-order cyclic group.
@@ -110,6 +160,11 @@ class group {
   // scratch BIGNUM arena per batch instead of allocating per call; the toy
   // backend uses fixed-base comb tables, a single-allocation element arena,
   // and Montgomery batch inversion for sub_batch.
+  //
+  // Lifetime note: batch results may share one arena per batch — every
+  // returned handle keeps the whole batch's storage alive. Retaining a few
+  // elements from a huge batch pins the rest; copy out via encode/decode if
+  // that matters.
 
   /// generator * ks[i] for every i (fixed-base precomputation amortized).
   [[nodiscard]] virtual std::vector<group_element> mul_generator_batch(
@@ -133,6 +188,17 @@ class group {
   [[nodiscard]] virtual byte_buffer encode_scalar(const scalar& k) const;
   [[nodiscard]] virtual scalar decode_scalar(byte_view data) const = 0;
 
+  /// decode() for every encoding, with allocation amortized across the
+  /// batch (backends share one element arena instead of one heap node per
+  /// element). Same validation and same per-index results as decode().
+  [[nodiscard]] virtual std::vector<group_element> decode_batch(
+      std::span<const byte_view> data) const;
+  /// Decodes every encoding and returns how many are NOT the identity — the
+  /// tally server's occupied-bin check — without materializing element
+  /// handles at all (zero allocations per element in both backends).
+  [[nodiscard]] virtual std::size_t count_non_identity(
+      std::span<const byte_view> encodings) const;
+
   // -- derived helpers ----------------------------------------------------
   /// Uniform non-identity element (generator * random nonzero scalar).
   [[nodiscard]] group_element random_element(secure_rng& rng) const;
@@ -149,7 +215,10 @@ class group {
 /// large-scale simulation only.
 [[nodiscard]] std::shared_ptr<const group> make_toy_group();
 
-/// Backend selector used by configuration code.
+/// Backend selector used by configuration code. Instances are immutable and
+/// thread-safe, so make_group returns a process-wide shared instance per
+/// backend: repeated rounds (and test cases) reuse the same group object and
+/// its internal precompute caches instead of rebuilding them.
 enum class group_backend { p256, toy };
 [[nodiscard]] std::shared_ptr<const group> make_group(group_backend backend);
 

@@ -1,12 +1,17 @@
 // NIST P-256 group backend over OpenSSL's EC_POINT API.
 //
 // Elements are heap EC_POINTs held by shared_ptr; scalars are 32-byte
-// big-endian integers reduced modulo the curve order. A thread_local BN_CTX
-// avoids per-operation allocation.
+// big-endian integers reduced modulo the curve order, stored inline in the
+// scalar's small buffer. A thread_local BN_CTX avoids per-operation
+// allocation; the batch paths go further and write results into a per-batch
+// EC_POINT arena (one control block for the whole batch, handles alias into
+// it) with scratch BIGNUM/EC_POINT state hoisted into thread_local storage
+// and reused across batch calls.
 #include <openssl/bn.h>
 #include <openssl/ec.h>
 #include <openssl/obj_mac.h>
 
+#include <array>
 #include <mutex>
 #include <stdexcept>
 
@@ -56,6 +61,47 @@ struct point_deleter {
   void operator()(EC_POINT* p) const noexcept { EC_POINT_free(p); }
 };
 using point_ptr = std::shared_ptr<EC_POINT>;
+
+/// Per-batch output arena: owns every EC_POINT of one batch through a single
+/// shared control block. Handles alias into it, so wrapping a batch result
+/// costs one refcount bump per element instead of one shared_ptr control
+/// block allocation each.
+struct point_arena {
+  std::vector<EC_POINT*> pts;
+  point_arena() = default;
+  point_arena(const point_arena&) = delete;
+  point_arena& operator=(const point_arena&) = delete;
+  ~point_arena() {
+    for (EC_POINT* p : pts) EC_POINT_free(p);
+  }
+};
+
+/// Thread-local scratch reused across batch calls on one curve: a BIGNUM for
+/// scalar conversions and an EC_POINT for intermediates (negation in
+/// sub_batch, the decode of count_non_identity). Lazily bound to the curve —
+/// make_group() hands out one group instance per backend, so in practice the
+/// binding happens once per thread.
+struct batch_scratch {
+  const EC_GROUP* curve = nullptr;
+  BIGNUM* bn = nullptr;
+  EC_POINT* tmp = nullptr;
+  ~batch_scratch() {
+    BN_free(bn);
+    EC_POINT_free(tmp);
+  }
+};
+
+[[nodiscard]] batch_scratch& tls_scratch(const EC_GROUP* curve) {
+  thread_local batch_scratch scratch;
+  if (scratch.curve != curve) {
+    BN_free(scratch.bn);
+    EC_POINT_free(scratch.tmp);
+    scratch.curve = curve;
+    scratch.bn = ossl_require(BN_new(), "BN_new");
+    scratch.tmp = ossl_require(EC_POINT_new(curve), "EC_POINT_new");
+  }
+  return scratch;
+}
 
 }  // namespace
 
@@ -179,57 +225,52 @@ class p256_group final : public group {
     return wrap(std::move(p));
   }
 
-  // Batch fast paths: one BN_CTX plus one scratch BIGNUM / EC_POINT reused
-  // across the whole batch instead of fresh allocations per call. Output
-  // points are still individually owned (group_element handles them), but
-  // every intermediate allocation is hoisted out of the loop.
+  // Batch fast paths: one BN_CTX and the thread_local scratch (BIGNUM +
+  // EC_POINT, reused across calls) instead of fresh allocations per call,
+  // and every output point lives in a per-batch arena — one shared control
+  // block for the whole batch, zero per-element heap nodes on our side
+  // (OpenSSL still allocates inside EC_POINT_new, which the public EC API
+  // cannot avoid).
   [[nodiscard]] std::vector<group_element> mul_generator_batch(
       std::span<const scalar> ks) const override {
     BN_CTX* ctx = tls_bn_ctx();
-    bignum bn;
-    std::vector<group_element> out;
-    out.reserve(ks.size());
-    for (const auto& k : ks) {
-      to_bn(k, bn.bn);
-      point_ptr p = new_point();
-      ossl_check(EC_POINT_mul(curve_, p.get(), bn.bn, nullptr, nullptr, ctx),
+    batch_scratch& scratch = tls_scratch(curve_);
+    auto arena = new_arena(ks.size());
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      to_bn(ks[i], scratch.bn);
+      ossl_check(EC_POINT_mul(curve_, arena->pts[i], scratch.bn, nullptr,
+                              nullptr, ctx),
                  "EC_POINT_mul(gen)");
-      out.push_back(wrap(std::move(p)));
     }
-    return out;
+    return wrap_arena(std::move(arena));
   }
 
   [[nodiscard]] std::vector<group_element> mul_batch(
       const group_element& base, std::span<const scalar> ks) const override {
     BN_CTX* ctx = tls_bn_ctx();
-    bignum bn;
+    batch_scratch& scratch = tls_scratch(curve_);
     const EC_POINT* b = unwrap(base);
-    std::vector<group_element> out;
-    out.reserve(ks.size());
-    for (const auto& k : ks) {
-      to_bn(k, bn.bn);
-      point_ptr p = new_point();
-      ossl_check(EC_POINT_mul(curve_, p.get(), nullptr, b, bn.bn, ctx),
+    auto arena = new_arena(ks.size());
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      to_bn(ks[i], scratch.bn);
+      ossl_check(EC_POINT_mul(curve_, arena->pts[i], nullptr, b, scratch.bn, ctx),
                  "EC_POINT_mul");
-      out.push_back(wrap(std::move(p)));
     }
-    return out;
+    return wrap_arena(std::move(arena));
   }
 
   [[nodiscard]] std::vector<group_element> mul_batch(
       std::span<const group_element> pts, const scalar& k) const override {
     BN_CTX* ctx = tls_bn_ctx();
-    bignum bn;
-    to_bn(k, bn.bn);  // converted once for the whole batch
-    std::vector<group_element> out;
-    out.reserve(pts.size());
-    for (const auto& p : pts) {
-      point_ptr r = new_point();
-      ossl_check(EC_POINT_mul(curve_, r.get(), nullptr, unwrap(p), bn.bn, ctx),
+    batch_scratch& scratch = tls_scratch(curve_);
+    to_bn(k, scratch.bn);  // converted once for the whole batch
+    auto arena = new_arena(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      ossl_check(EC_POINT_mul(curve_, arena->pts[i], nullptr, unwrap(pts[i]),
+                              scratch.bn, ctx),
                  "EC_POINT_mul");
-      out.push_back(wrap(std::move(r)));
     }
-    return out;
+    return wrap_arena(std::move(arena));
   }
 
   [[nodiscard]] std::vector<group_element> add_batch(
@@ -237,15 +278,13 @@ class p256_group final : public group {
       std::span<const group_element> b) const override {
     expects(a.size() == b.size(), "add_batch spans must have equal length");
     BN_CTX* ctx = tls_bn_ctx();
-    std::vector<group_element> out;
-    out.reserve(a.size());
+    auto arena = new_arena(a.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
-      point_ptr r = new_point();
-      ossl_check(EC_POINT_add(curve_, r.get(), unwrap(a[i]), unwrap(b[i]), ctx),
+      ossl_check(EC_POINT_add(curve_, arena->pts[i], unwrap(a[i]), unwrap(b[i]),
+                              ctx),
                  "EC_POINT_add");
-      out.push_back(wrap(std::move(r)));
     }
-    return out;
+    return wrap_arena(std::move(arena));
   }
 
   [[nodiscard]] std::vector<group_element> sub_batch(
@@ -253,18 +292,43 @@ class p256_group final : public group {
       std::span<const group_element> b) const override {
     expects(a.size() == b.size(), "sub_batch spans must have equal length");
     BN_CTX* ctx = tls_bn_ctx();
-    point_ptr neg = new_point();  // scratch for -b[i], reused per element
-    std::vector<group_element> out;
-    out.reserve(a.size());
+    batch_scratch& scratch = tls_scratch(curve_);
+    auto arena = new_arena(a.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
-      ossl_check(EC_POINT_copy(neg.get(), unwrap(b[i])), "EC_POINT_copy");
-      ossl_check(EC_POINT_invert(curve_, neg.get(), ctx), "EC_POINT_invert");
-      point_ptr r = new_point();
-      ossl_check(EC_POINT_add(curve_, r.get(), unwrap(a[i]), neg.get(), ctx),
+      ossl_check(EC_POINT_copy(scratch.tmp, unwrap(b[i])), "EC_POINT_copy");
+      ossl_check(EC_POINT_invert(curve_, scratch.tmp, ctx), "EC_POINT_invert");
+      ossl_check(EC_POINT_add(curve_, arena->pts[i], unwrap(a[i]), scratch.tmp,
+                              ctx),
                  "EC_POINT_add");
-      out.push_back(wrap(std::move(r)));
     }
-    return out;
+    return wrap_arena(std::move(arena));
+  }
+
+  [[nodiscard]] std::vector<group_element> decode_batch(
+      std::span<const byte_view> data) const override {
+    BN_CTX* ctx = tls_bn_ctx();
+    auto arena = new_arena(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      expects(!data[i].empty(), "encoded point must be non-empty");
+      ossl_check(EC_POINT_oct2point(curve_, arena->pts[i], data[i].data(),
+                                    data[i].size(), ctx),
+                 "EC_POINT_oct2point");
+    }
+    return wrap_arena(std::move(arena));
+  }
+
+  [[nodiscard]] std::size_t count_non_identity(
+      std::span<const byte_view> encodings) const override {
+    BN_CTX* ctx = tls_bn_ctx();
+    batch_scratch& scratch = tls_scratch(curve_);
+    std::size_t count = 0;
+    for (const auto& e : encodings) {
+      expects(!e.empty(), "encoded point must be non-empty");
+      ossl_check(EC_POINT_oct2point(curve_, scratch.tmp, e.data(), e.size(), ctx),
+                 "EC_POINT_oct2point");
+      if (EC_POINT_is_at_infinity(curve_, scratch.tmp) != 1) ++count;
+    }
+    return count;
   }
 
   [[nodiscard]] scalar decode_scalar(byte_view data) const override {
@@ -281,6 +345,27 @@ class p256_group final : public group {
     return {ossl_require(EC_POINT_new(curve_), "EC_POINT_new"), point_deleter{}};
   }
 
+  /// Arena with `n` fresh points, ready for batch outputs.
+  [[nodiscard]] std::shared_ptr<point_arena> new_arena(std::size_t n) const {
+    auto arena = std::make_shared<point_arena>();
+    arena->pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      arena->pts.push_back(ossl_require(EC_POINT_new(curve_), "EC_POINT_new"));
+    }
+    return arena;
+  }
+
+  /// Handles aliasing the arena's control block (refcount bump per element).
+  [[nodiscard]] static std::vector<group_element> wrap_arena(
+      std::shared_ptr<point_arena> arena) {
+    std::vector<group_element> out;
+    out.reserve(arena->pts.size());
+    for (EC_POINT* p : arena->pts) {
+      out.push_back(group_element{std::shared_ptr<const void>{arena, p}});
+    }
+    return out;
+  }
+
   [[nodiscard]] static group_element wrap(point_ptr p) {
     return group_element{std::shared_ptr<const void>{std::move(p)}};
   }
@@ -291,10 +376,10 @@ class p256_group final : public group {
   }
 
   [[nodiscard]] scalar make_scalar_from_bn(const BIGNUM* bn) const {
-    byte_buffer bytes(k_scalar_bytes);
+    std::array<std::uint8_t, k_scalar_bytes> bytes;
     const int rc = BN_bn2binpad(bn, bytes.data(), static_cast<int>(bytes.size()));
     if (rc < 0) throw std::runtime_error{"BN_bn2binpad failed"};
-    return scalar{std::move(bytes)};
+    return scalar{byte_view{bytes}};  // inline storage, no heap
   }
 
   void to_bn(const scalar& k, BIGNUM* out) const {

@@ -186,11 +186,7 @@ class toy_group final : public group {
   }
 
   [[nodiscard]] group_element decode(byte_view data) const override {
-    expects(data.size() == 8, "toy element must be 8 bytes");
-    std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i) v = (v << 8) | data[static_cast<std::size_t>(i)];
-    expects(v != 0 && v < k_p, "toy element out of range");
-    return wrap(v);
+    return wrap(decode_value(data));
   }
 
   // Batch fast paths: operate on raw std::uint64_t vectors (one aliased
@@ -287,6 +283,24 @@ class toy_group final : public group {
     return make_scalar(v);
   }
 
+  [[nodiscard]] std::vector<group_element> decode_batch(
+      std::span<const byte_view> data) const override {
+    std::vector<std::uint64_t> out(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      out[i] = decode_value(data[i]);
+    }
+    return wrap_batch(out);
+  }
+
+  [[nodiscard]] std::size_t count_non_identity(
+      std::span<const byte_view> encodings) const override {
+    std::size_t count = 0;
+    for (const auto& e : encodings) {
+      if (decode_value(e) != 1) ++count;
+    }
+    return count;
+  }
+
  private:
   /// Finds or builds the width-8 comb table for `base`. The cache holds the
   /// handful of fixed bases a process ever batches against (joint public
@@ -306,6 +320,16 @@ class toy_group final : public group {
   mutable std::mutex comb_mutex_;
   mutable std::vector<std::pair<std::uint64_t, std::shared_ptr<const comb_table>>>
       comb_cache_;
+
+  /// Shared decode validation, without wrapping a handle (the batch decode
+  /// and tally-count paths stay allocation-free per element).
+  [[nodiscard]] static std::uint64_t decode_value(byte_view data) {
+    expects(data.size() == 8, "toy element must be 8 bytes");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data[static_cast<std::size_t>(i)];
+    expects(v != 0 && v < k_p, "toy element out of range");
+    return v;
+  }
 
   [[nodiscard]] static group_element wrap(std::uint64_t value) {
     return group_element{
@@ -334,16 +358,17 @@ class toy_group final : public group {
   }
 
   [[nodiscard]] static scalar make_scalar(std::uint64_t value) {
-    byte_buffer bytes(8);
-    for (int i = 0; i < 8; ++i) bytes[static_cast<std::size_t>(i)] =
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] =
         static_cast<std::uint8_t>(value >> (8 * i));
-    return scalar{std::move(bytes)};
+    return scalar{byte_view{bytes, 8}};  // inline storage, no heap
   }
 
   [[nodiscard]] static std::uint64_t scalar_value(const scalar& k) {
     expects(k.valid() && k.bytes().size() == 8, "toy scalar must be 8 bytes");
+    const byte_view bytes = k.bytes();
     std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i) v = (v << 8) | k.bytes()[static_cast<std::size_t>(i)];
+    for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
     return v;
   }
 };

@@ -15,6 +15,7 @@
 #include "src/privcount/share_keeper.h"
 #include "src/privcount/tally_server.h"
 #include "src/tor/network.h"
+#include "src/util/thread_pool.h"
 
 namespace tormet::privcount {
 
@@ -25,6 +26,10 @@ struct deployment_config {
   dp::privacy_params privacy{};
   bool noise_enabled = true;
   std::uint64_t rng_seed = 2718;  // deterministic DC noise/blinding in tests
+  /// Workers in the TS's combine thread pool (0 = inline). Only worth > 0
+  /// for per-domain/per-country censuses with 10^5+ counters; results are
+  /// identical either way.
+  std::size_t worker_threads = 0;
 };
 
 class deployment {
@@ -55,6 +60,7 @@ class deployment {
   net::transport& transport_;
   deployment_config config_;
   crypto::deterministic_rng rng_;
+  std::shared_ptr<util::thread_pool> pool_;
   std::unique_ptr<tally_server> ts_;
   std::vector<std::unique_ptr<share_keeper>> sks_;
   std::vector<std::unique_ptr<data_collector>> dcs_;

@@ -96,9 +96,7 @@ void tally_server::handle_message(const net::message& msg) {
         return;
       }
       if (!dc_reports_seen_.insert(msg.from).second) return;  // duplicate
-      for (std::size_t i = 0; i < m.values.size(); ++i) {
-        aggregate_[i] += m.values[i];
-      }
+      combine_report(m.values);
       return;
     }
     case msg_type::sk_report: {
@@ -110,14 +108,27 @@ void tally_server::handle_message(const net::message& msg) {
         return;
       }
       if (!sk_reports_seen_.insert(msg.from).second) return;  // duplicate
-      for (std::size_t i = 0; i < m.sums.size(); ++i) {
-        aggregate_[i] += m.sums[i];
-      }
+      combine_report(m.sums);
       return;
     }
     default:
       log_line{log_level::warn} << "TS: unexpected message type " << msg.type;
   }
+}
+
+void tally_server::combine_report(std::span<const std::uint64_t> values) {
+  expects(values.size() == aggregate_.size(), "report arity mismatch");
+  // Ring addition is per-index, so shard boundaries cannot change results.
+  // Below ~64k counters the fan-out overhead beats any parallelism win.
+  constexpr std::size_t k_parallel_threshold = 1 << 16;
+  if (pool_ != nullptr && values.size() >= k_parallel_threshold) {
+    pool_->parallel_for(values.size(), 1 << 14,
+                        [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) aggregate_[i] += values[i];
+    });
+    return;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) aggregate_[i] += values[i];
 }
 
 bool tally_server::results_ready() const {

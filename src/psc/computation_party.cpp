@@ -43,7 +43,7 @@ void computation_party::on_mix(const net::message& msg) {
   if (m.round_id != round_id_) return;
   expects(joint_pk_.valid(), "mix pass before joint key distribution");
   const crypto::elgamal& scheme = engine_->scheme();
-  std::vector<crypto::elgamal_ciphertext> cts = scheme.decode_batch(m.ciphertexts);
+  std::vector<crypto::elgamal_ciphertext> cts = engine_->decode_batch(m.ciphertexts);
 
   // Binomial noise: append noise_bits ciphertexts, each an encryption of a
   // fair coin (identity or random element). Expected added count is
@@ -77,14 +77,13 @@ void computation_party::on_mix(const net::message& msg) {
 void computation_party::on_decrypt(const net::message& msg) {
   const vector_msg m = decode_vector(msg);
   if (m.round_id != round_id_) return;
-  const crypto::elgamal& scheme = engine_->scheme();
   const std::vector<crypto::elgamal_ciphertext> cts =
-      scheme.decode_batch(m.ciphertexts);
+      engine_->decode_batch(m.ciphertexts);
   const std::vector<crypto::elgamal_ciphertext> stripped =
       engine_->strip_share_batch(cts, keypair_.secret);
   vector_msg out;
   out.round_id = round_id_;
-  out.ciphertexts = scheme.encode_batch(stripped);
+  out.ciphertexts = engine_->encode_batch(stripped);
   const net::node_id next = next_in_chain();
   const msg_type type =
       next == tally_server_ ? msg_type::final_vector : msg_type::decrypt_pass;

@@ -25,6 +25,7 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
   }
 
   ts_ = std::make_unique<tally_server>(ts_id, transport_, dc_ids, cp_ids);
+  ts_->set_thread_pool(pool_);
   transport_.register_node(ts_id,
                            [this](const net::message& m) { ts_->handle_message(m); });
 

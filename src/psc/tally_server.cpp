@@ -15,11 +15,15 @@ tally_server::tally_server(net::node_id self, net::transport& transport,
   expects(!cps_.empty(), "need at least one computation party");
 }
 
+void tally_server::set_thread_pool(std::shared_ptr<util::thread_pool> pool) {
+  pool_ = std::move(pool);
+}
+
 void tally_server::begin_round(const round_params& params) {
   ++round_id_;
   params_ = params;
   group_ = crypto::make_group(params_.group);
-  scheme_ = std::make_unique<crypto::elgamal>(group_);
+  engine_ = std::make_unique<crypto::batch_engine>(group_, pool_);
   pk_shares_.clear();
   joint_pk_ = {};
   dcs_configured_ = false;
@@ -51,7 +55,7 @@ void tally_server::maybe_distribute_joint_key() {
   std::vector<crypto::group_element> shares;
   shares.reserve(pk_shares_.size());
   for (const auto& [cp, pk] : pk_shares_) shares.push_back(pk);
-  joint_pk_ = scheme_->combine_public_keys(shares);
+  joint_pk_ = engine_->scheme().combine_public_keys(shares);
 
   dc_configure_msg cfg;
   cfg.round_id = round_id_;
@@ -90,7 +94,7 @@ void tally_server::force_mixing() {
   mixing_started_ = true;
   vector_msg m;
   m.round_id = round_id_;
-  m.ciphertexts = scheme_->encode_batch(combined_);
+  m.ciphertexts = engine_->encode_batch(combined_);
   transport_.send(encode_vector(self_, cps_.front(), msg_type::mix_pass, m));
 }
 
@@ -113,11 +117,11 @@ void tally_server::handle_message(const net::message& msg) {
       }
       if (!dc_reports_seen_.insert(msg.from).second) return;
       std::vector<crypto::elgamal_ciphertext> cts =
-          scheme_->decode_batch(m.ciphertexts);
+          engine_->decode_batch(m.ciphertexts);
       if (combined_.empty()) {
         combined_ = std::move(cts);
       } else {
-        combined_ = scheme_->add_batch(combined_, cts);
+        combined_ = engine_->add_batch(combined_, cts);
       }
       maybe_start_mixing();
       return;
@@ -133,14 +137,10 @@ void tally_server::handle_message(const net::message& msg) {
     case msg_type::final_vector: {
       const vector_msg m = decode_vector(msg);
       if (m.round_id != round_id_) return;
-      const std::vector<crypto::elgamal_ciphertext> cts =
-          scheme_->decode_batch(m.ciphertexts);
-      std::uint64_t count = 0;
-      for (const auto& ct : cts) {
-        // After every CP stripped its share, b holds the plaintext.
-        if (!group_->is_identity(ct.b)) ++count;
-      }
-      raw_count_ = count;
+      // After every CP stripped its share, b holds the plaintext: the batch
+      // tally decode parses only the b components and counts non-identity
+      // bins, sharded across the pool at large bin counts.
+      raw_count_ = engine_->tally_decode_count(m.ciphertexts);
       return;
     }
     default:

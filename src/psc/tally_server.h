@@ -12,10 +12,12 @@
 #include <set>
 #include <vector>
 
+#include "src/crypto/batch_engine.h"
 #include "src/crypto/elgamal.h"
 #include "src/dp/action_bounds.h"
 #include "src/net/transport.h"
 #include "src/psc/messages.h"
+#include "src/util/thread_pool.h"
 
 namespace tormet::psc {
 
@@ -38,6 +40,12 @@ class tally_server {
                std::vector<net::node_id> computation_parties);
 
   void handle_message(const net::message& msg);
+
+  /// Shares `pool` with the batch engine that runs the TS's bulk work (DC
+  /// table decode + combine, final-vector tally decode). Call before
+  /// begin_round; nullptr (the default) runs every batch inline. Protocol
+  /// outputs are identical either way.
+  void set_thread_pool(std::shared_ptr<util::thread_pool> pool);
 
   /// Phase 1: configure CPs (they reply with key shares); once all shares
   /// arrive the TS combines them and configures the DCs with the joint key.
@@ -82,7 +90,10 @@ class tally_server {
   round_params params_;
   std::uint64_t noise_bits_per_cp_ = 0;
   std::shared_ptr<const crypto::group> group_;
-  std::unique_ptr<crypto::elgamal> scheme_;
+  std::shared_ptr<util::thread_pool> pool_;
+  /// All bulk ciphertext work (decode, combine, encode, tally decode) runs
+  /// through the engine so large bin counts shard across the pool.
+  std::unique_ptr<crypto::batch_engine> engine_;
   std::map<net::node_id, crypto::group_element> pk_shares_;
   crypto::group_element joint_pk_;
   bool dcs_configured_ = false;

@@ -1,0 +1,169 @@
+// Differential tests across the two group backends and the serial/pooled
+// engine paths. The protocol logic is backend-agnostic: for the same
+// deployment seed, a full PSC round must walk the same message sequence
+// with the same vector arities and produce the same raw count on toy62 and
+// p256 (the encodings differ — element widths differ — but nothing about
+// the protocol's shape or its result may). Within one backend the stronger
+// property holds: the pooled engine run is byte-identical to the inline
+// run, because shard boundaries and per-shard RNG streams never depend on
+// the worker count.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/net/inproc.h"
+#include "src/psc/deployment.h"
+#include "src/psc/messages.h"
+#include "src/tor/network.h"
+
+namespace tormet::psc {
+namespace {
+
+/// Transport wrapper that records every message send: the full payload (for
+/// within-backend byte comparison) plus the decoded ciphertext count of
+/// vector messages (for cross-backend shape comparison).
+class recording_net final : public net::transport {
+ public:
+  struct entry {
+    std::uint16_t type = 0;
+    net::node_id from = 0;
+    net::node_id to = 0;
+    std::size_t vector_len = 0;  // 0 for non-vector messages
+    byte_buffer payload;
+  };
+
+  void register_node(net::node_id id, net::message_handler handler) override {
+    inner_.register_node(id, std::move(handler));
+  }
+
+  void send(net::message msg) override {
+    entry e;
+    e.type = msg.type;
+    e.from = msg.from;
+    e.to = msg.to;
+    e.payload = msg.payload;
+    switch (static_cast<msg_type>(msg.type)) {
+      case msg_type::dc_vector:
+      case msg_type::mix_pass:
+      case msg_type::decrypt_pass:
+      case msg_type::final_vector:
+        e.vector_len = decode_vector(msg).ciphertexts.size();
+        break;
+      default:
+        break;
+    }
+    trace_.push_back(std::move(e));
+    inner_.send(std::move(msg));
+  }
+
+  std::size_t run_until_quiescent() override {
+    return inner_.run_until_quiescent();
+  }
+
+  [[nodiscard]] const std::vector<entry>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  net::inproc_net inner_;
+  std::vector<entry> trace_;
+};
+
+struct round_run {
+  std::vector<recording_net::entry> trace;
+  round_outcome outcome;
+};
+
+/// One fixed workload (60 client IPs, 40 distinct) through a full round.
+/// Cross-backend comparisons run noiseless: the two backends consume the
+/// session RNG at different rates (different rejection sampling), so noise
+/// coin values — though not their count — would legitimately diverge.
+[[nodiscard]] round_run run_round(crypto::group_backend backend,
+                                  std::size_t worker_threads,
+                                  bool noise = false) {
+  tor::consensus_params params;
+  params.num_relays = 120;
+  params.seed = 29;
+  tor::network net{tor::make_synthetic_consensus(params), 19};
+  const auto guards = net.net().eligible(tor::position::guard);
+
+  recording_net bus;
+  deployment_config cfg;
+  cfg.num_computation_parties = 3;
+  cfg.measured_relays.assign(guards.begin(), guards.begin() + 3);
+  cfg.round.bins = 128;
+  cfg.round.group = backend;
+  cfg.round.noise_enabled = noise;
+  cfg.round.sensitivity = 1.0;
+  cfg.round.privacy = {2.0, 1e-4};  // ~20 noise bits/CP: fast on p256
+  cfg.rng_seed = 777;
+  cfg.worker_threads = worker_threads;
+  deployment dep{bus, cfg};
+  dep.set_extractor([](const tor::event& ev) -> std::optional<std::string> {
+    if (const auto* c = std::get_if<tor::entry_connection_event>(&ev.body)) {
+      return std::to_string(c->client_ip);
+    }
+    return std::nullopt;
+  });
+  dep.attach(net);
+
+  round_run run;
+  run.outcome = dep.run_round([&] {
+    for (int i = 0; i < 60; ++i) {
+      tor::client_profile p;
+      p.ip = static_cast<std::uint32_t>(5000 + i % 40);
+      p.promiscuous = true;  // every DC sees every IP: workload is
+                             // independent of guard assignment
+      const tor::client_id c = net.add_client(p);
+      net.connect_to_guards(c, sim_time{0});
+    }
+  });
+  run.trace = bus.trace();
+  return run;
+}
+
+void expect_same_shape(const round_run& a, const round_run& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].type, b.trace[i].type) << "message " << i;
+    EXPECT_EQ(a.trace[i].from, b.trace[i].from) << "message " << i;
+    EXPECT_EQ(a.trace[i].to, b.trace[i].to) << "message " << i;
+    EXPECT_EQ(a.trace[i].vector_len, b.trace[i].vector_len) << "message " << i;
+  }
+  EXPECT_EQ(a.outcome.raw_count, b.outcome.raw_count);
+  EXPECT_EQ(a.outcome.total_noise_bits, b.outcome.total_noise_bits);
+  EXPECT_DOUBLE_EQ(a.outcome.estimate.cardinality, b.outcome.estimate.cardinality);
+}
+
+void expect_identical_bytes(const round_run& a, const round_run& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].payload, b.trace[i].payload) << "message " << i;
+  }
+  EXPECT_EQ(a.outcome.raw_count, b.outcome.raw_count);
+}
+
+TEST(BackendDifferentialTest, ToyAndP256ProduceTheSameProtocolTranscript) {
+  const round_run toy_serial = run_round(crypto::group_backend::toy, 0);
+  const round_run p256_serial = run_round(crypto::group_backend::p256, 0);
+  expect_same_shape(toy_serial, p256_serial);
+
+  const round_run toy_pooled = run_round(crypto::group_backend::toy, 4);
+  const round_run p256_pooled = run_round(crypto::group_backend::p256, 4);
+  expect_same_shape(toy_pooled, p256_pooled);
+}
+
+TEST(BackendDifferentialTest, PooledRunIsByteIdenticalToSerialRun) {
+  // Same backend, same seed, noise enabled: worker count must not leak into
+  // the transcript at all (the engine's determinism contract, end to end).
+  expect_identical_bytes(run_round(crypto::group_backend::toy, 0, true),
+                         run_round(crypto::group_backend::toy, 4, true));
+  expect_identical_bytes(run_round(crypto::group_backend::p256, 0, true),
+                         run_round(crypto::group_backend::p256, 4, true));
+}
+
+}  // namespace
+}  // namespace tormet::psc

@@ -4,6 +4,8 @@
 // corruptions of valid messages.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/crypto/elgamal.h"
 #include "src/net/wire.h"
 #include "src/privcount/messages.h"
@@ -11,6 +13,15 @@
 #include "src/tor/consensus_doc.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
+
+namespace tormet::crypto {
+/// Test-only backdoor into the private scalar constructor, so the
+/// small-buffer/heap storage split can be exercised directly (no backend
+/// produces encodings wider than the inline buffer).
+struct scalar_test_access {
+  [[nodiscard]] static scalar make(byte_view bytes) { return scalar{bytes}; }
+};
+}  // namespace tormet::crypto
 
 namespace tormet {
 namespace {
@@ -131,6 +142,85 @@ TEST(FuzzTest, ConsensusDocCorruption) {
   for (std::size_t cut = 0; cut < good.size(); cut += 37) {
     expect_graceful([&] { (void)tor::parse_consensus(good.substr(0, cut)); });
   }
+}
+
+TEST(FuzzTest, ScalarEncodingRoundTripsCanonically) {
+  // bytes -> scalar -> bytes must be the identity on canonical encodings,
+  // for freshly drawn scalars and for re-decoded ones, on both backends.
+  rng r{123};
+  for (const auto backend :
+       {crypto::group_backend::toy, crypto::group_backend::p256}) {
+    const auto group = crypto::make_group(backend);
+    crypto::deterministic_rng crng{static_cast<std::uint64_t>(7 + r.below(100))};
+    for (int trial = 0; trial < 100; ++trial) {
+      const crypto::scalar k = group->random_scalar(crng);
+      const byte_buffer enc = group->encode_scalar(k);
+      const crypto::scalar back = group->decode_scalar(enc);
+      EXPECT_EQ(group->encode_scalar(back), enc);
+      EXPECT_TRUE(back.is_inline());  // both backends encode in <= 32 bytes
+    }
+    // u64-derived scalars round-trip too (the tally/count path).
+    for (const std::uint64_t v : {0ULL, 1ULL, 0xffffffffULL, 1ULL << 60}) {
+      const crypto::scalar k = group->scalar_from_u64(v);
+      EXPECT_EQ(group->encode_scalar(group->decode_scalar(group->encode_scalar(k))),
+                group->encode_scalar(k));
+    }
+  }
+}
+
+TEST(FuzzTest, ScalarDecodeRejectsInvalidEncodings) {
+  rng r{321};
+  for (const auto backend :
+       {crypto::group_backend::toy, crypto::group_backend::p256}) {
+    const auto group = crypto::make_group(backend);
+    const std::size_t width = backend == crypto::group_backend::toy ? 8 : 32;
+    // Wrong lengths must throw, never truncate or pad.
+    for (const std::size_t len : {std::size_t{0}, width - 1, width + 1,
+                                  std::size_t{64}}) {
+      byte_buffer junk(len, 0x01);
+      EXPECT_THROW((void)group->decode_scalar(junk), precondition_error)
+          << "length " << len;
+    }
+    // Values at or above the group order must be rejected: all-0xff is
+    // always >= the order for both backends.
+    byte_buffer max_bytes(width, 0xff);
+    EXPECT_THROW((void)group->decode_scalar(max_bytes), precondition_error);
+    // Random out-of-range-or-valid inputs must never crash.
+    for (int trial = 0; trial < 200; ++trial) {
+      byte_buffer bytes(width);
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(r.below(256));
+      expect_graceful([&] { (void)group->decode_scalar(bytes); });
+    }
+  }
+}
+
+TEST(FuzzTest, ScalarSmallBufferAndHeapStorageBehaveIdentically) {
+  rng r{555};
+  // The inline buffer covers every canonical backend width (8 and 32); the
+  // heap path exists for hypothetical wider backends. Both must hold the
+  // bytes faithfully across copies, moves, and overwrites.
+  for (const std::size_t len :
+       {std::size_t{1}, std::size_t{8}, std::size_t{32},  // inline
+        std::size_t{33}, std::size_t{48}, std::size_t{64}}) {  // heap
+    byte_buffer bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(r.below(256));
+    const crypto::scalar k = crypto::scalar_test_access::make(bytes);
+    ASSERT_TRUE(k.valid());
+    EXPECT_EQ(k.is_inline(), len <= 32);
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), k.bytes().begin(),
+                           k.bytes().end()));
+
+    crypto::scalar copy = k;  // copies view the same canonical bytes
+    crypto::scalar moved = std::move(copy);
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), moved.bytes().begin(),
+                           moved.bytes().end()));
+
+    crypto::scalar overwritten = crypto::scalar_test_access::make(bytes);
+    overwritten = crypto::scalar_test_access::make(byte_buffer(5, 0xee));
+    EXPECT_EQ(overwritten.bytes().size(), 5u);
+    EXPECT_TRUE(overwritten.is_inline());
+  }
+  EXPECT_FALSE(crypto::scalar{}.valid());
 }
 
 TEST(FuzzTest, ElgamalCiphertextDecodeBounds) {

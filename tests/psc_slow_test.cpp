@@ -1,0 +1,75 @@
+// Big-bin end-to-end PSC round at paper-like scale, kept behind the ctest
+// [slow] label (CMake labels every *_slow_test target): CI always runs it,
+// the fast dev loop (`ctest -LE slow`) skips it. Everything here goes
+// through the pooled batch engine — table init, mix, decrypt, and the
+// tally-server batched final decode — at a bin count where the batch paths
+// actually dominate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include "src/net/inproc.h"
+#include "src/psc/deployment.h"
+#include "src/psc/estimator.h"
+#include "src/tor/network.h"
+#include "src/util/check.h"
+
+namespace tormet::psc {
+namespace {
+
+TEST(PscSlowRoundTest, BigBinRoundWithPaperNoiseParameters) {
+  tor::consensus_params params;
+  params.num_relays = 200;
+  params.seed = 29;
+  tor::network net{tor::make_synthetic_consensus(params), 19};
+  const auto guards = net.net().eligible(tor::position::guard);
+  ASSERT_GE(guards.size(), 3u);
+
+  net::inproc_net bus;
+  deployment_config cfg;
+  cfg.num_computation_parties = 3;
+  cfg.measured_relays.assign(guards.begin(), guards.begin() + 3);
+  cfg.round.bins = 1 << 16;
+  cfg.round.group = crypto::group_backend::toy;
+  cfg.round.noise_enabled = true;
+  // The paper's unique-IP bound (4 new IPs/day) at production-grade privacy.
+  cfg.round.sensitivity = 4.0;
+  cfg.round.privacy = {0.3, 1e-6};
+  cfg.worker_threads = 4;
+  deployment dep{bus, cfg};
+  dep.set_extractor([](const tor::event& ev) -> std::optional<std::string> {
+    if (const auto* c = std::get_if<tor::entry_connection_event>(&ev.body)) {
+      return std::to_string(c->client_ip);
+    }
+    return std::nullopt;
+  });
+  dep.attach(net);
+
+  constexpr std::size_t k_items = 8000;
+  const round_outcome out = dep.run_round([&] {
+    for (std::size_t i = 0; i < k_items; ++i) {
+      tor::client_profile p;
+      p.ip = static_cast<std::uint32_t>(100000 + i);
+      p.promiscuous = true;  // every measured relay sees every IP
+      const tor::client_id c = net.add_client(p);
+      net.connect_to_guards(c, sim_time{0});
+    }
+  });
+
+  EXPECT_GT(out.total_noise_bits, 10000u);  // paper-strength noise really ran
+  // raw_count = occupied bins + Binomial(T, 1/2); the estimator removes the
+  // T/2 offset and inverts collisions. At 2^16 bins and 8000 items the
+  // occupancy correction is small, so the estimate should sit close to the
+  // truth: within 6 combined standard deviations (occupancy + noise).
+  const double t = static_cast<double>(out.total_noise_bits);
+  const double sigma =
+      std::sqrt(static_cast<double>(k_items) + t / 4.0);
+  EXPECT_NEAR(out.estimate.cardinality, static_cast<double>(k_items),
+              6.0 * sigma / (1.0 - static_cast<double>(k_items) /
+                                       static_cast<double>(cfg.round.bins)));
+}
+
+}  // namespace
+}  // namespace tormet::psc
