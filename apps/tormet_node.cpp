@@ -1,0 +1,65 @@
+// tormet_node: runs exactly one role (PSC TS/CP/DC or PrivCount TS/SK/DC)
+// of a distributed deployment, as described by a shared plan file.
+//
+//   tormet_node --config <plan.cfg> --node <id>
+//
+// The process serves its role's protocol messages over TCP and exits 0
+// once the round's explicit DONE/ACK completion handshake finishes. The
+// tally-server role additionally writes the serialized tally to the plan's
+// tally path. Exits non-zero (with a message on stderr) on config,
+// protocol, or transport failures.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/cli/deployment_plan.h"
+#include "src/cli/node_runner.h"
+#include "src/util/logging.h"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: tormet_node --config <plan.cfg> --node <id> [--verbose]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  long node = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--node" && i + 1 < argc) {
+      const char* value = argv[++i];
+      char* end = nullptr;
+      node = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || node < 0) {
+        std::cerr << "tormet_node: --node expects a numeric id, got '" << value
+                  << "'\n";
+        return 2;
+      }
+    } else if (arg == "--verbose") {
+      tormet::set_log_level(tormet::log_level::info);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (config_path.empty() || node < 0) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const tormet::cli::deployment_plan plan = tormet::cli::load_plan(config_path);
+    const tormet::cli::node_result result = tormet::cli::run_node(
+        plan, static_cast<tormet::net::node_id>(node));
+    if (!result.tally.empty()) std::cout << result.tally;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "tormet_node (node " << node << "): " << e.what() << "\n";
+    return 1;
+  }
+}

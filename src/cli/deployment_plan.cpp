@@ -1,0 +1,297 @@
+#include "src/cli/deployment_plan.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace tormet::cli {
+
+namespace {
+
+constexpr std::string_view k_magic = "tormet-plan-v1";
+
+[[nodiscard]] std::string_view backend_name(crypto::group_backend b) {
+  return b == crypto::group_backend::toy ? "toy" : "p256";
+}
+
+[[nodiscard]] crypto::group_backend parse_backend(std::string_view s) {
+  if (s == "toy") return crypto::group_backend::toy;
+  if (s == "p256") return crypto::group_backend::p256;
+  throw precondition_error{"unknown group backend: " + std::string{s}};
+}
+
+}  // namespace
+
+std::string_view role_name(node_role role) {
+  switch (role) {
+    case node_role::psc_ts: return "psc_ts";
+    case node_role::psc_cp: return "psc_cp";
+    case node_role::psc_dc: return "psc_dc";
+    case node_role::privcount_ts: return "privcount_ts";
+    case node_role::privcount_sk: return "privcount_sk";
+    case node_role::privcount_dc: return "privcount_dc";
+  }
+  throw invariant_error{"unhandled node_role"};
+}
+
+node_role parse_role(std::string_view name) {
+  for (const auto role :
+       {node_role::psc_ts, node_role::psc_cp, node_role::psc_dc,
+        node_role::privcount_ts, node_role::privcount_sk,
+        node_role::privcount_dc}) {
+    if (role_name(role) == name) return role;
+  }
+  throw precondition_error{"unknown node role: " + std::string{name}};
+}
+
+const node_spec& deployment_plan::node(net::node_id id) const {
+  for (const auto& n : nodes) {
+    if (n.id == id) return n;
+  }
+  throw precondition_error{"plan has no node " + std::to_string(id)};
+}
+
+std::vector<net::node_id> deployment_plan::ids_with(node_role role) const {
+  std::vector<net::node_id> out;
+  for (const auto& n : nodes) {
+    if (n.role == role) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::map<net::node_id, net::tcp_endpoint> deployment_plan::endpoints() const {
+  std::map<net::node_id, net::tcp_endpoint> out;
+  for (const auto& n : nodes) out[n.id] = net::tcp_endpoint{n.host, n.port};
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+net::node_id deployment_plan::tally_server_id() const {
+  for (const auto& n : nodes) {
+    if (n.role == node_role::psc_ts || n.role == node_role::privcount_ts) {
+      return n.id;
+    }
+  }
+  throw precondition_error{"plan has no tally-server node"};
+}
+
+std::string serialize_plan(const deployment_plan& plan) {
+  std::ostringstream out;
+  out << k_magic << "\n";
+  out << "protocol " << plan.protocol << "\n";
+  out << "seed " << plan.rng_seed << "\n";
+  out << "round_deadline_ms " << plan.round_deadline_ms << "\n";
+  out << "tally " << plan.tally_path << "\n";
+  out << "items_per_dc " << plan.items_per_dc << "\n";
+  out << "shared_items " << plan.shared_items << "\n";
+  out << "bins " << plan.round.bins << "\n";
+  out << "sensitivity " << format_double(plan.round.sensitivity) << "\n";
+  out << "epsilon " << format_double(plan.privacy.epsilon) << "\n";
+  out << "delta " << format_double(plan.privacy.delta) << "\n";
+  out << "psc_epsilon " << format_double(plan.round.privacy.epsilon) << "\n";
+  out << "psc_delta " << format_double(plan.round.privacy.delta) << "\n";
+  out << "group " << backend_name(plan.round.group) << "\n";
+  out << "noise_constant " << format_double(plan.round.noise_constant) << "\n";
+  out << "psc_noise " << (plan.round.noise_enabled ? "on" : "off") << "\n";
+  out << "privcount_noise " << (plan.privcount_noise_enabled ? "on" : "off")
+      << "\n";
+  for (const auto& c : plan.counters) {
+    out << "counter " << c.name << " " << format_double(c.sensitivity) << " "
+        << format_double(c.expected_value) << "\n";
+  }
+  for (const auto& n : plan.nodes) {
+    out << "node " << n.id << " " << role_name(n.role) << " " << n.host << " "
+        << n.port << "\n";
+  }
+  return out.str();
+}
+
+deployment_plan parse_plan(std::string_view text) {
+  deployment_plan plan;
+  plan.nodes.clear();
+  plan.counters.clear();
+
+  std::istringstream in{std::string{text}};
+  std::string line;
+  int line_no = 0;
+  bool saw_magic = false;
+  const auto fail = [&](const std::string& why) {
+    throw precondition_error{"plan line " + std::to_string(line_no) + ": " + why};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_magic) {
+      if (line != k_magic) fail("expected header '" + std::string{k_magic} + "'");
+      saw_magic = true;
+      continue;
+    }
+    std::istringstream ls{line};
+    std::string key;
+    ls >> key;
+    const auto want = [&](bool ok) {
+      if (!ok || ls.fail()) fail("malformed '" + key + "' entry");
+    };
+    if (key == "protocol") {
+      ls >> plan.protocol;
+      want(plan.protocol == "psc" || plan.protocol == "privcount");
+    } else if (key == "seed") {
+      ls >> plan.rng_seed;
+      want(true);
+    } else if (key == "round_deadline_ms") {
+      ls >> plan.round_deadline_ms;
+      want(plan.round_deadline_ms > 0);
+    } else if (key == "tally") {
+      // Rest of the line: tally paths may contain spaces (e.g. a TMPDIR
+      // under "My Files"); all other values are single tokens.
+      std::getline(ls >> std::ws, plan.tally_path);
+      want(!plan.tally_path.empty());
+    } else if (key == "items_per_dc") {
+      ls >> plan.items_per_dc;
+      want(true);
+    } else if (key == "shared_items") {
+      ls >> plan.shared_items;
+      want(true);
+    } else if (key == "bins") {
+      ls >> plan.round.bins;
+      want(plan.round.bins >= 2);
+    } else if (key == "sensitivity") {
+      ls >> plan.round.sensitivity;
+      want(true);
+    } else if (key == "epsilon") {
+      ls >> plan.privacy.epsilon;
+      want(true);
+    } else if (key == "delta") {
+      ls >> plan.privacy.delta;
+      want(true);
+    } else if (key == "psc_epsilon") {
+      ls >> plan.round.privacy.epsilon;
+      want(true);
+    } else if (key == "psc_delta") {
+      ls >> plan.round.privacy.delta;
+      want(true);
+    } else if (key == "group") {
+      std::string name;
+      ls >> name;
+      want(!name.empty());
+      plan.round.group = parse_backend(name);
+    } else if (key == "noise_constant") {
+      ls >> plan.round.noise_constant;
+      want(true);
+    } else if (key == "psc_noise" || key == "privcount_noise") {
+      std::string v;
+      ls >> v;
+      want(v == "on" || v == "off");
+      (key == "psc_noise" ? plan.round.noise_enabled
+                          : plan.privcount_noise_enabled) = v == "on";
+    } else if (key == "counter") {
+      privcount::counter_spec c;
+      ls >> c.name >> c.sensitivity >> c.expected_value;
+      want(!c.name.empty());
+      plan.counters.push_back(std::move(c));
+    } else if (key == "node") {
+      node_spec n;
+      std::string role;
+      unsigned port = 0;
+      ls >> n.id >> role >> n.host >> port;
+      want(!role.empty() && !n.host.empty() && port <= 0xffff);
+      n.role = parse_role(role);
+      n.port = static_cast<std::uint16_t>(port);
+      plan.nodes.push_back(std::move(n));
+    } else {
+      fail("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_magic) throw precondition_error{"plan: missing header"};
+  expects(!plan.nodes.empty(), "plan has no nodes");
+  // Hand-written configs are the point of the text format — turn the two
+  // easiest mistakes into parse errors instead of 15-second "destination
+  // unreachable" transport failures at run time.
+  std::set<net::node_id> ids;
+  for (const auto& n : plan.nodes) {
+    if (n.port == 0) {
+      throw precondition_error{"plan: node " + std::to_string(n.id) +
+                               " has port 0 (every node needs a listen port)"};
+    }
+    if (!ids.insert(n.id).second) {
+      throw precondition_error{"plan: duplicate node id " + std::to_string(n.id)};
+    }
+  }
+  return plan;
+}
+
+deployment_plan load_plan(const std::string& path) {
+  std::ifstream in{path};
+  expects(in.good(), "cannot open plan file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_plan(buf.str());
+}
+
+void save_plan(const deployment_plan& plan, const std::string& path) {
+  std::ofstream out{path, std::ios::trunc};
+  expects(out.good(), "cannot write plan file");
+  out << serialize_plan(plan);
+  expects(out.good(), "short write on plan file");
+}
+
+std::vector<std::string> items_for_dc(const deployment_plan& plan,
+                                      net::node_id id) {
+  std::vector<std::string> items;
+  items.reserve(plan.items_per_dc + plan.shared_items);
+  for (std::uint64_t j = 0; j < plan.items_per_dc; ++j) {
+    items.push_back("dc" + std::to_string(id) + "-item-" + std::to_string(j));
+  }
+  for (std::uint64_t j = 0; j < plan.shared_items; ++j) {
+    items.push_back("shared-item-" + std::to_string(j));
+  }
+  return items;
+}
+
+deployment_plan make_psc_plan(std::size_t dcs, std::size_t cps,
+                              std::uint64_t bins) {
+  expects(dcs >= 1 && cps >= 1, "PSC needs at least one DC and one CP");
+  deployment_plan plan;
+  plan.protocol = "psc";
+  plan.round.bins = bins;
+  net::node_id next = 0;
+  plan.nodes.push_back({next++, node_role::psc_ts, "127.0.0.1", 0});
+  for (std::size_t i = 0; i < cps; ++i) {
+    plan.nodes.push_back({next++, node_role::psc_cp, "127.0.0.1", 0});
+  }
+  for (std::size_t i = 0; i < dcs; ++i) {
+    plan.nodes.push_back({next++, node_role::psc_dc, "127.0.0.1", 0});
+  }
+  return plan;
+}
+
+deployment_plan make_privcount_plan(
+    std::size_t dcs, std::size_t sks,
+    std::vector<privcount::counter_spec> counters) {
+  expects(dcs >= 1 && sks >= 1, "PrivCount needs at least one DC and one SK");
+  expects(!counters.empty(), "PrivCount round needs counters");
+  deployment_plan plan;
+  plan.protocol = "privcount";
+  plan.counters = std::move(counters);
+  net::node_id next = 0;
+  plan.nodes.push_back({next++, node_role::privcount_ts, "127.0.0.1", 0});
+  for (std::size_t i = 0; i < sks; ++i) {
+    plan.nodes.push_back({next++, node_role::privcount_sk, "127.0.0.1", 0});
+  }
+  for (std::size_t i = 0; i < dcs; ++i) {
+    plan.nodes.push_back({next++, node_role::privcount_dc, "127.0.0.1", 0});
+  }
+  return plan;
+}
+
+}  // namespace tormet::cli

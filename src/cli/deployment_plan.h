@@ -1,0 +1,112 @@
+// Serializable description of one distributed deployment: the node topology
+// (id, role, listen address), protocol parameters, deployment seed,
+// synthetic collection workload, and the tally output path. A plan file is
+// the single source of truth shared by every tormet_node process in a
+// round AND by the in-process reference round the orchestrator checks
+// byte-identity against — both sides derive per-node RNG streams, DC item
+// sets, and role wiring from the same plan.
+//
+// The on-disk format is line-based text (`key value...`, '#' comments),
+// chosen over an ad-hoc binary blob so operators can write configs by hand
+// (see README "Running a distributed deployment"). Doubles are printed
+// with round-trip precision, so serialize -> parse is lossless.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/tcp.h"
+#include "src/privcount/counter.h"
+#include "src/psc/tally_server.h"
+
+namespace tormet::cli {
+
+enum class node_role : std::uint8_t {
+  psc_ts,
+  psc_cp,
+  psc_dc,
+  privcount_ts,
+  privcount_sk,
+  privcount_dc,
+};
+
+[[nodiscard]] std::string_view role_name(node_role role);
+/// Throws precondition_error on an unknown role string.
+[[nodiscard]] node_role parse_role(std::string_view name);
+
+struct node_spec {
+  net::node_id id = 0;
+  node_role role = node_role::psc_dc;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct deployment_plan {
+  /// "psc" (unique-count round) or "privcount" (counter round).
+  std::string protocol = "psc";
+  std::vector<node_spec> nodes;
+  /// Deployment seed; node RNG streams derive from (seed, node id).
+  std::uint64_t rng_seed = 3141;
+
+  // -- PSC round parameters ------------------------------------------------
+  psc::round_params round{};
+
+  // -- PrivCount round parameters ------------------------------------------
+  dp::privacy_params privacy{};
+  bool privcount_noise_enabled = true;
+  std::vector<privcount::counter_spec> counters;
+
+  // -- Synthetic collection workload ---------------------------------------
+  /// Each PSC DC inserts `items_per_dc` items unique to it plus
+  /// `shared_items` items inserted by every DC (exercising the union
+  /// semantics of the oblivious tables). See items_for_dc().
+  std::uint64_t items_per_dc = 0;
+  std::uint64_t shared_items = 0;
+
+  /// Where the tally-server process writes the round's serialized tally.
+  std::string tally_path = "tally.out";
+  /// Per-phase run_until deadline for every node.
+  int round_deadline_ms = 120'000;
+
+  [[nodiscard]] const node_spec& node(net::node_id id) const;
+  [[nodiscard]] std::vector<net::node_id> ids_with(node_role role) const;
+  /// The transport peer map (every node's listen address).
+  [[nodiscard]] std::map<net::node_id, net::tcp_endpoint> endpoints() const;
+  /// The plan's single tally-server node (psc_ts or privcount_ts).
+  [[nodiscard]] net::node_id tally_server_id() const;
+};
+
+/// Round-trip-exact double formatting (%.17g) shared by the plan and
+/// tally serializers — the distributed byte-identity checks depend on
+/// every writer printing doubles identically.
+[[nodiscard]] std::string format_double(double v);
+
+[[nodiscard]] std::string serialize_plan(const deployment_plan& plan);
+/// Parses a serialized plan; throws precondition_error with a line-numbered
+/// message on malformed input. Round-trips serialize_plan exactly.
+[[nodiscard]] deployment_plan parse_plan(std::string_view text);
+
+[[nodiscard]] deployment_plan load_plan(const std::string& path);
+void save_plan(const deployment_plan& plan, const std::string& path);
+
+/// Deterministic synthetic workload for one PSC DC: `items_per_dc` items
+/// unique to the node plus `shared_items` common ones. Pure function of the
+/// plan and the node id, so node processes and the in-process reference
+/// round insert identical item streams.
+[[nodiscard]] std::vector<std::string> items_for_dc(const deployment_plan& plan,
+                                                    net::node_id id);
+
+/// Builds a small PSC deployment plan: TS node 0, CPs 1..cps, DCs after
+/// (ports are left 0 — the orchestrator assigns free ones).
+[[nodiscard]] deployment_plan make_psc_plan(std::size_t dcs, std::size_t cps,
+                                            std::uint64_t bins);
+
+/// Builds a PrivCount plan: TS node 0, SKs 1..sks, DCs after.
+[[nodiscard]] deployment_plan make_privcount_plan(
+    std::size_t dcs, std::size_t sks,
+    std::vector<privcount::counter_spec> counters);
+
+}  // namespace tormet::cli

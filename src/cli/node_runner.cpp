@@ -1,0 +1,211 @@
+#include "src/cli/node_runner.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/crypto/secure_rng.h"
+#include "src/privcount/data_collector.h"
+#include "src/privcount/share_keeper.h"
+#include "src/privcount/tally_server.h"
+#include "src/psc/computation_party.h"
+#include "src/psc/data_collector.h"
+#include "src/psc/estimator.h"
+#include "src/psc/tally_server.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace tormet::cli {
+
+namespace {
+
+/// Sends ROUND_DONE to every peer and blocks until each replied ROUND_ACK.
+void finish_round_as_ts(net::tcp_net& net, const deployment_plan& plan,
+                        net::node_id self, std::size_t& acks) {
+  std::size_t expected = 0;
+  for (const auto& n : plan.nodes) {
+    if (n.id == self) continue;
+    ++expected;
+    net.send(net::message{self, n.id,
+                          static_cast<std::uint16_t>(ctl_msg::round_done),
+                          {}});
+  }
+  net.run_until([&] { return acks >= expected; }, plan.round_deadline_ms);
+  net.flush_sends();
+}
+
+/// Serves a non-TS role until the TS's ROUND_DONE arrives, then acks and
+/// flushes. `handle` processes protocol messages.
+void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
+                      net::node_id self, net::node_id ts_id,
+                      const std::function<void(const net::message&)>& handle) {
+  bool done = false;
+  net.register_node(self, [&](const net::message& m) {
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::round_done)) {
+      net.send(net::message{self, ts_id,
+                            static_cast<std::uint16_t>(ctl_msg::round_ack),
+                            {}});
+      done = true;
+      return;
+    }
+    handle(m);
+  });
+  net.run_until([&] { return done; }, plan.round_deadline_ms);
+  net.flush_sends();
+}
+
+[[nodiscard]] node_result run_psc_ts(net::tcp_net& net,
+                                     const deployment_plan& plan,
+                                     net::node_id self) {
+  psc::tally_server ts{self, net, plan.ids_with(node_role::psc_dc),
+                       plan.ids_with(node_role::psc_cp)};
+  std::size_t acks = 0;
+  net.register_node(self, [&](const net::message& m) {
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::round_ack)) {
+      ++acks;
+      return;
+    }
+    ts.handle_message(m);
+  });
+
+  ts.begin_round(plan.round);
+  net.run_until([&] { return ts.setup_complete(); }, plan.round_deadline_ms);
+  // DCs insert their plan-derived items immediately after handling
+  // dc_configure; per-channel FIFO guarantees the report request below is
+  // processed only after that.
+  ts.request_reports();
+  net.run_until([&] { return ts.result_ready(); }, plan.round_deadline_ms);
+
+  node_result out;
+  out.tally =
+      serialize_psc_tally(ts.raw_count(), ts.params().bins, ts.total_noise_bits());
+  write_file_atomic(plan.tally_path, out.tally);
+  finish_round_as_ts(net, plan, self, acks);
+  return out;
+}
+
+[[nodiscard]] node_result run_privcount_ts(net::tcp_net& net,
+                                           const deployment_plan& plan,
+                                           net::node_id self) {
+  const std::vector<net::node_id> dc_ids = plan.ids_with(node_role::privcount_dc);
+  privcount::tally_server ts{self, net, dc_ids,
+                             plan.ids_with(node_role::privcount_sk)};
+  ts.set_noise_enabled(plan.privcount_noise_enabled);
+  std::size_t acks = 0;
+  net.register_node(self, [&](const net::message& m) {
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::round_ack)) {
+      ++acks;
+      return;
+    }
+    ts.handle_message(m);
+  });
+
+  ts.begin_round(plan.counters, plan.privacy);
+  net.run_until([&] { return ts.all_dcs_ready(); }, plan.round_deadline_ms);
+  ts.start_collection();
+  // Distributed rounds measure a zero workload: the tally is noise +
+  // blinding only, which the per-node RNG derivation makes deterministic.
+  ts.stop_collection();
+  net.run_until([&] { return ts.reporting_dcs().size() == dc_ids.size(); },
+                plan.round_deadline_ms);
+  ts.request_reveal();
+  net.run_until([&] { return ts.results_ready(); }, plan.round_deadline_ms);
+
+  node_result out;
+  out.tally = serialize_privcount_tally(ts.results());
+  write_file_atomic(plan.tally_path, out.tally);
+  finish_round_as_ts(net, plan, self, acks);
+  return out;
+}
+
+}  // namespace
+
+node_result run_node(const deployment_plan& plan, net::node_id self) {
+  const node_spec& spec = plan.node(self);
+  net::tcp_net net{plan.endpoints()};
+  crypto::deterministic_rng rng = crypto::make_node_rng(plan.rng_seed, self);
+  const net::node_id ts_id = plan.tally_server_id();
+
+  switch (spec.role) {
+    case node_role::psc_ts:
+      return run_psc_ts(net, plan, self);
+    case node_role::privcount_ts:
+      return run_privcount_ts(net, plan, self);
+
+    case node_role::psc_cp: {
+      psc::computation_party cp{self, ts_id, net, rng};
+      serve_until_done(net, plan, self, ts_id,
+                       [&](const net::message& m) { cp.handle_message(m); });
+      return {};
+    }
+    case node_role::psc_dc: {
+      psc::data_collector dc{self, ts_id, net, rng};
+      serve_until_done(net, plan, self, ts_id, [&](const net::message& m) {
+        dc.handle_message(m);
+        if (m.type == static_cast<std::uint16_t>(psc::msg_type::dc_configure)) {
+          // Collection phase: the synthetic workload is part of the plan,
+          // so every process (and the in-process reference round) inserts
+          // the identical item stream.
+          for (const std::string& item : items_for_dc(plan, self)) {
+            dc.insert_item(item);
+          }
+        }
+      });
+      return {};
+    }
+    case node_role::privcount_sk: {
+      privcount::share_keeper sk{self, ts_id, net};
+      serve_until_done(net, plan, self, ts_id,
+                       [&](const net::message& m) { sk.handle_message(m); });
+      return {};
+    }
+    case node_role::privcount_dc: {
+      privcount::data_collector dc{self, ts_id, net, rng};
+      serve_until_done(net, plan, self, ts_id,
+                       [&](const net::message& m) { dc.handle_message(m); });
+      return {};
+    }
+  }
+  throw invariant_error{"unhandled node role"};
+}
+
+std::string serialize_psc_tally(std::uint64_t raw_count, std::uint64_t bins,
+                                std::uint64_t total_noise_bits) {
+  const psc::cardinality_estimate est =
+      psc::estimate_cardinality(raw_count, bins, total_noise_bits);
+  std::ostringstream out;
+  out << "tormet-tally-v1\n";
+  out << "protocol psc\n";
+  out << "raw_count " << raw_count << "\n";
+  out << "bins " << bins << "\n";
+  out << "noise_bits " << total_noise_bits << "\n";
+  out << "estimate " << format_double(est.cardinality) << "\n";
+  return out.str();
+}
+
+std::string serialize_privcount_tally(
+    const std::vector<privcount::counter_result>& results) {
+  std::ostringstream out;
+  out << "tormet-tally-v1\n";
+  out << "protocol privcount\n";
+  for (const auto& r : results) {
+    out << "counter " << r.name << " " << r.value << " " << format_double(r.sigma)
+        << "\n";
+  }
+  return out.str();
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc | std::ios::binary};
+    expects(out.good(), "cannot open tally temp file");
+    out << content;
+    out.flush();
+    expects(out.good(), "short write on tally temp file");
+  }
+  expects(std::rename(tmp.c_str(), path.c_str()) == 0,
+          "atomic rename of tally file failed");
+}
+
+}  // namespace tormet::cli

@@ -1,0 +1,58 @@
+// Single-role node entry points for distributed deployments. A
+// tormet_node process calls run_node() with a deployment plan and its own
+// node id; the function builds the distributed TCP fabric, instantiates
+// exactly one protocol role (PSC TS/CP/DC or PrivCount TS/SK/DC) with a
+// per-node RNG derived from (plan seed, node id), drives the round with
+// explicit run_until(predicate) phases, and participates in the
+// deterministic completion handshake:
+//
+//   TS: ... round finishes ... -> writes the tally file
+//       -> ROUND_DONE to every peer -> waits for every ROUND_ACK -> exits
+//   peer: serves protocol messages until ROUND_DONE
+//       -> ROUND_ACK to the TS -> flushes sends -> exits
+//
+// Completion is therefore explicit per node — no idle-timeout quiescence
+// heuristic anywhere in the distributed path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cli/deployment_plan.h"
+#include "src/privcount/counter.h"
+
+namespace tormet::cli {
+
+/// Round-completion control messages (outside the protocol msg_type
+/// ranges: PSC uses 32..39, PrivCount 1..8).
+enum class ctl_msg : std::uint16_t {
+  round_done = 240,  // TS -> peer: round is over, acknowledge and exit
+  round_ack = 241,   // peer -> TS: acknowledged; TS exits after all acks
+};
+
+struct node_result {
+  /// Serialized tally — non-empty only for tally-server roles (also
+  /// written to the plan's tally_path).
+  std::string tally;
+};
+
+/// Runs one node's role in a distributed round to completion. Throws
+/// transport_error / precondition_error on protocol or fabric failures
+/// (the tormet_node binary maps that to a non-zero exit).
+[[nodiscard]] node_result run_node(const deployment_plan& plan,
+                                   net::node_id self);
+
+/// Canonical tally serializations, byte-compared between the distributed
+/// and the in-process reference round.
+[[nodiscard]] std::string serialize_psc_tally(std::uint64_t raw_count,
+                                              std::uint64_t bins,
+                                              std::uint64_t total_noise_bits);
+[[nodiscard]] std::string serialize_privcount_tally(
+    const std::vector<privcount::counter_result>& results);
+
+/// Writes `content` to `path` atomically (temp file + rename), so a
+/// watcher never observes a half-written tally.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace tormet::cli

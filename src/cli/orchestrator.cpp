@@ -1,0 +1,244 @@
+#include "src/cli/orchestrator.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/cli/node_runner.h"
+#include "src/net/inproc.h"
+#include "src/privcount/deployment.h"
+#include "src/psc/deployment.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace tormet::cli {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Verifies the plan follows the canonical node-id layout the in-process
+/// deployments assign (TS=0, middle nodes 1..m, DCs m+1..m+n) so the
+/// reference round's wiring matches the distributed one exactly.
+void check_canonical_layout(const deployment_plan& plan, node_role mid,
+                            node_role dc) {
+  expects(plan.tally_server_id() == 0, "plan must place the TS at node id 0");
+  const std::vector<net::node_id> mids = plan.ids_with(mid);
+  const std::vector<net::node_id> dcs = plan.ids_with(dc);
+  expects(!mids.empty() && !dcs.empty(), "plan is missing CP/SK or DC nodes");
+  for (std::size_t i = 0; i < mids.size(); ++i) {
+    expects(mids[i] == 1 + i, "CP/SK node ids must be 1..m in order");
+  }
+  for (std::size_t i = 0; i < dcs.size(); ++i) {
+    expects(dcs[i] == 1 + mids.size() + i, "DC node ids must follow the CPs/SKs");
+  }
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  expects(in.good(), "cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+void assign_free_ports(deployment_plan& plan) {
+  // Keep every probe socket open until all ports are chosen, so the kernel
+  // cannot hand the same ephemeral port out twice within one call.
+  std::vector<int> probes;
+  for (auto& n : plan.nodes) {
+    if (n.port != 0) continue;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    expects(fd >= 0, "socket() for port probing failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    socklen_t len = sizeof addr;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      ::close(fd);
+      throw net::transport_error{"port probing failed"};
+    }
+    n.port = ntohs(addr.sin_port);
+    probes.push_back(fd);
+  }
+  for (const int fd : probes) ::close(fd);
+}
+
+std::string run_reference_round(const deployment_plan& plan) {
+  net::inproc_net bus;
+  if (plan.protocol == "psc") {
+    check_canonical_layout(plan, node_role::psc_cp, node_role::psc_dc);
+    const std::vector<net::node_id> dc_ids = plan.ids_with(node_role::psc_dc);
+    psc::deployment_config cfg;
+    cfg.num_computation_parties = plan.ids_with(node_role::psc_cp).size();
+    cfg.measured_relays.resize(dc_ids.size());
+    for (std::size_t i = 0; i < dc_ids.size(); ++i) {
+      cfg.measured_relays[i] = static_cast<tor::relay_id>(i);  // placeholders
+    }
+    cfg.round = plan.round;
+    cfg.rng_seed = plan.rng_seed;
+    psc::deployment dep{bus, cfg};
+    const psc::round_outcome out = dep.run_round([&] {
+      for (std::size_t i = 0; i < dc_ids.size(); ++i) {
+        for (const std::string& item : items_for_dc(plan, dc_ids[i])) {
+          dep.dc_at(i).insert_item(item);
+        }
+      }
+    });
+    return serialize_psc_tally(out.raw_count, out.bins, out.total_noise_bits);
+  }
+
+  expects(plan.protocol == "privcount", "unknown protocol in plan");
+  check_canonical_layout(plan, node_role::privcount_sk, node_role::privcount_dc);
+  privcount::deployment_config cfg;
+  cfg.num_share_keepers = plan.ids_with(node_role::privcount_sk).size();
+  cfg.measured_relays.resize(plan.ids_with(node_role::privcount_dc).size());
+  for (std::size_t i = 0; i < cfg.measured_relays.size(); ++i) {
+    cfg.measured_relays[i] = static_cast<tor::relay_id>(i);
+  }
+  cfg.privacy = plan.privacy;
+  cfg.noise_enabled = plan.privcount_noise_enabled;
+  cfg.rng_seed = plan.rng_seed;
+  privcount::deployment dep{bus, cfg};
+  const std::vector<privcount::counter_result> results =
+      dep.run_round(plan.counters, [] {});
+  return serialize_privcount_tally(results);
+}
+
+distributed_round_result run_distributed_round(const deployment_plan& plan,
+                                               const std::string& node_binary,
+                                               const std::string& workdir,
+                                               int timeout_ms) {
+  expects(!node_binary.empty(), "node binary path is empty");
+  expects(::access(node_binary.c_str(), X_OK) == 0,
+          "node binary is not executable");
+  expects(!plan.tally_path.empty(), "plan needs a tally path");
+
+  const std::string plan_path = workdir + "/plan.cfg";
+  save_plan(plan, plan_path);
+
+  struct child {
+    net::node_id id = 0;
+    pid_t pid = -1;
+    int exit_code = -1;
+    bool exited = false;
+  };
+  std::vector<child> children;
+  children.reserve(plan.nodes.size());
+
+  for (const auto& n : plan.nodes) {
+    const std::string log_path =
+        workdir + "/node-" + std::to_string(n.id) + ".log";
+    const std::string node_arg = std::to_string(n.id);
+    const pid_t pid = ::fork();
+    expects(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Child: redirect stdout+stderr to the per-node log, then exec.
+      // Only async-signal-safe calls below (the parent is multi-threaded).
+      const int log_fd =
+          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (log_fd >= 0) {
+        ::dup2(log_fd, STDOUT_FILENO);
+        ::dup2(log_fd, STDERR_FILENO);
+        if (log_fd > STDERR_FILENO) ::close(log_fd);
+      }
+      const char* argv[] = {node_binary.c_str(), "--config", plan_path.c_str(),
+                            "--node", node_arg.c_str(), nullptr};
+      ::execv(node_binary.c_str(), const_cast<char* const*>(argv));
+      ::_exit(127);
+    }
+    children.push_back({n.id, pid, -1, false});
+  }
+
+  const auto kill_all = [&] {
+    for (auto& c : children) {
+      if (!c.exited) ::kill(c.pid, SIGKILL);
+    }
+    for (auto& c : children) {
+      if (!c.exited) {
+        int status = 0;
+        ::waitpid(c.pid, &status, 0);
+        c.exited = true;
+      }
+    }
+  };
+
+  const auto deadline = clock::now() + std::chrono::milliseconds{timeout_ms};
+  bool failed = false;
+  for (;;) {
+    std::size_t running = 0;
+    for (auto& c : children) {
+      if (c.exited) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(c.pid, &status, WNOHANG);
+      if (r == c.pid) {
+        c.exited = true;
+        c.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        if (c.exit_code != 0) failed = true;
+      } else {
+        ++running;
+      }
+    }
+    if (failed) {
+      kill_all();
+      throw net::transport_error{
+          "distributed round: a node process failed (see node-*.log under " +
+          workdir + ")"};
+    }
+    if (running == 0) break;
+    if (clock::now() >= deadline) {
+      kill_all();
+      throw net::transport_error{
+          "distributed round: timeout after " + std::to_string(timeout_ms) +
+          " ms (see node-*.log under " + workdir + ")"};
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  }
+
+  distributed_round_result out;
+  for (const auto& c : children) out.nodes.push_back({c.id, c.exit_code});
+  out.tally = read_file(plan.tally_path);
+  return out;
+}
+
+std::string make_round_workdir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = std::string{tmp != nullptr ? tmp : "/tmp"} +
+                     "/tormet-round-XXXXXX";
+  std::vector<char> buf{tmpl.begin(), tmpl.end()};
+  buf.push_back('\0');
+  expects(::mkdtemp(buf.data()) != nullptr, "mkdtemp failed");
+  return std::string{buf.data()};
+}
+
+std::string sibling_node_binary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path{buf};
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "";
+  path = path.substr(0, slash) + "/tormet_node";
+  return ::access(path.c_str(), X_OK) == 0 ? path : "";
+}
+
+}  // namespace tormet::cli

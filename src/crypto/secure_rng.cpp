@@ -37,6 +37,27 @@ void system_rng::fill(std::span<std::uint8_t> out) {
   }
 }
 
+sha256_digest derive_node_seed(std::uint64_t deployment_seed,
+                               std::uint32_t node_id) {
+  sha256_hasher h;
+  h.update("tormet.node-rng.v1");
+  std::uint8_t buf[12];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(deployment_seed >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf[8 + i] = static_cast<std::uint8_t>(node_id >> (8 * i));
+  }
+  h.update(byte_view{buf, sizeof buf});
+  return h.finish();
+}
+
+deterministic_rng make_node_rng(std::uint64_t deployment_seed,
+                                std::uint32_t node_id) {
+  const sha256_digest d = derive_node_seed(deployment_seed, node_id);
+  return deterministic_rng{byte_view{d.data(), d.size()}};
+}
+
 deterministic_rng::deterministic_rng(byte_view seed) {
   key_ = sha256(seed);
 }

@@ -33,6 +33,23 @@ class system_rng final : public secure_rng {
   void fill(std::span<std::uint8_t> out) override;
 };
 
+/// Deterministic per-node RNG seed: a pure function of (deployment seed,
+/// node id). Deployments give every node its own stream derived this way,
+/// so an in-process round and a multi-process distributed round draw
+/// identical randomness per node regardless of how message delivery
+/// interleaves across nodes — the property the distributed byte-identical
+/// tally check rests on.
+[[nodiscard]] sha256_digest derive_node_seed(std::uint64_t deployment_seed,
+                                             std::uint32_t node_id);
+
+class deterministic_rng;
+/// The node's deterministic stream, seeded via derive_node_seed. Single
+/// factory shared by the in-process deployments and the distributed node
+/// runner — the byte-identity guarantee requires every construction site
+/// to frame the seed identically.
+[[nodiscard]] deterministic_rng make_node_rng(std::uint64_t deployment_seed,
+                                              std::uint32_t node_id);
+
 /// Deterministic generator: HMAC-SHA256 in counter mode keyed by a seed.
 /// NIST-DRBG-shaped (not certified); used for reproducible protocol runs in
 /// tests, simulations, and benches.

@@ -1,59 +1,105 @@
 #include "src/net/tcp.h"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 #include "src/net/wire.h"
 #include "src/util/check.h"
+#include "src/util/logging.h"
 
 namespace tormet::net {
 
 namespace {
 
+using clock = std::chrono::steady_clock;
+
+constexpr std::uint8_t k_flag_final = 0x01;  // last chunk of a message
+
+/// Protocol-level chunk bound: receivers accept chunks up to this size
+/// regardless of their own max_chunk_bytes, so two fabrics configured
+/// with different chunk sizes still interoperate (the sender's chunking
+/// granularity is a sender-side choice; the receiver only enforces the
+/// reassembled-message bound).
+constexpr std::size_t k_max_chunk_wire = 16u << 20;
+
+/// Resend attempts per message before the writer declares the channel
+/// broken. Transient failures (peer restart, dropped link) succeed on the
+/// first or second retry; a peer that *keeps* rejecting our frames would
+/// otherwise loop reconnect-and-resend forever.
+constexpr int k_max_write_attempts = 8;
+
 void throw_errno(const char* what) {
-  throw std::runtime_error{std::string{what} + ": " + std::strerror(errno)};
+  throw transport_error{std::string{what} + ": " + std::strerror(errno)};
 }
 
-/// Writes exactly `data.size()` bytes (retrying on short writes / EINTR).
-void write_all(int fd, byte_view data) {
+/// Writes exactly `data.size()` bytes; returns false on a broken connection.
+bool write_all(int fd, byte_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("send");
+      return false;
     }
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
-/// Reads exactly `out.size()` bytes; returns false on orderly EOF at a
-/// frame boundary (and throws mid-frame).
+/// Reads exactly `out.size()` bytes; returns false on EOF/reset.
 bool read_all(int fd, std::span<std::uint8_t> out) {
   std::size_t got = 0;
   while (got < out.size()) {
     const ssize_t n = ::recv(fd, out.data() + got, out.size() - got, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // connection reset — treat as EOF
-    }
-    if (n == 0) {
-      if (got == 0) return false;
-      throw wire_error{"connection closed mid-frame"};
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
     }
     got += static_cast<std::size_t>(n);
   }
   return true;
 }
 
-constexpr std::size_t k_max_frame = 64u << 20;  // 64 MiB sanity bound
+[[nodiscard]] byte_buffer encode_body(const message& msg) {
+  wire_writer w;
+  w.write_u32(msg.from);
+  w.write_u32(msg.to);
+  w.write_u16(msg.type);
+  w.write_bytes(msg.payload);
+  return w.take();
+}
+
+[[nodiscard]] message decode_body(byte_view body) {
+  wire_reader r{body};
+  message msg;
+  msg.from = r.read_u32();
+  msg.to = r.read_u32();
+  msg.type = r.read_u16();
+  msg.payload = r.read_bytes();
+  r.expect_end();
+  return msg;
+}
+
+/// Approximate fabric bytes one queued message occupies (for backpressure).
+[[nodiscard]] std::size_t queue_cost(const message& msg) noexcept {
+  return msg.payload.size() + 64;
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace
 
@@ -63,22 +109,54 @@ struct tcp_net::listener {
   std::thread accept_thread;
 };
 
-tcp_net::tcp_net() = default;
-
-// Outbound connection with its own write lock, so a blocking send never
-// holds the fabric-wide mutex (reader threads need that mutex to drain the
-// socket on the other side — holding it while writing could deadlock once
-// the loopback buffer fills).
-struct tcp_net::out_connection {
-  int fd = -1;
-  std::mutex write_mutex;
+/// One outbound destination: a bounded message queue drained by a dedicated
+/// writer thread that owns the socket lifecycle (connect with retry,
+/// chunked frame writes, transparent reconnect on failure).
+struct tcp_net::channel {
+  node_id dest = 0;
+  std::mutex m;
+  std::condition_variable cv_work;   // writer: queue non-empty or stop
+  std::condition_variable cv_space;  // senders: queue fell below the limit
+  std::deque<message> queue;
+  std::size_t queued_bytes = 0;  // includes the message being written
+  bool stop = false;
+  bool broken = false;  // connect deadline exhausted: sends now fail
+  int fd = -1;          // owned by the writer thread; shutdown() by hooks
+  std::thread writer;
 };
+
+namespace {
+[[nodiscard]] tcp_options sanitize(tcp_options o) {
+  o.max_chunk_bytes = std::clamp<std::size_t>(o.max_chunk_bytes, 1, k_max_chunk_wire);
+  // A zero queue limit would make the very first send() block forever
+  // (0 < 0 never holds); every failure mode here must stay deadline-bounded.
+  o.send_queue_limit_bytes = std::max<std::size_t>(o.send_queue_limit_bytes, 1);
+  return o;
+}
+}  // namespace
+
+tcp_net::tcp_net() : tcp_net(tcp_options{}) {}
+
+tcp_net::tcp_net(tcp_options opts)
+    : opts_{sanitize(opts)}, peers_{}, distributed_{false} {}
+
+tcp_net::tcp_net(std::map<node_id, tcp_endpoint> peers, tcp_options opts)
+    : opts_{sanitize(opts)}, peers_{std::move(peers)}, distributed_{true} {
+  expects(!peers_.empty(), "distributed fabric needs a peer map");
+}
 
 void tcp_net::register_node(node_id id, message_handler handler) {
   expects(handler != nullptr, "handler must be callable");
   std::lock_guard lock{mutex_};
   handlers_[id] = std::move(handler);
   if (listeners_.contains(id)) return;
+
+  std::uint16_t want_port = 0;
+  if (distributed_) {
+    const auto it = peers_.find(id);
+    expects(it != peers_.end(), "registered node missing from the peer map");
+    want_port = it->second.port;
+  }
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
@@ -87,13 +165,13 @@ void tcp_net::register_node(node_id id, message_handler handler) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(distributed_ ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(want_port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     ::close(fd);
     throw_errno("bind");
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, 64) != 0) {
     ::close(fd);
     throw_errno("listen");
   }
@@ -106,45 +184,70 @@ void tcp_net::register_node(node_id id, message_handler handler) {
   auto lst = std::make_unique<listener>();
   lst->fd = fd;
   lst->port = ntohs(addr.sin_port);
-  lst->accept_thread = std::thread{[this, fd] {
-    for (;;) {
-      const int conn = ::accept(fd, nullptr, nullptr);
-      if (conn < 0) {
-        if (errno == EINTR) continue;
-        return;  // listener closed — shut down
-      }
-      std::lock_guard guard{mutex_};
-      if (stopping_) {
-        ::close(conn);
-        return;
-      }
-      reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
-    }
-  }};
+  lst->accept_thread = std::thread{[this, fd] { accept_loop(fd); }};
   listeners_[id] = std::move(lst);
 }
 
-void tcp_net::reader_loop(int fd) {
+void tcp_net::accept_loop(int listen_fd) {
   for (;;) {
-    std::uint8_t header[4];
-    if (!read_all(fd, header)) break;
-    std::uint32_t frame_len = 0;
-    for (int i = 3; i >= 0; --i) frame_len = (frame_len << 8) | header[i];
-    if (frame_len > k_max_frame) break;
-    byte_buffer frame(frame_len);
-    if (!read_all(fd, frame)) break;
-    try {
-      wire_reader r{frame};
-      message msg;
-      msg.from = r.read_u32();
-      msg.to = r.read_u32();
-      msg.type = r.read_u16();
-      msg.payload = r.read_bytes();
-      r.expect_end();
-      enqueue(std::move(msg));
-    } catch (const wire_error&) {
-      break;  // malformed peer — drop the connection
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed — shut down
     }
+    std::lock_guard lock{mutex_};
+    if (stopping_.load()) {
+      ::close(conn);
+      return;
+    }
+    {
+      std::lock_guard ilock{inbound_mutex_};
+      inbound_fds_.insert(conn);
+    }
+    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void tcp_net::reader_loop(int fd) {
+  byte_buffer assembly;
+  for (;;) {
+    std::uint8_t header[5];
+    if (!read_all(fd, header)) break;
+    const std::uint8_t flags = header[0];
+    std::uint32_t chunk_len = 0;
+    for (int i = 3; i >= 0; --i) chunk_len = (chunk_len << 8) | header[1 + i];
+    if (chunk_len > k_max_chunk_wire ||
+        assembly.size() + chunk_len > opts_.max_message_bytes) {
+      log_line{log_level::warn}
+          << "tcp_net: oversized frame from peer (" << chunk_len
+          << " B chunk); dropping connection";
+      break;
+    }
+    const std::size_t old = assembly.size();
+    assembly.resize(old + chunk_len);
+    if (!read_all(fd, std::span<std::uint8_t>{assembly}.subspan(old))) {
+      break;  // connection cut mid-frame: discard the partial assembly —
+              // the sender re-sends the whole message after reconnecting
+    }
+    if ((flags & k_flag_final) != 0) {
+      try {
+        message msg = decode_body(assembly);
+        assembly.clear();
+        messages_received_.fetch_add(1, std::memory_order_relaxed);
+        enqueue(std::move(msg));
+      } catch (const wire_error&) {
+        log_line{log_level::warn}
+            << "tcp_net: malformed message; dropping connection";
+        break;
+      }
+    }
+  }
+  {
+    // De-register before closing: once closed, the fd number can be
+    // recycled by any other thread, and the destructor must never
+    // shutdown() a stranger's descriptor.
+    std::lock_guard ilock{inbound_mutex_};
+    inbound_fds_.erase(fd);
   }
   ::close(fd);
 }
@@ -153,75 +256,353 @@ void tcp_net::enqueue(message msg) {
   {
     std::lock_guard lock{mutex_};
     inbox_.push_back(std::move(msg));
+    if (!distributed_) --in_flight_;
   }
-  queue_cv_.notify_all();
+  inbox_cv_.notify_all();
 }
 
-std::shared_ptr<tcp_net::out_connection> tcp_net::connection_to(node_id id) {
-  std::lock_guard lock{mutex_};
-  const auto cached = out_connections_.find(id);
-  if (cached != out_connections_.end()) return cached->second;
-
-  const auto lst = listeners_.find(id);
-  expects(lst != listeners_.end(), "destination node is not registered");
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket");
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(lst->second->port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    throw_errno("connect");
+tcp_endpoint tcp_net::address_of(node_id id) const {
+  if (distributed_) {
+    const auto it = peers_.find(id);
+    expects(it != peers_.end(), "destination node missing from the peer map");
+    return it->second;
   }
-  auto conn = std::make_shared<out_connection>();
-  conn->fd = fd;
-  out_connections_[id] = conn;
-  return conn;
+  std::lock_guard lock{mutex_};
+  const auto it = listeners_.find(id);
+  expects(it != listeners_.end(), "destination node is not registered");
+  return tcp_endpoint{"127.0.0.1", it->second->port};
+}
+
+int tcp_net::connect_with_deadline(node_id dest) {
+  const tcp_endpoint ep = address_of(dest);
+  const auto deadline =
+      clock::now() + std::chrono::milliseconds{opts_.connect_deadline_ms};
+  for (;;) {
+    if (stopping_.load()) return -1;
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string port_str = std::to_string(ep.port);
+    if (::getaddrinfo(ep.host.c_str(), port_str.c_str(), &hints, &res) == 0) {
+      for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          ::freeaddrinfo(res);
+          return fd;
+        }
+        ::close(fd);
+      }
+      ::freeaddrinfo(res);
+    }
+    if (clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds{opts_.connect_retry_ms});
+  }
+}
+
+std::shared_ptr<tcp_net::channel> tcp_net::channel_to(node_id id) {
+  std::lock_guard lock{mutex_};
+  expects(!stopping_.load(), "send on a stopping fabric");
+  const auto cached = channels_.find(id);
+  if (cached != channels_.end()) return cached->second;
+
+  if (distributed_) {
+    expects(peers_.contains(id), "destination node missing from the peer map");
+  } else {
+    expects(listeners_.contains(id), "destination node is not registered");
+  }
+
+  auto ch = std::make_shared<channel>();
+  ch->dest = id;
+  ch->writer = std::thread{[this, ch] { writer_loop(ch); }};
+  channels_[id] = ch;
+  return ch;
+}
+
+void tcp_net::writer_loop(const std::shared_ptr<channel>& ch) {
+  for (;;) {
+    message cur;
+    std::size_t cur_cost = 0;
+    {
+      std::unique_lock lk{ch->m};
+      ch->cv_work.wait(lk, [&] { return ch->stop || !ch->queue.empty(); });
+      if (ch->stop) break;
+      cur = std::move(ch->queue.front());
+      ch->queue.pop_front();
+      cur_cost = queue_cost(cur);
+      // queued_bytes keeps counting `cur` until it is fully on the wire, so
+      // backpressure covers the in-flight message too.
+    }
+
+    const byte_buffer body = encode_body(cur);
+    bool written = false;
+    bool gave_up = false;
+    int attempts = 0;
+    while (!written && !gave_up) {
+      if (++attempts > k_max_write_attempts) {
+        gave_up = true;  // peer keeps cutting us off — stop resending
+        break;
+      }
+      int fd;
+      {
+        std::lock_guard lk{ch->m};
+        if (ch->stop) {
+          gave_up = true;
+          break;
+        }
+        fd = ch->fd;
+      }
+      if (fd < 0) {
+        fd = connect_with_deadline(ch->dest);
+        if (fd < 0) {
+          gave_up = true;  // connect deadline exhausted (or stopping)
+          break;
+        }
+        std::lock_guard lk{ch->m};
+        if (ch->stop) {
+          ::close(fd);
+          gave_up = true;
+          break;
+        }
+        ch->fd = fd;
+      }
+
+      // Chunked, length-prefixed framing: ([u8 flags][u32 len le][bytes])*.
+      written = true;
+      std::size_t off = 0;
+      do {
+        const std::size_t chunk = std::min(opts_.max_chunk_bytes, body.size() - off);
+        const bool final_chunk = off + chunk == body.size();
+        std::uint8_t header[5];
+        header[0] = final_chunk ? k_flag_final : 0;
+        for (int i = 0; i < 4; ++i) {
+          header[1 + i] = static_cast<std::uint8_t>(chunk >> (8 * i));
+        }
+        if (!write_all(fd, header) ||
+            !write_all(fd, byte_view{body}.subspan(off, chunk))) {
+          written = false;
+          break;
+        }
+        chunks_sent_.fetch_add(1, std::memory_order_relaxed);
+        off += chunk;
+      } while (off < body.size());
+
+      if (!written) {
+        // Broken mid-stream: drop the socket and resend the whole message
+        // on a fresh connection (the receiver discards partial assemblies).
+        ::close(fd);
+        std::lock_guard lk{ch->m};
+        if (ch->fd == fd) ch->fd = -1;
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    if (written) {
+      {
+        std::lock_guard lk{ch->m};
+        ch->queued_bytes -= cur_cost;
+      }
+      ch->cv_space.notify_all();
+      if (distributed_) {
+        // Distributed run_until_quiescent() watches channel queues drain.
+        // The empty critical section orders this notify after a waiter
+        // that just inspected the queues has reached wait_until, so the
+        // drain is never missed.
+        { std::lock_guard lock{mutex_}; }
+        inbox_cv_.notify_all();
+      }
+      continue;
+    }
+
+    // Gave up on `cur` (stop or unreachable peer): drain and account.
+    std::size_t dropped = 1;
+    bool was_stop = false;
+    {
+      std::lock_guard lk{ch->m};
+      was_stop = ch->stop;
+      ch->broken = !was_stop;
+      dropped += ch->queue.size();
+      ch->queued_bytes = 0;
+      ch->queue.clear();
+    }
+    ch->cv_space.notify_all();
+    {
+      std::lock_guard lock{mutex_};
+      if (!distributed_) in_flight_ -= static_cast<std::int64_t>(dropped);
+    }
+    inbox_cv_.notify_all();
+    if (was_stop) break;
+    log_line{log_level::warn}
+        << "tcp_net: destination " << ch->dest
+        << " unreachable past the connect deadline; dropped " << dropped
+        << " queued message(s)";
+    // Channel stays alive (broken) to reject later sends until shutdown.
+  }
+
+  // Stopping: drop whatever remains queued and release the socket.
+  std::size_t dropped = 0;
+  {
+    std::lock_guard lk{ch->m};
+    dropped = ch->queue.size();
+    ch->queue.clear();
+    ch->queued_bytes = 0;
+    if (ch->fd >= 0) {
+      ::close(ch->fd);
+      ch->fd = -1;
+    }
+  }
+  ch->cv_space.notify_all();
+  {
+    std::lock_guard lock{mutex_};
+    if (!distributed_) in_flight_ -= static_cast<std::int64_t>(dropped);
+  }
+  inbox_cv_.notify_all();
 }
 
 void tcp_net::send(message msg) {
-  wire_writer w;
-  w.write_u32(msg.from);
-  w.write_u32(msg.to);
-  w.write_u16(msg.type);
-  w.write_bytes(msg.payload);
-  const byte_buffer body = w.take();
+  // Fail oversized messages at the sender instead of letting the receiver
+  // reject the frame as malformed (which would read as a link failure).
+  if (queue_cost(msg) > opts_.max_message_bytes) {
+    throw transport_error{"send: message exceeds max_message_bytes"};
+  }
+  const std::shared_ptr<channel> ch = channel_to(msg.to);
 
-  byte_buffer frame;
-  frame.reserve(4 + body.size());
-  const auto len = static_cast<std::uint32_t>(body.size());
-  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
-  frame.insert(frame.end(), body.begin(), body.end());
+  if (!distributed_) {
+    std::lock_guard lock{mutex_};
+    ++in_flight_;
+  }
 
-  const std::shared_ptr<out_connection> conn = connection_to(msg.to);
-  std::lock_guard write_lock{conn->write_mutex};
-  write_all(conn->fd, frame);
+  bool rejected = false;
+  {
+    std::unique_lock lk{ch->m};
+    ch->cv_space.wait(lk, [&] {
+      return ch->stop || ch->broken ||
+             ch->queued_bytes < opts_.send_queue_limit_bytes;
+    });
+    if (ch->stop || ch->broken) {
+      rejected = true;
+    } else {
+      ch->queued_bytes += queue_cost(msg);
+      atomic_max(peak_queue_bytes_, ch->queued_bytes);
+      ch->queue.push_back(std::move(msg));
+    }
+  }
+  if (rejected) {
+    if (!distributed_) {
+      std::lock_guard lock{mutex_};
+      --in_flight_;
+    }
+    inbox_cv_.notify_all();
+    throw transport_error{"send: destination channel is broken or stopping"};
+  }
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  ch->cv_work.notify_all();
 }
 
 std::size_t tcp_net::run_until_quiescent() {
+  const auto deadline =
+      clock::now() + std::chrono::milliseconds{opts_.quiescence_deadline_ms};
   std::size_t delivered = 0;
   std::unique_lock lock{mutex_};
   for (;;) {
-    if (inbox_.empty()) {
-      const bool got = queue_cv_.wait_for(
-          lock, std::chrono::milliseconds{idle_timeout_ms_},
-          [this] { return !inbox_.empty(); });
-      if (!got) return delivered;  // idle window elapsed — quiescent
+    if (!inbox_.empty()) {
+      message msg = std::move(inbox_.front());
+      inbox_.pop_front();
+      const auto it = handlers_.find(msg.to);
+      message_handler handler = it != handlers_.end() ? it->second : nullptr;
+      lock.unlock();
+      if (handler) {
+        handler(msg);
+        ++delivered;
+      }
+      lock.lock();
+      continue;
     }
-    message msg = std::move(inbox_.front());
-    inbox_.pop_front();
-    const auto it = handlers_.find(msg.to);
-    if (it == handlers_.end()) continue;
-    message_handler handler = it->second;
-    lock.unlock();  // handlers may send(), which needs the mutex
-    handler(msg);
-    ++delivered;
-    lock.lock();
+    if (distributed_) {
+      // Local-only semantics: drain the inbox and flush our own sends.
+      // Global quiescence cannot be observed from one process — the round
+      // protocols use run_until(predicate) + explicit DONE/ACK instead.
+      std::vector<std::shared_ptr<channel>> chs;
+      chs.reserve(channels_.size());
+      for (const auto& [id, c] : channels_) chs.push_back(c);
+      lock.unlock();
+      bool idle = true;
+      for (const auto& c : chs) {
+        std::lock_guard lk{c->m};
+        if (c->queued_bytes != 0) idle = false;
+      }
+      lock.lock();
+      if (idle && inbox_.empty()) return delivered;
+    } else if (in_flight_ == 0) {
+      // Exact: every message ever sent has landed in the inbox (and the
+      // inbox is empty) — nothing queued, in a socket buffer, or in a
+      // reader thread. No idle-timeout guessing.
+      return delivered;
+    }
+    if (inbox_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        inbox_.empty()) {
+      if (!distributed_ && in_flight_ == 0) return delivered;
+      throw transport_error{
+          "run_until_quiescent: fabric failed to reach quiescence before the "
+          "deadline (wedged peer or lost frames)"};
+    }
+  }
+}
+
+void tcp_net::run_until(const std::function<bool()>& done, int deadline_ms) {
+  expects(done != nullptr, "run_until needs a completion predicate");
+  const auto deadline = clock::now() + std::chrono::milliseconds{deadline_ms};
+  if (done()) return;
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    if (!inbox_.empty()) {
+      message msg = std::move(inbox_.front());
+      inbox_.pop_front();
+      const auto it = handlers_.find(msg.to);
+      message_handler handler = it != handlers_.end() ? it->second : nullptr;
+      lock.unlock();
+      if (handler) handler(msg);
+      if (done()) return;
+      lock.lock();
+      continue;
+    }
+    // Wait in slices and re-evaluate the predicate each wakeup: it may be
+    // flipped by state outside this fabric's handlers (another fabric's
+    // delivery thread, a signal flag), not only by a message arriving here.
+    const auto slice = std::min<clock::duration>(
+        std::chrono::milliseconds{50}, deadline - clock::now());
+    const bool timed_out =
+        slice <= clock::duration::zero() ||
+        inbox_cv_.wait_for(lock, slice) == std::cv_status::timeout;
+    if (inbox_.empty()) {
+      lock.unlock();
+      const bool finished = done();
+      lock.lock();
+      if (finished) return;
+      if (timed_out && clock::now() >= deadline) {
+        throw transport_error{
+            "run_until: deadline expired before the completion predicate held"};
+      }
+    }
+  }
+}
+
+void tcp_net::flush_sends() {
+  std::vector<std::shared_ptr<channel>> chs;
+  {
+    std::lock_guard lock{mutex_};
+    chs.reserve(channels_.size());
+    for (const auto& [id, ch] : channels_) chs.push_back(ch);
+  }
+  for (const auto& ch : chs) {
+    std::unique_lock lk{ch->m};
+    ch->cv_space.wait(lk, [&] {
+      return ch->stop || ch->broken || ch->queued_bytes == 0;
+    });
   }
 }
 
@@ -232,21 +613,65 @@ std::uint16_t tcp_net::port_of(node_id id) const {
   return it->second->port;
 }
 
+void tcp_net::drop_connections_to(node_id id) {
+  std::shared_ptr<channel> ch;
+  {
+    std::lock_guard lock{mutex_};
+    const auto it = channels_.find(id);
+    if (it == channels_.end()) return;
+    ch = it->second;
+  }
+  std::lock_guard lk{ch->m};
+  if (ch->fd >= 0) ::shutdown(ch->fd, SHUT_RDWR);
+}
+
+tcp_stats tcp_net::stats() const {
+  tcp_stats out;
+  out.messages_sent = messages_sent_.load();
+  out.chunks_sent = chunks_sent_.load();
+  out.messages_received = messages_received_.load();
+  out.reconnects = reconnects_.load();
+  out.peak_queue_bytes = peak_queue_bytes_.load();
+  return out;
+}
+
 tcp_net::~tcp_net() {
+  stopping_.store(true);
+
+  std::vector<std::shared_ptr<channel>> chs;
   std::vector<std::thread> readers;
   {
     std::lock_guard lock{mutex_};
-    stopping_ = true;
+    chs.reserve(channels_.size());
+    for (auto& [id, ch] : channels_) chs.push_back(ch);
     for (auto& [id, lst] : listeners_) {
       ::shutdown(lst->fd, SHUT_RDWR);
       ::close(lst->fd);
     }
-    for (auto& [id, conn] : out_connections_) {
-      ::shutdown(conn->fd, SHUT_RDWR);
-      ::close(conn->fd);
-    }
     readers.swap(reader_threads_);
   }
+
+  // Stop writers first: they close their sockets (readers then see EOF).
+  for (const auto& ch : chs) {
+    {
+      std::lock_guard lk{ch->m};
+      ch->stop = true;
+      if (ch->fd >= 0) ::shutdown(ch->fd, SHUT_RDWR);
+    }
+    ch->cv_work.notify_all();
+    ch->cv_space.notify_all();
+  }
+  for (const auto& ch : chs) {
+    if (ch->writer.joinable()) ch->writer.join();
+  }
+
+  // Force-close inbound connections so readers blocked on remote peers
+  // (distributed mode) unblock too.
+  {
+    std::lock_guard ilock{inbound_mutex_};
+    for (const int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+
   for (auto& [id, lst] : listeners_) {
     if (lst->accept_thread.joinable()) lst->accept_thread.join();
   }

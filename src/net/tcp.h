@@ -1,19 +1,46 @@
-// TCP loopback transport: the same transport contract as inproc_net but over
-// real POSIX sockets with length-prefixed frames. Demonstrates that the
-// protocol layer runs over an actual network stack; a deployment across
-// machines would reuse the framing with remote addresses.
+// TCP transport: the same transport contract as inproc_net but over real
+// POSIX sockets with chunked length-prefixed framing, per-destination async
+// writer threads with bounded send queues (backpressure), and connection
+// retry with a deadline. Two modes:
 //
-// Threading model: one accept thread plus one reader thread per inbound
-// connection; received messages land in a mutex-protected queue and are
-// delivered on the thread that calls run_until_quiescent(). Handlers
-// therefore never run concurrently with each other.
+//  - Single-fabric (default ctor): every node registers against this one
+//    object; listeners bind ephemeral loopback ports. All endpoints live in
+//    this process, so quiescence is tracked *exactly* with a fabric-wide
+//    in-flight counter — run_until_quiescent() returns only when no frame
+//    is queued, in a socket buffer, or awaiting delivery (no idle-timeout
+//    heuristic).
+//
+//  - Distributed (endpoint-map ctor): one fabric per OS process; each
+//    process registers its own node(s), whose listeners bind the configured
+//    ports, and send() connects out to the mapped host:port of remote
+//    peers. Global quiescence is unknowable from one process, so protocol
+//    drivers must use run_until(predicate) plus explicit completion
+//    messages (see cli::node_runner's DONE/ACK round protocol);
+//    run_until_quiescent() only flushes local sends and drains the inbox.
+//
+// Framing: a message body (from, to, type, payload via the wire codec) is
+// split into chunks of at most max_chunk_bytes, each prefixed by a 5-byte
+// header [u8 flags][u32 chunk_len le]; flags bit0 marks the final chunk of
+// a message. Chunking bounds single write() sizes for multi-megabyte tally
+// vectors and lets a reader enforce both per-chunk and per-message size
+// limits while streaming.
+//
+// Threading model: one accept thread per listener, one reader thread per
+// inbound connection, one writer thread per outbound destination. Received
+// messages land in a mutex-protected inbox and are delivered on the thread
+// that calls run_until_quiescent()/run_until(), so handlers never run
+// concurrently with each other.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -22,46 +49,137 @@
 
 namespace tormet::net {
 
+/// Where a node listens (distributed mode).
+struct tcp_endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct tcp_options {
+  /// Maximum bytes per framed chunk (a message splits into ceil(n/chunk)
+  /// chunks).
+  std::size_t max_chunk_bytes = 256 * 1024;
+  /// Maximum reassembled message body; larger peers are dropped as
+  /// malformed.
+  std::size_t max_message_bytes = 256u << 20;
+  /// Bound on queued-but-unwritten bytes per destination; send() blocks
+  /// when the queue is full (backpressure on a slow reader).
+  std::size_t send_queue_limit_bytes = 8u << 20;
+  /// Overall deadline for establishing (or re-establishing) one outbound
+  /// connection, retried with short sleeps — peers in a distributed round
+  /// start in arbitrary order.
+  int connect_deadline_ms = 15'000;
+  int connect_retry_ms = 25;
+  /// Failure-detector bound for run_until_quiescent(): if the fabric fails
+  /// to reach exact quiescence within this window something is wedged and a
+  /// transport_error is thrown. Never causes an early *successful* return.
+  int quiescence_deadline_ms = 120'000;
+};
+
+/// Monotonic counters for tests and diagnostics.
+struct tcp_stats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t reconnects = 0;
+  /// High-water mark of any destination's queued-but-unwritten bytes.
+  std::uint64_t peak_queue_bytes = 0;
+};
+
 class tcp_net final : public transport {
  public:
+  /// Single-fabric loopback mode (ephemeral ports, exact quiescence).
   tcp_net();
+  explicit tcp_net(tcp_options opts);
+  /// Distributed mode: `peers` maps every node in the deployment to its
+  /// listen address. Nodes registered locally bind their mapped port;
+  /// sends to any node connect to its mapped address.
+  explicit tcp_net(std::map<node_id, tcp_endpoint> peers, tcp_options opts = {});
   ~tcp_net() override;
   tcp_net(const tcp_net&) = delete;
   tcp_net& operator=(const tcp_net&) = delete;
 
-  /// Binds a loopback listener for `id` and starts its accept thread.
+  /// Binds a listener for `id` (ephemeral loopback port in single-fabric
+  /// mode; the endpoint-map port in distributed mode) and starts its accept
+  /// thread.
   void register_node(node_id id, message_handler handler) override;
 
-  /// Sends over a cached loopback connection (established on first use).
+  /// Frames and enqueues `msg` on the destination's writer. Blocks while
+  /// the destination's send queue is at send_queue_limit_bytes; throws
+  /// transport_error if the destination is unreachable past the connect
+  /// deadline or the fabric is stopping.
   void send(message msg) override;
 
-  /// Delivers received messages until the fabric has been idle for
-  /// `idle_timeout_ms` (quiescence over real sockets is approximate).
+  /// Single-fabric mode: delivers until *exactly* quiescent — inbox empty
+  /// and zero frames in flight anywhere in the fabric (counter-tracked; no
+  /// idle-timeout heuristic). Distributed mode: flushes local sends and
+  /// drains the inbox (global quiescence is per-process unknowable — use
+  /// run_until). Throws transport_error after quiescence_deadline_ms.
   std::size_t run_until_quiescent() override;
 
-  /// Loopback port a node is listening on (for diagnostics/tests).
+  /// Delivers messages until `done()` holds; throws transport_error when
+  /// `deadline_ms` expires first. The predicate is evaluated after every
+  /// delivered message, so completion is explicit, never inferred from
+  /// idleness.
+  void run_until(const std::function<bool()>& done, int deadline_ms) override;
+
+  /// Blocks until every destination's send queue has drained to the wire.
+  void flush_sends();
+
+  /// Port a locally registered node is listening on.
   [[nodiscard]] std::uint16_t port_of(node_id id) const;
 
-  /// Idle window used by run_until_quiescent (default 50 ms).
-  void set_idle_timeout_ms(int ms) noexcept { idle_timeout_ms_ = ms; }
+  /// Test hook: forcibly shuts down the cached connection to `id` (as if
+  /// the link failed mid-stream). Subsequent sends transparently
+  /// reconnect; a message whose frames were cut mid-write is resent from
+  /// the start on the fresh connection (the receiver discards the partial
+  /// assembly on EOF). Caveats across a reconnect: delivery is
+  /// at-least-once for messages fully written before the cut, and FIFO
+  /// ordering can be violated in a narrow window (the old connection's
+  /// reader may still be draining a delivered message while the new
+  /// connection's reader enqueues the resend) — cross-reconnect sequence
+  /// numbers are a ROADMAP follow-up.
+  void drop_connections_to(node_id id);
+
+  [[nodiscard]] tcp_stats stats() const;
 
  private:
   struct listener;
-  struct out_connection;
+  struct channel;
 
+  void accept_loop(int listen_fd);
   void reader_loop(int fd);
   void enqueue(message msg);
-  [[nodiscard]] std::shared_ptr<out_connection> connection_to(node_id id);
+  [[nodiscard]] std::shared_ptr<channel> channel_to(node_id id);
+  void writer_loop(const std::shared_ptr<channel>& ch);
+  /// Resolves the current listen address of `id` (throws if unknown).
+  [[nodiscard]] tcp_endpoint address_of(node_id id) const;
+  [[nodiscard]] int connect_with_deadline(node_id dest);
+
+  const tcp_options opts_;
+  const std::map<node_id, tcp_endpoint> peers_;  // empty => single-fabric
+  const bool distributed_;
 
   mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;
+  std::condition_variable inbox_cv_;
   std::deque<message> inbox_;
   std::unordered_map<node_id, message_handler> handlers_;
   std::unordered_map<node_id, std::unique_ptr<listener>> listeners_;
-  std::unordered_map<node_id, std::shared_ptr<out_connection>> out_connections_;
+  std::unordered_map<node_id, std::shared_ptr<channel>> channels_;
   std::vector<std::thread> reader_threads_;
-  int idle_timeout_ms_ = 50;
-  bool stopping_ = false;
+  /// Messages sent minus messages landed in the inbox (single-fabric mode
+  /// only): exact in-flight count for quiescence. Guarded by mutex_.
+  std::int64_t in_flight_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex inbound_mutex_;
+  std::set<int> inbound_fds_;  // open accepted connections (for shutdown)
+
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> chunks_sent_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> peak_queue_bytes_{0};
 };
 
 }  // namespace tormet::net

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 
 #include "src/util/bytes.h"
 
@@ -14,6 +15,14 @@ namespace tormet::net {
 
 /// Endpoint identifier within one deployment (assigned by configuration).
 using node_id = std::uint32_t;
+
+/// Thrown on transport-level failures: connect deadline exhausted, a
+/// run_until/quiescence deadline expiring, or sending through a broken
+/// fabric. Distinct from wire_error (malformed frames from a peer).
+class transport_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A routed protocol message.
 struct message {
@@ -42,6 +51,24 @@ class transport {
   /// Delivers queued messages until quiescent (no messages in flight).
   /// Returns the number of messages delivered.
   virtual std::size_t run_until_quiescent() = 0;
+
+  /// Delivers messages until `done()` returns true. This is the explicit
+  /// completion primitive for protocol phases: the caller names the state
+  /// it is waiting for instead of inferring completion from fabric idleness.
+  /// Throws transport_error if `deadline_ms` elapses with the predicate
+  /// still false. The default implementation (exact for the synchronous
+  /// in-process bus) drains the fabric and re-checks the predicate.
+  virtual void run_until(const std::function<bool()>& done, int deadline_ms) {
+    (void)deadline_ms;
+    for (int pass = 0; pass < 2; ++pass) {
+      if (done()) return;
+      run_until_quiescent();
+    }
+    if (!done()) {
+      throw transport_error{
+          "run_until: fabric quiescent but completion predicate is false"};
+    }
+  }
 };
 
 }  // namespace tormet::net

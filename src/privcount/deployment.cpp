@@ -5,7 +5,7 @@
 namespace tormet::privcount {
 
 deployment::deployment(net::transport& transport, const deployment_config& config)
-    : transport_{transport}, config_{config}, rng_{config.rng_seed} {
+    : transport_{transport}, config_{config} {
   expects(!config_.measured_relays.empty(), "deployment needs measured relays");
   expects(config_.num_share_keepers >= 1, "deployment needs a share keeper");
 
@@ -38,7 +38,12 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
   }
 
   for (std::size_t i = 0; i < config_.measured_relays.size(); ++i) {
-    auto dc = std::make_unique<data_collector>(dc_ids[i], ts_id, transport_, rng_);
+    // Per-node stream: deterministic in (seed, node id) only, so the same
+    // seed reproduces identical noise/blinding in a distributed round.
+    node_rngs_.push_back(std::make_unique<crypto::deterministic_rng>(
+        crypto::make_node_rng(config_.rng_seed, dc_ids[i])));
+    auto dc = std::make_unique<data_collector>(dc_ids[i], ts_id, transport_,
+                                               *node_rngs_.back());
     data_collector* raw = dc.get();
     transport_.register_node(dc_ids[i],
                              [raw](const net::message& m) { raw->handle_message(m); });

@@ -25,7 +25,10 @@ struct deployment_config {
   std::vector<tor::relay_id> measured_relays;
   dp::privacy_params privacy{};
   bool noise_enabled = true;
-  std::uint64_t rng_seed = 2718;  // deterministic DC noise/blinding in tests
+  /// Deployment seed. Each DC draws from its own stream derived as
+  /// crypto::derive_node_seed(rng_seed, node_id), so noise/blinding are
+  /// identical in-process and across a distributed multi-process round.
+  std::uint64_t rng_seed = 2718;
   /// Workers in the TS's combine thread pool (0 = inline). Only worth > 0
   /// for per-domain/per-country censuses with 10^5+ counters; results are
   /// identical either way.
@@ -59,7 +62,8 @@ class deployment {
  private:
   net::transport& transport_;
   deployment_config config_;
-  crypto::deterministic_rng rng_;
+  /// One RNG per DC node, seeded via crypto::derive_node_seed.
+  std::vector<std::unique_ptr<crypto::deterministic_rng>> node_rngs_;
   std::shared_ptr<util::thread_pool> pool_;
   std::unique_ptr<tally_server> ts_;
   std::vector<std::unique_ptr<share_keeper>> sks_;

@@ -16,11 +16,51 @@ void share_keeper::handle_message(const net::message& msg) {
       round_id_ = m.round_id;
       n_counters_ = m.counter_names.size();
       shares_by_dc_.clear();
+      pending_reveal_dcs_.clear();
+      reveal_pending_ = false;
+      // Adopt shares that raced ahead of this configure, dropping any for
+      // rounds now in the past.
+      const auto early = early_shares_.find(round_id_);
+      if (early != early_shares_.end()) {
+        for (auto& [dc, shares] : early->second) {
+          if (shares.size() == n_counters_) {
+            shares_by_dc_[dc] = std::move(shares);
+          } else {
+            log_line{log_level::warn}
+                << "SK " << self_ << ": DC " << dc
+                << " sent malformed early share vector; ignoring";
+          }
+        }
+      }
+      early_shares_.erase(early_shares_.begin(),
+                          early_shares_.upper_bound(round_id_));
       return;
     }
     case msg_type::blinding_share: {
       const blinding_share_msg m = decode_blinding_share(msg);
-      if (m.round_id != round_id_) return;  // stale round
+      if (m.round_id != round_id_) {
+        // A share for a round we have not been configured for yet (the
+        // DC's configure beat ours through the fabric): hold it until our
+        // configure arrives. Genuinely stale rounds are dropped, and the
+        // buffer is bounded — rounds advance one at a time, so anything
+        // far ahead (or flooding the buffer) is a misbehaving peer, not a
+        // race.
+        constexpr std::uint32_t k_max_rounds_ahead = 4;
+        constexpr std::size_t k_max_early_shares = 256;
+        const bool plausible = m.round_id > round_id_ &&
+                               m.round_id - round_id_ <= k_max_rounds_ahead;
+        std::size_t buffered = 0;
+        for (const auto& [round, by_dc] : early_shares_) buffered += by_dc.size();
+        if (plausible && buffered < k_max_early_shares) {
+          early_shares_[m.round_id][msg.from] = m.shares;
+        } else if (m.round_id > round_id_) {
+          log_line{log_level::warn}
+              << "SK " << self_ << ": dropping implausible early share from DC "
+              << msg.from << " (round " << m.round_id << ", current "
+              << round_id_ << ")";
+        }
+        return;
+      }
       if (m.shares.size() != n_counters_) {
         log_line{log_level::warn}
             << "SK " << self_ << ": DC " << msg.from
@@ -28,29 +68,41 @@ void share_keeper::handle_message(const net::message& msg) {
         return;
       }
       shares_by_dc_[msg.from] = m.shares;
+      maybe_reveal();  // a deferred reveal may now be satisfiable
       return;
     }
     case msg_type::sk_reveal: {
       const sk_reveal_msg m = decode_sk_reveal(msg);
       if (m.round_id != round_id_) return;
-      sk_report_msg report;
-      report.round_id = round_id_;
-      report.sums.assign(n_counters_, 0);
-      for (const auto dc : m.reporting_dcs) {
-        const auto it = shares_by_dc_.find(dc);
-        if (it == shares_by_dc_.end()) continue;  // DC never blinded with us
-        for (std::size_t i = 0; i < n_counters_; ++i) {
-          report.sums[i] += it->second[i];  // mod 2^64
-        }
-      }
-      transport_.send(encode_sk_report(self_, tally_server_, report));
-      shares_by_dc_.clear();  // forget blinds after the round
+      pending_reveal_dcs_ = m.reporting_dcs;
+      reveal_pending_ = true;
+      maybe_reveal();
       return;
     }
     default:
       log_line{log_level::warn} << "SK " << self_ << ": unexpected message type "
                                 << msg.type;
   }
+}
+
+void share_keeper::maybe_reveal() {
+  if (!reveal_pending_) return;
+  for (const auto dc : pending_reveal_dcs_) {
+    if (!shares_by_dc_.contains(dc)) return;  // share still in flight
+  }
+  sk_report_msg report;
+  report.round_id = round_id_;
+  report.sums.assign(n_counters_, 0);
+  for (const auto dc : pending_reveal_dcs_) {
+    const auto& shares = shares_by_dc_.at(dc);
+    for (std::size_t i = 0; i < n_counters_; ++i) {
+      report.sums[i] += shares[i];  // mod 2^64
+    }
+  }
+  transport_.send(encode_sk_report(self_, tally_server_, report));
+  shares_by_dc_.clear();  // forget blinds after the round
+  pending_reveal_dcs_.clear();
+  reveal_pending_ = false;
 }
 
 }  // namespace tormet::privcount

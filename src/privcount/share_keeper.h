@@ -24,6 +24,16 @@ class share_keeper {
   [[nodiscard]] net::node_id id() const noexcept { return self_; }
 
  private:
+  /// Answers the pending reveal once every named reporting DC's blinding
+  /// share has arrived. In a distributed deployment DC->SK shares and
+  /// DC->TS readiness travel on independent TCP channels, so the TS's
+  /// reveal request can overtake a share that is still in flight; revealing
+  /// immediately would publish sums whose blinds do not cancel. A DC the TS
+  /// names has reported, hence has causally sent its shares — deferring
+  /// until they arrive cannot wedge dropout recovery (dropped-out DCs are
+  /// simply never named).
+  void maybe_reveal();
+
   net::node_id self_;
   net::node_id tally_server_;
   net::transport& transport_;
@@ -32,6 +42,16 @@ class share_keeper {
   std::size_t n_counters_ = 0;
   /// Per-DC blinding vectors for the current round.
   std::map<net::node_id, std::vector<std::uint64_t>> shares_by_dc_;
+  /// Shares that arrived for a round this SK has not been configured for
+  /// yet. DC->SK shares and TS->SK configure travel on independent
+  /// channels in a distributed deployment, so a share can beat the
+  /// configure; dropping it as stale would lose it silently (and wedge
+  /// the deferred reveal). Adopted (and validated) at configure time.
+  std::map<std::uint32_t, std::map<net::node_id, std::vector<std::uint64_t>>>
+      early_shares_;
+  /// Reveal request waiting for in-flight blinding shares (empty: none).
+  std::vector<net::node_id> pending_reveal_dcs_;
+  bool reveal_pending_ = false;
 };
 
 }  // namespace tormet::privcount

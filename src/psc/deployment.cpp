@@ -5,7 +5,7 @@
 namespace tormet::psc {
 
 deployment::deployment(net::transport& transport, const deployment_config& config)
-    : transport_{transport}, config_{config}, rng_{config.rng_seed} {
+    : transport_{transport}, config_{config} {
   expects(!config_.measured_relays.empty(), "deployment needs measured relays");
   expects(config_.num_computation_parties >= 1, "deployment needs a CP");
 
@@ -29,8 +29,15 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
   transport_.register_node(ts_id,
                            [this](const net::message& m) { ts_->handle_message(m); });
 
+  // One deterministic stream per node: output is a pure function of
+  // (deployment seed, node id), never of cross-node message interleaving —
+  // this is what makes a distributed multi-process round byte-identical to
+  // the in-process one (see cli::orchestrator).
   for (const auto cp_id : cp_ids) {
-    auto cp = std::make_unique<computation_party>(cp_id, ts_id, transport_, rng_);
+    node_rngs_.push_back(std::make_unique<crypto::deterministic_rng>(
+        crypto::make_node_rng(config_.rng_seed, cp_id)));
+    auto cp = std::make_unique<computation_party>(cp_id, ts_id, transport_,
+                                                  *node_rngs_.back());
     cp->set_thread_pool(pool_);
     computation_party* raw = cp.get();
     transport_.register_node(cp_id,
@@ -39,7 +46,10 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
   }
 
   for (std::size_t i = 0; i < config_.measured_relays.size(); ++i) {
-    auto dc = std::make_unique<data_collector>(dc_ids[i], ts_id, transport_, rng_);
+    node_rngs_.push_back(std::make_unique<crypto::deterministic_rng>(
+        crypto::make_node_rng(config_.rng_seed, dc_ids[i])));
+    auto dc = std::make_unique<data_collector>(dc_ids[i], ts_id, transport_,
+                                               *node_rngs_.back());
     dc->set_thread_pool(pool_);
     data_collector* raw = dc.get();
     transport_.register_node(dc_ids[i],

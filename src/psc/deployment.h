@@ -24,6 +24,11 @@ struct deployment_config {
   std::size_t num_computation_parties = 3;
   std::vector<tor::relay_id> measured_relays;
   round_params round{};
+  /// Deployment seed. Every node draws from its own deterministic stream
+  /// derived as crypto::derive_node_seed(rng_seed, node_id), so protocol
+  /// outputs do not depend on how message delivery interleaves across
+  /// nodes — an in-process round and a distributed multi-process round
+  /// with the same seed produce identical tallies.
   std::uint64_t rng_seed = 3141;
   /// Workers in the shared crypto thread pool (0 = inline, no pool).
   /// Protocol outputs are identical for any value — batch RNG streams are
@@ -55,6 +60,10 @@ class deployment {
   round_outcome run_round(const std::function<void()>& workload);
 
   [[nodiscard]] tally_server& ts() noexcept { return *ts_; }
+  /// Direct DC access (index follows measured_relays order) for synthetic
+  /// workloads that insert items without going through a tor::network —
+  /// e.g. the orchestrator's in-process reference round.
+  [[nodiscard]] data_collector& dc_at(std::size_t i) { return *dcs_.at(i); }
   [[nodiscard]] const std::set<tor::relay_id>& measured_relays() const noexcept {
     return measured_set_;
   }
@@ -62,7 +71,8 @@ class deployment {
  private:
   net::transport& transport_;
   deployment_config config_;
-  crypto::deterministic_rng rng_;
+  /// One RNG per node (indexed by node id), seeded via derive_node_seed.
+  std::vector<std::unique_ptr<crypto::deterministic_rng>> node_rngs_;
   std::shared_ptr<util::thread_pool> pool_;
   std::unique_ptr<tally_server> ts_;
   std::vector<std::unique_ptr<computation_party>> cps_;

@@ -7,6 +7,7 @@
 #include "src/net/inproc.h"
 #include "src/net/wire.h"
 #include "src/privcount/deployment.h"
+#include "src/privcount/share_keeper.h"
 #include "src/tor/network.h"
 #include "src/util/check.h"
 
@@ -283,6 +284,62 @@ TEST(PrivcountTallyServerTest, ShardedCombineMatchesSerialOnHugeCounterVectors) 
   }
   // Spot-check the ring arithmetic itself.
   EXPECT_EQ(serial[0].value, crypto::to_signed_count(1 + ~std::uint64_t{0}));
+}
+
+// Regression tests for two message races a distributed deployment exposes
+// (DC->SK shares, TS->SK configure/reveal travel on independent TCP
+// channels, so arrival order across channels is arbitrary). Both were
+// invisible over the synchronous inproc bus.
+TEST(ShareKeeperRaceTest, RevealArrivingBeforeSharesIsDeferred) {
+  net::inproc_net bus;
+  share_keeper sk{1, 0, bus};
+  sk_report_msg got;
+  bool reported = false;
+  bus.register_node(0, [&](const net::message& m) {
+    got = decode_sk_report(m);
+    reported = true;
+  });
+
+  configure_msg cfg;
+  cfg.round_id = 1;
+  cfg.counter_names = {"a", "b"};
+  cfg.sigmas = {0.0, 0.0};
+  sk.handle_message(encode_configure(0, 1, cfg));
+  // Reveal names DCs 5 and 6, but share 6 is still "in flight": the SK
+  // must hold the reveal instead of publishing a partial (wrong) sum.
+  sk.handle_message(encode_blinding_share(5, 1, {1, {10, 20}}));
+  sk.handle_message(encode_sk_reveal(0, 1, {1, {5, 6}}));
+  bus.run_until_quiescent();
+  EXPECT_FALSE(reported);
+
+  sk.handle_message(encode_blinding_share(6, 1, {1, {1, 2}}));
+  bus.run_until_quiescent();
+  ASSERT_TRUE(reported);
+  EXPECT_EQ(got.sums, (std::vector<std::uint64_t>{11, 22}));
+}
+
+TEST(ShareKeeperRaceTest, ShareArrivingBeforeConfigureIsBuffered) {
+  net::inproc_net bus;
+  share_keeper sk{1, 0, bus};
+  sk_report_msg got;
+  bool reported = false;
+  bus.register_node(0, [&](const net::message& m) {
+    got = decode_sk_report(m);
+    reported = true;
+  });
+
+  // The DC's share for round 1 beats the SK's own configure through the
+  // fabric; it must be buffered, not dropped as stale.
+  sk.handle_message(encode_blinding_share(5, 1, {1, {7, 9}}));
+  configure_msg cfg;
+  cfg.round_id = 1;
+  cfg.counter_names = {"a", "b"};
+  cfg.sigmas = {0.0, 0.0};
+  sk.handle_message(encode_configure(0, 1, cfg));
+  sk.handle_message(encode_sk_reveal(0, 1, {1, {5}}));
+  bus.run_until_quiescent();
+  ASSERT_TRUE(reported);
+  EXPECT_EQ(got.sums, (std::vector<std::uint64_t>{7, 9}));
 }
 
 TEST(PrivcountMessagesTest, ConfigureRoundTrip) {
