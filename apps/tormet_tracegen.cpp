@@ -1,0 +1,177 @@
+// tormet_tracegen: renders the workload models into deterministic per-DC
+// event-trace files and a ready-to-run deployment plan, so every paper
+// workload can drive a real multi-process round end to end:
+//
+//   # generate: traces + plan.cfg into --out
+//   tormet_tracegen --model browsing --out /tmp/traces --dcs 4
+//   tormet_orchestrator --config /tmp/traces/plan.cfg --check-inproc
+//
+//   # feed: stream an existing trace file to a DC's event socket
+//   tormet_tracegen --feed 127.0.0.1:9100 --in /tmp/traces/dc-0.trace
+//
+// Generation is a pure function of (--model, --dcs, --scale, --events,
+// --seed): the same flags reproduce byte-identical traces anywhere. The
+// emitted plan measures the model's defaults (cli::defaults_for_model);
+// edit plan.cfg to change counters, noise, or topology.
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "src/cli/deployment_plan.h"
+#include "src/cli/workload_source.h"
+#include "src/tor/trace_socket.h"
+#include "src/workload/trace_gen.h"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: tormet_tracegen --out DIR [--model "
+         "zipf|browsing|onion|population|mixed]\n"
+         "         [--dcs N] [--scale X] [--events N] [--seed S]\n"
+         "         [--protocol psc|privcount] [--cps N] [--sks N]\n"
+         "         [--bins B] [--group toy|p256] [--port-base P] [--no-plan]\n"
+         "       tormet_tracegen --feed HOST:PORT --in TRACE_FILE\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tormet;
+
+  workload::trace_gen_params params;
+  std::string out_dir;
+  std::string feed_target;
+  std::string feed_file;
+  std::string protocol = "privcount";
+  std::size_t cps = 3, sks = 3;
+  std::uint64_t bins = 4096;
+  std::string group = "toy";
+  unsigned port_base = 7450;
+  bool write_plan = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") out_dir = next();
+    else if (arg == "--model") params.model = next();
+    else if (arg == "--dcs") params.dcs = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--scale") params.scale = std::strtod(next(), nullptr);
+    else if (arg == "--events") params.events = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--seed") params.seed = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--protocol") protocol = next();
+    else if (arg == "--cps") cps = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--sks") sks = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--bins") bins = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--group") group = next();
+    else if (arg == "--port-base") port_base = static_cast<unsigned>(
+                                       std::strtoul(next(), nullptr, 10));
+    else if (arg == "--no-plan") write_plan = false;
+    else if (arg == "--feed") feed_target = next();
+    else if (arg == "--in") feed_file = next();
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    // -- feed mode ----------------------------------------------------------
+    if (!feed_target.empty() || !feed_file.empty()) {
+      if (feed_target.empty() || feed_file.empty()) {
+        usage();
+        return 2;
+      }
+      const std::size_t colon = feed_target.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "tormet_tracegen: --feed expects HOST:PORT\n";
+        return 2;
+      }
+      const std::string host = feed_target.substr(0, colon);
+      const auto port = static_cast<std::uint16_t>(
+          std::strtoul(feed_target.c_str() + colon + 1, nullptr, 10));
+      const std::size_t sent =
+          tor::stream_trace_to_socket(host, port, feed_file);
+      std::cerr << "tormet_tracegen: streamed " << sent << " events to "
+                << feed_target << "\n";
+      return 0;
+    }
+
+    // -- generate mode ------------------------------------------------------
+    if (out_dir.empty()) {
+      usage();
+      return 2;
+    }
+    if (!workload::is_known_trace_model(params.model)) {
+      std::cerr << "tormet_tracegen: unknown model '" << params.model << "'\n";
+      return 2;
+    }
+    std::filesystem::create_directories(out_dir);
+    const std::vector<std::size_t> counts =
+        workload::write_trace_dir(params, out_dir);
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      std::cerr << "  dc-" << k << ".trace: " << counts[k] << " events\n";
+      total += counts[k];
+    }
+    std::cerr << "tormet_tracegen: model " << params.model << ", " << total
+              << " events across " << params.dcs << " DCs -> " << out_dir
+              << "\n";
+
+    if (write_plan) {
+      cli::deployment_plan plan;
+      if (protocol == "psc") {
+        plan = cli::make_psc_plan(params.dcs, cps, bins);
+        plan.round.group = group == "p256" ? crypto::group_backend::p256
+                                           : crypto::group_backend::toy;
+      } else if (protocol == "privcount") {
+        // Counters filled from the model defaults below.
+        plan.protocol = "privcount";
+        net::node_id id = 0;
+        plan.nodes.push_back(
+            {id++, cli::node_role::privcount_ts, "127.0.0.1", 0});
+        for (std::size_t s = 0; s < sks; ++s) {
+          plan.nodes.push_back(
+              {id++, cli::node_role::privcount_sk, "127.0.0.1", 0});
+        }
+        for (std::size_t d = 0; d < params.dcs; ++d) {
+          plan.nodes.push_back(
+              {id++, cli::node_role::privcount_dc, "127.0.0.1", 0});
+        }
+      } else {
+        usage();
+        return 2;
+      }
+      const cli::trace_round_defaults defaults =
+          cli::defaults_for_model(params.model);
+      plan.workload.kind = cli::workload_kind::trace;
+      plan.workload.trace_dir = std::filesystem::absolute(out_dir).string();
+      plan.psc_extractor = defaults.psc_extractor;
+      plan.instruments = defaults.instruments;
+      plan.counters = defaults.counters;
+      plan.rng_seed = params.seed;
+      plan.tally_path =
+          (std::filesystem::absolute(out_dir) / "tally.out").string();
+      for (std::size_t k = 0; k < plan.nodes.size(); ++k) {
+        plan.nodes[k].port = static_cast<std::uint16_t>(port_base + k);
+      }
+      const std::string plan_path = out_dir + "/plan.cfg";
+      cli::save_plan(plan, plan_path);
+      std::cerr << "tormet_tracegen: wrote " << plan_path << " ("
+                << plan.protocol << ", " << plan.nodes.size()
+                << " nodes, ports " << port_base << "..)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "tormet_tracegen: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,150 @@
+// Event-trace pipeline throughput: how fast measurement events move
+// through the codec and replay path that feeds distributed data
+// collectors. Stages measured over a generated mixed-model workload:
+//   encode    — event -> length-prefixed records in memory
+//   decode    — incremental event_decoder over the encoded stream
+//   file I/O  — trace_writer out + trace_reader/replay_events back in
+//   observe   — decode + full PrivCount instrument stack per event
+// The paper's deployment handled ~2 B exit streams/day network-wide
+// (~23 k events/s); per-DC ingestion has to beat its share comfortably.
+//
+// Usage: trace_replay [events] [--json]
+#include "common.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/instruments.h"
+#include "src/net/inproc.h"
+#include "src/privcount/data_collector.h"
+#include "src/privcount/messages.h"
+#include "src/tor/event_codec.h"
+#include "src/tor/trace_file.h"
+#include "src/workload/trace_gen.h"
+
+namespace {
+
+using namespace tormet;
+using clock_type = std::chrono::steady_clock;
+
+double secs_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+int run(std::uint64_t target_events, bool json) {
+  workload::trace_gen_params params;
+  params.model = "zipf";
+  params.dcs = 1;
+  params.events = target_events;
+  params.seed = 8;
+  const std::vector<tor::event> events =
+      workload::generate_trace_events(params).front();
+  const std::size_t n = events.size();
+
+  // -- encode ---------------------------------------------------------------
+  auto t0 = clock_type::now();
+  byte_buffer stream;
+  tor::append_trace_header(stream);
+  for (const tor::event& ev : events) tor::append_event_record(stream, ev);
+  const double encode_s = secs_since(t0);
+  const double mib = static_cast<double>(stream.size()) / (1 << 20);
+
+  // -- decode ---------------------------------------------------------------
+  t0 = clock_type::now();
+  tor::event_decoder decoder;
+  decoder.feed(stream);
+  std::size_t decoded = 0;
+  while (decoder.next().has_value()) ++decoded;
+  const double decode_s = secs_since(t0);
+
+  // -- file round trip ------------------------------------------------------
+  char tmpl[] = "/tmp/tormet-bench-XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  const std::string path = std::string{dir} + "/bench.trace";
+  t0 = clock_type::now();
+  {
+    tor::trace_writer writer{path};
+    for (const tor::event& ev : events) writer.write(ev);
+    writer.close();
+  }
+  const double write_s = secs_since(t0);
+  t0 = clock_type::now();
+  tor::trace_reader reader{path};
+  std::size_t replayed = 0;
+  tor::replay_events(reader, [&replayed](const tor::event&) { ++replayed; });
+  const double read_s = secs_since(t0);
+  std::remove(path.c_str());
+  rmdir(dir);
+
+  // -- observe through the full instrument stack ----------------------------
+  net::inproc_net bus;
+  crypto::deterministic_rng rng{1};
+  privcount::data_collector dc{1, 0, bus, rng};
+  for (const auto& name : core::instrument_names()) {
+    dc.add_instrument(core::instrument_by_name(name));
+  }
+  // Drive the DC into collecting state through a minimal configure+start.
+  privcount::configure_msg cfg;
+  cfg.round_id = 1;
+  for (const auto& name : core::instrument_names()) {
+    for (const auto& spec : core::default_specs_for(name)) {
+      cfg.counter_names.push_back(spec.name);
+      cfg.sigmas.push_back(0.0);
+    }
+  }
+  bus.register_node(0, [](const net::message&) {});  // absorb DC->TS sends
+  dc.handle_message(privcount::encode_configure(0, 1, cfg));
+  dc.handle_message(privcount::encode_simple(
+      0, 1, privcount::msg_type::start_collection, 1));
+  t0 = clock_type::now();
+  for (const tor::event& ev : events) dc.observe(ev);
+  const double observe_s = secs_since(t0);
+
+  if (decoded != n || replayed != n || dc.events_observed() != n) {
+    std::fprintf(stderr, "count mismatch: %zu decoded, %zu replayed\n",
+                 decoded, replayed);
+    return 1;
+  }
+
+  const auto rate = [n](double s) { return static_cast<double>(n) / s; };
+  if (json) {
+    std::printf(
+        "{\"bench\":\"trace_replay\",\"events\":%zu,\"stream_mib\":%.2f,"
+        "\"encode_eps\":%.0f,\"decode_eps\":%.0f,\"write_eps\":%.0f,"
+        "\"read_eps\":%.0f,\"observe_eps\":%.0f}\n",
+        n, mib, rate(encode_s), rate(decode_s), rate(write_s), rate(read_s),
+        rate(observe_s));
+    return 0;
+  }
+  repro_table table{"Event-trace pipeline throughput (" + std::to_string(n) +
+                    " events, " + format_count(mib) + " MiB stream)"};
+  table.add("encode", "", format_count(rate(encode_s)) + " ev/s",
+            format_count(mib / encode_s) + " MiB/s");
+  table.add("decode", "", format_count(rate(decode_s)) + " ev/s",
+            format_count(mib / decode_s) + " MiB/s");
+  table.add("file write", "", format_count(rate(write_s)) + " ev/s", "");
+  table.add("file read+replay", "", format_count(rate(read_s)) + " ev/s", "");
+  table.add("observe (3 instruments)", "",
+            format_count(rate(observe_s)) + " ev/s", "");
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t events = 200'000;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      events = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  return run(events, json);
+}

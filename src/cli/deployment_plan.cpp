@@ -1,12 +1,15 @@
 #include "src/cli/deployment_plan.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 
+#include "src/core/instruments.h"
 #include "src/util/check.h"
+#include "src/workload/trace_gen.h"
 
 namespace tormet::cli {
 
@@ -84,6 +87,16 @@ net::node_id deployment_plan::tally_server_id() const {
   throw precondition_error{"plan has no tally-server node"};
 }
 
+std::string_view workload_kind_name(workload_kind kind) {
+  switch (kind) {
+    case workload_kind::synthetic: return "synthetic";
+    case workload_kind::trace: return "trace";
+    case workload_kind::generate: return "generate";
+    case workload_kind::socket: return "socket";
+  }
+  throw invariant_error{"unhandled workload_kind"};
+}
+
 std::string serialize_plan(const deployment_plan& plan) {
   std::ostringstream out;
   out << k_magic << "\n";
@@ -91,6 +104,28 @@ std::string serialize_plan(const deployment_plan& plan) {
   out << "seed " << plan.rng_seed << "\n";
   out << "round_deadline_ms " << plan.round_deadline_ms << "\n";
   out << "tally " << plan.tally_path << "\n";
+  out << "workload " << workload_kind_name(plan.workload.kind);
+  switch (plan.workload.kind) {
+    case workload_kind::synthetic:
+      break;
+    case workload_kind::trace:
+      out << " " << plan.workload.trace_dir;
+      break;
+    case workload_kind::generate:
+      out << " " << plan.workload.model << " "
+          << format_double(plan.workload.scale) << " " << plan.workload.events
+          << " " << plan.workload.gen_seed;
+      break;
+    case workload_kind::socket:
+      out << " " << plan.workload.event_port_base;
+      break;
+  }
+  out << "\n";
+  if (plan.pace != 0.0) out << "pace " << format_double(plan.pace) << "\n";
+  out << "psc_extractor " << plan.psc_extractor << "\n";
+  for (const auto& name : plan.instruments) {
+    out << "instrument " << name << "\n";
+  }
   out << "items_per_dc " << plan.items_per_dc << "\n";
   out << "shared_items " << plan.shared_items << "\n";
   out << "bins " << plan.round.bins << "\n";
@@ -156,6 +191,46 @@ deployment_plan parse_plan(std::string_view text) {
       // under "My Files"); all other values are single tokens.
       std::getline(ls >> std::ws, plan.tally_path);
       want(!plan.tally_path.empty());
+    } else if (key == "workload") {
+      std::string kind;
+      ls >> kind;
+      if (kind == "synthetic") {
+        plan.workload = workload_spec{};
+      } else if (kind == "trace") {
+        plan.workload.kind = workload_kind::trace;
+        // Rest of the line: directories may contain spaces, like tally.
+        std::getline(ls >> std::ws, plan.workload.trace_dir);
+        want(!plan.workload.trace_dir.empty());
+      } else if (kind == "generate") {
+        plan.workload.kind = workload_kind::generate;
+        ls >> plan.workload.model >> plan.workload.scale >>
+            plan.workload.events >> plan.workload.gen_seed;
+        want(workload::is_known_trace_model(plan.workload.model) &&
+             plan.workload.scale > 0.0);
+      } else if (kind == "socket") {
+        plan.workload.kind = workload_kind::socket;
+        unsigned port = 0;
+        ls >> port;
+        want(port >= 1 && port <= 0xffff);
+        plan.workload.event_port_base = static_cast<std::uint16_t>(port);
+      } else {
+        fail("unknown workload kind '" + kind +
+             "' (expected synthetic|trace|generate|socket)");
+      }
+    } else if (key == "pace") {
+      ls >> plan.pace;
+      want(plan.pace >= 0.0);
+    } else if (key == "psc_extractor") {
+      ls >> plan.psc_extractor;
+      const auto& known = core::extractor_names();
+      want(std::find(known.begin(), known.end(), plan.psc_extractor) !=
+           known.end());
+    } else if (key == "instrument") {
+      std::string name;
+      ls >> name;
+      const auto& known = core::instrument_names();
+      want(std::find(known.begin(), known.end(), name) != known.end());
+      plan.instruments.push_back(std::move(name));
     } else if (key == "items_per_dc") {
       ls >> plan.items_per_dc;
       want(true);
@@ -214,10 +289,12 @@ deployment_plan parse_plan(std::string_view text) {
   }
   if (!saw_magic) throw precondition_error{"plan: missing header"};
   expects(!plan.nodes.empty(), "plan has no nodes");
-  // Hand-written configs are the point of the text format — turn the two
+  // Hand-written configs are the point of the text format — turn the
   // easiest mistakes into parse errors instead of 15-second "destination
-  // unreachable" transport failures at run time.
+  // unreachable" transport failures (or silent empty rounds) at run time.
   std::set<net::node_id> ids;
+  std::size_t ts_count = 0;
+  std::size_t dc_count = 0;
   for (const auto& n : plan.nodes) {
     if (n.port == 0) {
       throw precondition_error{"plan: node " + std::to_string(n.id) +
@@ -226,6 +303,33 @@ deployment_plan parse_plan(std::string_view text) {
     if (!ids.insert(n.id).second) {
       throw precondition_error{"plan: duplicate node id " + std::to_string(n.id)};
     }
+    if (n.role == node_role::psc_ts || n.role == node_role::privcount_ts) {
+      ++ts_count;
+    }
+    if (n.role == node_role::psc_dc || n.role == node_role::privcount_dc) {
+      ++dc_count;
+    }
+  }
+  if (ts_count != 1) {
+    throw precondition_error{
+        "plan: needs exactly one tally-server node, has " +
+        std::to_string(ts_count)};
+  }
+  if (plan.protocol == "privcount" && plan.counters.empty()) {
+    throw precondition_error{
+        "plan: a privcount round needs at least one counter line"};
+  }
+  if (plan.protocol == "privcount" &&
+      plan.workload.kind != workload_kind::synthetic &&
+      plan.instruments.empty()) {
+    throw precondition_error{
+        "plan: an event workload needs at least one instrument line "
+        "(privcount DCs would count nothing)"};
+  }
+  if (plan.workload.kind == workload_kind::socket &&
+      plan.workload.event_port_base + dc_count > 0x10000u) {
+    throw precondition_error{
+        "plan: socket workload port range exceeds 65535"};
   }
   return plan;
 }
@@ -256,6 +360,19 @@ std::vector<std::string> items_for_dc(const deployment_plan& plan,
     items.push_back("shared-item-" + std::to_string(j));
   }
   return items;
+}
+
+std::size_t dc_index_of(const deployment_plan& plan, net::node_id id) {
+  std::size_t index = 0;
+  for (const auto& n : plan.nodes) {
+    if (n.role != node_role::psc_dc && n.role != node_role::privcount_dc) {
+      continue;
+    }
+    if (n.id == id) return index;
+    ++index;
+  }
+  throw precondition_error{"node " + std::to_string(id) +
+                           " is not a DC node of the plan"};
 }
 
 deployment_plan make_psc_plan(std::size_t dcs, std::size_t cps,

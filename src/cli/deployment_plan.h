@@ -1,6 +1,9 @@
 // Serializable description of one distributed deployment: the node topology
 // (id, role, listen address), protocol parameters, deployment seed,
-// synthetic collection workload, and the tally output path. A plan file is
+// collection workload (synthetic items, trace-file replay, generated event
+// streams, or socket-fed events — see workload_spec), the measurement
+// wiring (instrument/extractor names), and the tally output path. A plan
+// file is
 // the single source of truth shared by every tormet_node process in a
 // round AND by the in-process reference round the orchestrator checks
 // byte-identity against — both sides derive per-node RNG streams, DC item
@@ -44,6 +47,28 @@ struct node_spec {
   std::uint16_t port = 0;
 };
 
+/// What each DC measures during the collection phase. The synthetic kind is
+/// the original plan-derived item workload (PSC only); the other kinds feed
+/// tor::event streams through the DC's observe() pipeline:
+///   trace     — DC k replays `<trace_dir>/dc-<k>.trace` (tor::trace_reader)
+///   generate  — every process materializes workload::generate_trace_events
+///               ({model, dcs, scale, events, seed}) and DC k replays slice k
+///   socket    — DC k listens on 127.0.0.1:(event_port_base + k) and ingests
+///               a trace stream a feeder pushes (tormet_tracegen --feed)
+enum class workload_kind : std::uint8_t { synthetic, trace, generate, socket };
+
+[[nodiscard]] std::string_view workload_kind_name(workload_kind kind);
+
+struct workload_spec {
+  workload_kind kind = workload_kind::synthetic;
+  std::string trace_dir;              // kind == trace
+  std::string model = "zipf";         // kind == generate
+  double scale = 1e-4;                // generate: simulation network_scale
+  std::uint64_t events = 5'000;       // generate: zipf-model event budget
+  std::uint64_t gen_seed = 1;         // generate
+  std::uint16_t event_port_base = 0;  // kind == socket
+};
+
 struct deployment_plan {
   /// "psc" (unique-count round) or "privcount" (counter round).
   std::string protocol = "psc";
@@ -59,10 +84,22 @@ struct deployment_plan {
   bool privcount_noise_enabled = true;
   std::vector<privcount::counter_spec> counters;
 
-  // -- Synthetic collection workload ---------------------------------------
-  /// Each PSC DC inserts `items_per_dc` items unique to it plus
-  /// `shared_items` items inserted by every DC (exercising the union
-  /// semantics of the oblivious tables). See items_for_dc().
+  // -- Collection workload -------------------------------------------------
+  workload_spec workload;
+  /// PSC: which item extractor maps replayed events to distinct items
+  /// (core::extractor_by_name). Unused by synthetic workloads.
+  std::string psc_extractor = "client_ip";
+  /// PrivCount: which instruments map replayed events to counter
+  /// increments (core::instrument_by_name). Required for event workloads.
+  std::vector<std::string> instruments;
+  /// Sim-time pacing for event replay: wall-clock seconds per simulated
+  /// second (0 = replay at full speed). See tor::replay_options.
+  double pace = 0.0;
+
+  /// Synthetic workload (workload.kind == synthetic): each PSC DC inserts
+  /// `items_per_dc` items unique to it plus `shared_items` items inserted
+  /// by every DC (exercising the union semantics of the oblivious tables).
+  /// See items_for_dc().
   std::uint64_t items_per_dc = 0;
   std::uint64_t shared_items = 0;
 
@@ -98,6 +135,12 @@ void save_plan(const deployment_plan& plan, const std::string& path);
 /// round insert identical item streams.
 [[nodiscard]] std::vector<std::string> items_for_dc(const deployment_plan& plan,
                                                     net::node_id id);
+
+/// Position of a DC node among the plan's DC nodes (plan order) — the
+/// workload partition index: DC k replays trace slice k. Throws
+/// precondition_error when `id` is not a DC node of the plan.
+[[nodiscard]] std::size_t dc_index_of(const deployment_plan& plan,
+                                      net::node_id id);
 
 /// Builds a small PSC deployment plan: TS node 0, CPs 1..cps, DCs after
 /// (ports are left 0 — the orchestrator assigns free ones).

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/cli/workload_source.h"
 #include "src/crypto/secure_rng.h"
 #include "src/privcount/data_collector.h"
 #include "src/privcount/share_keeper.h"
@@ -103,8 +104,12 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
   ts.begin_round(plan.counters, plan.privacy);
   net.run_until([&] { return ts.all_dcs_ready(); }, plan.round_deadline_ms);
   ts.start_collection();
-  // Distributed rounds measure a zero workload: the tally is noise +
-  // blinding only, which the per-node RNG derivation makes deterministic.
+  // The TS can stop immediately after starting: both control messages ride
+  // the same TS->DC channel, and each DC replays its entire event workload
+  // inside the start_collection handler (see run_node), so per-channel FIFO
+  // guarantees the stop is processed only after the replay finished.
+  // Synthetic privcount rounds measure a zero workload (noise + blinding
+  // only), which the per-node RNG derivation makes deterministic.
   ts.stop_collection();
   net.run_until([&] { return ts.reporting_dcs().size() == dc_ids.size(); },
                 plan.round_deadline_ms);
@@ -140,14 +145,27 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
     }
     case node_role::psc_dc: {
       psc::data_collector dc{self, ts_id, net, rng};
+      if (is_event_workload(plan)) configure_psc_dc(plan, dc);
       serve_until_done(net, plan, self, ts_id, [&](const net::message& m) {
         dc.handle_message(m);
         if (m.type == static_cast<std::uint16_t>(psc::msg_type::dc_configure)) {
-          // Collection phase: the synthetic workload is part of the plan,
-          // so every process (and the in-process reference round) inserts
-          // the identical item stream.
-          for (const std::string& item : items_for_dc(plan, self)) {
-            dc.insert_item(item);
+          // Collection phase, run inside the configure handler: per-channel
+          // FIFO guarantees the TS's report request is processed only after
+          // the full workload landed in the oblivious table. The workload
+          // is part of the plan (synthetic items or an event stream), so
+          // every process — and the in-process reference round — feeds the
+          // identical sequence.
+          if (is_event_workload(plan)) {
+            const std::size_t replayed =
+                stream_dc_workload(plan, dc_index_of(plan, self),
+                                   [&dc](const tor::event& ev) { dc.observe(ev); });
+            log_line{log_level::info}
+                << "PSC DC " << self << ": replayed " << replayed
+                << " events, inserted " << dc.items_inserted() << " items";
+          } else {
+            for (const std::string& item : items_for_dc(plan, self)) {
+              dc.insert_item(item);
+            }
           }
         }
       });
@@ -161,8 +179,24 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
     }
     case node_role::privcount_dc: {
       privcount::data_collector dc{self, ts_id, net, rng};
-      serve_until_done(net, plan, self, ts_id,
-                       [&](const net::message& m) { dc.handle_message(m); });
+      if (is_event_workload(plan)) configure_privcount_dc(plan, dc);
+      serve_until_done(net, plan, self, ts_id, [&](const net::message& m) {
+        dc.handle_message(m);
+        if (is_event_workload(plan) &&
+            m.type ==
+                static_cast<std::uint16_t>(privcount::msg_type::start_collection)) {
+          // Collection phase: replay this DC's event slice while the DC is
+          // collecting. The TS's stop_collection rides the same channel and
+          // is processed only after this handler returns (FIFO), so the
+          // report includes every replayed event.
+          const std::size_t replayed =
+              stream_dc_workload(plan, dc_index_of(plan, self),
+                                 [&dc](const tor::event& ev) { dc.observe(ev); });
+          log_line{log_level::info}
+              << "PrivCount DC " << self << ": replayed " << replayed
+              << " events (" << dc.events_observed() << " counted)";
+        }
+      });
       return {};
     }
   }

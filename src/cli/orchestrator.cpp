@@ -17,6 +17,8 @@
 #include <thread>
 
 #include "src/cli/node_runner.h"
+#include "src/cli/workload_source.h"
+#include "src/core/instruments.h"
 #include "src/net/inproc.h"
 #include "src/privcount/deployment.h"
 #include "src/psc/deployment.h"
@@ -83,6 +85,11 @@ void assign_free_ports(deployment_plan& plan) {
 }
 
 std::string run_reference_round(const deployment_plan& plan) {
+  // Socket-fed events exist only on the wire; they cannot be re-derived
+  // from the plan, so there is nothing deterministic to check against.
+  expects(plan.workload.kind != workload_kind::socket,
+          "reference round cannot reproduce a socket-fed workload "
+          "(use a trace workload for byte-identity checks)");
   net::inproc_net bus;
   if (plan.protocol == "psc") {
     check_canonical_layout(plan, node_role::psc_cp, node_role::psc_dc);
@@ -96,7 +103,16 @@ std::string run_reference_round(const deployment_plan& plan) {
     cfg.round = plan.round;
     cfg.rng_seed = plan.rng_seed;
     psc::deployment dep{bus, cfg};
+    if (is_event_workload(plan)) {
+      dep.set_extractor(core::extractor_by_name(plan.psc_extractor));
+    }
     const psc::round_outcome out = dep.run_round([&] {
+      if (is_event_workload(plan)) {
+        stream_all_dc_workloads(plan, [&](std::size_t i, const tor::event& ev) {
+          dep.dc_at(i).observe(ev);
+        });
+        return;
+      }
       for (std::size_t i = 0; i < dc_ids.size(); ++i) {
         for (const std::string& item : items_for_dc(plan, dc_ids[i])) {
           dep.dc_at(i).insert_item(item);
@@ -118,8 +134,18 @@ std::string run_reference_round(const deployment_plan& plan) {
   cfg.noise_enabled = plan.privcount_noise_enabled;
   cfg.rng_seed = plan.rng_seed;
   privcount::deployment dep{bus, cfg};
+  if (is_event_workload(plan)) {
+    for (const auto& name : plan.instruments) {
+      dep.add_instrument(core::instrument_by_name(name));
+    }
+  }
   const std::vector<privcount::counter_result> results =
-      dep.run_round(plan.counters, [] {});
+      dep.run_round(plan.counters, [&] {
+        if (!is_event_workload(plan)) return;
+        stream_all_dc_workloads(plan, [&](std::size_t i, const tor::event& ev) {
+          dep.dc_at(i).observe(ev);
+        });
+      });
   return serialize_privcount_tally(results);
 }
 

@@ -1,0 +1,147 @@
+#include "src/cli/workload_source.h"
+
+#include "src/core/instruments.h"
+#include "src/tor/trace_file.h"
+#include "src/tor/trace_socket.h"
+#include "src/util/check.h"
+#include "src/workload/trace_gen.h"
+
+namespace tormet::cli {
+
+namespace {
+
+[[nodiscard]] workload::trace_gen_params gen_params_of(
+    const deployment_plan& plan) {
+  workload::trace_gen_params p;
+  p.model = plan.workload.model;
+  p.dcs = plan.ids_with(plan.protocol == "psc" ? node_role::psc_dc
+                                               : node_role::privcount_dc)
+              .size();
+  p.scale = plan.workload.scale;
+  p.events = plan.workload.events;
+  p.seed = plan.workload.gen_seed;
+  return p;
+}
+
+}  // namespace
+
+bool is_event_workload(const deployment_plan& plan) {
+  return plan.workload.kind != workload_kind::synthetic;
+}
+
+std::size_t stream_dc_workload(
+    const deployment_plan& plan, std::size_t dc_index,
+    const std::function<void(const tor::event&)>& sink) {
+  switch (plan.workload.kind) {
+    case workload_kind::synthetic:
+      throw precondition_error{
+          "synthetic workloads insert items, they do not stream events"};
+
+    case workload_kind::trace: {
+      tor::trace_reader reader{plan.workload.trace_dir + "/" +
+                               tor::trace_file_name(dc_index)};
+      return tor::replay_events(reader, sink,
+                                tor::replay_options{.pace = plan.pace});
+    }
+
+    case workload_kind::generate: {
+      // Every process materializes the same generation (pure function of
+      // the plan) and replays only its own slice. Trades CPU for having no
+      // shared filesystem requirement.
+      const std::vector<std::vector<tor::event>> per_dc =
+          workload::generate_trace_events(gen_params_of(plan));
+      expects(dc_index < per_dc.size(), "DC index out of generated range");
+      std::size_t delivered = 0;
+      for (const tor::event& ev : per_dc[dc_index]) {
+        sink(ev);
+        ++delivered;
+      }
+      return delivered;
+    }
+
+    case workload_kind::socket: {
+      // The feeder wait and per-recv stalls are bounded by the round
+      // deadline, so a missing feeder fails the node (and the round)
+      // instead of hanging every process past serve_until_done's deadline.
+      tor::event_socket_source source{
+          static_cast<std::uint16_t>(plan.workload.event_port_base + dc_index),
+          plan.round_deadline_ms};
+      std::size_t delivered = 0;
+      while (const std::optional<tor::event> ev = source.next()) {
+        sink(*ev);
+        ++delivered;
+      }
+      return delivered;
+    }
+  }
+  throw invariant_error{"unhandled workload kind"};
+}
+
+std::size_t stream_all_dc_workloads(
+    const deployment_plan& plan,
+    const std::function<void(std::size_t, const tor::event&)>& sink) {
+  std::size_t delivered = 0;
+  if (plan.workload.kind == workload_kind::generate) {
+    const std::vector<std::vector<tor::event>> per_dc =
+        workload::generate_trace_events(gen_params_of(plan));
+    for (std::size_t k = 0; k < per_dc.size(); ++k) {
+      for (const tor::event& ev : per_dc[k]) {
+        sink(k, ev);
+        ++delivered;
+      }
+    }
+    return delivered;
+  }
+  const std::size_t dcs =
+      plan.ids_with(plan.protocol == "psc" ? node_role::psc_dc
+                                           : node_role::privcount_dc)
+          .size();
+  for (std::size_t k = 0; k < dcs; ++k) {
+    delivered += stream_dc_workload(
+        plan, k, [&sink, k](const tor::event& ev) { sink(k, ev); });
+  }
+  return delivered;
+}
+
+void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc) {
+  dc.set_extractor(core::extractor_by_name(plan.psc_extractor));
+}
+
+void configure_privcount_dc(const deployment_plan& plan,
+                            privcount::data_collector& dc) {
+  expects(!plan.instruments.empty(),
+          "event workload needs at least one instrument");
+  for (const auto& name : plan.instruments) {
+    dc.add_instrument(core::instrument_by_name(name));
+  }
+}
+
+trace_round_defaults defaults_for_model(const std::string& model) {
+  trace_round_defaults d;
+  const auto add = [&d](const std::string& instrument) {
+    d.instruments.push_back(instrument);
+    for (auto& spec : core::default_specs_for(instrument)) {
+      d.counters.push_back(std::move(spec));
+    }
+  };
+  if (model == "zipf" || model == "browsing") {
+    add("stream_taxonomy");
+    d.psc_extractor = "primary_sld";
+  } else if (model == "population") {
+    add("entry_totals");
+    d.psc_extractor = "client_ip";
+  } else if (model == "onion") {
+    add("rendezvous");
+    d.psc_extractor = "published_address";
+  } else if (model == "mixed") {
+    add("stream_taxonomy");
+    add("entry_totals");
+    add("rendezvous");
+    d.psc_extractor = "client_ip";
+  } else {
+    throw precondition_error{"unknown trace model: " + model};
+  }
+  return d;
+}
+
+}  // namespace tormet::cli

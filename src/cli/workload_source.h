@@ -1,0 +1,65 @@
+// Event-workload streaming for distributed rounds: resolves a plan's
+// workload section into the per-DC event stream and pushes it through a
+// data collector's observe() pipeline. Used symmetrically by
+// cli::node_runner (each DC process streams its own slice) and
+// cli::run_reference_round (the in-process round streams every slice), so
+// both sides ingest byte-identical event sequences:
+//
+//   trace     — streams <trace_dir>/dc-<k>.trace with a bounded buffer
+//   generate  — materializes workload::generate_trace_events (a pure
+//               function of the plan) and replays slice k
+//   socket    — listens on event_port_base + k and ingests a pushed trace
+//               stream (file mode only in the reference round: what a
+//               feeder pushed cannot be re-derived from the plan)
+//
+// Replay is time-ordered and optionally paced (plan.pace wall-clock
+// seconds per sim second).
+#pragma once
+
+#include <functional>
+
+#include "src/cli/deployment_plan.h"
+#include "src/privcount/data_collector.h"
+#include "src/psc/data_collector.h"
+#include "src/tor/events.h"
+
+namespace tormet::cli {
+
+/// True when the plan's collection phase feeds tor::events (anything but
+/// the synthetic item workload).
+[[nodiscard]] bool is_event_workload(const deployment_plan& plan);
+
+/// Streams DC `dc_index`'s event slice into `sink`, honoring plan.pace.
+/// Returns the number of events delivered. Throws precondition_error for
+/// synthetic plans and net::wire_error on corrupt trace input.
+std::size_t stream_dc_workload(const deployment_plan& plan,
+                               std::size_t dc_index,
+                               const std::function<void(const tor::event&)>& sink);
+
+/// Streams every DC's slice, in DC order, into `sink(dc_index, event)`.
+/// Semantically a loop of stream_dc_workload over all DCs, but `generate`
+/// workloads are materialized once instead of once per DC — the in-process
+/// reference round uses this (a node process only ever needs its own
+/// slice). Returns total events delivered.
+std::size_t stream_all_dc_workloads(
+    const deployment_plan& plan,
+    const std::function<void(std::size_t, const tor::event&)>& sink);
+
+/// Installs the plan's extractor (psc_extractor) on a PSC DC.
+void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc);
+
+/// Installs the plan's instruments on a PrivCount DC.
+void configure_privcount_dc(const deployment_plan& plan,
+                            privcount::data_collector& dc);
+
+/// Measurement defaults for a trace model: the instruments that consume
+/// its events, their counter specs, and the PSC extractor with signal on
+/// the model's event mix. tormet_tracegen writes plans from these.
+struct trace_round_defaults {
+  std::vector<std::string> instruments;
+  std::vector<privcount::counter_spec> counters;
+  std::string psc_extractor;
+};
+[[nodiscard]] trace_round_defaults defaults_for_model(const std::string& model);
+
+}  // namespace tormet::cli

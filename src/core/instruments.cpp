@@ -328,4 +328,79 @@ psc::data_collector::extractor extract_fetched_address() {
   };
 }
 
+// ---------------------------------------------------------------------------
+// Name registry
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& instrument_names() {
+  static const std::vector<std::string> names{"stream_taxonomy", "entry_totals",
+                                              "rendezvous"};
+  return names;
+}
+
+privcount::data_collector::instrument instrument_by_name(
+    const std::string& name) {
+  if (name == "stream_taxonomy") return instrument_stream_taxonomy();
+  if (name == "entry_totals") return instrument_entry_totals();
+  if (name == "rendezvous") return instrument_rendezvous();
+  throw precondition_error{"unknown instrument: " + name};
+}
+
+std::vector<privcount::counter_spec> default_specs_for(
+    const std::string& instrument_name) {
+  // Sensitivities follow the paper's action bounds (Table 1: 20 domains per
+  // user-day, 12 connections, 651 circuits; stream totals bound by
+  // 20 domains x ~20 streams). Expected values are magnitude guesses for
+  // the equal-relative-noise budget split — operators tune them per round.
+  if (instrument_name == "stream_taxonomy") {
+    return {{"streams/total", 400.0, 6e4},
+            {"streams/initial", 20.0, 3e3},
+            {"streams/initial/hostname", 20.0, 3e3},
+            {"streams/initial/ipv4", 20.0, 500},
+            {"streams/initial/ipv6", 20.0, 500},
+            {"streams/initial/hostname/web", 20.0, 3e3},
+            {"streams/initial/hostname/other", 20.0, 500}};
+  }
+  if (instrument_name == "entry_totals") {
+    return {{"entry/connections", 12.0, 2e3},
+            {"entry/circuits", 651.0, 1.7e4},
+            {"entry/bytes", 407e6, 7e9}};
+  }
+  if (instrument_name == "rendezvous") {
+    return {{"rend/circuits", 651.0, 1e4},
+            {"rend/succeeded", 651.0, 1e3},
+            {"rend/conn-closed", 651.0, 500},
+            {"rend/expired", 651.0, 1e4},
+            {"rend/cells", 1e6, 1e6}};
+  }
+  throw precondition_error{"unknown instrument: " + instrument_name};
+}
+
+const std::vector<std::string>& extractor_names() {
+  static const std::vector<std::string> names{
+      "client_ip",   "client_country",    "client_asn",
+      "primary_sld", "published_address", "fetched_address"};
+  return names;
+}
+
+psc::data_collector::extractor extractor_by_name(const std::string& name) {
+  if (name == "client_ip") return extract_client_ip();
+  if (name == "client_country") {
+    return extract_client_country(std::make_shared<const workload::geoip_db>(
+        workload::geoip_db::make_synthetic()));
+  }
+  if (name == "client_asn") {
+    return extract_client_asn(std::make_shared<const workload::geoip_db>(
+        workload::geoip_db::make_synthetic()));
+  }
+  if (name == "primary_sld") {
+    return extract_primary_sld(std::make_shared<const workload::suffix_list>(
+                                   workload::suffix_list::embedded()),
+                               nullptr);
+  }
+  if (name == "published_address") return extract_published_address();
+  if (name == "fetched_address") return extract_fetched_address();
+  throw precondition_error{"unknown extractor: " + name};
+}
+
 }  // namespace tormet::core

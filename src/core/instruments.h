@@ -109,4 +109,37 @@ struct domain_set {
 /// Unique onion addresses successfully fetched from our HSDirs (Table 6).
 [[nodiscard]] psc::data_collector::extractor extract_fetched_address();
 
+// ---------------------------------------------------------------------------
+// Name registry
+// ---------------------------------------------------------------------------
+// Deployment plans (cli::deployment_plan) reference instruments and
+// extractors by name, so every process of a distributed round — and the
+// in-process reference round — resolves the identical measurement from the
+// same plan text. Only self-contained catalogue entries are registered:
+// instruments/extractors whose auxiliary inputs (GeoIP, suffix list) can be
+// rebuilt deterministically with no per-round parameters. Parameterized
+// ones (domain sets, TLD histograms, AS splits, the ahmia-indexed HSDir
+// classifier) still require composing in code.
+
+/// Registered instrument names: "stream_taxonomy", "entry_totals",
+/// "rendezvous".
+[[nodiscard]] const std::vector<std::string>& instrument_names();
+/// Resolves a registered instrument; throws precondition_error on an
+/// unknown name.
+[[nodiscard]] privcount::data_collector::instrument instrument_by_name(
+    const std::string& name);
+/// Canonical counter specs for a registered instrument — the counters its
+/// increments feed, with paper-derived default sensitivities. A plan built
+/// from these measures everything the instrument emits.
+[[nodiscard]] std::vector<privcount::counter_spec> default_specs_for(
+    const std::string& instrument_name);
+
+/// Registered extractor names: "client_ip", "client_country", "client_asn",
+/// "primary_sld", "published_address", "fetched_address".
+[[nodiscard]] const std::vector<std::string>& extractor_names();
+/// Resolves a registered extractor (rebuilding its GeoIP/suffix-list inputs
+/// deterministically); throws precondition_error on an unknown name.
+[[nodiscard]] psc::data_collector::extractor extractor_by_name(
+    const std::string& name);
+
 }  // namespace tormet::core

@@ -97,6 +97,7 @@ void data_collector::increment(const std::string& counter, std::uint64_t amount)
 
 void data_collector::observe(const tor::event& ev) {
   if (!collecting_) return;
+  ++events_observed_;
   const auto incr = [this](const std::string& counter, std::uint64_t amount) {
     increment(counter, amount);
   };

@@ -42,6 +42,12 @@ class data_collector {
 
   [[nodiscard]] net::node_id id() const noexcept { return self_; }
   [[nodiscard]] bool collecting() const noexcept { return collecting_; }
+  /// Events counted while collecting, across all rounds — observability
+  /// for trace-replay deployments (only the total is kept; the blinded
+  /// counters reveal nothing per-event).
+  [[nodiscard]] std::uint64_t events_observed() const noexcept {
+    return events_observed_;
+  }
 
  private:
   void on_configure(const configure_msg& m);
@@ -58,6 +64,7 @@ class data_collector {
   std::unordered_map<std::string, std::size_t> counter_index_;
   std::vector<std::uint64_t> counters_;  // ring values
   bool collecting_ = false;
+  std::uint64_t events_observed_ = 0;
 };
 
 }  // namespace tormet::privcount

@@ -55,6 +55,10 @@ class deployment {
       const std::function<void()>& workload);
 
   [[nodiscard]] tally_server& ts() noexcept { return *ts_; }
+  /// Direct DC access (index follows measured_relays order) for workloads
+  /// that feed events without going through a tor::network — e.g. the
+  /// orchestrator's in-process reference round replaying per-DC traces.
+  [[nodiscard]] data_collector& dc_at(std::size_t i) { return *dcs_.at(i); }
   [[nodiscard]] const std::set<tor::relay_id>& measured_relays() const noexcept {
     return measured_set_;
   }

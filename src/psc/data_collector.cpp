@@ -48,10 +48,12 @@ void data_collector::handle_message(const net::message& msg) {
 void data_collector::insert_item(std::string_view item) {
   if (set_ == nullptr) return;  // not configured / already reported
   set_->insert(as_bytes(item), rng_);
+  ++items_inserted_;
 }
 
 void data_collector::observe(const tor::event& ev) {
   if (extractor_ == nullptr || set_ == nullptr) return;
+  ++events_observed_;
   const std::optional<std::string> item = extractor_(ev);
   if (item.has_value()) insert_item(*item);
 }

@@ -40,6 +40,15 @@ class data_collector {
 
   [[nodiscard]] net::node_id id() const noexcept { return self_; }
   [[nodiscard]] bool configured() const noexcept { return set_ != nullptr; }
+  /// Events seen / items actually inserted (extractor hits) since
+  /// construction — observability for trace-replay deployments (the item
+  /// *identities* are never retained, only these totals).
+  [[nodiscard]] std::uint64_t events_observed() const noexcept {
+    return events_observed_;
+  }
+  [[nodiscard]] std::uint64_t items_inserted() const noexcept {
+    return items_inserted_;
+  }
 
  private:
   net::node_id self_;
@@ -47,6 +56,8 @@ class data_collector {
   net::transport& transport_;
   crypto::secure_rng& rng_;
   extractor extractor_;
+  std::uint64_t events_observed_ = 0;
+  std::uint64_t items_inserted_ = 0;
 
   std::uint32_t round_id_ = 0;
   std::shared_ptr<util::thread_pool> pool_;

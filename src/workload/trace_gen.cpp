@@ -1,0 +1,170 @@
+#include "src/workload/trace_gen.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/measurement_study.h"
+#include "src/tor/trace_file.h"
+#include "src/util/check.h"
+#include "src/workload/alexa.h"
+#include "src/workload/browsing.h"
+#include "src/workload/geoip.h"
+#include "src/workload/onion_activity.h"
+#include "src/workload/population.h"
+#include "src/workload/zipf.h"
+
+namespace tormet::workload {
+
+namespace {
+
+/// The zipf model needs no simulation: a pure stream of exit_stream events
+/// whose hostnames follow a Zipf rank distribution over a synthetic domain
+/// universe ("zipf<rank>.com" — distinct SLD per rank, so both counter and
+/// unique-SLD measurements have signal). Observers are the DC indices
+/// themselves.
+[[nodiscard]] std::vector<std::vector<tor::event>> generate_zipf(
+    const trace_gen_params& params) {
+  std::vector<std::vector<tor::event>> out{params.dcs};
+  rng r{params.seed};
+  const zipf_sampler ranks{1'000'000, 1.0};
+  for (std::uint64_t i = 0; i < params.events; ++i) {
+    tor::exit_stream_event body;
+    body.is_initial = r.bernoulli(0.25);
+    body.kind = r.bernoulli(0.002) ? tor::address_kind::ipv4
+                                   : tor::address_kind::hostname;
+    body.port = r.bernoulli(0.75) ? 443 : 80;
+    body.target = body.kind == tor::address_kind::hostname
+                      ? "zipf" + std::to_string(ranks.sample(r)) + ".com"
+                      : "192.0.2." + std::to_string(r.below(256));
+    tor::event ev;
+    ev.observer = static_cast<tor::relay_id>(i % params.dcs);
+    ev.at = sim_time{static_cast<std::int64_t>(i / params.dcs)};
+    ev.body = std::move(body);
+    out[i % params.dcs].push_back(std::move(ev));
+  }
+  return out;
+}
+
+/// Simulation models: run the workload drivers against a canonical
+/// measurement study and capture events at its 16 measured relays,
+/// partitioned onto DCs by sorted relay index.
+[[nodiscard]] std::vector<std::vector<tor::event>> generate_simulated(
+    const trace_gen_params& params) {
+  core::study_config study_cfg;
+  study_cfg.seed = params.seed;
+  core::measurement_study study{study_cfg};
+  tor::network& net = study.network();
+
+  // relay -> DC partition over the sorted measured set.
+  std::map<tor::relay_id, std::size_t> dc_of;
+  {
+    std::vector<tor::relay_id> measured = study.measured_relays();
+    std::sort(measured.begin(), measured.end());
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+      dc_of[measured[i]] = i % params.dcs;
+    }
+    net.set_observed_relays({measured.begin(), measured.end()});
+  }
+
+  std::vector<std::vector<tor::event>> out{params.dcs};
+  net.set_event_sink([&](const tor::event& ev) {
+    out[dc_of.at(ev.observer)].push_back(ev);
+  });
+
+  const bool mixed = params.model == "mixed";
+  const sim_time day_start{0};
+
+  if (mixed || params.model == "population") {
+    geoip_db geo = geoip_db::make_synthetic();
+    population_params pp;
+    pp.network_scale = params.scale;
+    pp.seed = params.seed;
+    population pop{net, geo, pp};
+    pop.run_entry_day(day_start);
+    if (mixed) {
+      const alexa_list alexa =
+          alexa_list::make_synthetic({.size = 50'000, .seed = params.seed});
+      browsing_params bp;
+      bp.seed = params.seed;
+      browsing_driver browser{net, alexa, bp};
+      browser.run_day(pop.active_of(client_class::web), day_start);
+    }
+  }
+  if (!mixed && params.model == "browsing") {
+    const alexa_list alexa =
+        alexa_list::make_synthetic({.size = 50'000, .seed = params.seed});
+    browsing_params bp;
+    bp.seed = params.seed;
+    browsing_driver browser{net, alexa, bp};
+    std::vector<tor::client_id> clients;
+    const auto n = static_cast<std::size_t>(
+        std::max(20.0, 6.9e6 * params.scale));
+    for (std::size_t i = 0; i < n; ++i) {
+      tor::client_profile p;
+      p.ip = static_cast<std::uint32_t>(i + 1);
+      clients.push_back(net.add_client(p));
+    }
+    browser.run_day(clients, day_start);
+  }
+  if (mixed || params.model == "onion") {
+    onion_params op;
+    op.network_scale = params.scale;
+    op.seed = params.seed;
+    onion_driver onion{net, op};
+    std::vector<tor::client_id> bots;
+    for (std::size_t i = 0; i < 32; ++i) {
+      tor::client_profile p;
+      p.ip = 0xc0000000u + static_cast<std::uint32_t>(i);
+      bots.push_back(net.add_client(p));
+    }
+    onion.run_day(bots, bots, day_start);
+  }
+
+  // Per-DC time order (stable: generation order breaks timestamp ties).
+  for (auto& events : out) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const tor::event& a, const tor::event& b) {
+                       return a.at.seconds < b.at.seconds;
+                     });
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& trace_models() {
+  static const std::vector<std::string> models{"zipf", "browsing", "onion",
+                                               "population", "mixed"};
+  return models;
+}
+
+bool is_known_trace_model(std::string_view model) {
+  const auto& models = trace_models();
+  return std::find(models.begin(), models.end(), model) != models.end();
+}
+
+std::vector<std::vector<tor::event>> generate_trace_events(
+    const trace_gen_params& params) {
+  expects(params.dcs >= 1, "trace generation needs at least one DC");
+  if (!is_known_trace_model(params.model)) {
+    throw precondition_error{"unknown trace model: " + params.model};
+  }
+  if (params.model == "zipf") return generate_zipf(params);
+  return generate_simulated(params);
+}
+
+std::vector<std::size_t> write_trace_dir(const trace_gen_params& params,
+                                         const std::string& dir) {
+  const std::vector<std::vector<tor::event>> per_dc =
+      generate_trace_events(params);
+  std::vector<std::size_t> counts;
+  for (std::size_t k = 0; k < per_dc.size(); ++k) {
+    tor::trace_writer writer{dir + "/" + tor::trace_file_name(k)};
+    for (const tor::event& ev : per_dc[k]) writer.write(ev);
+    writer.close();
+    counts.push_back(writer.events_written());
+  }
+  return counts;
+}
+
+}  // namespace tormet::workload

@@ -1,0 +1,59 @@
+// Trace generation: renders the workload models (zipf exit streams, web
+// browsing, onion-service activity, entry-side population) into
+// deterministic per-DC event traces — the bridge between the simulation
+// layer and the distributed deployment, which replays these traces through
+// real data-collector processes (see docs/EVENTS.md and cli::node_runner).
+//
+// Determinism contract: generate_trace_events() is a pure function of its
+// params — same params, same per-DC event sequences, on every host and in
+// every process. The distributed byte-identity checks depend on this (a
+// node process and the in-process reference round both materialize the
+// `generate` workload independently).
+//
+// Partitioning: simulation events materialize at the observed (measured)
+// relays of a canonical measurement_study; relay r maps to DC
+// `sorted_index(r) % dcs`, so all DCs receive work even when fewer relays
+// than DCs see events. Each per-DC sequence is stably sorted by sim time
+// (generation order breaks ties), matching the trace-file ordering
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/tor/events.h"
+
+namespace tormet::workload {
+
+struct trace_gen_params {
+  /// One of trace_models(): "zipf", "browsing", "onion", "population",
+  /// "mixed".
+  std::string model = "zipf";
+  /// Number of data collectors (one trace per DC).
+  std::size_t dcs = 4;
+  /// network_scale for the simulation models (browsing/onion/population/
+  /// mixed): fraction of the paper's network-wide volumes to simulate.
+  double scale = 1e-4;
+  /// Event budget for the synthetic "zipf" model (exit streams drawn from a
+  /// Zipf rank distribution; no network simulation).
+  std::uint64_t events = 5'000;
+  std::uint64_t seed = 1;
+};
+
+/// The supported model names.
+[[nodiscard]] const std::vector<std::string>& trace_models();
+[[nodiscard]] bool is_known_trace_model(std::string_view model);
+
+/// Renders the model into per-DC event sequences (index = DC index, each
+/// time-ordered). Pure function of `params`.
+[[nodiscard]] std::vector<std::vector<tor::event>> generate_trace_events(
+    const trace_gen_params& params);
+
+/// Writes the per-DC traces as `<dir>/dc-<k>.trace` (the directory must
+/// exist). Returns per-DC event counts.
+std::vector<std::size_t> write_trace_dir(const trace_gen_params& params,
+                                         const std::string& dir);
+
+}  // namespace tormet::workload

@@ -8,10 +8,15 @@
 #include <cstdlib>
 #include <filesystem>
 #include <set>
+#include <thread>
 
 #include "src/cli/deployment_plan.h"
 #include "src/cli/node_runner.h"
 #include "src/cli/orchestrator.h"
+#include "src/core/instruments.h"
+#include "src/tor/trace_file.h"
+#include "src/tor/trace_socket.h"
+#include "src/workload/trace_gen.h"
 
 namespace tormet::cli {
 namespace {
@@ -85,6 +90,100 @@ TEST(DeploymentPlanTest, MalformedInputIsRejectedWithLineNumbers) {
   EXPECT_THROW(parse_plan("tormet-plan-v1\n"
                           "node 0 psc_ts 127.0.0.1 9000\n"
                           "node 0 psc_cp 127.0.0.1 9001\n"),
+               precondition_error);
+}
+
+TEST(DeploymentPlanTest, RejectsBadNodeTopology) {
+  // No tally server at all.
+  EXPECT_THROW(parse_plan("tormet-plan-v1\n"
+                          "node 0 psc_cp 127.0.0.1 9000\n"
+                          "node 1 psc_dc 127.0.0.1 9001\n"),
+               precondition_error);
+  // Two tally servers.
+  EXPECT_THROW(parse_plan("tormet-plan-v1\n"
+                          "node 0 psc_ts 127.0.0.1 9000\n"
+                          "node 1 psc_ts 127.0.0.1 9001\n"
+                          "node 2 psc_dc 127.0.0.1 9002\n"),
+               precondition_error);
+  // A privcount plan needs counters.
+  EXPECT_THROW(parse_plan("tormet-plan-v1\n"
+                          "protocol privcount\n"
+                          "node 0 privcount_ts 127.0.0.1 9000\n"
+                          "node 1 privcount_dc 127.0.0.1 9001\n"),
+               precondition_error);
+}
+
+TEST(DeploymentPlanTest, RejectsBadWorkloadSections) {
+  const std::string base =
+      "tormet-plan-v1\nnode 0 psc_ts 127.0.0.1 9000\n"
+      "node 1 psc_cp 127.0.0.1 9001\nnode 2 psc_dc 127.0.0.1 9002\n";
+  // Unknown workload kind / model; malformed values.
+  EXPECT_THROW(parse_plan(base + "workload teleport\n"), precondition_error);
+  EXPECT_THROW(parse_plan(base + "workload trace\n"), precondition_error);
+  EXPECT_THROW(parse_plan(base + "workload generate nonsense 0.1 100 1\n"),
+               precondition_error);
+  EXPECT_THROW(parse_plan(base + "workload generate zipf 0 100 1\n"),
+               precondition_error);
+  EXPECT_THROW(parse_plan(base + "workload socket 0\n"), precondition_error);
+  EXPECT_THROW(parse_plan(base + "workload socket 99999\n"), precondition_error);
+  // Unknown measurement names are rejected at parse time, not when a node
+  // process fails mid-round.
+  EXPECT_THROW(parse_plan(base + "psc_extractor magic_oracle\n"),
+               precondition_error);
+  EXPECT_THROW(parse_plan(base + "instrument quantum_counter\n"),
+               precondition_error);
+  // A privcount event workload without instruments would count nothing.
+  EXPECT_THROW(
+      parse_plan("tormet-plan-v1\nprotocol privcount\n"
+                 "counter entry/connections 12 100\n"
+                 "workload trace /tmp/traces\n"
+                 "node 0 privcount_ts 127.0.0.1 9000\n"
+                 "node 1 privcount_sk 127.0.0.1 9001\n"
+                 "node 2 privcount_dc 127.0.0.1 9002\n"),
+      precondition_error);
+}
+
+TEST(DeploymentPlanTest, WorkloadSectionsRoundTripThroughSerialization) {
+  deployment_plan plan = make_psc_plan(2, 1, 256);
+  assign_free_ports(plan);
+
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = "/data/my traces/day-1";
+  plan.psc_extractor = "published_address";
+  plan.pace = 0.25;
+  deployment_plan back = parse_plan(serialize_plan(plan));
+  EXPECT_EQ(back.workload.kind, workload_kind::trace);
+  EXPECT_EQ(back.workload.trace_dir, "/data/my traces/day-1");
+  EXPECT_EQ(back.psc_extractor, "published_address");
+  EXPECT_EQ(back.pace, 0.25);
+  EXPECT_EQ(serialize_plan(back), serialize_plan(plan));
+
+  plan.workload.kind = workload_kind::generate;
+  plan.workload.model = "mixed";
+  plan.workload.scale = 3e-5;
+  plan.workload.events = 1234;
+  plan.workload.gen_seed = 99;
+  back = parse_plan(serialize_plan(plan));
+  EXPECT_EQ(back.workload.kind, workload_kind::generate);
+  EXPECT_EQ(back.workload.model, "mixed");
+  EXPECT_EQ(back.workload.scale, 3e-5);
+  EXPECT_EQ(back.workload.events, 1234u);
+  EXPECT_EQ(back.workload.gen_seed, 99u);
+
+  plan.workload.kind = workload_kind::socket;
+  plan.workload.event_port_base = 9100;
+  back = parse_plan(serialize_plan(plan));
+  EXPECT_EQ(back.workload.kind, workload_kind::socket);
+  EXPECT_EQ(back.workload.event_port_base, 9100);
+}
+
+TEST(DeploymentPlanTest, DcIndexFollowsPlanOrder) {
+  deployment_plan plan = make_psc_plan(3, 2, 64);
+  const auto dc_ids = plan.ids_with(node_role::psc_dc);
+  for (std::size_t i = 0; i < dc_ids.size(); ++i) {
+    EXPECT_EQ(dc_index_of(plan, dc_ids[i]), i);
+  }
+  EXPECT_THROW((void)dc_index_of(plan, plan.tally_server_id()),
                precondition_error);
 }
 
@@ -163,6 +262,178 @@ TEST(DistributedRoundTest, PrivcountTallyIsByteIdenticalToInprocess) {
   }
   EXPECT_EQ(result.tally, run_reference_round(plan));
   EXPECT_NE(result.tally.find("entry/circuits"), std::string::npos);
+}
+
+// The PR-4 acceptance check: a round driven by a *generated event trace* —
+// DCs replaying per-relay trace files through their observe() pipeline
+// across real processes — reproduces the in-process round bit for bit.
+TEST(DistributedRoundTest, PscTraceRoundIsByteIdenticalToInprocess) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 3;
+  gen.events = 600;
+  gen.seed = 17;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_psc_plan(3, 2, 1024);
+  plan.round.group = crypto::group_backend::toy;
+  plan.rng_seed = 21;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.psc_extractor = "primary_sld";
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 60'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_EQ(result.tally, run_reference_round(plan));
+  EXPECT_NE(result.tally.find("protocol psc"), std::string::npos);
+}
+
+TEST(DistributedRoundTest, PrivcountTraceRoundIsByteIdenticalToInprocess) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 500;
+  gen.seed = 5;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_privcount_plan(
+      2, 2, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 23;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 60'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_EQ(result.tally, run_reference_round(plan));
+  EXPECT_NE(result.tally.find("streams/total"), std::string::npos);
+
+  // The replayed events are real: with noise off the counters must equal a
+  // direct count over the generated traces.
+  plan.privcount_noise_enabled = false;
+  const std::string noiseless = run_reference_round(plan);
+  const auto events = workload::generate_trace_events(gen);
+  std::size_t total_streams = 0;
+  for (const auto& dc_events : events) total_streams += dc_events.size();
+  EXPECT_NE(noiseless.find("counter streams/total " +
+                           std::to_string(total_streams) + " "),
+            std::string::npos)
+      << noiseless;
+}
+
+// Socket ingestion: the same trace pushed through TCP event sockets by
+// feeder threads must land in the exact tally the file-replay round
+// produces (the reference round replays the files directly).
+TEST(DistributedRoundTest, SocketFedRoundMatchesFileFedReference) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 400;
+  gen.seed = 77;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_privcount_plan(
+      2, 1, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 31;
+  plan.workload.kind = workload_kind::socket;
+  plan.instruments = {"stream_taxonomy"};
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+  // Reuse the free-port prober for the event sockets: put the bases after
+  // the highest fabric port to avoid collisions.
+  std::uint16_t base = 0;
+  for (const auto& n : plan.nodes) base = std::max(base, n.port);
+  plan.workload.event_port_base = static_cast<std::uint16_t>(base + 1);
+
+  // Feeder failures are captured (never thrown out of a std::thread) and
+  // the threads are joined on every path, so a failing round reports the
+  // real error instead of std::terminate.
+  std::vector<std::string> feeder_errors(gen.dcs);
+  std::vector<std::thread> feeders;
+  for (std::size_t k = 0; k < gen.dcs; ++k) {
+    feeders.emplace_back([&, k] {
+      try {
+        tor::stream_trace_to_socket(
+            "127.0.0.1",
+            static_cast<std::uint16_t>(plan.workload.event_port_base + k),
+            workdir.path() + "/" + tor::trace_file_name(k), 30'000);
+      } catch (const std::exception& e) {
+        feeder_errors[k] = e.what();
+      }
+    });
+  }
+  distributed_round_result result;
+  std::string round_error;
+  try {
+    result = run_distributed_round(plan, bin, workdir.path(), 60'000);
+  } catch (const std::exception& e) {
+    round_error = e.what();
+  }
+  for (auto& f : feeders) f.join();
+  ASSERT_EQ(round_error, "");
+  for (std::size_t k = 0; k < feeder_errors.size(); ++k) {
+    EXPECT_EQ(feeder_errors[k], "") << "feeder " << k << " failed";
+  }
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+
+  deployment_plan file_plan = plan;
+  file_plan.workload.kind = workload_kind::trace;
+  file_plan.workload.trace_dir = workdir.path();
+  EXPECT_EQ(result.tally, run_reference_round(file_plan));
+  // And the socket plan itself refuses an (unreproducible) reference round.
+  EXPECT_THROW((void)run_reference_round(plan), precondition_error);
+}
+
+// `generate` workloads re-materialize the events in every process instead
+// of reading files; the reference round must agree with itself and with an
+// equivalent trace-file round.
+TEST(DistributedRoundTest, GenerateWorkloadMatchesTraceWorkload) {
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 300;
+  gen.seed = 3;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_psc_plan(2, 1, 512);
+  plan.round.group = crypto::group_backend::toy;
+  plan.workload.kind = workload_kind::generate;
+  plan.workload.model = gen.model;
+  plan.workload.events = gen.events;
+  plan.workload.gen_seed = gen.seed;
+  plan.psc_extractor = "primary_sld";
+  const std::string generated = run_reference_round(plan);
+  EXPECT_EQ(generated, run_reference_round(plan));
+
+  deployment_plan trace_plan = plan;
+  trace_plan.workload.kind = workload_kind::trace;
+  trace_plan.workload.trace_dir = workdir.path();
+  EXPECT_EQ(generated, run_reference_round(trace_plan));
 }
 
 TEST(DistributedRoundTest, SeedChangesTheTally) {

@@ -16,6 +16,7 @@
 #include "src/workload/onion_activity.h"
 #include "src/workload/population.h"
 #include "src/workload/suffix_list.h"
+#include "src/workload/trace_gen.h"
 #include "src/workload/zipf.h"
 
 namespace tormet::workload {
@@ -369,6 +370,57 @@ TEST(OnionActivityTest, DayReproducesFailureShape) {
   EXPECT_GT(net.service_count(), 8u);
   EXPECT_GT(driver.unique_fetched(), 0u);
   EXPECT_LE(driver.unique_fetched(), net.service_count());
+}
+
+TEST(TraceGenTest, GenerationIsAPureFunctionOfParams) {
+  trace_gen_params params;
+  params.model = "mixed";
+  params.dcs = 3;
+  params.scale = 2e-5;
+  params.seed = 12;
+  const auto a = generate_trace_events(params);
+  const auto b = generate_trace_events(params);
+  ASSERT_EQ(a.size(), 3u);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ASSERT_EQ(a[k].size(), b[k].size());
+    total += a[k].size();
+    for (std::size_t i = 0; i < a[k].size(); ++i) {
+      EXPECT_EQ(a[k][i].observer, b[k][i].observer);
+      EXPECT_EQ(a[k][i].at.seconds, b[k][i].at.seconds);
+      EXPECT_EQ(a[k][i].body.index(), b[k][i].body.index());
+    }
+  }
+  EXPECT_GT(total, 0u);
+
+  params.seed = 13;
+  const auto c = generate_trace_events(params);
+  std::size_t total_c = 0;
+  for (const auto& dc : c) total_c += dc.size();
+  EXPECT_NE(total, total_c);  // different seed, different workload volume
+}
+
+TEST(TraceGenTest, EveryModelProducesTimeOrderedPartitionedEvents) {
+  for (const std::string& model : trace_models()) {
+    trace_gen_params params;
+    params.model = model;
+    params.dcs = 4;
+    params.scale = 1e-5;
+    params.events = 200;
+    const auto per_dc = generate_trace_events(params);
+    ASSERT_EQ(per_dc.size(), 4u) << model;
+    std::size_t total = 0;
+    for (const auto& events : per_dc) {
+      total += events.size();
+      for (std::size_t i = 1; i < events.size(); ++i) {
+        ASSERT_GE(events[i].at.seconds, events[i - 1].at.seconds)
+            << model << ": events must be non-decreasing in time";
+      }
+    }
+    EXPECT_GT(total, 0u) << model;
+  }
+  EXPECT_THROW((void)generate_trace_events({.model = "bogus"}),
+               precondition_error);
 }
 
 }  // namespace

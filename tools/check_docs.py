@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Stale-pointer check for the documentation.
+
+Scans README.md, ROADMAP.md, and docs/*.md for (a) relative markdown
+links and (b) repository path references (src/..., apps/..., tests/...,
+bench/..., docs/..., tools/..., examples/...), expands {a,b} brace
+groups, and fails when a referenced file or directory does not exist.
+CI runs this as the docs job, so documentation that names a file which
+was moved or deleted fails the build instead of rotting.
+
+Usage: python3 tools/check_docs.py  (from anywhere; repo root is derived
+from this script's location)
+"""
+
+import itertools
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO / "README.md", REPO / "ROADMAP.md"] + list((REPO / "docs").glob("*.md"))
+)
+
+# Repo-path tokens: a known top-level directory followed by path
+# characters, with at most one {a,b,...} brace group.
+PATH_RE = re.compile(
+    r"\b(?:src|apps|tests|bench|docs|tools|examples)/"
+    r"[\w./-]*(?:\{[\w.,]+\}[\w./-]*)?"
+)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BRACE_RE = re.compile(r"\{([\w.,]+)\}")
+
+
+def expand_braces(token: str) -> list[str]:
+    m = BRACE_RE.search(token)
+    if not m:
+        return [token]
+    alternatives = m.group(1).split(",")
+    return list(
+        itertools.chain.from_iterable(
+            expand_braces(token[: m.start()] + alt + token[m.end() :])
+            for alt in alternatives
+        )
+    )
+
+
+def check_file(doc: Path) -> list[str]:
+    errors = []
+    text = doc.read_text(encoding="utf-8")
+
+    def missing(path_str: str) -> bool:
+        return not (REPO / path_str).exists()
+
+    for match in PATH_RE.finditer(text):
+        token = match.group(0).rstrip(".,:;")
+        for candidate in expand_braces(token):
+            if missing(candidate.rstrip("/")):
+                errors.append(f"{doc.relative_to(REPO)}: stale path '{candidate}'")
+
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        target = target.split("#")[0]
+        if not target:
+            continue
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{doc.relative_to(REPO)}: broken link '{match.group(1)}'")
+    return errors
+
+
+def main() -> int:
+    all_errors = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            all_errors.append(f"missing doc file: {doc.relative_to(REPO)}")
+            continue
+        all_errors.extend(check_file(doc))
+    if all_errors:
+        print("documentation check FAILED:", file=sys.stderr)
+        for err in all_errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"documentation check passed ({len(DOC_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
