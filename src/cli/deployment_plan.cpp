@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -115,12 +116,24 @@ std::string serialize_plan(const deployment_plan& plan) {
       out << " " << plan.workload.model << " "
           << format_double(plan.workload.scale) << " " << plan.workload.events
           << " " << plan.workload.gen_seed;
+      // Optional trailing field, omitted at its default so pre-multi-day
+      // plans serialize (and hand-written ones parse) unchanged.
+      if (plan.workload.gen_days > 1) out << " " << plan.workload.gen_days;
       break;
     case workload_kind::socket:
       out << " " << plan.workload.event_port_base;
       break;
   }
   out << "\n";
+  // Omitted at the all-default single-round shape, so classic plans
+  // serialize unchanged (and stay readable by pre-schedule parsers).
+  if (plan.schedule_rounds != 1 ||
+      plan.round_duration_s != k_measurement_round_seconds ||
+      plan.round_gap_s != 0) {
+    out << "schedule rounds " << plan.schedule_rounds << " duration "
+        << plan.round_duration_s << " gap " << plan.round_gap_s << "\n";
+  }
+  if (plan.dc_grace_ms > 0) out << "dc_grace_ms " << plan.dc_grace_ms << "\n";
   if (plan.pace != 0.0) out << "pace " << format_double(plan.pace) << "\n";
   out << "psc_extractor " << plan.psc_extractor << "\n";
   for (const auto& name : plan.instruments) {
@@ -207,6 +220,12 @@ deployment_plan parse_plan(std::string_view text) {
             plan.workload.events >> plan.workload.gen_seed;
         want(workload::is_known_trace_model(plan.workload.model) &&
              plan.workload.scale > 0.0);
+        // Optional fifth field: days of population churn (default 1).
+        std::uint64_t days = 0;
+        if (ls >> days) {
+          if (days < 1) fail("generate days must be >= 1");
+          plan.workload.gen_days = days;
+        }
       } else if (kind == "socket") {
         plan.workload.kind = workload_kind::socket;
         unsigned port = 0;
@@ -217,6 +236,34 @@ deployment_plan parse_plan(std::string_view text) {
         fail("unknown workload kind '" + kind +
              "' (expected synthetic|trace|generate|socket)");
       }
+    } else if (key == "schedule") {
+      // `schedule rounds <N> duration <s> gap <s>` — keyword-tagged so a
+      // hand-edited line with swapped fields reads as an error, not as a
+      // silently different schedule.
+      std::string k_rounds, k_duration, k_gap;
+      ls >> k_rounds >> plan.schedule_rounds >> k_duration >>
+          plan.round_duration_s >> k_gap >> plan.round_gap_s;
+      want(k_rounds == "rounds" && k_duration == "duration" && k_gap == "gap");
+      if (plan.schedule_rounds < 1) fail("schedule needs at least one round");
+      // Bounded so hostile/fuzzed plan text cannot make schedule
+      // materialization hang or overflow sim-time arithmetic: <= 1000
+      // rounds (~3 years of daily epochs) of at most a year each.
+      constexpr std::uint32_t k_max_rounds = 1'000;
+      constexpr std::int64_t k_max_window_s = 366 * k_seconds_per_day;
+      if (plan.schedule_rounds > k_max_rounds) {
+        fail("schedule rounds must be <= 1000");
+      }
+      if (plan.round_duration_s <= 0 || plan.round_duration_s > k_max_window_s) {
+        fail("round duration must be in (0, 366 days]");
+      }
+      if (plan.round_gap_s < 0 || plan.round_gap_s > k_max_window_s) {
+        fail("round gap must be in [0, 366 days]");
+      }
+    } else if (key == "dc_grace_ms") {
+      ls >> plan.dc_grace_ms;
+      // Bounded so downstream deadline arithmetic (2x grace, grace + slack)
+      // stays far from int overflow; an hour dwarfs any sane straggler wait.
+      want(plan.dc_grace_ms > 0 && plan.dc_grace_ms <= 3'600'000);
     } else if (key == "pace") {
       ls >> plan.pace;
       want(plan.pace >= 0.0);
@@ -331,6 +378,9 @@ deployment_plan parse_plan(std::string_view text) {
     throw precondition_error{
         "plan: socket workload port range exceeds 65535"};
   }
+  // The declared schedule must be admissible under the §3.1 scheduling
+  // discipline; building it validates window overlap rules.
+  (void)round_schedule_of(plan);
   return plan;
 }
 
@@ -360,6 +410,32 @@ std::vector<std::string> items_for_dc(const deployment_plan& plan,
     items.push_back("shared-item-" + std::to_string(j));
   }
   return items;
+}
+
+core::measurement_schedule round_schedule_of(const deployment_plan& plan) {
+  // All rounds of one deployment measure the same statistic family, so the
+  // §3.1 rule "repeats of one statistic may be adjacent" admits any gap.
+  std::string statistic = plan.protocol;
+  if (plan.protocol == "psc") {
+    statistic += "/" + plan.psc_extractor;
+  } else {
+    for (const auto& name : plan.instruments) statistic += "/" + name;
+  }
+  return core::make_uniform_schedule(std::move(statistic), plan.schedule_rounds,
+                                     plan.round_duration_s, plan.round_gap_s);
+}
+
+round_window round_window_for(const deployment_plan& plan,
+                              const core::measurement_schedule& schedule,
+                              std::size_t round_index) {
+  if (plan.schedule_rounds <= 1) {
+    return {sim_time{std::numeric_limits<std::int64_t>::min()},
+            sim_time{std::numeric_limits<std::int64_t>::max()}};
+  }
+  expects(round_index < schedule.rounds().size(),
+          "protocol round id outside the declared schedule");
+  const core::planned_round& r = schedule.rounds()[round_index];
+  return {r.start, r.end()};
 }
 
 std::size_t dc_index_of(const deployment_plan& plan, net::node_id id) {

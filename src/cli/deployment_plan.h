@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/core/schedule.h"
 #include "src/net/tcp.h"
 #include "src/privcount/counter.h"
 #include "src/psc/tally_server.h"
@@ -66,6 +67,9 @@ struct workload_spec {
   double scale = 1e-4;                // generate: simulation network_scale
   std::uint64_t events = 5'000;       // generate: zipf-model event budget
   std::uint64_t gen_seed = 1;         // generate
+  /// generate: days of population churn to render (workload::trace_gen
+  /// --days); day d's events carry sim times in [d·86400, (d+1)·86400).
+  std::uint64_t gen_days = 1;
   std::uint16_t event_port_base = 0;  // kind == socket
 };
 
@@ -83,6 +87,23 @@ struct deployment_plan {
   dp::privacy_params privacy{};
   bool privcount_noise_enabled = true;
   std::vector<privcount::counter_spec> counters;
+
+  // -- Round schedule --------------------------------------------------------
+  /// Number of measurement rounds the deployment runs. Every process stays
+  /// alive across all of them: the TS opens and closes epochs while DCs keep
+  /// ingesting their event stream, partitioning observed events into rounds
+  /// by sim-time window (see round_schedule_of / core::measurement_schedule).
+  /// 1 = the classic single round, with the whole stream replayed unwindowed.
+  std::uint32_t schedule_rounds = 1;
+  /// Collection-window length per round (the paper's epochs are 24 h).
+  std::int64_t round_duration_s = k_measurement_round_seconds;
+  /// Inter-round gap. Events observed inside a gap are counted-but-dropped.
+  std::int64_t round_gap_s = 0;
+  /// Straggler grace for the live pipeline: how long the TS waits for
+  /// missing DC readiness/reports each phase before proceeding without the
+  /// stragglers and excluding them from later rounds. 0 = strict mode: the
+  /// TS waits the full round deadline and any missing DC fails the round.
+  int dc_grace_ms = 0;
 
   // -- Collection workload -------------------------------------------------
   workload_spec workload;
@@ -135,6 +156,29 @@ void save_plan(const deployment_plan& plan, const std::string& path);
 /// round insert identical item streams.
 [[nodiscard]] std::vector<std::string> items_for_dc(const deployment_plan& plan,
                                                     net::node_id id);
+
+/// The plan's round schedule as an enforceable core::measurement_schedule:
+/// `schedule_rounds` windows of `round_duration_s` seconds separated by
+/// `round_gap_s`, all measuring the plan's one statistic (protocol +
+/// extractor/instruments). The node runner and the in-process reference
+/// round both drive their epochs off this object.
+[[nodiscard]] core::measurement_schedule round_schedule_of(
+    const deployment_plan& plan);
+
+/// One round's collection window, as fed to workload_cursor::stream_window.
+struct round_window {
+  sim_time start;
+  sim_time end;
+};
+
+/// The collection window of round `round_index` (0-based). Single-round
+/// plans return an unbounded window — the legacy whole-stream replay —
+/// regardless of the schedule's nominal duration. Shared by
+/// cli::node_runner (DC processes) and cli::run_reference_round so both
+/// sides partition identically.
+[[nodiscard]] round_window round_window_for(
+    const deployment_plan& plan, const core::measurement_schedule& schedule,
+    std::size_t round_index);
 
 /// Position of a DC node among the plan's DC nodes (plan order) — the
 /// workload partition index: DC k replays trace slice k. Throws

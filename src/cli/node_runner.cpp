@@ -1,8 +1,14 @@
 #include "src/cli/node_runner.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "src/cli/workload_source.h"
 #include "src/crypto/secure_rng.h"
@@ -20,14 +26,142 @@ namespace tormet::cli {
 
 namespace {
 
-/// Sends ROUND_DONE to every peer and blocks until each replied ROUND_ACK.
-void finish_round_as_ts(net::tcp_net& net, const deployment_plan& plan,
-                        net::node_id self, std::size_t& acks) {
+using clock = std::chrono::steady_clock;
+
+/// Per-process fault injection for the multi-round test harness. Reads
+/// TORMET_FAULT ("<node_id> exit_after_round <k>" or
+/// "<node_id> delay_round <k> <ms>", k 0-based) and applies only when the
+/// named node is this process.
+struct fault_spec {
+  bool exit_after = false;
+  std::size_t exit_round = 0;
+  bool delay = false;
+  std::size_t delay_round = 0;
+  int delay_ms = 0;
+};
+
+[[nodiscard]] fault_spec fault_for(net::node_id self) {
+  fault_spec f;
+  const char* env = std::getenv("TORMET_FAULT");
+  if (env == nullptr) return f;
+  std::istringstream in{env};
+  net::node_id id = 0;
+  std::string action;
+  in >> id >> action;
+  if (in.fail() || id != self) return f;
+  if (action == "exit_after_round") {
+    in >> f.exit_round;
+    f.exit_after = !in.fail();
+  } else if (action == "delay_round") {
+    in >> f.delay_round >> f.delay_ms;
+    f.delay = !in.fail();
+  }
+  return f;
+}
+
+/// Transport decorator for the tally-server role: a send to an unreachable
+/// peer is logged and dropped instead of failing the whole deployment — a
+/// dead DC must not take the TS (and every later round) down with it.
+/// Missing peers still surface, as completion-predicate timeouts or as
+/// grace-based exclusion.
+class tolerant_transport final : public net::transport {
+ public:
+  explicit tolerant_transport(net::tcp_net& inner) : inner_{inner} {}
+
+  void register_node(net::node_id id, net::message_handler handler) override {
+    inner_.register_node(id, std::move(handler));
+  }
+  void send(net::message msg) override {
+    const net::node_id to = msg.to;
+    try {
+      inner_.send(std::move(msg));
+    } catch (const net::transport_error& e) {
+      log_line{log_level::warn}
+          << "TS: send to node " << to << " failed (" << e.what()
+          << "); dropping";
+    }
+  }
+  std::size_t run_until_quiescent() override {
+    return inner_.run_until_quiescent();
+  }
+  void run_until(const std::function<bool()>& done, int deadline_ms) override {
+    inner_.run_until(done, deadline_ms);
+  }
+
+ private:
+  net::tcp_net& inner_;
+};
+
+/// Runs the fabric until `done` holds or `grace_ms` elapses, whichever is
+/// first; returns done(). The straggler-tolerance primitive of the live
+/// pipeline: the caller decides what to do about peers that missed the
+/// window.
+[[nodiscard]] bool run_with_grace(net::tcp_net& net,
+                                  const std::function<bool()>& done,
+                                  int grace_ms) {
+  const auto grace_end = clock::now() + std::chrono::milliseconds{grace_ms};
+  // The predicate flips at the grace, so the outer deadline is pure slack;
+  // widen the sum in case a hand-built plan carries an enormous grace.
+  const int deadline = static_cast<int>(
+      std::min<std::int64_t>(static_cast<std::int64_t>(grace_ms) + 60'000,
+                             std::numeric_limits<int>::max()));
+  net.run_until([&] { return done() || clock::now() >= grace_end; }, deadline);
+  return done();
+}
+
+/// The serve deadline for a non-TS node: the whole schedule runs in one
+/// process lifetime, and per round the TS may spend a full phase deadline
+/// plus up to two grace windows waiting out stragglers before this peer
+/// sees the next message — budget all of it, plus one final deadline for
+/// the completion handshake.
+[[nodiscard]] int serve_deadline_ms(const deployment_plan& plan) {
+  const std::int64_t per_round =
+      static_cast<std::int64_t>(plan.round_deadline_ms) +
+      2 * static_cast<std::int64_t>(std::max(0, plan.dc_grace_ms));
+  const std::int64_t total =
+      per_round * std::max<std::uint32_t>(1, plan.schedule_rounds) +
+      plan.round_deadline_ms;
+  return static_cast<int>(
+      std::min<std::int64_t>(total, std::numeric_limits<int>::max()));
+}
+
+/// Excludes every current DC that `still_missing` reports as absent,
+/// keeping at least one: with the whole DC population gone there is no
+/// degraded round to salvage — the phase deadline then fails the round
+/// with a clear timeout instead of an exclusion crash.
+void exclude_stragglers(const std::function<void(net::node_id)>& exclude,
+                        std::vector<net::node_id> current,  // copy: exclude()
+                                                            // mutates the live
+                                                            // DC list
+                        const std::function<bool(net::node_id)>& still_missing,
+                        std::set<net::node_id>& dropped) {
+  std::size_t remaining = current.size();
+  for (const auto id : current) {
+    if (!still_missing(id)) continue;
+    if (remaining <= 1) {
+      log_line{log_level::warn}
+          << "TS: every remaining DC missed the grace; keeping DC " << id
+          << " and waiting out the round deadline";
+      break;
+    }
+    exclude(id);
+    dropped.insert(id);
+    --remaining;
+  }
+}
+
+/// Sends ROUND_DONE to every peer and blocks until each *surviving* peer
+/// replied ROUND_ACK (peers in `dropped` were excluded mid-deployment; an
+/// ack from them anyway is harmless).
+void finish_round_as_ts(net::transport& out, net::tcp_net& net,
+                        const deployment_plan& plan, net::node_id self,
+                        const std::set<net::node_id>& dropped,
+                        std::size_t& acks) {
   std::size_t expected = 0;
   for (const auto& n : plan.nodes) {
     if (n.id == self) continue;
-    ++expected;
-    net.send(net::message{self, n.id,
+    if (!dropped.contains(n.id)) ++expected;
+    out.send(net::message{self, n.id,
                           static_cast<std::uint16_t>(ctl_msg::round_done),
                           {}});
   }
@@ -35,30 +169,40 @@ void finish_round_as_ts(net::tcp_net& net, const deployment_plan& plan,
   net.flush_sends();
 }
 
-/// Serves a non-TS role until the TS's ROUND_DONE arrives, then acks and
-/// flushes. `handle` processes protocol messages.
+/// Serves a non-TS role until the TS's ROUND_DONE arrives (or `quit_early`
+/// fires — the fault-injection exit), then acks and flushes. `handle`
+/// processes protocol messages.
 void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
                       net::node_id self, net::node_id ts_id,
-                      const std::function<void(const net::message&)>& handle) {
+                      const std::function<void(const net::message&)>& handle,
+                      const std::function<bool()>& quit_early = nullptr) {
   bool done = false;
   net.register_node(self, [&](const net::message& m) {
     if (m.type == static_cast<std::uint16_t>(ctl_msg::round_done)) {
-      net.send(net::message{self, ts_id,
-                            static_cast<std::uint16_t>(ctl_msg::round_ack),
-                            {}});
+      try {
+        net.send(net::message{self, ts_id,
+                              static_cast<std::uint16_t>(ctl_msg::round_ack),
+                              {}});
+      } catch (const net::transport_error&) {
+        // A fault-tolerant TS that already excluded this node does not wait
+        // for the ack; acking into a closed channel must not fail the node.
+      }
       done = true;
       return;
     }
     handle(m);
   });
-  net.run_until([&] { return done; }, plan.round_deadline_ms);
+  net.run_until(
+      [&] { return done || (quit_early != nullptr && quit_early()); },
+      serve_deadline_ms(plan));
   net.flush_sends();
 }
 
 [[nodiscard]] node_result run_psc_ts(net::tcp_net& net,
                                      const deployment_plan& plan,
                                      net::node_id self) {
-  psc::tally_server ts{self, net, plan.ids_with(node_role::psc_dc),
+  tolerant_transport ts_net{net};
+  psc::tally_server ts{self, ts_net, plan.ids_with(node_role::psc_dc),
                        plan.ids_with(node_role::psc_cp)};
   std::size_t acks = 0;
   net.register_node(self, [&](const net::message& m) {
@@ -69,27 +213,50 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
     ts.handle_message(m);
   });
 
-  ts.begin_round(plan.round);
-  net.run_until([&] { return ts.setup_complete(); }, plan.round_deadline_ms);
-  // DCs insert their plan-derived items immediately after handling
-  // dc_configure; per-channel FIFO guarantees the report request below is
-  // processed only after that.
-  ts.request_reports();
-  net.run_until([&] { return ts.result_ready(); }, plan.round_deadline_ms);
+  const std::uint32_t rounds = std::max<std::uint32_t>(1, plan.schedule_rounds);
+  std::set<net::node_id> dropped;
+  std::vector<std::string> tallies;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    ts.begin_round(plan.round);
+    net.run_until([&] { return ts.setup_complete(); }, plan.round_deadline_ms);
+    // DCs replay their round window (or insert their plan-derived items)
+    // immediately after handling dc_configure; per-channel FIFO guarantees
+    // the report request below is processed only after that.
+    ts.request_reports();
+    if (plan.dc_grace_ms > 0) {
+      const auto all_reported = [&] {
+        return ts.reporting_dcs().size() >= ts.data_collectors().size();
+      };
+      if (!run_with_grace(net, all_reported, plan.dc_grace_ms)) {
+        // Stragglers past the grace are dropped from the deployment; the
+        // mix starts on the tables that made it (the union just excludes
+        // the dead DCs' observations).
+        exclude_stragglers(
+            [&](net::node_id id) { ts.exclude_dc(id); }, ts.data_collectors(),
+            [&](net::node_id id) { return !ts.reporting_dcs().contains(id); },
+            dropped);
+        if (!ts.reporting_dcs().empty()) ts.force_mixing();
+      }
+    }
+    net.run_until([&] { return ts.result_ready(); }, plan.round_deadline_ms);
+    tallies.push_back(serialize_psc_tally(ts.raw_count(), ts.params().bins,
+                                          ts.total_noise_bits()));
+    // Rewrite after every round so a watcher sees the schedule progress.
+    write_file_atomic(plan.tally_path, serialize_multiround_tally(tallies));
+  }
 
   node_result out;
-  out.tally =
-      serialize_psc_tally(ts.raw_count(), ts.params().bins, ts.total_noise_bits());
-  write_file_atomic(plan.tally_path, out.tally);
-  finish_round_as_ts(net, plan, self, acks);
+  out.tally = serialize_multiround_tally(tallies);
+  finish_round_as_ts(ts_net, net, plan, self, dropped, acks);
   return out;
 }
 
 [[nodiscard]] node_result run_privcount_ts(net::tcp_net& net,
                                            const deployment_plan& plan,
                                            net::node_id self) {
-  const std::vector<net::node_id> dc_ids = plan.ids_with(node_role::privcount_dc);
-  privcount::tally_server ts{self, net, dc_ids,
+  tolerant_transport ts_net{net};
+  privcount::tally_server ts{self, ts_net,
+                             plan.ids_with(node_role::privcount_dc),
                              plan.ids_with(node_role::privcount_sk)};
   ts.set_noise_enabled(plan.privcount_noise_enabled);
   std::size_t acks = 0;
@@ -101,25 +268,60 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
     ts.handle_message(m);
   });
 
-  ts.begin_round(plan.counters, plan.privacy);
-  net.run_until([&] { return ts.all_dcs_ready(); }, plan.round_deadline_ms);
-  ts.start_collection();
-  // The TS can stop immediately after starting: both control messages ride
-  // the same TS->DC channel, and each DC replays its entire event workload
-  // inside the start_collection handler (see run_node), so per-channel FIFO
-  // guarantees the stop is processed only after the replay finished.
-  // Synthetic privcount rounds measure a zero workload (noise + blinding
-  // only), which the per-node RNG derivation makes deterministic.
-  ts.stop_collection();
-  net.run_until([&] { return ts.reporting_dcs().size() == dc_ids.size(); },
-                plan.round_deadline_ms);
-  ts.request_reveal();
-  net.run_until([&] { return ts.results_ready(); }, plan.round_deadline_ms);
+  const std::uint32_t rounds = std::max<std::uint32_t>(1, plan.schedule_rounds);
+  std::set<net::node_id> dropped;
+  std::vector<std::string> tallies;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    ts.begin_round(plan.counters, plan.privacy);
+    const auto all_ready = [&] { return ts.all_dcs_ready(); };
+    if (plan.dc_grace_ms > 0) {
+      if (!run_with_grace(net, all_ready, plan.dc_grace_ms)) {
+        exclude_stragglers(
+            [&](net::node_id id) { ts.exclude_dc(id); }, ts.data_collectors(),
+            [&](net::node_id id) { return !ts.ready_dcs().contains(id); },
+            dropped);
+      }
+    } else {
+      net.run_until(all_ready, plan.round_deadline_ms);
+    }
+    ts.start_collection();
+    // The TS can stop immediately after starting: both control messages
+    // ride the same TS->DC channel, and each DC replays its round window
+    // inside the start_collection handler (see run_node), so per-channel
+    // FIFO guarantees the stop is processed only after the replay finished.
+    ts.stop_collection();
+    const auto all_reported = [&] {
+      return ts.reporting_dcs().size() >= ts.data_collectors().size();
+    };
+    if (plan.dc_grace_ms > 0) {
+      if (!run_with_grace(net, all_reported, plan.dc_grace_ms)) {
+        // The reveal names exactly the DCs that reported, so dropping the
+        // stragglers keeps the blinds cancelling; they are excluded from
+        // later rounds too.
+        exclude_stragglers(
+            [&](net::node_id id) { ts.exclude_dc(id); }, ts.data_collectors(),
+            [&](net::node_id id) { return !ts.reporting_dcs().contains(id); },
+            dropped);
+      }
+    } else {
+      net.run_until(all_reported, plan.round_deadline_ms);
+    }
+    if (plan.dc_grace_ms > 0 && ts.reporting_dcs().empty()) {
+      // Total DC outage on the grace path (only grace_ms has been spent):
+      // nothing to degrade to — fail the round on the full deadline rather
+      // than publishing an all-zero tally. The strict path above already
+      // waited the whole deadline.
+      net.run_until(all_reported, plan.round_deadline_ms);
+    }
+    ts.request_reveal();
+    net.run_until([&] { return ts.results_ready(); }, plan.round_deadline_ms);
+    tallies.push_back(serialize_privcount_tally(ts.results()));
+    write_file_atomic(plan.tally_path, serialize_multiround_tally(tallies));
+  }
 
   node_result out;
-  out.tally = serialize_privcount_tally(ts.results());
-  write_file_atomic(plan.tally_path, out.tally);
-  finish_round_as_ts(net, plan, self, acks);
+  out.tally = serialize_multiround_tally(tallies);
+  finish_round_as_ts(ts_net, net, plan, self, dropped, acks);
   return out;
 }
 
@@ -127,7 +329,15 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
 
 node_result run_node(const deployment_plan& plan, net::node_id self) {
   const node_spec& spec = plan.node(self);
-  net::tcp_net net{plan.endpoints()};
+  net::tcp_options opts;
+  if (plan.dc_grace_ms > 0) {
+    // Fault-tolerant deployments give up on unreachable peers on the same
+    // timescale they exclude stragglers — otherwise a dead DC's channel
+    // would stall the final flush for the full (15 s) connect deadline.
+    opts.connect_deadline_ms = static_cast<int>(std::clamp<std::int64_t>(
+        2ll * plan.dc_grace_ms, 2'000, 60'000));
+  }
+  net::tcp_net net{plan.endpoints(), opts};
   crypto::deterministic_rng rng = crypto::make_node_rng(plan.rng_seed, self);
   const net::node_id ts_id = plan.tally_server_id();
 
@@ -145,30 +355,60 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
     }
     case node_role::psc_dc: {
       psc::data_collector dc{self, ts_id, net, rng};
-      if (is_event_workload(plan)) configure_psc_dc(plan, dc);
-      serve_until_done(net, plan, self, ts_id, [&](const net::message& m) {
-        dc.handle_message(m);
-        if (m.type == static_cast<std::uint16_t>(psc::msg_type::dc_configure)) {
-          // Collection phase, run inside the configure handler: per-channel
-          // FIFO guarantees the TS's report request is processed only after
-          // the full workload landed in the oblivious table. The workload
-          // is part of the plan (synthetic items or an event stream), so
-          // every process — and the in-process reference round — feeds the
-          // identical sequence.
-          if (is_event_workload(plan)) {
-            const std::size_t replayed =
-                stream_dc_workload(plan, dc_index_of(plan, self),
-                                   [&dc](const tor::event& ev) { dc.observe(ev); });
-            log_line{log_level::info}
-                << "PSC DC " << self << ": replayed " << replayed
-                << " events, inserted " << dc.items_inserted() << " items";
-          } else {
-            for (const std::string& item : items_for_dc(plan, self)) {
-              dc.insert_item(item);
+      const fault_spec fault = fault_for(self);
+      const core::measurement_schedule sched = round_schedule_of(plan);
+      std::optional<workload_cursor> cursor;
+      if (is_event_workload(plan)) {
+        configure_psc_dc(plan, dc);
+        cursor.emplace(plan, dc_index_of(plan, self));
+      }
+      std::uint32_t configured_round = 0;  // 1-based protocol round id
+      bool quit = false;
+      serve_until_done(
+          net, plan, self, ts_id,
+          [&](const net::message& m) {
+            dc.handle_message(m);
+            if (m.type ==
+                static_cast<std::uint16_t>(psc::msg_type::dc_configure)) {
+              configured_round = psc::decode_dc_configure(m).round_id;
+              const std::size_t index = configured_round - 1;
+              if (fault.delay && fault.delay_round == index) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds{fault.delay_ms});
+              }
+              // Collection phase, run inside the configure handler:
+              // per-channel FIFO guarantees the TS's report request is
+              // processed only after the full window landed in the
+              // oblivious table. The workload is part of the plan, so every
+              // process — and the in-process reference round — feeds the
+              // identical sequence.
+              if (is_event_workload(plan)) {
+                const round_window w = round_window_for(plan, sched, index);
+                const std::size_t replayed = cursor->stream_window(
+                    w.start, w.end,
+                    [&dc](const tor::event& ev) { dc.observe(ev); });
+                if (configured_round >= plan.schedule_rounds) {
+                  cursor->drain();  // trailing gap / feeder shutdown bytes
+                }
+                log_line{log_level::info}
+                    << "PSC DC " << self << " round " << configured_round
+                    << ": replayed " << replayed << " events, "
+                    << dc.items_inserted() << " items inserted to date, "
+                    << cursor->dropped_outside_windows()
+                    << " events dropped outside windows";
+              } else {
+                for (const std::string& item : items_for_dc(plan, self)) {
+                  dc.insert_item(item);
+                }
+              }
             }
-          }
-        }
-      });
+            if (m.type ==
+                    static_cast<std::uint16_t>(psc::msg_type::report_request) &&
+                fault.exit_after && configured_round == fault.exit_round + 1) {
+              quit = true;  // injected dropout: exit cleanly between rounds
+            }
+          },
+          [&] { return quit; });
       return {};
     }
     case node_role::privcount_sk: {
@@ -179,24 +419,52 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
     }
     case node_role::privcount_dc: {
       privcount::data_collector dc{self, ts_id, net, rng};
-      if (is_event_workload(plan)) configure_privcount_dc(plan, dc);
-      serve_until_done(net, plan, self, ts_id, [&](const net::message& m) {
-        dc.handle_message(m);
-        if (is_event_workload(plan) &&
-            m.type ==
-                static_cast<std::uint16_t>(privcount::msg_type::start_collection)) {
-          // Collection phase: replay this DC's event slice while the DC is
-          // collecting. The TS's stop_collection rides the same channel and
-          // is processed only after this handler returns (FIFO), so the
-          // report includes every replayed event.
-          const std::size_t replayed =
-              stream_dc_workload(plan, dc_index_of(plan, self),
-                                 [&dc](const tor::event& ev) { dc.observe(ev); });
-          log_line{log_level::info}
-              << "PrivCount DC " << self << ": replayed " << replayed
-              << " events (" << dc.events_observed() << " counted)";
-        }
-      });
+      const fault_spec fault = fault_for(self);
+      const core::measurement_schedule sched = round_schedule_of(plan);
+      std::optional<workload_cursor> cursor;
+      if (is_event_workload(plan)) {
+        configure_privcount_dc(plan, dc);
+        cursor.emplace(plan, dc_index_of(plan, self));
+      }
+      bool quit = false;
+      serve_until_done(
+          net, plan, self, ts_id,
+          [&](const net::message& m) {
+            dc.handle_message(m);
+            if (m.type == static_cast<std::uint16_t>(
+                              privcount::msg_type::start_collection)) {
+              const std::uint32_t round_id = privcount::decode_round_id(m);
+              const std::size_t index = round_id - 1;
+              if (fault.delay && fault.delay_round == index) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds{fault.delay_ms});
+              }
+              if (is_event_workload(plan)) {
+                // Collection phase: replay this round's window while the DC
+                // is collecting. The TS's stop_collection rides the same
+                // channel and is processed only after this handler returns
+                // (FIFO), so the report includes every replayed event.
+                const round_window w = round_window_for(plan, sched, index);
+                const std::size_t replayed = cursor->stream_window(
+                    w.start, w.end,
+                    [&dc](const tor::event& ev) { dc.observe(ev); });
+                if (round_id >= plan.schedule_rounds) cursor->drain();
+                log_line{log_level::info}
+                    << "PrivCount DC " << self << " round " << round_id
+                    << ": replayed " << replayed << " events ("
+                    << dc.events_observed() << " counted to date, "
+                    << cursor->dropped_outside_windows()
+                    << " dropped outside windows)";
+              }
+            }
+            if (m.type == static_cast<std::uint16_t>(
+                              privcount::msg_type::stop_collection) &&
+                fault.exit_after &&
+                privcount::decode_round_id(m) == fault.exit_round + 1) {
+              quit = true;  // report for round k is out; exit between rounds
+            }
+          },
+          [&] { return quit; });
       return {};
     }
   }
@@ -225,6 +493,19 @@ std::string serialize_privcount_tally(
   for (const auto& r : results) {
     out << "counter " << r.name << " " << r.value << " " << format_double(r.sigma)
         << "\n";
+  }
+  return out.str();
+}
+
+std::string serialize_multiround_tally(
+    const std::vector<std::string>& round_tallies) {
+  expects(!round_tallies.empty(), "no round tallies to serialize");
+  if (round_tallies.size() == 1) return round_tallies.front();
+  std::ostringstream out;
+  out << "tormet-tally-multiround-v1\n";
+  out << "rounds " << round_tallies.size() << "\n";
+  for (std::size_t i = 0; i < round_tallies.size(); ++i) {
+    out << "round " << (i + 1) << "\n" << round_tallies[i];
   }
   return out.str();
 }

@@ -2,17 +2,31 @@
 // tormet_node process calls run_node() with a deployment plan and its own
 // node id; the function builds the distributed TCP fabric, instantiates
 // exactly one protocol role (PSC TS/CP/DC or PrivCount TS/SK/DC) with a
-// per-node RNG derived from (plan seed, node id), drives the round with
-// explicit run_until(predicate) phases, and participates in the
-// deterministic completion handshake:
+// per-node RNG derived from (plan seed, node id), drives the plan's whole
+// round *schedule* with explicit run_until(predicate) phases, and
+// participates in the deterministic completion handshake:
 //
-//   TS: ... round finishes ... -> writes the tally file
-//       -> ROUND_DONE to every peer -> waits for every ROUND_ACK -> exits
-//   peer: serves protocol messages until ROUND_DONE
+//   TS: round 1 ... round N (same process; the tally file is rewritten
+//       after every round) -> ROUND_DONE to every peer
+//       -> waits for every surviving peer's ROUND_ACK -> exits
+//   peer: serves protocol messages across all rounds until ROUND_DONE
 //       -> ROUND_ACK to the TS -> flushes sends -> exits
 //
 // Completion is therefore explicit per node — no idle-timeout quiescence
 // heuristic anywhere in the distributed path.
+//
+// Live multi-round pipeline (plan.schedule_rounds > 1): processes stay up
+// across every round. Each DC opens its event source once (trace file or
+// listening socket — see cli::workload_cursor) and partitions the ingested
+// stream into rounds by sim-time window; events in inter-round gaps are
+// counted-but-dropped. With plan.dc_grace_ms > 0 the TS tolerates faults:
+// a DC that misses a phase by more than the grace is dropped from the
+// deployment (later rounds exclude it; its ROUND_ACK is not awaited), and
+// TS sends to unreachable peers are logged instead of fatal.
+//
+// Fault injection for tests: TORMET_FAULT="<node_id> exit_after_round <k>"
+// makes that DC process exit cleanly after round k's report,
+// "<node_id> delay_round <k> <ms>" stalls its collection phase in round k.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +64,12 @@ struct node_result {
                                               std::uint64_t total_noise_bits);
 [[nodiscard]] std::string serialize_privcount_tally(
     const std::vector<privcount::counter_result>& results);
+
+/// Multi-round tally: the per-round serializations concatenated under one
+/// header. A single round stays in the plain per-round format (returned
+/// unwrapped), so classic single-round deployments keep their tally bytes.
+[[nodiscard]] std::string serialize_multiround_tally(
+    const std::vector<std::string>& round_tallies);
 
 /// Writes `content` to `path` atomically (temp file + rename), so a
 /// watcher never observes a half-written tally.

@@ -24,6 +24,7 @@
 #include "src/psc/deployment.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
+#include "src/workload/trace_gen.h"
 
 namespace tormet::cli {
 
@@ -90,7 +91,38 @@ std::string run_reference_round(const deployment_plan& plan) {
   expects(plan.workload.kind != workload_kind::socket,
           "reference round cannot reproduce a socket-fed workload "
           "(use a trace workload for byte-identity checks)");
+  const std::uint32_t rounds = std::max<std::uint32_t>(1, plan.schedule_rounds);
+  const core::measurement_schedule sched = round_schedule_of(plan);
+
+  // Per-DC event cursors persist across all rounds, exactly like the node
+  // processes' streams: one open source each, windowed by the schedule,
+  // gap events counted-but-dropped. `generate` workloads materialize once
+  // and share across cursors. Replay pacing is a live-deployment fidelity
+  // knob; the reference exists only to check bytes, so it always replays
+  // at full speed (a paced plan would stall --check-inproc for real
+  // wall-clock hours).
+  deployment_plan unpaced = plan;
+  unpaced.pace = 0.0;
+  std::vector<workload_cursor> cursors;
+  const auto make_cursors = [&](std::size_t dcs) {
+    if (!is_event_workload(plan)) return;
+    std::shared_ptr<const std::vector<std::vector<tor::event>>> shared;
+    if (plan.workload.kind == workload_kind::generate) {
+      shared = std::make_shared<const std::vector<std::vector<tor::event>>>(
+          workload::generate_trace_events(trace_gen_params_of(plan)));
+    }
+    for (std::size_t i = 0; i < dcs; ++i) {
+      cursors.emplace_back(unpaced, i, shared);
+    }
+  };
+  // The collection window for protocol round id `round_id` (1-based);
+  // single-round plans keep the legacy whole-stream replay.
+  const auto window = [&](std::uint32_t round_id) {
+    return round_window_for(plan, sched, round_id - 1);
+  };
+
   net::inproc_net bus;
+  std::vector<std::string> tallies;
   if (plan.protocol == "psc") {
     check_canonical_layout(plan, node_role::psc_cp, node_role::psc_dc);
     const std::vector<net::node_id> dc_ids = plan.ids_with(node_role::psc_dc);
@@ -105,21 +137,29 @@ std::string run_reference_round(const deployment_plan& plan) {
     psc::deployment dep{bus, cfg};
     if (is_event_workload(plan)) {
       dep.set_extractor(core::extractor_by_name(plan.psc_extractor));
+      make_cursors(dc_ids.size());
     }
-    const psc::round_outcome out = dep.run_round([&] {
-      if (is_event_workload(plan)) {
-        stream_all_dc_workloads(plan, [&](std::size_t i, const tor::event& ev) {
-          dep.dc_at(i).observe(ev);
-        });
-        return;
-      }
-      for (std::size_t i = 0; i < dc_ids.size(); ++i) {
-        for (const std::string& item : items_for_dc(plan, dc_ids[i])) {
-          dep.dc_at(i).insert_item(item);
+    for (std::uint32_t r = 1; r <= rounds; ++r) {
+      const psc::round_outcome out = dep.run_round([&] {
+        if (is_event_workload(plan)) {
+          const auto w = window(r);
+          for (std::size_t i = 0; i < cursors.size(); ++i) {
+            cursors[i].stream_window(w.start, w.end, [&](const tor::event& ev) {
+              dep.dc_at(i).observe(ev);
+            });
+          }
+          return;
         }
-      }
-    });
-    return serialize_psc_tally(out.raw_count, out.bins, out.total_noise_bits);
+        for (std::size_t i = 0; i < dc_ids.size(); ++i) {
+          for (const std::string& item : items_for_dc(plan, dc_ids[i])) {
+            dep.dc_at(i).insert_item(item);
+          }
+        }
+      });
+      tallies.push_back(
+          serialize_psc_tally(out.raw_count, out.bins, out.total_noise_bits));
+    }
+    return serialize_multiround_tally(tallies);
   }
 
   expects(plan.protocol == "privcount", "unknown protocol in plan");
@@ -138,15 +178,22 @@ std::string run_reference_round(const deployment_plan& plan) {
     for (const auto& name : plan.instruments) {
       dep.add_instrument(core::instrument_by_name(name));
     }
+    make_cursors(cfg.measured_relays.size());
   }
-  const std::vector<privcount::counter_result> results =
-      dep.run_round(plan.counters, [&] {
-        if (!is_event_workload(plan)) return;
-        stream_all_dc_workloads(plan, [&](std::size_t i, const tor::event& ev) {
-          dep.dc_at(i).observe(ev);
+  for (std::uint32_t r = 1; r <= rounds; ++r) {
+    const std::vector<privcount::counter_result> results =
+        dep.run_round(plan.counters, [&] {
+          if (!is_event_workload(plan)) return;
+          const auto w = window(r);
+          for (std::size_t i = 0; i < cursors.size(); ++i) {
+            cursors[i].stream_window(w.start, w.end, [&](const tor::event& ev) {
+              dep.dc_at(i).observe(ev);
+            });
+          }
         });
-      });
-  return serialize_privcount_tally(results);
+    tallies.push_back(serialize_privcount_tally(results));
+  }
+  return serialize_multiround_tally(tallies);
 }
 
 distributed_round_result run_distributed_round(const deployment_plan& plan,

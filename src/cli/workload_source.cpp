@@ -1,17 +1,24 @@
 #include "src/cli/workload_source.h"
 
+#include <chrono>
+#include <limits>
+#include <thread>
+
 #include "src/core/instruments.h"
-#include "src/tor/trace_file.h"
-#include "src/tor/trace_socket.h"
 #include "src/util/check.h"
+#include "src/util/logging.h"
 #include "src/workload/trace_gen.h"
 
 namespace tormet::cli {
 
 namespace {
 
-[[nodiscard]] workload::trace_gen_params gen_params_of(
-    const deployment_plan& plan) {
+constexpr sim_time k_stream_begin{std::numeric_limits<std::int64_t>::min()};
+constexpr sim_time k_stream_end{std::numeric_limits<std::int64_t>::max()};
+
+}  // namespace
+
+workload::trace_gen_params trace_gen_params_of(const deployment_plan& plan) {
   workload::trace_gen_params p;
   p.model = plan.workload.model;
   p.dcs = plan.ids_with(plan.protocol == "psc" ? node_role::psc_dc
@@ -20,87 +27,148 @@ namespace {
   p.scale = plan.workload.scale;
   p.events = plan.workload.events;
   p.seed = plan.workload.gen_seed;
+  p.days = plan.workload.gen_days;
   return p;
 }
-
-}  // namespace
 
 bool is_event_workload(const deployment_plan& plan) {
   return plan.workload.kind != workload_kind::synthetic;
 }
 
-std::size_t stream_dc_workload(
+workload_cursor::workload_cursor(const deployment_plan& plan,
+                                 std::size_t dc_index)
+    : workload_cursor{plan, dc_index, nullptr} {}
+
+workload_cursor::workload_cursor(
     const deployment_plan& plan, std::size_t dc_index,
-    const std::function<void(const tor::event&)>& sink) {
-  switch (plan.workload.kind) {
+    std::shared_ptr<const std::vector<std::vector<tor::event>>> generated)
+    : kind_{plan.workload.kind}, pace_{plan.pace}, dc_index_{dc_index} {
+  switch (kind_) {
     case workload_kind::synthetic:
       throw precondition_error{
           "synthetic workloads insert items, they do not stream events"};
-
-    case workload_kind::trace: {
-      tor::trace_reader reader{plan.workload.trace_dir + "/" +
-                               tor::trace_file_name(dc_index)};
-      return tor::replay_events(reader, sink,
-                                tor::replay_options{.pace = plan.pace});
-    }
-
-    case workload_kind::generate: {
+    case workload_kind::trace:
+      reader_ = std::make_unique<tor::trace_reader>(
+          plan.workload.trace_dir + "/" + tor::trace_file_name(dc_index));
+      return;
+    case workload_kind::generate:
       // Every process materializes the same generation (pure function of
-      // the plan) and replays only its own slice. Trades CPU for having no
-      // shared filesystem requirement.
-      const std::vector<std::vector<tor::event>> per_dc =
-          workload::generate_trace_events(gen_params_of(plan));
-      expects(dc_index < per_dc.size(), "DC index out of generated range");
-      std::size_t delivered = 0;
-      for (const tor::event& ev : per_dc[dc_index]) {
-        sink(ev);
-        ++delivered;
-      }
-      return delivered;
-    }
-
-    case workload_kind::socket: {
-      // The feeder wait and per-recv stalls are bounded by the round
-      // deadline, so a missing feeder fails the node (and the round)
-      // instead of hanging every process past serve_until_done's deadline.
-      tor::event_socket_source source{
+      // the plan) unless the caller shares one; either way the cursor only
+      // walks its own slice.
+      generated_ =
+          generated != nullptr
+              ? std::move(generated)
+              : std::make_shared<const std::vector<std::vector<tor::event>>>(
+                    workload::generate_trace_events(trace_gen_params_of(plan)));
+      expects(dc_index_ < generated_->size(), "DC index out of generated range");
+      return;
+    case workload_kind::socket:
+      // Bind/listen now, so a feeder's connect retry can land before the
+      // first round opens; the feeder wait and per-recv stalls are bounded
+      // by the round deadline.
+      socket_ = std::make_unique<tor::event_socket_source>(
           static_cast<std::uint16_t>(plan.workload.event_port_base + dc_index),
-          plan.round_deadline_ms};
-      std::size_t delivered = 0;
-      while (const std::optional<tor::event> ev = source.next()) {
-        sink(*ev);
-        ++delivered;
-      }
-      return delivered;
-    }
+          plan.round_deadline_ms);
+      return;
   }
   throw invariant_error{"unhandled workload kind"};
 }
 
-std::size_t stream_all_dc_workloads(
-    const deployment_plan& plan,
-    const std::function<void(std::size_t, const tor::event&)>& sink) {
-  std::size_t delivered = 0;
-  if (plan.workload.kind == workload_kind::generate) {
-    const std::vector<std::vector<tor::event>> per_dc =
-        workload::generate_trace_events(gen_params_of(plan));
-    for (std::size_t k = 0; k < per_dc.size(); ++k) {
-      for (const tor::event& ev : per_dc[k]) {
-        sink(k, ev);
-        ++delivered;
+std::optional<tor::event> workload_cursor::fetch() {
+  if (failed_ || eof_) return std::nullopt;
+  try {
+    switch (kind_) {
+      case workload_kind::trace: {
+        std::optional<tor::event> ev = reader_->next();
+        if (!ev.has_value()) eof_ = true;
+        return ev;
       }
+      case workload_kind::generate: {
+        const std::vector<tor::event>& slice = (*generated_)[dc_index_];
+        if (next_generated_ >= slice.size()) {
+          eof_ = true;
+          return std::nullopt;
+        }
+        return slice[next_generated_++];
+      }
+      case workload_kind::socket: {
+        std::optional<tor::event> ev = socket_->next();
+        if (!ev.has_value()) eof_ = true;
+        return ev;
+      }
+      case workload_kind::synthetic:
+        break;
     }
-    return delivered;
+  } catch (const net::wire_error& e) {
+    if (kind_ == workload_kind::socket) {
+      // A live feeder died mid-stream (abrupt close, truncated record, or a
+      // stall past the deadline). The pipeline keeps running on whatever
+      // this DC already observed; a trace *file* in the same state is
+      // corrupt input and still throws below.
+      failed_ = true;
+      log_line{log_level::warn}
+          << "DC " << dc_index_ << " event stream failed mid-round ("
+          << e.what() << "); continuing without it";
+      return std::nullopt;
+    }
+    throw;
   }
-  const std::size_t dcs =
-      plan.ids_with(plan.protocol == "psc" ? node_role::psc_dc
-                                           : node_role::privcount_dc)
-          .size();
-  for (std::size_t k = 0; k < dcs; ++k) {
-    delivered += stream_dc_workload(
-        plan, k, [&sink, k](const tor::event& ev) { sink(k, ev); });
+  throw invariant_error{"unhandled workload kind"};
+}
+
+void workload_cursor::pace_to(sim_time t) {
+  if (pace_ <= 0.0) return;
+  if (last_paced_seconds_.has_value() && t.seconds > *last_paced_seconds_) {
+    const double gap = static_cast<double>(t.seconds - *last_paced_seconds_);
+    std::this_thread::sleep_for(std::chrono::duration<double>(gap * pace_));
+  }
+  last_paced_seconds_ = t.seconds;
+}
+
+std::size_t workload_cursor::stream_window(
+    sim_time start, sim_time end,
+    const std::function<void(const tor::event&)>& sink) {
+  std::size_t delivered = 0;
+  for (;;) {
+    std::optional<tor::event> ev;
+    if (pending_.has_value()) {
+      ev = std::move(pending_);
+      pending_.reset();
+    } else {
+      ev = fetch();
+    }
+    if (!ev.has_value()) break;  // end of stream (or failed live stream)
+    if (ev->at >= end) {
+      pending_ = std::move(ev);  // first event of a later window: hold it
+      break;
+    }
+    pace_to(ev->at);
+    if (ev->at < start) {
+      ++dropped_;  // inter-round gap: collection stays on, counting only
+      continue;
+    }
+    sink(*ev);
+    ++delivered;
   }
   return delivered;
+}
+
+std::size_t workload_cursor::drain() {
+  std::size_t consumed = 0;
+  if (pending_.has_value()) {
+    pending_.reset();
+    ++consumed;
+  }
+  while (fetch().has_value()) ++consumed;
+  dropped_ += consumed;
+  return consumed;
+}
+
+std::size_t stream_dc_workload(
+    const deployment_plan& plan, std::size_t dc_index,
+    const std::function<void(const tor::event&)>& sink) {
+  workload_cursor cursor{plan, dc_index};
+  return cursor.stream_window(k_stream_begin, k_stream_end, sink);
 }
 
 void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc) {
@@ -132,6 +200,7 @@ trace_round_defaults defaults_for_model(const std::string& model) {
     d.psc_extractor = "client_ip";
   } else if (model == "onion") {
     add("rendezvous");
+    add("hsdir_ahmia");
     d.psc_extractor = "published_address";
   } else if (model == "mixed") {
     add("stream_taxonomy");

@@ -17,13 +17,25 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 
 #include "src/cli/deployment_plan.h"
 #include "src/privcount/data_collector.h"
 #include "src/psc/data_collector.h"
 #include "src/tor/events.h"
+#include "src/tor/trace_file.h"
+#include "src/tor/trace_socket.h"
+#include "src/workload/trace_gen.h"
 
 namespace tormet::cli {
+
+/// The trace-generation parameters a plan's `generate` workload resolves
+/// to — the single plan→params mapping, shared by node processes and the
+/// in-process reference round (a divergence between the two would surface
+/// only as an unexplained byte-identity failure).
+[[nodiscard]] workload::trace_gen_params trace_gen_params_of(
+    const deployment_plan& plan);
 
 /// True when the plan's collection phase feeds tor::events (anything but
 /// the synthetic item workload).
@@ -36,14 +48,71 @@ std::size_t stream_dc_workload(const deployment_plan& plan,
                                std::size_t dc_index,
                                const std::function<void(const tor::event&)>& sink);
 
-/// Streams every DC's slice, in DC order, into `sink(dc_index, event)`.
-/// Semantically a loop of stream_dc_workload over all DCs, but `generate`
-/// workloads are materialized once instead of once per DC — the in-process
-/// reference round uses this (a node process only ever needs its own
-/// slice). Returns total events delivered.
-std::size_t stream_all_dc_workloads(
-    const deployment_plan& plan,
-    const std::function<void(std::size_t, const tor::event&)>& sink);
+/// One DC's live event stream across a whole deployment lifetime. Unlike
+/// stream_dc_workload (one EOF-terminated replay), a cursor opens its
+/// source once — trace file, materialized generation, or listening event
+/// socket — and stays open across every round of the plan's schedule,
+/// handing out events window by window:
+///
+///   stream_window(start, end)  — delivers events with start <= t < end to
+///       the sink; events before `start` (the inter-round gap) are
+///       counted-but-dropped, per the paper's always-on collection; the
+///       first event at or past `end` is held as lookahead for the next
+///       window.
+///   drain()                    — consumes the rest of the stream, counting
+///       everything as dropped (trailing gap / feeder shutdown).
+///
+/// Live-stream fault tolerance: a socket feeder that dies mid-stream
+/// (abrupt close, truncated record, stall past the deadline) marks the
+/// cursor failed and reads as end-of-stream — later rounds still complete
+/// with whatever this DC observed. Corrupt *files* still throw: a trace
+/// file is authoritative input, not a flaky peer.
+class workload_cursor {
+ public:
+  /// Opens DC `dc_index`'s stream for `plan` (throws precondition_error for
+  /// synthetic plans). Socket sources bind their listen port here, so a
+  /// feeder's connect retry can land before the first round opens.
+  workload_cursor(const deployment_plan& plan, std::size_t dc_index);
+  /// Reference-round variant: share one materialized `generate` workload
+  /// across every DC's cursor instead of generating once per DC.
+  workload_cursor(
+      const deployment_plan& plan, std::size_t dc_index,
+      std::shared_ptr<const std::vector<std::vector<tor::event>>> generated);
+
+  /// Streams events with sim time in [start, end) into `sink`, honoring
+  /// plan.pace. Returns the number delivered.
+  std::size_t stream_window(sim_time start, sim_time end,
+                            const std::function<void(const tor::event&)>& sink);
+  /// Consumes the remainder of the stream (counted as dropped). Call after
+  /// the last round so a socket feeder's trailing bytes are drained.
+  std::size_t drain();
+
+  /// Events consumed outside every collection window (gap + drained).
+  [[nodiscard]] std::uint64_t dropped_outside_windows() const noexcept {
+    return dropped_;
+  }
+  /// True once a live (socket) stream died mid-round; the cursor then
+  /// reads as exhausted.
+  [[nodiscard]] bool stream_failed() const noexcept { return failed_; }
+
+ private:
+  [[nodiscard]] std::optional<tor::event> fetch();
+  void pace_to(sim_time t);
+
+  workload_kind kind_;
+  double pace_ = 0.0;
+  std::uint64_t dropped_ = 0;
+  bool failed_ = false;
+  bool eof_ = false;
+  std::optional<tor::event> pending_;  // lookahead held across windows
+  std::optional<std::int64_t> last_paced_seconds_;
+
+  std::unique_ptr<tor::trace_reader> reader_;               // kind == trace
+  std::unique_ptr<tor::event_socket_source> socket_;        // kind == socket
+  std::shared_ptr<const std::vector<std::vector<tor::event>>> generated_;
+  std::size_t dc_index_ = 0;
+  std::size_t next_generated_ = 0;  // cursor into generated_[dc_index_]
+};
 
 /// Installs the plan's extractor (psc_extractor) on a PSC DC.
 void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc);

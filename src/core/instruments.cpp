@@ -2,7 +2,9 @@
 
 #include <unordered_map>
 
+#include "src/util/bytes.h"
 #include "src/util/check.h"
+#include "src/util/rng.h"
 
 namespace tormet::core {
 
@@ -332,9 +334,97 @@ psc::data_collector::extractor extract_fetched_address() {
 // Name registry
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Canonical parameters of the registered parameterized instruments. These
+/// are frozen: every process of a distributed round (and the in-process
+/// reference) must instantiate bit-identical measurements from the name
+/// alone.
+const std::vector<std::string>& canonical_tlds() {
+  // Fig 3's measured TLD list.
+  static const std::vector<std::string> tlds{
+      "com", "org", "net", "br", "cn", "de", "fr", "in", "ir", "it", "jp",
+      "pl", "ru", "uk"};
+  return tlds;
+}
+
+constexpr std::size_t k_canonical_alexa_size = 20'000;
+constexpr std::uint64_t k_canonical_alexa_seed = 3;
+
+const std::shared_ptr<const workload::alexa_list>& canonical_alexa() {
+  static const auto list = std::make_shared<const workload::alexa_list>(
+      workload::alexa_list::make_synthetic(
+          {.size = k_canonical_alexa_size, .seed = k_canonical_alexa_seed}));
+  return list;
+}
+
+/// Fig 2's rank buckets over the canonical Alexa list: torproject.org
+/// apart, then (0,10], (10,100], (100,1000], (1000,10000].
+std::vector<domain_set> canonical_rank_sets() {
+  const workload::alexa_list& alexa = *canonical_alexa();
+  std::vector<domain_set> sets;
+  sets.push_back({"torproject.org", {"torproject.org"}});
+  std::uint32_t lo = 0;
+  for (std::uint32_t hi = 10; hi <= alexa.size(); hi *= 10) {
+    domain_set set;
+    set.name = "(" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+    set.domains.reserve(hi - lo);
+    for (std::uint32_t rank = lo + 1; rank <= hi; ++rank) {
+      const std::string& d = alexa.domain_at_rank(rank);
+      if (d != "torproject.org") set.domains.push_back(d);
+    }
+    sets.push_back(std::move(set));
+    lo = hi;
+  }
+  return sets;
+}
+
+const std::vector<std::string>& canonical_rank_set_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& set : canonical_rank_sets()) out.push_back(set.name);
+    return out;
+  }();
+  return names;
+}
+
+/// The ahmia index over the canonical synthetic service universe. Onion
+/// addresses are a pure function of the service's creation index
+/// (tor::network::add_onion_service), so indexing a prefix of that
+/// universe deterministically classifies any simulated trace's services;
+/// the paper found 56.8 % of fetched services in ahmia's index.
+constexpr std::size_t k_canonical_service_universe = 4096;
+constexpr double k_ahmia_public_fraction = 0.568;
+constexpr std::uint64_t k_canonical_ahmia_seed = 4242;
+
+const std::shared_ptr<const workload::ahmia_index>& canonical_ahmia() {
+  static const auto index = [] {
+    std::vector<tor::onion_address> universe;
+    universe.reserve(k_canonical_service_universe);
+    for (std::size_t i = 0; i < k_canonical_service_universe; ++i) {
+      const std::string key_material =
+          "tormet.service.key." + std::to_string(i);
+      universe.push_back(tor::derive_onion_address(as_bytes(key_material)));
+    }
+    rng r{k_canonical_ahmia_seed};
+    return std::make_shared<const workload::ahmia_index>(
+        workload::ahmia_index::make(universe, k_ahmia_public_fraction, r));
+  }();
+  return index;
+}
+
+const std::shared_ptr<const workload::suffix_list>& canonical_suffixes() {
+  static const auto suffixes = std::make_shared<const workload::suffix_list>(
+      workload::suffix_list::embedded());
+  return suffixes;
+}
+
+}  // namespace
+
 const std::vector<std::string>& instrument_names() {
-  static const std::vector<std::string> names{"stream_taxonomy", "entry_totals",
-                                              "rendezvous"};
+  static const std::vector<std::string> names{
+      "stream_taxonomy", "entry_totals", "rendezvous",
+      "tld_histogram",   "domain_sets",  "hsdir_ahmia"};
   return names;
 }
 
@@ -343,6 +433,17 @@ privcount::data_collector::instrument instrument_by_name(
   if (name == "stream_taxonomy") return instrument_stream_taxonomy();
   if (name == "entry_totals") return instrument_entry_totals();
   if (name == "rendezvous") return instrument_rendezvous();
+  if (name == "tld_histogram") {
+    return instrument_tld_histogram("tld", canonical_tlds(), nullptr,
+                                    /*separate_torproject=*/true,
+                                    canonical_suffixes());
+  }
+  if (name == "domain_sets") {
+    return instrument_domain_sets("sites", canonical_rank_sets());
+  }
+  if (name == "hsdir_ahmia") {
+    return instrument_hsdir_descriptors(canonical_ahmia());
+  }
   throw precondition_error{"unknown instrument: " + name};
 }
 
@@ -372,6 +473,31 @@ std::vector<privcount::counter_spec> default_specs_for(
             {"rend/conn-closed", 651.0, 500},
             {"rend/expired", 651.0, 1e4},
             {"rend/cells", 1e6, 1e6}};
+  }
+  if (instrument_name == "tld_histogram") {
+    std::vector<privcount::counter_spec> specs;
+    for (const auto& tld : canonical_tlds()) {
+      specs.push_back({"tld/" + tld, 20.0, 500});
+    }
+    specs.push_back({"tld/other", 20.0, 500});
+    specs.push_back({"tld/torproject.org", 20.0, 5e3});
+    return specs;
+  }
+  if (instrument_name == "domain_sets") {
+    std::vector<privcount::counter_spec> specs;
+    for (const auto& set_name : canonical_rank_set_names()) {
+      specs.push_back({"sites/" + set_name, 20.0, 1e3});
+    }
+    specs.push_back({"sites/other", 20.0, 3e3});
+    return specs;
+  }
+  if (instrument_name == "hsdir_ahmia") {
+    return {{"hsdir/publishes", 24.0, 2e3},
+            {"hsdir/fetch/total", 10.0, 1e3},
+            {"hsdir/fetch/success", 10.0, 1e3},
+            {"hsdir/fetch/failed", 10.0, 1e3},
+            {"hsdir/fetch/success/public", 10.0, 500},
+            {"hsdir/fetch/success/unknown", 10.0, 500}};
   }
   throw precondition_error{"unknown instrument: " + instrument_name};
 }

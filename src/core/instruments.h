@@ -115,14 +115,21 @@ struct domain_set {
 // Deployment plans (cli::deployment_plan) reference instruments and
 // extractors by name, so every process of a distributed round — and the
 // in-process reference round — resolves the identical measurement from the
-// same plan text. Only self-contained catalogue entries are registered:
-// instruments/extractors whose auxiliary inputs (GeoIP, suffix list) can be
-// rebuilt deterministically with no per-round parameters. Parameterized
-// ones (domain sets, TLD histograms, AS splits, the ahmia-indexed HSDir
-// classifier) still require composing in code.
+// same plan text. Every registered entry is self-contained: its auxiliary
+// inputs are rebuilt deterministically with no per-round parameters.
+// Parameterized instruments are registered through canonical
+// instantiations:
+//   "tld_histogram" — Fig 3's measured TLD list over the embedded suffix
+//       list, torproject.org separated, no Alexa filter.
+//   "domain_sets"   — Fig 2's rank buckets ((0,10], (10,100], ...) over the
+//       canonical synthetic Alexa list, torproject.org separated.
+//   "hsdir_ahmia"   — Table 7's HSDir fetch classification against a
+//       deterministic ahmia index covering the paper's 56.8 % of the
+//       canonical synthetic service universe.
+// Instantiations with round-specific parameters still compose in code.
 
 /// Registered instrument names: "stream_taxonomy", "entry_totals",
-/// "rendezvous".
+/// "rendezvous", "tld_histogram", "domain_sets", "hsdir_ahmia".
 [[nodiscard]] const std::vector<std::string>& instrument_names();
 /// Resolves a registered instrument; throws precondition_error on an
 /// unknown name.

@@ -49,6 +49,18 @@ bool measurement_schedule::in_window(std::size_t index, sim_time t) const {
   return t >= r.start && t < r.end();
 }
 
+std::optional<std::size_t> measurement_schedule::round_of(sim_time t) const {
+  // rounds_ is sorted by start and windows never overlap, so the first
+  // window starting at or before t is the only candidate.
+  for (std::size_t i = rounds_.size(); i > 0; --i) {
+    const planned_round& r = rounds_[i - 1];
+    if (r.start > t) continue;
+    if (t < r.end()) return i - 1;
+    return std::nullopt;  // t is past this window but before the next start
+  }
+  return std::nullopt;
+}
+
 sim_time measurement_schedule::earliest_start(const std::string& statistic,
                                               sim_time not_before) const {
   planned_round candidate;
@@ -81,6 +93,23 @@ sim_time measurement_schedule::earliest_start(const std::string& statistic,
     }
   }
   return candidate.start;
+}
+
+measurement_schedule make_uniform_schedule(std::string statistic,
+                                           std::size_t rounds,
+                                           std::int64_t duration_seconds,
+                                           std::int64_t gap_seconds,
+                                           sim_time start) {
+  expects(rounds >= 1, "a schedule needs at least one round");
+  expects(duration_seconds > 0, "round duration must be positive");
+  expects(gap_seconds >= 0, "round gap must be non-negative");
+  measurement_schedule schedule;
+  sim_time at = start;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    schedule.add({statistic, at, duration_seconds});
+    at += duration_seconds + gap_seconds;
+  }
+  return schedule;
 }
 
 }  // namespace tormet::core

@@ -7,10 +7,16 @@
 //
 // A measurement_schedule validates a measurement plan against these rules
 // and hands out the rounds in order; deployments/benches consult it before
-// starting a round.
+// starting a round, and the live multi-round pipeline (cli::node_runner /
+// cli::run_reference_round) uses it to partition a continuously ingested
+// event stream into per-round collection windows: an event belongs to the
+// round whose window contains its sim time, and events falling in the gap
+// between windows are counted-but-dropped (the paper's relays keep
+// collecting while no epoch is open).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +65,11 @@ class measurement_schedule {
   /// True when `t` falls inside round `index`'s collection window.
   [[nodiscard]] bool in_window(std::size_t index, sim_time t) const;
 
+  /// The round whose collection window contains `t`, or nullopt when `t`
+  /// falls in an inter-round gap or outside the plan entirely. This is the
+  /// event-partitioning primitive of the live pipeline.
+  [[nodiscard]] std::optional<std::size_t> round_of(sim_time t) const;
+
   /// The earliest admissible start for `statistic` at or after `not_before`.
   [[nodiscard]] sim_time earliest_start(const std::string& statistic,
                                         sim_time not_before) const;
@@ -66,5 +77,14 @@ class measurement_schedule {
  private:
   std::vector<planned_round> rounds_;  // kept sorted by start
 };
+
+/// A uniform N-round schedule of one statistic: rounds of `duration_seconds`
+/// separated by `gap_seconds`, starting at `start`. This is the shape a
+/// deployment plan's `schedule rounds N duration D gap G` line declares;
+/// repeats of one statistic may be adjacent (gap 0), exactly as the paper's
+/// repeated daily measurements were.
+[[nodiscard]] measurement_schedule make_uniform_schedule(
+    std::string statistic, std::size_t rounds, std::int64_t duration_seconds,
+    std::int64_t gap_seconds, sim_time start = sim_time{0});
 
 }  // namespace tormet::core

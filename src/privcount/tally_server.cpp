@@ -1,5 +1,6 @@
 #include "src/privcount/tally_server.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/crypto/secret_sharing.h"
@@ -28,6 +29,8 @@ void tally_server::begin_round(const std::vector<counter_spec>& specs,
   dc_reports_seen_.clear();
   sk_reports_seen_.clear();
   aggregate_.assign(specs.size(), 0);
+  round_dc_count_ = dcs_.size();
+  reveal_requested_ = false;
 
   std::vector<dp::counter_request> requests;
   requests.reserve(specs.size());
@@ -74,6 +77,7 @@ void tally_server::stop_collection() {
 }
 
 void tally_server::request_reveal() {
+  reveal_requested_ = true;
   sk_reveal_msg m;
   m.round_id = round_id_;
   m.reporting_dcs.assign(dc_reports_seen_.begin(), dc_reports_seen_.end());
@@ -85,11 +89,30 @@ void tally_server::request_reveal() {
 void tally_server::handle_message(const net::message& msg) {
   switch (static_cast<msg_type>(msg.type)) {
     case msg_type::dc_ready:
-      if (decode_round_id(msg) == round_id_) dcs_ready_.insert(msg.from);
+      if (decode_round_id(msg) == round_id_ && is_member(msg.from)) {
+        dcs_ready_.insert(msg.from);
+      }
       return;
     case msg_type::dc_report: {
       const dc_report_msg m = decode_dc_report(msg);
       if (m.round_id != round_id_) return;
+      if (!is_member(msg.from)) {
+        // Excluded (or foreign) DCs cannot contribute: their report would
+        // re-admit dropped data and satisfy the survivors' completeness
+        // check, and the SKs' reveal would not cancel its blinds.
+        log_line{log_level::warn}
+            << "TS: dropping report from non-member DC " << msg.from;
+        return;
+      }
+      if (reveal_requested_) {
+        // A straggler's report after the reveal was requested: the SKs'
+        // blinding sums already name the reporting set, so folding this in
+        // would leave uncancelled blinds in the aggregate.
+        log_line{log_level::warn}
+            << "TS: DC " << msg.from
+            << " report arrived after the reveal request; dropping";
+        return;
+      }
       if (m.values.size() != counter_names_.size()) {
         log_line{log_level::warn}
             << "TS: DC " << msg.from << " report has wrong arity; dropping";
@@ -116,6 +139,10 @@ void tally_server::handle_message(const net::message& msg) {
   }
 }
 
+bool tally_server::is_member(net::node_id dc) const {
+  return std::find(dcs_.begin(), dcs_.end(), dc) != dcs_.end();
+}
+
 void tally_server::combine_report(std::span<const std::uint64_t> values) {
   expects(values.size() == aggregate_.size(), "report arity mismatch");
   // Ring addition is per-index, so shard boundaries cannot change results.
@@ -131,6 +158,16 @@ void tally_server::combine_report(std::span<const std::uint64_t> values) {
   for (std::size_t i = 0; i < values.size(); ++i) aggregate_[i] += values[i];
 }
 
+void tally_server::exclude_dc(net::node_id id) {
+  const auto it = std::find(dcs_.begin(), dcs_.end(), id);
+  if (it == dcs_.end()) return;
+  expects(dcs_.size() > 1, "cannot exclude the last data collector");
+  dcs_.erase(it);
+  dcs_ready_.erase(id);
+  log_line{log_level::warn} << "TS: excluding DC " << id
+                            << " from the deployment";
+}
+
 bool tally_server::results_ready() const {
   return !counter_names_.empty() && sk_reports_seen_.size() == sks_.size();
 }
@@ -139,10 +176,12 @@ std::vector<counter_result> tally_server::results() const {
   expects(results_ready(), "results requested before all SK reports arrived");
   std::vector<counter_result> out;
   out.reserve(counter_names_.size());
-  // With d of n DCs reporting, realized noise variance is (d/n)·sigma²; the
-  // published sigma reflects that so CIs stay honest under dropout.
+  // With d of n configured DCs reporting, realized noise variance is
+  // (d/n)·sigma²; the published sigma reflects that so CIs stay honest
+  // under dropout (n is the round's configured count — exclusions during
+  // the round do not shrink it).
   const double noise_fraction = static_cast<double>(dc_reports_seen_.size()) /
-                                static_cast<double>(dcs_.size());
+                                static_cast<double>(round_dc_count_);
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
     counter_result r;
     r.name = counter_names_[i];

@@ -68,9 +68,27 @@ class tally_server {
   [[nodiscard]] const std::set<net::node_id>& reporting_dcs() const noexcept {
     return dc_reports_seen_;
   }
+  /// DCs that acknowledged this round's configure.
+  [[nodiscard]] const std::set<net::node_id>& ready_dcs() const noexcept {
+    return dcs_ready_;
+  }
+  /// The DCs this TS still drives (initial list minus exclusions).
+  [[nodiscard]] const std::vector<net::node_id>& data_collectors()
+      const noexcept {
+    return dcs_;
+  }
+  /// Permanently drops a DC from the deployment (live-pipeline fault
+  /// handling): it receives no further configures or collection controls
+  /// and no longer counts toward readiness/report completeness. Published
+  /// sigmas still reflect the noise weights of the round's *configured* DC
+  /// count, so mid-round exclusion keeps CIs honest. At least one DC must
+  /// remain.
+  void exclude_dc(net::node_id id);
   [[nodiscard]] std::uint32_t round_id() const noexcept { return round_id_; }
 
  private:
+  /// True when `dc` is still part of the deployment (not excluded).
+  [[nodiscard]] bool is_member(net::node_id dc) const;
   /// aggregate_[i] += values[i] over the whole report, sharded across the
   /// pool when the counter vector is large enough to amortize the fan-out.
   void combine_report(std::span<const std::uint64_t> values);
@@ -85,6 +103,11 @@ class tally_server {
   std::uint32_t round_id_ = 0;
   std::vector<std::string> counter_names_;
   std::vector<double> sigmas_;
+  /// DC count the round was configured with (noise_weight = 1/this); kept
+  /// apart from dcs_.size() so mid-round exclusion cannot skew the realized
+  /// noise fraction in results().
+  std::size_t round_dc_count_ = 0;
+  bool reveal_requested_ = false;
   std::set<net::node_id> dcs_ready_;
   std::set<net::node_id> dc_reports_seen_;
   std::set<net::node_id> sk_reports_seen_;

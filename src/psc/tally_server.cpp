@@ -1,5 +1,7 @@
 #include "src/psc/tally_server.h"
 
+#include <algorithm>
+
 #include "src/dp/noise.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
@@ -110,6 +112,24 @@ void tally_server::handle_message(const net::message& msg) {
     case msg_type::dc_vector: {
       const vector_msg m = decode_vector(msg);
       if (m.round_id != round_id_) return;
+      if (std::find(dcs_.begin(), dcs_.end(), msg.from) == dcs_.end()) {
+        // A DC excluded from the deployment (or never part of it) cannot
+        // contribute: counting its table would both re-admit dropped data
+        // and let its arrival satisfy the completeness check meant for the
+        // survivors.
+        log_line{log_level::warn}
+            << "PSC TS: dropping table from non-member DC " << msg.from;
+        return;
+      }
+      if (mixing_started_) {
+        // A straggler's table arriving after the mix launched (the TS
+        // proceeded without it under the live pipeline's grace): combining
+        // now would corrupt the in-flight round.
+        log_line{log_level::warn}
+            << "PSC TS: DC " << msg.from
+            << " table arrived after mixing started; dropping";
+        return;
+      }
       if (m.ciphertexts.size() != params_.bins) {
         log_line{log_level::warn}
             << "PSC TS: DC " << msg.from << " table has wrong size; dropping";
@@ -146,6 +166,15 @@ void tally_server::handle_message(const net::message& msg) {
     default:
       log_line{log_level::warn} << "PSC TS: unexpected message type " << msg.type;
   }
+}
+
+void tally_server::exclude_dc(net::node_id id) {
+  const auto it = std::find(dcs_.begin(), dcs_.end(), id);
+  if (it == dcs_.end()) return;
+  expects(dcs_.size() > 1, "cannot exclude the last data collector");
+  dcs_.erase(it);
+  log_line{log_level::warn} << "PSC TS: excluding DC " << id
+                            << " from the deployment";
 }
 
 std::uint64_t tally_server::raw_count() const {

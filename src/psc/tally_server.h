@@ -76,6 +76,15 @@ class tally_server {
   [[nodiscard]] const std::set<net::node_id>& reporting_dcs() const noexcept {
     return dc_reports_seen_;
   }
+  /// The DCs this TS still drives (initial list minus exclusions).
+  [[nodiscard]] const std::vector<net::node_id>& data_collectors()
+      const noexcept {
+    return dcs_;
+  }
+  /// Permanently drops a DC from the deployment (live-pipeline fault
+  /// handling): it receives no further configures or report requests and no
+  /// longer counts toward report completeness. At least one DC must remain.
+  void exclude_dc(net::node_id id);
 
  private:
   void maybe_distribute_joint_key();

@@ -54,9 +54,15 @@ tor::client_id population::spawn_client(bool promiscuous) {
       }
     }
   }
-  expects(static_cast<std::size_t>(id) == classes_.size(),
-          "client ids must be allocated densely");
-  classes_.push_back(k);
+  // Other drivers (onion bots, plain browsing clients) may interleave their
+  // own net_.add_client calls with churn spawns, so ids are not necessarily
+  // dense in population spawns; foreign ids are backfilled as idle and never
+  // appear in active_.
+  if (static_cast<std::size_t>(id) >= classes_.size()) {
+    classes_.resize(static_cast<std::size_t>(id) + 1, client_class::idle);
+  }
+  classes_[id] = k;
+  ++spawned_;
   return id;
 }
 

@@ -104,7 +104,7 @@ class population {
   /// Distinct client IPs ever activated (ground truth for unique-IP
   /// measurements).
   [[nodiscard]] std::size_t unique_ips_to_date() const noexcept {
-    return classes_.size();
+    return spawned_;
   }
 
   [[nodiscard]] const population_params& cfg() const noexcept { return params_; }
@@ -117,7 +117,10 @@ class population {
   geoip_db& geo_;
   population_params params_;
   rng rng_;
-  std::vector<client_class> classes_;  // indexed by client_id
+  /// Indexed by client_id; ids created by other drivers are backfilled as
+  /// idle placeholders (they never enter active_).
+  std::vector<client_class> classes_;
+  std::size_t spawned_ = 0;  // population-spawned clients (distinct IPs)
   std::vector<tor::client_id> active_;
   int current_day_ = 0;
   country_index uae_index_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "src/core/measurement_study.h"
 #include "src/tor/trace_file.h"
@@ -27,20 +28,36 @@ namespace {
   std::vector<std::vector<tor::event>> out{params.dcs};
   rng r{params.seed};
   const zipf_sampler ranks{1'000'000, 1.0};
-  for (std::uint64_t i = 0; i < params.events; ++i) {
-    tor::exit_stream_event body;
-    body.is_initial = r.bernoulli(0.25);
-    body.kind = r.bernoulli(0.002) ? tor::address_kind::ipv4
-                                   : tor::address_kind::hostname;
-    body.port = r.bernoulli(0.75) ? 443 : 80;
-    body.target = body.kind == tor::address_kind::hostname
-                      ? "zipf" + std::to_string(ranks.sample(r)) + ".com"
-                      : "192.0.2." + std::to_string(r.below(256));
-    tor::event ev;
-    ev.observer = static_cast<tor::relay_id>(i % params.dcs);
-    ev.at = sim_time{static_cast<std::int64_t>(i / params.dcs)};
-    ev.body = std::move(body);
-    out[i % params.dcs].push_back(std::move(ev));
+  // The event budget splits evenly across days (early days absorb the
+  // remainder); day d's events get sim times inside day d's window. With
+  // days == 1 this is exactly the original single-day generation.
+  const std::uint64_t days = std::max<std::uint64_t>(1, params.days);
+  for (std::uint64_t d = 0; d < days; ++d) {
+    const std::uint64_t quota =
+        params.events / days + (d < params.events % days ? 1 : 0);
+    const std::int64_t day_start =
+        static_cast<std::int64_t>(d) * k_seconds_per_day;
+    for (std::uint64_t i = 0; i < quota; ++i) {
+      tor::exit_stream_event body;
+      body.is_initial = r.bernoulli(0.25);
+      body.kind = r.bernoulli(0.002) ? tor::address_kind::ipv4
+                                     : tor::address_kind::hostname;
+      body.port = r.bernoulli(0.75) ? 443 : 80;
+      body.target = body.kind == tor::address_kind::hostname
+                        ? "zipf" + std::to_string(ranks.sample(r)) + ".com"
+                        : "192.0.2." + std::to_string(r.below(256));
+      tor::event ev;
+      ev.observer = static_cast<tor::relay_id>(i % params.dcs);
+      // One event per DC per simulated second, clamped to the day window so
+      // an oversized budget piles up at the day's end instead of leaking
+      // into the next day's round (the header's [d·86400, (d+1)·86400)
+      // contract, which multi-round partitioning relies on).
+      const std::int64_t offset = std::min<std::int64_t>(
+          static_cast<std::int64_t>(i / params.dcs), k_seconds_per_day - 1);
+      ev.at = sim_time{day_start + offset};
+      ev.body = std::move(body);
+      out[i % params.dcs].push_back(std::move(ev));
+    }
   }
   return out;
 }
@@ -72,52 +89,66 @@ namespace {
   });
 
   const bool mixed = params.model == "mixed";
-  const sim_time day_start{0};
+  const std::uint64_t days = std::max<std::uint64_t>(1, params.days);
+
+  // Drivers are created once and persist across days: their RNG streams,
+  // the churned client population, and the onion-service universe carry
+  // over day to day — exactly like a real multi-day deployment.
+  std::optional<geoip_db> geo;
+  std::optional<population> pop;
+  std::optional<alexa_list> alexa;
+  std::optional<browsing_driver> browser;
+  std::vector<tor::client_id> browsing_clients;  // non-mixed browsing model
+  std::optional<onion_driver> onion;
+  std::vector<tor::client_id> bots;
 
   if (mixed || params.model == "population") {
-    geoip_db geo = geoip_db::make_synthetic();
+    geo.emplace(geoip_db::make_synthetic());
     population_params pp;
     pp.network_scale = params.scale;
     pp.seed = params.seed;
-    population pop{net, geo, pp};
-    pop.run_entry_day(day_start);
-    if (mixed) {
-      const alexa_list alexa =
-          alexa_list::make_synthetic({.size = 50'000, .seed = params.seed});
-      browsing_params bp;
-      bp.seed = params.seed;
-      browsing_driver browser{net, alexa, bp};
-      browser.run_day(pop.active_of(client_class::web), day_start);
-    }
+    pop.emplace(net, *geo, pp);
   }
-  if (!mixed && params.model == "browsing") {
-    const alexa_list alexa =
-        alexa_list::make_synthetic({.size = 50'000, .seed = params.seed});
+  if (mixed || params.model == "browsing") {
+    alexa.emplace(
+        alexa_list::make_synthetic({.size = 50'000, .seed = params.seed}));
     browsing_params bp;
     bp.seed = params.seed;
-    browsing_driver browser{net, alexa, bp};
-    std::vector<tor::client_id> clients;
-    const auto n = static_cast<std::size_t>(
-        std::max(20.0, 6.9e6 * params.scale));
-    for (std::size_t i = 0; i < n; ++i) {
-      tor::client_profile p;
-      p.ip = static_cast<std::uint32_t>(i + 1);
-      clients.push_back(net.add_client(p));
+    browser.emplace(net, *alexa, bp);
+    if (!mixed) {
+      const auto n =
+          static_cast<std::size_t>(std::max(20.0, 6.9e6 * params.scale));
+      for (std::size_t i = 0; i < n; ++i) {
+        tor::client_profile p;
+        p.ip = static_cast<std::uint32_t>(i + 1);
+        browsing_clients.push_back(net.add_client(p));
+      }
     }
-    browser.run_day(clients, day_start);
   }
   if (mixed || params.model == "onion") {
     onion_params op;
     op.network_scale = params.scale;
     op.seed = params.seed;
-    onion_driver onion{net, op};
-    std::vector<tor::client_id> bots;
+    onion.emplace(net, op);
     for (std::size_t i = 0; i < 32; ++i) {
       tor::client_profile p;
       p.ip = 0xc0000000u + static_cast<std::uint32_t>(i);
       bots.push_back(net.add_client(p));
     }
-    onion.run_day(bots, bots, day_start);
+  }
+
+  for (std::uint64_t d = 0; d < days; ++d) {
+    const sim_time day_start{static_cast<std::int64_t>(d) * k_seconds_per_day};
+    if (pop.has_value()) {
+      pop->advance_to_day(static_cast<int>(d));  // churn between days
+      pop->run_entry_day(day_start);
+    }
+    if (browser.has_value()) {
+      browser->run_day(
+          mixed ? pop->active_of(client_class::web) : browsing_clients,
+          day_start);
+    }
+    if (onion.has_value()) onion->run_day(bots, bots, day_start);
   }
 
   // Per-DC time order (stable: generation order breaks timestamp ties).

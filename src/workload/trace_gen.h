@@ -40,6 +40,14 @@ struct trace_gen_params {
   /// Zipf rank distribution; no network simulation).
   std::uint64_t events = 5'000;
   std::uint64_t seed = 1;
+  /// Days of activity to render (`tormet_tracegen --days N`). Simulation
+  /// models advance the population one churn step per day (the Table 5
+  /// multi-day unique-client driver); the zipf model splits its event
+  /// budget evenly across days. Day d's events carry sim times in
+  /// [d·86400, (d+1)·86400). Determinism is per-params within one build:
+  /// the same params always reproduce identical traces, and days == 1 is
+  /// exactly the default single-day generation.
+  std::uint64_t days = 1;
 };
 
 /// The supported model names.

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <set>
 #include <thread>
+#include <variant>
 
 #include "src/cli/deployment_plan.h"
 #include "src/cli/node_runner.h"
@@ -434,6 +435,192 @@ TEST(DistributedRoundTest, GenerateWorkloadMatchesTraceWorkload) {
   trace_plan.workload.kind = workload_kind::trace;
   trace_plan.workload.trace_dir = workdir.path();
   EXPECT_EQ(generated, run_reference_round(trace_plan));
+}
+
+// The PR-5 acceptance check: a multi-round deployment — every process stays
+// alive across a schedule of rounds, DCs windowing one continuous multi-day
+// trace by sim time — reproduces the in-process multi-round reference bit
+// for bit, for both protocols.
+TEST(DistributedRoundTest, MultiRoundPscDeploymentIsByteIdenticalToInprocess) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 450;
+  gen.days = 3;
+  gen.seed = 71;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_psc_plan(2, 2, 512);
+  plan.round.group = crypto::group_backend::toy;
+  plan.rng_seed = 73;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.psc_extractor = "primary_sld";
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 90'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_NE(result.tally.find("tormet-tally-multiround-v1"), std::string::npos);
+  EXPECT_NE(result.tally.find("rounds 3"), std::string::npos);
+  EXPECT_EQ(result.tally, run_reference_round(plan));
+}
+
+TEST(DistributedRoundTest,
+     MultiRoundPrivcountDeploymentIsByteIdenticalToInprocess) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 450;
+  gen.days = 3;
+  gen.seed = 79;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_privcount_plan(
+      2, 2, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 83;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 90'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_EQ(result.tally, run_reference_round(plan));
+
+  // The windows are real: with noise off, each round's streams/total is
+  // exactly the per-day event count of the generated trace.
+  plan.privcount_noise_enabled = false;
+  const std::string noiseless = run_reference_round(plan);
+  const auto per_dc = workload::generate_trace_events(gen);
+  std::vector<std::size_t> per_day(3, 0);
+  for (const auto& dc_events : per_dc) {
+    for (const auto& ev : dc_events) {
+      ++per_day.at(static_cast<std::size_t>(ev.at.seconds / k_seconds_per_day));
+    }
+  }
+  for (std::size_t day = 0; day < 3; ++day) {
+    EXPECT_NE(noiseless.find("counter streams/total " +
+                             std::to_string(per_day[day]) + " "),
+              std::string::npos)
+        << "day " << day << " of:\n"
+        << noiseless;
+  }
+}
+
+// Registry-gap coverage: parameterized instruments (TLD histogram, domain
+// sets, ahmia HSDir classification) declared purely by name in a plan file
+// round-trip through a distributed round byte-identical to in-process.
+TEST(DistributedRoundTest, ParameterizedInstrumentPlansAreByteIdentical) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  // zipf traces exercise the TLD histogram + domain sets; the onion model
+  // exercises the ahmia HSDir classifier.
+  {
+    workdir_guard workdir;
+    workload::trace_gen_params gen;
+    gen.model = "zipf";
+    gen.dcs = 2;
+    gen.events = 400;
+    gen.seed = 89;
+    workload::write_trace_dir(gen, workdir.path());
+
+    std::vector<privcount::counter_spec> counters;
+    for (const auto& name : {"tld_histogram", "domain_sets"}) {
+      for (auto& spec : core::default_specs_for(name)) {
+        counters.push_back(std::move(spec));
+      }
+    }
+    deployment_plan plan = make_privcount_plan(2, 1, std::move(counters));
+    plan.rng_seed = 97;
+    plan.workload.kind = workload_kind::trace;
+    plan.workload.trace_dir = workdir.path();
+    plan.instruments = {"tld_histogram", "domain_sets"};
+    plan.tally_path = workdir.path() + "/tally.out";
+    assign_free_ports(plan);
+
+    // The plan text itself carries the instrument names (registry lookup on
+    // every node).
+    const deployment_plan parsed = parse_plan(serialize_plan(plan));
+    ASSERT_EQ(parsed.instruments,
+              (std::vector<std::string>{"tld_histogram", "domain_sets"}));
+
+    const distributed_round_result result =
+        run_distributed_round(plan, bin, workdir.path(), 60'000);
+    for (const auto& n : result.nodes) {
+      EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+    }
+    EXPECT_EQ(result.tally, run_reference_round(plan));
+    EXPECT_NE(result.tally.find("tld/com"), std::string::npos);
+
+    // zipf targets are "zipf<rank>.com": noiseless tld/com counts exactly
+    // the primary-domain events.
+    plan.privcount_noise_enabled = false;
+    const std::string noiseless = run_reference_round(plan);
+    const auto per_dc = workload::generate_trace_events(gen);
+    std::size_t primaries = 0;
+    for (const auto& dc_events : per_dc) {
+      for (const auto& ev : dc_events) {
+        const auto* s = std::get_if<tor::exit_stream_event>(&ev.body);
+        if (s != nullptr && s->is_initial &&
+            s->kind == tor::address_kind::hostname &&
+            (s->port == 80 || s->port == 443)) {
+          ++primaries;
+        }
+      }
+    }
+    EXPECT_NE(noiseless.find("counter tld/com " + std::to_string(primaries) +
+                             " "),
+              std::string::npos)
+        << noiseless;
+  }
+  {
+    workdir_guard workdir;
+    workload::trace_gen_params gen;
+    gen.model = "onion";
+    gen.dcs = 2;
+    gen.scale = 2e-4;
+    gen.seed = 101;
+    workload::write_trace_dir(gen, workdir.path());
+
+    deployment_plan plan = make_privcount_plan(
+        2, 1, core::default_specs_for("hsdir_ahmia"));
+    plan.rng_seed = 103;
+    plan.workload.kind = workload_kind::trace;
+    plan.workload.trace_dir = workdir.path();
+    plan.instruments = {"hsdir_ahmia"};
+    plan.tally_path = workdir.path() + "/tally.out";
+    assign_free_ports(plan);
+
+    const distributed_round_result result =
+        run_distributed_round(plan, bin, workdir.path(), 60'000);
+    for (const auto& n : result.nodes) {
+      EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+    }
+    EXPECT_EQ(result.tally, run_reference_round(plan));
+    EXPECT_NE(result.tally.find("hsdir/fetch/success/public"),
+              std::string::npos);
+  }
 }
 
 TEST(DistributedRoundTest, SeedChangesTheTally) {

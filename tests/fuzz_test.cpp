@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
+#include "src/cli/deployment_plan.h"
 #include "src/crypto/elgamal.h"
 #include "src/net/wire.h"
 #include "src/privcount/messages.h"
@@ -221,6 +223,112 @@ TEST(FuzzTest, ScalarSmallBufferAndHeapStorageBehaveIdentically) {
     EXPECT_TRUE(overwritten.is_inline());
   }
   EXPECT_FALSE(crypto::scalar{}.valid());
+}
+
+/// A representative deployment plan exercising every section the parser
+/// knows: schedule, grace, workload, instruments, counters, nodes.
+[[nodiscard]] std::string valid_plan_text() {
+  cli::deployment_plan plan = cli::make_privcount_plan(
+      3, 2, {{"entry/connections", 12.0, 100.0}, {"exit/streams", 20.0, 1e6}});
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    plan.nodes[i].port = static_cast<std::uint16_t>(9100 + i);
+  }
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.round_gap_s = 3600;
+  plan.dc_grace_ms = 2000;
+  plan.pace = 0.25;
+  plan.workload.kind = cli::workload_kind::generate;
+  plan.workload.model = "mixed";
+  plan.workload.scale = 2e-5;
+  plan.workload.gen_days = 3;
+  plan.instruments = {"stream_taxonomy", "entry_totals"};
+  return cli::serialize_plan(plan);
+}
+
+TEST(FuzzTest, PlanParserTruncations) {
+  const std::string full = valid_plan_text();
+  EXPECT_NO_THROW((void)cli::parse_plan(full));
+  // Every byte-prefix must either parse (a truncation can land on a line
+  // boundary that still forms a smaller valid plan) or throw the typed plan
+  // error — never crash or throw anything else.
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    try {
+      (void)cli::parse_plan(std::string_view{full}.substr(0, len));
+    } catch (const precondition_error&) {
+    }
+  }
+}
+
+TEST(FuzzTest, PlanParserRandomCorruption) {
+  const std::string full = valid_plan_text();
+  rng r{2024};
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::string corrupt = full;
+    // 1-4 random byte edits: substitution, deletion, or insertion.
+    const int edits = 1 + static_cast<int>(r.below(4));
+    for (int e = 0; e < edits && !corrupt.empty(); ++e) {
+      const std::size_t pos = static_cast<std::size_t>(r.below(corrupt.size()));
+      switch (r.below(3)) {
+        case 0:
+          corrupt[pos] = static_cast<char>(' ' + r.below(95));
+          break;
+        case 1:
+          corrupt.erase(pos, 1);
+          break;
+        default:
+          corrupt.insert(pos, 1, static_cast<char>(' ' + r.below(95)));
+          break;
+      }
+    }
+    try {
+      (void)cli::parse_plan(corrupt);
+    } catch (const precondition_error&) {
+    }
+  }
+}
+
+TEST(FuzzTest, PlanParserLineShuffleAndDeletion) {
+  const std::string full = valid_plan_text();
+  std::vector<std::string> lines;
+  std::istringstream in{full};
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  rng r{77};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::string> mutated = lines;
+    // Delete a few random lines and swap a random pair.
+    const int deletions = static_cast<int>(r.below(3));
+    for (int d = 0; d < deletions && mutated.size() > 1; ++d) {
+      mutated.erase(mutated.begin() +
+                    static_cast<std::ptrdiff_t>(r.below(mutated.size())));
+    }
+    if (mutated.size() >= 2) {
+      std::swap(mutated[r.below(mutated.size())],
+                mutated[r.below(mutated.size())]);
+    }
+    std::string text;
+    for (const auto& l : mutated) text += l + "\n";
+    try {
+      (void)cli::parse_plan(text);
+    } catch (const precondition_error&) {
+    }
+  }
+}
+
+TEST(FuzzTest, PlanParserRejectsGuaranteedInvalidMutations) {
+  const std::string full = valid_plan_text();
+  // Header corruption is always fatal: the magic must match exactly.
+  std::string bad_magic = full;
+  bad_magic[0] = 'X';
+  EXPECT_THROW((void)cli::parse_plan(bad_magic), precondition_error);
+  EXPECT_THROW((void)cli::parse_plan(""), precondition_error);
+  EXPECT_THROW((void)cli::parse_plan("\n\n#only comments\n"),
+               precondition_error);
+  // Unknown keys never silently parse.
+  EXPECT_THROW((void)cli::parse_plan(full + "quantum_flux 1\n"),
+               precondition_error);
 }
 
 TEST(FuzzTest, ElgamalCiphertextDecodeBounds) {

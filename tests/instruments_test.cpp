@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "src/core/instruments.h"
 
@@ -205,6 +206,108 @@ TEST(RendezvousInstrumentTest, OutcomesAndCells) {
   tor::event closed;
   closed.body = tor::rend_circuit_event{tor::rend_outcome::failed_conn_closed, 0};
   EXPECT_EQ(run_instrument(fn, closed)["rend/conn-closed"], 1u);
+}
+
+// -- name registry (plan-file instruments) -----------------------------------
+
+TEST(RegistryTest, EveryRegisteredInstrumentResolvesAndHasSpecs) {
+  for (const auto& name : instrument_names()) {
+    EXPECT_NO_THROW((void)instrument_by_name(name)) << name;
+    const auto specs = default_specs_for(name);
+    EXPECT_FALSE(specs.empty()) << name;
+    for (const auto& spec : specs) {
+      EXPECT_GT(spec.sensitivity, 0.0) << name << "/" << spec.name;
+    }
+  }
+  EXPECT_THROW((void)instrument_by_name("nonexistent"), precondition_error);
+  EXPECT_THROW((void)default_specs_for("nonexistent"), precondition_error);
+}
+
+/// The registry contract the distributed byte-identity gates depend on:
+/// two independent resolutions of one name must classify an event batch
+/// identically (same counters, same increments) — the canonical auxiliary
+/// inputs (Alexa list, ahmia index, suffix list) rebuild deterministically.
+TEST(RegistryTest, ParameterizedInstrumentsResolveDeterministically) {
+  std::vector<tor::event> batch;
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back(stream_event("host" + std::to_string(i) + ".com"));
+    batch.push_back(stream_event("x.site" + std::to_string(i) + ".ru"));
+  }
+  for (int i = 0; i < 20; ++i) {
+    const tor::onion_address addr = tor::derive_onion_address(
+        as_bytes("tormet.service.key." + std::to_string(i)));
+    tor::event fetch;
+    fetch.body = tor::hsdir_fetch_event{addr, tor::fetch_outcome::success};
+    batch.push_back(fetch);
+  }
+  for (const auto& name : instrument_names()) {
+    const auto a = instrument_by_name(name);
+    const auto b = instrument_by_name(name);
+    counter_map counts_a, counts_b;
+    for (const auto& ev : batch) {
+      a(ev, [&](const std::string& c, std::uint64_t n) { counts_a[c] += n; });
+      b(ev, [&](const std::string& c, std::uint64_t n) { counts_b[c] += n; });
+    }
+    EXPECT_EQ(counts_a, counts_b) << name;
+  }
+}
+
+TEST(RegistryTest, TldHistogramCountsCanonicalTlds) {
+  const auto fn = instrument_by_name("tld_histogram");
+  EXPECT_EQ(run_instrument(fn, stream_event("a.b.com"))["tld/com"], 1u);
+  EXPECT_EQ(run_instrument(fn, stream_event("x.ru"))["tld/ru"], 1u);
+  EXPECT_EQ(run_instrument(fn, stream_event("foo.example"))["tld/other"], 1u);
+  EXPECT_EQ(run_instrument(fn, stream_event("onionoo.torproject.org"))
+                ["tld/torproject.org"],
+            1u);
+  // Every counter it can emit has a default spec.
+  std::set<std::string> spec_names;
+  for (const auto& s : default_specs_for("tld_histogram")) {
+    spec_names.insert(s.name);
+  }
+  EXPECT_TRUE(spec_names.contains("tld/com"));
+  EXPECT_TRUE(spec_names.contains("tld/other"));
+  EXPECT_TRUE(spec_names.contains("tld/torproject.org"));
+}
+
+TEST(RegistryTest, DomainSetsBucketsCanonicalAlexaRanks) {
+  const auto fn = instrument_by_name("domain_sets");
+  // Rank-bucket membership over the canonical list: unknown domains land
+  // in sites/other; torproject.org is separated.
+  EXPECT_EQ(run_instrument(fn, stream_event("torproject.org"))
+                ["sites/torproject.org"],
+            1u);
+  EXPECT_EQ(run_instrument(fn, stream_event("never-in-any-list.zz"))
+                ["sites/other"],
+            1u);
+  // Default specs cover each emitted bucket.
+  std::set<std::string> spec_names;
+  for (const auto& s : default_specs_for("domain_sets")) {
+    spec_names.insert(s.name);
+  }
+  EXPECT_TRUE(spec_names.contains("sites/torproject.org"));
+  EXPECT_TRUE(spec_names.contains("sites/(0,10]"));
+  EXPECT_TRUE(spec_names.contains("sites/other"));
+}
+
+TEST(RegistryTest, HsdirAhmiaClassifiesCanonicalServiceUniverse) {
+  const auto fn = instrument_by_name("hsdir_ahmia");
+  // The canonical index covers ~56.8 % of the synthetic service universe
+  // (tor::network's deterministic per-index addresses); fetching the first
+  // 200 services must classify a plausible public/unknown split.
+  std::uint64_t public_hits = 0, unknown_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    const tor::onion_address addr = tor::derive_onion_address(
+        as_bytes("tormet.service.key." + std::to_string(i)));
+    tor::event fetch;
+    fetch.body = tor::hsdir_fetch_event{addr, tor::fetch_outcome::success};
+    const counter_map m = run_instrument(fn, fetch);
+    public_hits += m.count("hsdir/fetch/success/public");
+    unknown_hits += m.count("hsdir/fetch/success/unknown");
+  }
+  EXPECT_EQ(public_hits + unknown_hits, 200u);
+  EXPECT_GT(public_hits, 70u);   // ~113 expected
+  EXPECT_GT(unknown_hits, 40u);  // ~87 expected
 }
 
 // -- extractors --------------------------------------------------------------

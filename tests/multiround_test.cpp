@@ -1,0 +1,527 @@
+// Multi-round live-pipeline tests: sim-time window partitioning of a
+// continuously ingested event stream, multi-round distributed rounds that
+// keep every process alive across the schedule, and the fault-injection
+// harness — a feeder socket killed mid-round, a DC whose stream is delayed
+// past the round boundary, and a DC process dropped between rounds. Later
+// rounds must still complete, dropped DCs must be excluded, and surviving
+// counters must stay exact in noiseless mode.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "src/cli/deployment_plan.h"
+#include "src/cli/node_runner.h"
+#include "src/cli/orchestrator.h"
+#include "src/cli/workload_source.h"
+#include "src/core/instruments.h"
+#include "src/tor/event_codec.h"
+#include "src/tor/trace_file.h"
+#include "src/tor/trace_socket.h"
+#include "src/workload/trace_gen.h"
+
+namespace tormet::cli {
+namespace {
+
+[[nodiscard]] std::string node_binary() {
+  if (const char* env = std::getenv("TORMET_NODE_BIN")) return env;
+  return sibling_node_binary();
+}
+
+class workdir_guard {
+ public:
+  workdir_guard() : path_{make_round_workdir()} {}
+  ~workdir_guard() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Scoped TORMET_FAULT injection for the spawned node processes (the
+/// orchestrator's fork/exec children inherit this test's environment).
+class fault_env {
+ public:
+  explicit fault_env(const std::string& spec) {
+    ::setenv("TORMET_FAULT", spec.c_str(), 1);
+  }
+  ~fault_env() { ::unsetenv("TORMET_FAULT"); }
+};
+
+[[nodiscard]] tor::event stream_event_at(std::int64_t t, std::size_t observer) {
+  tor::event ev;
+  ev.observer = static_cast<tor::relay_id>(observer);
+  ev.at = sim_time{t};
+  ev.body = tor::exit_stream_event{tor::address_kind::hostname, true, 443,
+                                   "site" + std::to_string(t) + ".com"};
+  return ev;
+}
+
+/// Parses a (multi-round) privcount tally into per-round counter maps.
+[[nodiscard]] std::vector<std::map<std::string, std::int64_t>>
+parse_privcount_rounds(const std::string& tally) {
+  std::vector<std::map<std::string, std::int64_t>> rounds;
+  std::istringstream in{tally};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("round ", 0) == 0) {
+      rounds.emplace_back();
+      continue;
+    }
+    if (line == "protocol privcount" && rounds.empty()) {
+      rounds.emplace_back();  // single-round tally: no "round i" markers
+      continue;
+    }
+    if (line.rfind("counter ", 0) != 0 || rounds.empty()) continue;
+    std::istringstream ls{line};
+    std::string key, name;
+    std::int64_t value = 0;
+    ls >> key >> name >> value;
+    rounds.back()[name] = value;
+  }
+  return rounds;
+}
+
+// -- cursor window semantics -------------------------------------------------
+
+TEST(WorkloadCursorTest, PartitionsStreamIntoWindowsAndCountsGapEvents) {
+  workdir_guard workdir;
+  {
+    tor::trace_writer writer{workdir.path() + "/" + tor::trace_file_name(0)};
+    for (const std::int64_t t : {10, 99, 120, 160, 300}) {
+      writer.write(stream_event_at(t, 0));
+    }
+    writer.close();
+  }
+  deployment_plan plan = make_psc_plan(1, 1, 64);
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  // Schedule: [0,100) and [150,250); 120 falls in the gap, 300 after.
+  plan.schedule_rounds = 2;
+  plan.round_duration_s = 100;
+  plan.round_gap_s = 50;
+
+  workload_cursor cursor{plan, 0};
+  std::vector<std::int64_t> seen;
+  const auto sink = [&](const tor::event& ev) { seen.push_back(ev.at.seconds); };
+
+  EXPECT_EQ(cursor.stream_window(sim_time{0}, sim_time{100}, sink), 2u);
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{10, 99}));
+
+  seen.clear();
+  // The gap event (120) is counted-but-dropped; 300 is held as lookahead.
+  EXPECT_EQ(cursor.stream_window(sim_time{150}, sim_time{250}, sink), 1u);
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{160}));
+  EXPECT_EQ(cursor.dropped_outside_windows(), 1u);
+
+  // Trailing events drain as dropped.
+  EXPECT_EQ(cursor.drain(), 1u);
+  EXPECT_EQ(cursor.dropped_outside_windows(), 2u);
+  EXPECT_FALSE(cursor.stream_failed());
+}
+
+TEST(WorkloadCursorTest, SingleRoundPlansReplayTheWholeStream) {
+  workdir_guard workdir;
+  {
+    tor::trace_writer writer{workdir.path() + "/" + tor::trace_file_name(0)};
+    for (const std::int64_t t : {5, 200'000, 900'000}) {
+      writer.write(stream_event_at(t, 0));
+    }
+    writer.close();
+  }
+  deployment_plan plan = make_psc_plan(1, 1, 64);
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  std::size_t n = 0;
+  EXPECT_EQ(stream_dc_workload(plan, 0, [&](const tor::event&) { ++n; }), 3u);
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(RoundScheduleTest, PlanScheduleDrivesWindowing) {
+  deployment_plan plan = make_privcount_plan(2, 1, {{"entry/connections", 12.0, 100.0}});
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.round_gap_s = 3600;
+  const core::measurement_schedule sched = round_schedule_of(plan);
+  ASSERT_EQ(sched.rounds().size(), 3u);
+  EXPECT_EQ(sched.round_of(sim_time{0}), 0u);
+  EXPECT_EQ(sched.round_of(sim_time{k_seconds_per_day - 1}), 0u);
+  // Gap hour between rounds: no window.
+  EXPECT_EQ(sched.round_of(sim_time{k_seconds_per_day + 1800}), std::nullopt);
+  EXPECT_EQ(sched.round_of(sim_time{k_seconds_per_day + 3600}), 1u);
+}
+
+TEST(DeploymentPlanTest, ScheduleAndGraceFieldsRoundTrip) {
+  deployment_plan plan = make_privcount_plan(2, 1, {{"entry/connections", 12.0, 100.0}});
+  assign_free_ports(plan);
+  plan.schedule_rounds = 4;
+  plan.round_duration_s = 7200;
+  plan.round_gap_s = 600;
+  plan.dc_grace_ms = 1500;
+  plan.workload.kind = workload_kind::generate;
+  plan.workload.model = "population";
+  plan.workload.scale = 5e-5;
+  plan.workload.gen_days = 4;
+  plan.instruments = {"entry_totals"};
+
+  const deployment_plan back = parse_plan(serialize_plan(plan));
+  EXPECT_EQ(back.schedule_rounds, 4u);
+  EXPECT_EQ(back.round_duration_s, 7200);
+  EXPECT_EQ(back.round_gap_s, 600);
+  EXPECT_EQ(back.dc_grace_ms, 1500);
+  EXPECT_EQ(back.workload.gen_days, 4u);
+  EXPECT_EQ(serialize_plan(back), serialize_plan(plan));
+
+  // Malformed schedule lines are parse errors, not silent defaults.
+  const std::string base =
+      "tormet-plan-v1\nnode 0 psc_ts 127.0.0.1 9000\n"
+      "node 1 psc_cp 127.0.0.1 9001\nnode 2 psc_dc 127.0.0.1 9002\n";
+  EXPECT_THROW(parse_plan(base + "schedule rounds 0 duration 60 gap 0\n"),
+               precondition_error);
+  EXPECT_THROW(parse_plan(base + "schedule rounds 2 duration 0 gap 0\n"),
+               precondition_error);
+  EXPECT_THROW(parse_plan(base + "schedule rounds 2 duration 60 gap -5\n"),
+               precondition_error);
+  EXPECT_THROW(parse_plan(base + "schedule 2 60 0\n"), precondition_error);
+  EXPECT_THROW(parse_plan(base + "dc_grace_ms 0\n"), precondition_error);
+}
+
+// -- fault injection over real processes -------------------------------------
+
+/// Expected noiseless streams/total per round for the zipf trace: events of
+/// `dc` with sim time inside round r's daily window.
+[[nodiscard]] std::vector<std::uint64_t> expected_streams_per_round(
+    const std::vector<std::vector<tor::event>>& per_dc, std::size_t rounds,
+    const std::function<bool(std::size_t dc, std::size_t round)>& counted) {
+  std::vector<std::uint64_t> totals(rounds, 0);
+  for (std::size_t dc = 0; dc < per_dc.size(); ++dc) {
+    for (const tor::event& ev : per_dc[dc]) {
+      const auto r = static_cast<std::size_t>(ev.at.seconds / k_seconds_per_day);
+      if (r < rounds && counted(dc, r)) ++totals[r];
+    }
+  }
+  return totals;
+}
+
+/// Raw feeder that pushes `bytes` to the DC's event socket and then closes
+/// abruptly — the "killed mid-round" feeder (a truncated record on the
+/// wire).
+void feed_raw_bytes(std::uint16_t port, const byte_buffer& bytes) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::seconds{30};
+  int fd = -1;
+  for (;;) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      break;
+    }
+    ::close(fd);
+    ASSERT_LT(clock::now(), deadline) << "feeder could not connect";
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+  ::close(fd);  // abrupt close: no trailing record boundary
+}
+
+/// A killed feeder socket mid-round and a cleanly-closing feeder mid-stream:
+/// both DCs stay alive, later rounds complete, and every counter is exactly
+/// the number of events that made it onto the wire inside each window.
+TEST(MultiRoundFaultTest, FeederSocketKilledMidRoundKeepsPipelineExact) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 3;
+  gen.events = 360;  // 120/day, 40 per DC per day
+  gen.days = 3;
+  gen.seed = 41;
+  const std::vector<std::vector<tor::event>> per_dc =
+      workload::generate_trace_events(gen);
+
+  workdir_guard workdir;
+  deployment_plan plan = make_privcount_plan(
+      3, 1, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 19;
+  plan.privcount_noise_enabled = false;
+  plan.workload.kind = workload_kind::socket;
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1500;
+  plan.round_deadline_ms = 30'000;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+  std::uint16_t base = 0;
+  for (const auto& n : plan.nodes) base = std::max(base, n.port);
+  plan.workload.event_port_base = static_cast<std::uint16_t>(base + 1);
+
+  // DC 0: healthy feeder, full 3-day stream. DC 1: feeder killed mid-round
+  // (day-0 records plus a truncated day-1 record, then an abrupt close).
+  // DC 2: feeder closes cleanly after day 0 (EOF at a record boundary).
+  byte_buffer dc1_bytes;
+  tor::append_trace_header(dc1_bytes);
+  for (const tor::event& ev : per_dc[1]) {
+    if (ev.at.seconds < k_seconds_per_day) tor::append_event_record(dc1_bytes, ev);
+  }
+  {
+    byte_buffer one;
+    for (const tor::event& ev : per_dc[1]) {
+      if (ev.at.seconds >= k_seconds_per_day) {
+        tor::append_event_record(one, ev);
+        break;
+      }
+    }
+    ASSERT_GT(one.size(), 2u);
+    dc1_bytes.insert(dc1_bytes.end(), one.begin(),
+                     one.begin() + static_cast<std::ptrdiff_t>(one.size() / 2));
+  }
+  std::vector<tor::event> dc2_day0;
+  for (const tor::event& ev : per_dc[2]) {
+    if (ev.at.seconds < k_seconds_per_day) dc2_day0.push_back(ev);
+  }
+
+  std::vector<std::thread> feeders;
+  feeders.emplace_back([&] {
+    tor::stream_events_to_socket("127.0.0.1", plan.workload.event_port_base,
+                                 per_dc[0], 30'000);
+  });
+  feeders.emplace_back([&] {
+    feed_raw_bytes(static_cast<std::uint16_t>(plan.workload.event_port_base + 1),
+                   dc1_bytes);
+  });
+  feeders.emplace_back([&] {
+    tor::stream_events_to_socket(
+        "127.0.0.1",
+        static_cast<std::uint16_t>(plan.workload.event_port_base + 2),
+        dc2_day0, 30'000);
+  });
+
+  distributed_round_result result;
+  std::string round_error;
+  try {
+    result = run_distributed_round(plan, bin, workdir.path(), 90'000);
+  } catch (const std::exception& e) {
+    round_error = e.what();
+  }
+  for (auto& f : feeders) f.join();
+  ASSERT_EQ(round_error, "");
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+
+  // Later rounds completed, and every round's counters are exact: DC 1 and
+  // DC 2 contribute only their day-0 events, DC 0 contributes every day.
+  const std::vector<std::map<std::string, std::int64_t>> rounds =
+      parse_privcount_rounds(result.tally);
+  ASSERT_EQ(rounds.size(), 3u);
+  const std::vector<std::uint64_t> expected = expected_streams_per_round(
+      per_dc, 3, [](std::size_t dc, std::size_t round) {
+        return dc == 0 || round == 0;
+      });
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rounds[r].at("streams/total"),
+              static_cast<std::int64_t>(expected[r]))
+        << "round " << r;
+  }
+}
+
+/// A DC process that exits cleanly between rounds: later rounds complete
+/// without it, it is excluded from the deployment, and surviving counters
+/// stay exact.
+TEST(MultiRoundFaultTest, DcDropoutBetweenRoundsIsExcludedAndExact) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 3;
+  gen.events = 300;
+  gen.days = 3;
+  gen.seed = 43;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+  const std::vector<std::vector<tor::event>> per_dc =
+      workload::generate_trace_events(gen);
+
+  deployment_plan plan = make_privcount_plan(
+      3, 2, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 29;
+  plan.privcount_noise_enabled = false;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1500;
+  plan.round_deadline_ms = 30'000;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  // The last DC node (plan DC index 2) dies after the first round.
+  const net::node_id victim = plan.ids_with(node_role::privcount_dc).back();
+  fault_env fault{std::to_string(victim) + " exit_after_round 0"};
+
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 90'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+
+  const std::vector<std::map<std::string, std::int64_t>> rounds =
+      parse_privcount_rounds(result.tally);
+  ASSERT_EQ(rounds.size(), 3u);
+  const std::vector<std::uint64_t> expected = expected_streams_per_round(
+      per_dc, 3, [](std::size_t dc, std::size_t round) {
+        return dc != 2 || round == 0;
+      });
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rounds[r].at("streams/total"),
+              static_cast<std::int64_t>(expected[r]))
+        << "round " << r;
+  }
+}
+
+/// PSC under dropout: the faulted multi-process run must still be
+/// byte-identical to an in-process reference in which the dropped DC's
+/// trace simply ends after its last completed round — a present-but-empty
+/// oblivious table combines to the identical union.
+TEST(MultiRoundFaultTest, PscDropoutMatchesTruncatedTraceReference) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 240;
+  gen.days = 3;
+  gen.seed = 47;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+  const std::vector<std::vector<tor::event>> per_dc =
+      workload::generate_trace_events(gen);
+
+  deployment_plan plan = make_psc_plan(2, 2, 512);
+  plan.round.group = crypto::group_backend::toy;
+  plan.rng_seed = 53;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.psc_extractor = "primary_sld";
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1500;
+  plan.round_deadline_ms = 30'000;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  const net::node_id victim = plan.ids_with(node_role::psc_dc).back();
+  distributed_round_result result;
+  {
+    fault_env fault{std::to_string(victim) + " exit_after_round 0"};
+    result = run_distributed_round(plan, bin, workdir.path(), 90'000);
+  }
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+
+  // Reference: same plan over a trace dir where the victim DC's file holds
+  // only its day-0 events.
+  const std::string ref_dir = workdir.path() + "/ref";
+  std::filesystem::create_directories(ref_dir);
+  std::filesystem::copy_file(workdir.path() + "/" + tor::trace_file_name(0),
+                             ref_dir + "/" + tor::trace_file_name(0));
+  {
+    tor::trace_writer writer{ref_dir + "/" + tor::trace_file_name(1)};
+    for (const tor::event& ev : per_dc[1]) {
+      if (ev.at.seconds < k_seconds_per_day) writer.write(ev);
+    }
+    writer.close();
+  }
+  deployment_plan ref_plan = plan;
+  ref_plan.workload.trace_dir = ref_dir;
+  EXPECT_EQ(result.tally, run_reference_round(ref_plan));
+}
+
+/// A DC whose stream is delayed past the round boundary misses the grace
+/// window: the round completes without it, it is excluded from later
+/// rounds, and surviving counters stay exact.
+TEST(MultiRoundFaultTest, DelayedDcStreamIsExcludedAfterGrace) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 3;
+  gen.events = 300;
+  gen.days = 3;
+  gen.seed = 59;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+  const std::vector<std::vector<tor::event>> per_dc =
+      workload::generate_trace_events(gen);
+
+  deployment_plan plan = make_privcount_plan(
+      3, 1, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 61;
+  plan.privcount_noise_enabled = false;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1200;
+  plan.round_deadline_ms = 30'000;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  // DC index 1's collection stalls 4 s into round 0 — far past the grace.
+  const net::node_id victim = plan.ids_with(node_role::privcount_dc)[1];
+  fault_env fault{std::to_string(victim) + " delay_round 0 4000"};
+
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 90'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+
+  const std::vector<std::map<std::string, std::int64_t>> rounds =
+      parse_privcount_rounds(result.tally);
+  ASSERT_EQ(rounds.size(), 3u);
+  // The delayed DC contributes to no round at all: round 0's report missed
+  // the grace (and is dropped by the TS's reveal guard), and later rounds
+  // exclude it entirely.
+  const std::vector<std::uint64_t> expected = expected_streams_per_round(
+      per_dc, 3,
+      [](std::size_t dc, std::size_t /*round*/) { return dc != 1; });
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rounds[r].at("streams/total"),
+              static_cast<std::int64_t>(expected[r]))
+        << "round " << r;
+  }
+}
+
+}  // namespace
+}  // namespace tormet::cli

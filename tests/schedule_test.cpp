@@ -95,6 +95,38 @@ TEST(ScheduleTest, EarliestStartIsAdmissible) {
   }
 }
 
+TEST(ScheduleTest, RoundOfPartitionsTimeIntoWindowsAndGaps) {
+  measurement_schedule s;
+  s.add({"streams", sim_time{100}, 200});
+  s.add({"streams", sim_time{400}, 100});
+  EXPECT_EQ(s.round_of(sim_time{0}), std::nullopt);   // before the plan
+  EXPECT_EQ(s.round_of(sim_time{100}), 0u);           // window start inclusive
+  EXPECT_EQ(s.round_of(sim_time{299}), 0u);
+  EXPECT_EQ(s.round_of(sim_time{300}), std::nullopt); // window end exclusive
+  EXPECT_EQ(s.round_of(sim_time{350}), std::nullopt); // inter-round gap
+  EXPECT_EQ(s.round_of(sim_time{400}), 1u);
+  EXPECT_EQ(s.round_of(sim_time{499}), 1u);
+  EXPECT_EQ(s.round_of(sim_time{500}), std::nullopt); // after the plan
+}
+
+TEST(ScheduleTest, UniformScheduleMatchesPlanShape) {
+  const measurement_schedule s =
+      core::make_uniform_schedule("psc/client_ip", 3, k_seconds_per_day, 3600);
+  ASSERT_EQ(s.rounds().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(s.rounds()[i].start.seconds,
+              static_cast<std::int64_t>(i) * (k_seconds_per_day + 3600));
+    EXPECT_EQ(s.rounds()[i].duration_seconds, k_seconds_per_day);
+    EXPECT_EQ(s.round_of(s.rounds()[i].start), i);
+  }
+  EXPECT_THROW((void)core::make_uniform_schedule("x", 0, 60, 0),
+               precondition_error);
+  EXPECT_THROW((void)core::make_uniform_schedule("x", 2, 0, 0),
+               precondition_error);
+  EXPECT_THROW((void)core::make_uniform_schedule("x", 2, 60, -1),
+               precondition_error);
+}
+
 TEST(ConsensusDocTest, RoundTrip) {
   tor::consensus_params params;
   params.num_relays = 200;
