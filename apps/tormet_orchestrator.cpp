@@ -8,11 +8,13 @@
 //                       [--dcs N] [--cps N] [--sks N] [--bins B]
 //                       [--seed S] [--items-per-dc N] [--shared-items N]
 //                       [--group toy|p256] [--noise on|off]
-//                       [--timeout-s N] [--node-binary PATH]
+//                       [--timeout-s N] [--node-binary PATH] [--durable]
 //                       [--check-inproc] [--keep-workdir] [--verbose]
 //
 // Without --config a plan is synthesized from the flags (defaults: PSC,
-// 4 DCs, 3 CPs, 1024 bins, toy group). Exits 0 on success, 1 on any node
+// 4 DCs, 3 CPs, 1024 bins, toy group). --durable gives every node a
+// write-ahead op-log under the workdir: crashed (exit 42) nodes are
+// restarted and resume from their log. Exits 0 on success, 1 on any node
 // failure, timeout, or tally mismatch.
 #include <cstdlib>
 #include <cstring>
@@ -32,8 +34,8 @@ void usage() {
          "         [--protocol psc|privcount] [--dcs N] [--cps N] [--sks N]\n"
          "         [--bins B] [--seed S] [--items-per-dc N] [--shared-items N]\n"
          "         [--group toy|p256] [--noise on|off] [--timeout-s N]\n"
-         "         [--node-binary PATH] [--check-inproc] [--keep-workdir]\n"
-         "         [--verbose]\n";
+         "         [--node-binary PATH] [--durable] [--check-inproc]\n"
+         "         [--keep-workdir] [--verbose]\n";
 }
 
 }  // namespace
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   bool noise = true;
   bool check_inproc = false;
   bool keep_workdir = false;
+  bool durable = false;
   int timeout_s = 120;
   std::string node_binary;
 
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
     else if (arg == "--noise") noise = std::string_view{next()} == "on";
     else if (arg == "--timeout-s") timeout_s = static_cast<int>(std::strtol(next(), nullptr, 10));
     else if (arg == "--node-binary") node_binary = next();
+    else if (arg == "--durable") durable = true;
     else if (arg == "--check-inproc") check_inproc = true;
     else if (arg == "--keep-workdir") keep_workdir = true;
     else if (arg == "--verbose") set_log_level(log_level::info);
@@ -116,6 +120,7 @@ int main(int argc, char** argv) {
 
     const std::string workdir = cli::make_round_workdir();
     plan.tally_path = workdir + "/tally.out";
+    if (durable) plan.durable_dir = workdir + "/durable";
     cli::assign_free_ports(plan);
 
     std::cerr << "orchestrator: spawning " << plan.nodes.size() << " "
@@ -124,6 +129,15 @@ int main(int argc, char** argv) {
     const cli::distributed_round_result result =
         cli::run_distributed_round(plan, node_binary, workdir, timeout_s * 1000);
     std::cout << result.tally;
+    if (!result.summary.empty()) {
+      std::cerr << "orchestrator: deployment summary\n" << result.summary;
+    }
+    for (const auto& n : result.nodes) {
+      if (n.restarts > 0) {
+        std::cerr << "orchestrator: node " << n.id << " was restarted "
+                  << n.restarts << " time(s) and recovered\n";
+      }
+    }
 
     int rc = 0;
     if (check_inproc) {

@@ -134,6 +134,12 @@ std::string serialize_plan(const deployment_plan& plan) {
         << plan.round_duration_s << " gap " << plan.round_gap_s << "\n";
   }
   if (plan.dc_grace_ms > 0) out << "dc_grace_ms " << plan.dc_grace_ms << "\n";
+  // Durability keys are omitted for classic (non-durable) plans so existing
+  // plan files round-trip unchanged.
+  if (!plan.durable_dir.empty()) out << "durable_dir " << plan.durable_dir << "\n";
+  if (plan.checkpoint_every != 8) {
+    out << "checkpoint_every " << plan.checkpoint_every << "\n";
+  }
   if (plan.pace != 0.0) out << "pace " << format_double(plan.pace) << "\n";
   out << "psc_extractor " << plan.psc_extractor << "\n";
   for (const auto& name : plan.instruments) {
@@ -264,6 +270,13 @@ deployment_plan parse_plan(std::string_view text) {
       // Bounded so downstream deadline arithmetic (2x grace, grace + slack)
       // stays far from int overflow; an hour dwarfs any sane straggler wait.
       want(plan.dc_grace_ms > 0 && plan.dc_grace_ms <= 3'600'000);
+    } else if (key == "durable_dir") {
+      // Rest of the line: directories may contain spaces, like tally.
+      std::getline(ls >> std::ws, plan.durable_dir);
+      want(!plan.durable_dir.empty());
+    } else if (key == "checkpoint_every") {
+      ls >> plan.checkpoint_every;
+      want(plan.checkpoint_every >= 1 && plan.checkpoint_every <= 100'000);
     } else if (key == "pace") {
       ls >> plan.pace;
       want(plan.pace >= 0.0);

@@ -129,6 +129,20 @@ struct deployment_plan {
   /// Per-phase run_until deadline for every node.
   int round_deadline_ms = 120'000;
 
+  // -- Durability ------------------------------------------------------------
+  /// When non-empty, every node keeps a write-ahead op-log + checkpoint
+  /// under `<durable_dir>/node-<id>/` (util::durable_store): the TS
+  /// persists completed-round tallies and exclusion state, every role
+  /// persists its round position, and a restarted process replays to its
+  /// pre-crash state and resumes the schedule. Empty = classic
+  /// non-durable rounds.
+  std::string durable_dir;
+  /// TS checkpoint cadence in rounds: after every N committed rounds the
+  /// op-log is folded into a checkpoint and truncated.
+  std::uint32_t checkpoint_every = 8;
+
+  [[nodiscard]] bool durable() const noexcept { return !durable_dir.empty(); }
+
   [[nodiscard]] const node_spec& node(net::node_id id) const;
   [[nodiscard]] std::vector<net::node_id> ids_with(node_role role) const;
   /// The transport peer map (every node's listen address).

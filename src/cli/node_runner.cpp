@@ -1,11 +1,17 @@
 #include "src/cli/node_runner.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -21,6 +27,7 @@
 #include "src/psc/tally_server.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
+#include "src/util/op_log.h"
 
 namespace tormet::cli {
 
@@ -28,36 +35,371 @@ namespace {
 
 using clock = std::chrono::steady_clock;
 
+/// Attempts a durable TS makes per round before falling back to the
+/// classic grace-and-exclude path on the final one. A crashed peer's
+/// supervisor restart typically lands within the first retry.
+constexpr std::uint32_t k_ts_max_attempts = 3;
+/// Fabric drain between round attempts: lets the failed attempt's
+/// in-flight messages land while the round guards still recognize them.
+constexpr int k_retry_drain_ms = 200;
+/// Upper bound on the round-boundary wait for rejoin answers from
+/// queried (dropped) peers.
+constexpr int k_rejoin_wait_ms = 750;
+/// Exit code of an injected crash; the orchestrator's supervisor restarts
+/// children that die with it (durable deployments only).
+constexpr int k_crash_exit_code = 42;
+
 /// Per-process fault injection for the multi-round test harness. Reads
-/// TORMET_FAULT ("<node_id> exit_after_round <k>" or
-/// "<node_id> delay_round <k> <ms>", k 0-based) and applies only when the
-/// named node is this process.
+/// TORMET_FAULT, a ';'-separated list of clauses
+/// "<node_id> exit_after_round <k>", "<node_id> delay_round <k> <ms>",
+/// "<node_id> crash_in_round <k>", "<node_id> crash_after_round <k>"
+/// (k 0-based; "action:k" also parses) and merges the clauses naming this
+/// process's node.
 struct fault_spec {
   bool exit_after = false;
   std::size_t exit_round = 0;
   bool delay = false;
   std::size_t delay_round = 0;
   int delay_ms = 0;
+  bool crash_in = false;
+  std::size_t crash_in_round = 0;
+  bool crash_after = false;
+  std::size_t crash_after_round = 0;
 };
 
 [[nodiscard]] fault_spec fault_for(net::node_id self) {
   fault_spec f;
   const char* env = std::getenv("TORMET_FAULT");
   if (env == nullptr) return f;
-  std::istringstream in{env};
-  net::node_id id = 0;
-  std::string action;
-  in >> id >> action;
-  if (in.fail() || id != self) return f;
-  if (action == "exit_after_round") {
-    in >> f.exit_round;
-    f.exit_after = !in.fail();
-  } else if (action == "delay_round") {
-    in >> f.delay_round >> f.delay_ms;
-    f.delay = !in.fail();
+  std::istringstream clauses{env};
+  std::string clause;
+  while (std::getline(clauses, clause, ';')) {
+    std::replace(clause.begin(), clause.end(), ':', ' ');
+    std::istringstream in{clause};
+    net::node_id id = 0;
+    std::string action;
+    in >> id >> action;
+    if (in.fail() || id != self) continue;
+    if (action == "exit_after_round") {
+      in >> f.exit_round;
+      f.exit_after = !in.fail();
+    } else if (action == "delay_round") {
+      in >> f.delay_round >> f.delay_ms;
+      f.delay = !in.fail();
+    } else if (action == "crash_in_round") {
+      in >> f.crash_in_round;
+      f.crash_in = !in.fail();
+    } else if (action == "crash_after_round") {
+      in >> f.crash_after_round;
+      f.crash_after = !in.fail();
+    }
   }
   return f;
 }
+
+/// Fires an injected crash via _Exit(42): no flushes, no destructors — the
+/// op-log write()s already issued are all that survive, exactly like a real
+/// kill. In a durable deployment the crash fires at most once per
+/// (action, round): a marker file under durable_dir outlives the restart.
+void maybe_crash(const deployment_plan& plan, net::node_id self,
+                 const char* action, std::size_t round_index) {
+  if (plan.durable()) {
+    const std::string marker = plan.durable_dir + "/crashed-" +
+                               std::to_string(self) + "-" + action + "-" +
+                               std::to_string(round_index);
+    const int fd =
+        ::open(marker.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd < 0) return;  // already fired in a previous incarnation
+    ::close(fd);
+  }
+  log_line{log_level::warn} << "node " << self << ": injected crash (" << action
+                            << " " << round_index << ")";
+  std::_Exit(k_crash_exit_code);
+}
+
+// -- durable state -----------------------------------------------------------
+
+/// Per-DC participation counters for the privacy-safe round summary: they
+/// count protocol outcomes (reports present/absent, exclusions, rejoins),
+/// never measurement data.
+struct dc_counters {
+  std::uint64_t reported = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t excluded = 0;
+  std::uint64_t rejoined = 0;
+};
+
+/// One committed round, as appended to the TS op-log: the round's tally
+/// bytes plus the participation deltas recovery folds back into the
+/// cumulative state.
+struct round_record {
+  std::uint32_t round = 0;
+  std::uint32_t retries = 0;
+  std::set<net::node_id> dropped;  // full dropped set at end of round
+  std::map<net::node_id, dc_counters> delta;  // 0/1 flags for this round
+  std::string tally;
+};
+
+/// Cumulative TS state: what op-log replay reconstructs after a restart.
+struct ts_state {
+  std::unique_ptr<util::durable_store> store;  // null: classic deployment
+  std::vector<std::string> tallies;
+  std::set<net::node_id> dropped;
+  std::map<net::node_id, dc_counters> counters;
+  std::uint64_t retries_total = 0;
+  std::uint32_t next_round = 1;  // first round this process still owes
+};
+
+[[noreturn]] void record_fail(const char* what) {
+  throw util::op_log_error{std::string{"TS durable record: "} + what};
+}
+
+[[nodiscard]] std::string encode_round_record(const round_record& r) {
+  std::ostringstream out;
+  out << "tormet-ts-round-v1\n";
+  out << "round " << r.round << "\n";
+  out << "retries " << r.retries << "\n";
+  out << "dropped";
+  for (const auto id : r.dropped) out << " " << id;
+  out << "\n";
+  for (const auto& [id, c] : r.delta) {
+    out << "dc " << id << " " << c.reported << " " << c.missed << " "
+        << c.excluded << " " << c.rejoined << "\n";
+  }
+  out << "tally " << r.tally.size() << "\n" << r.tally;
+  return out.str();
+}
+
+/// Reads "tally <len>\n<len raw bytes>" from `in` (shared by the round
+/// record and the checkpoint decoders).
+[[nodiscard]] std::string read_tally_bytes(std::istream& in,
+                                           const std::string& line) {
+  std::istringstream ls{line};
+  std::string key;
+  std::uint64_t len = 0;
+  if (!(ls >> key >> len) || key != "tally" || len > (64u << 20)) {
+    record_fail("bad tally length");
+  }
+  std::string tally(static_cast<std::size_t>(len), '\0');
+  in.read(tally.data(), static_cast<std::streamsize>(len));
+  if (static_cast<std::uint64_t>(in.gcount()) != len) {
+    record_fail("truncated tally bytes");
+  }
+  return tally;
+}
+
+[[nodiscard]] round_record decode_round_record(byte_view payload) {
+  std::istringstream in{std::string{payload.begin(), payload.end()}};
+  std::string line;
+  if (!std::getline(in, line) || line != "tormet-ts-round-v1") {
+    record_fail("bad round-record magic");
+  }
+  round_record r;
+  bool have_tally = false;
+  while (!have_tally && std::getline(in, line)) {
+    std::istringstream ls{line};
+    std::string key;
+    ls >> key;
+    if (key == "round") {
+      if (!(ls >> r.round)) record_fail("bad round line");
+    } else if (key == "retries") {
+      if (!(ls >> r.retries)) record_fail("bad retries line");
+    } else if (key == "dropped") {
+      net::node_id id = 0;
+      while (ls >> id) r.dropped.insert(id);
+    } else if (key == "dc") {
+      net::node_id id = 0;
+      dc_counters c;
+      if (!(ls >> id >> c.reported >> c.missed >> c.excluded >> c.rejoined)) {
+        record_fail("bad dc line");
+      }
+      r.delta[id] = c;
+    } else if (key == "tally") {
+      r.tally = read_tally_bytes(in, line);
+      have_tally = true;
+    } else {
+      record_fail("unknown round-record key");
+    }
+  }
+  if (r.round == 0 || !have_tally) record_fail("incomplete round record");
+  return r;
+}
+
+/// Folds one committed round into the cumulative state — the single code
+/// path shared by live commits and crash-recovery replay, so a restarted
+/// TS reconstructs exactly what the previous incarnation held.
+void apply_round_record(ts_state& s, const round_record& r) {
+  if (r.round != s.next_round) record_fail("round gap in op-log");
+  s.tallies.push_back(r.tally);
+  s.dropped = r.dropped;
+  for (const auto& [id, c] : r.delta) {
+    s.counters[id].reported += c.reported;
+    s.counters[id].missed += c.missed;
+    s.counters[id].excluded += c.excluded;
+    s.counters[id].rejoined += c.rejoined;
+  }
+  s.retries_total += r.retries;
+  s.next_round = r.round + 1;
+}
+
+[[nodiscard]] std::string encode_ts_checkpoint(const ts_state& s) {
+  std::ostringstream out;
+  out << "tormet-ts-ckpt-v1\n";
+  out << "next_round " << s.next_round << "\n";
+  out << "retries " << s.retries_total << "\n";
+  out << "dropped";
+  for (const auto id : s.dropped) out << " " << id;
+  out << "\n";
+  for (const auto& [id, c] : s.counters) {
+    out << "dc " << id << " " << c.reported << " " << c.missed << " "
+        << c.excluded << " " << c.rejoined << "\n";
+  }
+  for (const auto& t : s.tallies) {
+    out << "tally " << t.size() << "\n" << t;
+  }
+  return out.str();
+}
+
+void apply_ts_checkpoint(ts_state& s, byte_view payload) {
+  std::istringstream in{std::string{payload.begin(), payload.end()}};
+  std::string line;
+  if (!std::getline(in, line) || line != "tormet-ts-ckpt-v1") {
+    record_fail("bad checkpoint magic");
+  }
+  while (std::getline(in, line)) {
+    std::istringstream ls{line};
+    std::string key;
+    ls >> key;
+    if (key == "next_round") {
+      if (!(ls >> s.next_round) || s.next_round == 0) {
+        record_fail("bad next_round line");
+      }
+    } else if (key == "retries") {
+      if (!(ls >> s.retries_total)) record_fail("bad retries line");
+    } else if (key == "dropped") {
+      net::node_id id = 0;
+      while (ls >> id) s.dropped.insert(id);
+    } else if (key == "dc") {
+      net::node_id id = 0;
+      dc_counters c;
+      if (!(ls >> id >> c.reported >> c.missed >> c.excluded >> c.rejoined)) {
+        record_fail("bad dc line");
+      }
+      s.counters[id] = c;
+    } else if (key == "tally") {
+      s.tallies.push_back(read_tally_bytes(in, line));
+    } else {
+      record_fail("unknown checkpoint key");
+    }
+  }
+  if (s.tallies.size() + 1 != s.next_round) {
+    record_fail("checkpoint tally count does not match next_round");
+  }
+}
+
+[[nodiscard]] ts_state load_ts_state(const deployment_plan& plan,
+                                     net::node_id self) {
+  ts_state s;
+  if (!plan.durable()) return s;
+  s.store = std::make_unique<util::durable_store>(
+      plan.durable_dir + "/node-" + std::to_string(self));
+  const util::durable_state& rec = s.store->recovered();
+  if (rec.has_checkpoint) apply_ts_checkpoint(s, rec.checkpoint);
+  for (const auto& r : rec.records) {
+    apply_round_record(s, decode_round_record(r));
+  }
+  if (s.next_round > 1) {
+    log_line{log_level::info}
+        << "TS: recovered " << s.tallies.size()
+        << " committed round(s) from the op-log; resuming at round "
+        << s.next_round;
+  }
+  return s;
+}
+
+/// The privacy-safe deployment summary: round/retry totals and per-DC
+/// participation counters. Kept OUT of the tally bytes (a sidecar file) so
+/// observability never perturbs the byte-identity gate.
+[[nodiscard]] std::string ts_summary(const ts_state& s,
+                                     const std::string& protocol) {
+  std::ostringstream out;
+  out << "tormet-summary-v1\n";
+  out << "protocol " << protocol << "\n";
+  out << "rounds " << (s.next_round - 1) << "\n";
+  out << "round_retries " << s.retries_total << "\n";
+  out << "excluded_now";
+  for (const auto id : s.dropped) out << " " << id;
+  out << "\n";
+  for (const auto& [id, c] : s.counters) {
+    out << "dc " << id << " reported " << c.reported << " missed " << c.missed
+        << " excluded " << c.excluded << " rejoined " << c.rejoined << "\n";
+  }
+  return out.str();
+}
+
+/// Commits one round: folds it into the cumulative state, appends the
+/// op-log record (checkpointing on the plan's cadence), and rewrites the
+/// tally file plus its .summary sidecar atomically.
+void commit_round(ts_state& s, const deployment_plan& plan, round_record rec,
+                  const std::string& protocol) {
+  apply_round_record(s, rec);
+  if (s.store != nullptr) {
+    s.store->append(as_bytes(encode_round_record(rec)));
+    if (plan.checkpoint_every > 0 && rec.round % plan.checkpoint_every == 0) {
+      s.store->write_checkpoint(as_bytes(encode_ts_checkpoint(s)));
+    }
+  }
+  write_file_atomic(plan.tally_path, serialize_multiround_tally(s.tallies));
+  write_file_atomic(plan.tally_path + ".summary", ts_summary(s, protocol));
+}
+
+// -- non-TS durable position -------------------------------------------------
+
+/// The 1-based round id the store's previous incarnation last saw (0 for a
+/// fresh start). Non-TS roles persist only this schedule position: every
+/// other bit of per-round state is re-derived byte-identically from
+/// (plan seed, node id, round id) when the TS re-drives the round.
+[[nodiscard]] std::uint32_t recovered_round(const util::durable_store& store) {
+  const auto parse = [](byte_view payload) -> std::uint32_t {
+    std::istringstream in{std::string{payload.begin(), payload.end()}};
+    std::string key;
+    std::uint32_t r = 0;
+    if (!(in >> key >> r) || key != "round") {
+      throw util::op_log_error{"node round record malformed"};
+    }
+    return r;
+  };
+  std::uint32_t round = 0;
+  const util::durable_state& rec = store.recovered();
+  if (rec.has_checkpoint) round = parse(rec.checkpoint);
+  for (const auto& r : rec.records) round = parse(r);
+  return round;
+}
+
+[[nodiscard]] std::unique_ptr<util::durable_store> open_node_store(
+    const deployment_plan& plan, net::node_id self) {
+  if (!plan.durable()) return nullptr;
+  auto store = std::make_unique<util::durable_store>(
+      plan.durable_dir + "/node-" + std::to_string(self));
+  const std::uint32_t round = recovered_round(*store);
+  if (round > 0) {
+    log_line{log_level::info} << "node " << self
+                              << ": recovered durable position at round "
+                              << round;
+  }
+  return store;
+}
+
+void record_node_round(util::durable_store& store, std::uint32_t round,
+                       std::uint32_t checkpoint_every) {
+  const std::string rec = "round " + std::to_string(round);
+  store.append(as_bytes(rec));
+  if (checkpoint_every > 0 && round % checkpoint_every == 0) {
+    store.write_checkpoint(as_bytes(rec));
+  }
+}
+
+// -- transport helpers -------------------------------------------------------
 
 /// Transport decorator for the tally-server role: a send to an unreachable
 /// peer is logged and dropped instead of failing the whole deployment — a
@@ -112,12 +454,15 @@ class tolerant_transport final : public net::transport {
 /// The serve deadline for a non-TS node: the whole schedule runs in one
 /// process lifetime, and per round the TS may spend a full phase deadline
 /// plus up to two grace windows waiting out stragglers before this peer
-/// sees the next message — budget all of it, plus one final deadline for
-/// the completion handshake.
+/// sees the next message — budget all of it (times the retry bound when
+/// the deployment is durable), plus one final deadline for the completion
+/// handshake.
 [[nodiscard]] int serve_deadline_ms(const deployment_plan& plan) {
+  const std::int64_t attempts = plan.durable() ? k_ts_max_attempts : 1;
   const std::int64_t per_round =
-      static_cast<std::int64_t>(plan.round_deadline_ms) +
-      2 * static_cast<std::int64_t>(std::max(0, plan.dc_grace_ms));
+      attempts * (static_cast<std::int64_t>(plan.round_deadline_ms) +
+                  2 * static_cast<std::int64_t>(std::max(0, plan.dc_grace_ms)) +
+                  k_retry_drain_ms + k_rejoin_wait_ms);
   const std::int64_t total =
       per_round * std::max<std::uint32_t>(1, plan.schedule_rounds) +
       plan.round_deadline_ms;
@@ -150,6 +495,41 @@ void exclude_stragglers(const std::function<void(net::node_id)>& exclude,
   }
 }
 
+/// Round-boundary rejoin admission (durable deployments only): queries
+/// every currently-dropped peer, waits briefly for answers, then re-admits
+/// every pending requester that was dropped. Restarted nodes announce
+/// themselves unsolicited at startup, so the common case pays no wait.
+void admit_rejoiners(net::transport& out, net::tcp_net& net,
+                     const deployment_plan& plan, net::node_id self,
+                     const std::function<void(net::node_id)>& readmit,
+                     std::set<net::node_id>& dropped,
+                     std::set<net::node_id>& pending,
+                     std::set<net::node_id>& rejoined_now) {
+  if (!plan.durable()) return;  // classic deployments: exclusion is final
+  if (!dropped.empty()) {
+    for (const auto id : dropped) {
+      if (pending.contains(id)) continue;
+      out.send(net::message{
+          self, id, static_cast<std::uint16_t>(ctl_msg::rejoin_query), {}});
+    }
+    const auto all_answered = [&] {
+      return std::all_of(dropped.begin(), dropped.end(), [&](net::node_id id) {
+        return pending.contains(id);
+      });
+    };
+    int wait_ms = k_rejoin_wait_ms;
+    if (plan.dc_grace_ms > 0) wait_ms = std::min(wait_ms, plan.dc_grace_ms);
+    (void)run_with_grace(net, all_answered, wait_ms);
+  }
+  for (const auto id : pending) {
+    if (dropped.erase(id) > 0) {
+      readmit(id);
+      rejoined_now.insert(id);
+    }
+  }
+  pending.clear();
+}
+
 /// Sends ROUND_DONE to every peer and blocks until each *surviving* peer
 /// replied ROUND_ACK (peers in `dropped` were excluded mid-deployment; an
 /// ack from them anyway is harmless).
@@ -171,7 +551,7 @@ void finish_round_as_ts(net::transport& out, net::tcp_net& net,
 
 /// Serves a non-TS role until the TS's ROUND_DONE arrives (or `quit_early`
 /// fires — the fault-injection exit), then acks and flushes. `handle`
-/// processes protocol messages.
+/// processes protocol messages; rejoin control traffic is answered here.
 void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
                       net::node_id self, net::node_id ts_id,
                       const std::function<void(const net::message&)>& handle,
@@ -190,13 +570,81 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
       done = true;
       return;
     }
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::rejoin_ack)) return;
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::rejoin_query)) {
+      // The TS probes dropped peers at round boundaries; answering
+      // re-admits this node from the next round.
+      try {
+        net.send(net::message{
+            self, ts_id, static_cast<std::uint16_t>(ctl_msg::rejoin_request),
+            {}});
+      } catch (const net::transport_error&) {
+      }
+      return;
+    }
     handle(m);
   });
+  if (plan.durable()) {
+    // Announce presence: a restarted node re-admits itself; on a cold
+    // start the TS's re-admission of an existing member is a no-op.
+    try {
+      net.send(net::message{
+          self, ts_id, static_cast<std::uint16_t>(ctl_msg::rejoin_request),
+          {}});
+    } catch (const net::transport_error&) {
+    }
+  }
   net.run_until(
       [&] { return done || (quit_early != nullptr && quit_early()); },
       serve_deadline_ms(plan));
   net.flush_sends();
 }
+
+// -- DC window replay --------------------------------------------------------
+
+/// Replays per-round collection windows with crash/retry support. The
+/// cursor consumes its event stream monotonically, so a re-driven round
+/// (durable TS retry) cannot re-pull its window from the source — the last
+/// streamed window is buffered and replayed verbatim instead. A restarted
+/// DC holds a rebuilt cursor: asking it for the current window auto-drops
+/// the already-processed prefix (events outside the requested window are
+/// counted-but-dropped), which re-positions the stream without any
+/// bookkeeping.
+class windowed_replay {
+ public:
+  explicit windowed_replay(bool buffering) : buffering_{buffering} {}
+
+  std::size_t replay(workload_cursor& cursor, const round_window& w,
+                     std::size_t index,
+                     const std::function<void(const tor::event&)>& sink) {
+    if (buffering_ && index == last_index_) {
+      for (const auto& ev : buffer_) sink(ev);
+      return buffer_.size();
+    }
+    if (last_index_ != k_none && index <= last_index_) {
+      log_line{log_level::warn}
+          << "DC replay: window " << index
+          << " already consumed and not buffered; skipping";
+      return 0;
+    }
+    buffer_.clear();
+    const std::size_t n =
+        cursor.stream_window(w.start, w.end, [&](const tor::event& ev) {
+          if (buffering_) buffer_.push_back(ev);
+          sink(ev);
+        });
+    last_index_ = index;
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t k_none = static_cast<std::size_t>(-1);
+  bool buffering_;
+  std::size_t last_index_ = k_none;
+  std::vector<tor::event> buffer_;
+};
+
+// -- tally-server runners ----------------------------------------------------
 
 [[nodiscard]] node_result run_psc_ts(net::tcp_net& net,
                                      const deployment_plan& plan,
@@ -204,50 +652,128 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
   tolerant_transport ts_net{net};
   psc::tally_server ts{self, ts_net, plan.ids_with(node_role::psc_dc),
                        plan.ids_with(node_role::psc_cp)};
+  ts_state state = load_ts_state(plan, self);
+  const fault_spec fault = fault_for(self);
   std::size_t acks = 0;
+  std::set<net::node_id> rejoin_pending;
   net.register_node(self, [&](const net::message& m) {
     if (m.type == static_cast<std::uint16_t>(ctl_msg::round_ack)) {
       ++acks;
+      return;
+    }
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::rejoin_request)) {
+      rejoin_pending.insert(m.from);
+      ts_net.send(net::message{
+          self, m.from, static_cast<std::uint16_t>(ctl_msg::rejoin_ack), {}});
       return;
     }
     ts.handle_message(m);
   });
 
   const std::uint32_t rounds = std::max<std::uint32_t>(1, plan.schedule_rounds);
-  std::set<net::node_id> dropped;
-  std::vector<std::string> tallies;
-  for (std::uint32_t r = 0; r < rounds; ++r) {
-    ts.begin_round(plan.round);
-    net.run_until([&] { return ts.setup_complete(); }, plan.round_deadline_ms);
-    // DCs replay their round window (or insert their plan-derived items)
-    // immediately after handling dc_configure; per-channel FIFO guarantees
-    // the report request below is processed only after that.
-    ts.request_reports();
-    if (plan.dc_grace_ms > 0) {
+  const std::uint32_t max_attempts = plan.durable() ? k_ts_max_attempts : 1;
+  // Grace for the fail-fast recovery attempts: a plan without an explicit
+  // grace still should not burn the whole (2-minute default) phase deadline
+  // before retrying a crashed peer — the final attempt keeps the full one.
+  const int phase_grace = plan.dc_grace_ms > 0
+                              ? plan.dc_grace_ms
+                              : std::min(plan.round_deadline_ms, 10'000);
+  for (std::uint32_t r = state.next_round; r <= rounds; ++r) {
+    const std::set<net::node_id> dropped_before = state.dropped;
+    std::set<net::node_id> rejoined_now;
+    std::uint32_t attempt = 0;
+    bool done = false;
+    for (; attempt < max_attempts && !done; ++attempt) {
+      const bool last_attempt = attempt + 1 == max_attempts;
+      if (attempt > 0) {
+        ++state.retries_total;
+        log_line{log_level::warn}
+            << "TS: round " << r << " attempt " << attempt
+            << " failed; draining and retrying";
+        // Quiesce: let the failed attempt's in-flight messages land now,
+        // while the round guards still recognize (and drop or dedup) them,
+        // instead of racing the retry.
+        (void)run_with_grace(net, [] { return false; }, k_retry_drain_ms);
+      }
+      admit_rejoiners(ts_net, net, plan, self,
+                      [&](net::node_id id) { ts.readmit_dc(id); },
+                      state.dropped, rejoin_pending, rejoined_now);
+      ts.resume_at_round(r);
+      ts.begin_round(plan.round);
+      if (fault.crash_in && r == fault.crash_in_round + 1) {
+        maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+      }
       const auto all_reported = [&] {
         return ts.reporting_dcs().size() >= ts.data_collectors().size();
       };
-      if (!run_with_grace(net, all_reported, plan.dc_grace_ms)) {
-        // Stragglers past the grace are dropped from the deployment; the
-        // mix starts on the tables that made it (the union just excludes
-        // the dead DCs' observations).
-        exclude_stragglers(
-            [&](net::node_id id) { ts.exclude_dc(id); }, ts.data_collectors(),
-            [&](net::node_id id) { return !ts.reporting_dcs().contains(id); },
-            dropped);
-        if (!ts.reporting_dcs().empty()) ts.force_mixing();
+      if (!last_attempt) {
+        // Recovery attempt: fail fast on any missing peer and re-drive the
+        // whole round — per-round determinism makes the retry
+        // byte-identical, so waiting out a restart beats excluding data.
+        if (!run_with_grace(net, [&] { return ts.setup_complete(); },
+                            phase_grace)) {
+          continue;
+        }
+        ts.request_reports();
+        if (!run_with_grace(net, all_reported, phase_grace)) continue;
+        if (!run_with_grace(net, [&] { return ts.result_ready(); },
+                            plan.round_deadline_ms)) {
+          continue;
+        }
+        done = true;
+        continue;
       }
+      // Final (or only) attempt: the classic grace-and-exclude path.
+      net.run_until([&] { return ts.setup_complete(); },
+                    plan.round_deadline_ms);
+      // DCs replay their round window (or insert their plan-derived items)
+      // immediately after handling dc_configure; per-channel FIFO
+      // guarantees the report request below is processed only after that.
+      ts.request_reports();
+      if (plan.dc_grace_ms > 0) {
+        if (!run_with_grace(net, all_reported, plan.dc_grace_ms)) {
+          // Stragglers past the grace are dropped from the deployment; the
+          // mix starts on the tables that made it (the union just excludes
+          // the dead DCs' observations).
+          exclude_stragglers(
+              [&](net::node_id id) { ts.exclude_dc(id); },
+              ts.data_collectors(),
+              [&](net::node_id id) { return !ts.reporting_dcs().contains(id); },
+              state.dropped);
+          if (!ts.reporting_dcs().empty()) ts.force_mixing();
+        }
+      }
+      net.run_until([&] { return ts.result_ready(); }, plan.round_deadline_ms);
+      done = ts.result_ready();
     }
-    net.run_until([&] { return ts.result_ready(); }, plan.round_deadline_ms);
-    tallies.push_back(serialize_psc_tally(ts.raw_count(), ts.params().bins,
-                                          ts.total_noise_bits()));
-    // Rewrite after every round so a watcher sees the schedule progress.
-    write_file_atomic(plan.tally_path, serialize_multiround_tally(tallies));
+
+    round_record rec;
+    rec.round = r;
+    rec.retries = attempt - 1;
+    rec.dropped = state.dropped;
+    for (const auto& n : plan.nodes) {
+      if (n.role != node_role::psc_dc) continue;
+      dc_counters c;
+      (ts.reporting_dcs().contains(n.id) ? c.reported : c.missed) = 1;
+      if (state.dropped.contains(n.id) && !dropped_before.contains(n.id)) {
+        c.excluded = 1;
+      }
+      if (rejoined_now.contains(n.id)) c.rejoined = 1;
+      rec.delta[n.id] = c;
+    }
+    // raw_count() throws if the round never completed — the node then exits
+    // nonzero and the orchestrator reports the failure.
+    rec.tally = serialize_psc_tally(ts.raw_count(), ts.params().bins,
+                                    ts.total_noise_bits());
+    commit_round(state, plan, std::move(rec), "psc");
+    if (fault.crash_after && r == fault.crash_after_round + 1) {
+      maybe_crash(plan, self, "crash_after_round", fault.crash_after_round);
+    }
   }
 
   node_result out;
-  out.tally = serialize_multiround_tally(tallies);
-  finish_round_as_ts(ts_net, net, plan, self, dropped, acks);
+  out.tally = serialize_multiround_tally(state.tallies);
+  finish_round_as_ts(ts_net, net, plan, self, state.dropped, acks);
   return out;
 }
 
@@ -259,69 +785,140 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
                              plan.ids_with(node_role::privcount_dc),
                              plan.ids_with(node_role::privcount_sk)};
   ts.set_noise_enabled(plan.privcount_noise_enabled);
+  ts_state state = load_ts_state(plan, self);
+  const fault_spec fault = fault_for(self);
   std::size_t acks = 0;
+  std::set<net::node_id> rejoin_pending;
   net.register_node(self, [&](const net::message& m) {
     if (m.type == static_cast<std::uint16_t>(ctl_msg::round_ack)) {
       ++acks;
+      return;
+    }
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::rejoin_request)) {
+      rejoin_pending.insert(m.from);
+      ts_net.send(net::message{
+          self, m.from, static_cast<std::uint16_t>(ctl_msg::rejoin_ack), {}});
       return;
     }
     ts.handle_message(m);
   });
 
   const std::uint32_t rounds = std::max<std::uint32_t>(1, plan.schedule_rounds);
-  std::set<net::node_id> dropped;
-  std::vector<std::string> tallies;
-  for (std::uint32_t r = 0; r < rounds; ++r) {
-    ts.begin_round(plan.counters, plan.privacy);
-    const auto all_ready = [&] { return ts.all_dcs_ready(); };
-    if (plan.dc_grace_ms > 0) {
-      if (!run_with_grace(net, all_ready, plan.dc_grace_ms)) {
-        exclude_stragglers(
-            [&](net::node_id id) { ts.exclude_dc(id); }, ts.data_collectors(),
-            [&](net::node_id id) { return !ts.ready_dcs().contains(id); },
-            dropped);
+  const std::uint32_t max_attempts = plan.durable() ? k_ts_max_attempts : 1;
+  // Grace for the fail-fast recovery attempts: a plan without an explicit
+  // grace still should not burn the whole (2-minute default) phase deadline
+  // before retrying a crashed peer — the final attempt keeps the full one.
+  const int phase_grace = plan.dc_grace_ms > 0
+                              ? plan.dc_grace_ms
+                              : std::min(plan.round_deadline_ms, 10'000);
+  for (std::uint32_t r = state.next_round; r <= rounds; ++r) {
+    const std::set<net::node_id> dropped_before = state.dropped;
+    std::set<net::node_id> rejoined_now;
+    std::uint32_t attempt = 0;
+    bool done = false;
+    for (; attempt < max_attempts && !done; ++attempt) {
+      const bool last_attempt = attempt + 1 == max_attempts;
+      if (attempt > 0) {
+        ++state.retries_total;
+        log_line{log_level::warn}
+            << "TS: round " << r << " attempt " << attempt
+            << " failed; draining and retrying";
+        (void)run_with_grace(net, [] { return false; }, k_retry_drain_ms);
       }
-    } else {
-      net.run_until(all_ready, plan.round_deadline_ms);
-    }
-    ts.start_collection();
-    // The TS can stop immediately after starting: both control messages
-    // ride the same TS->DC channel, and each DC replays its round window
-    // inside the start_collection handler (see run_node), so per-channel
-    // FIFO guarantees the stop is processed only after the replay finished.
-    ts.stop_collection();
-    const auto all_reported = [&] {
-      return ts.reporting_dcs().size() >= ts.data_collectors().size();
-    };
-    if (plan.dc_grace_ms > 0) {
-      if (!run_with_grace(net, all_reported, plan.dc_grace_ms)) {
-        // The reveal names exactly the DCs that reported, so dropping the
-        // stragglers keeps the blinds cancelling; they are excluded from
-        // later rounds too.
-        exclude_stragglers(
-            [&](net::node_id id) { ts.exclude_dc(id); }, ts.data_collectors(),
-            [&](net::node_id id) { return !ts.reporting_dcs().contains(id); },
-            dropped);
+      admit_rejoiners(ts_net, net, plan, self,
+                      [&](net::node_id id) { ts.readmit_dc(id); },
+                      state.dropped, rejoin_pending, rejoined_now);
+      ts.resume_at_round(r);
+      ts.begin_round(plan.counters, plan.privacy);
+      if (fault.crash_in && r == fault.crash_in_round + 1) {
+        maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
       }
-    } else {
-      net.run_until(all_reported, plan.round_deadline_ms);
+      const auto all_ready = [&] { return ts.all_dcs_ready(); };
+      const auto all_reported = [&] {
+        return ts.reporting_dcs().size() >= ts.data_collectors().size();
+      };
+      if (!last_attempt) {
+        if (!run_with_grace(net, all_ready, phase_grace)) continue;
+        ts.start_collection();
+        ts.stop_collection();
+        if (!run_with_grace(net, all_reported, phase_grace)) continue;
+        ts.request_reveal();
+        if (!run_with_grace(net, [&] { return ts.results_ready(); },
+                            plan.round_deadline_ms)) {
+          continue;
+        }
+        done = true;
+        continue;
+      }
+      // Final (or only) attempt: the classic grace-and-exclude path.
+      if (plan.dc_grace_ms > 0) {
+        if (!run_with_grace(net, all_ready, plan.dc_grace_ms)) {
+          exclude_stragglers(
+              [&](net::node_id id) { ts.exclude_dc(id); },
+              ts.data_collectors(),
+              [&](net::node_id id) { return !ts.ready_dcs().contains(id); },
+              state.dropped);
+        }
+      } else {
+        net.run_until(all_ready, plan.round_deadline_ms);
+      }
+      ts.start_collection();
+      // The TS can stop immediately after starting: both control messages
+      // ride the same TS->DC channel, and each DC replays its round window
+      // inside the start_collection handler (see run_node), so per-channel
+      // FIFO guarantees the stop is processed only after the replay
+      // finished.
+      ts.stop_collection();
+      if (plan.dc_grace_ms > 0) {
+        if (!run_with_grace(net, all_reported, plan.dc_grace_ms)) {
+          // The reveal names exactly the DCs that reported, so dropping the
+          // stragglers keeps the blinds cancelling; they are excluded from
+          // later rounds too.
+          exclude_stragglers(
+              [&](net::node_id id) { ts.exclude_dc(id); },
+              ts.data_collectors(),
+              [&](net::node_id id) { return !ts.reporting_dcs().contains(id); },
+              state.dropped);
+        }
+      } else {
+        net.run_until(all_reported, plan.round_deadline_ms);
+      }
+      if (plan.dc_grace_ms > 0 && ts.reporting_dcs().empty()) {
+        // Total DC outage on the grace path (only grace_ms has been spent):
+        // nothing to degrade to — fail the round on the full deadline rather
+        // than publishing an all-zero tally. The strict path above already
+        // waited the whole deadline.
+        net.run_until(all_reported, plan.round_deadline_ms);
+      }
+      ts.request_reveal();
+      net.run_until([&] { return ts.results_ready(); }, plan.round_deadline_ms);
+      done = ts.results_ready();
     }
-    if (plan.dc_grace_ms > 0 && ts.reporting_dcs().empty()) {
-      // Total DC outage on the grace path (only grace_ms has been spent):
-      // nothing to degrade to — fail the round on the full deadline rather
-      // than publishing an all-zero tally. The strict path above already
-      // waited the whole deadline.
-      net.run_until(all_reported, plan.round_deadline_ms);
+
+    round_record rec;
+    rec.round = r;
+    rec.retries = attempt - 1;
+    rec.dropped = state.dropped;
+    for (const auto& n : plan.nodes) {
+      if (n.role != node_role::privcount_dc) continue;
+      dc_counters c;
+      (ts.reporting_dcs().contains(n.id) ? c.reported : c.missed) = 1;
+      if (state.dropped.contains(n.id) && !dropped_before.contains(n.id)) {
+        c.excluded = 1;
+      }
+      if (rejoined_now.contains(n.id)) c.rejoined = 1;
+      rec.delta[n.id] = c;
     }
-    ts.request_reveal();
-    net.run_until([&] { return ts.results_ready(); }, plan.round_deadline_ms);
-    tallies.push_back(serialize_privcount_tally(ts.results()));
-    write_file_atomic(plan.tally_path, serialize_multiround_tally(tallies));
+    rec.tally = serialize_privcount_tally(ts.results());
+    commit_round(state, plan, std::move(rec), "privcount");
+    if (fault.crash_after && r == fault.crash_after_round + 1) {
+      maybe_crash(plan, self, "crash_after_round", fault.crash_after_round);
+    }
   }
 
   node_result out;
-  out.tally = serialize_multiround_tally(tallies);
-  finish_round_as_ts(ts_net, net, plan, self, dropped, acks);
+  out.tally = serialize_multiround_tally(state.tallies);
+  finish_round_as_ts(ts_net, net, plan, self, state.dropped, acks);
   return out;
 }
 
@@ -337,6 +934,12 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
     opts.connect_deadline_ms = static_cast<int>(std::clamp<std::int64_t>(
         2ll * plan.dc_grace_ms, 2'000, 60'000));
   }
+  // Durable deployments expect peers to die and come back: a broken
+  // channel re-arms on the next send instead of rejecting it forever.
+  opts.repair_broken = plan.durable();
+  if (plan.durable()) {
+    std::filesystem::create_directories(plan.durable_dir);
+  }
   net::tcp_net net{plan.endpoints(), opts};
   crypto::deterministic_rng rng = crypto::make_node_rng(plan.rng_seed, self);
   const net::node_id ts_id = plan.tally_server_id();
@@ -349,8 +952,34 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
 
     case node_role::psc_cp: {
       psc::computation_party cp{self, ts_id, net, rng};
-      serve_until_done(net, plan, self, ts_id,
-                       [&](const net::message& m) { cp.handle_message(m); });
+      const fault_spec fault = fault_for(self);
+      const std::unique_ptr<util::durable_store> store =
+          open_node_store(plan, self);
+      std::uint32_t recorded_round =
+          store != nullptr ? recovered_round(*store) : 0;
+      serve_until_done(net, plan, self, ts_id, [&](const net::message& m) {
+        if (m.type == static_cast<std::uint16_t>(psc::msg_type::cp_configure)) {
+          const std::uint32_t round = psc::decode_cp_configure(m).round_id;
+          // Per-round reseed BEFORE the role consumes the RNG: every
+          // incarnation — and the in-process reference — derives the
+          // identical stream for (seed, node, round), which is what makes
+          // crash re-runs byte-identical.
+          rng = crypto::make_node_round_rng(plan.rng_seed, self, round);
+          if (fault.crash_in && round == fault.crash_in_round + 1) {
+            maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+          }
+          if (store != nullptr && round > recorded_round) {
+            record_node_round(*store, round, plan.checkpoint_every);
+            recorded_round = round;
+          }
+        }
+        cp.handle_message(m);
+        if (m.type == static_cast<std::uint16_t>(psc::msg_type::decrypt_pass) &&
+            fault.crash_after &&
+            psc::decode_vector(m).round_id == fault.crash_after_round + 1) {
+          maybe_crash(plan, self, "crash_after_round", fault.crash_after_round);
+        }
+      });
       return {};
     }
     case node_role::psc_dc: {
@@ -362,11 +991,28 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
         configure_psc_dc(plan, dc);
         cursor.emplace(plan, dc_index_of(plan, self));
       }
+      const std::unique_ptr<util::durable_store> store =
+          open_node_store(plan, self);
+      std::uint32_t recorded_round =
+          store != nullptr ? recovered_round(*store) : 0;
+      windowed_replay replay{plan.durable()};
       std::uint32_t configured_round = 0;  // 1-based protocol round id
       bool quit = false;
       serve_until_done(
           net, plan, self, ts_id,
           [&](const net::message& m) {
+            if (m.type ==
+                static_cast<std::uint16_t>(psc::msg_type::dc_configure)) {
+              const std::uint32_t round = psc::decode_dc_configure(m).round_id;
+              rng = crypto::make_node_round_rng(plan.rng_seed, self, round);
+              if (fault.crash_in && round == fault.crash_in_round + 1) {
+                maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+              }
+              if (store != nullptr && round > recorded_round) {
+                record_node_round(*store, round, plan.checkpoint_every);
+                recorded_round = round;
+              }
+            }
             dc.handle_message(m);
             if (m.type ==
                 static_cast<std::uint16_t>(psc::msg_type::dc_configure)) {
@@ -384,8 +1030,8 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
               // identical sequence.
               if (is_event_workload(plan)) {
                 const round_window w = round_window_for(plan, sched, index);
-                const std::size_t replayed = cursor->stream_window(
-                    w.start, w.end,
+                const std::size_t replayed = replay.replay(
+                    *cursor, w, index,
                     [&dc](const tor::event& ev) { dc.observe(ev); });
                 if (configured_round >= plan.schedule_rounds) {
                   cursor->drain();  // trailing gap / feeder shutdown bytes
@@ -403,9 +1049,16 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
               }
             }
             if (m.type ==
-                    static_cast<std::uint16_t>(psc::msg_type::report_request) &&
-                fault.exit_after && configured_round == fault.exit_round + 1) {
-              quit = true;  // injected dropout: exit cleanly between rounds
+                static_cast<std::uint16_t>(psc::msg_type::report_request)) {
+              if (fault.exit_after &&
+                  configured_round == fault.exit_round + 1) {
+                quit = true;  // injected dropout: exit cleanly between rounds
+              }
+              if (fault.crash_after &&
+                  configured_round == fault.crash_after_round + 1) {
+                maybe_crash(plan, self, "crash_after_round",
+                            fault.crash_after_round);
+              }
             }
           },
           [&] { return quit; });
@@ -413,8 +1066,30 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
     }
     case node_role::privcount_sk: {
       privcount::share_keeper sk{self, ts_id, net};
-      serve_until_done(net, plan, self, ts_id,
-                       [&](const net::message& m) { sk.handle_message(m); });
+      const fault_spec fault = fault_for(self);
+      const std::unique_ptr<util::durable_store> store =
+          open_node_store(plan, self);
+      std::uint32_t recorded_round =
+          store != nullptr ? recovered_round(*store) : 0;
+      serve_until_done(net, plan, self, ts_id, [&](const net::message& m) {
+        if (m.type == static_cast<std::uint16_t>(privcount::msg_type::configure)) {
+          const std::uint32_t round = privcount::decode_configure(m).round_id;
+          if (fault.crash_in && round == fault.crash_in_round + 1) {
+            maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+          }
+          if (store != nullptr && round > recorded_round) {
+            record_node_round(*store, round, plan.checkpoint_every);
+            recorded_round = round;
+          }
+        }
+        sk.handle_message(m);
+        if (m.type == static_cast<std::uint16_t>(privcount::msg_type::sk_reveal) &&
+            fault.crash_after &&
+            privcount::decode_sk_reveal(m).round_id ==
+                fault.crash_after_round + 1) {
+          maybe_crash(plan, self, "crash_after_round", fault.crash_after_round);
+        }
+      });
       return {};
     }
     case node_role::privcount_dc: {
@@ -426,14 +1101,41 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
         configure_privcount_dc(plan, dc);
         cursor.emplace(plan, dc_index_of(plan, self));
       }
+      const std::unique_ptr<util::durable_store> store =
+          open_node_store(plan, self);
+      std::uint32_t recorded_round =
+          store != nullptr ? recovered_round(*store) : 0;
+      windowed_replay replay{plan.durable()};
+      std::uint32_t configured_round = 0;  // 1-based protocol round id
       bool quit = false;
       serve_until_done(
           net, plan, self, ts_id,
           [&](const net::message& m) {
+            if (m.type ==
+                static_cast<std::uint16_t>(privcount::msg_type::configure)) {
+              const std::uint32_t round =
+                  privcount::decode_configure(m).round_id;
+              rng = crypto::make_node_round_rng(plan.rng_seed, self, round);
+              if (store != nullptr && round > recorded_round) {
+                record_node_round(*store, round, plan.checkpoint_every);
+                recorded_round = round;
+              }
+            }
+            if (m.type == static_cast<std::uint16_t>(
+                              privcount::msg_type::start_collection) &&
+                privcount::decode_round_id(m) == fault.crash_in_round + 1 &&
+                fault.crash_in) {
+              maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+            }
             dc.handle_message(m);
+            if (m.type ==
+                static_cast<std::uint16_t>(privcount::msg_type::configure)) {
+              configured_round = privcount::decode_configure(m).round_id;
+            }
             if (m.type == static_cast<std::uint16_t>(
                               privcount::msg_type::start_collection)) {
               const std::uint32_t round_id = privcount::decode_round_id(m);
+              if (round_id != configured_round) return;  // stale control
               const std::size_t index = round_id - 1;
               if (fault.delay && fault.delay_round == index) {
                 std::this_thread::sleep_for(
@@ -445,8 +1147,8 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
                 // channel and is processed only after this handler returns
                 // (FIFO), so the report includes every replayed event.
                 const round_window w = round_window_for(plan, sched, index);
-                const std::size_t replayed = cursor->stream_window(
-                    w.start, w.end,
+                const std::size_t replayed = replay.replay(
+                    *cursor, w, index,
                     [&dc](const tor::event& ev) { dc.observe(ev); });
                 if (round_id >= plan.schedule_rounds) cursor->drain();
                 log_line{log_level::info}
@@ -459,9 +1161,17 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
             }
             if (m.type == static_cast<std::uint16_t>(
                               privcount::msg_type::stop_collection) &&
-                fault.exit_after &&
-                privcount::decode_round_id(m) == fault.exit_round + 1) {
-              quit = true;  // report for round k is out; exit between rounds
+                privcount::decode_round_id(m) == configured_round) {
+              if (fault.exit_after &&
+                  privcount::decode_round_id(m) == fault.exit_round + 1) {
+                quit = true;  // report for round k is out; exit between rounds
+              }
+              if (fault.crash_after &&
+                  privcount::decode_round_id(m) ==
+                      fault.crash_after_round + 1) {
+                maybe_crash(plan, self, "crash_after_round",
+                            fault.crash_after_round);
+              }
             }
           },
           [&] { return quit; });

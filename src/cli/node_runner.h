@@ -24,9 +24,32 @@
 // deployment (later rounds exclude it; its ROUND_ACK is not awaited), and
 // TS sends to unreachable peers are logged instead of fatal.
 //
+// Durable rounds (plan.durable_dir non-empty): every role opens a
+// write-ahead op-log + checkpoint store under durable_dir/node-<id>
+// (util::durable_store). The TS persists one record per committed round
+// (tally bytes + per-DC participation deltas + the dropped set); a
+// restarted TS replays the log and resumes the schedule at the first
+// uncommitted round. Non-TS roles persist only their schedule position —
+// all other per-round state is re-derived byte-identically from
+// (plan seed, node id, round id) because every node reseeds its RNG per
+// round (crypto::make_node_round_rng), exactly as the in-process
+// reference deployments do. A failed round attempt (peer crash) is
+// retried up to a small bound: the TS re-begins the same round id and the
+// per-round determinism makes the retry's bytes identical to the
+// interrupted attempt's, so recovery never perturbs the tally.
+//
+// Rejoin handshake: a restarted node announces itself with REJOIN_REQUEST;
+// the TS queries dropped peers with REJOIN_QUERY at round boundaries and
+// re-admits responders (readmit_dc) before the next begin_round.
+//
 // Fault injection for tests: TORMET_FAULT="<node_id> exit_after_round <k>"
 // makes that DC process exit cleanly after round k's report,
-// "<node_id> delay_round <k> <ms>" stalls its collection phase in round k.
+// "<node_id> delay_round <k> <ms>" stalls its collection phase in round k,
+// "<node_id> crash_in_round <k>" / "<node_id> crash_after_round <k>"
+// _Exit(42) mid-round / right after round k (0-based; "action:k" spelling
+// also accepted). Clauses are ';'-separated; in a durable deployment each
+// crash fires once (a marker file under durable_dir survives the restart)
+// and the orchestrator's supervisor restarts exit-42 children.
 #pragma once
 
 #include <cstdint>
@@ -41,8 +64,11 @@ namespace tormet::cli {
 /// Round-completion control messages (outside the protocol msg_type
 /// ranges: PSC uses 32..39, PrivCount 1..8).
 enum class ctl_msg : std::uint16_t {
-  round_done = 240,  // TS -> peer: round is over, acknowledge and exit
-  round_ack = 241,   // peer -> TS: acknowledged; TS exits after all acks
+  round_done = 240,      // TS -> peer: round is over, acknowledge and exit
+  round_ack = 241,       // peer -> TS: acknowledged; TS exits after all acks
+  rejoin_request = 242,  // restarted peer -> TS: re-admit me at a boundary
+  rejoin_ack = 243,      // TS -> peer: rejoin request noted
+  rejoin_query = 244,    // TS -> dropped peer: still there? answer to rejoin
 };
 
 struct node_result {

@@ -213,21 +213,25 @@ distributed_round_result run_distributed_round(const deployment_plan& plan,
     pid_t pid = -1;
     int exit_code = -1;
     bool exited = false;
+    int restarts = 0;
+    bool restart_pending = false;
+    clock::time_point restart_at{};
   };
   std::vector<child> children;
   children.reserve(plan.nodes.size());
 
-  for (const auto& n : plan.nodes) {
-    const std::string log_path =
-        workdir + "/node-" + std::to_string(n.id) + ".log";
-    const std::string node_arg = std::to_string(n.id);
+  // Spawn (and later respawn) one node process. Respawns append to the
+  // node's log so the pre-crash output survives for diagnosis.
+  const auto spawn = [&](net::node_id id, bool append) -> pid_t {
+    const std::string log_path = workdir + "/node-" + std::to_string(id) + ".log";
+    const std::string node_arg = std::to_string(id);
     const pid_t pid = ::fork();
     expects(pid >= 0, "fork failed");
     if (pid == 0) {
       // Child: redirect stdout+stderr to the per-node log, then exec.
       // Only async-signal-safe calls below (the parent is multi-threaded).
-      const int log_fd =
-          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      const int flags = O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+      const int log_fd = ::open(log_path.c_str(), flags, 0644);
       if (log_fd >= 0) {
         ::dup2(log_fd, STDOUT_FILENO);
         ::dup2(log_fd, STDERR_FILENO);
@@ -238,19 +242,36 @@ distributed_round_result run_distributed_round(const deployment_plan& plan,
       ::execv(node_binary.c_str(), const_cast<char* const*>(argv));
       ::_exit(127);
     }
-    children.push_back({n.id, pid, -1, false});
+    return pid;
+  };
+
+  for (const auto& n : plan.nodes) {
+    child c;
+    c.id = n.id;
+    c.pid = spawn(n.id, /*append=*/false);
+    children.push_back(c);
   }
+
+  // Supervisor policy: in a durable plan a child that dies with the crash
+  // exit code is restarted (it replays its op-log and rejoins); a cap
+  // keeps a crash-looping binary from hanging the round forever.
+  constexpr int k_crash_exit_code = 42;
+  constexpr int k_max_restarts = 5;
+  const int restart_delay_ms = [] {
+    const char* env = std::getenv("TORMET_RESTART_DELAY_MS");
+    return env != nullptr ? std::atoi(env) : 0;
+  }();
 
   const auto kill_all = [&] {
     for (auto& c : children) {
-      if (!c.exited) ::kill(c.pid, SIGKILL);
+      if (!c.exited && !c.restart_pending) ::kill(c.pid, SIGKILL);
     }
     for (auto& c : children) {
-      if (!c.exited) {
+      if (!c.exited && !c.restart_pending) {
         int status = 0;
         ::waitpid(c.pid, &status, 0);
-        c.exited = true;
       }
+      c.exited = true;
     }
   };
 
@@ -260,11 +281,31 @@ distributed_round_result run_distributed_round(const deployment_plan& plan,
     std::size_t running = 0;
     for (auto& c : children) {
       if (c.exited) continue;
+      if (c.restart_pending) {
+        // A crashed durable node waiting out its restart delay still counts
+        // as running: the round is not over, and the deadline still guards
+        // against a wedged deployment.
+        if (clock::now() >= c.restart_at) {
+          c.pid = spawn(c.id, /*append=*/true);
+          c.restart_pending = false;
+          ++c.restarts;
+        }
+        ++running;
+        continue;
+      }
       int status = 0;
       const pid_t r = ::waitpid(c.pid, &status, WNOHANG);
       if (r == c.pid) {
-        c.exited = true;
         c.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        if (c.exit_code == k_crash_exit_code && plan.durable() &&
+            c.restarts < k_max_restarts) {
+          c.restart_pending = true;
+          c.restart_at =
+              clock::now() + std::chrono::milliseconds{restart_delay_ms};
+          ++running;
+          continue;
+        }
+        c.exited = true;
         if (c.exit_code != 0) failed = true;
       } else {
         ++running;
@@ -287,8 +328,14 @@ distributed_round_result run_distributed_round(const deployment_plan& plan,
   }
 
   distributed_round_result out;
-  for (const auto& c : children) out.nodes.push_back({c.id, c.exit_code});
+  for (const auto& c : children) {
+    out.nodes.push_back({c.id, c.exit_code, c.restarts});
+  }
   out.tally = read_file(plan.tally_path);
+  const std::string summary_path = plan.tally_path + ".summary";
+  if (::access(summary_path.c_str(), R_OK) == 0) {
+    out.summary = read_file(summary_path);
+  }
   return out;
 }
 

@@ -16,10 +16,15 @@ namespace tormet::cli {
 struct node_exit {
   net::node_id id = 0;
   int exit_code = -1;  // -1: killed / did not exit cleanly
+  int restarts = 0;    // supervisor respawns (durable deployments only)
 };
 
 struct distributed_round_result {
   std::string tally;  // bytes of the TS's tally file
+  /// Privacy-safe deployment summary sidecar (tally_path + ".summary",
+  /// empty when the TS wrote none): round/retry totals and per-DC
+  /// participation counters — never measurement data.
+  std::string summary;
   std::vector<node_exit> nodes;
 };
 
@@ -35,7 +40,11 @@ void assign_free_ports(deployment_plan& plan);
 /// Spawns one `node_binary --config <plan> --node <id>` process per plan
 /// node inside `workdir` (plan + tally + per-node logs live there), waits
 /// up to `timeout_ms`, and returns the tally plus per-node exit codes.
-/// Throws transport_error on timeout or when any node fails.
+/// Throws transport_error on timeout or when any node fails. In a durable
+/// plan the call also supervises: a child that dies with the crash exit
+/// code (42) is respawned — appending to its log — up to a small cap;
+/// TORMET_RESTART_DELAY_MS delays each respawn (test knob for exercising
+/// the exclusion-then-rejoin path).
 [[nodiscard]] distributed_round_result run_distributed_round(
     const deployment_plan& plan, const std::string& node_binary,
     const std::string& workdir, int timeout_ms);

@@ -58,6 +58,32 @@ deterministic_rng make_node_rng(std::uint64_t deployment_seed,
   return deterministic_rng{byte_view{d.data(), d.size()}};
 }
 
+sha256_digest derive_node_round_seed(std::uint64_t deployment_seed,
+                                     std::uint32_t node_id,
+                                     std::uint32_t round_id) {
+  sha256_hasher h;
+  h.update("tormet.node-round-rng.v1");
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(deployment_seed >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf[8 + i] = static_cast<std::uint8_t>(node_id >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf[12 + i] = static_cast<std::uint8_t>(round_id >> (8 * i));
+  }
+  h.update(byte_view{buf, sizeof buf});
+  return h.finish();
+}
+
+deterministic_rng make_node_round_rng(std::uint64_t deployment_seed,
+                                      std::uint32_t node_id,
+                                      std::uint32_t round_id) {
+  const sha256_digest d = derive_node_round_seed(deployment_seed, node_id, round_id);
+  return deterministic_rng{byte_view{d.data(), d.size()}};
+}
+
 deterministic_rng::deterministic_rng(byte_view seed) {
   key_ = sha256(seed);
 }

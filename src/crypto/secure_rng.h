@@ -50,6 +50,21 @@ class deterministic_rng;
 [[nodiscard]] deterministic_rng make_node_rng(std::uint64_t deployment_seed,
                                               std::uint32_t node_id);
 
+/// Per-(node, round) seed: a pure function of (deployment seed, node id,
+/// round id). Deployments reseed every node's stream from this at each
+/// round boundary, making a round's protocol randomness independent of how
+/// many rounds (or partial, crashed round attempts) preceded it — the
+/// property that lets a restarted process, or a tally server retrying a
+/// round, reproduce byte-identical messages.
+[[nodiscard]] sha256_digest derive_node_round_seed(std::uint64_t deployment_seed,
+                                                   std::uint32_t node_id,
+                                                   std::uint32_t round_id);
+/// The node's deterministic stream for one round, seeded via
+/// derive_node_round_seed.
+[[nodiscard]] deterministic_rng make_node_round_rng(std::uint64_t deployment_seed,
+                                                    std::uint32_t node_id,
+                                                    std::uint32_t round_id);
+
 /// Deterministic generator: HMAC-SHA256 in counter mode keyed by a seed.
 /// NIST-DRBG-shaped (not certified); used for reproducible protocol runs in
 /// tests, simulations, and benches.

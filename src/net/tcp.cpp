@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <stdexcept>
 
 #include "src/net/wire.h"
@@ -69,8 +70,13 @@ bool read_all(int fd, std::span<std::uint8_t> out) {
   return true;
 }
 
-[[nodiscard]] byte_buffer encode_body(const message& msg) {
+/// Epoch and sequence lead the body so the dedup decision needs no payload
+/// parsing beyond the fixed-size head.
+[[nodiscard]] byte_buffer encode_body(const message& msg, std::uint64_t epoch,
+                                      std::uint64_t seq) {
   wire_writer w;
+  w.write_u64(epoch);
+  w.write_u64(seq);
   w.write_u32(msg.from);
   w.write_u32(msg.to);
   w.write_u16(msg.type);
@@ -78,15 +84,32 @@ bool read_all(int fd, std::span<std::uint8_t> out) {
   return w.take();
 }
 
-[[nodiscard]] message decode_body(byte_view body) {
-  wire_reader r{body};
+struct decoded_frame {
   message msg;
-  msg.from = r.read_u32();
-  msg.to = r.read_u32();
-  msg.type = r.read_u16();
-  msg.payload = r.read_bytes();
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+};
+
+[[nodiscard]] decoded_frame decode_body(byte_view body) {
+  wire_reader r{body};
+  decoded_frame f;
+  f.epoch = r.read_u64();
+  f.seq = r.read_u64();
+  f.msg.from = r.read_u32();
+  f.msg.to = r.read_u32();
+  f.msg.type = r.read_u16();
+  f.msg.payload = r.read_bytes();
   r.expect_end();
-  return msg;
+  return f;
+}
+
+/// Random per-process fabric epoch (never zero so tests can use 0 as a
+/// distinct foreign epoch).
+[[nodiscard]] std::uint64_t make_epoch() {
+  std::random_device rd;
+  const std::uint64_t e =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+  return e == 0 ? 1 : e;
 }
 
 /// Approximate fabric bytes one queued message occupies (for backpressure).
@@ -113,12 +136,18 @@ struct tcp_net::listener {
 /// writer thread that owns the socket lifecycle (connect with retry,
 /// chunked frame writes, transparent reconnect on failure).
 struct tcp_net::channel {
+  struct queued_msg {
+    message msg;
+    std::uint64_t seq = 0;  // assigned under `m` at enqueue: queue order == seq order
+  };
+
   node_id dest = 0;
   std::mutex m;
   std::condition_variable cv_work;   // writer: queue non-empty or stop
   std::condition_variable cv_space;  // senders: queue fell below the limit
-  std::deque<message> queue;
+  std::deque<queued_msg> queue;
   std::size_t queued_bytes = 0;  // includes the message being written
+  std::uint64_t next_seq = 1;    // 0 is the receiver's "nothing seen" state
   bool stop = false;
   bool broken = false;  // connect deadline exhausted: sends now fail
   int fd = -1;          // owned by the writer thread; shutdown() by hooks
@@ -138,10 +167,13 @@ namespace {
 tcp_net::tcp_net() : tcp_net(tcp_options{}) {}
 
 tcp_net::tcp_net(tcp_options opts)
-    : opts_{sanitize(opts)}, peers_{}, distributed_{false} {}
+    : opts_{sanitize(opts)}, peers_{}, distributed_{false}, epoch_{make_epoch()} {}
 
 tcp_net::tcp_net(std::map<node_id, tcp_endpoint> peers, tcp_options opts)
-    : opts_{sanitize(opts)}, peers_{std::move(peers)}, distributed_{true} {
+    : opts_{sanitize(opts)},
+      peers_{std::move(peers)},
+      distributed_{true},
+      epoch_{make_epoch()} {
   expects(!peers_.empty(), "distributed fabric needs a peer map");
 }
 
@@ -231,10 +263,10 @@ void tcp_net::reader_loop(int fd) {
     }
     if ((flags & k_flag_final) != 0) {
       try {
-        message msg = decode_body(assembly);
+        decoded_frame f = decode_body(assembly);
         assembly.clear();
         messages_received_.fetch_add(1, std::memory_order_relaxed);
-        enqueue(std::move(msg));
+        enqueue(std::move(f.msg), f.epoch, f.seq);
       } catch (const wire_error&) {
         log_line{log_level::warn}
             << "tcp_net: malformed message; dropping connection";
@@ -252,9 +284,21 @@ void tcp_net::reader_loop(int fd) {
   ::close(fd);
 }
 
-void tcp_net::enqueue(message msg) {
+void tcp_net::enqueue(message msg, std::uint64_t epoch, std::uint64_t seq) {
   {
     std::lock_guard lock{mutex_};
+    // Exactly-once: a writer resends whole messages after a reconnect, so a
+    // message fully written before the cut can arrive twice. Sequence
+    // numbers increase monotonically per (epoch, destination) channel and
+    // connections deliver in order, so anything at or below the high-water
+    // mark was already delivered. A dropped duplicate must NOT decrement
+    // in_flight_ — its first arrival already balanced the send.
+    std::uint64_t& max_seen = seen_seq_[{epoch, msg.to}];
+    if (seq <= max_seen) {
+      duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    max_seen = seq;
     inbox_.push_back(std::move(msg));
     if (!distributed_) --in_flight_;
   }
@@ -325,7 +369,7 @@ std::shared_ptr<tcp_net::channel> tcp_net::channel_to(node_id id) {
 
 void tcp_net::writer_loop(const std::shared_ptr<channel>& ch) {
   for (;;) {
-    message cur;
+    channel::queued_msg cur;
     std::size_t cur_cost = 0;
     {
       std::unique_lock lk{ch->m};
@@ -333,12 +377,12 @@ void tcp_net::writer_loop(const std::shared_ptr<channel>& ch) {
       if (ch->stop) break;
       cur = std::move(ch->queue.front());
       ch->queue.pop_front();
-      cur_cost = queue_cost(cur);
+      cur_cost = queue_cost(cur.msg);
       // queued_bytes keeps counting `cur` until it is fully on the wire, so
       // backpressure covers the in-flight message too.
     }
 
-    const byte_buffer body = encode_body(cur);
+    const byte_buffer body = encode_body(cur.msg, epoch_, cur.seq);
     bool written = false;
     bool gave_up = false;
     int attempts = 0;
@@ -479,6 +523,9 @@ void tcp_net::send(message msg) {
   bool rejected = false;
   {
     std::unique_lock lk{ch->m};
+    // Durable deployments re-arm a broken channel: the peer may just be
+    // restarting, and its supervisor will bring the listener back.
+    if (opts_.repair_broken && ch->broken) ch->broken = false;
     ch->cv_space.wait(lk, [&] {
       return ch->stop || ch->broken ||
              ch->queued_bytes < opts_.send_queue_limit_bytes;
@@ -488,7 +535,7 @@ void tcp_net::send(message msg) {
     } else {
       ch->queued_bytes += queue_cost(msg);
       atomic_max(peak_queue_bytes_, ch->queued_bytes);
-      ch->queue.push_back(std::move(msg));
+      ch->queue.push_back(channel::queued_msg{std::move(msg), ch->next_seq++});
     }
   }
   if (rejected) {
@@ -631,6 +678,7 @@ tcp_stats tcp_net::stats() const {
   out.chunks_sent = chunks_sent_.load();
   out.messages_received = messages_received_.load();
   out.reconnects = reconnects_.load();
+  out.duplicates_dropped = duplicates_dropped_.load();
   out.peak_queue_bytes = peak_queue_bytes_.load();
   return out;
 }

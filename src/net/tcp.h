@@ -18,12 +18,22 @@
 //    messages (see cli::node_runner's DONE/ACK round protocol);
 //    run_until_quiescent() only flushes local sends and drains the inbox.
 //
-// Framing: a message body (from, to, type, payload via the wire codec) is
-// split into chunks of at most max_chunk_bytes, each prefixed by a 5-byte
-// header [u8 flags][u32 chunk_len le]; flags bit0 marks the final chunk of
-// a message. Chunking bounds single write() sizes for multi-megabyte tally
+// Framing: a message body (sender epoch, per-channel sequence number, then
+// from, to, type, payload via the wire codec) is split into chunks of at
+// most max_chunk_bytes, each prefixed by a 5-byte header
+// [u8 flags][u32 chunk_len le]; flags bit0 marks the final chunk of a
+// message. Chunking bounds single write() sizes for multi-megabyte tally
 // vectors and lets a reader enforce both per-chunk and per-message size
 // limits while streaming.
+//
+// Exactly-once across reconnects: a writer that loses its connection
+// mid-message resends the whole message on a fresh connection, which makes
+// raw delivery at-least-once. Every send is therefore tagged with the
+// fabric's random epoch and a per-channel monotonically increasing sequence
+// number; the receiver remembers the highest sequence seen per
+// (epoch, destination) channel and drops anything at or below it. Combined
+// with the writer's one-message-at-a-time sequencing this restores
+// exactly-once, FIFO delivery across any number of reconnects.
 //
 // Threading model: one accept thread per listener, one reader thread per
 // inbound connection, one writer thread per outbound destination. Received
@@ -74,6 +84,12 @@ struct tcp_options {
   /// to reach exact quiescence within this window something is wedged and a
   /// transport_error is thrown. Never causes an early *successful* return.
   int quiescence_deadline_ms = 120'000;
+  /// When true, a send() to a channel whose writer exhausted its connect
+  /// deadline re-arms the channel instead of failing — the writer retries
+  /// from scratch. Durable deployments enable this so a peer that is down
+  /// for a restart (supervisor respawn) does not poison the channel for the
+  /// rest of the schedule.
+  bool repair_broken = false;
 };
 
 /// Monotonic counters for tests and diagnostics.
@@ -82,6 +98,9 @@ struct tcp_stats {
   std::uint64_t chunks_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t reconnects = 0;
+  /// Resent messages the receiver side dropped as already-delivered (the
+  /// exactly-once dedup path).
+  std::uint64_t duplicates_dropped = 0;
   /// High-water mark of any destination's queued-but-unwritten bytes.
   std::uint64_t peak_queue_bytes = 0;
 };
@@ -133,12 +152,10 @@ class tcp_net final : public transport {
   /// the link failed mid-stream). Subsequent sends transparently
   /// reconnect; a message whose frames were cut mid-write is resent from
   /// the start on the fresh connection (the receiver discards the partial
-  /// assembly on EOF). Caveats across a reconnect: delivery is
-  /// at-least-once for messages fully written before the cut, and FIFO
-  /// ordering can be violated in a narrow window (the old connection's
-  /// reader may still be draining a delivered message while the new
-  /// connection's reader enqueues the resend) — cross-reconnect sequence
-  /// numbers are a ROADMAP follow-up.
+  /// assembly on EOF). A message fully written before the cut may be
+  /// resent too (the writer cannot tell), but the receiver's per-channel
+  /// sequence dedup drops the duplicate — delivery stays exactly-once and
+  /// FIFO across the reconnect.
   void drop_connections_to(node_id id);
 
   [[nodiscard]] tcp_stats stats() const;
@@ -149,7 +166,7 @@ class tcp_net final : public transport {
 
   void accept_loop(int listen_fd);
   void reader_loop(int fd);
-  void enqueue(message msg);
+  void enqueue(message msg, std::uint64_t epoch, std::uint64_t seq);
   [[nodiscard]] std::shared_ptr<channel> channel_to(node_id id);
   void writer_loop(const std::shared_ptr<channel>& ch);
   /// Resolves the current listen address of `id` (throws if unknown).
@@ -159,6 +176,10 @@ class tcp_net final : public transport {
   const tcp_options opts_;
   const std::map<node_id, tcp_endpoint> peers_;  // empty => single-fabric
   const bool distributed_;
+  /// Random per-fabric epoch stamped into every frame; a restarted process
+  /// gets a fresh epoch, so its sequence numbers never collide with its
+  /// predecessor's in a receiver's dedup state.
+  const std::uint64_t epoch_;
 
   mutable std::mutex mutex_;
   std::condition_variable inbox_cv_;
@@ -170,6 +191,9 @@ class tcp_net final : public transport {
   /// Messages sent minus messages landed in the inbox (single-fabric mode
   /// only): exact in-flight count for quiescence. Guarded by mutex_.
   std::int64_t in_flight_ = 0;
+  /// Exactly-once dedup: highest sequence number delivered per
+  /// (sender epoch, destination node) channel. Guarded by mutex_.
+  std::map<std::pair<std::uint64_t, node_id>, std::uint64_t> seen_seq_;
   std::atomic<bool> stopping_{false};
 
   std::mutex inbound_mutex_;
@@ -179,6 +203,7 @@ class tcp_net final : public transport {
   std::atomic<std::uint64_t> chunks_sent_{0};
   std::atomic<std::uint64_t> messages_received_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> duplicates_dropped_{0};
   std::atomic<std::uint64_t> peak_queue_bytes_{0};
 };
 

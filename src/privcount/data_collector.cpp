@@ -68,11 +68,23 @@ void data_collector::handle_message(const net::message& msg) {
       on_configure(decode_configure(msg));
       return;
     case msg_type::start_collection:
-      expects(decode_round_id(msg) == round_id_, "round id mismatch");
+      // A round-id mismatch is a stale control from a previous round
+      // attempt reaching a restarted DC (the writer resends its queued
+      // suffix on reconnect). Crash recovery makes that a drop, not a
+      // protocol violation: the TS re-drives the round from configure.
+      if (decode_round_id(msg) != round_id_) {
+        log_line{log_level::warn}
+            << "DC " << self_ << ": stale start_collection; dropping";
+        return;
+      }
       collecting_ = true;
       return;
     case msg_type::stop_collection: {
-      expects(decode_round_id(msg) == round_id_, "round id mismatch");
+      if (decode_round_id(msg) != round_id_) {
+        log_line{log_level::warn}
+            << "DC " << self_ << ": stale stop_collection; dropping";
+        return;
+      }
       collecting_ = false;
       dc_report_msg report;
       report.round_id = round_id_;

@@ -40,6 +40,8 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
   for (std::size_t i = 0; i < config_.measured_relays.size(); ++i) {
     // Per-node stream: deterministic in (seed, node id) only, so the same
     // seed reproduces identical noise/blinding in a distributed round.
+    // run_round reseeds per (node, round) at each boundary.
+    rng_node_ids_.push_back(dc_ids[i]);
     node_rngs_.push_back(std::make_unique<crypto::deterministic_rng>(
         crypto::make_node_rng(config_.rng_seed, dc_ids[i])));
     auto dc = std::make_unique<data_collector>(dc_ids[i], ts_id, transport_,
@@ -68,6 +70,13 @@ void deployment::attach(tor::network& net) {
 std::vector<counter_result> deployment::run_round(
     const std::vector<counter_spec>& specs,
     const std::function<void()>& workload) {
+  // Reseed each DC's stream for the upcoming round id, mirroring
+  // cli::node_runner in a distributed round (byte-identity contract).
+  const std::uint32_t next_round = ts_->round_id() + 1;
+  for (std::size_t i = 0; i < node_rngs_.size(); ++i) {
+    *node_rngs_[i] =
+        crypto::make_node_round_rng(config_.rng_seed, rng_node_ids_[i], next_round);
+  }
   ts_->begin_round(specs, config_.privacy);
   transport_.run_until_quiescent();
   expects(ts_->all_dcs_ready(), "not all data collectors became ready");

@@ -66,8 +66,10 @@ class deployment {
  private:
   net::transport& transport_;
   deployment_config config_;
-  /// One RNG per DC node, seeded via crypto::derive_node_seed.
+  /// One RNG per DC node, seeded via crypto::derive_node_seed at
+  /// construction and crypto::derive_node_round_seed at round boundaries.
   std::vector<std::unique_ptr<crypto::deterministic_rng>> node_rngs_;
+  std::vector<net::node_id> rng_node_ids_;  // parallel to node_rngs_
   std::shared_ptr<util::thread_pool> pool_;
   std::unique_ptr<tally_server> ts_;
   std::vector<std::unique_ptr<share_keeper>> sks_;

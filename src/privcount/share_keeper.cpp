@@ -13,9 +13,16 @@ void share_keeper::handle_message(const net::message& msg) {
   switch (static_cast<msg_type>(msg.type)) {
     case msg_type::configure: {
       const configure_msg m = decode_configure(msg);
+      // A re-configure for the round we are already in is a durable TS
+      // retrying the attempt. DC blinds are byte-identical across attempts
+      // (per-round RNG reseeding), so shares already held stay valid; a
+      // DC's re-sent share could even have arrived before this configure,
+      // and wiping it here would lose it for good.
+      const bool rerun = m.round_id == round_id_ &&
+                         m.counter_names.size() == n_counters_;
       round_id_ = m.round_id;
       n_counters_ = m.counter_names.size();
-      shares_by_dc_.clear();
+      if (!rerun) shares_by_dc_.clear();
       pending_reveal_dcs_.clear();
       reveal_pending_ = false;
       // Adopt shares that raced ahead of this configure, dropping any for

@@ -64,6 +64,11 @@ bool tally_server::all_dcs_ready() const {
   return dcs_ready_.size() == dcs_.size();
 }
 
+void tally_server::resume_at_round(std::uint32_t next_round) {
+  expects(next_round >= 1, "rounds are 1-based");
+  round_id_ = next_round - 1;
+}
+
 void tally_server::start_collection() {
   for (const auto dc : dcs_) {
     transport_.send(encode_simple(self_, dc, msg_type::start_collection, round_id_));
@@ -166,6 +171,13 @@ void tally_server::exclude_dc(net::node_id id) {
   dcs_ready_.erase(id);
   log_line{log_level::warn} << "TS: excluding DC " << id
                             << " from the deployment";
+}
+
+void tally_server::readmit_dc(net::node_id id) {
+  if (is_member(id)) return;
+  dcs_.push_back(id);
+  log_line{log_level::info} << "TS: re-admitting DC " << id
+                            << " from the next round";
 }
 
 bool tally_server::results_ready() const {

@@ -55,6 +55,13 @@ class tally_server {
   void start_collection();
   void stop_collection();
 
+  /// Crash recovery: positions the round counter so the next begin_round
+  /// runs as round `next_round` (1-based). Used by a restarted TS resuming
+  /// its schedule after op-log replay, and by a durable TS retrying the
+  /// same round after a peer crash (per-round RNG reseeding makes a re-run
+  /// byte-identical to the interrupted attempt).
+  void resume_at_round(std::uint32_t next_round);
+
   /// After DC reports have arrived: asks SKs to reveal blinding sums over
   /// exactly the DCs that reported.
   void request_reveal();
@@ -84,6 +91,12 @@ class tally_server {
   /// count, so mid-round exclusion keeps CIs honest. At least one DC must
   /// remain.
   void exclude_dc(net::node_id id);
+  /// Rejoin handshake: re-admits a previously excluded (or restarted) DC at
+  /// a round boundary — from the next begin_round it is configured again
+  /// and counts toward sigma/DC accounting (round_dc_count_ snapshots at
+  /// begin_round, so re-admission never skews an in-flight round's noise
+  /// fraction). No-op if the DC is already a member.
+  void readmit_dc(net::node_id id);
   [[nodiscard]] std::uint32_t round_id() const noexcept { return round_id_; }
 
  private:

@@ -22,6 +22,8 @@ void computation_party::on_configure(const cp_configure_msg& m) {
   engine_ = std::make_unique<crypto::batch_engine>(group_, pool_);
   keypair_ = engine_->scheme().generate_keypair(rng_);
   transcript_.reset();
+  mixed_ = false;
+  decrypted_ = false;
 
   pk_share_msg share;
   share.round_id = round_id_;
@@ -41,7 +43,16 @@ net::node_id computation_party::next_in_chain() const {
 void computation_party::on_mix(const net::message& msg) {
   vector_msg m = decode_vector(msg);
   if (m.round_id != round_id_) return;
+  if (mixed_) {
+    // Duplicate mix pass from a retried round attempt: mixing again would
+    // advance the RNG a second time and break byte-identical recovery.
+    log_line{log_level::warn} << "CP " << self_
+                              << ": duplicate mix pass for round " << m.round_id
+                              << "; dropping";
+    return;
+  }
   expects(joint_pk_.valid(), "mix pass before joint key distribution");
+  mixed_ = true;
   const crypto::elgamal& scheme = engine_->scheme();
   std::vector<crypto::elgamal_ciphertext> cts = engine_->decode_batch(m.ciphertexts);
 
@@ -77,6 +88,13 @@ void computation_party::on_mix(const net::message& msg) {
 void computation_party::on_decrypt(const net::message& msg) {
   const vector_msg m = decode_vector(msg);
   if (m.round_id != round_id_) return;
+  if (decrypted_) {
+    log_line{log_level::warn} << "CP " << self_
+                              << ": duplicate decrypt pass for round "
+                              << m.round_id << "; dropping";
+    return;
+  }
+  decrypted_ = true;
   const std::vector<crypto::elgamal_ciphertext> cts =
       engine_->decode_batch(m.ciphertexts);
   const std::vector<crypto::elgamal_ciphertext> stripped =

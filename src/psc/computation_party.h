@@ -60,6 +60,11 @@ class computation_party {
   std::unique_ptr<crypto::batch_engine> engine_;  // owns the round's elgamal
   crypto::elgamal_keypair keypair_;
   crypto::group_element joint_pk_;  // set when the TS echoes it via dc_configure
+  // Once-per-round latches: a retried round attempt can deliver duplicate
+  // (byte-identical) mix/decrypt passes; processing one twice would consume
+  // the session RNG again and change every downstream byte.
+  bool mixed_ = false;
+  bool decrypted_ = false;
   std::optional<crypto::shuffle_transcript> transcript_;
 };
 

@@ -30,7 +30,15 @@ void data_collector::handle_message(const net::message& msg) {
       return;
     }
     case msg_type::report_request: {
-      expects(set_ != nullptr, "report requested before configuration");
+      if (set_ == nullptr) {
+        // A restarted DC can receive a stale report_request (the TS
+        // writer's resent suffix) before the retry's dc_configure arrives;
+        // the TS re-requests after reconfiguring.
+        log_line{log_level::warn}
+            << "PSC DC " << self_
+            << ": report requested before configuration; dropping";
+        return;
+      }
       vector_msg report;
       report.round_id = round_id_;
       report.ciphertexts = engine_->scheme().encode_batch(set_->take_slots());

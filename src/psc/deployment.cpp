@@ -32,8 +32,11 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
   // One deterministic stream per node: output is a pure function of
   // (deployment seed, node id), never of cross-node message interleaving —
   // this is what makes a distributed multi-process round byte-identical to
-  // the in-process one (see cli::orchestrator).
+  // the in-process one (see cli::orchestrator). run_round reseeds every
+  // stream per (node, round), so a round's randomness is also independent
+  // of prior rounds and crashed round attempts.
   for (const auto cp_id : cp_ids) {
+    rng_node_ids_.push_back(cp_id);
     node_rngs_.push_back(std::make_unique<crypto::deterministic_rng>(
         crypto::make_node_rng(config_.rng_seed, cp_id)));
     auto cp = std::make_unique<computation_party>(cp_id, ts_id, transport_,
@@ -46,6 +49,7 @@ deployment::deployment(net::transport& transport, const deployment_config& confi
   }
 
   for (std::size_t i = 0; i < config_.measured_relays.size(); ++i) {
+    rng_node_ids_.push_back(dc_ids[i]);
     node_rngs_.push_back(std::make_unique<crypto::deterministic_rng>(
         crypto::make_node_rng(config_.rng_seed, dc_ids[i])));
     auto dc = std::make_unique<data_collector>(dc_ids[i], ts_id, transport_,
@@ -73,6 +77,14 @@ void deployment::attach(tor::network& net) {
 }
 
 round_outcome deployment::run_round(const std::function<void()>& workload) {
+  // Reseed each node's stream for the upcoming round id, mirroring what
+  // cli::node_runner does in a distributed round on receiving that round's
+  // configure message (the byte-identity gate needs both sides to agree).
+  const std::uint32_t next_round = ts_->round_id() + 1;
+  for (std::size_t i = 0; i < node_rngs_.size(); ++i) {
+    *node_rngs_[i] =
+        crypto::make_node_round_rng(config_.rng_seed, rng_node_ids_[i], next_round);
+  }
   ts_->begin_round(config_.round);
   transport_.run_until_quiescent();
   expects(ts_->setup_complete(), "PSC key setup did not complete");

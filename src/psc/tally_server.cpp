@@ -31,6 +31,7 @@ void tally_server::begin_round(const round_params& params) {
   dcs_configured_ = false;
   reports_requested_ = false;
   mixing_started_ = false;
+  decrypt_requested_ = false;
   dc_reports_seen_.clear();
   combined_.clear();
   raw_count_.reset();
@@ -76,12 +77,21 @@ void tally_server::maybe_distribute_joint_key() {
 
 bool tally_server::setup_complete() const { return dcs_configured_; }
 
+void tally_server::resume_at_round(std::uint32_t next_round) {
+  expects(next_round >= 1, "rounds are 1-based");
+  round_id_ = next_round - 1;
+}
+
 void tally_server::request_reports() {
   expects(dcs_configured_, "round not configured");
   reports_requested_ = true;
   for (const auto dc : dcs_) {
     transport_.send(encode_report_request(self_, dc, round_id_));
   }
+  // A TS retrying a round may already hold every (re-sent, byte-identical)
+  // DC table by the time it asks for reports — start mixing immediately
+  // instead of waiting for arrivals that already happened.
+  maybe_start_mixing();
 }
 
 void tally_server::maybe_start_mixing() {
@@ -150,6 +160,12 @@ void tally_server::handle_message(const net::message& msg) {
       // The mixed vector returned from the last CP: start the decrypt chain.
       const vector_msg m = decode_vector(msg);
       if (m.round_id != round_id_) return;
+      if (decrypt_requested_) {
+        // A stale duplicate from a retried round attempt (byte-identical by
+        // per-round determinism): one decrypt chain is enough.
+        return;
+      }
+      decrypt_requested_ = true;
       transport_.send(encode_vector(self_, cps_.front(), msg_type::decrypt_pass,
                                     vector_msg{m.round_id, m.ciphertexts}));
       return;
@@ -175,6 +191,13 @@ void tally_server::exclude_dc(net::node_id id) {
   dcs_.erase(it);
   log_line{log_level::warn} << "PSC TS: excluding DC " << id
                             << " from the deployment";
+}
+
+void tally_server::readmit_dc(net::node_id id) {
+  if (std::find(dcs_.begin(), dcs_.end(), id) != dcs_.end()) return;
+  dcs_.push_back(id);
+  log_line{log_level::info} << "PSC TS: re-admitting DC " << id
+                            << " from the next round";
 }
 
 std::uint64_t tally_server::raw_count() const {

@@ -52,6 +52,13 @@ class tally_server {
   void begin_round(const round_params& params);
   [[nodiscard]] bool setup_complete() const;  // DCs configured
 
+  /// Crash recovery: positions the round counter so the next begin_round
+  /// runs as round `next_round` (1-based). Used by a restarted TS resuming
+  /// its schedule after op-log replay, and by a durable TS retrying the
+  /// same round after a peer crash (per-round RNG reseeding makes a re-run
+  /// byte-identical to the interrupted attempt).
+  void resume_at_round(std::uint32_t next_round);
+
   /// Phase 2 (after collection): gather DC tables, combine, and launch the
   /// mix chain. Runs to completion as messages flow.
   void request_reports();
@@ -85,6 +92,10 @@ class tally_server {
   /// handling): it receives no further configures or report requests and no
   /// longer counts toward report completeness. At least one DC must remain.
   void exclude_dc(net::node_id id);
+  /// Rejoin handshake: re-admits a previously excluded (or restarted) DC at
+  /// a round boundary — it is configured and counted again from the next
+  /// begin_round on. No-op if the DC is already a member.
+  void readmit_dc(net::node_id id);
 
  private:
   void maybe_distribute_joint_key();
@@ -108,6 +119,7 @@ class tally_server {
   bool dcs_configured_ = false;
   bool reports_requested_ = false;
   bool mixing_started_ = false;
+  bool decrypt_requested_ = false;
   std::set<net::node_id> dc_reports_seen_;
   std::vector<crypto::elgamal_ciphertext> combined_;
   std::optional<std::uint64_t> raw_count_;

@@ -4,7 +4,11 @@
 // corruptions of valid messages.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "src/cli/deployment_plan.h"
@@ -14,6 +18,7 @@
 #include "src/psc/messages.h"
 #include "src/tor/consensus_doc.h"
 #include "src/util/check.h"
+#include "src/util/op_log.h"
 #include "src/util/rng.h"
 
 namespace tormet::crypto {
@@ -329,6 +334,118 @@ TEST(FuzzTest, PlanParserRejectsGuaranteedInvalidMutations) {
   // Unknown keys never silently parse.
   EXPECT_THROW((void)cli::parse_plan(full + "quantum_flux 1\n"),
                precondition_error);
+}
+
+/// Scoped scratch dir holding one durable store's on-disk state.
+class oplog_dir {
+ public:
+  oplog_dir() {
+    static int counter = 0;
+    path_ = std::filesystem::temp_directory_path() /
+            ("tormet-oplog-fuzz-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter++));
+    std::filesystem::remove_all(path_);
+  }
+  ~oplog_dir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string dir() const { return path_.string(); }
+  [[nodiscard]] std::string file(const char* name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out << content;
+}
+
+/// Opening a durable store must either recover (a prefix of) the written
+/// state or throw the typed op_log_error — anything else (crash, OOM from
+/// a corrupted length, another exception type) is a recovery bug. Under
+/// the ASan/UBSan CI legs this also proves no UB on malformed input.
+void expect_clean_recovery(const std::string& dir) {
+  try {
+    const util::durable_store store{dir};
+    (void)store.recovered();
+  } catch (const util::op_log_error&) {
+  }
+}
+
+TEST(FuzzTest, OpLogTruncationsRecoverOrFailLoudly) {
+  oplog_dir scratch;
+  {
+    util::durable_store store{scratch.dir()};
+    store.append(as_bytes("round 1"));
+    store.write_checkpoint(as_bytes("checkpoint state"));
+    store.append(as_bytes("round 2"));
+    store.append(as_bytes(std::string(3000, 'z')));
+  }
+  const std::string log = slurp(scratch.file("oplog"));
+  const std::string ckpt = slurp(scratch.file("checkpoint"));
+  for (std::size_t len = 0; len <= log.size(); ++len) {
+    spit(scratch.file("oplog"), log.substr(0, len));
+    expect_clean_recovery(scratch.dir());
+  }
+  spit(scratch.file("oplog"), log);
+  for (std::size_t len = 0; len <= ckpt.size(); ++len) {
+    spit(scratch.file("checkpoint"), ckpt.substr(0, len));
+    expect_clean_recovery(scratch.dir());
+  }
+}
+
+TEST(FuzzTest, OpLogBitFlipsRecoverOrFailLoudly) {
+  oplog_dir scratch;
+  {
+    util::durable_store store{scratch.dir()};
+    store.write_checkpoint(as_bytes("snapshot of cumulative state"));
+    store.append(as_bytes("round 5"));
+    store.append(as_bytes("round 6"));
+  }
+  const std::string log = slurp(scratch.file("oplog"));
+  const std::string ckpt = slurp(scratch.file("checkpoint"));
+
+  rng r{4242};
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string bad_log = log;
+    std::string bad_ckpt = ckpt;
+    // 1-3 random bit flips across the two files.
+    const int flips = 1 + static_cast<int>(r.below(3));
+    for (int f = 0; f < flips; ++f) {
+      std::string& target = r.below(2) == 0 ? bad_log : bad_ckpt;
+      const std::size_t pos = static_cast<std::size_t>(r.below(target.size()));
+      target[pos] = static_cast<char>(
+          target[pos] ^ static_cast<char>(1 << r.below(8)));
+    }
+    spit(scratch.file("oplog"), bad_log);
+    spit(scratch.file("checkpoint"), bad_ckpt);
+    expect_clean_recovery(scratch.dir());
+  }
+}
+
+TEST(FuzzTest, OpLogRandomJunkFilesFailLoudly) {
+  rng r{777};
+  for (int trial = 0; trial < 100; ++trial) {
+    oplog_dir scratch;
+    std::filesystem::create_directories(scratch.dir());
+    const auto junk = [&](std::size_t max_len) {
+      std::string s(r.below(max_len + 1), '\0');
+      for (auto& c : s) c = static_cast<char>(r.below(256));
+      return s;
+    };
+    spit(scratch.file("oplog"), junk(200));
+    spit(scratch.file("checkpoint"), junk(200));
+    expect_clean_recovery(scratch.dir());
+  }
 }
 
 TEST(FuzzTest, ElgamalCiphertextDecodeBounds) {

@@ -59,6 +59,24 @@ class fault_env {
   ~fault_env() { ::unsetenv("TORMET_FAULT"); }
 };
 
+/// Scoped supervisor restart delay: holds a crashed node down long enough
+/// for the TS to exhaust its retries and exclude it (the rejoin path).
+class restart_delay_env {
+ public:
+  explicit restart_delay_env(int ms) {
+    ::setenv("TORMET_RESTART_DELAY_MS", std::to_string(ms).c_str(), 1);
+  }
+  ~restart_delay_env() { ::unsetenv("TORMET_RESTART_DELAY_MS"); }
+};
+
+[[nodiscard]] int restarts_of(const distributed_round_result& result,
+                              net::node_id id) {
+  for (const auto& n : result.nodes) {
+    if (n.id == id) return n.restarts;
+  }
+  return -1;
+}
+
 [[nodiscard]] tor::event stream_event_at(std::int64_t t, std::size_t observer) {
   tor::event ev;
   ev.observer = static_cast<tor::relay_id>(observer);
@@ -521,6 +539,194 @@ TEST(MultiRoundFaultTest, DelayedDcStreamIsExcludedAfterGrace) {
               static_cast<std::int64_t>(expected[r]))
         << "round " << r;
   }
+}
+
+// -- durable rounds: kill-and-restart recovery -------------------------------
+
+/// PrivCount with every role killed and restarted mid-schedule: the TS at
+/// the start of round 2 (op-log replay of a committed round), the SK right
+/// after round 1's reveal, and a DC at round 3's collection start. The
+/// supervisor restarts each crashed process, the TS retries the
+/// interrupted round, and the final multi-round tally must be
+/// byte-identical to an uninterrupted in-process reference run.
+TEST(DurableRoundTest, PrivcountKillRestartEveryRoleIsExact) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 3;
+  gen.events = 300;
+  gen.days = 3;
+  gen.seed = 67;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_privcount_plan(
+      3, 1, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 73;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1500;
+  plan.round_deadline_ms = 30'000;
+  plan.durable_dir = workdir.path() + "/durable";
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  // Node layout: TS=0, SK=1, DCs 2-4. Crash the TS entering round 2, the
+  // SK after round 1's reveal, and DC 3 at round 3's collection start
+  // (the ':' clause spelling exercises the parser's normalizer).
+  fault_env fault{"0 crash_in_round:1;1 crash_after_round:0;3 crash_in_round:2"};
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 150'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_GE(restarts_of(result, 0), 1);
+  EXPECT_GE(restarts_of(result, 1), 1);
+  EXPECT_GE(restarts_of(result, 3), 1);
+
+  // Byte-identity is the whole point: noise included, every recovery path
+  // must reproduce the uninterrupted run exactly.
+  EXPECT_EQ(result.tally, run_reference_round(plan));
+  // The privacy-safe summary rides in a sidecar, never in the tally bytes.
+  EXPECT_NE(result.summary.find("tormet-summary-v1"), std::string::npos);
+  EXPECT_NE(result.summary.find("rounds 3"), std::string::npos);
+}
+
+/// PSC with every role killed and restarted: the TS right after committing
+/// round 1, a CP at round 2's configure (before its key share), and a DC
+/// at round 3's configure. Recovery must reproduce the reference bytes —
+/// the mix-chain RNG streams are re-derived per round, so a retried round
+/// is byte-identical to the interrupted attempt.
+TEST(DurableRoundTest, PscKillRestartEveryRoleIsExact) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 240;
+  gen.days = 3;
+  gen.seed = 71;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_psc_plan(2, 2, 512);
+  plan.round.group = crypto::group_backend::toy;
+  plan.rng_seed = 79;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.psc_extractor = "primary_sld";
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1500;
+  plan.round_deadline_ms = 30'000;
+  plan.durable_dir = workdir.path() + "/durable";
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  // Node layout: TS=0, CPs 1-2, DCs 3-4.
+  fault_env fault{"0 crash_after_round 0;1 crash_in_round 1;3 crash_in_round 2"};
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 150'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_GE(restarts_of(result, 0), 1);
+  EXPECT_GE(restarts_of(result, 1), 1);
+  EXPECT_GE(restarts_of(result, 3), 1);
+  EXPECT_EQ(result.tally, run_reference_round(plan));
+}
+
+/// A DC whose restart is held back past the TS's retry budget: the round
+/// is completed without it (exclusion), later rounds run degraded, and
+/// once the restarted DC announces itself the TS re-admits it at a round
+/// boundary — the final rounds count its events again. Which intermediate
+/// rounds run degraded depends on restart timing, so the assertions pin
+/// the first/crash/last rounds and require each round to be exactly one of
+/// the two possible participation shapes.
+TEST(DurableRoundTest, ExcludedDcRejoinsAfterDelayedRestart) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 3;
+  gen.events = 700;
+  gen.days = 7;
+  gen.seed = 83;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+  const std::vector<std::vector<tor::event>> per_dc =
+      workload::generate_trace_events(gen);
+
+  deployment_plan plan = make_privcount_plan(
+      3, 1, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 89;
+  plan.privcount_noise_enabled = false;  // exact counters for shape checks
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 7;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1200;
+  plan.round_deadline_ms = 30'000;
+  plan.durable_dir = workdir.path() + "/durable";
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  // The last DC (plan DC index 2, node id 4) crashes at round 2's
+  // collection start and stays down for 6 s — past the TS's ~4.5 s retry
+  // budget (2 fail-fast graces + drains + the final exclusion grace), so
+  // the TS excludes it before the supervisor brings it back.
+  const net::node_id victim = plan.ids_with(node_role::privcount_dc).back();
+  distributed_round_result result;
+  {
+    fault_env fault{std::to_string(victim) + " crash_in_round 1"};
+    restart_delay_env delay{6000};
+    result = run_distributed_round(plan, bin, workdir.path(), 180'000);
+  }
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_GE(restarts_of(result, victim), 1);
+
+  const std::vector<std::map<std::string, std::int64_t>> rounds =
+      parse_privcount_rounds(result.tally);
+  ASSERT_EQ(rounds.size(), 7u);
+  const std::vector<std::uint64_t> full = expected_streams_per_round(
+      per_dc, 7, [](std::size_t, std::size_t) { return true; });
+  const std::vector<std::uint64_t> degraded = expected_streams_per_round(
+      per_dc, 7, [](std::size_t dc, std::size_t) { return dc != 2; });
+  std::size_t degraded_rounds = 0;
+  for (std::size_t r = 0; r < 7; ++r) {
+    const auto total = rounds[r].at("streams/total");
+    EXPECT_TRUE(total == static_cast<std::int64_t>(full[r]) ||
+                total == static_cast<std::int64_t>(degraded[r]))
+        << "round " << r << " total " << total;
+    if (total == static_cast<std::int64_t>(degraded[r])) ++degraded_rounds;
+  }
+  // Round 1 precedes the crash; round 2 is completed without the victim;
+  // by the last round the victim has long rejoined.
+  EXPECT_EQ(rounds[0].at("streams/total"), static_cast<std::int64_t>(full[0]));
+  EXPECT_EQ(rounds[1].at("streams/total"),
+            static_cast<std::int64_t>(degraded[1]));
+  EXPECT_EQ(rounds[6].at("streams/total"), static_cast<std::int64_t>(full[6]));
+  EXPECT_GE(degraded_rounds, 1u);
+
+  // The summary sidecar records the victim's exclusion and rejoin.
+  const std::string dc_line_prefix = "dc " + std::to_string(victim);
+  const std::size_t at = result.summary.find(dc_line_prefix);
+  ASSERT_NE(at, std::string::npos) << result.summary;
+  const std::string dc_line =
+      result.summary.substr(at, result.summary.find('\n', at) - at);
+  EXPECT_NE(dc_line.find("excluded 1"), std::string::npos) << dc_line;
+  EXPECT_NE(dc_line.find("rejoined 1"), std::string::npos) << dc_line;
+  EXPECT_NE(result.summary.find("round_retries"), std::string::npos);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 
 #include "src/net/inproc.h"
 #include "src/net/tcp.h"
+#include "src/net/wire.h"
 
 namespace tormet::net {
 namespace {
@@ -320,6 +321,182 @@ TEST(TcpTest, DistributedModeConnectsTwoFabrics) {
   fabric2.run_until([&] { return !reply.empty(); }, 15'000);
   EXPECT_EQ(seen, "hi");
   EXPECT_EQ(reply, "ok");
+}
+
+// -- exactly-once dedup across reconnects ------------------------------------
+//
+// These tests play the role of a (re)connecting peer writer at the raw
+// socket level: each frame carries the writer's epoch and per-channel
+// sequence number exactly as tcp_net's own writer emits them, so duplicate
+// and stale resends can be injected deterministically. Raw-injected frames
+// bypass the fabric's in-flight accounting, so completion is always a
+// run_until(count) predicate — never run_until_quiescent().
+
+/// One complete wire frame ([u8 flags=final][u32 len le][body]) for `msg`
+/// stamped with `epoch`/`seq` — byte-identical to tcp_net's writer output
+/// for a single-chunk message.
+[[nodiscard]] byte_buffer raw_frame(const message& msg, std::uint64_t epoch,
+                                    std::uint64_t seq) {
+  wire_writer w;
+  w.write_u64(epoch);
+  w.write_u64(seq);
+  w.write_u32(msg.from);
+  w.write_u32(msg.to);
+  w.write_u16(msg.type);
+  w.write_bytes(msg.payload);
+  const byte_buffer body = w.take();
+  byte_buffer out;
+  out.push_back(1);  // flags: final chunk
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((body.size() >> (8 * i)) & 0xff));
+  }
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+class raw_peer {
+ public:
+  explicit raw_peer(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+  }
+  ~raw_peer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  void write(const byte_buffer& bytes) const {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(TcpDedupTest, DuplicateAndOutOfOrderResendsAreDropped) {
+  tcp_net bus;
+  std::vector<char> got;
+  bus.register_node(1, [&](const message& m) {
+    got.push_back(static_cast<char>(m.payload[0]));
+  });
+
+  const auto frame = [](char c, std::uint64_t seq) {
+    return raw_frame(message{9, 1, 0, byte_buffer{static_cast<std::uint8_t>(c)}},
+                     /*epoch=*/0x5157, seq);
+  };
+  raw_peer peer{bus.port_of(1)};
+  peer.write(frame('a', 1));
+  peer.write(frame('a', 1));  // duplicate resend of a delivered message
+  peer.write(frame('c', 3));
+  peer.write(frame('b', 2));  // out-of-order resend: below the high-water mark
+  peer.write(frame('d', 4));
+
+  bus.run_until([&] { return got.size() >= 3; }, 10'000);
+  EXPECT_EQ(got, (std::vector<char>{'a', 'c', 'd'}));
+  EXPECT_EQ(bus.stats().duplicates_dropped, 2u);
+}
+
+TEST(TcpDedupTest, DedupStateSurvivesMultipleReconnects) {
+  tcp_net bus;
+  std::vector<char> got;
+  bus.register_node(1, [&](const message& m) {
+    got.push_back(static_cast<char>(m.payload[0]));
+  });
+  const auto frame = [](char c, std::uint64_t epoch, std::uint64_t seq) {
+    return raw_frame(message{9, 1, 0, byte_buffer{static_cast<std::uint8_t>(c)}},
+                     epoch, seq);
+  };
+
+  // Connection 1: a surviving writer delivers seq 1-2, then the link cuts.
+  {
+    raw_peer conn{bus.port_of(1)};
+    conn.write(frame('a', 0xE1, 1));
+    conn.write(frame('b', 0xE1, 2));
+  }
+  bus.run_until([&] { return got.size() >= 2; }, 10'000);
+
+  // Connection 2 (same epoch = same writer after reconnect): the writer
+  // cannot know whether seq 2 landed before the cut, so it resends it —
+  // the receiver's dedup state must span connections and drop it.
+  {
+    raw_peer conn{bus.port_of(1)};
+    conn.write(frame('b', 0xE1, 2));
+    conn.write(frame('c', 0xE1, 3));
+  }
+  bus.run_until([&] { return got.size() >= 3; }, 10'000);
+
+  // Connection 3, again resending the tail after another cut.
+  {
+    raw_peer conn{bus.port_of(1)};
+    conn.write(frame('c', 0xE1, 3));
+    conn.write(frame('d', 0xE1, 4));
+  }
+  bus.run_until([&] { return got.size() >= 4; }, 10'000);
+
+  // A *restarted* writer gets a fresh epoch: its seq 1 must not collide
+  // with the dead incarnation's dedup state.
+  {
+    raw_peer conn{bus.port_of(1)};
+    conn.write(frame('x', 0xE2, 1));
+  }
+  bus.run_until([&] { return got.size() >= 5; }, 10'000);
+
+  EXPECT_EQ(got, (std::vector<char>{'a', 'b', 'c', 'd', 'x'}));
+  EXPECT_EQ(bus.stats().duplicates_dropped, 2u);
+}
+
+TEST(TcpTest, RepairBrokenReArmsAChannelAfterPeerRestart) {
+  // A writer that exhausts its connect deadline marks the channel broken.
+  // Without repair_broken every later send fails; with it, the next send
+  // retries from scratch — the durable deployments' "peer is restarting"
+  // mode.
+  std::map<node_id, tcp_endpoint> map{
+      {1, {"127.0.0.1", free_port()}},
+      {2, {"127.0.0.1", free_port()}},
+  };
+  tcp_options opts;
+  opts.connect_deadline_ms = 200;  // fail fast: the peer is not up
+  opts.repair_broken = true;
+  tcp_net sender{map, opts};
+
+  sender.send(message{2, 1, 0, byte_buffer{'l', 'o', 's', 't'}});
+  sender.flush_sends();  // writer gives up; the queued message is dropped
+
+  // Peer comes up (the supervisor restarted it); the channel re-arms.
+  tcp_net receiver{map};
+  std::vector<std::string> got;
+  receiver.register_node(1, [&](const message& m) {
+    got.emplace_back(m.payload.begin(), m.payload.end());
+  });
+  sender.send(message{2, 1, 0, byte_buffer{'b', 'a', 'c', 'k'}});
+  receiver.run_until([&] { return !got.empty(); }, 15'000);
+  EXPECT_EQ(got, (std::vector<std::string>{"back"}));
+  sender.flush_sends();
+}
+
+TEST(TcpTest, BrokenChannelStaysBrokenWithoutRepair) {
+  std::map<node_id, tcp_endpoint> map{
+      {1, {"127.0.0.1", free_port()}},
+      {2, {"127.0.0.1", free_port()}},
+  };
+  tcp_options opts;
+  opts.connect_deadline_ms = 200;
+  tcp_net sender{map, opts};
+  sender.send(message{2, 1, 0, byte_buffer{'x'}});
+  sender.flush_sends();
+  EXPECT_THROW(sender.send(message{2, 1, 0, byte_buffer{'y'}}),
+               transport_error);
 }
 
 }  // namespace
