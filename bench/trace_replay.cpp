@@ -22,6 +22,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <memory>
 
 #include "src/cli/deployment_plan.h"
 #include "src/cli/workload_source.h"
@@ -98,6 +100,112 @@ int run_multiround(std::uint64_t target_events, std::uint64_t days, bool json) {
   repro_table table{"Multi-round windowed replay (" + std::to_string(n) +
                     " events, " + std::to_string(days) + " daily rounds)"};
   table.add("windowed file replay", "", format_count(eps) + " ev/s", "");
+  table.print();
+  return 0;
+}
+
+/// Sharded batched-ingest throughput: the same generated stream pushed
+/// through workload_cursor::stream_window_batch into a DC's ingest() path
+/// (compiled slot instruments + flat counter slabs), against the per-event
+/// observe() baseline with the closure instrument — the PR 5 replay path.
+/// The CI gate pins the ratio, which is machine-independent.
+int run_ingest(std::uint64_t target_events, bool json) {
+  workload::trace_gen_params params;
+  params.model = "zipf";
+  params.dcs = 1;
+  params.events = target_events;
+  params.seed = 8;
+  const auto generated =
+      std::make_shared<const std::vector<std::vector<tor::event>>>(
+          workload::generate_trace_events(params));
+  const std::vector<tor::event>& events = generated->front();
+  const std::size_t n = events.size();
+
+  cli::deployment_plan plan = cli::make_privcount_plan(
+      1, 1, core::default_specs_for("stream_taxonomy"));
+  plan.workload.kind = cli::workload_kind::generate;
+  plan.workload.model = "zipf";
+  plan.workload.events = target_events;
+  plan.workload.gen_seed = 8;
+  plan.instruments = {"stream_taxonomy"};
+
+  net::inproc_net bus;
+  bus.register_node(0, [](const net::message&) {});  // absorb DC->TS sends
+  crypto::deterministic_rng rng{1};
+  const auto start_round = [](privcount::data_collector& dc) {
+    privcount::configure_msg cfg;
+    cfg.round_id = 1;
+    for (const auto& spec : core::default_specs_for("stream_taxonomy")) {
+      cfg.counter_names.push_back(spec.name);
+      cfg.sigmas.push_back(0.0);
+    }
+    dc.handle_message(privcount::encode_configure(0, 1, cfg));
+    dc.handle_message(privcount::encode_simple(
+        0, 1, privcount::msg_type::start_collection, 1));
+  };
+  constexpr sim_time k_begin{std::numeric_limits<std::int64_t>::min()};
+  constexpr sim_time k_end{std::numeric_limits<std::int64_t>::max()};
+
+  // -- scalar baseline: closure instrument, observe() per event -------------
+  privcount::data_collector scalar_dc{1, 0, bus, rng};
+  scalar_dc.add_instrument(core::instrument_by_name("stream_taxonomy"));
+  start_round(scalar_dc);
+  std::size_t scalar_total = 0;
+  auto t0 = clock_type::now();
+  do {
+    for (const tor::event& ev : events) scalar_dc.observe(ev);
+    scalar_total += n;
+  } while (secs_since(t0) < 0.2);
+  const double scalar_s = secs_since(t0);
+
+  // -- batched ingest, 1 shard and 4 shards ---------------------------------
+  const auto measure_ingest = [&](std::size_t shards, std::size_t& total) {
+    privcount::data_collector dc{1, 0, bus, rng};
+    dc.add_instrument(core::make_batch_instrument("stream_taxonomy"));
+    dc.set_shards(shards);
+    start_round(dc);
+    total = 0;
+    const auto start = clock_type::now();
+    do {
+      cli::workload_cursor cursor{plan, 0, generated};
+      cursor.stream_window_batch(
+          k_begin, k_end,
+          [&dc](const tor::event* evs, std::size_t k) { dc.ingest(evs, k); });
+      total += n;
+    } while (secs_since(start) < 0.4);
+    if (dc.events_observed() != total) {
+      std::fprintf(stderr, "ingest count mismatch at %zu shards\n", shards);
+      std::exit(1);
+    }
+    return secs_since(start);
+  };
+  std::size_t ingest1_total = 0, ingest4_total = 0;
+  const double ingest1_s = measure_ingest(1, ingest1_total);
+  const double ingest4_s = measure_ingest(4, ingest4_total);
+
+  if (scalar_dc.events_observed() != scalar_total) {
+    std::fprintf(stderr, "scalar count mismatch\n");
+    return 1;
+  }
+  const double scalar_eps = static_cast<double>(scalar_total) / scalar_s;
+  const double ingest_eps = static_cast<double>(ingest1_total) / ingest1_s;
+  const double ingest4_eps = static_cast<double>(ingest4_total) / ingest4_s;
+  const double speedup = ingest_eps / scalar_eps;
+  if (json) {
+    std::printf(
+        "{\"bench\":\"trace_replay.ingest\",\"events\":%zu,\"shards\":1,"
+        "\"ingest_eps\":%.0f,\"ingest4_eps\":%.0f,\"scalar_eps\":%.0f,"
+        "\"speedup\":%.2f}\n",
+        n, ingest_eps, ingest4_eps, scalar_eps, speedup);
+    return 0;
+  }
+  repro_table table{"Sharded batched ingest (" + std::to_string(n) +
+                    " events/pass, stream_taxonomy)"};
+  table.add("observe baseline", "", format_count(scalar_eps) + " ev/s", "");
+  table.add("batched ingest (1 shard)", "", format_count(ingest_eps) + " ev/s",
+            format_count(speedup) + "x");
+  table.add("batched ingest (4 shards)", "",
+            format_count(ingest4_eps) + " ev/s", "");
   table.print();
   return 0;
 }
@@ -216,7 +324,8 @@ int main(int argc, char** argv) {
       events = std::strtoull(argv[i], nullptr, 10);
     }
   }
-  const int rc = run(events, json);
+  int rc = run(events, json);
+  if (rc == 0) rc = run_ingest(events, json);
   if (rc != 0 || days <= 1) return rc;
   return run_multiround(events, days, json);
 }

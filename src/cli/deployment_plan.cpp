@@ -140,6 +140,9 @@ std::string serialize_plan(const deployment_plan& plan) {
   if (plan.checkpoint_every != 8) {
     out << "checkpoint_every " << plan.checkpoint_every << "\n";
   }
+  // Ingest-shard count is a per-process tuning knob: it never changes tally
+  // bytes, so single-shard plans round-trip without the key.
+  if (plan.dc_shards != 1) out << "dc_shards " << plan.dc_shards << "\n";
   if (plan.pace != 0.0) out << "pace " << format_double(plan.pace) << "\n";
   out << "psc_extractor " << plan.psc_extractor << "\n";
   for (const auto& name : plan.instruments) {
@@ -277,6 +280,9 @@ deployment_plan parse_plan(std::string_view text) {
     } else if (key == "checkpoint_every") {
       ls >> plan.checkpoint_every;
       want(plan.checkpoint_every >= 1 && plan.checkpoint_every <= 100'000);
+    } else if (key == "dc_shards") {
+      ls >> plan.dc_shards;
+      want(plan.dc_shards >= 1 && plan.dc_shards <= 4096);
     } else if (key == "pace") {
       ls >> plan.pace;
       want(plan.pace >= 0.0);

@@ -141,6 +141,13 @@ struct deployment_plan {
   /// op-log is folded into a checkpoint and truncated.
   std::uint32_t checkpoint_every = 8;
 
+  /// Ingest shards per DC process (>= 1): batched events are hash-
+  /// partitioned by client/circuit key across this many flat counter
+  /// slabs (PrivCount) or seeded-insert buckets (PSC) before merging.
+  /// Purely a throughput knob — the merged tally bytes are identical for
+  /// every value, which tests/distributed_test.cpp asserts.
+  std::size_t dc_shards = 1;
+
   [[nodiscard]] bool durable() const noexcept { return !durable_dir.empty(); }
 
   [[nodiscard]] const node_spec& node(net::node_id id) const;

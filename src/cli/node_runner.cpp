@@ -616,9 +616,9 @@ class windowed_replay {
 
   std::size_t replay(workload_cursor& cursor, const round_window& w,
                      std::size_t index,
-                     const std::function<void(const tor::event&)>& sink) {
+                     const workload_cursor::batch_sink& sink) {
     if (buffering_ && index == last_index_) {
-      for (const auto& ev : buffer_) sink(ev);
+      if (!buffer_.empty()) sink(buffer_.data(), buffer_.size());
       return buffer_.size();
     }
     if (last_index_ != k_none && index <= last_index_) {
@@ -628,10 +628,10 @@ class windowed_replay {
       return 0;
     }
     buffer_.clear();
-    const std::size_t n =
-        cursor.stream_window(w.start, w.end, [&](const tor::event& ev) {
-          if (buffering_) buffer_.push_back(ev);
-          sink(ev);
+    const std::size_t n = cursor.stream_window_batch(
+        w.start, w.end, [&](const tor::event* evs, std::size_t k) {
+          if (buffering_) buffer_.insert(buffer_.end(), evs, evs + k);
+          sink(evs, k);
         });
     last_index_ = index;
     return n;
@@ -1032,7 +1032,9 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
                 const round_window w = round_window_for(plan, sched, index);
                 const std::size_t replayed = replay.replay(
                     *cursor, w, index,
-                    [&dc](const tor::event& ev) { dc.observe(ev); });
+                    [&dc](const tor::event* evs, std::size_t n) {
+                      dc.ingest(evs, n);
+                    });
                 if (configured_round >= plan.schedule_rounds) {
                   cursor->drain();  // trailing gap / feeder shutdown bytes
                 }
@@ -1149,7 +1151,9 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
                 const round_window w = round_window_for(plan, sched, index);
                 const std::size_t replayed = replay.replay(
                     *cursor, w, index,
-                    [&dc](const tor::event& ev) { dc.observe(ev); });
+                    [&dc](const tor::event* evs, std::size_t n) {
+                      dc.ingest(evs, n);
+                    });
                 if (round_id >= plan.schedule_rounds) cursor->drain();
                 log_line{log_level::info}
                     << "PrivCount DC " << self << " round " << round_id

@@ -1,5 +1,6 @@
 #include "src/cli/workload_source.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <thread>
@@ -153,6 +154,83 @@ std::size_t workload_cursor::stream_window(
   return delivered;
 }
 
+std::size_t workload_cursor::stream_window_batch(sim_time start, sim_time end,
+                                                 const batch_sink& sink) {
+  if (pace_ > 0.0) {
+    // Pacing is per-event by definition; batching would only add latency.
+    return stream_window(start, end,
+                         [&](const tor::event& ev) { sink(&ev, 1); });
+  }
+  std::size_t delivered = 0;
+  // Lookahead a previous (scalar or batched) window held back.
+  if (pending_.has_value()) {
+    if (pending_->at >= end) return 0;
+    const tor::event ev = *std::move(pending_);
+    pending_.reset();
+    if (ev.at < start) {
+      ++dropped_;
+    } else {
+      sink(&ev, 1);
+      ++delivered;
+    }
+  }
+  if (kind_ == workload_kind::generate && !failed_ && !eof_) {
+    // Fast path: generated slices are stably time-sorted (workload::
+    // trace_gen), so the inter-round gap is a prefix, the window end is a
+    // lower_bound, and the whole window is handed to the sink as one
+    // zero-copy span — no per-event work at all on the cursor side.
+    const std::vector<tor::event>& slice = (*generated_)[dc_index_];
+    std::size_t i = next_generated_;
+    const std::size_t n = slice.size();
+    while (i < n && slice[i].at < start) {
+      ++dropped_;  // inter-round gap: collection stays on, counting only
+      ++i;
+    }
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(slice.begin() + static_cast<std::ptrdiff_t>(i),
+                         slice.end(), end,
+                         [](const tor::event& e, sim_time t) {
+                           return e.at < t;
+                         }) -
+        slice.begin());
+    if (hi > i) {
+      sink(slice.data() + i, hi - i);
+      delivered += hi - i;
+    }
+    // An event at or past `end` stays unconsumed in the slice — it IS the
+    // lookahead, no pending_ copy needed.
+    next_generated_ = hi;
+    if (hi >= n) eof_ = true;
+    return delivered;
+  }
+  // Block path: fetch into a reused buffer and flush span-wise.
+  constexpr std::size_t k_block_events = 8192;
+  block_.reserve(k_block_events);
+  for (;;) {
+    block_.clear();
+    bool more = false;
+    while (block_.size() < k_block_events) {
+      std::optional<tor::event> ev = fetch();
+      if (!ev.has_value()) break;  // end of stream (or failed live stream)
+      if (ev->at >= end) {
+        pending_ = std::move(ev);  // first event of a later window: hold it
+        break;
+      }
+      if (ev->at < start) {
+        ++dropped_;
+        continue;
+      }
+      block_.push_back(*std::move(ev));
+      more = block_.size() == k_block_events;
+    }
+    if (!block_.empty()) {
+      sink(block_.data(), block_.size());
+      delivered += block_.size();
+    }
+    if (!more) return delivered;
+  }
+}
+
 std::size_t workload_cursor::drain() {
   std::size_t consumed = 0;
   if (pending_.has_value()) {
@@ -173,6 +251,7 @@ std::size_t stream_dc_workload(
 
 void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc) {
   dc.set_extractor(core::extractor_by_name(plan.psc_extractor));
+  dc.set_shards(plan.dc_shards);
 }
 
 void configure_privcount_dc(const deployment_plan& plan,
@@ -180,8 +259,15 @@ void configure_privcount_dc(const deployment_plan& plan,
   expects(!plan.instruments.empty(),
           "event workload needs at least one instrument");
   for (const auto& name : plan.instruments) {
-    dc.add_instrument(core::instrument_by_name(name));
+    // Prefer the slot-compiled batch form when one exists; the closure
+    // instrument is the fallback (identical increments either way).
+    if (auto fast = core::make_batch_instrument(name)) {
+      dc.add_instrument(std::move(fast));
+    } else {
+      dc.add_instrument(core::instrument_by_name(name));
+    }
   }
+  dc.set_shards(plan.dc_shards);
 }
 
 trace_round_defaults defaults_for_model(const std::string& model) {

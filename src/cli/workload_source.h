@@ -83,6 +83,18 @@ class workload_cursor {
   /// plan.pace. Returns the number delivered.
   std::size_t stream_window(sim_time start, sim_time end,
                             const std::function<void(const tor::event&)>& sink);
+
+  /// Contiguous-span sink for batched delivery: `evs[0..n)` is valid only
+  /// for the duration of the call.
+  using batch_sink = std::function<void(const tor::event* evs, std::size_t n)>;
+
+  /// stream_window, but delivering contiguous event spans instead of one
+  /// event per call — the ingest-side hot path (a generated slice is handed
+  /// out zero-copy; file/socket sources are blocked through a reused
+  /// buffer). Delivers exactly the events, in exactly the order, that
+  /// stream_window would; paced replay falls back to per-event delivery.
+  std::size_t stream_window_batch(sim_time start, sim_time end,
+                                  const batch_sink& sink);
   /// Consumes the remainder of the stream (counted as dropped). Call after
   /// the last round so a socket feeder's trailing bytes are drained.
   std::size_t drain();
@@ -109,6 +121,7 @@ class workload_cursor {
 
   std::unique_ptr<tor::trace_reader> reader_;               // kind == trace
   std::unique_ptr<tor::event_socket_source> socket_;        // kind == socket
+  std::vector<tor::event> block_;  // reused batch buffer (trace/socket)
   std::shared_ptr<const std::vector<std::vector<tor::event>>> generated_;
   std::size_t dc_index_ = 0;
   std::size_t next_generated_ = 0;  // cursor into generated_[dc_index_]

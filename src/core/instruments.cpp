@@ -419,7 +419,99 @@ const std::shared_ptr<const workload::suffix_list>& canonical_suffixes() {
   return suffixes;
 }
 
+/// stream_taxonomy compiled to slab slots: one variant probe and 2-4 array
+/// increments per event, no string handling — the shape the >=50M ev/s
+/// ingest target needs. Emits exactly the increments of
+/// instrument_stream_taxonomy().
+class batch_stream_taxonomy final : public privcount::batch_instrument {
+ public:
+  void bind(const privcount::slot_resolver& slot_of) override {
+    total_ = slot_of("streams/total");
+    initial_ = slot_of("streams/initial");
+    hostname_ = slot_of("streams/initial/hostname");
+    ipv4_ = slot_of("streams/initial/ipv4");
+    ipv6_ = slot_of("streams/initial/ipv6");
+    web_ = slot_of("streams/initial/hostname/web");
+    other_ = slot_of("streams/initial/hostname/other");
+  }
+
+  void ingest(const tor::event* const* evs, std::size_t n,
+              std::uint64_t* slab) override {
+    for (std::size_t i = 0; i < n; ++i) step(*evs[i], slab);
+  }
+
+  void ingest_span(const tor::event* evs, std::size_t n,
+                   std::uint64_t* slab) override {
+    for (std::size_t i = 0; i < n; ++i) step(evs[i], slab);
+  }
+
+ private:
+  void step(const tor::event& ev, std::uint64_t* slab) const {
+    const auto* s = std::get_if<tor::exit_stream_event>(&ev.body);
+    if (s == nullptr) return;
+    ++slab[total_];
+    if (!s->is_initial) return;
+    ++slab[initial_];
+    switch (s->kind) {
+      case tor::address_kind::hostname:
+        ++slab[hostname_];
+        ++slab[(s->port == 80 || s->port == 443) ? web_ : other_];
+        break;
+      case tor::address_kind::ipv4:
+        ++slab[ipv4_];
+        break;
+      case tor::address_kind::ipv6:
+        ++slab[ipv6_];
+        break;
+    }
+  }
+
+  std::size_t total_ = 0, initial_ = 0, hostname_ = 0, ipv4_ = 0, ipv6_ = 0,
+              web_ = 0, other_ = 0;
+};
+
+/// entry_totals compiled to slab slots (see instrument_entry_totals()).
+class batch_entry_totals final : public privcount::batch_instrument {
+ public:
+  void bind(const privcount::slot_resolver& slot_of) override {
+    connections_ = slot_of("entry/connections");
+    circuits_ = slot_of("entry/circuits");
+    bytes_ = slot_of("entry/bytes");
+  }
+
+  void ingest(const tor::event* const* evs, std::size_t n,
+              std::uint64_t* slab) override {
+    for (std::size_t i = 0; i < n; ++i) step(*evs[i], slab);
+  }
+
+  void ingest_span(const tor::event* evs, std::size_t n,
+                   std::uint64_t* slab) override {
+    for (std::size_t i = 0; i < n; ++i) step(evs[i], slab);
+  }
+
+ private:
+  void step(const tor::event& ev, std::uint64_t* slab) const {
+    const auto& body = ev.body;
+    if (std::holds_alternative<tor::entry_connection_event>(body)) {
+      ++slab[connections_];
+    } else if (std::holds_alternative<tor::entry_circuit_event>(body)) {
+      ++slab[circuits_];
+    } else if (const auto* d = std::get_if<tor::entry_data_event>(&body)) {
+      slab[bytes_] += d->bytes;
+    }
+  }
+
+  std::size_t connections_ = 0, circuits_ = 0, bytes_ = 0;
+};
+
 }  // namespace
+
+std::unique_ptr<privcount::batch_instrument> make_batch_instrument(
+    const std::string& name) {
+  if (name == "stream_taxonomy") return std::make_unique<batch_stream_taxonomy>();
+  if (name == "entry_totals") return std::make_unique<batch_entry_totals>();
+  return nullptr;
+}
 
 const std::vector<std::string>& instrument_names() {
   static const std::vector<std::string> names{

@@ -131,6 +131,12 @@ struct domain_set {
 /// Registered instrument names: "stream_taxonomy", "entry_totals",
 /// "rendezvous", "tld_histogram", "domain_sets", "hsdir_ahmia".
 [[nodiscard]] const std::vector<std::string>& instrument_names();
+/// Slot-compiled fast path for a registered instrument when one exists
+/// ("stream_taxonomy", "entry_totals" — the hot ingest counters), else
+/// nullptr; callers fall back to wrapping instrument_by_name. Compiled and
+/// wrapped forms produce identical increments.
+[[nodiscard]] std::unique_ptr<privcount::batch_instrument> make_batch_instrument(
+    const std::string& name);
 /// Resolves a registered instrument; throws precondition_error on an
 /// unknown name.
 [[nodiscard]] privcount::data_collector::instrument instrument_by_name(

@@ -1,9 +1,12 @@
 #include "src/net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -24,6 +27,7 @@ namespace {
 using clock = std::chrono::steady_clock;
 
 constexpr std::uint8_t k_flag_final = 0x01;  // last chunk of a message
+constexpr std::size_t k_frame_header_bytes = 5;
 
 /// Protocol-level chunk bound: receivers accept chunks up to this size
 /// regardless of their own max_chunk_bytes, so two fabrics configured
@@ -32,7 +36,7 @@ constexpr std::uint8_t k_flag_final = 0x01;  // last chunk of a message
 /// reassembled-message bound).
 constexpr std::size_t k_max_chunk_wire = 16u << 20;
 
-/// Resend attempts per message before the writer declares the channel
+/// Resend attempts per message before the io loop declares the channel
 /// broken. Transient failures (peer restart, dropped link) succeed on the
 /// first or second retry; a peer that *keeps* rejecting our frames would
 /// otherwise loop reconnect-and-resend forever.
@@ -42,32 +46,9 @@ void throw_errno(const char* what) {
   throw transport_error{std::string{what} + ": " + std::strerror(errno)};
 }
 
-/// Writes exactly `data.size()` bytes; returns false on a broken connection.
-bool write_all(int fd, byte_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Reads exactly `out.size()` bytes; returns false on EOF/reset.
-bool read_all(int fd, std::span<std::uint8_t> out) {
-  std::size_t got = 0;
-  while (got < out.size()) {
-    const ssize_t n = ::recv(fd, out.data() + got, out.size() - got, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return true;
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 /// Epoch and sequence lead the body so the dedup decision needs no payload
@@ -103,6 +84,32 @@ struct decoded_frame {
   return f;
 }
 
+/// Frames `body` into the chunked wire format with every 5-byte chunk
+/// header interleaved in ONE flat buffer, so a partially written message
+/// resumes from a plain byte offset after EAGAIN — never from a chunk
+/// boundary.
+[[nodiscard]] byte_buffer frame_body(byte_view body, std::size_t max_chunk,
+                                     std::size_t& chunks_out) {
+  const std::size_t n_chunks =
+      body.empty() ? 1 : (body.size() + max_chunk - 1) / max_chunk;
+  byte_buffer wire;
+  wire.reserve(body.size() + n_chunks * k_frame_header_bytes);
+  std::size_t off = 0;
+  do {
+    const std::size_t chunk = std::min(max_chunk, body.size() - off);
+    const bool final_chunk = off + chunk == body.size();
+    wire.push_back(final_chunk ? k_flag_final : 0);
+    for (int i = 0; i < 4; ++i) {
+      wire.push_back(static_cast<std::uint8_t>(chunk >> (8 * i)));
+    }
+    wire.insert(wire.end(), body.begin() + static_cast<std::ptrdiff_t>(off),
+                body.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+    off += chunk;
+  } while (off < body.size());
+  chunks_out = n_chunks;
+  return wire;
+}
+
 /// Random per-process fabric epoch (never zero so tests can use 0 as a
 /// distinct foreign epoch).
 [[nodiscard]] std::uint64_t make_epoch() {
@@ -124,17 +131,26 @@ void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
   }
 }
 
+[[nodiscard]] tcp_options sanitize(tcp_options o) {
+  o.max_chunk_bytes = std::clamp<std::size_t>(o.max_chunk_bytes, 1, k_max_chunk_wire);
+  // A zero queue limit would make the very first send() block forever
+  // (0 < 0 never holds); every failure mode here must stay deadline-bounded.
+  o.send_queue_limit_bytes = std::max<std::size_t>(o.send_queue_limit_bytes, 1);
+  return o;
+}
+
 }  // namespace
 
 struct tcp_net::listener {
   int fd = -1;
   std::uint16_t port = 0;
-  std::thread accept_thread;
 };
 
-/// One outbound destination: a bounded message queue drained by a dedicated
-/// writer thread that owns the socket lifecycle (connect with retry,
-/// chunked frame writes, transparent reconnect on failure).
+/// One outbound destination: a bounded message queue plus the io thread's
+/// connection and partial-write state. Senders touch only the queue side
+/// (under `m`); every field below the marker is mutated by the io thread
+/// alone (still under `m`, so drop_connections_to and send can read fd /
+/// reset the repair state safely).
 struct tcp_net::channel {
   struct queued_msg {
     message msg;
@@ -143,31 +159,55 @@ struct tcp_net::channel {
 
   node_id dest = 0;
   std::mutex m;
-  std::condition_variable cv_work;   // writer: queue non-empty or stop
   std::condition_variable cv_space;  // senders: queue fell below the limit
   std::deque<queued_msg> queue;
   std::size_t queued_bytes = 0;  // includes the message being written
   std::uint64_t next_seq = 1;    // 0 is the receiver's "nothing seen" state
   bool stop = false;
   bool broken = false;  // connect deadline exhausted: sends now fail
-  int fd = -1;          // owned by the writer thread; shutdown() by hooks
-  std::thread writer;
+
+  // -- io-thread connection state --
+  int fd = -1;
+  bool connecting = false;    // non-blocking connect in flight
+  bool cycle_active = false;  // a connect cycle (one deadline) is running
+  bool backoff = false;       // waiting retry_at before the next attempt
+  bool registered = false;    // fd present in the epoll set
+  bool armed = false;         // epoll registration includes EPOLLOUT
+  clock::time_point conn_deadline{};
+  clock::time_point retry_at{};
+  sockaddr_in addr{};         // resolved peer address for the current cycle
+  byte_buffer wire;           // framed current message (headers interleaved)
+  std::size_t wire_off = 0;
+  std::size_t wire_chunks = 0;
+  std::size_t cur_cost = 0;
+  int attempts = 0;           // failed write attempts for the current message
 };
 
-namespace {
-[[nodiscard]] tcp_options sanitize(tcp_options o) {
-  o.max_chunk_bytes = std::clamp<std::size_t>(o.max_chunk_bytes, 1, k_max_chunk_wire);
-  // A zero queue limit would make the very first send() block forever
-  // (0 < 0 never holds); every failure mode here must stay deadline-bounded.
-  o.send_queue_limit_bytes = std::max<std::size_t>(o.send_queue_limit_bytes, 1);
-  return o;
-}
-}  // namespace
+/// One fd in the epoll set: the wake eventfd, a listener, an accepted
+/// inbound connection (with its chunk-reassembly state machine), or an
+/// outbound channel socket.
+struct tcp_net::io_entry {
+  enum class kind : std::uint8_t { wake, listen, inbound, outbound };
+  kind k = kind::inbound;
+  int fd = -1;
+  // Inbound reassembly: 5-byte header, then chunk bytes appended straight
+  // onto the growing message assembly.
+  std::uint8_t header[k_frame_header_bytes] = {};
+  std::size_t header_got = 0;
+  bool in_chunk = false;
+  std::uint8_t flags = 0;
+  std::size_t chunk_remaining = 0;
+  byte_buffer assembly;
+  // Outbound back-pointer.
+  std::shared_ptr<channel> ch;
+};
 
 tcp_net::tcp_net() : tcp_net(tcp_options{}) {}
 
 tcp_net::tcp_net(tcp_options opts)
-    : opts_{sanitize(opts)}, peers_{}, distributed_{false}, epoch_{make_epoch()} {}
+    : opts_{sanitize(opts)}, peers_{}, distributed_{false}, epoch_{make_epoch()} {
+  start_io();
+}
 
 tcp_net::tcp_net(std::map<node_id, tcp_endpoint> peers, tcp_options opts)
     : opts_{sanitize(opts)},
@@ -175,6 +215,31 @@ tcp_net::tcp_net(std::map<node_id, tcp_endpoint> peers, tcp_options opts)
       distributed_{true},
       epoch_{make_epoch()} {
   expects(!peers_.empty(), "distributed fabric needs a peer map");
+  start_io();
+}
+
+void tcp_net::start_io() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  auto entry = std::make_unique<io_entry>();
+  entry->k = io_entry::kind::wake;
+  entry->fd = wake_fd_;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = entry.get();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  io_entries_[wake_fd_] = std::move(entry);
+  io_thread_ = std::thread{[this] { io_loop(); }};
+}
+
+void tcp_net::wake_io() const {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
 }
 
 void tcp_net::register_node(node_id id, message_handler handler) {
@@ -203,7 +268,7 @@ void tcp_net::register_node(node_id id, message_handler handler) {
     ::close(fd);
     throw_errno("bind");
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, 256) != 0) {
     ::close(fd);
     throw_errno("listen");
   }
@@ -212,82 +277,514 @@ void tcp_net::register_node(node_id id, message_handler handler) {
     ::close(fd);
     throw_errno("getsockname");
   }
+  set_nonblocking(fd);
 
   auto lst = std::make_unique<listener>();
   lst->fd = fd;
   lst->port = ntohs(addr.sin_port);
-  lst->accept_thread = std::thread{[this, fd] { accept_loop(fd); }};
   listeners_[id] = std::move(lst);
+  pending_listener_fds_.push_back(fd);
+  wake_io();
 }
 
-void tcp_net::accept_loop(int listen_fd) {
+// -- io loop ------------------------------------------------------------------
+
+void tcp_net::io_loop() {
+  std::vector<epoll_event> events(128);
+  std::vector<std::shared_ptr<channel>> chs;
   for (;;) {
-    const int conn = ::accept(listen_fd, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed — shut down
-    }
-    std::lock_guard lock{mutex_};
-    if (stopping_.load()) {
-      ::close(conn);
-      return;
-    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+
+    // Pick up listeners bound since the last pass and snapshot the channel
+    // set (channels are created by senders, serviced only here).
+    std::vector<int> fresh;
     {
-      std::lock_guard ilock{inbound_mutex_};
-      inbound_fds_.insert(conn);
+      std::lock_guard lock{mutex_};
+      fresh.swap(pending_listener_fds_);
+      chs.clear();
+      chs.reserve(channels_.size());
+      for (const auto& [id, ch] : channels_) chs.push_back(ch);
     }
-    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+    for (const int fd : fresh) io_add_listener(fd);
+
+    // Advance every channel's state machine (connects, retries, pending
+    // writes) and find the earliest timer for the wait below.
+    auto next_timer = clock::time_point::max();
+    for (const auto& ch : chs) {
+      io_service_channel(ch);
+      std::lock_guard lk{ch->m};
+      if (ch->backoff) next_timer = std::min(next_timer, ch->retry_at);
+      if (ch->connecting) next_timer = std::min(next_timer, ch->conn_deadline);
+    }
+
+    int timeout_ms = -1;
+    if (next_timer != clock::time_point::max()) {
+      const auto now = clock::now();
+      timeout_ms =
+          next_timer <= now
+              ? 0
+              : static_cast<int>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        next_timer - now)
+                        .count() +
+                    1);
+    }
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                     timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd torn down — shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      auto* entry = static_cast<io_entry*>(events[i].data.ptr);
+      switch (entry->k) {
+        case io_entry::kind::wake: {
+          std::uint64_t buf = 0;
+          while (::read(wake_fd_, &buf, sizeof buf) > 0) {
+          }
+          break;
+        }
+        case io_entry::kind::listen:
+          io_accept(*entry);
+          break;
+        case io_entry::kind::inbound:
+          io_read(*entry);
+          break;
+        case io_entry::kind::outbound:
+          // EPOLLOUT only re-triggers the service pass at the loop top
+          // (connect completion / EAGAIN resumption live in the channel
+          // state machine). Readability or HUP on this simplex link means
+          // the peer closed — handle that eagerly.
+          if ((events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) !=
+              0) {
+            io_peer_closed(*entry);
+          }
+          break;
+      }
+    }
   }
 }
 
-void tcp_net::reader_loop(int fd) {
-  byte_buffer assembly;
+void tcp_net::io_add_listener(int fd) {
+  auto entry = std::make_unique<io_entry>();
+  entry->k = io_entry::kind::listen;
+  entry->fd = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = entry.get();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  io_entries_[fd] = std::move(entry);
+}
+
+void tcp_net::io_accept(const io_entry& lst) {
   for (;;) {
-    std::uint8_t header[5];
-    if (!read_all(fd, header)) break;
-    const std::uint8_t flags = header[0];
-    std::uint32_t chunk_len = 0;
-    for (int i = 3; i >= 0; --i) chunk_len = (chunk_len << 8) | header[1 + i];
-    if (chunk_len > k_max_chunk_wire ||
-        assembly.size() + chunk_len > opts_.max_message_bytes) {
-      log_line{log_level::warn}
-          << "tcp_net: oversized frame from peer (" << chunk_len
-          << " B chunk); dropping connection";
-      break;
+    const int conn = ::accept(lst.fd, nullptr, nullptr);
+    if (conn < 0) return;  // EAGAIN (drained) or listener torn down
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(conn);
+      return;
     }
-    const std::size_t old = assembly.size();
-    assembly.resize(old + chunk_len);
-    if (!read_all(fd, std::span<std::uint8_t>{assembly}.subspan(old))) {
-      break;  // connection cut mid-frame: discard the partial assembly —
-              // the sender re-sends the whole message after reconnecting
+    set_nonblocking(conn);
+    auto entry = std::make_unique<io_entry>();
+    entry->k = io_entry::kind::inbound;
+    entry->fd = conn;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.ptr = entry.get();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn, &ev);
+    io_entries_[conn] = std::move(entry);
+  }
+}
+
+void tcp_net::io_drop_entry(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  io_entries_.erase(fd);
+}
+
+/// Feeds readiness into the inbound chunk-reassembly state machine:
+/// header[5] -> chunk bytes appended to the assembly -> on a final-flagged
+/// chunk, decode and enqueue. A connection cut mid-frame discards the
+/// partial assembly — the sender re-sends the whole message after
+/// reconnecting.
+void tcp_net::io_read(io_entry& conn) {
+  for (;;) {
+    if (!conn.in_chunk) {
+      const ssize_t n =
+          ::recv(conn.fd, conn.header + conn.header_got,
+                 k_frame_header_bytes - conn.header_got, 0);
+      if (n == 0) return io_drop_entry(conn.fd);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        return io_drop_entry(conn.fd);
+      }
+      conn.header_got += static_cast<std::size_t>(n);
+      if (conn.header_got < k_frame_header_bytes) continue;
+      conn.header_got = 0;
+      conn.flags = conn.header[0];
+      std::uint32_t chunk_len = 0;
+      for (int i = 3; i >= 0; --i) chunk_len = (chunk_len << 8) | conn.header[1 + i];
+      if (chunk_len > k_max_chunk_wire ||
+          conn.assembly.size() + chunk_len > opts_.max_message_bytes) {
+        log_line{log_level::warn}
+            << "tcp_net: oversized frame from peer (" << chunk_len
+            << " B chunk); dropping connection";
+        return io_drop_entry(conn.fd);
+      }
+      conn.in_chunk = true;
+      conn.chunk_remaining = chunk_len;
+      // One resize per chunk; the fill position is derived as
+      // size() - chunk_remaining (a cut connection discards the whole
+      // assembly, so the uninitialized tail never leaks).
+      conn.assembly.resize(conn.assembly.size() + chunk_len);
     }
-    if ((flags & k_flag_final) != 0) {
+    while (conn.chunk_remaining > 0) {
+      const std::size_t fill = conn.assembly.size() - conn.chunk_remaining;
+      const ssize_t n =
+          ::recv(conn.fd, conn.assembly.data() + fill, conn.chunk_remaining, 0);
+      if (n == 0) return io_drop_entry(conn.fd);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        return io_drop_entry(conn.fd);
+      }
+      conn.chunk_remaining -= static_cast<std::size_t>(n);
+    }
+    conn.in_chunk = false;
+    if ((conn.flags & k_flag_final) != 0) {
       try {
-        decoded_frame f = decode_body(assembly);
-        assembly.clear();
+        decoded_frame f = decode_body(conn.assembly);
+        conn.assembly.clear();
         messages_received_.fetch_add(1, std::memory_order_relaxed);
         enqueue(std::move(f.msg), f.epoch, f.seq);
       } catch (const wire_error&) {
         log_line{log_level::warn}
             << "tcp_net: malformed message; dropping connection";
-        break;
+        return io_drop_entry(conn.fd);
       }
     }
   }
-  {
-    // De-register before closing: once closed, the fd number can be
-    // recycled by any other thread, and the destructor must never
-    // shutdown() a stranger's descriptor.
-    std::lock_guard ilock{inbound_mutex_};
-    inbound_fds_.erase(fd);
-  }
-  ::close(fd);
 }
+
+/// (Re)registers the channel's socket in the epoll set. Outbound sockets
+/// always watch EPOLLIN|EPOLLRDHUP (peer-death detection on a simplex
+/// link); `want_out` toggles EPOLLOUT on top (connect completion / EAGAIN
+/// resumption).
+void tcp_net::io_arm(channel& ch, bool want_out) {
+  if (ch.fd < 0) return;
+  const auto it = io_entries_.find(ch.fd);
+  if (it == io_entries_.end()) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want_out ? EPOLLOUT : 0u);
+  ev.data.ptr = it->second.get();
+  if (!ch.registered) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, ch.fd, &ev);
+    ch.registered = true;
+  } else if (want_out != ch.armed) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, ch.fd, &ev);
+  }
+  ch.armed = want_out;
+}
+
+void tcp_net::io_start_connect(const std::shared_ptr<channel>& chp) {
+  channel& ch = *chp;
+  // One connect cycle spans every retry until the deadline; a fresh cycle
+  // (fresh deadline) begins after a successful connection is later lost.
+  const auto now = clock::now();
+  if (!ch.cycle_active) {
+    ch.cycle_active = true;
+    ch.conn_deadline = now + std::chrono::milliseconds{opts_.connect_deadline_ms};
+  }
+
+  tcp_endpoint ep;
+  try {
+    ep = address_of(ch.dest);
+  } catch (const std::exception&) {
+    ch.backoff = true;
+    ch.retry_at = now + std::chrono::milliseconds{opts_.connect_retry_ms};
+    return;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(ep.port);
+  if (::getaddrinfo(ep.host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    if (res != nullptr) ::freeaddrinfo(res);
+    ch.backoff = true;
+    ch.retry_at = now + std::chrono::milliseconds{opts_.connect_retry_ms};
+    return;
+  }
+  std::memcpy(&ch.addr, res->ai_addr, std::min(sizeof ch.addr,
+                                               std::size_t{res->ai_addrlen}));
+  ::freeaddrinfo(res);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    ch.backoff = true;
+    ch.retry_at = now + std::chrono::milliseconds{opts_.connect_retry_ms};
+    return;
+  }
+  auto entry = std::make_unique<io_entry>();
+  entry->k = io_entry::kind::outbound;
+  entry->fd = fd;
+  entry->ch = chp;
+  io_entries_[fd] = std::move(entry);
+  ch.fd = fd;
+  ch.registered = false;
+  ch.armed = false;
+
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&ch.addr), sizeof ch.addr);
+  if (rc == 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ch.cycle_active = false;
+    io_arm(ch, false);  // watch for peer death from the start
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    ch.connecting = true;
+    io_arm(ch, true);
+    return;
+  }
+  // Synchronous refusal: retry on the timer until the cycle deadline.
+  io_drop_entry(fd);
+  ch.fd = -1;
+  ch.registered = false;
+  ch.armed = false;
+  if (clock::now() >= ch.conn_deadline) {
+    ch.cycle_active = false;
+    ch.broken = true;  // flag checked by the caller via io_fail path
+  } else {
+    ch.backoff = true;
+    ch.retry_at = clock::now() + std::chrono::milliseconds{opts_.connect_retry_ms};
+  }
+}
+
+/// Polls an in-flight non-blocking connect by re-calling connect(2):
+/// EISCONN/0 means established, EALREADY/EINPROGRESS still pending,
+/// anything else carries the failure.
+void tcp_net::io_check_connect(channel& ch) {
+  const int rc =
+      ::connect(ch.fd, reinterpret_cast<const sockaddr*>(&ch.addr), sizeof ch.addr);
+  if (rc == 0 || errno == EISCONN) {
+    const int one = 1;
+    ::setsockopt(ch.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ch.connecting = false;
+    ch.cycle_active = false;
+    io_arm(ch, false);
+    return;
+  }
+  if (errno == EALREADY || errno == EINPROGRESS) {
+    if (clock::now() >= ch.conn_deadline) {
+      io_drop_entry(ch.fd);
+      ch.fd = -1;
+      ch.registered = false;
+      ch.armed = false;
+      ch.connecting = false;
+      ch.cycle_active = false;
+      ch.broken = true;
+    }
+    return;
+  }
+  // Connect failed (refused/reset): drop the socket, retry until deadline.
+  io_drop_entry(ch.fd);
+  ch.fd = -1;
+  ch.registered = false;
+  ch.armed = false;
+  ch.connecting = false;
+  if (clock::now() >= ch.conn_deadline) {
+    ch.cycle_active = false;
+    ch.broken = true;
+  } else {
+    ch.backoff = true;
+    ch.retry_at = clock::now() + std::chrono::milliseconds{opts_.connect_retry_ms};
+  }
+}
+
+/// A write failed on an established connection: drop the socket and either
+/// resend the whole message on a fresh connection or give up after
+/// k_max_write_attempts.
+void tcp_net::io_fail_connection(channel& ch, bool& gave_up) {
+  io_drop_entry(ch.fd);
+  ch.fd = -1;
+  ch.registered = false;
+  ch.armed = false;
+  ch.cycle_active = false;  // the reconnect gets a fresh deadline
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  ch.wire_off = 0;  // whole-message resend
+  // Re-service immediately: without a timer the epoll wait could sleep
+  // indefinitely with this message still queued (no readiness event is
+  // coming for a closed socket).
+  ch.backoff = true;
+  ch.retry_at = clock::now();
+  if (++ch.attempts >= k_max_write_attempts) gave_up = true;
+}
+
+void tcp_net::io_peer_closed(io_entry& entry) {
+  const std::shared_ptr<channel> ch = entry.ch;
+  if (ch == nullptr) return;
+  bool gave_up = false;
+  {
+    std::lock_guard lk{ch->m};
+    if (ch->fd != entry.fd || ch->fd < 0) return;
+    if (ch->connecting) return;  // failed connects go through io_check_connect
+    if (!ch->wire.empty() || !ch->queue.empty()) {
+      // Mid-message (or more queued): reconnect and resend from the start.
+      io_fail_connection(*ch, gave_up);
+    } else {
+      // Idle connection to a gone peer: drop it quietly so the next send
+      // dials fresh (a restarted peer listens on the same port but this
+      // socket will never carry another byte).
+      io_drop_entry(ch->fd);
+      ch->fd = -1;
+      ch->registered = false;
+      ch->armed = false;
+      ch->cycle_active = false;
+    }
+  }
+  if (gave_up) io_give_up(ch);
+}
+
+void tcp_net::io_write_pending(channel& ch, bool& completed, bool& gave_up) {
+  for (;;) {
+    if (ch.wire.empty()) {
+      if (ch.queue.empty()) {
+        io_arm(ch, false);
+        return;
+      }
+      const channel::queued_msg& next = ch.queue.front();
+      const byte_buffer body = encode_body(next.msg, epoch_, next.seq);
+      ch.wire = frame_body(body, opts_.max_chunk_bytes, ch.wire_chunks);
+      ch.wire_off = 0;
+      ch.cur_cost = queue_cost(next.msg);
+    }
+    while (ch.wire_off < ch.wire.size()) {
+      const ssize_t n =
+          ::send(ch.fd, ch.wire.data() + ch.wire_off,
+                 ch.wire.size() - ch.wire_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          io_arm(ch, true);  // resume from wire_off on the next readiness
+          return;
+        }
+        io_fail_connection(ch, gave_up);
+        return;
+      }
+      ch.wire_off += static_cast<std::size_t>(n);
+    }
+    // Message fully on the wire.
+    chunks_sent_.fetch_add(ch.wire_chunks, std::memory_order_relaxed);
+    ch.wire.clear();
+    ch.wire_off = 0;
+    ch.queue.pop_front();
+    ch.queued_bytes -= ch.cur_cost;
+    ch.cur_cost = 0;
+    ch.attempts = 0;
+    completed = true;
+  }
+}
+
+void tcp_net::io_service_channel(const std::shared_ptr<channel>& ch) {
+  bool completed = false;
+  bool gave_up = false;
+  {
+    std::lock_guard lk{ch->m};
+    if (ch->stop || ch->broken) {
+      // Broken channels sit idle until repair_broken resets them in send().
+      if (ch->broken && (ch->connecting || ch->backoff)) {
+        ch->connecting = false;
+        ch->backoff = false;
+      }
+    } else {
+      const auto now = clock::now();
+      if (ch->backoff && now >= ch->retry_at) ch->backoff = false;
+      if (ch->connecting) io_check_connect(*ch);
+      const bool has_work = !ch->queue.empty() || !ch->wire.empty();
+      if (!ch->broken && !ch->connecting && !ch->backoff && has_work &&
+          ch->fd < 0 && !stopping_.load(std::memory_order_acquire)) {
+        io_start_connect(ch);
+      }
+      if (!ch->broken && !ch->connecting && !ch->backoff && ch->fd >= 0 &&
+          has_work) {
+        io_write_pending(*ch, completed, gave_up);
+      }
+      // A connect cycle that exhausted its deadline marks broken above;
+      // fold it into the give-up path (drop the queue, notify waiters).
+      if (ch->broken) {
+        ch->broken = false;  // io_give_up re-derives it from ch->stop
+        gave_up = true;
+      }
+    }
+  }
+  if (completed) {
+    ch->cv_space.notify_all();
+    if (distributed_) {
+      // Distributed run_until_quiescent() watches channel queues drain.
+      // The empty critical section orders this notify after a waiter that
+      // just inspected the queues has reached wait_until, so the drain is
+      // never missed.
+      { std::lock_guard lock{mutex_}; }
+      inbox_cv_.notify_all();
+    }
+  }
+  if (gave_up) io_give_up(ch);
+}
+
+/// Connect deadline exhausted or resend attempts spent: drop everything
+/// queued, mark the channel broken (unless stopping), and wake every
+/// waiter — the same semantics a dedicated writer thread's give-up path
+/// had.
+void tcp_net::io_give_up(const std::shared_ptr<channel>& ch) {
+  std::size_t dropped = 0;
+  bool was_stop = false;
+  {
+    std::lock_guard lk{ch->m};
+    was_stop = ch->stop;
+    ch->broken = !was_stop;
+    dropped = ch->queue.size();
+    ch->queue.clear();
+    ch->queued_bytes = 0;
+    ch->wire.clear();
+    ch->wire_off = 0;
+    ch->cur_cost = 0;
+    ch->attempts = 0;
+    ch->connecting = false;
+    ch->cycle_active = false;
+    ch->backoff = false;
+    if (ch->fd >= 0) {
+      io_drop_entry(ch->fd);
+      ch->fd = -1;
+      ch->registered = false;
+      ch->armed = false;
+    }
+  }
+  ch->cv_space.notify_all();
+  {
+    std::lock_guard lock{mutex_};
+    if (!distributed_) in_flight_ -= static_cast<std::int64_t>(dropped);
+  }
+  inbox_cv_.notify_all();
+  if (!was_stop) {
+    log_line{log_level::warn}
+        << "tcp_net: destination " << ch->dest
+        << " unreachable past the connect deadline; dropped " << dropped
+        << " queued message(s)";
+    // Channel stays alive (broken) to reject later sends until shutdown.
+  }
+}
+
+// -- sender-side API ----------------------------------------------------------
 
 void tcp_net::enqueue(message msg, std::uint64_t epoch, std::uint64_t seq) {
   {
     std::lock_guard lock{mutex_};
-    // Exactly-once: a writer resends whole messages after a reconnect, so a
+    // Exactly-once: whole messages are resent after a reconnect, so a
     // message fully written before the cut can arrive twice. Sequence
     // numbers increase monotonically per (epoch, destination) channel and
     // connections deliver in order, so anything at or below the high-water
@@ -317,37 +814,6 @@ tcp_endpoint tcp_net::address_of(node_id id) const {
   return tcp_endpoint{"127.0.0.1", it->second->port};
 }
 
-int tcp_net::connect_with_deadline(node_id dest) {
-  const tcp_endpoint ep = address_of(dest);
-  const auto deadline =
-      clock::now() + std::chrono::milliseconds{opts_.connect_deadline_ms};
-  for (;;) {
-    if (stopping_.load()) return -1;
-
-    addrinfo hints{};
-    hints.ai_family = AF_INET;
-    hints.ai_socktype = SOCK_STREAM;
-    addrinfo* res = nullptr;
-    const std::string port_str = std::to_string(ep.port);
-    if (::getaddrinfo(ep.host.c_str(), port_str.c_str(), &hints, &res) == 0) {
-      for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
-        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-        if (fd < 0) continue;
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
-          const int one = 1;
-          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-          ::freeaddrinfo(res);
-          return fd;
-        }
-        ::close(fd);
-      }
-      ::freeaddrinfo(res);
-    }
-    if (clock::now() >= deadline) return -1;
-    std::this_thread::sleep_for(std::chrono::milliseconds{opts_.connect_retry_ms});
-  }
-}
-
 std::shared_ptr<tcp_net::channel> tcp_net::channel_to(node_id id) {
   std::lock_guard lock{mutex_};
   expects(!stopping_.load(), "send on a stopping fabric");
@@ -362,149 +828,8 @@ std::shared_ptr<tcp_net::channel> tcp_net::channel_to(node_id id) {
 
   auto ch = std::make_shared<channel>();
   ch->dest = id;
-  ch->writer = std::thread{[this, ch] { writer_loop(ch); }};
   channels_[id] = ch;
   return ch;
-}
-
-void tcp_net::writer_loop(const std::shared_ptr<channel>& ch) {
-  for (;;) {
-    channel::queued_msg cur;
-    std::size_t cur_cost = 0;
-    {
-      std::unique_lock lk{ch->m};
-      ch->cv_work.wait(lk, [&] { return ch->stop || !ch->queue.empty(); });
-      if (ch->stop) break;
-      cur = std::move(ch->queue.front());
-      ch->queue.pop_front();
-      cur_cost = queue_cost(cur.msg);
-      // queued_bytes keeps counting `cur` until it is fully on the wire, so
-      // backpressure covers the in-flight message too.
-    }
-
-    const byte_buffer body = encode_body(cur.msg, epoch_, cur.seq);
-    bool written = false;
-    bool gave_up = false;
-    int attempts = 0;
-    while (!written && !gave_up) {
-      if (++attempts > k_max_write_attempts) {
-        gave_up = true;  // peer keeps cutting us off — stop resending
-        break;
-      }
-      int fd;
-      {
-        std::lock_guard lk{ch->m};
-        if (ch->stop) {
-          gave_up = true;
-          break;
-        }
-        fd = ch->fd;
-      }
-      if (fd < 0) {
-        fd = connect_with_deadline(ch->dest);
-        if (fd < 0) {
-          gave_up = true;  // connect deadline exhausted (or stopping)
-          break;
-        }
-        std::lock_guard lk{ch->m};
-        if (ch->stop) {
-          ::close(fd);
-          gave_up = true;
-          break;
-        }
-        ch->fd = fd;
-      }
-
-      // Chunked, length-prefixed framing: ([u8 flags][u32 len le][bytes])*.
-      written = true;
-      std::size_t off = 0;
-      do {
-        const std::size_t chunk = std::min(opts_.max_chunk_bytes, body.size() - off);
-        const bool final_chunk = off + chunk == body.size();
-        std::uint8_t header[5];
-        header[0] = final_chunk ? k_flag_final : 0;
-        for (int i = 0; i < 4; ++i) {
-          header[1 + i] = static_cast<std::uint8_t>(chunk >> (8 * i));
-        }
-        if (!write_all(fd, header) ||
-            !write_all(fd, byte_view{body}.subspan(off, chunk))) {
-          written = false;
-          break;
-        }
-        chunks_sent_.fetch_add(1, std::memory_order_relaxed);
-        off += chunk;
-      } while (off < body.size());
-
-      if (!written) {
-        // Broken mid-stream: drop the socket and resend the whole message
-        // on a fresh connection (the receiver discards partial assemblies).
-        ::close(fd);
-        std::lock_guard lk{ch->m};
-        if (ch->fd == fd) ch->fd = -1;
-        reconnects_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-
-    if (written) {
-      {
-        std::lock_guard lk{ch->m};
-        ch->queued_bytes -= cur_cost;
-      }
-      ch->cv_space.notify_all();
-      if (distributed_) {
-        // Distributed run_until_quiescent() watches channel queues drain.
-        // The empty critical section orders this notify after a waiter
-        // that just inspected the queues has reached wait_until, so the
-        // drain is never missed.
-        { std::lock_guard lock{mutex_}; }
-        inbox_cv_.notify_all();
-      }
-      continue;
-    }
-
-    // Gave up on `cur` (stop or unreachable peer): drain and account.
-    std::size_t dropped = 1;
-    bool was_stop = false;
-    {
-      std::lock_guard lk{ch->m};
-      was_stop = ch->stop;
-      ch->broken = !was_stop;
-      dropped += ch->queue.size();
-      ch->queued_bytes = 0;
-      ch->queue.clear();
-    }
-    ch->cv_space.notify_all();
-    {
-      std::lock_guard lock{mutex_};
-      if (!distributed_) in_flight_ -= static_cast<std::int64_t>(dropped);
-    }
-    inbox_cv_.notify_all();
-    if (was_stop) break;
-    log_line{log_level::warn}
-        << "tcp_net: destination " << ch->dest
-        << " unreachable past the connect deadline; dropped " << dropped
-        << " queued message(s)";
-    // Channel stays alive (broken) to reject later sends until shutdown.
-  }
-
-  // Stopping: drop whatever remains queued and release the socket.
-  std::size_t dropped = 0;
-  {
-    std::lock_guard lk{ch->m};
-    dropped = ch->queue.size();
-    ch->queue.clear();
-    ch->queued_bytes = 0;
-    if (ch->fd >= 0) {
-      ::close(ch->fd);
-      ch->fd = -1;
-    }
-  }
-  ch->cv_space.notify_all();
-  {
-    std::lock_guard lock{mutex_};
-    if (!distributed_) in_flight_ -= static_cast<std::int64_t>(dropped);
-  }
-  inbox_cv_.notify_all();
 }
 
 void tcp_net::send(message msg) {
@@ -524,8 +849,13 @@ void tcp_net::send(message msg) {
   {
     std::unique_lock lk{ch->m};
     // Durable deployments re-arm a broken channel: the peer may just be
-    // restarting, and its supervisor will bring the listener back.
-    if (opts_.repair_broken && ch->broken) ch->broken = false;
+    // restarting, and its supervisor will bring the listener back. The io
+    // loop starts a fresh connect cycle (fresh deadline) for it.
+    if (opts_.repair_broken && ch->broken) {
+      ch->broken = false;
+      ch->attempts = 0;
+      ch->cycle_active = false;
+    }
     ch->cv_space.wait(lk, [&] {
       return ch->stop || ch->broken ||
              ch->queued_bytes < opts_.send_queue_limit_bytes;
@@ -547,7 +877,7 @@ void tcp_net::send(message msg) {
     throw transport_error{"send: destination channel is broken or stopping"};
   }
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  ch->cv_work.notify_all();
+  wake_io();
 }
 
 std::size_t tcp_net::run_until_quiescent() {
@@ -586,8 +916,8 @@ std::size_t tcp_net::run_until_quiescent() {
       if (idle && inbox_.empty()) return delivered;
     } else if (in_flight_ == 0) {
       // Exact: every message ever sent has landed in the inbox (and the
-      // inbox is empty) — nothing queued, in a socket buffer, or in a
-      // reader thread. No idle-timeout guessing.
+      // inbox is empty) — nothing queued, in a socket buffer, or in the io
+      // loop. No idle-timeout guessing.
       return delivered;
     }
     if (inbox_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
@@ -684,48 +1014,54 @@ tcp_stats tcp_net::stats() const {
 }
 
 tcp_net::~tcp_net() {
-  stopping_.store(true);
+  stopping_.store(true, std::memory_order_release);
 
   std::vector<std::shared_ptr<channel>> chs;
-  std::vector<std::thread> readers;
   {
     std::lock_guard lock{mutex_};
     chs.reserve(channels_.size());
     for (auto& [id, ch] : channels_) chs.push_back(ch);
-    for (auto& [id, lst] : listeners_) {
-      ::shutdown(lst->fd, SHUT_RDWR);
-      ::close(lst->fd);
-    }
-    readers.swap(reader_threads_);
   }
-
-  // Stop writers first: they close their sockets (readers then see EOF).
+  // Unblock senders stuck in backpressure waits, then stop the io loop.
   for (const auto& ch : chs) {
     {
       std::lock_guard lk{ch->m};
       ch->stop = true;
       if (ch->fd >= 0) ::shutdown(ch->fd, SHUT_RDWR);
     }
-    ch->cv_work.notify_all();
     ch->cv_space.notify_all();
   }
+  wake_io();
+  if (io_thread_.joinable()) io_thread_.join();
+
+  // The io thread is gone: account and release everything it owned.
+  std::size_t dropped = 0;
   for (const auto& ch : chs) {
-    if (ch->writer.joinable()) ch->writer.join();
+    std::lock_guard lk{ch->m};
+    dropped += ch->queue.size();
+    ch->queue.clear();
+    ch->queued_bytes = 0;
+    if (ch->fd >= 0) {
+      ::close(ch->fd);
+      ch->fd = -1;
+    }
   }
-
-  // Force-close inbound connections so readers blocked on remote peers
-  // (distributed mode) unblock too.
   {
-    std::lock_guard ilock{inbound_mutex_};
-    for (const int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
+    std::lock_guard lock{mutex_};
+    if (!distributed_) in_flight_ -= static_cast<std::int64_t>(dropped);
+    for (auto& [id, lst] : listeners_) ::close(lst->fd);
   }
-
-  for (auto& [id, lst] : listeners_) {
-    if (lst->accept_thread.joinable()) lst->accept_thread.join();
+  inbox_cv_.notify_all();
+  for (auto& [fd, entry] : io_entries_) {
+    // Outbound fds are owned via their channel (closed above); listener
+    // fds via listeners_. Inbound connections and the wake eventfd are
+    // owned here.
+    if (entry->k == io_entry::kind::inbound || entry->k == io_entry::kind::wake) {
+      ::close(fd);
+    }
   }
-  for (auto& t : readers) {
-    if (t.joinable()) t.join();
-  }
+  io_entries_.clear();
+  ::close(epoll_fd_);
 }
 
 }  // namespace tormet::net

@@ -1,7 +1,7 @@
 // TCP transport: the same transport contract as inproc_net but over real
-// POSIX sockets with chunked length-prefixed framing, per-destination async
-// writer threads with bounded send queues (backpressure), and connection
-// retry with a deadline. Two modes:
+// POSIX sockets with chunked length-prefixed framing, bounded per-channel
+// send queues (backpressure), and connection retry with a deadline. Two
+// modes:
 //
 //  - Single-fabric (default ctor): every node registers against this one
 //    object; listeners bind ephemeral loopback ports. All endpoints live in
@@ -26,20 +26,26 @@
 // vectors and lets a reader enforce both per-chunk and per-message size
 // limits while streaming.
 //
-// Exactly-once across reconnects: a writer that loses its connection
+// Exactly-once across reconnects: a channel that loses its connection
 // mid-message resends the whole message on a fresh connection, which makes
 // raw delivery at-least-once. Every send is therefore tagged with the
 // fabric's random epoch and a per-channel monotonically increasing sequence
 // number; the receiver remembers the highest sequence seen per
 // (epoch, destination) channel and drops anything at or below it. Combined
-// with the writer's one-message-at-a-time sequencing this restores
+// with the channel's one-message-at-a-time sequencing this restores
 // exactly-once, FIFO delivery across any number of reconnects.
 //
-// Threading model: one accept thread per listener, one reader thread per
-// inbound connection, one writer thread per outbound destination. Received
-// messages land in a mutex-protected inbox and are delivered on the thread
-// that calls run_until_quiescent()/run_until(), so handlers never run
-// concurrently with each other.
+// Event plane: ONE io thread per fabric runs an epoll readiness loop that
+// multiplexes every listener, every accepted inbound connection, and every
+// outbound channel over non-blocking sockets — no thread per destination,
+// no thread per connection. Outbound messages are framed into a flat wire
+// buffer (chunk headers interleaved) and written with partial-write
+// resumption from a byte offset on EAGAIN; non-blocking connects retry on
+// a timer until the connect deadline. Inbound connections run a chunked
+// reassembly state machine fed by readiness events. Received messages land
+// in a mutex-protected inbox and are delivered on the thread that calls
+// run_until_quiescent()/run_until(), so handlers never run concurrently
+// with each other.
 #pragma once
 
 #include <atomic>
@@ -49,7 +55,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -76,19 +81,19 @@ struct tcp_options {
   /// when the queue is full (backpressure on a slow reader).
   std::size_t send_queue_limit_bytes = 8u << 20;
   /// Overall deadline for establishing (or re-establishing) one outbound
-  /// connection, retried with short sleeps — peers in a distributed round
-  /// start in arbitrary order.
+  /// connection, retried on a timer — peers in a distributed round start in
+  /// arbitrary order.
   int connect_deadline_ms = 15'000;
   int connect_retry_ms = 25;
   /// Failure-detector bound for run_until_quiescent(): if the fabric fails
   /// to reach exact quiescence within this window something is wedged and a
   /// transport_error is thrown. Never causes an early *successful* return.
   int quiescence_deadline_ms = 120'000;
-  /// When true, a send() to a channel whose writer exhausted its connect
-  /// deadline re-arms the channel instead of failing — the writer retries
-  /// from scratch. Durable deployments enable this so a peer that is down
-  /// for a restart (supervisor respawn) does not poison the channel for the
-  /// rest of the schedule.
+  /// When true, a send() to a channel that exhausted its connect deadline
+  /// re-arms the channel instead of failing — the io loop retries from
+  /// scratch. Durable deployments enable this so a peer that is down for a
+  /// restart (supervisor respawn) does not poison the channel for the rest
+  /// of the schedule.
   bool repair_broken = false;
 };
 
@@ -119,11 +124,11 @@ class tcp_net final : public transport {
   tcp_net& operator=(const tcp_net&) = delete;
 
   /// Binds a listener for `id` (ephemeral loopback port in single-fabric
-  /// mode; the endpoint-map port in distributed mode) and starts its accept
-  /// thread.
+  /// mode; the endpoint-map port in distributed mode) and hands it to the
+  /// io loop's epoll set.
   void register_node(node_id id, message_handler handler) override;
 
-  /// Frames and enqueues `msg` on the destination's writer. Blocks while
+  /// Frames and enqueues `msg` on the destination's channel. Blocks while
   /// the destination's send queue is at send_queue_limit_bytes; throws
   /// transport_error if the destination is unreachable past the connect
   /// deadline or the fabric is stopping.
@@ -153,7 +158,7 @@ class tcp_net final : public transport {
   /// reconnect; a message whose frames were cut mid-write is resent from
   /// the start on the fresh connection (the receiver discards the partial
   /// assembly on EOF). A message fully written before the cut may be
-  /// resent too (the writer cannot tell), but the receiver's per-channel
+  /// resent too (the sender cannot tell), but the receiver's per-channel
   /// sequence dedup drops the duplicate — delivery stays exactly-once and
   /// FIFO across the reconnect.
   void drop_connections_to(node_id id);
@@ -163,15 +168,37 @@ class tcp_net final : public transport {
  private:
   struct listener;
   struct channel;
+  struct io_entry;
 
-  void accept_loop(int listen_fd);
-  void reader_loop(int fd);
+  void start_io();
+  void io_loop();
+  /// Signals the io thread's eventfd (new work, new listener, stopping).
+  void wake_io() const;
   void enqueue(message msg, std::uint64_t epoch, std::uint64_t seq);
   [[nodiscard]] std::shared_ptr<channel> channel_to(node_id id);
-  void writer_loop(const std::shared_ptr<channel>& ch);
   /// Resolves the current listen address of `id` (throws if unknown).
   [[nodiscard]] tcp_endpoint address_of(node_id id) const;
-  [[nodiscard]] int connect_with_deadline(node_id dest);
+
+  // io-thread-only helpers (never called off the io thread).
+  void io_add_listener(int fd);
+  void io_accept(const io_entry& lst);
+  void io_read(io_entry& conn);
+  void io_service_channel(const std::shared_ptr<channel>& ch);
+  void io_start_connect(const std::shared_ptr<channel>& ch);
+  /// EPOLLIN/RDHUP/ERR/HUP on an outbound socket: the peer never sends
+  /// application data on this simplex link, so readability means FIN/RST —
+  /// drop the connection so the next write reconnects instead of pouring
+  /// bytes into a dead socket (a restarted peer would otherwise silently
+  /// swallow the first message written before the failure is noticed).
+  void io_peer_closed(io_entry& entry);
+  void io_check_connect(channel& ch);
+  /// Drains the channel's queue onto the wire until EAGAIN, an error, or
+  /// an empty queue; sets `completed` when whole messages finished.
+  void io_write_pending(channel& ch, bool& completed, bool& gave_up);
+  void io_fail_connection(channel& ch, bool& gave_up);
+  void io_give_up(const std::shared_ptr<channel>& ch);
+  void io_arm(channel& ch, bool want_out);
+  void io_drop_entry(int fd);
 
   const tcp_options opts_;
   const std::map<node_id, tcp_endpoint> peers_;  // empty => single-fabric
@@ -187,7 +214,9 @@ class tcp_net final : public transport {
   std::unordered_map<node_id, message_handler> handlers_;
   std::unordered_map<node_id, std::unique_ptr<listener>> listeners_;
   std::unordered_map<node_id, std::shared_ptr<channel>> channels_;
-  std::vector<std::thread> reader_threads_;
+  /// Listener fds bound by register_node, awaiting epoll registration by
+  /// the io thread. Guarded by mutex_.
+  std::vector<int> pending_listener_fds_;
   /// Messages sent minus messages landed in the inbox (single-fabric mode
   /// only): exact in-flight count for quiescence. Guarded by mutex_.
   std::int64_t in_flight_ = 0;
@@ -196,8 +225,11 @@ class tcp_net final : public transport {
   std::map<std::pair<std::uint64_t, node_id>, std::uint64_t> seen_seq_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex inbound_mutex_;
-  std::set<int> inbound_fds_;  // open accepted connections (for shutdown)
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread io_thread_;
+  /// Every fd the io loop watches (io thread only, except construction).
+  std::unordered_map<int, std::unique_ptr<io_entry>> io_entries_;
 
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> chunks_sent_{0};

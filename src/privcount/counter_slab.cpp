@@ -1,0 +1,69 @@
+#include "src/privcount/counter_slab.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace tormet::privcount {
+
+namespace {
+
+class legacy_adapter final : public batch_instrument {
+ public:
+  explicit legacy_adapter(legacy_instrument fn) : fn_{std::move(fn)} {}
+
+  void bind(const slot_resolver& slot_of) override {
+    slot_of_ = slot_of;
+    slots_.clear();  // counter sets (and slots) change per round
+  }
+
+  void ingest(const tor::event* const* evs, std::size_t n,
+              std::uint64_t* slab) override {
+    const auto incr = make_incr(slab);
+    for (std::size_t i = 0; i < n; ++i) fn_(*evs[i], incr);
+  }
+
+  void ingest_span(const tor::event* evs, std::size_t n,
+                   std::uint64_t* slab) override {
+    const auto incr = make_incr(slab);
+    for (std::size_t i = 0; i < n; ++i) fn_(evs[i], incr);
+  }
+
+ private:
+  [[nodiscard]] std::function<void(const std::string&, std::uint64_t)>
+  make_incr(std::uint64_t* slab) {
+    return [this, slab](const std::string& counter, std::uint64_t amount) {
+      auto [it, inserted] = slots_.try_emplace(counter, 0);
+      if (inserted) it->second = slot_of_(counter);
+      slab[it->second] += amount;
+    };
+  }
+
+  legacy_instrument fn_;
+  slot_resolver slot_of_;
+  std::unordered_map<std::string, std::size_t> slots_;  // memoized per round
+};
+
+}  // namespace
+
+std::unique_ptr<batch_instrument> adapt_instrument(legacy_instrument fn) {
+  expects(fn != nullptr, "instrument must be callable");
+  return std::make_unique<legacy_adapter>(std::move(fn));
+}
+
+void merge_slabs(const std::vector<std::uint64_t>& slabs, std::size_t shards,
+                 std::size_t counters, const std::vector<std::uint64_t>& base,
+                 std::vector<std::uint64_t>& out) {
+  expects(base.size() == counters, "merge: one base value per counter");
+  const std::size_t stride = counters + 1;
+  expects(slabs.size() == shards * stride,
+          "merge: slabs must be shards x (counters + 1)");
+  out = base;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::uint64_t* row = slabs.data() + s * stride;
+    for (std::size_t i = 0; i < counters; ++i) out[i] += row[i];
+  }
+}
+
+}  // namespace tormet::privcount

@@ -4,6 +4,7 @@
 
 #include "src/crypto/secret_sharing.h"
 #include "src/dp/noise.h"
+#include "src/tor/event_shard.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 
@@ -15,8 +16,18 @@ data_collector::data_collector(net::node_id self, net::node_id tally_server,
     : self_{self}, tally_server_{tally_server}, transport_{transport}, rng_{rng} {}
 
 void data_collector::add_instrument(instrument fn) {
-  expects(fn != nullptr, "instrument must be callable");
-  instruments_.push_back(std::move(fn));
+  add_instrument(adapt_instrument(std::move(fn)));
+}
+
+void data_collector::add_instrument(std::unique_ptr<batch_instrument> ins) {
+  expects(ins != nullptr, "instrument must be callable");
+  instruments_.push_back(std::move(ins));
+}
+
+void data_collector::set_shards(std::size_t n) {
+  expects(n >= 1, "a DC needs at least one ingest shard");
+  expects(!collecting_, "shard count is fixed while a round is collecting");
+  shards_ = n;
 }
 
 void data_collector::on_configure(const configure_msg& m) {
@@ -28,14 +39,25 @@ void data_collector::on_configure(const configure_msg& m) {
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
     counter_index_[counter_names_[i]] = i;
   }
-  counters_.assign(counter_names_.size(), 0);
+  base_.assign(counter_names_.size(), 0);
+  // One slab row per shard, with a trailing trash slot absorbing
+  // increments to counters not measured this round.
+  slabs_.assign(shards_ * (counter_names_.size() + 1), 0);
   collecting_ = false;
+
+  // Compile every instrument against this round's slot layout (unknown
+  // names land in the trash slot and never reach the report).
+  const slot_resolver slot_of = [this](const std::string& name) -> std::size_t {
+    const auto it = counter_index_.find(name);
+    return it == counter_index_.end() ? counter_names_.size() : it->second;
+  };
+  for (const auto& ins : instruments_) ins->bind(slot_of);
 
   // Per-counter: noise share + blinding. This DC adds Gaussian noise with
   // variance noise_weight * sigma^2 so the DC noises sum to sigma^2 total.
   // Blinds are drawn straight into the per-SK vectors — the whole counter
   // batch needs no per-counter share allocation. Each SK's blind is uniform
-  // and the DC keeps their negated sum, so counter + Σ sk_blinds == noise
+  // and the DC keeps their negated sum, so base + Σ sk_blinds == noise
   // (mod 2^64), exactly additive_shares(0, n_sk + 1) without the temp
   // vector.
   std::vector<std::vector<std::uint64_t>> per_sk_shares(
@@ -50,7 +72,7 @@ void data_collector::on_configure(const configure_msg& m) {
       per_sk_shares[s][i] = blind;
       blind_sum += blind;
     }
-    counters_[i] = static_cast<std::uint64_t>(noise) - blind_sum;
+    base_[i] = static_cast<std::uint64_t>(noise) - blind_sum;
   }
   for (std::size_t s = 0; s < m.share_keepers.size(); ++s) {
     blinding_share_msg share;
@@ -88,11 +110,12 @@ void data_collector::handle_message(const net::message& msg) {
       collecting_ = false;
       dc_report_msg report;
       report.round_id = round_id_;
-      report.values = counters_;
+      merge_slabs(slabs_, shards_, counter_names_.size(), base_, report.values);
       transport_.send(encode_dc_report(self_, tally_server_, report));
-      // Forget the round's state: the report is blinded; keeping counters
-      // would weaken the "nothing to seize" property.
-      counters_.assign(counters_.size(), 0);
+      // Forget the round's state: the report is blinded; keeping the base
+      // and increments would weaken the "nothing to seize" property.
+      base_.assign(base_.size(), 0);
+      slabs_.assign(slabs_.size(), 0);
       return;
     }
     default:
@@ -101,19 +124,33 @@ void data_collector::handle_message(const net::message& msg) {
   }
 }
 
-void data_collector::increment(const std::string& counter, std::uint64_t amount) {
-  const auto it = counter_index_.find(counter);
-  if (it == counter_index_.end()) return;  // not measured this round
-  counters_[it->second] += amount;         // mod 2^64 wraparound is the ring
-}
+void data_collector::observe(const tor::event& ev) { ingest(&ev, 1); }
 
-void data_collector::observe(const tor::event& ev) {
-  if (!collecting_) return;
-  ++events_observed_;
-  const auto incr = [this](const std::string& counter, std::uint64_t amount) {
-    increment(counter, amount);
-  };
-  for (const auto& fn : instruments_) fn(ev, incr);
+void data_collector::ingest(const tor::event* evs, std::size_t n) {
+  if (!collecting_ || n == 0) return;
+  events_observed_ += n;
+  const std::size_t stride = counter_names_.size() + 1;
+  if (shards_ == 1) {
+    // Single shard: the contiguous span goes straight to the instruments —
+    // no shard keys, no pointer bucketing.
+    for (const auto& ins : instruments_) {
+      ins->ingest_span(evs, n, slabs_.data());
+    }
+    return;
+  }
+  buckets_.resize(shards_);
+  for (auto& b : buckets_) b.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = tor::shard_of(tor::shard_key_of(evs[i]), shards_);
+    buckets_[s].push_back(evs + i);
+  }
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (buckets_[s].empty()) continue;
+    std::uint64_t* slab = slabs_.data() + s * stride;
+    for (const auto& ins : instruments_) {
+      ins->ingest(buckets_[s].data(), buckets_[s].size(), slab);
+    }
+  }
 }
 
 }  // namespace tormet::privcount

@@ -16,6 +16,11 @@ void data_collector::set_thread_pool(std::shared_ptr<util::thread_pool> pool) {
   pool_ = std::move(pool);
 }
 
+void data_collector::set_shards(std::size_t n) {
+  expects(n >= 1, "a DC needs at least one ingest shard");
+  shards_ = n;
+}
+
 void data_collector::handle_message(const net::message& msg) {
   switch (static_cast<msg_type>(msg.type)) {
     case msg_type::dc_configure: {
@@ -64,6 +69,36 @@ void data_collector::observe(const tor::event& ev) {
   ++events_observed_;
   const std::optional<std::string> item = extractor_(ev);
   if (item.has_value()) insert_item(*item);
+}
+
+void data_collector::ingest(const tor::event* evs, std::size_t n) {
+  if (extractor_ == nullptr || set_ == nullptr || n == 0) return;
+  events_observed_ += n;
+  if (shards_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::optional<std::string> item = extractor_(evs[i]);
+      if (item.has_value()) insert_item(*item);
+    }
+    return;
+  }
+  // Serial pre-pass in event order: hash each extracted item to its bin and
+  // draw its insert seed. Drawing here (not in the per-shard loop) keeps the
+  // rng stream identical to observe()-per-event, and bucketing by bin means
+  // one bin is only ever touched by one shard, so in-bin insert order equals
+  // event order and last-insert-wins yields partition-independent bytes.
+  buckets_.resize(shards_);
+  for (auto& b : buckets_) b.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::optional<std::string> item = extractor_(evs[i]);
+    if (!item.has_value()) continue;
+    const std::size_t bin = set_->bin_of(as_bytes(*item));
+    const std::uint64_t seed = rng_.next_u64();
+    ++items_inserted_;
+    buckets_[bin % shards_].emplace_back(bin, seed);
+  }
+  for (auto& b : buckets_) {
+    for (const auto& [bin, seed] : b) set_->insert_seeded_bin(bin, seed);
+  }
 }
 
 }  // namespace tormet::psc

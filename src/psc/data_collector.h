@@ -3,10 +3,13 @@
 // encrypted table to the tally server on request.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/crypto/batch_engine.h"
 #include "src/crypto/elgamal.h"
@@ -32,8 +35,20 @@ class data_collector {
   void set_extractor(extractor fn);
   /// Shares `pool` for the bulk table initialization at configure time.
   void set_thread_pool(std::shared_ptr<util::thread_pool> pool);
+  /// Number of ingest shards (>= 1) for batched ingest. The table bytes
+  /// are identical for every value: seeds are pre-drawn per insert in
+  /// event order and bins are owned by exactly one shard, so the
+  /// last-insert-wins slot contents never depend on the partition.
+  void set_shards(std::size_t n);
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
   void handle_message(const net::message& msg);
   void observe(const tor::event& ev);
+
+  /// Feeds a contiguous batch of observed events: a serial pre-pass runs
+  /// the extractor and draws one insert seed per item in event order, then
+  /// each shard executes the seeded inserts for the bins it owns.
+  /// Byte-equivalent to observe() per event.
+  void ingest(const tor::event* evs, std::size_t n);
 
   /// Direct item insertion (for callers not going through tor events).
   void insert_item(std::string_view item);
@@ -56,6 +71,9 @@ class data_collector {
   net::transport& transport_;
   crypto::secure_rng& rng_;
   extractor extractor_;
+  std::size_t shards_ = 1;
+  /// Ingest scratch: (bin, seed) pairs bucketed by owning shard.
+  std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>> buckets_;
   std::uint64_t events_observed_ = 0;
   std::uint64_t items_inserted_ = 0;
 

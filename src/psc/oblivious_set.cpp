@@ -1,5 +1,6 @@
 #include "src/psc/oblivious_set.h"
 
+#include "src/crypto/secure_rng.h"
 #include "src/crypto/sha256.h"
 #include "src/util/check.h"
 
@@ -34,7 +35,22 @@ std::size_t oblivious_set::bin_of(byte_view item) const {
 
 void oblivious_set::insert(byte_view item, crypto::secure_rng& rng) {
   expects(!slots_.empty(), "set has been taken");
-  slots_[bin_of(item)] = scheme_.encrypt_one(joint_pub_, rng);
+  // Route through the seeded path so a per-event observe() and a sharded
+  // batched ingest of the same stream produce byte-identical tables (both
+  // consume exactly one u64 of `rng` per insert).
+  insert_seeded_bin(bin_of(item), rng.next_u64());
+}
+
+void oblivious_set::insert_seeded_bin(std::size_t bin, std::uint64_t seed) {
+  expects(!slots_.empty(), "set has been taken");
+  expects(bin < slots_.size(), "bin index out of range");
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  crypto::sha256_hasher h;
+  h.update("tormet.psc.insert.v1");
+  h.update(byte_view{le, sizeof le});
+  crypto::stream_rng r{h.finish()};
+  slots_[bin] = scheme_.encrypt_one(joint_pub_, r);
 }
 
 }  // namespace tormet::psc

@@ -35,6 +35,14 @@ class oblivious_set {
   /// Marks the item present (idempotent by construction).
   void insert(byte_view item, crypto::secure_rng& rng);
 
+  /// Inserts into a specific bin using encryption randomness derived from
+  /// `seed` alone (domain-separated ChaCha20 stream). Because the
+  /// ciphertext depends only on (bin, seed), sharded ingest can pre-draw
+  /// one seed per insert in event order and then execute the inserts in
+  /// any per-bin-order-preserving schedule: the last insert into a bin
+  /// wins, so the final table bytes are independent of the shard count.
+  void insert_seeded_bin(std::size_t bin, std::uint64_t seed);
+
   [[nodiscard]] std::size_t bins() const noexcept { return slots_.size(); }
   [[nodiscard]] const std::vector<crypto::elgamal_ciphertext>& slots()
       const noexcept {

@@ -1,0 +1,61 @@
+#include "src/tor/event_shard.h"
+
+#include <string_view>
+
+namespace tormet::tor {
+
+namespace {
+
+/// FNV-1a over the bytes of a string key (stream targets, onion
+/// addresses). Not cryptographic — the shard partition carries no privacy
+/// property; the slabs it feeds are merged before anything leaves the DC.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct key_visitor {
+  const event& ev;
+
+  std::uint64_t operator()(const entry_connection_event& e) const noexcept {
+    return e.client_ip;
+  }
+  std::uint64_t operator()(const entry_circuit_event& e) const noexcept {
+    return e.client_ip;
+  }
+  std::uint64_t operator()(const entry_data_event& e) const noexcept {
+    return e.client_ip;
+  }
+  std::uint64_t operator()(const exit_stream_event& e) const noexcept {
+    return fnv1a(e.target);
+  }
+  std::uint64_t operator()(const hsdir_publish_event& e) const noexcept {
+    return fnv1a(e.address.value);
+  }
+  std::uint64_t operator()(const hsdir_fetch_event& e) const noexcept {
+    return fnv1a(e.address.value);
+  }
+  std::uint64_t operator()(const exit_data_event&) const noexcept {
+    return anonymous();
+  }
+  std::uint64_t operator()(const rend_circuit_event&) const noexcept {
+    return anonymous();
+  }
+
+  /// Events with no client/target identity spread by (variant, observer).
+  [[nodiscard]] std::uint64_t anonymous() const noexcept {
+    return (static_cast<std::uint64_t>(ev.body.index()) << 32) | ev.observer;
+  }
+};
+
+}  // namespace
+
+std::uint64_t shard_key_of(const event& ev) noexcept {
+  return std::visit(key_visitor{ev}, ev.body);
+}
+
+}  // namespace tormet::tor

@@ -5,6 +5,7 @@
 // with the same seeds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <set>
@@ -621,6 +622,154 @@ TEST(DistributedRoundTest, ParameterizedInstrumentPlansAreByteIdentical) {
     EXPECT_NE(result.tally.find("hsdir/fetch/success/public"),
               std::string::npos);
   }
+}
+
+// PR-7 acceptance: the DC ingest-shard count is a pure throughput knob.
+// For every tested shard count the full multi-process pipeline must produce
+// tally bytes AND .summary sidecar bytes identical to the 1-shard run and
+// to the scalar in-process reference (which ignores dc_shards entirely and
+// observes event by event) — proving the hash partitioning, per-shard slab
+// accumulation, and report-time merge never leak into the output.
+namespace {
+
+[[nodiscard]] std::set<std::size_t> shard_count_matrix() {
+  return {1, 2, 8,
+          std::max<std::size_t>(1, std::thread::hardware_concurrency())};
+}
+
+void expect_shard_count_independence(deployment_plan plan,
+                                     const std::string& bin,
+                                     const std::string& workdir,
+                                     const char* summary_marker) {
+  plan.dc_shards = 1;
+  const std::string reference = run_reference_round(plan);
+  std::string summary_baseline;
+  for (const std::size_t shards : shard_count_matrix()) {
+    plan.dc_shards = shards;
+    const distributed_round_result result =
+        run_distributed_round(plan, bin, workdir, 90'000);
+    for (const auto& n : result.nodes) {
+      EXPECT_EQ(n.exit_code, 0)
+          << "node " << n.id << " failed at " << shards << " shards";
+    }
+    EXPECT_EQ(result.tally, reference) << "tally diverged at " << shards
+                                       << " shards";
+    EXPECT_NE(result.summary.find(summary_marker), std::string::npos);
+    if (summary_baseline.empty()) {
+      summary_baseline = result.summary;
+    } else {
+      EXPECT_EQ(result.summary, summary_baseline)
+          << "summary diverged at " << shards << " shards";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(DistributedRoundTest, PscShardCountNeverChangesTallyBytes) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 300;
+  gen.days = 2;
+  gen.seed = 111;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_psc_plan(2, 2, 512);
+  plan.round.group = crypto::group_backend::toy;
+  plan.rng_seed = 113;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.psc_extractor = "primary_sld";
+  plan.schedule_rounds = 2;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  expect_shard_count_independence(plan, bin, workdir.path(),
+                                  "tormet-summary-v1");
+}
+
+TEST(DistributedRoundTest, PscP256ShardCountNeverChangesTallyBytes) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 150;
+  gen.seed = 127;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_psc_plan(2, 1, 128);
+  // Default group: the production P-256 backend — the seeded-insert path
+  // must be byte-stable on real EC ciphertexts, not just the toy group.
+  plan.rng_seed = 131;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.psc_extractor = "primary_sld";
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  plan.dc_shards = 1;
+  const std::string reference = run_reference_round(plan);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+    plan.dc_shards = shards;
+    const distributed_round_result result =
+        run_distributed_round(plan, bin, workdir.path(), 90'000);
+    for (const auto& n : result.nodes) {
+      EXPECT_EQ(n.exit_code, 0)
+          << "node " << n.id << " failed at " << shards << " shards";
+    }
+    EXPECT_EQ(result.tally, reference) << "tally diverged at " << shards
+                                       << " shards";
+  }
+}
+
+TEST(DistributedRoundTest, PrivcountShardCountNeverChangesTallyBytes) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workdir_guard workdir;
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 300;
+  gen.days = 3;
+  gen.seed = 137;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_privcount_plan(
+      2, 2, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 139;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  expect_shard_count_independence(plan, bin, workdir.path(),
+                                  "tormet-summary-v1");
+}
+
+TEST(DeploymentPlanTest, DcShardsRoundTripsAndValidates) {
+  deployment_plan plan = make_psc_plan(2, 1, 256);
+  assign_free_ports(plan);
+  // Default stays off the wire: pre-PR-7 plan files parse unchanged.
+  EXPECT_EQ(serialize_plan(plan).find("dc_shards"), std::string::npos);
+  plan.dc_shards = 16;
+  const deployment_plan back = parse_plan(serialize_plan(plan));
+  EXPECT_EQ(back.dc_shards, 16u);
+  EXPECT_EQ(serialize_plan(back), serialize_plan(plan));
+  EXPECT_THROW(parse_plan(serialize_plan(plan) + "dc_shards 0\n"),
+               precondition_error);
 }
 
 TEST(DistributedRoundTest, SeedChangesTheTally) {

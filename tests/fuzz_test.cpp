@@ -13,10 +13,14 @@
 
 #include "src/cli/deployment_plan.h"
 #include "src/crypto/elgamal.h"
+#include "src/crypto/secure_rng.h"
 #include "src/net/wire.h"
+#include "src/privcount/counter_slab.h"
 #include "src/privcount/messages.h"
 #include "src/psc/messages.h"
+#include "src/psc/oblivious_set.h"
 #include "src/tor/consensus_doc.h"
+#include "src/tor/event_shard.h"
 #include "src/util/check.h"
 #include "src/util/op_log.h"
 #include "src/util/rng.h"
@@ -445,6 +449,201 @@ TEST(FuzzTest, OpLogRandomJunkFilesFailLoudly) {
     spit(scratch.file("oplog"), junk(200));
     spit(scratch.file("checkpoint"), junk(200));
     expect_clean_recovery(scratch.dir());
+  }
+}
+
+/// A deterministic event with the given variant shape, parameterized so a
+/// fuzz loop can sweep adversarial identity distributions (all-equal client
+/// ips, near-colliding targets, every body alternative).
+[[nodiscard]] tor::event make_shard_event(std::uint64_t variant,
+                                          std::uint64_t ident) {
+  tor::event ev;
+  ev.observer = static_cast<tor::relay_id>(ident % 13);
+  ev.at = sim_time{static_cast<std::int64_t>(ident % 1000)};
+  switch (variant % 8) {
+    case 0:
+      ev.body = tor::entry_connection_event{static_cast<std::uint32_t>(ident)};
+      break;
+    case 1:
+      ev.body = tor::entry_circuit_event{static_cast<std::uint32_t>(ident),
+                                         tor::circuit_kind::general};
+      break;
+    case 2:
+      ev.body = tor::entry_data_event{static_cast<std::uint32_t>(ident),
+                                      ident % 4096};
+      break;
+    case 3: {
+      tor::exit_stream_event s;
+      s.kind = tor::address_kind::hostname;
+      s.is_initial = (ident % 2) == 0;
+      s.target = "t" + std::to_string(ident) + ".example.com";
+      ev.body = s;
+      break;
+    }
+    case 4:
+      ev.body = tor::exit_data_event{ident % 65536};
+      break;
+    case 5:
+      ev.body = tor::hsdir_publish_event{
+          tor::onion_address{"o" + std::to_string(ident)}};
+      break;
+    case 6:
+      ev.body = tor::hsdir_fetch_event{
+          tor::onion_address{"o" + std::to_string(ident)},
+          tor::fetch_outcome::success};
+      break;
+    default:
+      ev.body = tor::rend_circuit_event{tor::rend_outcome::succeeded,
+                                        ident % 512};
+      break;
+  }
+  return ev;
+}
+
+TEST(FuzzTest, ShardOfAlwaysLandsInRange) {
+  // Adversarial keys: the fixed points hash mixers get wrong, tiny
+  // sequential client ips, aligned powers of two, plus random draws.
+  std::vector<std::uint64_t> keys = {0, 1, 2, 0xffffffffffffffffULL,
+                                     0x8000000000000000ULL,
+                                     0x5555555555555555ULL};
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    keys.push_back(i);             // small client ips
+    keys.push_back(1ULL << i);     // aligned
+    keys.push_back((1ULL << i) - 1);
+  }
+  rng r{4242};
+  for (int i = 0; i < 500; ++i) keys.push_back(r.next());
+
+  std::vector<std::size_t> shard_counts = {1, 2, 3, 5, 7, 8, 16, 17, 64, 4096};
+  for (int i = 0; i < 50; ++i) {
+    shard_counts.push_back(1 + static_cast<std::size_t>(r.below(10000)));
+  }
+  for (const std::uint64_t key : keys) {
+    for (const std::size_t shards : shard_counts) {
+      const std::size_t s = tor::shard_of(key, shards);
+      ASSERT_LT(s, shards) << "key " << key << " shards " << shards;
+      // Pure function: re-evaluation never moves an event between shards.
+      ASSERT_EQ(s, tor::shard_of(key, shards));
+    }
+    ASSERT_EQ(tor::shard_of(key, 1), 0u);
+  }
+}
+
+TEST(FuzzTest, ShardKeyGroupsEventsByIdentity) {
+  rng r{31337};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t variant = r.next();
+    const std::uint64_t ident = r.below(64);  // force identity collisions
+    const tor::event a = make_shard_event(variant, ident);
+    const tor::event b = make_shard_event(variant, ident);
+    // Same identity, same variant => same key => same shard, always.
+    ASSERT_EQ(tor::shard_key_of(a), tor::shard_key_of(b));
+  }
+}
+
+TEST(FuzzTest, ShardedSlabMergeIsPartitionIndependent) {
+  // Property: bucketing a random event stream across S shards, accumulating
+  // per-shard slab rows, and merging must reproduce the single-shard slab
+  // exactly — for any S, including S > n (guaranteed empty shards) and the
+  // all-one-shard skew of an all-equal identity stream.
+  rng r{1618};
+  constexpr std::size_t counters = 5;
+  const std::size_t stride = counters + 1;  // + trash slot
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = r.below(300);
+    const bool skew = (trial % 4) == 0;  // every identity equal: one shard
+    std::vector<tor::event> events;
+    events.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      events.push_back(make_shard_event(skew ? 0 : r.next(),
+                                        skew ? 7 : r.below(40)));
+    }
+    // The "instrument": a fixed per-event contribution, applied to whatever
+    // slab row the event's shard owns. Also dirties the trash slot, which
+    // merge must drop.
+    const auto apply = [&](const tor::event& ev, std::uint64_t* row) {
+      row[ev.body.index() % counters] += 1;
+      row[static_cast<std::size_t>(ev.at.seconds) % counters] += 3;
+      row[counters] += 999;  // trash slot: must never reach the tally
+    };
+    std::vector<std::uint64_t> base(counters);
+    for (auto& b : base) b = r.next();  // blinded starts, wrap-around included
+
+    const auto merged_with = [&](std::size_t shards) {
+      std::vector<std::uint64_t> slabs(shards * stride, 0);
+      for (const auto& ev : events) {
+        const std::size_t s = tor::shard_of(tor::shard_key_of(ev), shards);
+        apply(ev, slabs.data() + s * stride);
+      }
+      std::vector<std::uint64_t> out;
+      privcount::merge_slabs(slabs, shards, counters, base, out);
+      return out;
+    };
+
+    const std::vector<std::uint64_t> reference = merged_with(1);
+    for (const std::size_t shards : {2ul, 3ul, 8ul, 17ul, n + 5, 1000ul}) {
+      ASSERT_EQ(merged_with(shards), reference)
+          << "trial " << trial << " shards " << shards << " n " << n;
+    }
+  }
+}
+
+TEST(FuzzTest, MergeSlabsRejectsShapeMismatches) {
+  std::vector<std::uint64_t> out;
+  const std::vector<std::uint64_t> base(4);
+  // Slab vector not shards x (counters + 1).
+  EXPECT_THROW(
+      privcount::merge_slabs(std::vector<std::uint64_t>(9), 2, 4, base, out),
+      precondition_error);
+  // Base not one value per counter.
+  EXPECT_THROW(
+      privcount::merge_slabs(std::vector<std::uint64_t>(10), 2, 4,
+                             std::vector<std::uint64_t>(3), out),
+      precondition_error);
+}
+
+TEST(FuzzTest, SeededBinInsertsCommuteAcrossBins) {
+  // Property behind PSC shard independence: insert_seeded_bin depends only
+  // on (bin, seed), and the last insert into a bin wins. Any execution
+  // order that preserves per-bin order — exactly what the shard bucketing
+  // guarantees, since one bin maps to one shard — must produce a
+  // byte-identical table, under random streams, all-one-bin skew, and
+  // never-touched (empty) bins.
+  const auto group = crypto::make_toy_group();
+  const crypto::elgamal scheme{group};
+  constexpr std::size_t bins = 32;
+  rng r{2718};
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 1 + r.below(120);
+    const bool skew = (trial % 3) == 0;
+    std::vector<std::pair<std::size_t, std::uint64_t>> inserts;
+    inserts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      inserts.emplace_back(skew ? 5 : r.below(bins), r.next());
+    }
+
+    const auto table_after = [&](std::size_t shards) {
+      // Fresh rng per set: both start from the same all-zero table bytes.
+      crypto::deterministic_rng set_rng{90 + static_cast<std::uint64_t>(trial)};
+      psc::oblivious_set set{scheme, scheme.generate_keypair(set_rng).pub,
+                             bins, set_rng};
+      // Replay in shard-bucketed order: per-bin order is preserved because
+      // a bin lives on exactly one shard.
+      for (std::size_t s = 0; s < shards; ++s) {
+        for (const auto& [bin, seed] : inserts) {
+          if (bin % shards == s) set.insert_seeded_bin(bin, seed);
+        }
+      }
+      std::vector<byte_buffer> bytes;
+      for (const auto& c : set.slots()) bytes.push_back(scheme.encode(c));
+      return bytes;
+    };
+
+    const std::vector<byte_buffer> reference = table_after(1);
+    for (const std::size_t shards : {2ul, 3ul, 7ul, bins, bins * 4}) {
+      ASSERT_EQ(table_after(shards), reference)
+          << "trial " << trial << " shards " << shards;
+    }
   }
 }
 

@@ -367,6 +367,125 @@ TEST(MultiRoundFaultTest, FeederSocketKilledMidRoundKeepsPipelineExact) {
   }
 }
 
+/// Sharded-ingest regression: a DC running with dc_shards > 1 must survive
+/// a feeder killed mid-round exactly like the scalar path — sharding
+/// buffers events per window, so a stream failure must not lose or
+/// double-count anything already bucketed. Every later round of the live
+/// run must be byte-identical to a reference round replaying the truncated
+/// trace from files with the scalar observe path.
+TEST(MultiRoundFaultTest, ShardedDcSurvivesFeederDeathMatchingTruncatedTrace) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 240;  // 80/day, 40 per DC per day
+  gen.days = 3;
+  gen.seed = 47;
+  const std::vector<std::vector<tor::event>> per_dc =
+      workload::generate_trace_events(gen);
+
+  workdir_guard workdir;
+  deployment_plan plan = make_privcount_plan(
+      2, 1, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 53;
+  plan.privcount_noise_enabled = false;
+  plan.workload.kind = workload_kind::socket;
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1500;
+  plan.round_deadline_ms = 30'000;
+  plan.dc_shards = 3;  // the regression under test
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+  std::uint16_t base = 0;
+  for (const auto& n : plan.nodes) base = std::max(base, n.port);
+  plan.workload.event_port_base = static_cast<std::uint16_t>(base + 1);
+
+  // DC 0: healthy feeder, full 3-day stream. DC 1: day-0 records, then half
+  // of the first day-1 record and an abrupt close — killed mid-round 1.
+  byte_buffer dc1_bytes;
+  tor::append_trace_header(dc1_bytes);
+  for (const tor::event& ev : per_dc[1]) {
+    if (ev.at.seconds < k_seconds_per_day) {
+      tor::append_event_record(dc1_bytes, ev);
+    }
+  }
+  {
+    byte_buffer one;
+    for (const tor::event& ev : per_dc[1]) {
+      if (ev.at.seconds >= k_seconds_per_day) {
+        tor::append_event_record(one, ev);
+        break;
+      }
+    }
+    ASSERT_GT(one.size(), 2u);
+    dc1_bytes.insert(dc1_bytes.end(), one.begin(),
+                     one.begin() + static_cast<std::ptrdiff_t>(one.size() / 2));
+  }
+
+  std::vector<std::thread> feeders;
+  feeders.emplace_back([&] {
+    tor::stream_events_to_socket("127.0.0.1", plan.workload.event_port_base,
+                                 per_dc[0], 30'000);
+  });
+  feeders.emplace_back([&] {
+    feed_raw_bytes(static_cast<std::uint16_t>(plan.workload.event_port_base + 1),
+                   dc1_bytes);
+  });
+
+  distributed_round_result result;
+  std::string round_error;
+  try {
+    result = run_distributed_round(plan, bin, workdir.path(), 90'000);
+  } catch (const std::exception& e) {
+    round_error = e.what();
+  }
+  for (auto& f : feeders) f.join();
+  ASSERT_EQ(round_error, "");
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+
+  // Reference: the same deployment replaying the *truncated* trace from
+  // files — DC 1's file simply ends where its feeder died. run_reference_
+  // round uses the scalar observe path, so byte-equality also re-proves
+  // shard independence on the fault path.
+  const std::string ref_dir = workdir.path() + "/truncated";
+  std::filesystem::create_directories(ref_dir);
+  {
+    tor::trace_writer w0{ref_dir + "/" + tor::trace_file_name(0)};
+    for (const tor::event& ev : per_dc[0]) w0.write(ev);
+    w0.close();
+    tor::trace_writer w1{ref_dir + "/" + tor::trace_file_name(1)};
+    for (const tor::event& ev : per_dc[1]) {
+      if (ev.at.seconds < k_seconds_per_day) w1.write(ev);
+    }
+    w1.close();
+  }
+  deployment_plan ref_plan = plan;
+  ref_plan.workload.kind = workload_kind::trace;
+  ref_plan.workload.trace_dir = ref_dir;
+  ref_plan.dc_shards = 1;
+  EXPECT_EQ(result.tally, run_reference_round(ref_plan));
+
+  // All three rounds completed; rounds after the kill count only DC 0.
+  const std::vector<std::map<std::string, std::int64_t>> rounds =
+      parse_privcount_rounds(result.tally);
+  ASSERT_EQ(rounds.size(), 3u);
+  const std::vector<std::uint64_t> expected = expected_streams_per_round(
+      per_dc, 3, [](std::size_t dc, std::size_t round) {
+        return dc == 0 || round == 0;
+      });
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rounds[r].at("streams/total"),
+              static_cast<std::int64_t>(expected[r]))
+        << "round " << r;
+  }
+}
+
 /// A DC process that exits cleanly between rounds: later rounds complete
 /// without it, it is excluded from the deployment, and surviving counters
 /// stay exact.

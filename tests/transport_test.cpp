@@ -279,6 +279,166 @@ TEST(TcpTest, BackpressureBoundsTheSendQueueOnASlowReader) {
   sender.flush_sends();
 }
 
+TEST(TcpTest, SixtyFourChannelsMultiplexThroughOneEventLoop) {
+  // One fabric = one epoll loop. 64 sender nodes each hold their own
+  // outbound channel to one sink, so the loop multiplexes 64 outbound
+  // connections, 64 inbound connections, and 65 listen sockets at once.
+  // Per-channel FIFO order must hold under the interleaving.
+  tcp_net bus;
+  constexpr node_id k_sink = 1000;
+  constexpr std::uint32_t k_senders = 64;
+  constexpr std::uint8_t k_per_sender = 10;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> got;
+  std::atomic<std::size_t> total{0};
+  bus.register_node(k_sink, [&](const message& m) {
+    got[m.from].push_back(m.payload[0]);
+    ++total;
+  });
+  for (std::uint32_t i = 1; i <= k_senders; ++i) {
+    bus.register_node(i, [](const message&) {});
+  }
+  for (std::uint8_t j = 0; j < k_per_sender; ++j) {
+    for (std::uint32_t i = 1; i <= k_senders; ++i) {
+      bus.send(message{i, k_sink, 0, byte_buffer{j}});
+    }
+  }
+  bus.run_until([&] { return total.load() == k_senders * k_per_sender; },
+                30'000);
+  ASSERT_EQ(got.size(), k_senders);
+  for (std::uint32_t i = 1; i <= k_senders; ++i) {
+    ASSERT_EQ(got[i].size(), k_per_sender) << "sender " << i;
+    for (std::uint8_t j = 0; j < k_per_sender; ++j) {
+      EXPECT_EQ(got[i][j], j) << "sender " << i << " out of order";
+    }
+  }
+}
+
+TEST(TcpTest, HugeSingleChunkResumesAcrossPartialWrites) {
+  // A 6 MiB body in ONE chunk cannot fit any socket buffer: the non-
+  // blocking writer necessarily hits EAGAIN mid-frame and must resume from
+  // its wire offset — byte-exact — across many readiness cycles.
+  tcp_options opts;
+  opts.max_chunk_bytes = 8u << 20;
+  tcp_net bus{opts};
+  byte_buffer received;
+  bus.register_node(1, [&](const message& m) { received = m.payload; });
+  bus.register_node(2, [](const message&) {});
+
+  const byte_buffer big = patterned_payload(6u << 20);  // 6 MiB > 4 MiB
+  bus.send(message{2, 1, 9, big});
+  bus.run_until_quiescent();
+  EXPECT_EQ(received, big);
+  EXPECT_EQ(bus.stats().messages_received, 1u);
+}
+
+TEST(TcpTest, ReconnectUnderLoadStaysExactlyOnce) {
+  // Cut the connection repeatedly while a stream of chunked messages is in
+  // flight: the writer re-sends whole messages it cannot prove delivered,
+  // and the receiver's (epoch, seq) dedup must collapse every resend —
+  // each message arrives exactly once, intact, in order.
+  tcp_options opts;
+  opts.max_chunk_bytes = 32 * 1024;
+  tcp_net bus{opts};
+  constexpr std::uint8_t k_messages = 40;
+  std::vector<std::uint8_t> order;
+  std::atomic<std::size_t> deliveries{0};
+  std::atomic<bool> corrupt{false};
+  bus.register_node(1, [&](const message& m) {
+    const std::uint8_t index = m.payload[0];
+    order.push_back(index);
+    ++deliveries;
+    const byte_buffer expected = patterned_payload(96 * 1024);
+    for (std::size_t i = 1; i < m.payload.size(); ++i) {
+      if (m.payload[i] != expected[i]) corrupt = true;
+    }
+  });
+  bus.register_node(2, [](const message&) {});
+
+  std::thread sender{[&] {
+    for (std::uint8_t i = 0; i < k_messages; ++i) {
+      byte_buffer payload = patterned_payload(96 * 1024);
+      payload[0] = i;  // message identity for the exactly-once check
+      bus.send(message{2, 1, 3, payload});
+    }
+  }};
+  for (int cut = 0; cut < 8; ++cut) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    bus.drop_connections_to(1);  // races the writes on purpose
+  }
+  sender.join();
+  bus.run_until_quiescent();
+  EXPECT_EQ(deliveries.load(), k_messages);  // no loss AND no duplicates
+  EXPECT_FALSE(corrupt.load());
+  ASSERT_EQ(order.size(), k_messages);
+  for (std::uint8_t i = 0; i < k_messages; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TcpTest, StalledReaderExertsBackpressureWithoutUnboundedBuffering) {
+  // The peer is up and connected but never reads (a stalled reader, not a
+  // dead one): the kernel buffers fill, the writer parks on EAGAIN, the
+  // bounded send queue fills, and the producer thread stalls instead of
+  // buffering without limit. When the reader finally drains, everything
+  // flows.
+  const std::uint16_t stalled_port = free_port();
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(stalled_port);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+
+  std::map<node_id, tcp_endpoint> map{
+      {1, {"127.0.0.1", stalled_port}},
+      {2, {"127.0.0.1", free_port()}},
+  };
+  tcp_options opts;
+  opts.send_queue_limit_bytes = 64 * 1024;
+  tcp_net sender{map, opts};
+
+  std::atomic<int> accepted_fd{-1};
+  std::thread acceptor{[&] {
+    accepted_fd = ::accept(listen_fd, nullptr, nullptr);  // then stall
+  }};
+
+  // Enough data to overrun the kernel's socket buffers (which absorb the
+  // first few MiB invisibly) and reach the bounded user-space queue.
+  const std::size_t n_messages = 128;
+  const byte_buffer chunk = patterned_payload(256 * 1024);
+  std::atomic<bool> all_sent{false};
+  std::thread producer{[&] {
+    for (std::size_t i = 0; i < n_messages; ++i) {
+      sender.send(message{2, 1, 0, chunk});
+    }
+    all_sent = true;
+  }};
+
+  std::this_thread::sleep_for(std::chrono::milliseconds{300});
+  EXPECT_FALSE(all_sent.load());  // the stalled reader held the producer back
+  EXPECT_LE(sender.stats().peak_queue_bytes,
+            opts.send_queue_limit_bytes + chunk.size() + 64);
+
+  // Drain: read and discard everything the writer has to say.
+  acceptor.join();
+  ASSERT_GE(accepted_fd.load(), 0);
+  std::thread drainer{[&] {
+    std::uint8_t sink[64 * 1024];
+    while (::recv(accepted_fd.load(), sink, sizeof sink, 0) > 0) {
+    }
+  }};
+  producer.join();
+  EXPECT_TRUE(all_sent.load());
+  sender.flush_sends();
+  ::shutdown(accepted_fd.load(), SHUT_RDWR);
+  drainer.join();
+  ::close(accepted_fd.load());
+  ::close(listen_fd);
+}
+
 TEST(TcpTest, RunUntilDeliversUntilPredicateHolds) {
   tcp_net bus;
   int count = 0;
