@@ -143,6 +143,9 @@ std::string serialize_plan(const deployment_plan& plan) {
   // Ingest-shard count is a per-process tuning knob: it never changes tally
   // bytes, so single-shard plans round-trip without the key.
   if (plan.dc_shards != 1) out << "dc_shards " << plan.dc_shards << "\n";
+  if (plan.dc_ingest_threads != 0) {
+    out << "dc_ingest_threads " << plan.dc_ingest_threads << "\n";
+  }
   if (plan.pace != 0.0) out << "pace " << format_double(plan.pace) << "\n";
   out << "psc_extractor " << plan.psc_extractor << "\n";
   for (const auto& name : plan.instruments) {
@@ -283,6 +286,9 @@ deployment_plan parse_plan(std::string_view text) {
     } else if (key == "dc_shards") {
       ls >> plan.dc_shards;
       want(plan.dc_shards >= 1 && plan.dc_shards <= 4096);
+    } else if (key == "dc_ingest_threads") {
+      ls >> plan.dc_ingest_threads;
+      want(plan.dc_ingest_threads <= 256);
     } else if (key == "pace") {
       ls >> plan.pace;
       want(plan.pace >= 0.0);

@@ -148,6 +148,12 @@ struct deployment_plan {
   /// every value, which tests/distributed_test.cpp asserts.
   std::size_t dc_shards = 1;
 
+  /// Ingest worker threads per DC process (0 = run every shard on the
+  /// calling thread). Like dc_shards, purely a throughput knob: each
+  /// worker owns a disjoint set of shards, so the merged tally bytes are
+  /// identical for every value.
+  std::size_t dc_ingest_threads = 0;
+
   [[nodiscard]] bool durable() const noexcept { return !durable_dir.empty(); }
 
   [[nodiscard]] const node_spec& node(net::node_id id) const;

@@ -615,10 +615,9 @@ class windowed_replay {
   explicit windowed_replay(bool buffering) : buffering_{buffering} {}
 
   std::size_t replay(workload_cursor& cursor, const round_window& w,
-                     std::size_t index,
-                     const workload_cursor::batch_sink& sink) {
+                     std::size_t index, core::event_sink& sink) {
     if (buffering_ && index == last_index_) {
-      if (!buffer_.empty()) sink(buffer_.data(), buffer_.size());
+      if (!buffer_.empty()) sink.ingest(buffer_.data(), buffer_.size());
       return buffer_.size();
     }
     if (last_index_ != k_none && index <= last_index_) {
@@ -628,10 +627,10 @@ class windowed_replay {
       return 0;
     }
     buffer_.clear();
-    const std::size_t n = cursor.stream_window_batch(
+    const std::size_t n = cursor.stream_window(
         w.start, w.end, [&](const tor::event* evs, std::size_t k) {
           if (buffering_) buffer_.insert(buffer_.end(), evs, evs + k);
-          sink(evs, k);
+          sink.ingest(evs, k);
         });
     last_index_ = index;
     return n;
@@ -988,7 +987,7 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
       const core::measurement_schedule sched = round_schedule_of(plan);
       std::optional<workload_cursor> cursor;
       if (is_event_workload(plan)) {
-        configure_psc_dc(plan, dc);
+        configure_psc_dc(plan, dc, make_ingest_pool(plan));
         cursor.emplace(plan, dc_index_of(plan, self));
       }
       const std::unique_ptr<util::durable_store> store =
@@ -1030,11 +1029,8 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
               // identical sequence.
               if (is_event_workload(plan)) {
                 const round_window w = round_window_for(plan, sched, index);
-                const std::size_t replayed = replay.replay(
-                    *cursor, w, index,
-                    [&dc](const tor::event* evs, std::size_t n) {
-                      dc.ingest(evs, n);
-                    });
+                const std::size_t replayed =
+                    replay.replay(*cursor, w, index, dc);
                 if (configured_round >= plan.schedule_rounds) {
                   cursor->drain();  // trailing gap / feeder shutdown bytes
                 }
@@ -1100,7 +1096,7 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
       const core::measurement_schedule sched = round_schedule_of(plan);
       std::optional<workload_cursor> cursor;
       if (is_event_workload(plan)) {
-        configure_privcount_dc(plan, dc);
+        configure_privcount_dc(plan, dc, make_ingest_pool(plan));
         cursor.emplace(plan, dc_index_of(plan, self));
       }
       const std::unique_ptr<util::durable_store> store =
@@ -1149,11 +1145,8 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
                 // channel and is processed only after this handler returns
                 // (FIFO), so the report includes every replayed event.
                 const round_window w = round_window_for(plan, sched, index);
-                const std::size_t replayed = replay.replay(
-                    *cursor, w, index,
-                    [&dc](const tor::event* evs, std::size_t n) {
-                      dc.ingest(evs, n);
-                    });
+                const std::size_t replayed =
+                    replay.replay(*cursor, w, index, dc);
                 if (round_id >= plan.schedule_rounds) cursor->drain();
                 log_line{log_level::info}
                     << "PrivCount DC " << self << " round " << round_id

@@ -120,6 +120,23 @@ std::string run_reference_round(const deployment_plan& plan) {
   const auto window = [&](std::uint32_t round_id) {
     return round_window_for(plan, sched, round_id - 1);
   };
+  // The reference round honors the plan's ingest-plane knobs too (one
+  // pool shared across every DC, like a node process shares its workers
+  // across shards) — bytes are knob-independent, but exercising the same
+  // path keeps the reference fast at 16-DC population scale.
+  const std::shared_ptr<util::thread_pool> ingest_pool =
+      is_event_workload(plan) ? make_ingest_pool(plan) : nullptr;
+  // One feed path for both protocols: each DC is a core::event_sink, each
+  // cursor delivers its window as contiguous spans straight into ingest().
+  const auto feed_window = [&](std::uint32_t round_id, auto&& sink_at) {
+    const auto w = window(round_id);
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      core::event_sink& sink = sink_at(i);
+      cursors[i].stream_window(
+          w.start, w.end,
+          [&sink](const tor::event* evs, std::size_t n) { sink.ingest(evs, n); });
+    }
+  };
 
   net::inproc_net bus;
   std::vector<std::string> tallies;
@@ -137,17 +154,17 @@ std::string run_reference_round(const deployment_plan& plan) {
     psc::deployment dep{bus, cfg};
     if (is_event_workload(plan)) {
       dep.set_extractor(core::extractor_by_name(plan.psc_extractor));
+      for (std::size_t i = 0; i < dc_ids.size(); ++i) {
+        configure_dc_ingest(plan, dep.dc_at(i), ingest_pool);
+      }
       make_cursors(dc_ids.size());
     }
     for (std::uint32_t r = 1; r <= rounds; ++r) {
       const psc::round_outcome out = dep.run_round([&] {
         if (is_event_workload(plan)) {
-          const auto w = window(r);
-          for (std::size_t i = 0; i < cursors.size(); ++i) {
-            cursors[i].stream_window(w.start, w.end, [&](const tor::event& ev) {
-              dep.dc_at(i).observe(ev);
-            });
-          }
+          feed_window(r, [&](std::size_t i) -> core::event_sink& {
+            return dep.dc_at(i);
+          });
           return;
         }
         for (std::size_t i = 0; i < dc_ids.size(); ++i) {
@@ -178,18 +195,18 @@ std::string run_reference_round(const deployment_plan& plan) {
     for (const auto& name : plan.instruments) {
       dep.add_instrument(core::instrument_by_name(name));
     }
+    for (std::size_t i = 0; i < cfg.measured_relays.size(); ++i) {
+      configure_dc_ingest(plan, dep.dc_at(i), ingest_pool);
+    }
     make_cursors(cfg.measured_relays.size());
   }
   for (std::uint32_t r = 1; r <= rounds; ++r) {
     const std::vector<privcount::counter_result> results =
         dep.run_round(plan.counters, [&] {
           if (!is_event_workload(plan)) return;
-          const auto w = window(r);
-          for (std::size_t i = 0; i < cursors.size(); ++i) {
-            cursors[i].stream_window(w.start, w.end, [&](const tor::event& ev) {
-              dep.dc_at(i).observe(ev);
-            });
-          }
+          feed_window(r, [&](std::size_t i) -> core::event_sink& {
+            return dep.dc_at(i);
+          });
         });
     tallies.push_back(serialize_privcount_tally(results));
   }

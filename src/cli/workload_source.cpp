@@ -126,9 +126,8 @@ void workload_cursor::pace_to(sim_time t) {
   last_paced_seconds_ = t.seconds;
 }
 
-std::size_t workload_cursor::stream_window(
-    sim_time start, sim_time end,
-    const std::function<void(const tor::event&)>& sink) {
+std::size_t workload_cursor::stream_window_paced(sim_time start, sim_time end,
+                                                 const batch_sink& sink) {
   std::size_t delivered = 0;
   for (;;) {
     std::optional<tor::event> ev;
@@ -148,19 +147,15 @@ std::size_t workload_cursor::stream_window(
       ++dropped_;  // inter-round gap: collection stays on, counting only
       continue;
     }
-    sink(*ev);
+    sink(&*ev, 1);
     ++delivered;
   }
   return delivered;
 }
 
-std::size_t workload_cursor::stream_window_batch(sim_time start, sim_time end,
-                                                 const batch_sink& sink) {
-  if (pace_ > 0.0) {
-    // Pacing is per-event by definition; batching would only add latency.
-    return stream_window(start, end,
-                         [&](const tor::event& ev) { sink(&ev, 1); });
-  }
+std::size_t workload_cursor::stream_window(sim_time start, sim_time end,
+                                           const batch_sink& sink) {
+  if (pace_ > 0.0) return stream_window_paced(start, end, sink);
   std::size_t delivered = 0;
   // Lookahead a previous (scalar or batched) window held back.
   if (pending_.has_value()) {
@@ -242,20 +237,33 @@ std::size_t workload_cursor::drain() {
   return consumed;
 }
 
-std::size_t stream_dc_workload(
-    const deployment_plan& plan, std::size_t dc_index,
-    const std::function<void(const tor::event&)>& sink) {
+std::size_t stream_dc_workload(const deployment_plan& plan,
+                               std::size_t dc_index, const batch_sink& sink) {
   workload_cursor cursor{plan, dc_index};
   return cursor.stream_window(k_stream_begin, k_stream_end, sink);
 }
 
-void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc) {
-  dc.set_extractor(core::extractor_by_name(plan.psc_extractor));
+std::shared_ptr<util::thread_pool> make_ingest_pool(
+    const deployment_plan& plan) {
+  if (plan.dc_ingest_threads == 0) return nullptr;
+  return std::make_shared<util::thread_pool>(plan.dc_ingest_threads);
+}
+
+void configure_dc_ingest(const deployment_plan& plan, core::event_sink& dc,
+                         std::shared_ptr<util::thread_pool> pool) {
   dc.set_shards(plan.dc_shards);
+  if (pool != nullptr) dc.set_thread_pool(std::move(pool));
+}
+
+void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc,
+                      std::shared_ptr<util::thread_pool> pool) {
+  dc.set_extractor(core::extractor_by_name(plan.psc_extractor));
+  configure_dc_ingest(plan, dc, std::move(pool));
 }
 
 void configure_privcount_dc(const deployment_plan& plan,
-                            privcount::data_collector& dc) {
+                            privcount::data_collector& dc,
+                            std::shared_ptr<util::thread_pool> pool) {
   expects(!plan.instruments.empty(),
           "event workload needs at least one instrument");
   for (const auto& name : plan.instruments) {
@@ -267,7 +275,7 @@ void configure_privcount_dc(const deployment_plan& plan,
       dc.add_instrument(core::instrument_by_name(name));
     }
   }
-  dc.set_shards(plan.dc_shards);
+  configure_dc_ingest(plan, dc, std::move(pool));
 }
 
 trace_round_defaults defaults_for_model(const std::string& model) {

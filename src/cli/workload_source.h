@@ -21,11 +21,13 @@
 #include <optional>
 
 #include "src/cli/deployment_plan.h"
+#include "src/core/event_sink.h"
 #include "src/privcount/data_collector.h"
 #include "src/psc/data_collector.h"
 #include "src/tor/events.h"
 #include "src/tor/trace_file.h"
 #include "src/tor/trace_socket.h"
+#include "src/util/thread_pool.h"
 #include "src/workload/trace_gen.h"
 
 namespace tormet::cli {
@@ -41,12 +43,17 @@ namespace tormet::cli {
 /// the synthetic item workload).
 [[nodiscard]] bool is_event_workload(const deployment_plan& plan);
 
-/// Streams DC `dc_index`'s event slice into `sink`, honoring plan.pace.
-/// Returns the number of events delivered. Throws precondition_error for
-/// synthetic plans and net::wire_error on corrupt trace input.
+/// Contiguous-span sink for batched event delivery: `evs[0..n)` is valid
+/// only for the duration of the call. The one event-delivery shape in the
+/// repo — core::event_sink::ingest matches it directly.
+using batch_sink = std::function<void(const tor::event* evs, std::size_t n)>;
+
+/// Streams DC `dc_index`'s whole event slice into `sink` as contiguous
+/// spans, honoring plan.pace. Returns the number of events delivered.
+/// Throws precondition_error for synthetic plans and net::wire_error on
+/// corrupt trace input.
 std::size_t stream_dc_workload(const deployment_plan& plan,
-                               std::size_t dc_index,
-                               const std::function<void(const tor::event&)>& sink);
+                               std::size_t dc_index, const batch_sink& sink);
 
 /// One DC's live event stream across a whole deployment lifetime. Unlike
 /// stream_dc_workload (one EOF-terminated replay), a cursor opens its
@@ -55,10 +62,10 @@ std::size_t stream_dc_workload(const deployment_plan& plan,
 /// handing out events window by window:
 ///
 ///   stream_window(start, end)  — delivers events with start <= t < end to
-///       the sink; events before `start` (the inter-round gap) are
-///       counted-but-dropped, per the paper's always-on collection; the
-///       first event at or past `end` is held as lookahead for the next
-///       window.
+///       the sink as contiguous spans; events before `start` (the
+///       inter-round gap) are counted-but-dropped, per the paper's
+///       always-on collection; the first event at or past `end` is held
+///       as lookahead for the next window.
 ///   drain()                    — consumes the rest of the stream, counting
 ///       everything as dropped (trailing gap / feeder shutdown).
 ///
@@ -79,22 +86,16 @@ class workload_cursor {
       const deployment_plan& plan, std::size_t dc_index,
       std::shared_ptr<const std::vector<std::vector<tor::event>>> generated);
 
-  /// Streams events with sim time in [start, end) into `sink`, honoring
-  /// plan.pace. Returns the number delivered.
+  using batch_sink = cli::batch_sink;
+
+  /// Streams events with sim time in [start, end) into `sink` as
+  /// contiguous spans — the one window-delivery API (a generated slice is
+  /// handed out zero-copy; file/socket sources are blocked through a
+  /// reused buffer). Returns the number of events delivered. Paced replay
+  /// degrades to one-event spans: pacing sleeps between events by
+  /// definition, so wider spans would only add latency.
   std::size_t stream_window(sim_time start, sim_time end,
-                            const std::function<void(const tor::event&)>& sink);
-
-  /// Contiguous-span sink for batched delivery: `evs[0..n)` is valid only
-  /// for the duration of the call.
-  using batch_sink = std::function<void(const tor::event* evs, std::size_t n)>;
-
-  /// stream_window, but delivering contiguous event spans instead of one
-  /// event per call — the ingest-side hot path (a generated slice is handed
-  /// out zero-copy; file/socket sources are blocked through a reused
-  /// buffer). Delivers exactly the events, in exactly the order, that
-  /// stream_window would; paced replay falls back to per-event delivery.
-  std::size_t stream_window_batch(sim_time start, sim_time end,
-                                  const batch_sink& sink);
+                            const batch_sink& sink);
   /// Consumes the remainder of the stream (counted as dropped). Call after
   /// the last round so a socket feeder's trailing bytes are drained.
   std::size_t drain();
@@ -110,6 +111,10 @@ class workload_cursor {
  private:
   [[nodiscard]] std::optional<tor::event> fetch();
   void pace_to(sim_time t);
+  /// The per-event adapter behind paced replay: fetch, sleep to the
+  /// event's sim time, deliver a one-event span.
+  std::size_t stream_window_paced(sim_time start, sim_time end,
+                                  const batch_sink& sink);
 
   workload_kind kind_;
   double pace_ = 0.0;
@@ -127,12 +132,28 @@ class workload_cursor {
   std::size_t next_generated_ = 0;  // cursor into generated_[dc_index_]
 };
 
-/// Installs the plan's extractor (psc_extractor) on a PSC DC.
-void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc);
+/// Builds the plan's DC ingest worker pool: nullptr when
+/// plan.dc_ingest_threads == 0 (every shard runs on the calling thread).
+/// Callers feeding several DCs share one pool across them.
+[[nodiscard]] std::shared_ptr<util::thread_pool> make_ingest_pool(
+    const deployment_plan& plan);
 
-/// Installs the plan's instruments on a PrivCount DC.
+/// Installs the plan's ingest-plane knobs (dc_shards, ingest pool) on any
+/// event sink. A null pool leaves the sink's current pool untouched (the
+/// in-process PSC deployment wires its own).
+void configure_dc_ingest(const deployment_plan& plan, core::event_sink& dc,
+                         std::shared_ptr<util::thread_pool> pool);
+
+/// Installs the plan's extractor (psc_extractor) and ingest-plane knobs
+/// on a PSC DC.
+void configure_psc_dc(const deployment_plan& plan, psc::data_collector& dc,
+                      std::shared_ptr<util::thread_pool> pool = nullptr);
+
+/// Installs the plan's instruments and ingest-plane knobs on a PrivCount
+/// DC.
 void configure_privcount_dc(const deployment_plan& plan,
-                            privcount::data_collector& dc);
+                            privcount::data_collector& dc,
+                            std::shared_ptr<util::thread_pool> pool = nullptr);
 
 /// Measurement defaults for a trace model: the instruments that consume
 /// its events, their counter specs, and the PSC extractor with signal on

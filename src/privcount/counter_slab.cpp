@@ -1,6 +1,5 @@
 #include "src/privcount/counter_slab.h"
 
-#include <unordered_map>
 #include <utility>
 
 #include "src/util/check.h"
@@ -9,14 +8,15 @@ namespace tormet::privcount {
 
 namespace {
 
+// The adapter keeps no mutable state between calls: concurrent shard
+// workers run ingest() on the same instance with disjoint slabs, so each
+// increment resolves through slot_of_ directly (a read-only lookup into
+// the round's counter index) instead of a shared memo map.
 class legacy_adapter final : public batch_instrument {
  public:
   explicit legacy_adapter(legacy_instrument fn) : fn_{std::move(fn)} {}
 
-  void bind(const slot_resolver& slot_of) override {
-    slot_of_ = slot_of;
-    slots_.clear();  // counter sets (and slots) change per round
-  }
+  void bind(const slot_resolver& slot_of) override { slot_of_ = slot_of; }
 
   void ingest(const tor::event* const* evs, std::size_t n,
               std::uint64_t* slab) override {
@@ -32,17 +32,14 @@ class legacy_adapter final : public batch_instrument {
 
  private:
   [[nodiscard]] std::function<void(const std::string&, std::uint64_t)>
-  make_incr(std::uint64_t* slab) {
+  make_incr(std::uint64_t* slab) const {
     return [this, slab](const std::string& counter, std::uint64_t amount) {
-      auto [it, inserted] = slots_.try_emplace(counter, 0);
-      if (inserted) it->second = slot_of_(counter);
-      slab[it->second] += amount;
+      slab[slot_of_(counter)] += amount;
     };
   }
 
   legacy_instrument fn_;
   slot_resolver slot_of_;
-  std::unordered_map<std::string, std::size_t> slots_;  // memoized per round
 };
 
 }  // namespace

@@ -27,7 +27,20 @@ void data_collector::add_instrument(std::unique_ptr<batch_instrument> ins) {
 void data_collector::set_shards(std::size_t n) {
   expects(n >= 1, "a DC needs at least one ingest shard");
   expects(!collecting_, "shard count is fixed while a round is collecting");
+  if (n == shards_) return;
   shards_ = n;
+  // Keep the slab layout in lockstep with the shard count. Between rounds
+  // the slabs are all zero (configure zeroes them, stop_collection wipes
+  // them), so re-sizing here loses nothing — it only prevents a stale
+  // stride if the shard count changes between configure and start.
+  if (!counter_names_.empty()) {
+    slabs_.assign(shards_ * (counter_names_.size() + 1), 0);
+  }
+}
+
+void data_collector::set_thread_pool(std::shared_ptr<util::thread_pool> pool) {
+  expects(!collecting_, "ingest pool is fixed while a round is collecting");
+  pool_ = std::move(pool);
 }
 
 void data_collector::on_configure(const configure_msg& m) {
@@ -129,7 +142,6 @@ void data_collector::observe(const tor::event& ev) { ingest(&ev, 1); }
 void data_collector::ingest(const tor::event* evs, std::size_t n) {
   if (!collecting_ || n == 0) return;
   events_observed_ += n;
-  const std::size_t stride = counter_names_.size() + 1;
   if (shards_ == 1) {
     // Single shard: the contiguous span goes straight to the instruments —
     // no shard keys, no pointer bucketing.
@@ -140,16 +152,36 @@ void data_collector::ingest(const tor::event* evs, std::size_t n) {
   }
   buckets_.resize(shards_);
   for (auto& b : buckets_) b.clear();
+  if (pool_ != nullptr) {
+    // One chunk of shards per party (workers + the calling thread). Each
+    // chunk scans the whole span, keeps only the events whose shard key
+    // lands in its range, and runs the instruments into its own slab rows.
+    // No two chunks touch the same bucket or slab row, so the output is
+    // byte-identical to the serial path for every worker count; the
+    // parallel_for return is the window-end merge barrier.
+    const std::size_t parties = pool_->size() + 1;
+    const std::size_t grain = (shards_ + parties - 1) / parties;
+    pool_->parallel_for(shards_, grain, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t s = tor::shard_of(tor::shard_key_of(evs[i]), shards_);
+        if (s >= begin && s < end) buckets_[s].push_back(evs + i);
+      }
+      for (std::size_t s = begin; s < end; ++s) ingest_shard(s);
+    });
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t s = tor::shard_of(tor::shard_key_of(evs[i]), shards_);
     buckets_[s].push_back(evs + i);
   }
-  for (std::size_t s = 0; s < shards_; ++s) {
-    if (buckets_[s].empty()) continue;
-    std::uint64_t* slab = slabs_.data() + s * stride;
-    for (const auto& ins : instruments_) {
-      ins->ingest(buckets_[s].data(), buckets_[s].size(), slab);
-    }
+  for (std::size_t s = 0; s < shards_; ++s) ingest_shard(s);
+}
+
+void data_collector::ingest_shard(std::size_t s) {
+  if (buckets_[s].empty()) return;
+  std::uint64_t* slab = slabs_.data() + s * (counter_names_.size() + 1);
+  for (const auto& ins : instruments_) {
+    ins->ingest(buckets_[s].data(), buckets_[s].size(), slab);
   }
 }
 

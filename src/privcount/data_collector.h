@@ -4,9 +4,10 @@
 // noise − Σ blinds (mod 2^64), so a seized DC reveals nothing (every proper
 // subset of {DC value, blinds} is uniformly random). Events increment flat
 // per-shard counter slabs during collection — the observe path is sharded
-// by client/circuit hash for cache locality at ingest rates of tens of
-// millions of events per second — and the final report merges base + slabs
-// deterministically, so its bytes never depend on the shard count.
+// by client/circuit hash and optionally runs the shards on a worker pool,
+// each worker owning its shard's slab row exclusively — and the final
+// report merges base + slabs deterministically, so its bytes never depend
+// on the shard count or the worker count.
 #pragma once
 
 #include <cstdint>
@@ -16,15 +17,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/event_sink.h"
 #include "src/crypto/secure_rng.h"
 #include "src/net/transport.h"
 #include "src/privcount/counter_slab.h"
 #include "src/privcount/messages.h"
 #include "src/tor/events.h"
+#include "src/util/thread_pool.h"
 
 namespace tormet::privcount {
 
-class data_collector {
+class data_collector final : public core::event_sink {
  public:
   /// An instrument maps an observed Tor event to counter increments by name
   /// (the `increment` callback may be invoked any number of times).
@@ -39,34 +42,45 @@ class data_collector {
   /// Registers a slot-compiled instrument (the fast path for hot counters).
   void add_instrument(std::unique_ptr<batch_instrument> ins);
 
-  /// Number of ingest shards (>= 1). Only consulted at configure time;
-  /// must not change while a round is collecting. Tally bytes are
-  /// identical for every value — sharding buys locality, not semantics.
-  void set_shards(std::size_t n);
-  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  /// Number of ingest shards (>= 1). A between-rounds operation: changing
+  /// it re-sizes the (all-zero) counter slabs immediately so the slab
+  /// layout and the shard count can never disagree, and is rejected while
+  /// a round is collecting. Tally bytes are identical for every value —
+  /// sharding buys locality and parallelism, not semantics.
+  void set_shards(std::size_t n) override;
+  [[nodiscard]] std::size_t shards() const noexcept override { return shards_; }
+
+  /// Worker pool the ingest shards run on (nullptr = calling thread only).
+  /// Each worker owns its shard's slab row exclusively and the merge order
+  /// is fixed, so report bytes are identical for every pool size. Rejected
+  /// while a round is collecting, like set_shards.
+  void set_thread_pool(std::shared_ptr<util::thread_pool> pool) override;
 
   /// Transport handler (register with the transport for `self`).
   void handle_message(const net::message& msg);
 
   /// Feeds one observed event (only counted while a round is collecting).
-  void observe(const tor::event& ev);
+  void observe(const tor::event& ev) override;
 
   /// Feeds a contiguous batch of observed events: partitions them across
   /// the ingest shards and runs every instrument per shard over flat
-  /// slabs. Equivalent to observe() per event, at a fraction of the cost.
-  void ingest(const tor::event* evs, std::size_t n);
+  /// slabs, one pool worker per shard when a pool is attached. Equivalent
+  /// to observe() per event, at a fraction of the cost.
+  void ingest(const tor::event* evs, std::size_t n) override;
 
   [[nodiscard]] net::node_id id() const noexcept { return self_; }
   [[nodiscard]] bool collecting() const noexcept { return collecting_; }
   /// Events counted while collecting, across all rounds — observability
   /// for trace-replay deployments (only the total is kept; the blinded
   /// counters reveal nothing per-event).
-  [[nodiscard]] std::uint64_t events_observed() const noexcept {
+  [[nodiscard]] std::uint64_t events_observed() const noexcept override {
     return events_observed_;
   }
 
  private:
   void on_configure(const configure_msg& m);
+  /// Runs every instrument over shard `s`'s bucket into its slab row.
+  void ingest_shard(std::size_t s);
 
   net::node_id self_;
   net::node_id tally_server_;
@@ -80,6 +94,7 @@ class data_collector {
   std::vector<std::uint64_t> base_;   // blinded start values (noise − blinds)
   std::vector<std::uint64_t> slabs_;  // shards_ rows of (counters + 1) slots
   std::size_t shards_ = 1;
+  std::shared_ptr<util::thread_pool> pool_;  // ingest workers (may be null)
   std::vector<std::vector<const tor::event*>> buckets_;  // ingest scratch
   bool collecting_ = false;
   std::uint64_t events_observed_ = 0;

@@ -13,11 +13,13 @@ data_collector::data_collector(net::node_id self, net::node_id tally_server,
 void data_collector::set_extractor(extractor fn) { extractor_ = std::move(fn); }
 
 void data_collector::set_thread_pool(std::shared_ptr<util::thread_pool> pool) {
+  expects(set_ == nullptr, "ingest pool is fixed while a table is live");
   pool_ = std::move(pool);
 }
 
 void data_collector::set_shards(std::size_t n) {
   expects(n >= 1, "a DC needs at least one ingest shard");
+  expects(set_ == nullptr, "shard count is fixed while a table is live");
   shards_ = n;
 }
 
@@ -95,6 +97,23 @@ void data_collector::ingest(const tor::event* evs, std::size_t n) {
     const std::uint64_t seed = rng_.next_u64();
     ++items_inserted_;
     buckets_[bin % shards_].emplace_back(bin, seed);
+  }
+  if (pool_ != nullptr) {
+    // Execute the seeded inserts on the workers, one chunk of shards per
+    // party. Bins are owned by exactly one shard and each ciphertext is a
+    // pure function of (bin, seed), so concurrent chunks write disjoint
+    // slots and the table bytes match the serial path for every worker
+    // count; the parallel_for return is the window-end merge barrier.
+    const std::size_t parties = pool_->size() + 1;
+    const std::size_t grain = (shards_ + parties - 1) / parties;
+    pool_->parallel_for(shards_, grain, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        for (const auto& [bin, seed] : buckets_[s]) {
+          set_->insert_seeded_bin(bin, seed);
+        }
+      }
+    });
+    return;
   }
   for (auto& b : buckets_) {
     for (const auto& [bin, seed] : b) set_->insert_seeded_bin(bin, seed);

@@ -1,6 +1,8 @@
 // PSC data collector: owns the oblivious encrypted bit table for one
 // measurement relay, feeds items into it during collection, and ships the
-// encrypted table to the tally server on request.
+// encrypted table to the tally server on request. Batched ingest is
+// sharded by bin and optionally runs the shards on a worker pool; the
+// table bytes never depend on the shard count or the worker count.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/event_sink.h"
 #include "src/crypto/batch_engine.h"
 #include "src/crypto/elgamal.h"
 #include "src/crypto/secure_rng.h"
@@ -22,7 +25,7 @@
 
 namespace tormet::psc {
 
-class data_collector {
+class data_collector final : public core::event_sink {
  public:
   /// An extractor maps an observed event to the item whose distinctness is
   /// being counted (client IP string, SLD, onion address, ...); nullopt
@@ -33,22 +36,27 @@ class data_collector {
                  net::transport& transport, crypto::secure_rng& rng);
 
   void set_extractor(extractor fn);
-  /// Shares `pool` for the bulk table initialization at configure time.
-  void set_thread_pool(std::shared_ptr<util::thread_pool> pool);
+  /// Shares `pool` for the bulk table initialization at configure time and
+  /// for running the ingest shards. Rejected while a table is live (between
+  /// dc_configure and the report): the ingest plane is reconfigured between
+  /// rounds only.
+  void set_thread_pool(std::shared_ptr<util::thread_pool> pool) override;
   /// Number of ingest shards (>= 1) for batched ingest. The table bytes
   /// are identical for every value: seeds are pre-drawn per insert in
   /// event order and bins are owned by exactly one shard, so the
   /// last-insert-wins slot contents never depend on the partition.
-  void set_shards(std::size_t n);
-  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  /// Rejected while a table is live, like set_thread_pool.
+  void set_shards(std::size_t n) override;
+  [[nodiscard]] std::size_t shards() const noexcept override { return shards_; }
   void handle_message(const net::message& msg);
-  void observe(const tor::event& ev);
+  void observe(const tor::event& ev) override;
 
   /// Feeds a contiguous batch of observed events: a serial pre-pass runs
   /// the extractor and draws one insert seed per item in event order, then
-  /// each shard executes the seeded inserts for the bins it owns.
+  /// each shard executes the seeded inserts for the bins it owns — one
+  /// pool worker per shard chunk when a pool is attached.
   /// Byte-equivalent to observe() per event.
-  void ingest(const tor::event* evs, std::size_t n);
+  void ingest(const tor::event* evs, std::size_t n) override;
 
   /// Direct item insertion (for callers not going through tor events).
   void insert_item(std::string_view item);
@@ -58,7 +66,7 @@ class data_collector {
   /// Events seen / items actually inserted (extractor hits) since
   /// construction — observability for trace-replay deployments (the item
   /// *identities* are never retained, only these totals).
-  [[nodiscard]] std::uint64_t events_observed() const noexcept {
+  [[nodiscard]] std::uint64_t events_observed() const noexcept override {
     return events_observed_;
   }
   [[nodiscard]] std::uint64_t items_inserted() const noexcept {

@@ -624,12 +624,12 @@ TEST(DistributedRoundTest, ParameterizedInstrumentPlansAreByteIdentical) {
   }
 }
 
-// PR-7 acceptance: the DC ingest-shard count is a pure throughput knob.
-// For every tested shard count the full multi-process pipeline must produce
-// tally bytes AND .summary sidecar bytes identical to the 1-shard run and
-// to the scalar in-process reference (which ignores dc_shards entirely and
-// observes event by event) — proving the hash partitioning, per-shard slab
-// accumulation, and report-time merge never leak into the output.
+// PR-7/PR-8 acceptance: the DC ingest-shard count and ingest worker count
+// are pure throughput knobs. For every tested combination the full
+// multi-process pipeline must produce tally bytes AND .summary sidecar
+// bytes identical to the 1-shard serial run and to the scalar in-process
+// reference — proving the hash partitioning, per-shard slab accumulation,
+// pool scheduling, and report-time merge never leak into the output.
 namespace {
 
 [[nodiscard]] std::set<std::size_t> shard_count_matrix() {
@@ -642,10 +642,17 @@ void expect_shard_count_independence(deployment_plan plan,
                                      const std::string& workdir,
                                      const char* summary_marker) {
   plan.dc_shards = 1;
+  plan.dc_ingest_threads = 0;
   const std::string reference = run_reference_round(plan);
   std::string summary_baseline;
   for (const std::size_t shards : shard_count_matrix()) {
     plan.dc_shards = shards;
+    // Pair each shard count with a different pool size (serial for one
+    // shard, 2/4 workers otherwise) so the e2e matrix covers the parallel
+    // path without multiplying the number of full distributed rounds; the
+    // exhaustive {shards} x {workers} DC-level matrix lives in
+    // ingest_parallel_test.
+    plan.dc_ingest_threads = shards == 1 ? 0 : (shards == 2 ? 2 : 4);
     const distributed_round_result result =
         run_distributed_round(plan, bin, workdir, 90'000);
     for (const auto& n : result.nodes) {
@@ -764,11 +771,17 @@ TEST(DeploymentPlanTest, DcShardsRoundTripsAndValidates) {
   assign_free_ports(plan);
   // Default stays off the wire: pre-PR-7 plan files parse unchanged.
   EXPECT_EQ(serialize_plan(plan).find("dc_shards"), std::string::npos);
+  EXPECT_EQ(serialize_plan(plan).find("dc_ingest_threads"),
+            std::string::npos);
   plan.dc_shards = 16;
+  plan.dc_ingest_threads = 4;
   const deployment_plan back = parse_plan(serialize_plan(plan));
   EXPECT_EQ(back.dc_shards, 16u);
+  EXPECT_EQ(back.dc_ingest_threads, 4u);
   EXPECT_EQ(serialize_plan(back), serialize_plan(plan));
   EXPECT_THROW(parse_plan(serialize_plan(plan) + "dc_shards 0\n"),
+               precondition_error);
+  EXPECT_THROW(parse_plan(serialize_plan(plan) + "dc_ingest_threads 257\n"),
                precondition_error);
 }
 

@@ -132,7 +132,9 @@ TEST(WorkloadCursorTest, PartitionsStreamIntoWindowsAndCountsGapEvents) {
 
   workload_cursor cursor{plan, 0};
   std::vector<std::int64_t> seen;
-  const auto sink = [&](const tor::event& ev) { seen.push_back(ev.at.seconds); };
+  const auto sink = [&](const tor::event* evs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) seen.push_back(evs[i].at.seconds);
+  };
 
   EXPECT_EQ(cursor.stream_window(sim_time{0}, sim_time{100}, sink), 2u);
   EXPECT_EQ(seen, (std::vector<std::int64_t>{10, 99}));
@@ -162,7 +164,9 @@ TEST(WorkloadCursorTest, SingleRoundPlansReplayTheWholeStream) {
   plan.workload.kind = workload_kind::trace;
   plan.workload.trace_dir = workdir.path();
   std::size_t n = 0;
-  EXPECT_EQ(stream_dc_workload(plan, 0, [&](const tor::event&) { ++n; }), 3u);
+  EXPECT_EQ(stream_dc_workload(
+                plan, 0, [&](const tor::event*, std::size_t k) { n += k; }),
+            3u);
   EXPECT_EQ(n, 3u);
 }
 
