@@ -22,6 +22,7 @@
 #include "src/cli/deployment_plan.h"
 #include "src/cli/workload_source.h"
 #include "src/tor/trace_socket.h"
+#include "src/workload/scenario.h"
 #include "src/workload/trace_gen.h"
 
 namespace {
@@ -33,11 +34,20 @@ void usage() {
          "         [--dcs N] [--scale X] [--events N] [--seed S] [--days N]\n"
          "         [--protocol psc|privcount] [--cps N] [--sks N]\n"
          "         [--bins B] [--group toy|p256] [--port-base P] [--no-plan]\n"
+         "       tormet_tracegen --scenario flash_crowd|diurnal|botnet_surge|"
+         "relay_churn|country_block\n"
+         "         --out DIR [--dcs N] [--scale X] [--events N] [--seed S] "
+         "[--days N] [...]\n"
          "       tormet_tracegen --feed HOST:PORT --in TRACE_FILE\n"
          "\n"
          "--days N renders N days of population churn into one trace per DC\n"
          "and declares an N-round daily schedule in the emitted plan, so the\n"
-         "Table 5 multi-day unique-client measurements run end to end.\n";
+         "Table 5 multi-day unique-client measurements run end to end.\n"
+         "\n"
+         "--scenario renders a named time-varying workload (see\n"
+         "docs/SCENARIOS.md): traces, a ground_truth.cfg sidecar with the\n"
+         "per-round true statistics, and a plan whose DCs materialize the\n"
+         "scenario deterministically (workload scenario ...).\n";
 }
 
 }  // namespace
@@ -46,6 +56,8 @@ int main(int argc, char** argv) {
   using namespace tormet;
 
   workload::trace_gen_params params;
+  std::string scenario;
+  bool scale_given = false;
   std::string out_dir;
   std::string feed_target;
   std::string feed_file;
@@ -67,8 +79,12 @@ int main(int argc, char** argv) {
     };
     if (arg == "--out") out_dir = next();
     else if (arg == "--model") params.model = next();
+    else if (arg == "--scenario") scenario = next();
     else if (arg == "--dcs") params.dcs = std::strtoul(next(), nullptr, 10);
-    else if (arg == "--scale") params.scale = std::strtod(next(), nullptr);
+    else if (arg == "--scale") {
+      params.scale = std::strtod(next(), nullptr);
+      scale_given = true;
+    }
     else if (arg == "--events") params.events = std::strtoul(next(), nullptr, 10);
     else if (arg == "--seed") params.seed = std::strtoul(next(), nullptr, 10);
     else if (arg == "--days") params.days = std::strtoul(next(), nullptr, 10);
@@ -114,6 +130,82 @@ int main(int argc, char** argv) {
     if (out_dir.empty()) {
       usage();
       return 2;
+    }
+    // -- scenario mode: traces + ground-truth sidecar + scenario plan -------
+    if (!scenario.empty()) {
+      if (!workload::is_known_scenario(scenario)) {
+        std::cerr << "tormet_tracegen: unknown scenario '" << scenario << "'\n";
+        return 2;
+      }
+      if (params.days < 1) {
+        std::cerr << "tormet_tracegen: --days must be >= 1\n";
+        return 2;
+      }
+      workload::scenario_params sp;
+      sp.name = scenario;
+      sp.dcs = params.dcs;
+      // --scale means client-population scale here; the trace models'
+      // network_scale default would render a minimal population.
+      sp.scale = scale_given ? params.scale : 1.0;
+      sp.events = params.events;
+      sp.seed = params.seed;
+      sp.days = params.days;
+      std::filesystem::create_directories(out_dir);
+      const std::vector<std::size_t> counts =
+          workload::write_scenario_dir(sp, out_dir);
+      std::size_t total = 0;
+      for (std::size_t k = 0; k < counts.size(); ++k) {
+        std::cerr << "  dc-" << k << ".trace: " << counts[k] << " events\n";
+        total += counts[k];
+      }
+      std::cerr << "tormet_tracegen: scenario " << scenario << ", " << total
+                << " events across " << sp.dcs << " DCs -> " << out_dir
+                << " (+ ground_truth.cfg)\n";
+      if (write_plan) {
+        cli::deployment_plan plan;
+        if (protocol == "psc") {
+          plan = cli::make_psc_plan(sp.dcs, cps, bins);
+          plan.round.group = group == "p256" ? crypto::group_backend::p256
+                                             : crypto::group_backend::toy;
+        } else if (protocol == "privcount") {
+          plan = cli::make_privcount_plan(sp.dcs, sks, {{"placeholder", 1, 1}});
+          plan.counters.clear();
+        } else {
+          usage();
+          return 2;
+        }
+        const cli::trace_round_defaults defaults =
+            cli::defaults_for_scenario(scenario);
+        // The plan's DCs materialize the scenario themselves (pure function
+        // of the plan); the trace files beside it are for inspection and
+        // socket feeding.
+        plan.workload.kind = cli::workload_kind::scenario;
+        plan.workload.model = scenario;
+        plan.workload.scale = sp.scale;
+        plan.workload.events = sp.events;
+        plan.workload.gen_seed = sp.seed;
+        plan.workload.gen_days = sp.days;
+        if (sp.days > 1) {
+          plan.schedule_rounds = static_cast<std::uint32_t>(sp.days);
+          plan.round_duration_s = tormet::k_seconds_per_day;
+          plan.round_gap_s = 0;
+        }
+        plan.psc_extractor = defaults.psc_extractor;
+        plan.instruments = defaults.instruments;
+        plan.counters = defaults.counters;
+        plan.rng_seed = sp.seed;
+        plan.tally_path =
+            (std::filesystem::absolute(out_dir) / "tally.out").string();
+        for (std::size_t k = 0; k < plan.nodes.size(); ++k) {
+          plan.nodes[k].port = static_cast<std::uint16_t>(port_base + k);
+        }
+        const std::string plan_path = out_dir + "/plan.cfg";
+        cli::save_plan(plan, plan_path);
+        std::cerr << "tormet_tracegen: wrote " << plan_path << " ("
+                  << plan.protocol << ", " << plan.nodes.size()
+                  << " nodes, ports " << port_base << "..)\n";
+      }
+      return 0;
     }
     if (!workload::is_known_trace_model(params.model)) {
       std::cerr << "tormet_tracegen: unknown model '" << params.model << "'\n";

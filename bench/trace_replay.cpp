@@ -330,6 +330,86 @@ int run_parallel(bool json) {
   return 0;
 }
 
+/// Scenario replay throughput: the Mevade-shaped botnet_surge workload
+/// (PR 9's heaviest scenario — day 1 doubles the event rate) materialized
+/// from its plan spec and streamed through the daily-window cursor path
+/// into a sharded DC. This is exactly the code path the scenario
+/// acceptance gate drives; the CI artifact tracks its events/s.
+int run_scenario(bool json) {
+  cli::deployment_plan plan = cli::make_privcount_plan(
+      1, 1, core::default_specs_for("entry_totals"));
+  plan.workload.kind = cli::workload_kind::scenario;
+  plan.workload.model = "botnet_surge";
+  plan.workload.scale = 1.0;
+  plan.workload.events = 50'000;
+  plan.workload.gen_seed = 8;
+  plan.workload.gen_days = 2;
+  plan.instruments = {"entry_totals"};
+  plan.schedule_rounds = 2;
+  plan.round_duration_s = k_seconds_per_day;
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    plan.nodes[i].port = static_cast<std::uint16_t>(9800 + i);
+  }
+
+  const auto gen_t0 = clock_type::now();
+  const auto generated = cli::materialize_plan_events(plan);
+  const double generate_s = secs_since(gen_t0);
+  const std::size_t n = generated->front().size();
+  const core::measurement_schedule sched = cli::round_schedule_of(plan);
+
+  net::inproc_net bus;
+  bus.register_node(0, [](const net::message&) {});
+  crypto::deterministic_rng rng{1};
+  privcount::data_collector dc{1, 0, bus, rng};
+  dc.add_instrument(core::make_batch_instrument("entry_totals"));
+  dc.set_shards(4);
+  privcount::configure_msg cfg;
+  cfg.round_id = 1;
+  for (const auto& spec : core::default_specs_for("entry_totals")) {
+    cfg.counter_names.push_back(spec.name);
+    cfg.sigmas.push_back(0.0);
+  }
+  dc.handle_message(privcount::encode_configure(0, 1, cfg));
+  dc.handle_message(
+      privcount::encode_simple(0, 1, privcount::msg_type::start_collection, 1));
+
+  std::size_t total = 0;
+  const auto t0 = clock_type::now();
+  do {
+    cli::workload_cursor cursor{plan, 0, generated};
+    std::size_t replayed = 0;
+    for (const auto& round : sched.rounds()) {
+      replayed += cursor.stream_window(
+          round.start, round.end(),
+          [&dc](const tor::event* evs, std::size_t k) { dc.ingest(evs, k); });
+    }
+    replayed += cursor.drain();
+    if (replayed != n) {
+      std::fprintf(stderr, "scenario replay mismatch: %zu of %zu\n", replayed,
+                   n);
+      return 1;
+    }
+    total += n;
+  } while (secs_since(t0) < 0.4);
+  const double eps = static_cast<double>(total) / secs_since(t0);
+
+  if (json) {
+    std::printf(
+        "{\"bench\":\"trace_replay.scenario\",\"scenario\":\"botnet_surge\","
+        "\"events\":%zu,\"rounds\":2,\"generate_s\":%.3f,\"replay_eps\":%.0f}"
+        "\n",
+        n, generate_s, eps);
+    return 0;
+  }
+  repro_table table{"Scenario replay, botnet_surge (" + std::to_string(n) +
+                    " events, 2 daily rounds, 4 shards)"};
+  table.add("materialize from plan", "",
+            format_count(static_cast<double>(n) / generate_s) + " ev/s", "");
+  table.add("windowed replay + ingest", "", format_count(eps) + " ev/s", "");
+  table.print();
+  return 0;
+}
+
 int run(std::uint64_t target_events, bool json) {
   workload::trace_gen_params params;
   params.model = "zipf";
@@ -447,6 +527,7 @@ int main(int argc, char** argv) {
   int rc = run(events, json);
   if (rc == 0) rc = run_ingest(events, json);
   if (rc == 0) rc = run_parallel(json);
+  if (rc == 0) rc = run_scenario(json);
   if (rc != 0 || days <= 1) return rc;
   return run_multiround(events, days, json);
 }

@@ -10,6 +10,7 @@
 
 #include "src/core/instruments.h"
 #include "src/util/check.h"
+#include "src/workload/scenario.h"
 #include "src/workload/trace_gen.h"
 
 namespace tormet::cli {
@@ -94,6 +95,7 @@ std::string_view workload_kind_name(workload_kind kind) {
     case workload_kind::trace: return "trace";
     case workload_kind::generate: return "generate";
     case workload_kind::socket: return "socket";
+    case workload_kind::scenario: return "scenario";
   }
   throw invariant_error{"unhandled workload_kind"};
 }
@@ -122,6 +124,14 @@ std::string serialize_plan(const deployment_plan& plan) {
       break;
     case workload_kind::socket:
       out << " " << plan.workload.event_port_base;
+      break;
+    case workload_kind::scenario:
+      // One comma-joined token: `scenario <name>,<scale>,<events>,<seed>
+      // [,<days>]`, the days field omitted at its default like generate's.
+      out << " " << plan.workload.model << ","
+          << format_double(plan.workload.scale) << "," << plan.workload.events
+          << "," << plan.workload.gen_seed;
+      if (plan.workload.gen_days > 1) out << "," << plan.workload.gen_days;
       break;
   }
   out << "\n";
@@ -244,9 +254,76 @@ deployment_plan parse_plan(std::string_view text) {
         ls >> port;
         want(port >= 1 && port <= 0xffff);
         plan.workload.event_port_base = static_cast<std::uint16_t>(port);
+      } else if (kind == "scenario") {
+        // `scenario <name>,<scale>,<events>,<seed>[,<days>]` — one
+        // comma-joined token. Every field is validated here with a typed
+        // error: an unknown name or an out-of-range envelope parameter must
+        // fail the parse, not render a silently different workload.
+        plan.workload.kind = workload_kind::scenario;
+        std::string spec;
+        ls >> spec;
+        want(!spec.empty());
+        std::vector<std::string> fields;
+        std::size_t pos = 0;
+        for (;;) {
+          const std::size_t comma = spec.find(',', pos);
+          fields.push_back(spec.substr(pos, comma == std::string::npos
+                                                ? std::string::npos
+                                                : comma - pos));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+        if (fields.size() < 4 || fields.size() > 5) {
+          fail("scenario spec needs name,scale,events,seed[,days], got " +
+               std::to_string(fields.size()) + " field(s)");
+        }
+        const auto parse_u64 = [&](const std::string& field,
+                                   const char* what) {
+          std::uint64_t v = 0;
+          std::istringstream fs{field};
+          fs >> v;
+          if (fs.fail() || !fs.eof() || field.empty() || field[0] == '-') {
+            fail("scenario " + std::string{what} + " is not a number: '" +
+                 field + "'");
+          }
+          return v;
+        };
+        plan.workload.model = fields[0];
+        if (!workload::is_known_scenario(plan.workload.model)) {
+          fail("unknown scenario '" + plan.workload.model +
+               "' (expected flash_crowd|diurnal|botnet_surge|relay_churn|"
+               "country_block)");
+        }
+        {
+          double scale = 0.0;
+          std::istringstream fs{fields[1]};
+          fs >> scale;
+          if (fs.fail() || !fs.eof()) {
+            fail("scenario scale is not a number: '" + fields[1] + "'");
+          }
+          // Bounded so hostile plan text cannot demand a client population
+          // (256 * scale) beyond what generation can materialize.
+          if (!(scale > 0.0) || scale > 1'000.0) {
+            fail("scenario scale must be in (0, 1000]");
+          }
+          plan.workload.scale = scale;
+        }
+        plan.workload.events = parse_u64(fields[2], "events");
+        if (plan.workload.events < 1 ||
+            plan.workload.events > 100'000'000) {
+          fail("scenario events/day must be in [1, 100000000]");
+        }
+        plan.workload.gen_seed = parse_u64(fields[3], "seed");
+        if (fields.size() == 5) {
+          const std::uint64_t days = parse_u64(fields[4], "days");
+          if (days < 1 || days > 366) {
+            fail("scenario days must be in [1, 366]");
+          }
+          plan.workload.gen_days = days;
+        }
       } else {
         fail("unknown workload kind '" + kind +
-             "' (expected synthetic|trace|generate|socket)");
+             "' (expected synthetic|trace|generate|socket|scenario)");
       }
     } else if (key == "schedule") {
       // `schedule rounds <N> duration <s> gap <s>` — keyword-tagged so a

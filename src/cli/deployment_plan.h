@@ -56,19 +56,33 @@ struct node_spec {
 ///               ({model, dcs, scale, events, seed}) and DC k replays slice k
 ///   socket    — DC k listens on 127.0.0.1:(event_port_base + k) and ingests
 ///               a trace stream a feeder pushes (tormet_tracegen --feed)
-enum class workload_kind : std::uint8_t { synthetic, trace, generate, socket };
+///   scenario  — every process materializes workload::generate_scenario_events
+///               (a named time-varying scenario: flash_crowd, diurnal,
+///               botnet_surge, relay_churn, country_block) and DC k replays
+///               slice k; declared as `workload scenario
+///               <name>,<scale>,<events>,<seed>[,<days>]`
+enum class workload_kind : std::uint8_t {
+  synthetic,
+  trace,
+  generate,
+  socket,
+  scenario,
+};
 
 [[nodiscard]] std::string_view workload_kind_name(workload_kind kind);
 
 struct workload_spec {
   workload_kind kind = workload_kind::synthetic;
   std::string trace_dir;              // kind == trace
-  std::string model = "zipf";         // kind == generate
-  double scale = 1e-4;                // generate: simulation network_scale
-  std::uint64_t events = 5'000;       // generate: zipf-model event budget
-  std::uint64_t gen_seed = 1;         // generate
-  /// generate: days of population churn to render (workload::trace_gen
-  /// --days); day d's events carry sim times in [d·86400, (d+1)·86400).
+  /// generate: trace model name; scenario: scenario name.
+  std::string model = "zipf";
+  /// generate: simulation network_scale; scenario: client-population scale.
+  double scale = 1e-4;
+  /// generate: zipf-model event budget; scenario: baseline actions/day.
+  std::uint64_t events = 5'000;
+  std::uint64_t gen_seed = 1;         // generate / scenario
+  /// generate/scenario: days of activity to render; day d's events carry
+  /// sim times in [d·86400, (d+1)·86400).
   std::uint64_t gen_days = 1;
   std::uint16_t event_port_base = 0;  // kind == socket
 };

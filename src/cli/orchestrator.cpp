@@ -106,11 +106,9 @@ std::string run_reference_round(const deployment_plan& plan) {
   std::vector<workload_cursor> cursors;
   const auto make_cursors = [&](std::size_t dcs) {
     if (!is_event_workload(plan)) return;
-    std::shared_ptr<const std::vector<std::vector<tor::event>>> shared;
-    if (plan.workload.kind == workload_kind::generate) {
-      shared = std::make_shared<const std::vector<std::vector<tor::event>>>(
-          workload::generate_trace_events(trace_gen_params_of(plan)));
-    }
+    // generate/scenario workloads materialize once, shared across cursors.
+    const std::shared_ptr<const std::vector<std::vector<tor::event>>> shared =
+        materialize_plan_events(plan);
     for (std::size_t i = 0; i < dcs; ++i) {
       cursors.emplace_back(unpaced, i, shared);
     }

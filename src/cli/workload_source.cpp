@@ -32,6 +32,36 @@ workload::trace_gen_params trace_gen_params_of(const deployment_plan& plan) {
   return p;
 }
 
+workload::scenario_params scenario_params_of(const deployment_plan& plan) {
+  workload::scenario_params p;
+  p.name = plan.workload.model;
+  p.dcs = plan.ids_with(plan.protocol == "psc" ? node_role::psc_dc
+                                               : node_role::privcount_dc)
+              .size();
+  p.scale = plan.workload.scale;
+  p.events = plan.workload.events;
+  p.seed = plan.workload.gen_seed;
+  p.days = plan.workload.gen_days;
+  return p;
+}
+
+std::shared_ptr<const std::vector<std::vector<tor::event>>>
+materialize_plan_events(const deployment_plan& plan) {
+  switch (plan.workload.kind) {
+    case workload_kind::generate:
+      return std::make_shared<const std::vector<std::vector<tor::event>>>(
+          workload::generate_trace_events(trace_gen_params_of(plan)));
+    case workload_kind::scenario:
+      return std::make_shared<const std::vector<std::vector<tor::event>>>(
+          workload::generate_scenario_events(scenario_params_of(plan)));
+    case workload_kind::synthetic:
+    case workload_kind::trace:
+    case workload_kind::socket:
+      return nullptr;
+  }
+  throw invariant_error{"unhandled workload kind"};
+}
+
 bool is_event_workload(const deployment_plan& plan) {
   return plan.workload.kind != workload_kind::synthetic;
 }
@@ -53,14 +83,12 @@ workload_cursor::workload_cursor(
           plan.workload.trace_dir + "/" + tor::trace_file_name(dc_index));
       return;
     case workload_kind::generate:
+    case workload_kind::scenario:
       // Every process materializes the same generation (pure function of
       // the plan) unless the caller shares one; either way the cursor only
       // walks its own slice.
-      generated_ =
-          generated != nullptr
-              ? std::move(generated)
-              : std::make_shared<const std::vector<std::vector<tor::event>>>(
-                    workload::generate_trace_events(trace_gen_params_of(plan)));
+      generated_ = generated != nullptr ? std::move(generated)
+                                        : materialize_plan_events(plan);
       expects(dc_index_ < generated_->size(), "DC index out of generated range");
       return;
     case workload_kind::socket:
@@ -84,7 +112,8 @@ std::optional<tor::event> workload_cursor::fetch() {
         if (!ev.has_value()) eof_ = true;
         return ev;
       }
-      case workload_kind::generate: {
+      case workload_kind::generate:
+      case workload_kind::scenario: {
         const std::vector<tor::event>& slice = (*generated_)[dc_index_];
         if (next_generated_ >= slice.size()) {
           eof_ = true;
@@ -169,7 +198,9 @@ std::size_t workload_cursor::stream_window(sim_time start, sim_time end,
       ++delivered;
     }
   }
-  if (kind_ == workload_kind::generate && !failed_ && !eof_) {
+  if ((kind_ == workload_kind::generate ||
+       kind_ == workload_kind::scenario) &&
+      !failed_ && !eof_) {
     // Fast path: generated slices are stably time-sorted (workload::
     // trace_gen), so the inter-round gap is a prefix, the window end is a
     // lower_bound, and the whole window is handed to the sink as one
@@ -303,6 +334,20 @@ trace_round_defaults defaults_for_model(const std::string& model) {
     d.psc_extractor = "client_ip";
   } else {
     throw precondition_error{"unknown trace model: " + model};
+  }
+  return d;
+}
+
+trace_round_defaults defaults_for_scenario(const std::string& name) {
+  const workload::scenario_measurements m =
+      workload::measurements_for_scenario(name);
+  trace_round_defaults d;
+  d.psc_extractor = m.psc_extractor;
+  for (const auto& instrument : m.instruments) {
+    d.instruments.push_back(instrument);
+    for (auto& spec : core::default_specs_for(instrument)) {
+      d.counters.push_back(std::move(spec));
+    }
   }
   return d;
 }

@@ -8,6 +8,9 @@
 //   trace     — streams <trace_dir>/dc-<k>.trace with a bounded buffer
 //   generate  — materializes workload::generate_trace_events (a pure
 //               function of the plan) and replays slice k
+//   scenario  — materializes workload::generate_scenario_events (named
+//               time-varying scenarios with ground-truth sidecars) and
+//               replays slice k
 //   socket    — listens on event_port_base + k and ingests a pushed trace
 //               stream (file mode only in the reference round: what a
 //               feeder pushed cannot be re-derived from the plan)
@@ -28,6 +31,7 @@
 #include "src/tor/trace_file.h"
 #include "src/tor/trace_socket.h"
 #include "src/util/thread_pool.h"
+#include "src/workload/scenario.h"
 #include "src/workload/trace_gen.h"
 
 namespace tormet::cli {
@@ -38,6 +42,18 @@ namespace tormet::cli {
 /// only as an unexplained byte-identity failure).
 [[nodiscard]] workload::trace_gen_params trace_gen_params_of(
     const deployment_plan& plan);
+
+/// The scenario parameters a plan's `scenario` workload resolves to — the
+/// same single-mapping contract as trace_gen_params_of.
+[[nodiscard]] workload::scenario_params scenario_params_of(
+    const deployment_plan& plan);
+
+/// Materializes a plan's in-memory workload (`generate` or `scenario`) as
+/// the shared per-DC event table every cursor slices; nullptr for kinds
+/// that stream from files or sockets. Pure function of the plan — node
+/// processes and the reference round materialize identical streams.
+[[nodiscard]] std::shared_ptr<const std::vector<std::vector<tor::event>>>
+materialize_plan_events(const deployment_plan& plan);
 
 /// True when the plan's collection phase feeds tor::events (anything but
 /// the synthetic item workload).
@@ -164,5 +180,11 @@ struct trace_round_defaults {
   std::string psc_extractor;
 };
 [[nodiscard]] trace_round_defaults defaults_for_model(const std::string& model);
+
+/// Measurement defaults for a named scenario (the
+/// workload::measurements_for_scenario wiring with its counter specs
+/// filled in). tormet_tracegen --scenario writes plans from these.
+[[nodiscard]] trace_round_defaults defaults_for_scenario(
+    const std::string& name);
 
 }  // namespace tormet::cli

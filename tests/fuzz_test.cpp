@@ -340,6 +340,92 @@ TEST(FuzzTest, PlanParserRejectsGuaranteedInvalidMutations) {
                precondition_error);
 }
 
+/// A valid scenario plan whose `workload scenario ...` argument is
+/// replaced by `arg`, so the scenario spec parser can be fuzzed in situ.
+[[nodiscard]] std::string scenario_plan_with_arg(const std::string& arg) {
+  cli::deployment_plan plan =
+      cli::make_privcount_plan(2, 1, {{"entry/connections", 12.0, 100.0}});
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    plan.nodes[i].port = static_cast<std::uint16_t>(9200 + i);
+  }
+  plan.instruments = {"entry_totals"};
+  plan.workload.kind = cli::workload_kind::scenario;
+  plan.workload.model = "flash_crowd";
+  plan.workload.scale = 0.5;
+  plan.workload.events = 500;
+  plan.workload.gen_seed = 3;
+  plan.workload.gen_days = 2;
+  plan.schedule_rounds = 2;
+  plan.round_duration_s = k_seconds_per_day;
+  const std::string text = cli::serialize_plan(plan);
+  const std::string key = "workload scenario ";
+  const std::size_t pos = text.find(key);
+  EXPECT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos);
+  return text.substr(0, pos) + key + arg + text.substr(eol);
+}
+
+TEST(FuzzTest, ScenarioWorkloadSpecTypedRejections) {
+  // The serializer's own spelling parses.
+  EXPECT_NO_THROW((void)cli::parse_plan(
+      scenario_plan_with_arg("flash_crowd,0.5,500,3,2")));
+  // Every malformed spec throws the typed line-numbered plan error:
+  // unknown scenario names, wrong field counts, junk numbers, and
+  // out-of-range envelope parameters.
+  for (const char* bad : {
+           "flashcrowd,0.5,500,3,2",        // unknown scenario name
+           "mevade_botnet,1,100,1",         // unknown scenario name
+           "flash_crowd",                   // missing fields
+           "flash_crowd,0.5",               // missing fields
+           "flash_crowd,0.5,500",           // missing fields
+           "flash_crowd,0.5,500,3,2,9",     // extra field
+           "flash_crowd,,500,3,2",          // empty field
+           "flash_crowd,0,500,3",           // scale must be > 0
+           "flash_crowd,-1,500,3",          // negative scale
+           "flash_crowd,1001,500,3",        // scale past the cap
+           "flash_crowd,nan,500,3",         // junk scale
+           "flash_crowd,0.5,0,3",           // events must be >= 1
+           "flash_crowd,0.5,100000001,3",   // events past the cap
+           "flash_crowd,0.5,5x0,3",         // junk events
+           "flash_crowd,0.5,500,-3",        // negative seed
+           "flash_crowd,0.5,500,3,0",       // days must be >= 1
+           "flash_crowd,0.5,500,3,367",     // days past a year
+           "flash_crowd,0.5,500,3,two",     // junk days
+       }) {
+    EXPECT_THROW((void)cli::parse_plan(scenario_plan_with_arg(bad)),
+                 precondition_error)
+        << "accepted malformed scenario spec: " << bad;
+  }
+}
+
+TEST(FuzzTest, ScenarioWorkloadSpecRandomCorruption) {
+  rng r{77};
+  const std::string good = "flash_crowd,0.5,500,3,2";
+  for (int trial = 0; trial < 800; ++trial) {
+    std::string arg = good;
+    const int edits = 1 + static_cast<int>(r.below(3));
+    for (int e = 0; e < edits; ++e) {
+      if (arg.empty()) arg = ",";
+      const auto pos = static_cast<std::size_t>(r.below(arg.size()));
+      switch (r.below(3)) {
+        case 0:
+          arg[pos] = static_cast<char>(33 + r.below(94));
+          break;
+        case 1:
+          arg.erase(pos, 1);
+          break;
+        default:
+          arg.insert(pos, 1, static_cast<char>(33 + r.below(94)));
+          break;
+      }
+    }
+    try {
+      (void)cli::parse_plan(scenario_plan_with_arg(arg));
+    } catch (const precondition_error&) {
+    }
+  }
+}
+
 /// Scoped scratch dir holding one durable store's on-disk state.
 class oplog_dir {
  public:

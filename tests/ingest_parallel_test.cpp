@@ -8,8 +8,14 @@
 // soaks the threaded path (the ASan/TSan CI legs run this binary).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -23,8 +29,10 @@
 #include "src/privcount/messages.h"
 #include "src/psc/data_collector.h"
 #include "src/psc/messages.h"
+#include "src/tor/trace_socket.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
+#include "src/workload/scenario.h"
 #include "src/workload/trace_gen.h"
 
 namespace tormet {
@@ -346,6 +354,113 @@ TEST(ParallelIngestTest, ThreadedIngestSoakStaysConsistentAcrossRounds) {
   EXPECT_EQ(
       psc_table_bytes(crypto::group_backend::toy, events, 512, 3, 2, 4096),
       psc_first);
+}
+
+// -- flash-crowd socket-feeder stress ----------------------------------------
+
+/// A loopback port that is free right now (bind 0, read it back, release).
+[[nodiscard]] std::uint16_t free_loopback_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  expects(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  expects(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+          "bind() failed");
+  socklen_t len = sizeof addr;
+  expects(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+          "getsockname() failed");
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(ParallelIngestTest, FlashCrowdSurgeThroughSocketFeederLosesNothing) {
+  // A full flash-crowd surge day streamed live through the trace socket
+  // into a sharded, threaded DC. The stream is far larger than the
+  // receiver's 64 KiB recv chunk and any default kernel socket buffer, so
+  // the feeder's sends block on the receiver's ingest pace (the bounded
+  // send queue engaging) — and despite that backpressure churn, every
+  // single event must arrive and the report bytes must equal the serial
+  // direct-ingest baseline.
+  workload::scenario_params params;
+  params.name = "flash_crowd";
+  params.dcs = 1;
+  params.scale = 1.0;
+  params.events = 4'000;
+  params.seed = 13;
+  params.days = 1;
+  const std::vector<tor::event> events =
+      workload::generate_scenario_events(params).front();
+  ASSERT_GT(events.size(), 30'000u);  // surge volume dwarfs socket buffers
+
+  const std::vector<std::uint8_t> reference =
+      privcount_report_bytes(events, 1, 0, 0);
+
+  const std::uint16_t port = free_loopback_port();
+  tor::event_socket_source source{port, 30'000};
+  std::size_t sent = 0;
+  std::thread feeder{[&] {
+    sent = tor::stream_events_to_socket("127.0.0.1", port, events);
+  }};
+
+  // Receiving DC: same round wiring as privcount_report_bytes, but fed
+  // from the live socket in spans, concurrently with the feeder.
+  net::inproc_net bus;
+  std::vector<std::uint8_t> report;
+  bus.register_node(0, [&](const net::message& m) {
+    if (m.type == static_cast<std::uint16_t>(privcount::msg_type::dc_report)) {
+      report = m.payload;
+    }
+  });
+  crypto::deterministic_rng rng{4242};
+  privcount::data_collector dc{1, 0, bus, rng};
+  dc.add_instrument(core::make_batch_instrument("stream_taxonomy"));
+  dc.add_instrument(core::instrument_by_name("entry_totals"));
+  dc.set_shards(8);
+  dc.set_thread_pool(std::make_shared<util::thread_pool>(4));
+
+  privcount::configure_msg cfg;
+  cfg.round_id = 1;
+  for (const auto& instrument : {"stream_taxonomy", "entry_totals"}) {
+    for (const auto& spec : core::default_specs_for(instrument)) {
+      cfg.counter_names.push_back(spec.name);
+      cfg.sigmas.push_back(1.5);
+    }
+  }
+  cfg.noise_weight = 1.0;
+  dc.handle_message(privcount::encode_configure(0, 1, cfg));
+  dc.handle_message(
+      privcount::encode_simple(0, 1, privcount::msg_type::start_collection, 1));
+
+  core::event_sink& sink = dc;
+  std::vector<tor::event> block;
+  constexpr std::size_t k_block = 2'048;
+  block.reserve(k_block);
+  std::size_t received = 0;
+  for (;;) {
+    std::optional<tor::event> ev = source.next();
+    if (ev.has_value()) {
+      block.push_back(*std::move(ev));
+      ++received;
+    }
+    if (block.size() == k_block || (!ev.has_value() && !block.empty())) {
+      sink.ingest(block.data(), block.size());
+      block.clear();
+    }
+    if (!ev.has_value()) break;
+  }
+  feeder.join();
+
+  EXPECT_EQ(sent, events.size());
+  EXPECT_EQ(received, events.size()) << "events lost in the surge";
+  EXPECT_EQ(sink.events_observed(), events.size());
+
+  dc.handle_message(
+      privcount::encode_simple(0, 1, privcount::msg_type::stop_collection, 1));
+  bus.run_until_quiescent();
+  EXPECT_EQ(report, reference)
+      << "socket-fed sharded report diverged from direct serial ingest";
 }
 
 }  // namespace

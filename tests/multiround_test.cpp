@@ -170,6 +170,87 @@ TEST(WorkloadCursorTest, SingleRoundPlansReplayTheWholeStream) {
   EXPECT_EQ(n, 3u);
 }
 
+// Hand-crafted event slices through the scenario/generated zero-copy fast
+// path: the cursor constructor accepts a pre-materialized stream, so the
+// window logic can be exercised against exact timestamps.
+[[nodiscard]] std::shared_ptr<const std::vector<std::vector<tor::event>>>
+one_dc_events(const std::vector<std::int64_t>& times) {
+  std::vector<std::vector<tor::event>> per_dc{{}};
+  for (const std::int64_t t : times) {
+    per_dc[0].push_back(stream_event_at(t, 0));
+  }
+  return std::make_shared<const std::vector<std::vector<tor::event>>>(
+      std::move(per_dc));
+}
+
+TEST(WorkloadCursorTest, EmptyWindowsInsideScheduleDeliverNothing) {
+  deployment_plan plan = make_psc_plan(1, 1, 64);
+  plan.workload.kind = workload_kind::scenario;
+  workload_cursor cursor{plan, 0, one_dc_events({10, 500, 510, 900})};
+  std::size_t n = 0;
+  const auto sink = [&](const tor::event*, std::size_t k) { n += k; };
+
+  EXPECT_EQ(cursor.stream_window(sim_time{0}, sim_time{100}, sink), 1u);
+  // Two windows with no events at all: empty delivery, nothing dropped,
+  // the cursor keeps its position for the later windows.
+  EXPECT_EQ(cursor.stream_window(sim_time{200}, sim_time{300}, sink), 0u);
+  EXPECT_EQ(cursor.stream_window(sim_time{320}, sim_time{400}, sink), 0u);
+  EXPECT_EQ(cursor.dropped_outside_windows(), 0u);
+  EXPECT_EQ(cursor.stream_window(sim_time{450}, sim_time{600}, sink), 2u);
+  EXPECT_EQ(cursor.stream_window(sim_time{850}, sim_time{1'000}, sink), 1u);
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(cursor.dropped_outside_windows(), 0u);
+}
+
+TEST(WorkloadCursorTest, SurgeBurstStraddlingBoundaryDropsOnlyGapEvents) {
+  // A flash-crowd-style burst of one event per second across a round
+  // boundary: [0,100) collects the front of the burst, the gap [100,150)
+  // swallows the middle (counted-but-dropped, collection never pauses),
+  // and [150,250) collects the tail.
+  std::vector<std::int64_t> burst;
+  for (std::int64_t t = 80; t < 180; ++t) burst.push_back(t);
+  deployment_plan plan = make_psc_plan(1, 1, 64);
+  plan.workload.kind = workload_kind::scenario;
+  workload_cursor cursor{plan, 0, one_dc_events(burst)};
+  std::size_t n = 0;
+  const auto sink = [&](const tor::event*, std::size_t k) { n += k; };
+
+  EXPECT_EQ(cursor.stream_window(sim_time{0}, sim_time{100}, sink), 20u);
+  EXPECT_EQ(cursor.stream_window(sim_time{150}, sim_time{250}, sink), 30u);
+  EXPECT_EQ(cursor.dropped_outside_windows(), 50u);  // exactly the gap slice
+  EXPECT_EQ(n, 50u);
+  EXPECT_EQ(cursor.drain(), 0u);
+}
+
+TEST(WorkloadCursorTest, GiantSpanWindowDeliversWholeScenarioInOneSpan) {
+  // A single window covering all of sim time must hand the entire
+  // materialized scenario slice to the sink as one zero-copy span.
+  deployment_plan plan = make_psc_plan(2, 1, 64);
+  plan.workload.kind = workload_kind::scenario;
+  plan.workload.model = "botnet_surge";
+  plan.workload.scale = 0.25;
+  plan.workload.events = 200;
+  plan.workload.gen_seed = 3;
+  plan.workload.gen_days = 2;
+  const auto generated = materialize_plan_events(plan);
+  ASSERT_EQ(generated->size(), 2u);
+  ASSERT_GT((*generated)[0].size(), 0u);
+
+  workload_cursor cursor{plan, 0, generated};
+  std::size_t calls = 0, n = 0;
+  const auto sink = [&](const tor::event*, std::size_t k) {
+    ++calls;
+    n += k;
+  };
+  constexpr sim_time lo{std::numeric_limits<std::int64_t>::min()};
+  constexpr sim_time hi{std::numeric_limits<std::int64_t>::max()};
+  EXPECT_EQ(cursor.stream_window(lo, hi, sink), (*generated)[0].size());
+  EXPECT_EQ(n, (*generated)[0].size());
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(cursor.dropped_outside_windows(), 0u);
+  EXPECT_EQ(cursor.drain(), 0u);  // nothing left past a giant window
+}
+
 TEST(RoundScheduleTest, PlanScheduleDrivesWindowing) {
   deployment_plan plan = make_privcount_plan(2, 1, {{"entry/connections", 12.0, 100.0}});
   plan.schedule_rounds = 3;

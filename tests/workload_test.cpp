@@ -3,8 +3,13 @@
 // browsing destination mixture.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <unordered_set>
 
 #include "src/tor/network.h"
@@ -15,6 +20,7 @@
 #include "src/workload/geoip.h"
 #include "src/workload/onion_activity.h"
 #include "src/workload/population.h"
+#include "src/workload/scenario.h"
 #include "src/workload/suffix_list.h"
 #include "src/workload/trace_gen.h"
 #include "src/workload/zipf.h"
@@ -519,6 +525,112 @@ TEST(TraceGenTest, MultiDayChurnReproducesUniqueClientRatio) {
           << "seed " << seed << " day " << d;
     }
   }
+}
+
+// -- scenario golden digests -------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Renders `params` into a fresh temp dir and returns every produced file
+/// as {name -> bytes} — the scenario's golden digest.
+[[nodiscard]] std::map<std::string, std::string> render_digest(
+    const scenario_params& params) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("tormet-scn-" + params.name + "-" + std::to_string(params.seed) + "-" +
+       std::to_string(::getpid()) + "-" +
+       std::to_string(static_cast<unsigned>(params.scale * 1'000)));
+  std::filesystem::create_directories(dir);
+  const std::vector<std::size_t> counts =
+      write_scenario_dir(params, dir.string());
+  EXPECT_EQ(counts.size(), params.dcs);
+  std::map<std::string, std::string> digest;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    digest[entry.path().filename().string()] = slurp(entry.path());
+  }
+  std::filesystem::remove_all(dir);
+  return digest;
+}
+
+}  // namespace
+
+TEST(ScenarioGenTest, GenerationIsAPureFunctionOfParams) {
+  for (const auto& name : scenario_names()) {
+    scenario_params params;
+    params.name = name;
+    params.dcs = 3;
+    params.scale = 0.25;
+    params.events = 200;
+    params.seed = 4;
+    params.days = 2;
+    const auto a = generate_scenario_events(params);
+    const auto b = generate_scenario_events(params);
+    ASSERT_EQ(a.size(), 3u) << name;
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      ASSERT_EQ(a[k].size(), b[k].size()) << name;
+      total += a[k].size();
+      for (std::size_t i = 0; i < a[k].size(); ++i) {
+        EXPECT_EQ(a[k][i].at.seconds, b[k][i].at.seconds);
+        EXPECT_EQ(a[k][i].body.index(), b[k][i].body.index());
+      }
+      // Every slice is stably time-sorted, as workload_cursor's zero-copy
+      // window fast path requires.
+      for (std::size_t i = 1; i < a[k].size(); ++i) {
+        EXPECT_LE(a[k][i - 1].at.seconds, a[k][i].at.seconds) << name;
+      }
+    }
+    EXPECT_GT(total, 0u) << name;
+
+    scenario_params other = params;
+    other.seed = 5;
+    const auto c = generate_scenario_events(other);
+    std::size_t total_c = 0;
+    for (const auto& dc : c) total_c += dc.size();
+    EXPECT_NE(total, total_c) << name;  // different seed, different volume
+  }
+}
+
+TEST(ScenarioGenTest, ScenarioDirsRenderByteIdenticalAcrossRuns) {
+  // Golden-digest determinism: every scenario x {seed, scale} renders the
+  // exact same bytes — traces AND the ground_truth.cfg sidecar — on every
+  // run, anywhere. This is what makes a scenario name + params citable in
+  // a paper artifact.
+  for (const auto& name : scenario_names()) {
+    for (const std::uint64_t seed : {2u, 9u}) {
+      for (const double scale : {0.125, 0.375}) {
+        scenario_params params;
+        params.name = name;
+        params.dcs = 2;
+        params.scale = scale;
+        params.events = 150;
+        params.seed = seed;
+        params.days = 2;
+        const auto first = render_digest(params);
+        const auto second = render_digest(params);
+        ASSERT_EQ(first.size(), 3u) << name;  // dc-0, dc-1, ground_truth.cfg
+        ASSERT_TRUE(first.count("ground_truth.cfg")) << name;
+        EXPECT_EQ(first, second)
+            << name << " seed " << seed << " scale " << scale
+            << ": renders diverged across two runs";
+      }
+    }
+  }
+}
+
+TEST(ScenarioGenTest, UnknownScenarioIsRejected) {
+  EXPECT_FALSE(is_known_scenario("flashcrowd"));
+  scenario_params params;
+  params.name = "no_such_scenario";
+  EXPECT_THROW(generate_scenario_events(params), precondition_error);
 }
 
 }  // namespace
