@@ -32,6 +32,7 @@ void usage() {
       << "usage: tormet_tracegen --out DIR [--model "
          "zipf|browsing|onion|population|mixed]\n"
          "         [--dcs N] [--scale X] [--events N] [--seed S] [--days N]\n"
+         "         [--relays N] [--sample-prob P]\n"
          "         [--protocol psc|privcount] [--cps N] [--sks N]\n"
          "         [--bins B] [--group toy|p256] [--port-base P] [--no-plan]\n"
          "       tormet_tracegen --scenario flash_crowd|diurnal|botnet_surge|"
@@ -47,7 +48,13 @@ void usage() {
          "--scenario renders a named time-varying workload (see\n"
          "docs/SCENARIOS.md): traces, a ground_truth.cfg sidecar with the\n"
          "per-round true statistics, and a plan whose DCs materialize the\n"
-         "scenario deterministically (workload scenario ...).\n";
+         "scenario deterministically (workload scenario ...).\n"
+         "\n"
+         "--relays N emits a `workload relays` plan instead of a trace plan:\n"
+         "each DC embeds N/dcs always-on relay stats agents that publish\n"
+         "per-window .pub files, aggregated back into the sharded ingest\n"
+         "plane (see docs/RELAY_AGENT.md). --sample-prob P (default 1.0)\n"
+         "sets the per-circuit sampling probability.\n";
 }
 
 }  // namespace
@@ -64,6 +71,8 @@ int main(int argc, char** argv) {
   std::string protocol = "privcount";
   std::size_t cps = 3, sks = 3;
   std::uint64_t bins = 4096;
+  std::uint64_t relays = 0;
+  double sample_prob = 1.0;
   std::string group = "toy";
   unsigned port_base = 7450;
   bool write_plan = true;
@@ -92,6 +101,8 @@ int main(int argc, char** argv) {
     else if (arg == "--cps") cps = std::strtoul(next(), nullptr, 10);
     else if (arg == "--sks") sks = std::strtoul(next(), nullptr, 10);
     else if (arg == "--bins") bins = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--relays") relays = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--sample-prob") sample_prob = std::strtod(next(), nullptr);
     else if (arg == "--group") group = next();
     else if (arg == "--port-base") port_base = static_cast<unsigned>(
                                        std::strtoul(next(), nullptr, 10));
@@ -253,8 +264,23 @@ int main(int argc, char** argv) {
       }
       const cli::trace_round_defaults defaults =
           cli::defaults_for_model(params.model);
-      plan.workload.kind = cli::workload_kind::trace;
-      plan.workload.trace_dir = std::filesystem::absolute(out_dir).string();
+      if (relays > 0) {
+        // Relay-agent deployment: the DCs regenerate the model themselves
+        // (pure function of the plan) and detour every window through
+        // N/dcs embedded stats agents + publish-file aggregation. The
+        // trace files beside the plan are for inspection and feeding.
+        plan.workload.kind = cli::workload_kind::relays;
+        plan.workload.relay_count = relays;
+        plan.workload.model = params.model;
+        plan.workload.scale = params.scale;
+        plan.workload.events = params.events;
+        plan.workload.gen_seed = params.seed;
+        plan.workload.gen_days = params.days;
+        plan.sample_prob = sample_prob;
+      } else {
+        plan.workload.kind = cli::workload_kind::trace;
+        plan.workload.trace_dir = std::filesystem::absolute(out_dir).string();
+      }
       if (params.days > 1) {
         // One daily measurement round per generated day: the node processes
         // stay up across the schedule and window the trace by sim time.

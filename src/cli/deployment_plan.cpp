@@ -96,6 +96,7 @@ std::string_view workload_kind_name(workload_kind kind) {
     case workload_kind::generate: return "generate";
     case workload_kind::socket: return "socket";
     case workload_kind::scenario: return "scenario";
+    case workload_kind::relays: return "relays";
   }
   throw invariant_error{"unhandled workload_kind"};
 }
@@ -133,6 +134,15 @@ std::string serialize_plan(const deployment_plan& plan) {
           << "," << plan.workload.gen_seed;
       if (plan.workload.gen_days > 1) out << "," << plan.workload.gen_days;
       break;
+    case workload_kind::relays:
+      // `relays <count>,<model>,<scale>,<events>,<seed>[,<days>]`: the
+      // generate fields behind a leading fleet size, comma-joined like
+      // scenario's token.
+      out << " " << plan.workload.relay_count << "," << plan.workload.model
+          << "," << format_double(plan.workload.scale) << ","
+          << plan.workload.events << "," << plan.workload.gen_seed;
+      if (plan.workload.gen_days > 1) out << "," << plan.workload.gen_days;
+      break;
   }
   out << "\n";
   // Omitted at the all-default single-round shape, so classic plans
@@ -155,6 +165,14 @@ std::string serialize_plan(const deployment_plan& plan) {
   if (plan.dc_shards != 1) out << "dc_shards " << plan.dc_shards << "\n";
   if (plan.dc_ingest_threads != 0) {
     out << "dc_ingest_threads " << plan.dc_ingest_threads << "\n";
+  }
+  // Relay sampling keeps everything by default; the key only appears when
+  // a fleet actually samples, so pre-relay plans round-trip unchanged.
+  if (plan.sample_prob != 1.0) {
+    out << "sample_prob " << format_double(plan.sample_prob) << "\n";
+  }
+  if (plan.max_restarts != 5) {
+    out << "max_restarts " << plan.max_restarts << "\n";
   }
   if (plan.pace != 0.0) out << "pace " << format_double(plan.pace) << "\n";
   out << "psc_extractor " << plan.psc_extractor << "\n";
@@ -321,9 +339,76 @@ deployment_plan parse_plan(std::string_view text) {
           }
           plan.workload.gen_days = days;
         }
+      } else if (kind == "relays") {
+        // `relays <count>,<model>,<scale>,<events>,<seed>[,<days>]` — one
+        // comma-joined token: the generate workload routed through a
+        // simulated relay fleet (src/relay/).
+        plan.workload.kind = workload_kind::relays;
+        std::string spec;
+        ls >> spec;
+        want(!spec.empty());
+        std::vector<std::string> fields;
+        std::size_t pos = 0;
+        for (;;) {
+          const std::size_t comma = spec.find(',', pos);
+          fields.push_back(spec.substr(pos, comma == std::string::npos
+                                                ? std::string::npos
+                                                : comma - pos));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+        if (fields.size() < 5 || fields.size() > 6) {
+          fail("relays spec needs count,model,scale,events,seed[,days], got " +
+               std::to_string(fields.size()) + " field(s)");
+        }
+        const auto parse_u64 = [&](const std::string& field,
+                                   const char* what) {
+          std::uint64_t v = 0;
+          std::istringstream fs{field};
+          fs >> v;
+          if (fs.fail() || !fs.eof() || field.empty() || field[0] == '-') {
+            fail("relays " + std::string{what} + " is not a number: '" +
+                 field + "'");
+          }
+          return v;
+        };
+        plan.workload.relay_count = parse_u64(fields[0], "count");
+        if (plan.workload.relay_count < 1 ||
+            plan.workload.relay_count > 100'000) {
+          fail("relays count must be in [1, 100000]");
+        }
+        plan.workload.model = fields[1];
+        if (!workload::is_known_trace_model(plan.workload.model)) {
+          fail("unknown trace model '" + plan.workload.model + "'");
+        }
+        {
+          double scale = 0.0;
+          std::istringstream fs{fields[2]};
+          fs >> scale;
+          if (fs.fail() || !fs.eof()) {
+            fail("relays scale is not a number: '" + fields[2] + "'");
+          }
+          if (!(scale > 0.0) || scale > 1'000.0) {
+            fail("relays scale must be in (0, 1000]");
+          }
+          plan.workload.scale = scale;
+        }
+        plan.workload.events = parse_u64(fields[3], "events");
+        if (plan.workload.events < 1 ||
+            plan.workload.events > 100'000'000) {
+          fail("relays events must be in [1, 100000000]");
+        }
+        plan.workload.gen_seed = parse_u64(fields[4], "seed");
+        if (fields.size() == 6) {
+          const std::uint64_t days = parse_u64(fields[5], "days");
+          if (days < 1 || days > 366) {
+            fail("relays days must be in [1, 366]");
+          }
+          plan.workload.gen_days = days;
+        }
       } else {
         fail("unknown workload kind '" + kind +
-             "' (expected synthetic|trace|generate|socket|scenario)");
+             "' (expected synthetic|trace|generate|socket|scenario|relays)");
       }
     } else if (key == "schedule") {
       // `schedule rounds <N> duration <s> gap <s>` — keyword-tagged so a
@@ -366,6 +451,12 @@ deployment_plan parse_plan(std::string_view text) {
     } else if (key == "dc_ingest_threads") {
       ls >> plan.dc_ingest_threads;
       want(plan.dc_ingest_threads <= 256);
+    } else if (key == "sample_prob") {
+      ls >> plan.sample_prob;
+      want(plan.sample_prob > 0.0 && plan.sample_prob <= 1.0);
+    } else if (key == "max_restarts") {
+      ls >> plan.max_restarts;
+      want(plan.max_restarts >= 0 && plan.max_restarts <= 1'000);
     } else if (key == "pace") {
       ls >> plan.pace;
       want(plan.pace >= 0.0);
@@ -479,6 +570,18 @@ deployment_plan parse_plan(std::string_view text) {
       plan.workload.event_port_base + dc_count > 0x10000u) {
     throw precondition_error{
         "plan: socket workload port range exceeds 65535"};
+  }
+  if (plan.workload.kind == workload_kind::relays) {
+    // The fleet splits evenly over the DC nodes; a ragged split would make
+    // relay assignment depend on DC order, which the reference path does
+    // not model.
+    if (dc_count == 0 || plan.workload.relay_count < dc_count ||
+        plan.workload.relay_count % dc_count != 0) {
+      throw precondition_error{
+          "plan: relays count (" + std::to_string(plan.workload.relay_count) +
+          ") must be a positive multiple of the DC count (" +
+          std::to_string(dc_count) + ")"};
+    }
   }
   // The declared schedule must be admissible under the §3.1 scheduling
   // discipline; building it validates window overlap rules.

@@ -61,12 +61,19 @@ struct node_spec {
 ///               botnet_surge, relay_churn, country_block) and DC k replays
 ///               slice k; declared as `workload scenario
 ///               <name>,<scale>,<events>,<seed>[,<days>]`
+///   relays    — the generate workload fed through a simulated relay fleet
+///               (src/relay/): DC k's slice is routed onto relay_count/dcs
+///               embedded stats agents that sample (see sample_prob),
+///               publish per-window `.pub` files, and are aggregated back
+///               into the DC's sharded ingest plane; declared as `workload
+///               relays <count>,<model>,<scale>,<events>,<seed>[,<days>]`
 enum class workload_kind : std::uint8_t {
   synthetic,
   trace,
   generate,
   socket,
   scenario,
+  relays,
 };
 
 [[nodiscard]] std::string_view workload_kind_name(workload_kind kind);
@@ -81,10 +88,13 @@ struct workload_spec {
   /// generate: zipf-model event budget; scenario: baseline actions/day.
   std::uint64_t events = 5'000;
   std::uint64_t gen_seed = 1;         // generate / scenario
-  /// generate/scenario: days of activity to render; day d's events carry
-  /// sim times in [d·86400, (d+1)·86400).
+  /// generate/scenario/relays: days of activity to render; day d's events
+  /// carry sim times in [d·86400, (d+1)·86400).
   std::uint64_t gen_days = 1;
   std::uint16_t event_port_base = 0;  // kind == socket
+  /// relays: TOTAL simulated relays across the deployment, split evenly
+  /// over the DC nodes (validated: >= dc count and divisible by it).
+  std::uint64_t relay_count = 0;
 };
 
 struct deployment_plan {
@@ -167,6 +177,18 @@ struct deployment_plan {
   /// worker owns a disjoint set of shards, so the merged tally bytes are
   /// identical for every value.
   std::size_t dc_ingest_threads = 0;
+
+  /// Relay-fleet circuit sampling probability in (0, 1]: each relay's
+  /// stats agent keeps a circuit (all its events) iff a seed-derived hash
+  /// of the circuit key clears this fraction (relay::sample_event). 1.0
+  /// keeps everything — byte-identical to an unsampled cursor feed, the
+  /// standing correctness gate. Only meaningful for `workload relays`.
+  double sample_prob = 1.0;
+
+  /// Supervisor restart budget per child process: a node that exits with
+  /// the injected-crash code is restarted up to this many times (durable
+  /// deployments only). Replaces the old hard-coded cap of 5.
+  int max_restarts = 5;
 
   [[nodiscard]] bool durable() const noexcept { return !durable_dir.empty(); }
 

@@ -18,6 +18,8 @@
 
 #include "src/cli/workload_source.h"
 #include "src/crypto/secure_rng.h"
+#include "src/relay/relay_plane.h"
+#include "src/relay/stats_agent.h"
 #include "src/privcount/data_collector.h"
 #include "src/privcount/share_keeper.h"
 #include "src/privcount/tally_server.h"
@@ -54,17 +56,26 @@ constexpr int k_crash_exit_code = 42;
 /// "<node_id> exit_after_round <k>", "<node_id> delay_round <k> <ms>",
 /// "<node_id> crash_in_round <k>", "<node_id> crash_after_round <k>"
 /// (k 0-based; "action:k" also parses) and merges the clauses naming this
-/// process's node.
+/// process's node. Crash clauses ACCUMULATE into round sets — repeating
+/// crash_in_round for one node schedules a crash in every listed round
+/// (the old scalar fields silently kept only the last clause).
 struct fault_spec {
   bool exit_after = false;
   std::size_t exit_round = 0;
   bool delay = false;
   std::size_t delay_round = 0;
   int delay_ms = 0;
-  bool crash_in = false;
-  std::size_t crash_in_round = 0;
-  bool crash_after = false;
-  std::size_t crash_after_round = 0;
+  std::set<std::size_t> crash_in_rounds;
+  std::set<std::size_t> crash_after_rounds;
+
+  /// True when a crash_in_round clause names protocol round `round_id`
+  /// (1-based, as the control messages carry it).
+  [[nodiscard]] bool crash_in(std::uint32_t round_id) const {
+    return round_id >= 1 && crash_in_rounds.contains(round_id - 1);
+  }
+  [[nodiscard]] bool crash_after(std::uint32_t round_id) const {
+    return round_id >= 1 && crash_after_rounds.contains(round_id - 1);
+  }
 };
 
 [[nodiscard]] fault_spec fault_for(net::node_id self) {
@@ -87,11 +98,13 @@ struct fault_spec {
       in >> f.delay_round >> f.delay_ms;
       f.delay = !in.fail();
     } else if (action == "crash_in_round") {
-      in >> f.crash_in_round;
-      f.crash_in = !in.fail();
+      std::size_t round = 0;
+      in >> round;
+      if (!in.fail()) f.crash_in_rounds.insert(round);
     } else if (action == "crash_after_round") {
-      in >> f.crash_after_round;
-      f.crash_after = !in.fail();
+      std::size_t round = 0;
+      in >> round;
+      if (!in.fail()) f.crash_after_rounds.insert(round);
     }
   }
   return f;
@@ -353,6 +366,28 @@ void commit_round(ts_state& s, const deployment_plan& plan, round_record rec,
   write_file_atomic(plan.tally_path + ".summary", ts_summary(s, protocol));
 }
 
+/// Rewrites the .summary sidecar with the DCs' privacy-safe accounting
+/// lines appended (`dc_stats <id> <line>` per payload line). Called once
+/// after the completion handshake: each DC's DC_STATS message rides the
+/// same channel as its ROUND_ACK, so by the time every surviving ack is
+/// in, every surviving DC's stats are too. A map keyed by node id keeps
+/// the line order deterministic.
+void write_summary_with_dc_stats(
+    const ts_state& s, const deployment_plan& plan, const std::string& protocol,
+    const std::map<net::node_id, std::string>& dc_stats) {
+  if (dc_stats.empty()) return;  // nothing beyond what commit_round wrote
+  std::ostringstream out;
+  out << ts_summary(s, protocol);
+  for (const auto& [id, text] : dc_stats) {
+    std::istringstream in{text};
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) out << "dc_stats " << id << " " << line << "\n";
+    }
+  }
+  write_file_atomic(plan.tally_path + ".summary", out.str());
+}
+
 // -- non-TS durable position -------------------------------------------------
 
 /// The 1-based round id the store's previous incarnation last saw (0 for a
@@ -552,14 +587,24 @@ void finish_round_as_ts(net::transport& out, net::tcp_net& net,
 /// Serves a non-TS role until the TS's ROUND_DONE arrives (or `quit_early`
 /// fires — the fault-injection exit), then acks and flushes. `handle`
 /// processes protocol messages; rejoin control traffic is answered here.
+/// When `final_stats` is set, its text rides a DC_STATS message sent
+/// BEFORE the ack on the same channel — per-channel FIFO guarantees the
+/// TS folds the stats into the .summary sidecar before it stops waiting.
 void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
                       net::node_id self, net::node_id ts_id,
                       const std::function<void(const net::message&)>& handle,
-                      const std::function<bool()>& quit_early = nullptr) {
+                      const std::function<bool()>& quit_early = nullptr,
+                      const std::function<std::string()>& final_stats = nullptr) {
   bool done = false;
   net.register_node(self, [&](const net::message& m) {
     if (m.type == static_cast<std::uint16_t>(ctl_msg::round_done)) {
       try {
+        if (final_stats != nullptr) {
+          const std::string stats = final_stats();
+          net.send(net::message{self, ts_id,
+                                static_cast<std::uint16_t>(ctl_msg::dc_stats),
+                                byte_buffer{stats.begin(), stats.end()}});
+        }
         net.send(net::message{self, ts_id,
                               static_cast<std::uint16_t>(ctl_msg::round_ack),
                               {}});
@@ -602,6 +647,28 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
 
 // -- DC window replay --------------------------------------------------------
 
+/// Minimal event_sink adapter: forwards ingest spans to a callback. Used
+/// to interpose the replay buffer between the relay aggregator and the
+/// real DC sink (the aggregator only ever calls ingest()).
+class callback_sink final : public core::event_sink {
+ public:
+  explicit callback_sink(
+      std::function<void(const tor::event*, std::size_t)> fn)
+      : fn_{std::move(fn)} {}
+
+  void observe(const tor::event& ev) override { fn_(&ev, 1); }
+  void ingest(const tor::event* evs, std::size_t n) override { fn_(evs, n); }
+  void set_shards(std::size_t) override {}
+  [[nodiscard]] std::size_t shards() const noexcept override { return 1; }
+  void set_thread_pool(std::shared_ptr<util::thread_pool>) override {}
+  [[nodiscard]] std::uint64_t events_observed() const noexcept override {
+    return 0;
+  }
+
+ private:
+  std::function<void(const tor::event*, std::size_t)> fn_;
+};
+
 /// Replays per-round collection windows with crash/retry support. The
 /// cursor consumes its event stream monotonically, so a re-driven round
 /// (durable TS retry) cannot re-pull its window from the source — the last
@@ -610,9 +677,16 @@ void serve_until_done(net::tcp_net& net, const deployment_plan& plan,
 /// the already-processed prefix (events outside the requested window are
 /// counted-but-dropped), which re-positions the stream without any
 /// bookkeeping.
+///
+/// With a relay plane attached (workload relays), the window detours
+/// through the simulated fleet: cursor -> route() onto the per-relay
+/// stats agents -> per-relay .pub publish -> aggregator merge -> sink.
+/// The buffer then holds the POST-aggregation merged span, so a durable
+/// retry re-ingests identical bytes without re-publishing.
 class windowed_replay {
  public:
-  explicit windowed_replay(bool buffering) : buffering_{buffering} {}
+  explicit windowed_replay(bool buffering, relay::relay_plane* plane = nullptr)
+      : buffering_{buffering}, plane_{plane} {}
 
   std::size_t replay(workload_cursor& cursor, const round_window& w,
                      std::size_t index, core::event_sink& sink) {
@@ -627,11 +701,24 @@ class windowed_replay {
       return 0;
     }
     buffer_.clear();
-    const std::size_t n = cursor.stream_window(
-        w.start, w.end, [&](const tor::event* evs, std::size_t k) {
-          if (buffering_) buffer_.insert(buffer_.end(), evs, evs + k);
-          sink.ingest(evs, k);
-        });
+    std::size_t n = 0;
+    if (plane_ != nullptr) {
+      cursor.stream_window(w.start, w.end,
+                           [&](const tor::event* evs, std::size_t k) {
+                             plane_->route(evs, k);
+                           });
+      callback_sink tee{[&](const tor::event* evs, std::size_t k) {
+        if (buffering_) buffer_.insert(buffer_.end(), evs, evs + k);
+        sink.ingest(evs, k);
+      }};
+      n = plane_->close_window(index, tee);
+    } else {
+      n = cursor.stream_window(
+          w.start, w.end, [&](const tor::event* evs, std::size_t k) {
+            if (buffering_) buffer_.insert(buffer_.end(), evs, evs + k);
+            sink.ingest(evs, k);
+          });
+    }
     last_index_ = index;
     return n;
   }
@@ -639,9 +726,32 @@ class windowed_replay {
  private:
   static constexpr std::size_t k_none = static_cast<std::size_t>(-1);
   bool buffering_;
+  relay::relay_plane* plane_;
   std::size_t last_index_ = k_none;
   std::vector<tor::event> buffer_;
 };
+
+/// The privacy-safe per-DC accounting a DC ships to the TS during the
+/// completion handshake: `key value...` lines (never measurement data).
+/// The TS prefixes each with `dc_stats <id> ` in the .summary sidecar —
+/// this is where workload_cursor::dropped_outside_windows() finally
+/// surfaces, and where a relay fleet's aggregation accounting lands.
+[[nodiscard]] std::string dc_stats_payload(const workload_cursor& cursor,
+                                           const relay::relay_plane* plane) {
+  std::ostringstream out;
+  out << "window_dropped " << cursor.dropped_outside_windows() << "\n";
+  out << "stream_failed " << (cursor.stream_failed() ? 1 : 0) << "\n";
+  if (plane != nullptr) {
+    const relay::aggregate_stats& t = plane->totals();
+    out << "relay_fleet " << plane->relays() << " windows "
+        << t.windows_ingested << " events " << t.events_ingested
+        << " observed " << t.observed << " sampled " << t.sampled
+        << " missing " << t.missing << " duplicates " << t.duplicates
+        << " late " << t.late << " late_dropped " << t.late_dropped
+        << " rejected " << t.rejected << "\n";
+  }
+  return out.str();
+}
 
 // -- tally-server runners ----------------------------------------------------
 
@@ -655,9 +765,15 @@ class windowed_replay {
   const fault_spec fault = fault_for(self);
   std::size_t acks = 0;
   std::set<net::node_id> rejoin_pending;
+  std::map<net::node_id, std::string> dc_stats_payloads;
   net.register_node(self, [&](const net::message& m) {
     if (m.type == static_cast<std::uint16_t>(ctl_msg::round_ack)) {
       ++acks;
+      return;
+    }
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::dc_stats)) {
+      dc_stats_payloads[m.from] =
+          std::string{m.payload.begin(), m.payload.end()};
       return;
     }
     if (m.type == static_cast<std::uint16_t>(ctl_msg::rejoin_request)) {
@@ -677,9 +793,41 @@ class windowed_replay {
   const int phase_grace = plan.dc_grace_ms > 0
                               ? plan.dc_grace_ms
                               : std::min(plan.round_deadline_ms, 10'000);
+  // Scenario-scheduled churn: a DC whose dropout window covers a whole
+  // round is excluded for it and re-admitted when the outage ends — the
+  // rejoin machinery driven by the plan instead of by missed graces. Pure
+  // plan function, so the reference round derives the identical schedule.
+  // Seeded from the resume point so a restarted TS re-admits last round's
+  // dark DCs exactly like an uninterrupted one.
+  const std::vector<net::node_id> dc_ids = plan.ids_with(node_role::psc_dc);
+  std::set<net::node_id> scheduled_dark;
+  if (state.next_round > 1) {
+    for (const auto k : scheduled_dark_dcs(plan, state.next_round - 2)) {
+      scheduled_dark.insert(dc_ids[k]);
+    }
+  }
   for (std::uint32_t r = state.next_round; r <= rounds; ++r) {
     const std::set<net::node_id> dropped_before = state.dropped;
     std::set<net::node_id> rejoined_now;
+    std::set<net::node_id> sched_excluded_now;
+    std::set<net::node_id> sched_rejoined_now;
+    {
+      std::set<net::node_id> want_dark;
+      for (const auto k : scheduled_dark_dcs(plan, r - 1)) {
+        want_dark.insert(dc_ids[k]);
+      }
+      for (const auto id : scheduled_dark) {
+        if (want_dark.contains(id)) continue;
+        ts.readmit_dc(id);
+        sched_rejoined_now.insert(id);
+      }
+      for (const auto id : want_dark) {
+        if (scheduled_dark.contains(id)) continue;
+        ts.exclude_dc(id);
+        sched_excluded_now.insert(id);
+      }
+      scheduled_dark = std::move(want_dark);
+    }
     std::uint32_t attempt = 0;
     bool done = false;
     for (; attempt < max_attempts && !done; ++attempt) {
@@ -699,8 +847,8 @@ class windowed_replay {
                       state.dropped, rejoin_pending, rejoined_now);
       ts.resume_at_round(r);
       ts.begin_round(plan.round);
-      if (fault.crash_in && r == fault.crash_in_round + 1) {
-        maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+      if (fault.crash_in(r)) {
+        maybe_crash(plan, self, "crash_in_round", r - 1);
       }
       const auto all_reported = [&] {
         return ts.reporting_dcs().size() >= ts.data_collectors().size();
@@ -757,7 +905,10 @@ class windowed_replay {
       if (state.dropped.contains(n.id) && !dropped_before.contains(n.id)) {
         c.excluded = 1;
       }
-      if (rejoined_now.contains(n.id)) c.rejoined = 1;
+      if (sched_excluded_now.contains(n.id)) c.excluded = 1;
+      if (rejoined_now.contains(n.id) || sched_rejoined_now.contains(n.id)) {
+        c.rejoined = 1;
+      }
       rec.delta[n.id] = c;
     }
     // raw_count() throws if the round never completed — the node then exits
@@ -765,14 +916,15 @@ class windowed_replay {
     rec.tally = serialize_psc_tally(ts.raw_count(), ts.params().bins,
                                     ts.total_noise_bits());
     commit_round(state, plan, std::move(rec), "psc");
-    if (fault.crash_after && r == fault.crash_after_round + 1) {
-      maybe_crash(plan, self, "crash_after_round", fault.crash_after_round);
+    if (fault.crash_after(r)) {
+      maybe_crash(plan, self, "crash_after_round", r - 1);
     }
   }
 
   node_result out;
   out.tally = serialize_multiround_tally(state.tallies);
   finish_round_as_ts(ts_net, net, plan, self, state.dropped, acks);
+  write_summary_with_dc_stats(state, plan, "psc", dc_stats_payloads);
   return out;
 }
 
@@ -788,9 +940,15 @@ class windowed_replay {
   const fault_spec fault = fault_for(self);
   std::size_t acks = 0;
   std::set<net::node_id> rejoin_pending;
+  std::map<net::node_id, std::string> dc_stats_payloads;
   net.register_node(self, [&](const net::message& m) {
     if (m.type == static_cast<std::uint16_t>(ctl_msg::round_ack)) {
       ++acks;
+      return;
+    }
+    if (m.type == static_cast<std::uint16_t>(ctl_msg::dc_stats)) {
+      dc_stats_payloads[m.from] =
+          std::string{m.payload.begin(), m.payload.end()};
       return;
     }
     if (m.type == static_cast<std::uint16_t>(ctl_msg::rejoin_request)) {
@@ -810,9 +968,38 @@ class windowed_replay {
   const int phase_grace = plan.dc_grace_ms > 0
                               ? plan.dc_grace_ms
                               : std::min(plan.round_deadline_ms, 10'000);
+  // Scenario-scheduled churn, exactly as in run_psc_ts: plan-derived
+  // whole-round outages map to exclude/readmit at round boundaries.
+  const std::vector<net::node_id> dc_ids =
+      plan.ids_with(node_role::privcount_dc);
+  std::set<net::node_id> scheduled_dark;
+  if (state.next_round > 1) {
+    for (const auto k : scheduled_dark_dcs(plan, state.next_round - 2)) {
+      scheduled_dark.insert(dc_ids[k]);
+    }
+  }
   for (std::uint32_t r = state.next_round; r <= rounds; ++r) {
     const std::set<net::node_id> dropped_before = state.dropped;
     std::set<net::node_id> rejoined_now;
+    std::set<net::node_id> sched_excluded_now;
+    std::set<net::node_id> sched_rejoined_now;
+    {
+      std::set<net::node_id> want_dark;
+      for (const auto k : scheduled_dark_dcs(plan, r - 1)) {
+        want_dark.insert(dc_ids[k]);
+      }
+      for (const auto id : scheduled_dark) {
+        if (want_dark.contains(id)) continue;
+        ts.readmit_dc(id);
+        sched_rejoined_now.insert(id);
+      }
+      for (const auto id : want_dark) {
+        if (scheduled_dark.contains(id)) continue;
+        ts.exclude_dc(id);
+        sched_excluded_now.insert(id);
+      }
+      scheduled_dark = std::move(want_dark);
+    }
     std::uint32_t attempt = 0;
     bool done = false;
     for (; attempt < max_attempts && !done; ++attempt) {
@@ -829,8 +1016,8 @@ class windowed_replay {
                       state.dropped, rejoin_pending, rejoined_now);
       ts.resume_at_round(r);
       ts.begin_round(plan.counters, plan.privacy);
-      if (fault.crash_in && r == fault.crash_in_round + 1) {
-        maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+      if (fault.crash_in(r)) {
+        maybe_crash(plan, self, "crash_in_round", r - 1);
       }
       const auto all_ready = [&] { return ts.all_dcs_ready(); };
       const auto all_reported = [&] {
@@ -905,19 +1092,23 @@ class windowed_replay {
       if (state.dropped.contains(n.id) && !dropped_before.contains(n.id)) {
         c.excluded = 1;
       }
-      if (rejoined_now.contains(n.id)) c.rejoined = 1;
+      if (sched_excluded_now.contains(n.id)) c.excluded = 1;
+      if (rejoined_now.contains(n.id) || sched_rejoined_now.contains(n.id)) {
+        c.rejoined = 1;
+      }
       rec.delta[n.id] = c;
     }
     rec.tally = serialize_privcount_tally(ts.results());
     commit_round(state, plan, std::move(rec), "privcount");
-    if (fault.crash_after && r == fault.crash_after_round + 1) {
-      maybe_crash(plan, self, "crash_after_round", fault.crash_after_round);
+    if (fault.crash_after(r)) {
+      maybe_crash(plan, self, "crash_after_round", r - 1);
     }
   }
 
   node_result out;
   out.tally = serialize_multiround_tally(state.tallies);
   finish_round_as_ts(ts_net, net, plan, self, state.dropped, acks);
+  write_summary_with_dc_stats(state, plan, "privcount", dc_stats_payloads);
   return out;
 }
 
@@ -964,8 +1155,8 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
           // identical stream for (seed, node, round), which is what makes
           // crash re-runs byte-identical.
           rng = crypto::make_node_round_rng(plan.rng_seed, self, round);
-          if (fault.crash_in && round == fault.crash_in_round + 1) {
-            maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+          if (fault.crash_in(round)) {
+            maybe_crash(plan, self, "crash_in_round", round - 1);
           }
           if (store != nullptr && round > recorded_round) {
             record_node_round(*store, round, plan.checkpoint_every);
@@ -974,9 +1165,9 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
         }
         cp.handle_message(m);
         if (m.type == static_cast<std::uint16_t>(psc::msg_type::decrypt_pass) &&
-            fault.crash_after &&
-            psc::decode_vector(m).round_id == fault.crash_after_round + 1) {
-          maybe_crash(plan, self, "crash_after_round", fault.crash_after_round);
+            fault.crash_after(psc::decode_vector(m).round_id)) {
+          maybe_crash(plan, self, "crash_after_round",
+                      psc::decode_vector(m).round_id - 1);
         }
       });
       return {};
@@ -990,13 +1181,29 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
         configure_psc_dc(plan, dc, make_ingest_pool(plan));
         cursor.emplace(plan, dc_index_of(plan, self));
       }
+      std::optional<relay::relay_plane> rplane;
+      if (plan.workload.kind == workload_kind::relays) {
+        const std::size_t dc_index = dc_index_of(plan, self);
+        rplane.emplace(
+            plan.workload.relay_count / plan.ids_with(node_role::psc_dc).size(),
+            plan.sample_prob, relay::sampling_seed_of(plan.rng_seed),
+            plan.tally_path + ".pub.d/dc-" + std::to_string(dc_index));
+      }
       const std::unique_ptr<util::durable_store> store =
           open_node_store(plan, self);
       std::uint32_t recorded_round =
           store != nullptr ? recovered_round(*store) : 0;
-      windowed_replay replay{plan.durable()};
+      windowed_replay replay{plan.durable(),
+                             rplane.has_value() ? &*rplane : nullptr};
       std::uint32_t configured_round = 0;  // 1-based protocol round id
       bool quit = false;
+      std::function<std::string()> final_stats;
+      if (cursor.has_value()) {
+        final_stats = [&]() {
+          return dc_stats_payload(*cursor,
+                                  rplane.has_value() ? &*rplane : nullptr);
+        };
+      }
       serve_until_done(
           net, plan, self, ts_id,
           [&](const net::message& m) {
@@ -1004,8 +1211,8 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
                 static_cast<std::uint16_t>(psc::msg_type::dc_configure)) {
               const std::uint32_t round = psc::decode_dc_configure(m).round_id;
               rng = crypto::make_node_round_rng(plan.rng_seed, self, round);
-              if (fault.crash_in && round == fault.crash_in_round + 1) {
-                maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+              if (fault.crash_in(round)) {
+                maybe_crash(plan, self, "crash_in_round", round - 1);
               }
               if (store != nullptr && round > recorded_round) {
                 record_node_round(*store, round, plan.checkpoint_every);
@@ -1052,14 +1259,13 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
                   configured_round == fault.exit_round + 1) {
                 quit = true;  // injected dropout: exit cleanly between rounds
               }
-              if (fault.crash_after &&
-                  configured_round == fault.crash_after_round + 1) {
+              if (fault.crash_after(configured_round)) {
                 maybe_crash(plan, self, "crash_after_round",
-                            fault.crash_after_round);
+                            configured_round - 1);
               }
             }
           },
-          [&] { return quit; });
+          [&] { return quit; }, final_stats);
       return {};
     }
     case node_role::privcount_sk: {
@@ -1072,8 +1278,8 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
       serve_until_done(net, plan, self, ts_id, [&](const net::message& m) {
         if (m.type == static_cast<std::uint16_t>(privcount::msg_type::configure)) {
           const std::uint32_t round = privcount::decode_configure(m).round_id;
-          if (fault.crash_in && round == fault.crash_in_round + 1) {
-            maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+          if (fault.crash_in(round)) {
+            maybe_crash(plan, self, "crash_in_round", round - 1);
           }
           if (store != nullptr && round > recorded_round) {
             record_node_round(*store, round, plan.checkpoint_every);
@@ -1082,10 +1288,9 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
         }
         sk.handle_message(m);
         if (m.type == static_cast<std::uint16_t>(privcount::msg_type::sk_reveal) &&
-            fault.crash_after &&
-            privcount::decode_sk_reveal(m).round_id ==
-                fault.crash_after_round + 1) {
-          maybe_crash(plan, self, "crash_after_round", fault.crash_after_round);
+            fault.crash_after(privcount::decode_sk_reveal(m).round_id)) {
+          maybe_crash(plan, self, "crash_after_round",
+                      privcount::decode_sk_reveal(m).round_id - 1);
         }
       });
       return {};
@@ -1099,13 +1304,29 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
         configure_privcount_dc(plan, dc, make_ingest_pool(plan));
         cursor.emplace(plan, dc_index_of(plan, self));
       }
+      std::optional<relay::relay_plane> rplane;
+      if (plan.workload.kind == workload_kind::relays) {
+        const std::size_t dc_index = dc_index_of(plan, self);
+        rplane.emplace(plan.workload.relay_count /
+                           plan.ids_with(node_role::privcount_dc).size(),
+                       plan.sample_prob, relay::sampling_seed_of(plan.rng_seed),
+                       plan.tally_path + ".pub.d/dc-" + std::to_string(dc_index));
+      }
       const std::unique_ptr<util::durable_store> store =
           open_node_store(plan, self);
       std::uint32_t recorded_round =
           store != nullptr ? recovered_round(*store) : 0;
-      windowed_replay replay{plan.durable()};
+      windowed_replay replay{plan.durable(),
+                             rplane.has_value() ? &*rplane : nullptr};
       std::uint32_t configured_round = 0;  // 1-based protocol round id
       bool quit = false;
+      std::function<std::string()> final_stats;
+      if (cursor.has_value()) {
+        final_stats = [&]() {
+          return dc_stats_payload(*cursor,
+                                  rplane.has_value() ? &*rplane : nullptr);
+        };
+      }
       serve_until_done(
           net, plan, self, ts_id,
           [&](const net::message& m) {
@@ -1121,9 +1342,9 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
             }
             if (m.type == static_cast<std::uint16_t>(
                               privcount::msg_type::start_collection) &&
-                privcount::decode_round_id(m) == fault.crash_in_round + 1 &&
-                fault.crash_in) {
-              maybe_crash(plan, self, "crash_in_round", fault.crash_in_round);
+                fault.crash_in(privcount::decode_round_id(m))) {
+              maybe_crash(plan, self, "crash_in_round",
+                          privcount::decode_round_id(m) - 1);
             }
             dc.handle_message(m);
             if (m.type ==
@@ -1163,15 +1384,13 @@ node_result run_node(const deployment_plan& plan, net::node_id self) {
                   privcount::decode_round_id(m) == fault.exit_round + 1) {
                 quit = true;  // report for round k is out; exit between rounds
               }
-              if (fault.crash_after &&
-                  privcount::decode_round_id(m) ==
-                      fault.crash_after_round + 1) {
+              if (fault.crash_after(privcount::decode_round_id(m))) {
                 maybe_crash(plan, self, "crash_after_round",
-                            fault.crash_after_round);
+                            privcount::decode_round_id(m) - 1);
               }
             }
           },
-          [&] { return quit; });
+          [&] { return quit; }, final_stats);
       return {};
     }
   }

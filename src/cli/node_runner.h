@@ -47,9 +47,13 @@
 // "<node_id> delay_round <k> <ms>" stalls its collection phase in round k,
 // "<node_id> crash_in_round <k>" / "<node_id> crash_after_round <k>"
 // _Exit(42) mid-round / right after round k (0-based; "action:k" spelling
-// also accepted). Clauses are ';'-separated; in a durable deployment each
-// crash fires once (a marker file under durable_dir survives the restart)
-// and the orchestrator's supervisor restarts exit-42 children.
+// also accepted). Clauses are ';'-separated and repeatable: several
+// crash_in_round/crash_after_round clauses for one node accumulate into a
+// round set, so multi-crash schedules inject every listed round. In a
+// durable deployment each crash fires once per (node, action, round) — a
+// marker file under durable_dir survives the restart — and the
+// orchestrator's supervisor restarts exit-42 children up to the plan's
+// max_restarts budget.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +73,8 @@ enum class ctl_msg : std::uint16_t {
   rejoin_request = 242,  // restarted peer -> TS: re-admit me at a boundary
   rejoin_ack = 243,      // TS -> peer: rejoin request noted
   rejoin_query = 244,    // TS -> dropped peer: still there? answer to rejoin
+  dc_stats = 245,        // DC -> TS: privacy-safe accounting lines for the
+                         // .summary sidecar (sent before the final ack)
 };
 
 struct node_result {

@@ -16,12 +16,15 @@
 #include <sstream>
 #include <thread>
 
+#include <set>
+
 #include "src/cli/node_runner.h"
 #include "src/cli/workload_source.h"
 #include "src/core/instruments.h"
 #include "src/net/inproc.h"
 #include "src/privcount/deployment.h"
 #include "src/psc/deployment.h"
+#include "src/relay/stats_agent.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 #include "src/workload/trace_gen.h"
@@ -126,14 +129,56 @@ std::string run_reference_round(const deployment_plan& plan) {
       is_event_workload(plan) ? make_ingest_pool(plan) : nullptr;
   // One feed path for both protocols: each DC is a core::event_sink, each
   // cursor delivers its window as contiguous spans straight into ingest().
+  //
+  // A `relays` workload needs no file pipeline here: the per-DC aggregated
+  // relay stream is an order-preserving sampled subsequence of the cursor
+  // stream (relay seq numbers are assigned in route order and the
+  // aggregator merges by them), so filtering each event through the same
+  // sampling predicate reproduces the distributed bytes — and degenerates
+  // to the plain cursor feed at sample_prob 1.0.
+  const bool sampled_relays =
+      plan.workload.kind == workload_kind::relays && plan.sample_prob < 1.0;
+  const std::uint64_t sampling_seed = relay::sampling_seed_of(plan.rng_seed);
+  std::vector<tor::event> kept;  // reused sampling buffer
   const auto feed_window = [&](std::uint32_t round_id, auto&& sink_at) {
     const auto w = window(round_id);
     for (std::size_t i = 0; i < cursors.size(); ++i) {
       core::event_sink& sink = sink_at(i);
+      if (sampled_relays) {
+        cursors[i].stream_window(
+            w.start, w.end, [&](const tor::event* evs, std::size_t n) {
+              kept.clear();
+              for (std::size_t j = 0; j < n; ++j) {
+                if (relay::sample_event(evs[j], sampling_seed,
+                                        plan.sample_prob)) {
+                  kept.push_back(evs[j]);
+                }
+              }
+              if (!kept.empty()) sink.ingest(kept.data(), kept.size());
+            });
+        continue;
+      }
       cursors[i].stream_window(
           w.start, w.end,
           [&sink](const tor::event* evs, std::size_t n) { sink.ingest(evs, n); });
     }
+  };
+  // Scenario-scheduled churn, mirrored from the TS runners: a DC whose
+  // dropout window covers round r is excluded from the protocol for it
+  // (PrivCount blinding and PSC mixing both depend on the DC membership)
+  // and re-admitted when its outage ends.
+  std::set<std::size_t> dark;  // DC indices currently scheduled out
+  const auto apply_scheduled_churn = [&](auto& ts, std::uint32_t round_id,
+                                         const std::vector<net::node_id>& ids) {
+    std::set<std::size_t> want;
+    for (const auto k : scheduled_dark_dcs(plan, round_id - 1)) want.insert(k);
+    for (const auto k : dark) {
+      if (!want.contains(k)) ts.readmit_dc(ids[k]);
+    }
+    for (const auto k : want) {
+      if (!dark.contains(k)) ts.exclude_dc(ids[k]);
+    }
+    dark = std::move(want);
   };
 
   net::inproc_net bus;
@@ -158,6 +203,7 @@ std::string run_reference_round(const deployment_plan& plan) {
       make_cursors(dc_ids.size());
     }
     for (std::uint32_t r = 1; r <= rounds; ++r) {
+      apply_scheduled_churn(dep.ts(), r, dc_ids);
       const psc::round_outcome out = dep.run_round([&] {
         if (is_event_workload(plan)) {
           feed_window(r, [&](std::size_t i) -> core::event_sink& {
@@ -198,7 +244,10 @@ std::string run_reference_round(const deployment_plan& plan) {
     }
     make_cursors(cfg.measured_relays.size());
   }
+  const std::vector<net::node_id> pc_dc_ids =
+      plan.ids_with(node_role::privcount_dc);
   for (std::uint32_t r = 1; r <= rounds; ++r) {
+    apply_scheduled_churn(dep.ts(), r, pc_dc_ids);
     const std::vector<privcount::counter_result> results =
         dep.run_round(plan.counters, [&] {
           if (!is_event_workload(plan)) return;
@@ -271,7 +320,6 @@ distributed_round_result run_distributed_round(const deployment_plan& plan,
   // exit code is restarted (it replays its op-log and rejoins); a cap
   // keeps a crash-looping binary from hanging the round forever.
   constexpr int k_crash_exit_code = 42;
-  constexpr int k_max_restarts = 5;
   const int restart_delay_ms = [] {
     const char* env = std::getenv("TORMET_RESTART_DELAY_MS");
     return env != nullptr ? std::atoi(env) : 0;
@@ -313,7 +361,7 @@ distributed_round_result run_distributed_round(const deployment_plan& plan,
       if (r == c.pid) {
         c.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
         if (c.exit_code == k_crash_exit_code && plan.durable() &&
-            c.restarts < k_max_restarts) {
+            c.restarts < plan.max_restarts) {
           c.restart_pending = true;
           c.restart_at =
               clock::now() + std::chrono::milliseconds{restart_delay_ms};

@@ -42,7 +42,8 @@ void assign_free_ports(deployment_plan& plan);
 /// up to `timeout_ms`, and returns the tally plus per-node exit codes.
 /// Throws transport_error on timeout or when any node fails. In a durable
 /// plan the call also supervises: a child that dies with the crash exit
-/// code (42) is respawned — appending to its log — up to a small cap;
+/// code (42) is respawned — appending to its log — up to the plan's
+/// max_restarts budget (a deployment-tuning key, default 5);
 /// TORMET_RESTART_DELAY_MS delays each respawn (test knob for exercising
 /// the exclusion-then-rejoin path).
 [[nodiscard]] distributed_round_result run_distributed_round(

@@ -49,6 +49,9 @@ std::shared_ptr<const std::vector<std::vector<tor::event>>>
 materialize_plan_events(const deployment_plan& plan) {
   switch (plan.workload.kind) {
     case workload_kind::generate:
+    case workload_kind::relays:
+      // relays shares generate's event table: the fleet detour changes HOW
+      // a DC ingests its slice, never WHAT the slice contains.
       return std::make_shared<const std::vector<std::vector<tor::event>>>(
           workload::generate_trace_events(trace_gen_params_of(plan)));
     case workload_kind::scenario:
@@ -64,6 +67,25 @@ materialize_plan_events(const deployment_plan& plan) {
 
 bool is_event_workload(const deployment_plan& plan) {
   return plan.workload.kind != workload_kind::synthetic;
+}
+
+std::vector<std::size_t> scheduled_dark_dcs(const deployment_plan& plan,
+                                            std::size_t round_index) {
+  if (plan.workload.kind != workload_kind::scenario) return {};
+  if (plan.schedule_rounds <= 1) return {};  // unbounded window, never covered
+  const core::measurement_schedule sched = round_schedule_of(plan);
+  const round_window win = round_window_for(plan, sched, round_index);
+  const workload::scenario_shape shape =
+      workload::shape_of(scenario_params_of(plan));
+  std::vector<std::size_t> dark;
+  for (const auto& w : shape.dropouts) {
+    if (w.start <= win.start.seconds && w.end >= win.end.seconds &&
+        std::find(dark.begin(), dark.end(), w.dc) == dark.end()) {
+      dark.push_back(w.dc);
+    }
+  }
+  std::sort(dark.begin(), dark.end());
+  return dark;
 }
 
 workload_cursor::workload_cursor(const deployment_plan& plan,
@@ -84,6 +106,7 @@ workload_cursor::workload_cursor(
       return;
     case workload_kind::generate:
     case workload_kind::scenario:
+    case workload_kind::relays:
       // Every process materializes the same generation (pure function of
       // the plan) unless the caller shares one; either way the cursor only
       // walks its own slice.
@@ -113,7 +136,8 @@ std::optional<tor::event> workload_cursor::fetch() {
         return ev;
       }
       case workload_kind::generate:
-      case workload_kind::scenario: {
+      case workload_kind::scenario:
+      case workload_kind::relays: {
         const std::vector<tor::event>& slice = (*generated_)[dc_index_];
         if (next_generated_ >= slice.size()) {
           eof_ = true;
@@ -198,8 +222,8 @@ std::size_t workload_cursor::stream_window(sim_time start, sim_time end,
       ++delivered;
     }
   }
-  if ((kind_ == workload_kind::generate ||
-       kind_ == workload_kind::scenario) &&
+  if ((kind_ == workload_kind::generate || kind_ == workload_kind::scenario ||
+       kind_ == workload_kind::relays) &&
       !failed_ && !eof_) {
     // Fast path: generated slices are stably time-sorted (workload::
     // trace_gen), so the inter-round gap is a prefix, the window end is a

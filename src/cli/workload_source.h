@@ -11,6 +11,9 @@
 //   scenario  — materializes workload::generate_scenario_events (named
 //               time-varying scenarios with ground-truth sidecars) and
 //               replays slice k
+//   relays    — materializes like generate; the DC routes the slice through
+//               its simulated relay fleet (src/relay/relay_plane.h) before
+//               ingesting, instead of feeding the sink directly
 //   socket    — listens on event_port_base + k and ingests a pushed trace
 //               stream (file mode only in the reference round: what a
 //               feeder pushed cannot be re-derived from the plan)
@@ -58,6 +61,17 @@ materialize_plan_events(const deployment_plan& plan);
 /// True when the plan's collection phase feeds tor::events (anything but
 /// the synthetic item workload).
 [[nodiscard]] bool is_event_workload(const deployment_plan& plan);
+
+/// DC indices whose scenario dropout windows cover the ENTIRE collection
+/// window of round `round_index` (0-based): the DC is scheduled dark for
+/// the whole round, so the TS excludes it at the round boundary and
+/// re-admits it when its outage ends — the paper's churned-relay shape.
+/// Empty for non-scenario workloads, for partial-round outages (the DC
+/// still reports what it saw), and for single-round plans (their window is
+/// unbounded, so no finite outage covers it). Pure function of the plan:
+/// the TS and the reference round derive identical exclusion schedules.
+[[nodiscard]] std::vector<std::size_t> scheduled_dark_dcs(
+    const deployment_plan& plan, std::size_t round_index);
 
 /// Contiguous-span sink for batched event delivery: `evs[0..n)` is valid
 /// only for the duration of the call. The one event-delivery shape in the

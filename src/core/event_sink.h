@@ -1,7 +1,9 @@
 // The unified ingest surface of a data collector: every consumer of
 // measurement events — cli::node_runner's windowed replay, the
-// orchestrator's in-process reference round, benches, soak tests — feeds
-// observed tor::events through this one polymorphic interface instead of
+// orchestrator's in-process reference round, the relay publish
+// aggregator (relay::aggregator replays many relays' decoded window
+// files as one merged span), benches, soak tests — feeds observed
+// tor::events through this one polymorphic interface instead of
 // branching on the protocol. Both privcount::data_collector and
 // psc::data_collector implement it.
 //

@@ -1,0 +1,100 @@
+// The relay-embedded always-on stats agent (the moneTor mt_stats shape):
+// a lightweight module living conceptually *inside* a relay process that
+// samples a configurable fraction of circuits, accumulates one collection
+// window of sampled events in RAM, and publishes the window as an atomic
+// `.pub` file for a central aggregation service to consume and delete
+// (src/relay/aggregator.h).
+//
+// Sampling is per circuit key, not per event: the decision hashes
+// tor::shard_key_of(ev) — the client identity / stream target key every
+// other partition in the repo uses — against a seed-derived threshold, so
+// all events of one client either pass or fail together (a sampled
+// cardinality estimate stays unbiased) and the decision is identical no
+// matter which relay of the fleet observes the event. sample_prob 1.0
+// short-circuits to "keep everything", byte-identical to an unsampled
+// feed, which is what the repo's standing byte-identity gate checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/relay/publish.h"
+#include "src/tor/event_shard.h"
+#include "src/tor/events.h"
+
+namespace tormet::relay {
+
+/// Derives the deployment-wide sampling seed from the plan's rng_seed.
+/// One extra mix with a fixed salt keeps the sampling hash stream disjoint
+/// from the shard partitioner, which hashes the same keys.
+[[nodiscard]] constexpr std::uint64_t sampling_seed_of(
+    std::uint64_t rng_seed) noexcept {
+  return tor::shard_mix(rng_seed ^ 0x72656c61792d7361ULL);  // "relay-sa"
+}
+
+/// The per-circuit sampling predicate: true iff `ev`'s circuit key is in
+/// the kept fraction. Deterministic in (seed, key) alone — every relay,
+/// every incarnation, and the in-process reference path agree event by
+/// event. prob >= 1.0 keeps everything (no hash evaluated).
+[[nodiscard]] inline bool sample_event(const tor::event& ev,
+                                       std::uint64_t sampling_seed,
+                                       double prob) noexcept {
+  if (prob >= 1.0) return true;
+  if (prob <= 0.0) return false;
+  const std::uint64_t h =
+      tor::shard_mix(sampling_seed ^ tor::shard_mix(tor::shard_key_of(ev)));
+  // Map prob onto a 64-bit threshold: keep iff h < prob * 2^64.
+  const auto threshold = static_cast<std::uint64_t>(
+      prob * 18446744073709551616.0 /* 2^64 */);
+  return h < threshold;
+}
+
+/// One relay's stats accumulator. offer() runs the sampler and buffers the
+/// survivors with their DC-local sequence numbers; publish() writes the
+/// window atomically and resets the accumulator for the next one.
+class stats_agent {
+ public:
+  stats_agent(std::uint64_t relay, std::uint64_t sampling_seed,
+              double sample_prob)
+      : relay_{relay}, seed_{sampling_seed}, prob_{sample_prob} {}
+
+  /// Offers one observed event; `seq` is the DC-local ingest sequence
+  /// number (assigned by relay_plane in arrival order across the fleet).
+  void offer(std::uint64_t seq, const tor::event& ev) {
+    ++observed_;
+    if (!sample_event(ev, seed_, prob_)) return;
+    events_.emplace_back(seq, ev);
+  }
+
+  /// Publishes the accumulated window as `dir`/relay-<id>-window-<epoch>.pub
+  /// (atomic tmp + rename) and resets the accumulator. Every agent
+  /// publishes every window, even an empty one: an absent file is how the
+  /// aggregator detects a missing publisher. Returns the written path.
+  std::string publish(std::uint64_t epoch, const std::string& dir) {
+    pub_window w;
+    w.header.relay = relay_;
+    w.header.epoch = epoch;
+    w.header.observed = observed_;
+    w.header.sampled = events_.size();
+    w.events = std::move(events_);
+    const std::string path = write_pub_file_atomic(w, dir);
+    events_.clear();
+    observed_ = 0;
+    return path;
+  }
+
+  [[nodiscard]] std::uint64_t relay() const noexcept { return relay_; }
+  [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
+  [[nodiscard]] std::size_t sampled() const noexcept { return events_.size(); }
+
+ private:
+  std::uint64_t relay_;
+  std::uint64_t seed_;
+  double prob_;
+  std::uint64_t observed_ = 0;
+  std::vector<std::pair<std::uint64_t, tor::event>> events_;
+};
+
+}  // namespace tormet::relay

@@ -111,6 +111,17 @@ parse_privcount_rounds(const std::string& tally) {
   return rounds;
 }
 
+/// Reads one numeric field from a DC's `dc_stats <id> <key> <value>`
+/// summary-sidecar line (-1 if the line is absent).
+[[nodiscard]] std::int64_t summary_stat(const std::string& summary,
+                                        net::node_id id,
+                                        const std::string& key) {
+  const std::string prefix = "dc_stats " + std::to_string(id) + " " + key + " ";
+  const std::size_t at = summary.find(prefix);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(summary.c_str() + at + prefix.size(), nullptr, 10);
+}
+
 // -- cursor window semantics -------------------------------------------------
 
 TEST(WorkloadCursorTest, PartitionsStreamIntoWindowsAndCountsGapEvents) {
@@ -450,6 +461,18 @@ TEST(MultiRoundFaultTest, FeederSocketKilledMidRoundKeepsPipelineExact) {
               static_cast<std::int64_t>(expected[r]))
         << "round " << r;
   }
+
+  // The mid-stream failure is visible in the operational sidecar: the DC
+  // whose feeder died abruptly reports stream_failed 1, the clean-EOF and
+  // healthy DCs report 0.
+  const std::vector<net::node_id> dc_ids =
+      plan.ids_with(node_role::privcount_dc);
+  EXPECT_EQ(summary_stat(result.summary, dc_ids[0], "stream_failed"), 0)
+      << result.summary;
+  EXPECT_EQ(summary_stat(result.summary, dc_ids[1], "stream_failed"), 1)
+      << result.summary;
+  EXPECT_EQ(summary_stat(result.summary, dc_ids[2], "stream_failed"), 0)
+      << result.summary;
 }
 
 /// Sharded-ingest regression: a DC running with dc_shards > 1 must survive
@@ -931,6 +954,151 @@ TEST(DurableRoundTest, ExcludedDcRejoinsAfterDelayedRestart) {
   EXPECT_NE(dc_line.find("excluded 1"), std::string::npos) << dc_line;
   EXPECT_NE(dc_line.find("rejoined 1"), std::string::npos) << dc_line;
   EXPECT_NE(result.summary.find("round_retries"), std::string::npos);
+}
+
+/// Inter-round gap events were always counted by the cursor but never
+/// surfaced: with a short duty cycle (the zipf trace packs each day's
+/// events into its first 40 seconds, so a 20-second window catches exactly
+/// half) every DC must report exactly its outside-window event count as
+/// `dc_stats <id> window_dropped N` in the summary sidecar — and the tally
+/// still byte-matches the reference over the same windows.
+TEST(MultiRoundFaultTest, GapEventsSurfaceAsWindowDroppedInSummary) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 240;
+  gen.days = 3;
+  gen.seed = 91;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+  const std::vector<std::vector<tor::event>> per_dc =
+      workload::generate_trace_events(gen);
+
+  deployment_plan plan = make_privcount_plan(
+      2, 1, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 97;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = 20;  // catches offsets [0, 20) of each day
+  plan.round_gap_s = k_seconds_per_day - 20;
+  plan.round_deadline_ms = 30'000;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 90'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_EQ(result.tally, run_reference_round(plan));
+
+  // Expected drop count per DC: everything outside the three collection
+  // windows [d, d + 20 s) — the inter-round gaps plus the post-schedule
+  // drain.
+  const std::vector<net::node_id> dc_ids =
+      plan.ids_with(node_role::privcount_dc);
+  ASSERT_EQ(dc_ids.size(), per_dc.size());
+  for (std::size_t k = 0; k < per_dc.size(); ++k) {
+    std::int64_t outside = 0;
+    for (const tor::event& ev : per_dc[k]) {
+      const std::int64_t day = ev.at.seconds / k_seconds_per_day;
+      const bool in_window =
+          day < 3 && ev.at.seconds - day * k_seconds_per_day < 20;
+      if (!in_window) ++outside;
+    }
+    EXPECT_GT(outside, 0) << "degenerate trace: no gap events for DC " << k;
+    EXPECT_EQ(summary_stat(result.summary, dc_ids[k], "window_dropped"),
+              outside)
+        << result.summary;
+    EXPECT_EQ(summary_stat(result.summary, dc_ids[k], "stream_failed"), 0);
+  }
+}
+
+/// Crash markers are scoped per (node, action, round): one node scheduled
+/// to crash in TWO different rounds fires both injections — the second
+/// round's marker is distinct, so the respawned incarnation crashes again
+/// — and the doubly-recovered run is still byte-identical.
+TEST(DurableRoundTest, SameNodeCrashingInTwoRoundsRecoversTwice) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 240;
+  gen.days = 3;
+  gen.seed = 101;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_psc_plan(2, 2, 512);
+  plan.round.group = crypto::group_backend::toy;
+  plan.rng_seed = 103;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.psc_extractor = "primary_sld";
+  plan.schedule_rounds = 3;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.dc_grace_ms = 1500;
+  plan.round_deadline_ms = 30'000;
+  plan.durable_dir = workdir.path() + "/durable";
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  // Node layout: TS=0, CPs 1-2, DCs 3-4. DC 3 crashes at round 1's AND
+  // round 3's collection start (accumulated clauses for one node).
+  const net::node_id victim = plan.ids_with(node_role::psc_dc).front();
+  const std::string spec = std::to_string(victim) + " crash_in_round 0;" +
+                           std::to_string(victim) + " crash_in_round 2";
+  fault_env fault{spec};
+  const distributed_round_result result =
+      run_distributed_round(plan, bin, workdir.path(), 150'000);
+  for (const auto& n : result.nodes) {
+    EXPECT_EQ(n.exit_code, 0) << "node " << n.id << " failed";
+  }
+  EXPECT_GE(restarts_of(result, victim), 2);
+  EXPECT_EQ(result.tally, run_reference_round(plan));
+}
+
+/// The supervisor's restart budget is a plan key, not a constant: with
+/// max_restarts 0 a crashed durable node is never respawned and the round
+/// fails outright instead of recovering.
+TEST(DurableRoundTest, MaxRestartsZeroTurnsACrashIntoARoundFailure) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  workload::trace_gen_params gen;
+  gen.model = "zipf";
+  gen.dcs = 2;
+  gen.events = 160;
+  gen.days = 2;
+  gen.seed = 107;
+  workdir_guard workdir;
+  workload::write_trace_dir(gen, workdir.path());
+
+  deployment_plan plan = make_privcount_plan(
+      2, 1, core::default_specs_for("stream_taxonomy"));
+  plan.rng_seed = 109;
+  plan.workload.kind = workload_kind::trace;
+  plan.workload.trace_dir = workdir.path();
+  plan.instruments = {"stream_taxonomy"};
+  plan.schedule_rounds = 2;
+  plan.round_duration_s = k_seconds_per_day;
+  plan.round_deadline_ms = 30'000;
+  plan.durable_dir = workdir.path() + "/durable";
+  plan.max_restarts = 0;
+  plan.tally_path = workdir.path() + "/tally.out";
+  assign_free_ports(plan);
+
+  const net::node_id victim = plan.ids_with(node_role::privcount_dc).front();
+  fault_env fault{std::to_string(victim) + " crash_in_round 1"};
+  EXPECT_THROW(run_distributed_round(plan, bin, workdir.path(), 90'000),
+               net::transport_error);
 }
 
 }  // namespace

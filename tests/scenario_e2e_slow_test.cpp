@@ -208,5 +208,75 @@ TEST(ScenarioE2eSlowTest, PscDistributedMatrixStaysInsideExactDpBand) {
   }
 }
 
+/// Extracts DC `id`'s `dc <id> reported ... excluded E rejoined J` line
+/// from the summary sidecar (empty string if absent).
+[[nodiscard]] std::string dc_summary_line(const std::string& summary,
+                                          net::node_id id) {
+  const std::string prefix = "dc " + std::to_string(id) + " ";
+  const std::size_t at = summary.find(prefix);
+  if (at == std::string::npos) return {};
+  return summary.substr(at, summary.find('\n', at) - at);
+}
+
+/// The relay_churn scenario's dropouts are SCHEDULED darkness, not process
+/// faults: with 2 DCs over 4 daily rounds, DC 0 is dark for all of round 2
+/// and DC 1 for all of round 4. The TS must exclude each dark DC for
+/// exactly its dark round (and re-admit DC 0 at the round-3 boundary), the
+/// exclusions must land in the summary sidecar, and the distributed tally
+/// must stay byte-identical to the in-process reference applying the same
+/// churn — for both protocols.
+TEST(ScenarioE2eSlowTest, RelayChurnDropoutsAreExcludedAndReadmitted) {
+  const std::string bin = node_binary();
+  if (bin.empty()) GTEST_SKIP() << "tormet_node binary not found";
+
+  const trace_round_defaults defaults = defaults_for_scenario("relay_churn");
+  for (const std::string protocol : {"psc", "privcount"}) {
+    deployment_plan plan = protocol == "psc"
+                               ? make_psc_plan(2, 2, 2'048)
+                               : make_privcount_plan(2, 2, defaults.counters);
+    if (protocol == "psc") {
+      plan.round.group = crypto::group_backend::toy;
+    } else {
+      plan.instruments = defaults.instruments;
+    }
+    plan.psc_extractor = defaults.psc_extractor;
+    set_scenario_workload(plan, "relay_churn", 7);
+    plan.workload.gen_days = 4;
+    plan.schedule_rounds = 4;
+
+    workdir_guard workdir;
+    plan.tally_path = workdir.path() + "/tally.out";
+    assign_free_ports(plan);
+    const distributed_round_result result =
+        run_distributed_round(plan, bin, workdir.path(), 120'000);
+    for (const auto& n : result.nodes) {
+      EXPECT_EQ(n.exit_code, 0) << protocol << ": node " << n.id << " failed";
+    }
+    EXPECT_EQ(result.tally, run_reference_round(plan))
+        << protocol
+        << ": scheduled-churn distributed tally diverges from reference";
+
+    // DC 0 went dark in round 2 and came back for round 3; DC 1 went dark
+    // in round 4 and the schedule ended before it could rejoin.
+    const std::vector<net::node_id> dc_ids = plan.ids_with(
+        protocol == "psc" ? node_role::psc_dc : node_role::privcount_dc);
+    ASSERT_EQ(dc_ids.size(), 2u);
+    const std::string dc0 = dc_summary_line(result.summary, dc_ids[0]);
+    const std::string dc1 = dc_summary_line(result.summary, dc_ids[1]);
+    EXPECT_NE(dc0.find("missed 1"), std::string::npos)
+        << protocol << ": " << dc0;
+    EXPECT_NE(dc0.find("excluded 1"), std::string::npos)
+        << protocol << ": " << dc0;
+    EXPECT_NE(dc0.find("rejoined 1"), std::string::npos)
+        << protocol << ": " << dc0;
+    EXPECT_NE(dc1.find("missed 1"), std::string::npos)
+        << protocol << ": " << dc1;
+    EXPECT_NE(dc1.find("excluded 1"), std::string::npos)
+        << protocol << ": " << dc1;
+    EXPECT_NE(dc1.find("rejoined 0"), std::string::npos)
+        << protocol << ": " << dc1;
+  }
+}
+
 }  // namespace
 }  // namespace tormet::cli
